@@ -1,0 +1,83 @@
+//! E4: the §5.2 Puzak replacement-status refinement, as an ablation.
+//!
+//! Three policies differ only in the snooped-broadcast-write decision:
+//! always update (`moesi`), always invalidate (`moesi-invalidating`), or
+//! update-if-recent / discard-if-near-replacement (`puzak`). Under private
+//! cache pressure that ages shared lines, the refinement should sit between
+//! the two extremes.
+
+use bench::{homogeneous_system, LINE};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use futurebus::TimingConfig;
+use mpsim::workload::{DuboisBriggs, SharingModel};
+use mpsim::RefStream;
+
+const CPUS: usize = 4;
+const STEPS: u64 = 300;
+
+fn run(protocol: &str) -> u64 {
+    // A small 2-way cache under private pressure: shared lines often reach
+    // LRU before their next use, making blind updates wasted work.
+    let mut sys = homogeneous_system(protocol, CPUS, 1024, LINE, TimingConfig::default(), false);
+    let model = SharingModel {
+        shared_lines: 8,
+        private_lines: 48,
+        p_shared: 0.3,
+        p_write: 0.4,
+        p_rereference: 0.2,
+        line_size: LINE as u64,
+    };
+    let mut streams: Vec<Box<dyn RefStream + Send>> = (0..CPUS)
+        .map(|cpu| Box::new(DuboisBriggs::new(cpu, model, 5)) as _)
+        .collect();
+    sys.run(&mut streams, STEPS);
+    sys.bus_stats().busy_ns
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for protocol in ["moesi", "moesi-invalidating", "puzak"] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol),
+            protocol,
+            |b, protocol| b.iter(|| black_box(run(protocol))),
+        );
+    }
+    group.finish();
+
+    c.bench_function("ablation/puzak_updates_selectively", |b| {
+        b.iter(|| {
+            // The refinement must apply *fewer* updates than always-update
+            // and *fewer* invalidations than always-invalidate.
+            let mut always = homogeneous_system("moesi", CPUS, 1024, LINE, TimingConfig::default(), false);
+            let mut refined = homogeneous_system("puzak", CPUS, 1024, LINE, TimingConfig::default(), false);
+            let model = SharingModel {
+                shared_lines: 8,
+                private_lines: 48,
+                p_shared: 0.3,
+                p_write: 0.4,
+                p_rereference: 0.2,
+                line_size: LINE as u64,
+            };
+            for sys in [&mut always, &mut refined] {
+                let mut streams: Vec<Box<dyn RefStream + Send>> = (0..CPUS)
+                    .map(|cpu| Box::new(DuboisBriggs::new(cpu, model, 5)) as _)
+                    .collect();
+                sys.run(&mut streams, STEPS);
+            }
+            let a = always.total_stats();
+            let r = refined.total_stats();
+            assert!(
+                r.updates_received < a.updates_received,
+                "the refinement must skip some updates ({} vs {})",
+                r.updates_received,
+                a.updates_received
+            );
+            black_box((a.updates_received, r.updates_received))
+        });
+    });
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

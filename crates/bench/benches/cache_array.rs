@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the cache-array substrate: lookup, fill/evict and
+//! replacement bookkeeping — the per-access cost under every simulator run.
+
+use cache_array::{CacheArray, CacheConfig, ReplacementKind};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use moesi::LineState;
+
+fn filled_cache(cfg: CacheConfig) -> CacheArray<LineState> {
+    let mut cache = CacheArray::new(cfg, 42);
+    for i in 0..cfg.lines() as u64 {
+        cache.fill(
+            i * cfg.line_size as u64,
+            LineState::Shareable,
+            vec![0; cfg.line_size].into(),
+        );
+    }
+    cache
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_array/lookup");
+    for ways in [1usize, 2, 4, 8] {
+        let cfg = CacheConfig::new(8192, 32, ways, ReplacementKind::Lru);
+        let cache = filled_cache(cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(ways), &ways, |b, _| {
+            let mut addr = 0u64;
+            b.iter(|| {
+                addr = (addr + 32) % 8192;
+                black_box(cache.lookup(black_box(addr)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fill_evict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_array/fill_evict");
+    for policy in [ReplacementKind::Lru, ReplacementKind::Fifo, ReplacementKind::Random] {
+        let cfg = CacheConfig::new(4096, 32, 4, ReplacementKind::Lru);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy}")),
+            &policy,
+            |b, &policy| {
+                let cfg = CacheConfig::new(cfg.size_bytes, cfg.line_size, cfg.associativity, policy);
+                let mut cache = filled_cache(cfg);
+                let mut addr = 0x10_0000u64;
+                b.iter(|| {
+                    addr += 32;
+                    black_box(cache.fill(
+                        black_box(addr),
+                        LineState::Exclusive,
+                        vec![0; 32].into(),
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_touch_and_rank(c: &mut Criterion) {
+    let cfg = CacheConfig::new(8192, 32, 8, ReplacementKind::Lru);
+    let mut cache = filled_cache(cfg);
+    c.bench_function("cache_array/touch", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 32) % 8192;
+            cache.touch(black_box(addr));
+        });
+    });
+    c.bench_function("cache_array/recency_rank", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 32) % 8192;
+            black_box(cache.recency_rank(black_box(addr)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_lookup, bench_fill_evict, bench_touch_and_rank);
+criterion_main!(benches);

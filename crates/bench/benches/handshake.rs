@@ -1,0 +1,42 @@
+//! Figure 2 benchmark: the broadcast address handshake at growing populations.
+//!
+//! Confirms the §2.2 cost structure — the cycle is governed by the slowest
+//! module plus the fixed 25 ns wired-OR filter penalty, independent of how
+//! many boards participate — and measures the simulator's own throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use futurebus::handshake::HandshakeSim;
+use futurebus::TimingConfig;
+
+fn bench_handshake(c: &mut Criterion) {
+    let sim = HandshakeSim::new(TimingConfig::default());
+    let mut group = c.benchmark_group("handshake");
+    group.sample_size(50);
+    for modules in [1usize, 2, 4, 8, 16, 32] {
+        let delays: Vec<u64> = (0..modules).map(|i| 20 + (i as u64 * 13) % 70).collect();
+        // Assert the paper's invariants once per size before timing.
+        let trace = sim.run(&delays);
+        assert_eq!(trace.glitches, modules as u64 - 1);
+        let slowest = delays.iter().max().copied().unwrap_or(0);
+        assert!(trace.duration >= slowest);
+
+        group.bench_with_input(BenchmarkId::new("run", modules), &delays, |b, delays| {
+            b.iter(|| black_box(sim.run(black_box(delays))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_broadcast_overhead(c: &mut Criterion) {
+    let sim = HandshakeSim::new(TimingConfig::default());
+    c.bench_function("handshake/broadcast_overhead", |b| {
+        b.iter(|| {
+            let o = sim.broadcast_overhead(black_box(40), black_box(8));
+            assert_eq!(o, 25, "the paper's 25 ns penalty");
+            black_box(o)
+        });
+    });
+}
+
+criterion_group!(benches, bench_handshake, bench_broadcast_overhead);
+criterion_main!(benches);

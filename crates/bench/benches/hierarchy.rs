@@ -1,0 +1,89 @@
+//! E7: the §6 multiple-bus extension — parent-bus traffic of a two-level
+//! hierarchy versus a flat single bus under cluster-local sharing.
+
+use cache_array::{CacheConfig, ReplacementKind};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use moesi::protocols::MoesiPreferred;
+use mpsim::hierarchy::HierarchyBuilder;
+use mpsim::workload::{DuboisBriggs, SharingModel};
+use mpsim::{RefStream, SystemBuilder};
+
+const LINE: usize = 32;
+const STEPS: u64 = 200;
+
+fn cfg() -> CacheConfig {
+    CacheConfig::new(2048, LINE, 2, ReplacementKind::Lru)
+}
+
+fn model() -> SharingModel {
+    SharingModel {
+        shared_lines: 8,
+        private_lines: 32,
+        p_shared: 0.15,
+        p_write: 0.3,
+        p_rereference: 0.4,
+        line_size: LINE as u64,
+    }
+}
+
+fn run_flat(cpus: usize) -> u64 {
+    let mut b = SystemBuilder::new(LINE);
+    for _ in 0..cpus {
+        b = b.cache(Box::new(MoesiPreferred::new()), cfg());
+    }
+    let mut sys = b.build();
+    let mut streams: Vec<Box<dyn RefStream + Send>> = (0..cpus)
+        .map(|cpu| Box::new(DuboisBriggs::new(cpu / 2, model(), 5)) as _)
+        .collect();
+    sys.run(&mut streams, STEPS);
+    sys.bus_stats().transactions
+}
+
+fn run_hierarchy(clusters: usize, per_cluster: usize) -> u64 {
+    let mut b = HierarchyBuilder::new(LINE);
+    for _ in 0..clusters {
+        b = b.cluster();
+        for _ in 0..per_cluster {
+            b = b.cache(Box::new(MoesiPreferred::new()), cfg());
+        }
+    }
+    let mut sys = b.build();
+    let mut streams: Vec<Vec<Box<dyn RefStream + Send>>> = (0..clusters)
+        .map(|cluster| {
+            (0..per_cluster)
+                .map(|_| Box::new(DuboisBriggs::new(cluster, model(), 5)) as Box<dyn RefStream + Send>)
+                .collect()
+        })
+        .collect();
+    sys.run(&mut streams, STEPS);
+    sys.parent_stats().transactions
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy");
+    group.sample_size(10);
+    for &cpus in &[4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("flat", cpus), &cpus, |b, &cpus| {
+            b.iter(|| black_box(run_flat(cpus)));
+        });
+        group.bench_with_input(BenchmarkId::new("two_level", cpus), &cpus, |b, &cpus| {
+            b.iter(|| black_box(run_hierarchy(cpus / 2, 2)));
+        });
+    }
+    group.finish();
+
+    c.bench_function("hierarchy/parent_bus_offload_shape", |b| {
+        b.iter(|| {
+            let flat = run_flat(8);
+            let parent = run_hierarchy(4, 2);
+            assert!(
+                parent * 2 < flat,
+                "the parent bus must carry far less than the flat bus ({parent} vs {flat})"
+            );
+            black_box((flat, parent))
+        });
+    });
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

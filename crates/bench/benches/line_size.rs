@@ -1,0 +1,47 @@
+//! E6: §5.1 line-size study — miss ratio falls and per-miss traffic grows
+//! with the line size, the trade-off behind the standard-line-size mandate.
+
+use bench::homogeneous_system;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use futurebus::TimingConfig;
+use mpsim::{RefStream, Sequential};
+
+const STEPS: u64 = 1_000;
+
+fn run(line: usize) -> (f64, u64) {
+    let mut sys = homogeneous_system("moesi", 1, 4096, line, TimingConfig::default(), false);
+    let mut streams: Vec<Box<dyn RefStream + Send>> =
+        vec![Box::new(Sequential::new(0, 4, 4096, 0.2, 9))];
+    sys.run(&mut streams, STEPS);
+    (sys.total_stats().hit_ratio(), sys.bus_stats().bytes_moved)
+}
+
+fn bench_line_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("line_size");
+    group.sample_size(10);
+    for line in [8usize, 16, 32, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(line), &line, |b, &line| {
+            b.iter(|| black_box(run(line)));
+        });
+    }
+    group.finish();
+
+    c.bench_function("line_size/shape", |b| {
+        b.iter(|| {
+            let (hit_small, bytes_small) = run(8);
+            let (hit_large, bytes_large) = run(128);
+            assert!(
+                hit_large > hit_small,
+                "larger lines must exploit sequential locality"
+            );
+            assert!(
+                bytes_large > bytes_small,
+                "larger lines must move more bytes"
+            );
+            black_box((hit_small, hit_large))
+        });
+    });
+}
+
+criterion_group!(benches, bench_line_sizes);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E3: full-system protocol comparison (the Archibald & Baer-style study
+//! behind §5.2's preferences), as a Criterion benchmark.
+//!
+//! Each measurement runs a homogeneous 4-CPU system of one protocol over one
+//! workload; the throughput figure of merit is simulated references per
+//! second of host time, and the simulated bus-busy time per run is asserted
+//! to preserve the paper-shaped ordering (update beats invalidate on live
+//! sharing).
+
+use bench::{homogeneous_system, workload_streams, COMPARED_PROTOCOLS, LINE};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use futurebus::TimingConfig;
+
+const CPUS: usize = 4;
+const STEPS: u64 = 200;
+
+fn run_once(protocol: &str, workload: &str) -> u64 {
+    let mut sys = homogeneous_system(protocol, CPUS, 4096, LINE, TimingConfig::default(), false);
+    let mut streams = workload_streams(workload, CPUS, LINE, 7);
+    sys.run(&mut streams, STEPS);
+    sys.bus_stats().busy_ns
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    for workload in ["general", "ping-pong", "read-mostly"] {
+        let mut group = c.benchmark_group(format!("protocol_compare/{workload}"));
+        group.sample_size(10);
+        for protocol in COMPARED_PROTOCOLS {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(protocol),
+                protocol,
+                |b, protocol| {
+                    b.iter(|| black_box(run_once(protocol, workload)));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn shape_checks(c: &mut Criterion) {
+    // One cheap bench that locks in the headline ordering.
+    c.bench_function("protocol_compare/update_beats_invalidate_on_ping_pong", |b| {
+        b.iter(|| {
+            let update = run_once("moesi", "ping-pong");
+            let invalidate = run_once("moesi-invalidating", "ping-pong");
+            assert!(
+                update < invalidate,
+                "update ({update} ns) must beat invalidate ({invalidate} ns) on ping-pong"
+            );
+            black_box((update, invalidate))
+        });
+    });
+}
+
+criterion_group!(benches, bench_protocols, shape_checks);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E10: the §1 bus-saturation argument — aggregate throughput vs processor
+//! count for cacheless, write-through and copy-back machines, using the
+//! contention-aware timed mode.
+
+use cache_array::{CacheConfig, ReplacementKind};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use moesi::protocols::by_name;
+use mpsim::workload::{DuboisBriggs, SharingModel};
+use mpsim::{RefStream, TimedReport};
+
+const LINE: usize = 32;
+const REFS: u64 = 800;
+
+fn run(kind: &str, cpus: usize) -> TimedReport {
+    let cfg = CacheConfig::new(4096, LINE, 2, ReplacementKind::Lru);
+    let mut b = mpsim::SystemBuilder::new(LINE);
+    for i in 0..cpus {
+        b = match kind {
+            "none" => b.uncached(by_name("non-caching", i as u64).unwrap()),
+            name => b.cache(by_name(name, i as u64).unwrap(), cfg),
+        };
+    }
+    let mut sys = b.build();
+    let model = SharingModel {
+        p_shared: 0.1,
+        line_size: LINE as u64,
+        ..SharingModel::default()
+    };
+    let mut streams: Vec<Box<dyn RefStream + Send>> = (0..cpus)
+        .map(|cpu| Box::new(DuboisBriggs::new(cpu, model, 9)) as _)
+        .collect();
+    sys.run_timed(&mut streams, REFS, 50)
+}
+
+fn bench_saturation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saturation");
+    group.sample_size(10);
+    for cpus in [1usize, 4, 8] {
+        for kind in ["none", "write-through", "moesi"] {
+            group.bench_with_input(
+                BenchmarkId::new(kind, cpus),
+                &cpus,
+                |b, &cpus| b.iter(|| black_box(run(kind, cpus))),
+            );
+        }
+    }
+    group.finish();
+
+    c.bench_function("saturation/caches_prevent_saturation_shape", |b| {
+        b.iter(|| {
+            // §1's claim as assertions: at 8 CPUs, the cacheless bus is
+            // saturated and throughput is far below the cached machines'.
+            let none = run("none", 8);
+            let moesi = run("moesi", 8);
+            assert!(none.bus_utilization() > 0.99, "cacheless bus must saturate");
+            assert!(
+                moesi.refs_per_us() > 3.0 * none.refs_per_us(),
+                "copy-back caches must multiply aggregate throughput ({} vs {})",
+                moesi.refs_per_us(),
+                none.refs_per_us()
+            );
+            // And caches must scale: 4 CPUs beat 1 CPU clearly.
+            let one = run("moesi", 1);
+            let four = run("moesi", 4);
+            assert!(four.refs_per_us() > 1.2 * one.refs_per_us());
+            black_box((none, moesi))
+        });
+    });
+}
+
+criterion_group!(benches, bench_saturation);
+criterion_main!(benches);

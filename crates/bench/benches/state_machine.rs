@@ -1,0 +1,75 @@
+//! Micro-benchmark: pure state-machine throughput of every protocol.
+//!
+//! Measures `on_local` and `on_bus` decision rates over all legal
+//! (state, event) cells — the cost a hardware evaluation would implement in
+//! a PAL, here the innermost loop of the simulator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use moesi::protocols::by_name;
+use moesi::{table, BusEvent, LineState, LocalCtx, LocalEvent, SnoopCtx};
+
+fn bench_protocol_decisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_machine");
+    group.sample_size(30);
+
+    for name in ["moesi", "berkeley", "dragon", "write-once", "illinois", "firefly", "synapse"] {
+        let mut p = by_name(name, 1).expect("known protocol");
+        let reachable = moesi::compat::reachable_states(p.as_mut());
+        let local_cells: Vec<(LineState, LocalEvent)> = reachable
+            .iter()
+            .flat_map(|&s| {
+                [LocalEvent::Read, LocalEvent::Write]
+                    .into_iter()
+                    .map(move |e| (s, e))
+            })
+            .filter(|&(s, e)| !table::permitted_local(s, e, moesi::CacheKind::CopyBack).is_empty())
+            .collect();
+        let bus_cells: Vec<(LineState, BusEvent)> = reachable
+            .iter()
+            .flat_map(|&s| BusEvent::ALL.into_iter().map(move |e| (s, e)))
+            // Skip the class's error-condition cells; every protocol either
+            // defines the rest itself or falls back to the MOESI entry.
+            .filter(|&(s, e)| !table::permitted_bus(s, e).is_empty())
+            .collect();
+
+        group.bench_function(format!("{name}/local"), |b| {
+            b.iter(|| {
+                for &(s, e) in &local_cells {
+                    black_box(p.on_local(black_box(s), black_box(e), &LocalCtx::default()));
+                }
+            });
+        });
+        group.bench_function(format!("{name}/bus"), |b| {
+            b.iter(|| {
+                for &(s, e) in &bus_cells {
+                    black_box(p.on_bus(black_box(s), black_box(e), &SnoopCtx::default()));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_permitted_sets(c: &mut Criterion) {
+    c.bench_function("table/permitted_local_all_cells", |b| {
+        b.iter(|| {
+            for s in LineState::ALL {
+                for e in LocalEvent::ALL {
+                    black_box(table::permitted_local(s, e, moesi::CacheKind::CopyBack));
+                }
+            }
+        });
+    });
+    c.bench_function("table/permitted_bus_all_cells", |b| {
+        b.iter(|| {
+            for s in LineState::ALL {
+                for e in BusEvent::ALL {
+                    black_box(table::permitted_bus(s, e));
+                }
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_protocol_decisions, bench_permitted_sets);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E5: §5.2 cost-sensitivity sweep — how intervention latency moves the cost
+//! of an intervention-based protocol against a push-to-memory one.
+
+use bench::{homogeneous_system, workload_streams, LINE};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use futurebus::TimingConfig;
+
+const CPUS: usize = 4;
+const STEPS: u64 = 150;
+
+fn run(protocol: &str, intervention_ns: u64) -> u64 {
+    let timing = TimingConfig {
+        intervention_latency_ns: intervention_ns,
+        ..TimingConfig::default()
+    };
+    let mut sys = homogeneous_system(protocol, CPUS, 4096, LINE, timing, false);
+    let mut streams = workload_streams("ping-pong", CPUS, LINE, 3);
+    sys.run(&mut streams, STEPS);
+    sys.bus_stats().busy_ns
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timing_sweep");
+    group.sample_size(10);
+    for intervention in [50u64, 150, 300, 600] {
+        for protocol in ["moesi-invalidating", "illinois"] {
+            group.bench_with_input(
+                BenchmarkId::new(protocol, intervention),
+                &intervention,
+                |b, &ns| b.iter(|| black_box(run(protocol, ns))),
+            );
+        }
+    }
+    group.finish();
+
+    // Shape check: the intervention protocol's simulated cost must grow with
+    // intervention latency, while the push protocol's must not.
+    c.bench_function("timing_sweep/sensitivity_shape", |b| {
+        b.iter(|| {
+            let cheap = run("moesi-invalidating", 50);
+            let dear = run("moesi-invalidating", 600);
+            assert!(dear > cheap, "intervention cost must matter");
+            let ill_cheap = run("illinois", 50);
+            let ill_dear = run("illinois", 600);
+            assert_eq!(ill_cheap, ill_dear, "illinois never intervenes");
+            black_box((cheap, dear))
+        });
+    });
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Regenerates Tables 1–7 of the paper (experiments T1–T7 in DESIGN.md).
+//!
+//! Run with `cargo run -p bench --bin tables`.
+
+use moesi::compat::{check_protocol, reachable_states};
+use moesi::protocols::{by_name, MoesiPreferred};
+use moesi::{table, BusEvent, CacheKind, LineState, LocalCtx, LocalEvent, Protocol, SnoopCtx};
+
+/// Renders one protocol's transition table in the paper's format: local
+/// columns first, then the bus-event columns it can encounter.
+fn render_protocol(p: &mut (dyn Protocol + Send), bus_cols: &[BusEvent]) -> String {
+    let reachable = reachable_states(p);
+    let states: Vec<LineState> = LineState::ALL
+        .into_iter()
+        .filter(|s| reachable.contains(s))
+        .collect();
+    let mut out = String::new();
+    out.push_str(&format!("{:<7} {:<18} {:<22}", "State", "Read(1)", "Write(2)"));
+    for ev in bus_cols {
+        out.push_str(&format!(" {:<16}", format!("{}({})", ev.signals(), ev.column())));
+    }
+    out.push('\n');
+    for state in states {
+        out.push_str(&format!("{:<7}", state.letter()));
+        for event in [LocalEvent::Read, LocalEvent::Write] {
+            let legal = !table::permitted_local(state, event, CacheKind::CopyBack).is_empty()
+                || !table::permitted_local(state, event, p.kind()).is_empty();
+            let cell = if legal {
+                p.on_local(state, event, &LocalCtx::default()).to_string()
+            } else {
+                "-".to_string()
+            };
+            let w = if event == LocalEvent::Read { 18 } else { 22 };
+            out.push_str(&format!(" {cell:<w$}", w = w));
+        }
+        for ev in bus_cols {
+            // Error-condition cells (`—` in the paper) make protocols panic;
+            // render them as dashes.
+            let cell = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                p.on_bus(state, *ev, &SnoopCtx::default()).to_string()
+            }))
+            .unwrap_or_else(|_| "-".to_string());
+            out.push_str(&format!(" {cell:<16}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    // Error-condition probes are expected to panic; keep the output clean.
+    std::panic::set_hook(Box::new(|_| {}));
+    println!("================================================================");
+    println!("Table 1 — MOESI protocol class: local events (copy-back rows)");
+    println!("================================================================");
+    print!("{}", table::render_table1(CacheKind::CopyBack));
+    println!();
+    println!("Table 1 (cont.) — write-through cache rows (*)");
+    print!("{}", table::render_table1(CacheKind::WriteThrough));
+    println!();
+    println!("Table 1 (cont.) — non-caching processor rows (**)");
+    print!("{}", table::render_table1(CacheKind::NonCaching));
+    println!();
+
+    println!("================================================================");
+    println!("Table 2 — MOESI protocol class: bus events");
+    println!("================================================================");
+    print!("{}", table::render_table2());
+    println!();
+
+    let specs: &[(&str, &str, &[BusEvent])] = &[
+        (
+            "Table 3 — Berkeley protocol",
+            "berkeley",
+            &[BusEvent::CacheRead, BusEvent::CacheReadInvalidate],
+        ),
+        (
+            "Table 4 — Dragon protocol",
+            "dragon",
+            &[BusEvent::CacheRead, BusEvent::CacheBroadcastWrite],
+        ),
+        (
+            "Table 5 — Write-Once protocol",
+            "write-once",
+            &[BusEvent::CacheRead, BusEvent::CacheReadInvalidate],
+        ),
+        (
+            "Table 6 — Illinois protocol",
+            "illinois",
+            &[BusEvent::CacheRead, BusEvent::CacheReadInvalidate],
+        ),
+        (
+            "Table 7 — Firefly protocol",
+            "firefly",
+            &[BusEvent::CacheRead, BusEvent::CacheBroadcastWrite],
+        ),
+        (
+            "Bonus — Synapse protocol (Arch85's sixth, via [Fran84])",
+            "synapse",
+            &[BusEvent::CacheRead, BusEvent::CacheReadInvalidate],
+        ),
+    ];
+    for (title, name, cols) in specs {
+        println!("================================================================");
+        println!("{title}");
+        println!("================================================================");
+        let mut p = by_name(name, 0).expect("known protocol");
+        print!("{}", render_protocol(p.as_mut(), cols));
+        let report = check_protocol(p.as_mut());
+        if report.is_class_member() {
+            println!("  -> class membership: IN the MOESI compatible class");
+        } else {
+            println!(
+                "  -> class membership: ADAPTED (outside the class; {} deviations, BS used: {})",
+                report.violations().len(),
+                report.violations().iter().any(|v| v.contains("BS")),
+            );
+        }
+        println!();
+    }
+
+    println!("================================================================");
+    println!("Class membership summary (§3.4 / §4)");
+    println!("================================================================");
+    for name in [
+        "moesi",
+        "moesi-invalidating",
+        "puzak",
+        "write-through",
+        "non-caching",
+        "berkeley",
+        "dragon",
+        "random",
+        "write-once",
+        "illinois",
+        "firefly",
+        "synapse",
+    ] {
+        let mut p = by_name(name, 9).expect("known");
+        let report = check_protocol(p.as_mut());
+        println!(
+            "  {:<20} {}",
+            name,
+            if report.is_class_member() {
+                "class member".to_string()
+            } else {
+                format!("adapted ({} out-of-class decisions)", report.violations().len())
+            }
+        );
+    }
+    let _ = MoesiPreferred::new();
+}

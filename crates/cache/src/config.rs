@@ -1,0 +1,164 @@
+//! Cache geometry configuration.
+
+use std::fmt;
+
+/// Which replacement policy a cache uses.
+///
+/// The §5.2 refinement reads the *replacement status* of a line, so policies
+/// expose a recency rank as well as a victim choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReplacementKind {
+    /// Least-recently-used.
+    Lru,
+    /// First-in-first-out: insertion order, untouched by hits.
+    Fifo,
+    /// Uniform random victim among occupied ways (seeded, reproducible).
+    Random,
+}
+
+impl fmt::Display for ReplacementKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReplacementKind::Lru => "LRU",
+            ReplacementKind::Fifo => "FIFO",
+            ReplacementKind::Random => "random",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Geometry and policy of one cache.
+///
+/// # Examples
+///
+/// ```
+/// use cache_array::{CacheConfig, ReplacementKind};
+///
+/// let cfg = CacheConfig::new(4096, 32, 2, ReplacementKind::Lru);
+/// assert_eq!(cfg.sets(), 64);
+/// assert_eq!(cfg.lines(), 128);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line (block) size in bytes. §5.1 requires this to be uniform across a
+    /// system; the `mpsim` system builder enforces that.
+    pub line_size: usize,
+    /// Ways per set (1 = direct-mapped).
+    pub associativity: usize,
+    /// Victim-selection policy.
+    pub replacement: ReplacementKind,
+}
+
+impl CacheConfig {
+    /// Creates and validates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometry is inconsistent: sizes not powers of two,
+    /// capacity not divisible into `associativity` ways of whole lines, or a
+    /// zero anywhere.
+    #[must_use]
+    pub fn new(
+        size_bytes: usize,
+        line_size: usize,
+        associativity: usize,
+        replacement: ReplacementKind,
+    ) -> Self {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(associativity > 0, "associativity must be non-zero");
+        let lines = size_bytes / line_size;
+        assert!(lines >= associativity, "fewer lines than ways");
+        assert_eq!(
+            lines % associativity,
+            0,
+            "lines ({lines}) must divide evenly into {associativity} ways"
+        );
+        let sets = lines / associativity;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheConfig {
+            size_bytes,
+            line_size,
+            associativity,
+            replacement,
+        }
+    }
+
+    /// A small default useful in tests and examples: 4 KiB, 32 B lines,
+    /// 2-way, LRU.
+    #[must_use]
+    pub fn small() -> Self {
+        CacheConfig::new(4096, 32, 2, ReplacementKind::Lru)
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.size_bytes / self.line_size / self.associativity
+    }
+
+    /// Total number of lines.
+    #[must_use]
+    pub fn lines(&self) -> usize {
+        self.size_bytes / self.line_size
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::small()
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}B, {}B lines, {}-way, {}",
+            self.size_bytes, self.line_size, self.associativity, self.replacement
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_math() {
+        let cfg = CacheConfig::new(8192, 64, 4, ReplacementKind::Fifo);
+        assert_eq!(cfg.lines(), 128);
+        assert_eq!(cfg.sets(), 32);
+    }
+
+    #[test]
+    fn direct_mapped_is_allowed() {
+        let cfg = CacheConfig::new(1024, 16, 1, ReplacementKind::Lru);
+        assert_eq!(cfg.sets(), 64);
+    }
+
+    #[test]
+    fn fully_associative_is_allowed() {
+        let cfg = CacheConfig::new(512, 16, 32, ReplacementKind::Random);
+        assert_eq!(cfg.sets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_line_rejected() {
+        let _ = CacheConfig::new(4096, 48, 2, ReplacementKind::Lru);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer lines than ways")]
+    fn too_many_ways_rejected() {
+        let _ = CacheConfig::new(64, 32, 4, ReplacementKind::Lru);
+    }
+
+    #[test]
+    fn display_summarises() {
+        assert_eq!(CacheConfig::small().to_string(), "4096B, 32B lines, 2-way, LRU");
+    }
+}

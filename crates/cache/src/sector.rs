@@ -1,0 +1,231 @@
+//! Sector (sub-block) caches — the §5.1 design question.
+//!
+//! "There is also the problem of supporting sector caches \[Hill84\] ... it
+//! is undetermined whether the address sector size, the transfer subsector
+//! size or both must be standardized. (The latter almost certainly needs to
+//! be fixed ... Consistency status also appears to be necessarily associated
+//! with the transfer subsector, rather than the address sector.)"
+//!
+//! [`SectorCache`] implements exactly that conclusion: one tag per *address
+//! sector*, with the consistency state held per *transfer subsector*, so a
+//! subsector can be invalidated or transferred independently.
+
+use crate::address::AddressMap;
+
+/// The result of probing a sector cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SectorProbe {
+    /// Sector tag and subsector both present.
+    Hit,
+    /// The sector tag matches but the subsector has no valid state — only
+    /// the subsector needs to be transferred.
+    SubsectorMiss,
+    /// No matching sector tag — a sector frame must be (re)allocated.
+    SectorMiss,
+}
+
+#[derive(Clone, Debug)]
+struct SectorFrame<S> {
+    tag: u64,
+    subsectors: Vec<Option<S>>,
+}
+
+/// A fully-associative sector cache with per-subsector consistency state.
+///
+/// # Examples
+///
+/// ```
+/// use cache_array::{SectorCache, SectorProbe};
+///
+/// // 4 sector frames of 64 bytes, 16-byte transfer subsectors.
+/// let mut sc: SectorCache<char> = SectorCache::new(4, 64, 16);
+/// assert_eq!(sc.probe(0x100), SectorProbe::SectorMiss);
+/// sc.install(0x100, 'S');
+/// assert_eq!(sc.probe(0x100), SectorProbe::Hit);
+/// // Same sector, different subsector: only the subsector misses.
+/// assert_eq!(sc.probe(0x110), SectorProbe::SubsectorMiss);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SectorCache<S> {
+    frames: Vec<Option<SectorFrame<S>>>,
+    /// LRU order of frame indices, most recent first.
+    order: Vec<usize>,
+    sector_map: AddressMap,
+    subsectors_per_sector: usize,
+    subsector_size: usize,
+}
+
+impl<S: Copy> SectorCache<S> {
+    /// Creates a sector cache with `frames` address sectors of `sector_size`
+    /// bytes, transferred in `subsector_size` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both sizes are powers of two and the subsector divides
+    /// the sector.
+    #[must_use]
+    pub fn new(frames: usize, sector_size: usize, subsector_size: usize) -> Self {
+        assert!(sector_size.is_power_of_two() && subsector_size.is_power_of_two());
+        assert!(
+            subsector_size <= sector_size,
+            "subsector larger than sector"
+        );
+        assert!(frames > 0, "need at least one sector frame");
+        SectorCache {
+            frames: (0..frames).map(|_| None).collect(),
+            order: Vec::with_capacity(frames),
+            sector_map: AddressMap::new(sector_size, 1),
+            subsectors_per_sector: sector_size / subsector_size,
+            subsector_size,
+        }
+    }
+
+    /// The transfer subsector size in bytes — the unit consistency state is
+    /// attached to, and the unit that §5.1 says must be standardised.
+    #[must_use]
+    pub fn subsector_size(&self) -> usize {
+        self.subsector_size
+    }
+
+    fn subsector_index(&self, addr: u64) -> usize {
+        let (_, _, offset) = self.sector_map.split(addr);
+        offset / self.subsector_size
+    }
+
+    fn frame_of(&self, addr: u64) -> Option<usize> {
+        let (tag, _, _) = self.sector_map.split(addr);
+        self.frames
+            .iter()
+            .position(|f| f.as_ref().is_some_and(|f| f.tag == tag))
+    }
+
+    /// Classifies an access (see [`SectorProbe`]).
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> SectorProbe {
+        match self.frame_of(addr) {
+            None => SectorProbe::SectorMiss,
+            Some(f) => {
+                let sub = self.subsector_index(addr);
+                let frame = self.frames[f].as_ref().expect("frame_of found it");
+                if frame.subsectors[sub].is_some() {
+                    SectorProbe::Hit
+                } else {
+                    SectorProbe::SubsectorMiss
+                }
+            }
+        }
+    }
+
+    /// The consistency state of the subsector containing `addr`.
+    #[must_use]
+    pub fn state_of(&self, addr: u64) -> Option<S> {
+        let f = self.frame_of(addr)?;
+        let sub = self.subsector_index(addr);
+        self.frames[f].as_ref().and_then(|fr| fr.subsectors[sub])
+    }
+
+    /// Installs (or updates) the subsector containing `addr` with `state`,
+    /// allocating or evicting a sector frame if needed. Returns the tag of an
+    /// evicted sector, whose valid subsectors the caller must flush.
+    pub fn install(&mut self, addr: u64, state: S) -> Option<u64> {
+        let (tag, _, _) = self.sector_map.split(addr);
+        let sub = self.subsector_index(addr);
+        if let Some(f) = self.frame_of(addr) {
+            self.frames[f].as_mut().expect("resident").subsectors[sub] = Some(state);
+            self.promote(f);
+            return None;
+        }
+        let (frame_idx, evicted) = match self.frames.iter().position(Option::is_none) {
+            Some(free) => (free, None),
+            None => {
+                let lru = *self.order.last().expect("full cache has an order");
+                let old = self.frames[lru].take().expect("occupied");
+                (lru, Some(old.tag << self.sector_map.line_size().trailing_zeros()))
+            }
+        };
+        let mut subsectors = vec![None; self.subsectors_per_sector];
+        subsectors[sub] = Some(state);
+        self.frames[frame_idx] = Some(SectorFrame { tag, subsectors });
+        self.promote(frame_idx);
+        evicted
+    }
+
+    /// Drops the state of a single subsector (e.g. on a snooped invalidate),
+    /// leaving the rest of the sector resident — the point of associating
+    /// consistency status with the transfer subsector.
+    pub fn invalidate_subsector(&mut self, addr: u64) -> Option<S> {
+        let f = self.frame_of(addr)?;
+        let sub = self.subsector_index(addr);
+        self.frames[f].as_mut().and_then(|fr| fr.subsectors[sub].take())
+    }
+
+    /// Number of valid subsectors across all frames.
+    #[must_use]
+    pub fn valid_subsectors(&self) -> usize {
+        self.frames
+            .iter()
+            .flatten()
+            .map(|f| f.subsectors.iter().flatten().count())
+            .sum()
+    }
+
+    fn promote(&mut self, frame: usize) {
+        if let Some(pos) = self.order.iter().position(|&f| f == frame) {
+            self.order.remove(pos);
+        }
+        self.order.insert(0, frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsector_states_are_independent() {
+        let mut sc: SectorCache<char> = SectorCache::new(2, 64, 16);
+        sc.install(0x100, 'M');
+        sc.install(0x110, 'S');
+        assert_eq!(sc.state_of(0x100), Some('M'));
+        assert_eq!(sc.state_of(0x110), Some('S'));
+        assert_eq!(sc.state_of(0x120), None);
+        assert_eq!(sc.probe(0x120), SectorProbe::SubsectorMiss);
+        assert_eq!(sc.valid_subsectors(), 2);
+    }
+
+    #[test]
+    fn invalidating_one_subsector_keeps_the_sector() {
+        let mut sc: SectorCache<char> = SectorCache::new(2, 64, 16);
+        sc.install(0x100, 'S');
+        sc.install(0x110, 'S');
+        assert_eq!(sc.invalidate_subsector(0x100), Some('S'));
+        assert_eq!(sc.probe(0x100), SectorProbe::SubsectorMiss, "sector survives");
+        assert_eq!(sc.state_of(0x110), Some('S'));
+    }
+
+    #[test]
+    fn full_cache_evicts_lru_sector() {
+        let mut sc: SectorCache<char> = SectorCache::new(2, 64, 16);
+        sc.install(0x000, 'a');
+        sc.install(0x040, 'b');
+        sc.install(0x000, 'a'); // touch sector 0
+        let evicted = sc.install(0x080, 'c').expect("must evict");
+        assert_eq!(evicted, 0x040);
+        assert_eq!(sc.probe(0x040), SectorProbe::SectorMiss);
+        assert_eq!(sc.probe(0x000), SectorProbe::Hit);
+    }
+
+    #[test]
+    fn addresses_in_the_same_subsector_share_state() {
+        let mut sc: SectorCache<char> = SectorCache::new(1, 64, 16);
+        sc.install(0x104, 'E');
+        assert_eq!(sc.state_of(0x10F), Some('E'));
+        assert_eq!(sc.probe(0x10F), SectorProbe::Hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "subsector larger than sector")]
+    fn oversized_subsector_rejected() {
+        let _: SectorCache<char> = SectorCache::new(1, 16, 64);
+    }
+}

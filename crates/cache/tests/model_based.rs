@@ -1,0 +1,190 @@
+//! Model-based testing of `CacheArray`: random operation sequences are
+//! checked against a trivially-correct reference model (a bounded map), so
+//! residency, data, state and LRU behaviour can never silently drift.
+
+use cache_array::{CacheArray, CacheConfig, ReplacementKind};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const LINE: usize = 16;
+
+/// A reference model: line -> (state, data), plus an LRU list per set.
+#[derive(Debug, Default)]
+struct Reference {
+    lines: HashMap<u64, (u8, Vec<u8>)>,
+    /// Per set: line addresses, most recent first.
+    lru: HashMap<usize, Vec<u64>>,
+}
+
+impl Reference {
+    fn set_of(addr: u64, sets: usize) -> usize {
+        ((addr / LINE as u64) % sets as u64) as usize
+    }
+
+    fn touch(&mut self, addr: u64, sets: usize) {
+        let set = Self::set_of(addr, sets);
+        let order = self.lru.entry(set).or_default();
+        order.retain(|&a| a != addr);
+        order.insert(0, addr);
+    }
+
+    fn fill(&mut self, addr: u64, state: u8, data: Vec<u8>, sets: usize, ways: usize) -> Option<u64> {
+        let set = Self::set_of(addr, sets);
+        let mut victim = None;
+        if !self.lines.contains_key(&addr) {
+            let order = self.lru.entry(set).or_default();
+            if order.len() == ways {
+                let evicted = order.pop().expect("full set");
+                self.lines.remove(&evicted);
+                victim = Some(evicted);
+            }
+        }
+        self.lines.insert(addr, (state, data));
+        self.touch(addr, sets);
+        victim
+    }
+
+    fn invalidate(&mut self, addr: u64, sets: usize) -> bool {
+        let set = Self::set_of(addr, sets);
+        if let Some(order) = self.lru.get_mut(&set) {
+            order.retain(|&a| a != addr);
+        }
+        self.lines.remove(&addr).is_some()
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Fill { line: u64, state: u8, byte: u8 },
+    Touch { line: u64 },
+    Invalidate { line: u64 },
+    Write { line: u64, offset: usize, byte: u8 },
+    Read { line: u64, offset: usize },
+    SetState { line: u64, state: u8 },
+}
+
+fn op_strategy(lines: u64) -> impl Strategy<Value = Op> {
+    let line = 0..lines;
+    prop_oneof![
+        (line.clone(), any::<u8>(), any::<u8>())
+            .prop_map(|(line, state, byte)| Op::Fill { line, state, byte }),
+        line.clone().prop_map(|line| Op::Touch { line }),
+        line.clone().prop_map(|line| Op::Invalidate { line }),
+        (line.clone(), 0..LINE, any::<u8>())
+            .prop_map(|(line, offset, byte)| Op::Write { line, offset, byte }),
+        (line.clone(), 0..LINE).prop_map(|(line, offset)| Op::Read { line, offset }),
+        (line, any::<u8>()).prop_map(|(line, state)| Op::SetState { line, state }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_array_agrees_with_the_reference_model(
+        ops in proptest::collection::vec(op_strategy(24), 1..200),
+    ) {
+        // 8 sets x 2 ways of 16B lines.
+        let cfg = CacheConfig::new(256, LINE, 2, ReplacementKind::Lru);
+        let sets = cfg.sets();
+        let ways = cfg.associativity;
+        let mut cache: CacheArray<u8> = CacheArray::new(cfg, 7);
+        let mut model = Reference::default();
+
+        for op in ops {
+            match op {
+                Op::Fill { line, state, byte } => {
+                    let addr = line * LINE as u64;
+                    let data = vec![byte; LINE];
+                    let victim = cache.fill(addr, state, data.clone().into());
+                    let model_victim = model.fill(addr, state, data, sets, ways);
+                    prop_assert_eq!(victim.as_ref().map(|v| v.addr), model_victim);
+                    if let (Some(v), Some(mv)) = (victim, model_victim) {
+                        prop_assert_eq!(v.addr, mv);
+                    }
+                }
+                Op::Touch { line } => {
+                    let addr = line * LINE as u64;
+                    if model.lines.contains_key(&addr) {
+                        cache.touch(addr);
+                        model.touch(addr, sets);
+                    }
+                }
+                Op::Invalidate { line } => {
+                    let addr = line * LINE as u64;
+                    let was = cache.invalidate(addr).is_some();
+                    prop_assert_eq!(was, model.invalidate(addr, sets));
+                }
+                Op::Write { line, offset, byte } => {
+                    let addr = line * LINE as u64 + offset as u64;
+                    let ok = cache.write(addr, &[byte]);
+                    let base = line * LINE as u64;
+                    match model.lines.get_mut(&base) {
+                        Some((_, data)) => {
+                            prop_assert!(ok);
+                            data[offset] = byte;
+                        }
+                        None => prop_assert!(!ok),
+                    }
+                }
+                Op::Read { line, offset } => {
+                    let addr = line * LINE as u64 + offset as u64;
+                    let got = cache.read(addr, 1);
+                    let base = line * LINE as u64;
+                    let expect = model.lines.get(&base).map(|(_, d)| vec![d[offset]]);
+                    prop_assert_eq!(got, expect);
+                }
+                Op::SetState { line, state } => {
+                    let addr = line * LINE as u64;
+                    let ok = cache.set_state(addr, state);
+                    prop_assert_eq!(ok, model.lines.contains_key(&addr));
+                    if let Some((s, _)) = model.lines.get_mut(&addr) {
+                        *s = state;
+                    }
+                }
+            }
+            // Global agreement after every operation.
+            prop_assert_eq!(cache.len(), model.lines.len());
+            for (&addr, (state, data)) in &model.lines {
+                prop_assert_eq!(cache.state_of(addr), Some(*state));
+                let cached = cache.read(addr, LINE);
+                prop_assert_eq!(cached.as_deref(), Some(data.as_slice()));
+            }
+            // Recency ranks agree with the reference LRU order.
+            for (set, order) in &model.lru {
+                for (rank, &addr) in order.iter().enumerate() {
+                    prop_assert_eq!(
+                        cache.recency_rank(addr),
+                        Some(rank as u32),
+                        "set {} order {:?}", set, order
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sector_cache_state_matches_a_flat_map(
+        ops in proptest::collection::vec((0u64..64, any::<bool>(), any::<u8>()), 1..120),
+    ) {
+        use cache_array::SectorCache;
+        // Fully-associative, large enough never to evict: behaviour must
+        // match a flat (subsector -> state) map exactly.
+        let mut sc: SectorCache<u8> = SectorCache::new(64, 64, 16);
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for (sub, install, state) in ops {
+            let addr = sub * 16;
+            if install {
+                prop_assert_eq!(sc.install(addr, state), None, "no evictions expected");
+                model.insert(addr, state);
+            } else {
+                let dropped = sc.invalidate_subsector(addr);
+                prop_assert_eq!(dropped, model.remove(&addr));
+            }
+            prop_assert_eq!(sc.valid_subsectors(), model.len());
+            for (&a, &s) in &model {
+                prop_assert_eq!(sc.state_of(a), Some(s));
+            }
+        }
+    }
+}

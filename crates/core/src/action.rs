@@ -1,0 +1,426 @@
+//! Actions and reactions: the contents of the cells of Tables 1–7.
+//!
+//! A table cell for a *local* event is a [`LocalAction`]: the bus operation to
+//! issue (if any), the master signals to drive, and the result state — which
+//! may be conditional on whether any other cache asserted `CH` during the
+//! transaction (written `CH:O/M` or `CH:S/E` in the paper).
+//!
+//! A table cell for a *bus* event is a [`BusReaction`]: the result state
+//! (again possibly `CH`-conditional), the response lines to assert, and — for
+//! the adapted Write-Once/Illinois/Firefly protocols — an optional
+//! [`BusyPush`] that aborts the transaction with `BS` and pushes the dirty
+//! line to memory before the transaction restarts.
+
+use crate::signals::MasterSignals;
+use crate::state::LineState;
+use std::fmt;
+
+/// The bus operation part of a [`LocalAction`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BusOp {
+    /// No bus transaction: the event is satisfied locally.
+    None,
+    /// Issue a bus read (`R` in the tables); the line is filled from memory or
+    /// an intervening owner.
+    Read,
+    /// Issue a bus write (`W`): a write-through, broadcast update, or
+    /// line push.
+    Write,
+    /// Issue an address-only transaction (no data phase) — the "address only
+    /// invalidate signal" of table note 6, written e.g. `M,CA,IM` with no
+    /// `R`/`W` action.
+    AddressOnly,
+    /// `Read>Write` in the tables: two transactions, a read followed by a
+    /// write. The controller re-consults the protocol for the write after the
+    /// read completes.
+    ReadThenWrite,
+}
+
+impl BusOp {
+    /// Whether this action puts at least one transaction on the bus.
+    #[must_use]
+    pub fn uses_bus(self) -> bool {
+        self != BusOp::None
+    }
+}
+
+impl fmt::Display for BusOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BusOp::None => "",
+            BusOp::Read => "R",
+            BusOp::Write => "W",
+            BusOp::AddressOnly => "A",
+            BusOp::ReadThenWrite => "Read>Write",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A result state that may depend on the `CH` (cache hit) line observed from
+/// *other* caches during the transaction.
+///
+/// `CH: O/M` means "if CH then O else M"; `CH: S/E` means "if CH then S else
+/// E" (table notes). [`ResultState::resolve`] applies the observation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ResultState {
+    /// The result state is unconditional.
+    Fixed(LineState),
+    /// If any other cache asserted CH the result is `if_ch`, otherwise
+    /// `if_not`.
+    OnCh {
+        /// Result when some other cache retains a copy.
+        if_ch: LineState,
+        /// Result when no other cache retains a copy.
+        if_not: LineState,
+    },
+}
+
+impl ResultState {
+    /// `CH: O/M` — owned if someone else keeps a copy, else modified.
+    pub const CH_O_M: ResultState = ResultState::OnCh {
+        if_ch: LineState::Owned,
+        if_not: LineState::Modified,
+    };
+
+    /// `CH: S/E` — shareable if someone else keeps a copy, else exclusive.
+    pub const CH_S_E: ResultState = ResultState::OnCh {
+        if_ch: LineState::Shareable,
+        if_not: LineState::Exclusive,
+    };
+
+    /// Resolves the result given whether any other cache asserted CH.
+    #[must_use]
+    pub fn resolve(self, ch_observed: bool) -> LineState {
+        match self {
+            ResultState::Fixed(s) => s,
+            ResultState::OnCh { if_ch, if_not } => {
+                if ch_observed {
+                    if_ch
+                } else {
+                    if_not
+                }
+            }
+        }
+    }
+
+    /// The set of states this result can resolve to.
+    #[must_use]
+    pub fn possible(self) -> Vec<LineState> {
+        match self {
+            ResultState::Fixed(s) => vec![s],
+            ResultState::OnCh { if_ch, if_not } => {
+                if if_ch == if_not {
+                    vec![if_ch]
+                } else {
+                    vec![if_ch, if_not]
+                }
+            }
+        }
+    }
+
+    /// Whether every state `self` can resolve to is a permitted weakening of a
+    /// state `other` can resolve to under the same CH observation.
+    ///
+    /// This implements table notes 9 and 10: `CH:O/M` may be replaced by `O`,
+    /// and `CH:S/E` by `S`.
+    #[must_use]
+    pub fn is_weakening_of(self, other: ResultState) -> bool {
+        [false, true]
+            .into_iter()
+            .all(|ch| self.resolve(ch).is_weakening_of(other.resolve(ch)))
+    }
+}
+
+impl From<LineState> for ResultState {
+    fn from(s: LineState) -> Self {
+        ResultState::Fixed(s)
+    }
+}
+
+impl fmt::Display for ResultState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResultState::Fixed(s) => write!(f, "{s}"),
+            ResultState::OnCh { if_ch, if_not } => write!(f, "CH:{if_ch}/{if_not}"),
+        }
+    }
+}
+
+/// One permitted response to a local event: a cell entry of Table 1.
+///
+/// # Examples
+///
+/// ```
+/// use moesi::{BusOp, LocalAction, LineState, MasterSignals, ResultState};
+///
+/// // The preferred copy-back read-miss action: `CH:S/E, CA, R`.
+/// let a = LocalAction::new(ResultState::CH_S_E, MasterSignals::CA, BusOp::Read);
+/// assert_eq!(a.to_string(), "CH:S/E,CA,R");
+/// assert_eq!(a.result.resolve(true), LineState::Shareable);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LocalAction {
+    /// The state the line enters when the action completes.
+    pub result: ResultState,
+    /// The master signals driven if a bus transaction is issued.
+    pub signals: MasterSignals,
+    /// The bus operation, if any.
+    pub bus_op: BusOp,
+}
+
+impl LocalAction {
+    /// Creates an action from its three parts.
+    #[must_use]
+    pub fn new(result: impl Into<ResultState>, signals: MasterSignals, bus_op: BusOp) -> Self {
+        LocalAction {
+            result: result.into(),
+            signals,
+            bus_op,
+        }
+    }
+
+    /// A purely local action: no bus transaction, unconditional result.
+    #[must_use]
+    pub fn silent(result: LineState) -> Self {
+        LocalAction::new(result, MasterSignals::NONE, BusOp::None)
+    }
+
+    /// The `Read>Write` two-transaction entry. The recorded result state is
+    /// advisory; the controller re-consults the protocol for the write half.
+    #[must_use]
+    pub fn read_then_write() -> Self {
+        LocalAction::new(
+            ResultState::Fixed(LineState::Modified),
+            MasterSignals::CA,
+            BusOp::ReadThenWrite,
+        )
+    }
+}
+
+impl fmt::Display for LocalAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bus_op == BusOp::ReadThenWrite {
+            return f.write_str("Read>Write");
+        }
+        write!(f, "{}", self.result)?;
+        let sig = self.signals.to_string();
+        if sig != "-" {
+            write!(f, ",{sig}")?;
+        }
+        if self.bus_op.uses_bus() {
+            write!(f, ",{}", self.bus_op)?;
+        }
+        Ok(())
+    }
+}
+
+/// The `BS;state,signals,W` entries of Tables 5–7: abort the observed
+/// transaction, push the dirty line to memory with a bus write, enter
+/// `result`, then let the aborted transaction restart.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BusyPush {
+    /// The state the pushing cache enters after the write-back.
+    pub result: LineState,
+    /// Master signals the push write drives (e.g. `CA` in `BS;S,CA,W`).
+    pub signals: MasterSignals,
+}
+
+impl fmt::Display for BusyPush {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BS;{},{},W", self.result, self.signals)
+    }
+}
+
+/// One permitted reaction to a snooped bus event: a cell entry of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BusReaction {
+    /// The state the line enters. `OnCh` results (e.g. the O-state holder's
+    /// `CH:O/M` on an uncached read, column 7) are resolved against CH
+    /// asserted by *other* caches.
+    pub result: ResultState,
+    /// Assert the CH (cache hit) line. A `CH?` ("don't care") cell is modelled
+    /// as not asserting.
+    pub ch: bool,
+    /// Assert DI (data intervention): supply the data on a read, or capture it
+    /// on a write, preempting memory.
+    pub di: bool,
+    /// Assert SL (select): connect to a broadcast transfer and update the
+    /// local copy.
+    pub sl: bool,
+    /// Abort the transaction with BS and push the line first (adapted
+    /// protocols only). When set, `di`/`sl` are not driven on this pass; the
+    /// snooper reacts normally when the transaction restarts.
+    pub busy: Option<BusyPush>,
+}
+
+impl BusReaction {
+    /// The ubiquitous "not involved" reaction: stay (or become) Invalid,
+    /// assert nothing.
+    pub const IGNORE: BusReaction = BusReaction {
+        result: ResultState::Fixed(LineState::Invalid),
+        ch: false,
+        di: false,
+        sl: false,
+        busy: None,
+    };
+
+    /// A reaction that only changes state, asserting no lines.
+    #[must_use]
+    pub fn quiet(result: impl Into<ResultState>) -> Self {
+        BusReaction {
+            result: result.into(),
+            ch: false,
+            di: false,
+            sl: false,
+            busy: None,
+        }
+    }
+
+    /// A reaction that changes state and asserts CH.
+    #[must_use]
+    pub fn hit(result: impl Into<ResultState>) -> Self {
+        BusReaction {
+            ch: true,
+            ..BusReaction::quiet(result)
+        }
+    }
+
+    /// Returns this reaction with DI asserted.
+    #[must_use]
+    pub fn with_di(mut self) -> Self {
+        self.di = true;
+        self
+    }
+
+    /// Returns this reaction with SL asserted.
+    #[must_use]
+    pub fn with_sl(mut self) -> Self {
+        self.sl = true;
+        self
+    }
+
+    /// A `BS` abort-and-push reaction (Tables 5–7).
+    #[must_use]
+    pub fn busy_push(result: LineState, signals: MasterSignals) -> Self {
+        BusReaction {
+            result: ResultState::Fixed(result),
+            ch: false,
+            di: false,
+            sl: false,
+            busy: Some(BusyPush { result, signals }),
+        }
+    }
+}
+
+impl fmt::Display for BusReaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(push) = self.busy {
+            return write!(f, "{push}");
+        }
+        write!(f, "{}", self.result)?;
+        if self.ch {
+            f.write_str(",CH")?;
+        }
+        if self.di {
+            f.write_str(",DI")?;
+        }
+        if self.sl {
+            f.write_str(",SL")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_state_resolution() {
+        assert_eq!(ResultState::CH_O_M.resolve(true), LineState::Owned);
+        assert_eq!(ResultState::CH_O_M.resolve(false), LineState::Modified);
+        assert_eq!(ResultState::CH_S_E.resolve(true), LineState::Shareable);
+        assert_eq!(ResultState::CH_S_E.resolve(false), LineState::Exclusive);
+        let f = ResultState::Fixed(LineState::Owned);
+        assert_eq!(f.resolve(true), LineState::Owned);
+        assert_eq!(f.resolve(false), LineState::Owned);
+    }
+
+    #[test]
+    fn result_state_possible_sets() {
+        assert_eq!(
+            ResultState::CH_S_E.possible(),
+            vec![LineState::Shareable, LineState::Exclusive]
+        );
+        assert_eq!(
+            ResultState::Fixed(LineState::Invalid).possible(),
+            vec![LineState::Invalid]
+        );
+        let degenerate = ResultState::OnCh {
+            if_ch: LineState::Shareable,
+            if_not: LineState::Shareable,
+        };
+        assert_eq!(degenerate.possible(), vec![LineState::Shareable]);
+    }
+
+    #[test]
+    fn note_9_and_10_weakenings() {
+        // Note 9: any CH:O/M may be replaced by O.
+        assert!(ResultState::Fixed(LineState::Owned).is_weakening_of(ResultState::CH_O_M));
+        // Note 10: any CH:S/E may be replaced by S.
+        assert!(ResultState::Fixed(LineState::Shareable).is_weakening_of(ResultState::CH_S_E));
+        // But not by M or E (that would *strengthen*).
+        assert!(!ResultState::Fixed(LineState::Modified).is_weakening_of(ResultState::CH_O_M));
+        assert!(!ResultState::Fixed(LineState::Exclusive).is_weakening_of(ResultState::CH_S_E));
+        // Reflexive.
+        assert!(ResultState::CH_O_M.is_weakening_of(ResultState::CH_O_M));
+    }
+
+    #[test]
+    fn local_action_display_matches_paper_notation() {
+        let read_miss = LocalAction::new(ResultState::CH_S_E, MasterSignals::CA, BusOp::Read);
+        assert_eq!(read_miss.to_string(), "CH:S/E,CA,R");
+
+        let bcast_write = LocalAction::new(
+            ResultState::CH_O_M,
+            MasterSignals::CA_IM_BC,
+            BusOp::Write,
+        );
+        assert_eq!(bcast_write.to_string(), "CH:O/M,CA,IM,BC,W");
+
+        let silent = LocalAction::silent(LineState::Modified);
+        assert_eq!(silent.to_string(), "M");
+
+        let inval = LocalAction::new(
+            LineState::Modified,
+            MasterSignals::CA_IM,
+            BusOp::AddressOnly,
+        );
+        assert_eq!(inval.to_string(), "M,CA,IM,A");
+
+        assert_eq!(LocalAction::read_then_write().to_string(), "Read>Write");
+    }
+
+    #[test]
+    fn bus_reaction_display_matches_paper_notation() {
+        let m_col5 = BusReaction::hit(LineState::Owned).with_di();
+        assert_eq!(m_col5.to_string(), "O,CH,DI");
+
+        let s_col8 = BusReaction::hit(LineState::Shareable).with_sl();
+        assert_eq!(s_col8.to_string(), "S,CH,SL");
+
+        assert_eq!(BusReaction::IGNORE.to_string(), "I");
+
+        let push = BusReaction::busy_push(LineState::Shareable, MasterSignals::CA);
+        assert_eq!(push.to_string(), "BS;S,CA,W");
+    }
+
+    #[test]
+    fn bus_op_uses_bus() {
+        assert!(!BusOp::None.uses_bus());
+        for op in [BusOp::Read, BusOp::Write, BusOp::AddressOnly, BusOp::ReadThenWrite] {
+            assert!(op.uses_bus());
+        }
+    }
+}

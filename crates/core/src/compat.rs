@@ -1,0 +1,294 @@
+//! Class-membership checking: is a protocol a member of the compatible class?
+//!
+//! §3.4 defines compatibility: every action a board takes must come from the
+//! permitted sets of Tables 1 and 2. [`check_protocol`] drives a [`Protocol`]
+//! over every reachable `(state, event)` cell — sampling repeatedly, so
+//! stochastic policies are covered — and reports every decision that falls
+//! outside the permitted set, plus any use of the BS abort mechanism (which
+//! the class does not contain; §3.2.2 adds BS only for the *adapted*
+//! Write-Once and Illinois protocols).
+
+use crate::action::BusOp;
+use crate::event::{BusEvent, LocalEvent};
+use crate::protocol::{LocalCtx, Protocol, SnoopCtx};
+use crate::state::LineState;
+use crate::table;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How many times each cell is sampled, so randomized policies are exercised.
+const SAMPLES_PER_CELL: usize = 32;
+
+/// The outcome of a class-membership check.
+///
+/// # Examples
+///
+/// ```
+/// use moesi::compat::check_protocol;
+/// use moesi::protocols::{Berkeley, WriteOnce};
+///
+/// assert!(check_protocol(&mut Berkeley::new()).is_class_member());
+/// assert!(!check_protocol(&mut WriteOnce::new()).is_class_member());
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompatReport {
+    name: String,
+    violations: Vec<String>,
+    reachable: BTreeSet<LineState>,
+    cells_checked: usize,
+}
+
+impl CompatReport {
+    /// True when every sampled decision was a permitted Table 1/2 entry.
+    #[must_use]
+    pub fn is_class_member(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable descriptions of each out-of-class decision.
+    #[must_use]
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// The states the protocol was observed to reach, starting from Invalid.
+    #[must_use]
+    pub fn reachable_states(&self) -> &BTreeSet<LineState> {
+        &self.reachable
+    }
+
+    /// How many `(state, event)` cells were exercised.
+    #[must_use]
+    pub fn cells_checked(&self) -> usize {
+        self.cells_checked
+    }
+}
+
+impl fmt::Display for CompatReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_class_member() {
+            write!(
+                f,
+                "{}: class member ({} cells checked, states {:?})",
+                self.name, self.cells_checked, self.reachable
+            )
+        } else {
+            writeln!(
+                f,
+                "{}: NOT a class member ({} violations):",
+                self.name,
+                self.violations.len()
+            )?;
+            for v in &self.violations {
+                writeln!(f, "  - {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Computes the set of line states a protocol can actually reach, starting
+/// from Invalid, by driving every local event and bus event to a fixpoint.
+///
+/// This matters because the adapted protocols hold only a subset of the MOESI
+/// states (e.g. Write-Once never reaches O), and querying them outside that
+/// subset is itself an error.
+#[must_use]
+pub fn reachable_states<P: Protocol + ?Sized>(protocol: &mut P) -> BTreeSet<LineState> {
+    let mut reachable: BTreeSet<LineState> = BTreeSet::new();
+    reachable.insert(LineState::Invalid);
+    let lctx = LocalCtx::default();
+    let sctx = SnoopCtx::default();
+    loop {
+        let mut next = reachable.clone();
+        for &state in &reachable {
+            for event in LocalEvent::ALL {
+                if table::permitted_local(state, event, protocol.kind()).is_empty() {
+                    continue;
+                }
+                for _ in 0..SAMPLES_PER_CELL {
+                    let action = protocol.on_local(state, event, &lctx);
+                    if action.bus_op == BusOp::ReadThenWrite {
+                        // Resolved by re-consultation: the read half's results
+                        // are those of the Read event, already covered.
+                        continue;
+                    }
+                    for r in action.result.possible() {
+                        next.insert(r);
+                    }
+                }
+            }
+            for event in BusEvent::ALL {
+                if table::permitted_bus(state, event).is_empty() {
+                    continue;
+                }
+                for _ in 0..SAMPLES_PER_CELL {
+                    let reaction = protocol.on_bus(state, event, &sctx);
+                    if let Some(push) = reaction.busy {
+                        next.insert(push.result);
+                    } else {
+                        for r in reaction.result.possible() {
+                            next.insert(r);
+                        }
+                    }
+                }
+            }
+        }
+        if next == reachable {
+            return reachable;
+        }
+        reachable = next;
+    }
+}
+
+/// Checks every reachable cell of a protocol against the permitted sets of
+/// Tables 1 and 2.
+#[must_use]
+pub fn check_protocol<P: Protocol + ?Sized>(protocol: &mut P) -> CompatReport {
+    let reachable = reachable_states(protocol);
+    let mut violations = Vec::new();
+    let mut cells_checked = 0;
+    let lctx = LocalCtx::default();
+    let sctx = SnoopCtx::default();
+
+    for &state in &reachable {
+        for event in LocalEvent::ALL {
+            let permitted = table::permitted_local(state, event, protocol.kind());
+            if permitted.is_empty() {
+                continue;
+            }
+            cells_checked += 1;
+            let mut seen = BTreeSet::new();
+            for _ in 0..SAMPLES_PER_CELL {
+                let action = protocol.on_local(state, event, &lctx);
+                if !permitted.contains(&action) && seen.insert(action.to_string()) {
+                    violations.push(format!(
+                        "local ({state}, {event}): chose `{action}`, permitted: {}",
+                        permitted
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(" | ")
+                    ));
+                }
+            }
+        }
+        for event in BusEvent::ALL {
+            let permitted = table::permitted_bus(state, event);
+            if permitted.is_empty() {
+                continue;
+            }
+            cells_checked += 1;
+            let mut seen = BTreeSet::new();
+            for _ in 0..SAMPLES_PER_CELL {
+                let reaction = protocol.on_bus(state, event, &sctx);
+                if reaction.busy.is_some() {
+                    if seen.insert(reaction.to_string()) {
+                        violations.push(format!(
+                            "bus ({state}, {event}): `{reaction}` uses BS, which is outside the class"
+                        ));
+                    }
+                    continue;
+                }
+                if !permitted.contains(&reaction) && seen.insert(reaction.to_string()) {
+                    violations.push(format!(
+                        "bus ({state}, {event}): chose `{reaction}`, permitted: {}",
+                        permitted
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(" | ")
+                    ));
+                }
+            }
+        }
+    }
+
+    CompatReport {
+        name: protocol.name().to_string(),
+        violations,
+        reachable,
+        cells_checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::{
+        Berkeley, Dragon, Firefly, Illinois, MoesiInvalidating, MoesiPreferred, NonCaching,
+        PuzakRefinement, RandomPolicy, WriteOnce, WriteThrough,
+    };
+    use crate::CacheKind;
+
+    #[test]
+    fn class_members_pass() {
+        assert!(check_protocol(&mut MoesiPreferred::new()).is_class_member());
+        assert!(check_protocol(&mut MoesiInvalidating::new()).is_class_member());
+        assert!(check_protocol(&mut PuzakRefinement::new()).is_class_member());
+        assert!(check_protocol(&mut Berkeley::new()).is_class_member());
+        assert!(check_protocol(&mut Dragon::new()).is_class_member());
+        assert!(check_protocol(&mut WriteThrough::new()).is_class_member());
+        assert!(check_protocol(&mut WriteThrough::non_broadcasting()).is_class_member());
+        assert!(check_protocol(&mut NonCaching::new()).is_class_member());
+        assert!(check_protocol(&mut NonCaching::broadcasting()).is_class_member());
+    }
+
+    #[test]
+    fn the_random_policy_is_a_class_member_by_construction() {
+        for kind in CacheKind::ALL {
+            for seed in 0..4 {
+                let report = check_protocol(&mut RandomPolicy::new(kind, seed));
+                assert!(report.is_class_member(), "{report}");
+            }
+        }
+    }
+
+    #[test]
+    fn adapted_protocols_fail() {
+        for report in [
+            check_protocol(&mut WriteOnce::new()),
+            check_protocol(&mut WriteOnce::always_pushing()),
+            check_protocol(&mut Illinois::new()),
+            check_protocol(&mut Firefly::new()),
+        ] {
+            assert!(!report.is_class_member(), "{report}");
+        }
+    }
+
+    #[test]
+    fn reachable_states_match_protocol_structure() {
+        use LineState::{Exclusive, Invalid, Modified, Owned, Shareable};
+        let berkeley = reachable_states(&mut Berkeley::new());
+        assert!(!berkeley.contains(&Exclusive), "Berkeley has no E state");
+        assert!(berkeley.contains(&Owned));
+
+        let write_once = reachable_states(&mut WriteOnce::new());
+        assert!(!write_once.contains(&Owned), "Write-Once has no O state");
+        assert!(write_once.contains(&Exclusive));
+
+        let moesi = reachable_states(&mut MoesiPreferred::new());
+        assert_eq!(
+            moesi,
+            BTreeSet::from([Modified, Owned, Exclusive, Shareable, Invalid])
+        );
+
+        let wt = reachable_states(&mut WriteThrough::new());
+        assert_eq!(wt, BTreeSet::from([Shareable, Invalid]));
+
+        let nc = reachable_states(&mut NonCaching::new());
+        assert_eq!(nc, BTreeSet::from([Invalid]));
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let ok = check_protocol(&mut MoesiPreferred::new());
+        assert!(ok.to_string().contains("class member"));
+        assert!(ok.cells_checked() > 10);
+
+        let bad = check_protocol(&mut Firefly::new());
+        let text = bad.to_string();
+        assert!(text.contains("NOT a class member"));
+        assert!(text.contains("BS"));
+    }
+}

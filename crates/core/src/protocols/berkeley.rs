@@ -1,0 +1,169 @@
+//! The Berkeley protocol (Katz et al., SPUR) — Table 3.
+
+use crate::action::{BusOp, BusReaction, LocalAction};
+use crate::event::{BusEvent, LocalEvent};
+use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::signals::MasterSignals;
+use crate::state::LineState;
+
+use super::{moesi_fallback_bus, moesi_fallback_local};
+
+/// The Berkeley ownership protocol as mapped onto the Futurebus (Table 3).
+///
+/// "The states in that protocol map into M, O, S and I; there is no state
+/// that corresponds to E. The facilities of Futurebus are sufficient to
+/// implement the Berkeley Protocol" (§4.1). Every transition below is a cell
+/// of Tables 1–2 (using the note 10 weakening `S` for `CH:S/E`), so Berkeley
+/// is a member of the compatible class; the CH signal is generated for
+/// compatibility with the MOESI mechanism even though \[Katz85\] does not use
+/// it.
+///
+/// Cells Table 3 leaves unspecified (events from write-through and non-caching
+/// masters, columns 7–10) are completed in the protocol's invalidation-based
+/// spirit: reads are answered per the MOESI preferred entries, snooped
+/// broadcast writes discard unowned copies, and owners capture or update as
+/// Table 2 requires.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Berkeley;
+
+impl Berkeley {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        Berkeley
+    }
+}
+
+impl Protocol for Berkeley {
+    fn name(&self) -> &str {
+        "Berkeley"
+    }
+
+    fn kind(&self) -> CacheKind {
+        CacheKind::CopyBack
+    }
+
+    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
+        use LineState::{Invalid, Modified, Owned, Shareable};
+        match (state, event) {
+            (Modified | Owned | Shareable, LocalEvent::Read) => LocalAction::silent(state),
+            // `S,CA,R`: read misses always enter S (no E state).
+            (Invalid, LocalEvent::Read) => {
+                LocalAction::new(Shareable, MasterSignals::CA, BusOp::Read)
+            }
+            (Modified, LocalEvent::Write) => LocalAction::silent(Modified),
+            // `M,CA,IM`: invalidate other copies, address-only.
+            (Owned | Shareable, LocalEvent::Write) => {
+                LocalAction::new(Modified, MasterSignals::CA_IM, BusOp::AddressOnly)
+            }
+            // `M,CA,IM,R`: read-for-modify.
+            (Invalid, LocalEvent::Write) => {
+                LocalAction::new(Modified, MasterSignals::CA_IM, BusOp::Read)
+            }
+            // Pushes are not tabulated in Table 3; keep the copy in S (the
+            // note 10 weakening of the MOESI `CH:S/E` result, since Berkeley
+            // has no E state).
+            (Modified | Owned, LocalEvent::Pass) => {
+                LocalAction::new(Shareable, MasterSignals::CA, BusOp::Write)
+            }
+            _ => moesi_fallback_local(state, event),
+        }
+    }
+
+    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
+        use LineState::{Invalid, Modified, Owned, Shareable};
+        debug_assert_ne!(state, LineState::Exclusive, "Berkeley has no E state");
+        match (state, event) {
+            // Table 3, column 5.
+            (Modified | Owned, BusEvent::CacheRead) => {
+                BusReaction::hit(Owned).with_di()
+            }
+            (Shareable, BusEvent::CacheRead) => BusReaction::hit(Shareable),
+            // Table 3, column 6.
+            (Modified | Owned, BusEvent::CacheReadInvalidate) => {
+                BusReaction::quiet(Invalid).with_di()
+            }
+            (Shareable, BusEvent::CacheReadInvalidate) => BusReaction::IGNORE,
+            (Invalid, _) => BusReaction::IGNORE,
+            // Completion: unowned copies discard on any snooped broadcast
+            // write (invalidation-based protocol; the `I` alternative of the
+            // Table 2 cells).
+            (Shareable, BusEvent::CacheBroadcastWrite | BusEvent::UncachedBroadcastWrite) => {
+                BusReaction::IGNORE
+            }
+            (Owned, BusEvent::CacheBroadcastWrite) => BusReaction::IGNORE,
+            _ => moesi_fallback_bus(state, event),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ResultState;
+    use crate::compat;
+    use LineState::{Invalid, Modified, Owned, Shareable};
+
+    fn local(state: LineState, event: LocalEvent) -> String {
+        Berkeley::new()
+            .on_local(state, event, &LocalCtx::default())
+            .to_string()
+    }
+
+    fn bus(state: LineState, event: BusEvent) -> String {
+        Berkeley::new()
+            .on_bus(state, event, &SnoopCtx::default())
+            .to_string()
+    }
+
+    #[test]
+    fn table3_local_cells() {
+        assert_eq!(local(Modified, LocalEvent::Read), "M");
+        assert_eq!(local(Owned, LocalEvent::Read), "O");
+        assert_eq!(local(Shareable, LocalEvent::Read), "S");
+        assert_eq!(local(Invalid, LocalEvent::Read), "S,CA,R");
+        assert_eq!(local(Modified, LocalEvent::Write), "M");
+        assert_eq!(local(Owned, LocalEvent::Write), "M,CA,IM,A");
+        assert_eq!(local(Shareable, LocalEvent::Write), "M,CA,IM,A");
+        assert_eq!(local(Invalid, LocalEvent::Write), "M,CA,IM,R");
+    }
+
+    #[test]
+    fn table3_bus_cells() {
+        assert_eq!(bus(Modified, BusEvent::CacheRead), "O,CH,DI");
+        assert_eq!(bus(Owned, BusEvent::CacheRead), "O,CH,DI");
+        assert_eq!(bus(Shareable, BusEvent::CacheRead), "S,CH");
+        assert_eq!(bus(Invalid, BusEvent::CacheRead), "I");
+        assert_eq!(bus(Modified, BusEvent::CacheReadInvalidate), "I,DI");
+        assert_eq!(bus(Owned, BusEvent::CacheReadInvalidate), "I,DI");
+        assert_eq!(bus(Shareable, BusEvent::CacheReadInvalidate), "I");
+        assert_eq!(bus(Invalid, BusEvent::CacheReadInvalidate), "I");
+    }
+
+    #[test]
+    fn never_reads_into_exclusive() {
+        // Berkeley has no E state: a read miss lands in S even when no other
+        // cache holds the line.
+        let a = Berkeley::new().on_local(Invalid, LocalEvent::Read, &LocalCtx::default());
+        assert_eq!(a.result, ResultState::Fixed(Shareable));
+    }
+
+    #[test]
+    fn berkeley_is_a_class_member() {
+        let report = compat::check_protocol(&mut Berkeley::new());
+        assert!(report.is_class_member(), "{report}");
+    }
+
+    #[test]
+    fn completion_cells_discard_on_broadcast_writes() {
+        assert_eq!(bus(Shareable, BusEvent::CacheBroadcastWrite), "I");
+        assert_eq!(bus(Shareable, BusEvent::UncachedBroadcastWrite), "I");
+        assert_eq!(bus(Owned, BusEvent::CacheBroadcastWrite), "I");
+    }
+
+    #[test]
+    fn owners_still_serve_uncached_masters() {
+        assert_eq!(bus(Modified, BusEvent::UncachedRead), "M,DI");
+        assert_eq!(bus(Owned, BusEvent::UncachedWrite), "O,DI");
+    }
+}

@@ -1,0 +1,154 @@
+//! The Dragon protocol (Xerox PARC) — Table 4.
+
+use crate::action::{BusOp, BusReaction, LocalAction, ResultState};
+use crate::event::{BusEvent, LocalEvent};
+use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::signals::MasterSignals;
+use crate::state::LineState;
+
+use super::{moesi_fallback_bus, moesi_fallback_local};
+
+/// The Dragon update protocol as mapped onto the Futurebus (Table 4).
+///
+/// "The Dragon protocol is implementable almost exactly using the Futurebus
+/// features. The one exception is that when a broadcast write is done on the
+/// Futurebus, it affects all caches holding the line and also main memory
+/// ... Extra memory updates, however, cause no incompatibility" (§4.2).
+///
+/// Dragon never invalidates: writes to shared lines are broadcast and every
+/// holder updates. All its transitions are cells of Tables 1–2, so it is a
+/// member of the compatible class. Cells Table 4 leaves unspecified (columns
+/// 6, 7, 9, 10) are completed with the MOESI preferred entries, except that
+/// snooped uncached broadcast writes update rather than discard, keeping the
+/// protocol's update-everywhere character.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Dragon;
+
+impl Dragon {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        Dragon
+    }
+}
+
+impl Protocol for Dragon {
+    fn name(&self) -> &str {
+        "Dragon"
+    }
+
+    fn kind(&self) -> CacheKind {
+        CacheKind::CopyBack
+    }
+
+    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
+        use LineState::{Exclusive, Invalid, Modified, Owned, Shareable};
+        match (state, event) {
+            (Modified | Owned | Exclusive | Shareable, LocalEvent::Read) => {
+                LocalAction::silent(state)
+            }
+            // `CH:S/E,CA,R`.
+            (Invalid, LocalEvent::Read) => {
+                LocalAction::new(ResultState::CH_S_E, MasterSignals::CA, BusOp::Read)
+            }
+            (Modified, LocalEvent::Write) => LocalAction::silent(Modified),
+            (Exclusive, LocalEvent::Write) => LocalAction::silent(Modified),
+            // `CH:O/M,CA,IM,BC,W`: broadcast the word; holders update.
+            (Owned | Shareable, LocalEvent::Write) => {
+                LocalAction::new(ResultState::CH_O_M, MasterSignals::CA_IM_BC, BusOp::Write)
+            }
+            // `Read>Write`: a write miss is a read miss followed by a write.
+            (Invalid, LocalEvent::Write) => LocalAction::read_then_write(),
+            _ => moesi_fallback_local(state, event),
+        }
+    }
+
+    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
+        use LineState::{Exclusive, Invalid, Modified, Owned, Shareable};
+        match (state, event) {
+            // Table 4, column 5.
+            (Modified | Owned, BusEvent::CacheRead) => BusReaction::hit(Owned).with_di(),
+            (Exclusive | Shareable, BusEvent::CacheRead) => BusReaction::hit(Shareable),
+            // Table 4, column 8: holders connect and update.
+            (Owned | Shareable, BusEvent::CacheBroadcastWrite) => {
+                BusReaction::hit(Shareable).with_sl()
+            }
+            (Invalid, _) => BusReaction::IGNORE,
+            // Completion: stay an updater on uncached broadcast writes.
+            (Shareable, BusEvent::UncachedBroadcastWrite) => {
+                BusReaction::hit(Shareable).with_sl()
+            }
+            _ => moesi_fallback_bus(state, event),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compat;
+    use LineState::{Exclusive, Invalid, Modified, Owned, Shareable};
+
+    fn local(state: LineState, event: LocalEvent) -> String {
+        Dragon::new()
+            .on_local(state, event, &LocalCtx::default())
+            .to_string()
+    }
+
+    fn bus(state: LineState, event: BusEvent) -> String {
+        Dragon::new()
+            .on_bus(state, event, &SnoopCtx::default())
+            .to_string()
+    }
+
+    #[test]
+    fn table4_local_cells() {
+        assert_eq!(local(Modified, LocalEvent::Read), "M");
+        assert_eq!(local(Owned, LocalEvent::Read), "O");
+        assert_eq!(local(Exclusive, LocalEvent::Read), "E");
+        assert_eq!(local(Shareable, LocalEvent::Read), "S");
+        assert_eq!(local(Invalid, LocalEvent::Read), "CH:S/E,CA,R");
+        assert_eq!(local(Modified, LocalEvent::Write), "M");
+        assert_eq!(local(Owned, LocalEvent::Write), "CH:O/M,CA,IM,BC,W");
+        assert_eq!(local(Exclusive, LocalEvent::Write), "M");
+        assert_eq!(local(Shareable, LocalEvent::Write), "CH:O/M,CA,IM,BC,W");
+        assert_eq!(local(Invalid, LocalEvent::Write), "Read>Write");
+    }
+
+    #[test]
+    fn table4_bus_cells() {
+        assert_eq!(bus(Modified, BusEvent::CacheRead), "O,CH,DI");
+        assert_eq!(bus(Owned, BusEvent::CacheRead), "O,CH,DI");
+        assert_eq!(bus(Exclusive, BusEvent::CacheRead), "S,CH");
+        assert_eq!(bus(Shareable, BusEvent::CacheRead), "S,CH");
+        assert_eq!(bus(Owned, BusEvent::CacheBroadcastWrite), "S,CH,SL");
+        assert_eq!(bus(Shareable, BusEvent::CacheBroadcastWrite), "S,CH,SL");
+        for ev in BusEvent::ALL {
+            assert_eq!(bus(Invalid, ev), "I");
+        }
+    }
+
+    #[test]
+    fn dragon_never_invalidates_other_caches_on_a_write() {
+        // Every local write either stays silent or broadcasts (BC asserted);
+        // no address-only invalidates, no read-for-modify.
+        let mut p = Dragon::new();
+        for s in LineState::ALL {
+            let a = p.on_local(s, LocalEvent::Write, &LocalCtx::default());
+            if a.bus_op.uses_bus() && a.bus_op != BusOp::ReadThenWrite {
+                assert!(a.signals.bc, "({s}, Write): {a} does not broadcast");
+            }
+        }
+    }
+
+    #[test]
+    fn dragon_is_a_class_member() {
+        let report = compat::check_protocol(&mut Dragon::new());
+        assert!(report.is_class_member(), "{report}");
+    }
+
+    #[test]
+    fn snooped_updates_keep_copies_alive() {
+        assert_eq!(bus(Shareable, BusEvent::UncachedBroadcastWrite), "S,CH,SL");
+    }
+}

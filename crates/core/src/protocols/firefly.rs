@@ -1,0 +1,186 @@
+//! The Firefly protocol (DEC SRC) — Table 7.
+
+use crate::action::{BusOp, BusReaction, LocalAction, ResultState};
+use crate::event::{BusEvent, LocalEvent};
+use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::signals::MasterSignals;
+use crate::state::LineState;
+
+/// The Firefly update protocol, adapted to the Futurebus with BS (Table 7).
+///
+/// Firefly broadcasts writes to shared lines and relies on memory being
+/// updated by the broadcast (which the Futurebus does), so a shared write
+/// leaves the writer clean: `CH:S/E,CA,IM,BC,W`. When an intervenient cache
+/// would have to provide data, memory must be updated at the same time, which
+/// the Futurebus cannot do — so M holders abort with BS, push, and let the
+/// restarted transaction be served by memory (§4.5). After the push the
+/// holder is in E (`BS;E,CA,W`); the restarted read then demotes it to S
+/// through the normal E-row reaction.
+///
+/// Not a member of the MOESI compatible class (requires BS, and its S/E
+/// states are defined as consistent with memory).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Firefly;
+
+impl Firefly {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        Firefly
+    }
+
+    fn push() -> BusReaction {
+        BusReaction::busy_push(LineState::Exclusive, MasterSignals::CA)
+    }
+}
+
+impl Protocol for Firefly {
+    fn name(&self) -> &str {
+        "Firefly"
+    }
+
+    fn kind(&self) -> CacheKind {
+        CacheKind::CopyBack
+    }
+
+    fn requires_bs(&self) -> bool {
+        true
+    }
+
+    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
+        use LineState::{Exclusive, Invalid, Modified, Shareable};
+        match (state, event) {
+            (Modified | Exclusive | Shareable, LocalEvent::Read) => LocalAction::silent(state),
+            // `CH:S/E,CA,R`.
+            (Invalid, LocalEvent::Read) => {
+                LocalAction::new(ResultState::CH_S_E, MasterSignals::CA, BusOp::Read)
+            }
+            (Modified, LocalEvent::Write) => LocalAction::silent(Modified),
+            (Exclusive, LocalEvent::Write) => LocalAction::silent(Modified),
+            // `CH:S/E,CA,IM,BC,W`: broadcast update; the Futurebus updates
+            // memory too, so the writer stays clean and may regain E when no
+            // other cache answers CH.
+            (Shareable, LocalEvent::Write) => {
+                LocalAction::new(ResultState::CH_S_E, MasterSignals::CA_IM_BC, BusOp::Write)
+            }
+            // `Read>Write`.
+            (Invalid, LocalEvent::Write) => LocalAction::read_then_write(),
+            (Modified, LocalEvent::Pass) => {
+                LocalAction::new(Exclusive, MasterSignals::CA, BusOp::Write)
+            }
+            (Modified, LocalEvent::Flush) => {
+                LocalAction::new(Invalid, MasterSignals::NONE, BusOp::Write)
+            }
+            (Exclusive | Shareable, LocalEvent::Flush) => LocalAction::silent(Invalid),
+            _ => panic!("Firefly: no action for ({state}, {event})"),
+        }
+    }
+
+    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
+        use LineState::{Exclusive, Invalid, Modified, Shareable};
+        match (state, event) {
+            (LineState::Owned, _) => {
+                unreachable!("{} has no O state", self.name())
+            }
+            // Table 7, column 5: `BS;E,CA,W`.
+            (Modified, BusEvent::CacheRead) => Self::push(),
+            (Exclusive | Shareable, BusEvent::CacheRead) => BusReaction::hit(Shareable),
+            // Table 7, column 8: holders connect and update, staying S.
+            (Shareable, BusEvent::CacheBroadcastWrite) => {
+                BusReaction::hit(Shareable).with_sl()
+            }
+            (Invalid, _) => BusReaction::IGNORE,
+            // Completion cells (§4 leaves them open): dirty data pushes for
+            // any foreign access; clean copies update on broadcasts and
+            // invalidate on non-broadcast modifies.
+            (Modified, _) => Self::push(),
+            (Exclusive, BusEvent::UncachedRead) => BusReaction::quiet(Exclusive),
+            (Shareable, BusEvent::UncachedRead) => BusReaction::hit(Shareable),
+            (Shareable, BusEvent::UncachedBroadcastWrite) => {
+                BusReaction::hit(Shareable).with_sl()
+            }
+            (Exclusive, BusEvent::UncachedBroadcastWrite) => {
+                BusReaction::quiet(Exclusive).with_sl()
+            }
+            (Exclusive | Shareable, BusEvent::CacheReadInvalidate | BusEvent::UncachedWrite) => {
+                BusReaction::IGNORE
+            }
+            (Exclusive, BusEvent::CacheBroadcastWrite) => BusReaction::IGNORE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compat;
+    use LineState::{Exclusive, Invalid, Modified, Shareable};
+
+    fn local(state: LineState, event: LocalEvent) -> String {
+        Firefly::new()
+            .on_local(state, event, &LocalCtx::default())
+            .to_string()
+    }
+
+    fn bus(state: LineState, event: BusEvent) -> String {
+        Firefly::new()
+            .on_bus(state, event, &SnoopCtx::default())
+            .to_string()
+    }
+
+    #[test]
+    fn table7_local_cells() {
+        assert_eq!(local(Modified, LocalEvent::Read), "M");
+        assert_eq!(local(Exclusive, LocalEvent::Read), "E");
+        assert_eq!(local(Shareable, LocalEvent::Read), "S");
+        assert_eq!(local(Invalid, LocalEvent::Read), "CH:S/E,CA,R");
+        assert_eq!(local(Modified, LocalEvent::Write), "M");
+        assert_eq!(local(Exclusive, LocalEvent::Write), "M");
+        assert_eq!(local(Shareable, LocalEvent::Write), "CH:S/E,CA,IM,BC,W");
+        assert_eq!(local(Invalid, LocalEvent::Write), "Read>Write");
+    }
+
+    #[test]
+    fn table7_bus_cells() {
+        assert_eq!(bus(Modified, BusEvent::CacheRead), "BS;E,CA,W");
+        assert_eq!(bus(Exclusive, BusEvent::CacheRead), "S,CH");
+        assert_eq!(bus(Shareable, BusEvent::CacheRead), "S,CH");
+        assert_eq!(bus(Shareable, BusEvent::CacheBroadcastWrite), "S,CH,SL");
+        for ev in BusEvent::ALL {
+            assert_eq!(bus(Invalid, ev), "I");
+        }
+    }
+
+    #[test]
+    fn shared_write_stays_clean_because_memory_is_updated() {
+        // The writer ends in S or E — never M or O — after a broadcast write.
+        let mut p = Firefly::new();
+        let a = p.on_local(Shareable, LocalEvent::Write, &LocalCtx::default());
+        for r in a.result.possible() {
+            assert!(!r.is_owned(), "{r}");
+        }
+        assert!(a.signals.bc);
+    }
+
+    #[test]
+    fn push_lands_in_e_so_the_retried_read_demotes_to_s() {
+        let mut p = Firefly::new();
+        let r = p.on_bus(Modified, BusEvent::CacheRead, &SnoopCtx::default());
+        let push = r.busy.expect("Firefly M/CacheRead aborts");
+        assert_eq!(push.result, Exclusive);
+        // After the push the retried read hits the E row: S,CH.
+        let retry = p.on_bus(Exclusive, BusEvent::CacheRead, &SnoopCtx::default());
+        assert_eq!(retry.to_string(), "S,CH");
+    }
+
+    #[test]
+    fn firefly_is_not_a_class_member() {
+        let report = compat::check_protocol(&mut Firefly::new());
+        assert!(!report.is_class_member());
+    }
+
+    #[test]
+    fn requires_bs() {
+        assert!(Firefly::new().requires_bs());
+    }
+}

@@ -1,0 +1,165 @@
+//! The Illinois protocol (Papamarcos & Patel 1984) — Table 6.
+
+use crate::action::{BusOp, BusReaction, LocalAction, ResultState};
+use crate::event::{BusEvent, LocalEvent};
+use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::signals::MasterSignals;
+use crate::state::LineState;
+
+/// The Illinois (MESI) protocol, adapted to the Futurebus with BS (Table 6).
+///
+/// Two adaptations were necessary (§4.4): dirty lines passed between caches
+/// must update memory — done here by aborting with BS, pushing, and
+/// restarting — and the original's "all caches respond, bus priority
+/// resolves" cannot be permitted, so only an intervenient cache or memory
+/// responds.
+///
+/// "It is possible to map the states of the Illinois protocol into our
+/// states, but we note that the S state has a different meaning. The Illinois
+/// protocol defines the S state as consistent with memory; that is not the
+/// case for the protocol as we have defined it."
+///
+/// Not a member of the MOESI compatible class (requires BS).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Illinois;
+
+impl Illinois {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        Illinois
+    }
+
+    fn push() -> BusReaction {
+        BusReaction::busy_push(LineState::Shareable, MasterSignals::CA)
+    }
+}
+
+impl Protocol for Illinois {
+    fn name(&self) -> &str {
+        "Illinois"
+    }
+
+    fn kind(&self) -> CacheKind {
+        CacheKind::CopyBack
+    }
+
+    fn requires_bs(&self) -> bool {
+        true
+    }
+
+    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
+        use LineState::{Exclusive, Invalid, Modified, Shareable};
+        match (state, event) {
+            (Modified | Exclusive | Shareable, LocalEvent::Read) => LocalAction::silent(state),
+            // `CH:S/E,CA,R` (printed "CU:S/E" in the paper — a typo).
+            (Invalid, LocalEvent::Read) => {
+                LocalAction::new(ResultState::CH_S_E, MasterSignals::CA, BusOp::Read)
+            }
+            (Modified, LocalEvent::Write) => LocalAction::silent(Modified),
+            (Exclusive, LocalEvent::Write) => LocalAction::silent(Modified),
+            // `M,CA,IM`: address-only invalidate.
+            (Shareable, LocalEvent::Write) => {
+                LocalAction::new(Modified, MasterSignals::CA_IM, BusOp::AddressOnly)
+            }
+            // `M,CA,IM,R`.
+            (Invalid, LocalEvent::Write) => {
+                LocalAction::new(Modified, MasterSignals::CA_IM, BusOp::Read)
+            }
+            (Modified, LocalEvent::Pass) => {
+                LocalAction::new(Exclusive, MasterSignals::CA, BusOp::Write)
+            }
+            (Modified, LocalEvent::Flush) => {
+                LocalAction::new(Invalid, MasterSignals::NONE, BusOp::Write)
+            }
+            (Exclusive | Shareable, LocalEvent::Flush) => LocalAction::silent(Invalid),
+            _ => panic!("Illinois: no action for ({state}, {event})"),
+        }
+    }
+
+    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
+        use LineState::{Exclusive, Invalid, Modified, Shareable};
+        match (state, event) {
+            (LineState::Owned, _) => {
+                unreachable!("{} has no O state", self.name())
+            }
+            // Table 6, columns 5 and 6: dirty data aborts and pushes.
+            (Modified, BusEvent::CacheRead | BusEvent::CacheReadInvalidate) => Self::push(),
+            (Exclusive | Shareable, BusEvent::CacheRead) => BusReaction::hit(Shareable),
+            (Exclusive | Shareable, BusEvent::CacheReadInvalidate) => BusReaction::IGNORE,
+            (Invalid, _) => BusReaction::IGNORE,
+            // Completion cells for foreign masters (§4 leaves them open).
+            (Modified, _) => Self::push(),
+            (Exclusive, BusEvent::UncachedRead) => BusReaction::quiet(Exclusive),
+            (Shareable, BusEvent::UncachedRead) => BusReaction::hit(Shareable),
+            (Exclusive | Shareable, _) => BusReaction::IGNORE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compat;
+    use LineState::{Exclusive, Invalid, Modified, Shareable};
+
+    fn local(state: LineState, event: LocalEvent) -> String {
+        Illinois::new()
+            .on_local(state, event, &LocalCtx::default())
+            .to_string()
+    }
+
+    fn bus(state: LineState, event: BusEvent) -> String {
+        Illinois::new()
+            .on_bus(state, event, &SnoopCtx::default())
+            .to_string()
+    }
+
+    #[test]
+    fn table6_local_cells() {
+        assert_eq!(local(Modified, LocalEvent::Read), "M");
+        assert_eq!(local(Exclusive, LocalEvent::Read), "E");
+        assert_eq!(local(Shareable, LocalEvent::Read), "S");
+        assert_eq!(local(Invalid, LocalEvent::Read), "CH:S/E,CA,R");
+        assert_eq!(local(Modified, LocalEvent::Write), "M");
+        assert_eq!(local(Exclusive, LocalEvent::Write), "M");
+        assert_eq!(local(Shareable, LocalEvent::Write), "M,CA,IM,A");
+        assert_eq!(local(Invalid, LocalEvent::Write), "M,CA,IM,R");
+    }
+
+    #[test]
+    fn table6_bus_cells() {
+        assert_eq!(bus(Modified, BusEvent::CacheRead), "BS;S,CA,W");
+        assert_eq!(bus(Modified, BusEvent::CacheReadInvalidate), "BS;S,CA,W");
+        assert_eq!(bus(Exclusive, BusEvent::CacheRead), "S,CH");
+        assert_eq!(bus(Shareable, BusEvent::CacheRead), "S,CH");
+        assert_eq!(bus(Exclusive, BusEvent::CacheReadInvalidate), "I");
+        assert_eq!(bus(Shareable, BusEvent::CacheReadInvalidate), "I");
+        for ev in BusEvent::ALL {
+            assert_eq!(bus(Invalid, ev), "I");
+        }
+    }
+
+    #[test]
+    fn illinois_is_not_a_class_member() {
+        let report = compat::check_protocol(&mut Illinois::new());
+        assert!(!report.is_class_member());
+    }
+
+    #[test]
+    fn dirty_lines_never_intervene_directly() {
+        // Unlike MOESI, Illinois memory must always end up current: every
+        // reaction from M uses BS, never DI.
+        let mut p = Illinois::new();
+        for ev in BusEvent::ALL {
+            let r = p.on_bus(Modified, ev, &SnoopCtx::default());
+            assert!(r.busy.is_some(), "({ev}): {r}");
+            assert!(!r.di);
+        }
+    }
+
+    #[test]
+    fn requires_bs() {
+        assert!(Illinois::new().requires_bs());
+    }
+}

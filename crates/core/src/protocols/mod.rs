@@ -1,0 +1,189 @@
+//! Concrete consistency protocols.
+//!
+//! * In-class (members of the Tables 1–2 compatible class, §3.3–3.4):
+//!   [`MoesiPreferred`], [`MoesiInvalidating`], [`PuzakRefinement`],
+//!   [`WriteThrough`], [`NonCaching`], [`Berkeley`] (Table 3), [`Dragon`]
+//!   (Table 4), and [`RandomPolicy`] — the paper's "extreme case" that picks a
+//!   permitted action at random on every event.
+//! * Adapted (require the BS abort-and-push mechanism, §4.3–4.5):
+//!   [`WriteOnce`] (Table 5), [`Illinois`] (Table 6), [`Firefly`] (Table 7),
+//!   and [`Synapse`] — the sixth protocol of the Archibald & Baer comparison
+//!   §5.2 builds on, reached through the paper's \[Fran84\] reference.
+//!
+//! §4 of the paper defines Tables 3–7 "only to the extent necessary to define
+//! the algorithm relative to the Futurebus facilities and to its interaction
+//! with other caches using the same protocol", leaving reactions to
+//! foreign-master bus events (uncached reads/writes, broadcast writes the
+//! protocol itself never issues) unspecified. Our implementations complete
+//! those cells — each file documents its completion policy — so every
+//! protocol can run on a shared bus next to any other.
+
+mod berkeley;
+mod dragon;
+mod firefly;
+mod illinois;
+mod moesi_invalidating;
+mod moesi_preferred;
+mod non_caching;
+mod puzak;
+mod random_policy;
+mod synapse;
+mod write_once;
+mod write_through;
+
+pub use berkeley::Berkeley;
+pub use dragon::Dragon;
+pub use firefly::Firefly;
+pub use illinois::Illinois;
+pub use moesi_invalidating::MoesiInvalidating;
+pub use moesi_preferred::MoesiPreferred;
+pub use non_caching::NonCaching;
+pub use puzak::PuzakRefinement;
+pub use random_policy::RandomPolicy;
+pub use synapse::Synapse;
+pub use write_once::WriteOnce;
+pub use write_through::WriteThrough;
+
+use crate::action::{BusReaction, LocalAction};
+use crate::event::{BusEvent, LocalEvent};
+use crate::protocol::CacheKind;
+use crate::state::LineState;
+use crate::table;
+
+/// Every built-in protocol, boxed, for exhaustive testing and benchmarking.
+///
+/// The list is deterministic; random-policy members are seeded with `seed`.
+#[must_use]
+pub fn all_protocols(seed: u64) -> Vec<Box<dyn crate::Protocol + Send>> {
+    vec![
+        Box::new(MoesiPreferred::new()),
+        Box::new(MoesiInvalidating::new()),
+        Box::new(PuzakRefinement::new()),
+        Box::new(WriteThrough::new()),
+        Box::new(WriteThrough::non_broadcasting()),
+        Box::new(NonCaching::new()),
+        Box::new(NonCaching::broadcasting()),
+        Box::new(Berkeley::new()),
+        Box::new(Dragon::new()),
+        Box::new(WriteOnce::new()),
+        Box::new(Illinois::new()),
+        Box::new(Firefly::new()),
+        Box::new(Synapse::new()),
+        Box::new(RandomPolicy::new(CacheKind::CopyBack, seed)),
+    ]
+}
+
+/// The in-class protocols only (safe to mix arbitrarily on one bus).
+#[must_use]
+pub fn class_member_protocols(seed: u64) -> Vec<Box<dyn crate::Protocol + Send>> {
+    vec![
+        Box::new(MoesiPreferred::new()),
+        Box::new(MoesiInvalidating::new()),
+        Box::new(PuzakRefinement::new()),
+        Box::new(WriteThrough::new()),
+        Box::new(WriteThrough::non_broadcasting()),
+        Box::new(NonCaching::new()),
+        Box::new(NonCaching::broadcasting()),
+        Box::new(Berkeley::new()),
+        Box::new(Dragon::new()),
+        Box::new(RandomPolicy::new(CacheKind::CopyBack, seed)),
+        Box::new(RandomPolicy::new(CacheKind::WriteThrough, seed.wrapping_add(1))),
+        Box::new(RandomPolicy::new(CacheKind::NonCaching, seed.wrapping_add(2))),
+    ]
+}
+
+/// Looks a protocol up by (case-insensitive) name, for CLI harnesses.
+///
+/// Recognised names: `moesi`, `moesi-invalidating`, `puzak`, `write-through`,
+/// `non-caching`, `berkeley`, `dragon`, `write-once`, `illinois`, `firefly`,
+/// `synapse`, `random`.
+#[must_use]
+pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn crate::Protocol + Send>> {
+    let p: Box<dyn crate::Protocol + Send> = match name.to_ascii_lowercase().as_str() {
+        "moesi" | "moesi-preferred" => Box::new(MoesiPreferred::new()),
+        "moesi-invalidating" => Box::new(MoesiInvalidating::new()),
+        "puzak" => Box::new(PuzakRefinement::new()),
+        "write-through" | "wt" => Box::new(WriteThrough::new()),
+        "non-caching" | "none" => Box::new(NonCaching::new()),
+        "berkeley" => Box::new(Berkeley::new()),
+        "dragon" => Box::new(Dragon::new()),
+        "write-once" => Box::new(WriteOnce::new()),
+        "illinois" => Box::new(Illinois::new()),
+        "firefly" => Box::new(Firefly::new()),
+        "synapse" => Box::new(Synapse::new()),
+        "random" => Box::new(RandomPolicy::new(CacheKind::CopyBack, seed)),
+        _ => return None,
+    };
+    Some(p)
+}
+
+/// The MOESI-preferred local action, used by the protocol tables as the
+/// fallback for cells §4 leaves unspecified.
+///
+/// # Panics
+///
+/// Panics on `—` cells; callers only use it for legal combinations.
+pub(crate) fn moesi_fallback_local(state: LineState, event: LocalEvent) -> LocalAction {
+    table::preferred_local(state, event, CacheKind::CopyBack)
+        .unwrap_or_else(|| panic!("no MOESI action for ({state}, {event})"))
+}
+
+/// The MOESI-preferred bus reaction, used as the fallback for unspecified
+/// foreign-master cells.
+///
+/// # Panics
+///
+/// Panics on error-condition cells.
+pub(crate) fn moesi_fallback_bus(state: LineState, event: BusEvent) -> BusReaction {
+    table::preferred_bus(state, event)
+        .unwrap_or_else(|| panic!("error-condition bus cell ({state}, {event})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_protocols_have_distinct_names() {
+        let protocols = all_protocols(7);
+        let mut names: Vec<String> = protocols.iter().map(|p| p.name().to_string()).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        // WriteThrough and NonCaching appear in two flavours with the same
+        // name; everything else is unique.
+        assert!(names.len() >= before - 2);
+    }
+
+    #[test]
+    fn by_name_finds_every_published_protocol() {
+        for name in [
+            "moesi",
+            "moesi-invalidating",
+            "puzak",
+            "write-through",
+            "non-caching",
+            "berkeley",
+            "dragon",
+            "write-once",
+            "illinois",
+            "firefly",
+            "synapse",
+            "random",
+        ] {
+            assert!(by_name(name, 1).is_some(), "{name} not found");
+        }
+        assert!(by_name("MOESI", 1).is_some(), "lookup is case-insensitive");
+        assert!(by_name("goodman-1984", 1).is_none());
+    }
+
+    #[test]
+    fn adapted_protocols_require_bs_and_class_members_do_not() {
+        for p in class_member_protocols(3) {
+            assert!(!p.requires_bs(), "{} should not need BS", p.name());
+        }
+        for name in ["write-once", "illinois", "firefly", "synapse"] {
+            assert!(by_name(name, 1).unwrap().requires_bs(), "{name} needs BS");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! An invalidation-flavoured member of the MOESI class.
+
+use crate::action::{BusReaction, LocalAction};
+use crate::event::{BusEvent, LocalEvent};
+use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::state::LineState;
+use crate::table;
+
+/// A copy-back MOESI cache that invalidates rather than updates.
+///
+/// Where [`MoesiPreferred`](crate::protocols::MoesiPreferred) broadcasts
+/// writes to shared lines (`CH:O/M,CA,IM,BC,W`), this protocol takes the
+/// listed alternative `M,CA,IM` — an address-only invalidate — and, when
+/// snooping another master's broadcast write, takes the `I` alternative
+/// instead of updating. Both choices are cells of Tables 1–2, so this protocol
+/// is a class member and can share a bus with updating caches; §5.2's
+/// discussion of invalidate-versus-broadcast is exactly the comparison between
+/// this protocol and the preferred one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MoesiInvalidating;
+
+impl MoesiInvalidating {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        MoesiInvalidating
+    }
+}
+
+impl Protocol for MoesiInvalidating {
+    fn name(&self) -> &str {
+        "MOESI-inv"
+    }
+
+    fn kind(&self) -> CacheKind {
+        CacheKind::CopyBack
+    }
+
+    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
+        let permitted = table::permitted_local(state, event, CacheKind::CopyBack);
+        if event == LocalEvent::Write && state.is_non_exclusive() {
+            // `M,CA,IM`: invalidate other copies and take sole ownership.
+            return permitted[1];
+        }
+        permitted
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| panic!("MOESI-inv: no action for ({state}, {event})"))
+    }
+
+    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
+        let permitted = table::permitted_bus(state, event);
+        if event.is_broadcast() && state.is_valid() {
+            // Prefer the trailing `I` alternative: discard rather than update.
+            // (An O holder snooping an uncached broadcast has no such
+            // alternative — it must stay the owner — so the search below
+            // finds nothing and the preferred entry applies.)
+            if let Some(inv) = permitted.iter().rev().find(|r| {
+                r.result == crate::action::ResultState::Fixed(LineState::Invalid) && !r.di
+            }) {
+                return *inv;
+            }
+        }
+        permitted
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| panic!("MOESI-inv: error-condition cell ({state}, {event})"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{BusOp, ResultState};
+    use crate::signals::MasterSignals;
+    use LineState::{Invalid, Modified, Owned, Shareable};
+
+    fn local(state: LineState, event: LocalEvent) -> LocalAction {
+        MoesiInvalidating::new().on_local(state, event, &LocalCtx::default())
+    }
+
+    fn bus(state: LineState, event: BusEvent) -> BusReaction {
+        MoesiInvalidating::new().on_bus(state, event, &SnoopCtx::default())
+    }
+
+    #[test]
+    fn shared_writes_invalidate_instead_of_broadcasting() {
+        for s in [Owned, Shareable] {
+            let a = local(s, LocalEvent::Write);
+            assert_eq!(a.bus_op, BusOp::AddressOnly);
+            assert_eq!(a.signals, MasterSignals::CA_IM);
+            assert_eq!(a.result, ResultState::Fixed(Modified));
+        }
+    }
+
+    #[test]
+    fn snooped_broadcast_writes_are_discarded_not_updated() {
+        let r = bus(Shareable, BusEvent::CacheBroadcastWrite);
+        assert_eq!(r.result, ResultState::Fixed(Invalid));
+        assert!(!r.sl && !r.ch);
+        let r = bus(Shareable, BusEvent::UncachedBroadcastWrite);
+        assert_eq!(r.result, ResultState::Fixed(Invalid));
+    }
+
+    #[test]
+    fn owners_still_relinquish_per_the_table() {
+        let r = bus(Owned, BusEvent::CacheBroadcastWrite);
+        assert_eq!(r.result, ResultState::Fixed(Invalid));
+    }
+
+    #[test]
+    fn everything_else_matches_the_preferred_protocol() {
+        use crate::protocols::MoesiPreferred;
+        let mut pref = MoesiPreferred::new();
+        let mut inv = MoesiInvalidating::new();
+        let ctx = SnoopCtx::default();
+        for s in LineState::ALL {
+            for ev in [BusEvent::CacheRead, BusEvent::CacheReadInvalidate, BusEvent::UncachedRead, BusEvent::UncachedWrite] {
+                if table::permitted_bus(s, ev).is_empty() {
+                    continue;
+                }
+                assert_eq!(pref.on_bus(s, ev, &ctx), inv.on_bus(s, ev, &ctx), "({s}, {ev})");
+            }
+        }
+        let lctx = LocalCtx::default();
+        for s in LineState::ALL {
+            for ev in [LocalEvent::Read, LocalEvent::Pass, LocalEvent::Flush] {
+                if table::permitted_local(s, ev, CacheKind::CopyBack).is_empty() {
+                    continue;
+                }
+                assert_eq!(
+                    pref.on_local(s, ev, &lctx),
+                    inv.on_local(s, ev, &lctx),
+                    "({s}, {ev})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The preferred MOESI protocol: the first entry of every cell of Tables 1–2.
+
+use crate::action::{BusReaction, LocalAction};
+use crate::event::{BusEvent, LocalEvent};
+use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::state::LineState;
+use crate::table;
+
+/// A copy-back cache that always takes the paper's preferred action.
+///
+/// "The preferred protocol choice (from Tables 1, 2) was always the first
+/// entry in a given box. That preference is based on results from
+/// \[Arch85\]" (§5.2). In particular it broadcasts writes to shared lines
+/// rather than invalidating, and uses the one-transaction read-for-modify on
+/// write misses.
+///
+/// # Examples
+///
+/// ```
+/// use moesi::protocols::MoesiPreferred;
+/// use moesi::{BusEvent, LineState, Protocol, SnoopCtx};
+///
+/// let mut p = MoesiPreferred::new();
+/// let r = p.on_bus(LineState::Modified, BusEvent::CacheRead, &SnoopCtx::default());
+/// assert_eq!(r.to_string(), "O,CH,DI");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MoesiPreferred;
+
+impl MoesiPreferred {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        MoesiPreferred
+    }
+}
+
+impl Protocol for MoesiPreferred {
+    fn name(&self) -> &str {
+        "MOESI"
+    }
+
+    fn kind(&self) -> CacheKind {
+        CacheKind::CopyBack
+    }
+
+    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
+        table::preferred_local(state, event, CacheKind::CopyBack)
+            .unwrap_or_else(|| panic!("MOESI: no action for ({state}, {event})"))
+    }
+
+    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
+        table::preferred_bus(state, event)
+            .unwrap_or_else(|| panic!("MOESI: error-condition cell ({state}, {event})"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{BusOp, ResultState};
+    use crate::signals::MasterSignals;
+    use LineState::{Exclusive, Invalid, Modified, Owned, Shareable};
+
+    fn local(state: LineState, event: LocalEvent) -> LocalAction {
+        MoesiPreferred::new().on_local(state, event, &LocalCtx::default())
+    }
+
+    fn bus(state: LineState, event: BusEvent) -> BusReaction {
+        MoesiPreferred::new().on_bus(state, event, &SnoopCtx::default())
+    }
+
+    #[test]
+    fn read_miss_uses_ch_to_pick_s_or_e() {
+        let a = local(Invalid, LocalEvent::Read);
+        assert_eq!(a.result, ResultState::CH_S_E);
+        assert_eq!(a.bus_op, BusOp::Read);
+        assert_eq!(a.signals, MasterSignals::CA);
+    }
+
+    #[test]
+    fn write_miss_is_one_read_for_modify_transaction() {
+        let a = local(Invalid, LocalEvent::Write);
+        assert_eq!(a.result, ResultState::Fixed(Modified));
+        assert_eq!(a.bus_op, BusOp::Read);
+        assert_eq!(a.signals, MasterSignals::CA_IM);
+    }
+
+    #[test]
+    fn shared_write_prefers_broadcast_update() {
+        for s in [Owned, Shareable] {
+            let a = local(s, LocalEvent::Write);
+            assert_eq!(a.signals, MasterSignals::CA_IM_BC);
+            assert_eq!(a.bus_op, BusOp::Write);
+            assert_eq!(a.result, ResultState::CH_O_M);
+        }
+    }
+
+    #[test]
+    fn exclusive_write_is_silent() {
+        assert_eq!(local(Exclusive, LocalEvent::Write), LocalAction::silent(Modified));
+        assert_eq!(local(Modified, LocalEvent::Write), LocalAction::silent(Modified));
+    }
+
+    #[test]
+    fn snooped_read_downgrades_and_intervenes() {
+        let r = bus(Modified, BusEvent::CacheRead);
+        assert!(r.di && r.ch);
+        assert_eq!(r.result, ResultState::Fixed(Owned));
+        let r = bus(Exclusive, BusEvent::CacheRead);
+        assert!(!r.di && r.ch);
+        assert_eq!(r.result, ResultState::Fixed(Shareable));
+    }
+
+    #[test]
+    fn owner_regains_exclusivity_after_uncached_read_with_no_other_sharers() {
+        let r = bus(Owned, BusEvent::UncachedRead);
+        assert_eq!(r.result.resolve(false), Modified);
+        assert_eq!(r.result.resolve(true), Owned);
+        assert!(r.di && !r.ch, "the owner listens rather than asserting CH");
+    }
+
+    #[test]
+    fn broadcast_write_updates_snoopers() {
+        for s in [Owned, Shareable] {
+            let r = bus(s, BusEvent::CacheBroadcastWrite);
+            assert!(r.sl && r.ch);
+            assert_eq!(r.result, ResultState::Fixed(Shareable));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "error-condition")]
+    fn snooping_broadcast_write_in_modified_is_an_error() {
+        bus(Modified, BusEvent::CacheBroadcastWrite);
+    }
+
+    #[test]
+    #[should_panic(expected = "no action")]
+    fn pass_from_invalid_is_an_error() {
+        local(Invalid, LocalEvent::Pass);
+    }
+
+    #[test]
+    fn never_requires_bs() {
+        assert!(!MoesiPreferred::new().requires_bs());
+        assert_eq!(MoesiPreferred::new().kind(), CacheKind::CopyBack);
+        assert_eq!(MoesiPreferred::new().name(), "MOESI");
+    }
+}

@@ -1,0 +1,109 @@
+//! The non-caching processor member of the class (§3.3, `**` entries).
+
+use crate::action::{BusReaction, LocalAction};
+use crate::event::{BusEvent, LocalEvent};
+use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::state::LineState;
+use crate::table;
+
+/// A processor (or I/O device) without a cache.
+///
+/// "Such a processor writes with or without broadcast (as with a write
+/// through cache), and reads without asserting CA. A non-caching unit never
+/// responds to bus events" (§3.3).
+///
+/// [`NonCaching::new`] writes without broadcast (column 9 to snoopers);
+/// [`NonCaching::broadcasting`] asserts BC so caching snoopers can update
+/// instead of invalidating (column 10).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NonCaching {
+    broadcast: bool,
+}
+
+impl NonCaching {
+    /// A non-caching unit whose writes are not broadcast (`I,IM,W`).
+    #[must_use]
+    pub fn new() -> Self {
+        NonCaching { broadcast: false }
+    }
+
+    /// A non-caching unit that broadcasts its writes (`I,IM,BC,W`).
+    #[must_use]
+    pub fn broadcasting() -> Self {
+        NonCaching { broadcast: true }
+    }
+}
+
+impl Default for NonCaching {
+    fn default() -> Self {
+        NonCaching::new()
+    }
+}
+
+impl Protocol for NonCaching {
+    fn name(&self) -> &str {
+        "non-caching"
+    }
+
+    fn kind(&self) -> CacheKind {
+        CacheKind::NonCaching
+    }
+
+    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
+        let permitted = table::permitted_local(state, event, CacheKind::NonCaching);
+        let pick = match event {
+            LocalEvent::Write => usize::from(!self.broadcast),
+            _ => 0,
+        };
+        *permitted
+            .get(pick)
+            .unwrap_or_else(|| panic!("non-caching: no action for ({state}, {event})"))
+    }
+
+    fn on_bus(&mut self, _state: LineState, _event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
+        // "A non-caching unit never responds to bus events."
+        BusReaction::IGNORE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LineState::Invalid;
+
+    #[test]
+    fn reads_do_not_assert_ca() {
+        let mut p = NonCaching::new();
+        let a = p.on_local(Invalid, LocalEvent::Read, &LocalCtx::default());
+        assert_eq!(a.to_string(), "I,R");
+        assert!(!a.signals.ca && !a.signals.im);
+    }
+
+    #[test]
+    fn writes_with_and_without_broadcast() {
+        let mut plain = NonCaching::new();
+        assert_eq!(
+            plain.on_local(Invalid, LocalEvent::Write, &LocalCtx::default()).to_string(),
+            "I,IM,W"
+        );
+        let mut bcast = NonCaching::broadcasting();
+        assert_eq!(
+            bcast.on_local(Invalid, LocalEvent::Write, &LocalCtx::default()).to_string(),
+            "I,IM,BC,W"
+        );
+    }
+
+    #[test]
+    fn never_responds_to_bus_events() {
+        let mut p = NonCaching::new();
+        for ev in BusEvent::ALL {
+            assert_eq!(p.on_bus(Invalid, ev, &SnoopCtx::default()), BusReaction::IGNORE);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no action")]
+    fn flush_makes_no_sense_without_a_cache() {
+        NonCaching::new().on_local(Invalid, LocalEvent::Flush, &LocalCtx::default());
+    }
+}

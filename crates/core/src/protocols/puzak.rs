@@ -1,0 +1,108 @@
+//! The §5.2 replacement-status refinement (after Puzak, Rechtschaffen & So).
+
+use crate::action::{BusReaction, LocalAction, ResultState};
+use crate::event::{BusEvent, LocalEvent};
+use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::state::LineState;
+use crate::table;
+
+/// A MOESI cache that chooses update-versus-invalidate by replacement status.
+///
+/// §5.2: "A refinement ... is to have a cache examine the replacement status
+/// of a line written by another cache. If the line is quite recently used
+/// (e.g. most recently used element of two element set), it can be updated,
+/// and if it is nearing time for replacement (e.g. least recently used element
+/// of two element set), it can be discarded."
+///
+/// Both choices are listed alternatives of the same Table 2 cells, so the
+/// refinement is itself a class member. Locally it behaves like the preferred
+/// protocol (broadcasting writes to shared lines).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PuzakRefinement;
+
+impl PuzakRefinement {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        PuzakRefinement
+    }
+}
+
+impl Protocol for PuzakRefinement {
+    fn name(&self) -> &str {
+        "MOESI-puzak"
+    }
+
+    fn kind(&self) -> CacheKind {
+        CacheKind::CopyBack
+    }
+
+    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
+        table::preferred_local(state, event, CacheKind::CopyBack)
+            .unwrap_or_else(|| panic!("MOESI-puzak: no action for ({state}, {event})"))
+    }
+
+    fn on_bus(&mut self, state: LineState, event: BusEvent, ctx: &SnoopCtx) -> BusReaction {
+        let permitted = table::permitted_bus(state, event);
+        if event.is_broadcast() && state.is_valid() && !state.is_owned() && ctx.near_replacement()
+        {
+            // The line is about to be evicted anyway: take the `I` alternative
+            // instead of spending an update on it.
+            if let Some(inv) = permitted
+                .iter()
+                .rev()
+                .find(|r| r.result == ResultState::Fixed(LineState::Invalid) && !r.di)
+            {
+                return *inv;
+            }
+        }
+        permitted
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| panic!("MOESI-puzak: error-condition cell ({state}, {event})"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LineState::{Invalid, Shareable};
+
+    #[test]
+    fn mru_lines_are_updated() {
+        let mut p = PuzakRefinement::new();
+        let ctx = SnoopCtx { recency_rank: Some(0), ways: 2 };
+        let r = p.on_bus(Shareable, BusEvent::CacheBroadcastWrite, &ctx);
+        assert!(r.sl, "MRU line should connect and update");
+        assert_eq!(r.result, ResultState::Fixed(Shareable));
+    }
+
+    #[test]
+    fn lru_lines_are_discarded() {
+        let mut p = PuzakRefinement::new();
+        let ctx = SnoopCtx { recency_rank: Some(1), ways: 2 };
+        let r = p.on_bus(Shareable, BusEvent::CacheBroadcastWrite, &ctx);
+        assert!(!r.sl);
+        assert_eq!(r.result, ResultState::Fixed(Invalid));
+    }
+
+    #[test]
+    fn owners_never_discard_on_uncached_broadcasts() {
+        // An O holder snooping column 10 must keep updating: it stays the
+        // owner. The refinement only applies to unowned copies.
+        let mut p = PuzakRefinement::new();
+        let ctx = SnoopCtx { recency_rank: Some(3), ways: 4 };
+        let r = p.on_bus(LineState::Owned, BusEvent::UncachedBroadcastWrite, &ctx);
+        assert!(r.sl);
+        assert_eq!(r.result, ResultState::Fixed(LineState::Owned));
+    }
+
+    #[test]
+    fn non_broadcast_events_are_unaffected() {
+        let mut p = PuzakRefinement::new();
+        let lru = SnoopCtx { recency_rank: Some(1), ways: 2 };
+        let r = p.on_bus(Shareable, BusEvent::CacheRead, &lru);
+        assert!(r.ch);
+        assert_eq!(r.result, ResultState::Fixed(Shareable));
+    }
+}

@@ -1,0 +1,145 @@
+//! The §3.4 "extreme case": random selection from the permitted sets.
+
+use crate::action::{BusReaction, LocalAction};
+use crate::event::{BusEvent, LocalEvent};
+use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::state::LineState;
+use crate::table;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A protocol that picks a permitted action uniformly at random every time.
+///
+/// §3.4: "As an extreme case, it would introduce no errors if a board were to
+/// select an action at each instant from the available set using a random
+/// number generator or a selection algorithm such as round robin." This type
+/// exists to *test* that claim: a system mixing `RandomPolicy` caches with
+/// every other class member must still satisfy the consistency oracle.
+///
+/// # Examples
+///
+/// ```
+/// use moesi::protocols::RandomPolicy;
+/// use moesi::{CacheKind, LineState, LocalCtx, LocalEvent, Protocol, table};
+///
+/// let mut p = RandomPolicy::new(CacheKind::CopyBack, 42);
+/// let a = p.on_local(LineState::Shareable, LocalEvent::Write, &LocalCtx::default());
+/// let permitted = table::permitted_local(LineState::Shareable, LocalEvent::Write, CacheKind::CopyBack);
+/// assert!(permitted.contains(&a));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RandomPolicy {
+    kind: CacheKind,
+    rng: StdRng,
+}
+
+impl RandomPolicy {
+    /// Creates a random policy for the given client kind, seeded for
+    /// reproducibility.
+    #[must_use]
+    pub fn new(kind: CacheKind, seed: u64) -> Self {
+        RandomPolicy {
+            kind,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Protocol for RandomPolicy {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn kind(&self) -> CacheKind {
+        self.kind
+    }
+
+    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
+        let permitted = table::permitted_local(state, event, self.kind);
+        assert!(
+            !permitted.is_empty(),
+            "random policy ({}): no action for ({state}, {event})",
+            self.kind
+        );
+        permitted[self.rng.gen_range(0..permitted.len())]
+    }
+
+    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
+        if self.kind == CacheKind::NonCaching {
+            return BusReaction::IGNORE;
+        }
+        let permitted = table::permitted_bus(state, event);
+        assert!(
+            !permitted.is_empty(),
+            "random policy ({}): error-condition cell ({state}, {event})",
+            self.kind
+        );
+        permitted[self.rng.gen_range(0..permitted.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choices_are_always_permitted() {
+        let mut p = RandomPolicy::new(CacheKind::CopyBack, 7);
+        for _ in 0..200 {
+            for state in LineState::ALL {
+                for event in LocalEvent::ALL {
+                    let permitted = table::permitted_local(state, event, CacheKind::CopyBack);
+                    if permitted.is_empty() {
+                        continue;
+                    }
+                    let a = p.on_local(state, event, &LocalCtx::default());
+                    assert!(permitted.contains(&a), "({state}, {event}): {a}");
+                }
+                for event in BusEvent::ALL {
+                    let permitted = table::permitted_bus(state, event);
+                    if permitted.is_empty() {
+                        continue;
+                    }
+                    let r = p.on_bus(state, event, &SnoopCtx::default());
+                    assert!(permitted.contains(&r), "({state}, {event}): {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = RandomPolicy::new(CacheKind::CopyBack, 99);
+        let mut b = RandomPolicy::new(CacheKind::CopyBack, 99);
+        for _ in 0..50 {
+            assert_eq!(
+                a.on_local(LineState::Shareable, LocalEvent::Write, &LocalCtx::default()),
+                b.on_local(LineState::Shareable, LocalEvent::Write, &LocalCtx::default())
+            );
+        }
+    }
+
+    #[test]
+    fn eventually_explores_every_alternative() {
+        let mut p = RandomPolicy::new(CacheKind::CopyBack, 3);
+        let permitted =
+            table::permitted_local(LineState::Shareable, LocalEvent::Write, CacheKind::CopyBack);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(p.on_local(LineState::Shareable, LocalEvent::Write, &LocalCtx::default()));
+        }
+        assert_eq!(seen.len(), permitted.len());
+    }
+
+    #[test]
+    fn non_caching_random_never_reacts() {
+        let mut p = RandomPolicy::new(CacheKind::NonCaching, 5);
+        for ev in BusEvent::ALL {
+            assert_eq!(
+                p.on_bus(LineState::Invalid, ev, &SnoopCtx::default()),
+                BusReaction::IGNORE
+            );
+        }
+    }
+}

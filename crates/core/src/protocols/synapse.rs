@@ -1,0 +1,193 @@
+//! The Synapse protocol (Frank 1984, the Synapse N+1) — the sixth protocol
+//! of the Archibald & Baer comparison the paper's §5.2 builds on.
+
+use crate::action::{BusOp, BusReaction, LocalAction};
+use crate::event::{BusEvent, LocalEvent};
+use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::signals::MasterSignals;
+use crate::state::LineState;
+
+/// The Synapse ownership protocol, adapted to the Futurebus with BS.
+///
+/// Synapse N+1 \[Fran84\] is the simplest of the classic ownership protocols:
+/// three states (Invalid, Valid ≡ S, Dirty ≡ M), no cache-to-cache
+/// transfers, and no invalidate-only transaction. Its two signature
+/// behaviours:
+///
+/// * a dirty holder never supplies data — it rejects the access (the N+1's
+///   bus NAK, our BS abort), writes back, and lets memory serve the retry;
+/// * a write to a *Valid* line cannot simply invalidate the other copies —
+///   lacking an invalidation transaction, the cache performs a full
+///   read-for-ownership on the bus even though it already holds the data,
+///   which is Synapse's well-known inefficiency in the Archibald & Baer
+///   results.
+///
+/// Not a member of the MOESI compatible class: it needs BS, and its
+/// V-write re-fetch is not a Table 1 entry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Synapse;
+
+impl Synapse {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        Synapse
+    }
+
+    /// On a snooped read: NAK, write back, keep the copy as Valid.
+    fn push_to_valid() -> BusReaction {
+        BusReaction::busy_push(LineState::Shareable, MasterSignals::CA)
+    }
+
+    /// On a snooped read-for-ownership: NAK, write back, invalidate.
+    fn push_to_invalid() -> BusReaction {
+        BusReaction::busy_push(LineState::Invalid, MasterSignals::NONE)
+    }
+}
+
+impl Protocol for Synapse {
+    fn name(&self) -> &str {
+        "Synapse"
+    }
+
+    fn kind(&self) -> CacheKind {
+        CacheKind::CopyBack
+    }
+
+    fn requires_bs(&self) -> bool {
+        true
+    }
+
+    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
+        use LineState::{Invalid, Modified, Shareable};
+        match (state, event) {
+            (Modified | Shareable, LocalEvent::Read) => LocalAction::silent(state),
+            // Read misses always enter Valid; Synapse has no E state.
+            (Invalid, LocalEvent::Read) => {
+                LocalAction::new(Shareable, MasterSignals::CA, BusOp::Read)
+            }
+            (Modified, LocalEvent::Write) => LocalAction::silent(Modified),
+            // The signature inefficiency: no invalidation transaction exists,
+            // so a write to Valid data is a full read-for-ownership.
+            (Shareable | Invalid, LocalEvent::Write) => {
+                LocalAction::new(Modified, MasterSignals::CA_IM, BusOp::Read)
+            }
+            // Pushes: only Dirty data writes back; Valid data drops silently.
+            (Modified, LocalEvent::Pass) => {
+                LocalAction::new(Shareable, MasterSignals::CA, BusOp::Write)
+            }
+            (Modified, LocalEvent::Flush) => {
+                LocalAction::new(Invalid, MasterSignals::NONE, BusOp::Write)
+            }
+            (Shareable, LocalEvent::Flush) => LocalAction::silent(Invalid),
+            _ => panic!("Synapse: no action for ({state}, {event})"),
+        }
+    }
+
+    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
+        use LineState::{Invalid, Modified, Shareable};
+        match (state, event) {
+            (Invalid, _) => BusReaction::IGNORE,
+            // Dirty data NAKs everything: memory must be made current first.
+            (Modified, BusEvent::CacheRead | BusEvent::UncachedRead) => Self::push_to_valid(),
+            (
+                Modified,
+                BusEvent::CacheReadInvalidate
+                | BusEvent::UncachedWrite
+                | BusEvent::CacheBroadcastWrite
+                | BusEvent::UncachedBroadcastWrite,
+            ) => Self::push_to_invalid(),
+            // Valid copies: stay on reads (CH for compatibility), die on any
+            // modification — Synapse has no update path.
+            (Shareable, BusEvent::CacheRead | BusEvent::UncachedRead) => {
+                BusReaction::hit(Shareable)
+            }
+            (
+                Shareable,
+                BusEvent::CacheReadInvalidate
+                | BusEvent::UncachedWrite
+                | BusEvent::CacheBroadcastWrite
+                | BusEvent::UncachedBroadcastWrite,
+            ) => BusReaction::IGNORE,
+            (LineState::Owned | LineState::Exclusive, _) => {
+                unreachable!("Synapse has neither O nor E states")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compat;
+    use LineState::{Invalid, Modified, Shareable};
+
+    fn local(state: LineState, event: LocalEvent) -> String {
+        Synapse::new()
+            .on_local(state, event, &LocalCtx::default())
+            .to_string()
+    }
+
+    fn bus(state: LineState, event: BusEvent) -> String {
+        Synapse::new()
+            .on_bus(state, event, &SnoopCtx::default())
+            .to_string()
+    }
+
+    #[test]
+    fn three_states_only() {
+        let reachable = compat::reachable_states(&mut Synapse::new());
+        assert!(reachable.contains(&Modified));
+        assert!(reachable.contains(&Shareable));
+        assert!(reachable.contains(&Invalid));
+        assert!(!reachable.contains(&LineState::Owned));
+        assert!(!reachable.contains(&LineState::Exclusive));
+    }
+
+    #[test]
+    fn local_cells() {
+        assert_eq!(local(Modified, LocalEvent::Read), "M");
+        assert_eq!(local(Shareable, LocalEvent::Read), "S");
+        assert_eq!(local(Invalid, LocalEvent::Read), "S,CA,R");
+        assert_eq!(local(Modified, LocalEvent::Write), "M");
+        // The signature inefficiency: a hit-write still re-reads the line.
+        assert_eq!(local(Shareable, LocalEvent::Write), "M,CA,IM,R");
+        assert_eq!(local(Invalid, LocalEvent::Write), "M,CA,IM,R");
+    }
+
+    #[test]
+    fn dirty_holders_nak_and_push() {
+        assert_eq!(bus(Modified, BusEvent::CacheRead), "BS;S,CA,W");
+        assert_eq!(bus(Modified, BusEvent::CacheReadInvalidate), "BS;I,-,W");
+        assert_eq!(bus(Modified, BusEvent::UncachedRead), "BS;S,CA,W");
+    }
+
+    #[test]
+    fn valid_copies_die_on_any_modification() {
+        for ev in [
+            BusEvent::CacheReadInvalidate,
+            BusEvent::UncachedWrite,
+            BusEvent::CacheBroadcastWrite,
+            BusEvent::UncachedBroadcastWrite,
+        ] {
+            assert_eq!(bus(Shareable, ev), "I", "{ev}");
+        }
+        assert_eq!(bus(Shareable, BusEvent::CacheRead), "S,CH");
+    }
+
+    #[test]
+    fn synapse_is_not_a_class_member() {
+        let report = compat::check_protocol(&mut Synapse::new());
+        assert!(!report.is_class_member());
+        // Its V-write action is outside Table 1 as well as needing BS.
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| v.contains("(S, Write)")), "{report}");
+    }
+
+    #[test]
+    fn requires_bs() {
+        assert!(Synapse::new().requires_bs());
+    }
+}

@@ -1,0 +1,230 @@
+//! The Write-Once protocol (Goodman 1983) — Table 5.
+
+use crate::action::{BusOp, BusReaction, LocalAction};
+use crate::event::{BusEvent, LocalEvent};
+use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::signals::MasterSignals;
+use crate::state::LineState;
+
+/// The Write-Once protocol, adapted to the Futurebus with BS (Table 5).
+///
+/// "The write-once protocol requires that on an intervenient action, memory
+/// be updated at the same time that the intervenient cache supplies the data
+/// to the active cache. This is not possible with Futurebus, so an exact
+/// implementation is not possible. We replace intervention with an abort
+/// (BS), followed by an immediate write back ('push') to main memory; when
+/// the transaction is restarted, memory is up to date and intervention is no
+/// longer required" (§4.3).
+///
+/// States: M, E, S, I (no O — dirty data never stays shared). The name comes
+/// from the first write to an S line being written through (`E,CA,IM,W`),
+/// invalidating other copies; subsequent writes are local (E → M).
+///
+/// The paper notes the original definition is ambiguous for the M column-6
+/// cell ("I,DI or BS;S,CA,W"); [`WriteOnce::new`] takes the first (direct
+/// intervention), [`WriteOnce::always_pushing`] the second.
+///
+/// This protocol is **not** a member of the MOESI compatible class: its S
+/// state means "consistent with memory", it relies on writes-through updating
+/// memory beneath CA,IM signalling, and it needs BS. It is safe among caches
+/// running Write-Once (and with non-caching masters via the completion cells
+/// below), which is how §4 frames all of Tables 3–7.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteOnce {
+    push_on_read_invalidate: bool,
+}
+
+impl WriteOnce {
+    /// Creates the protocol with direct intervention on read-for-modify
+    /// (`I,DI`, the first alternative of the ambiguous cell).
+    #[must_use]
+    pub fn new() -> Self {
+        WriteOnce {
+            push_on_read_invalidate: false,
+        }
+    }
+
+    /// Creates the variant that aborts and pushes on read-for-modify as well
+    /// (`BS;S,CA,W`, the second alternative).
+    #[must_use]
+    pub fn always_pushing() -> Self {
+        WriteOnce {
+            push_on_read_invalidate: true,
+        }
+    }
+
+    fn push() -> BusReaction {
+        BusReaction::busy_push(LineState::Shareable, MasterSignals::CA)
+    }
+}
+
+impl Default for WriteOnce {
+    fn default() -> Self {
+        WriteOnce::new()
+    }
+}
+
+impl Protocol for WriteOnce {
+    fn name(&self) -> &str {
+        "Write-Once"
+    }
+
+    fn kind(&self) -> CacheKind {
+        CacheKind::CopyBack
+    }
+
+    fn requires_bs(&self) -> bool {
+        true
+    }
+
+    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
+        use LineState::{Exclusive, Invalid, Modified, Shareable};
+        match (state, event) {
+            (Modified | Exclusive | Shareable, LocalEvent::Read) => LocalAction::silent(state),
+            // `S,CA,R`: read misses enter S (Goodman's Valid).
+            (Invalid, LocalEvent::Read) => {
+                LocalAction::new(Shareable, MasterSignals::CA, BusOp::Read)
+            }
+            (Modified, LocalEvent::Write) => LocalAction::silent(Modified),
+            (Exclusive, LocalEvent::Write) => LocalAction::silent(Modified),
+            // The eponymous write-once: write through, invalidating other
+            // copies (CA,IM without BC), and reserve the line (E).
+            (Shareable, LocalEvent::Write) => {
+                LocalAction::new(Exclusive, MasterSignals::CA_IM, BusOp::Write)
+            }
+            // `M,CA,IM,R or Read>Write` — prefer the single transaction.
+            (Invalid, LocalEvent::Write) => {
+                LocalAction::new(Modified, MasterSignals::CA_IM, BusOp::Read)
+            }
+            // Pushes: dirty lines write back; Table 5 does not tabulate them.
+            (Modified, LocalEvent::Pass) => {
+                LocalAction::new(Exclusive, MasterSignals::CA, BusOp::Write)
+            }
+            (Modified, LocalEvent::Flush) => {
+                LocalAction::new(Invalid, MasterSignals::NONE, BusOp::Write)
+            }
+            (Exclusive | Shareable, LocalEvent::Flush) => LocalAction::silent(Invalid),
+            _ => panic!("Write-Once: no action for ({state}, {event})"),
+        }
+    }
+
+    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
+        use LineState::{Exclusive, Invalid, Modified, Shareable};
+        match (state, event) {
+            (LineState::Owned, _) => {
+                unreachable!("{} has no O state", self.name())
+            }
+            // Table 5, column 5: abort, push, resume — memory then supplies.
+            (Modified, BusEvent::CacheRead) => Self::push(),
+            (Exclusive | Shareable, BusEvent::CacheRead) => BusReaction::hit(Shareable),
+            // Table 5, column 6: `I,DI or BS;S,CA,W`.
+            (Modified, BusEvent::CacheReadInvalidate) => {
+                if self.push_on_read_invalidate {
+                    Self::push()
+                } else {
+                    BusReaction::quiet(Invalid).with_di()
+                }
+            }
+            (Exclusive | Shareable, BusEvent::CacheReadInvalidate) => BusReaction::IGNORE,
+            (Invalid, _) => BusReaction::IGNORE,
+            // Completion cells for foreign masters: dirty data is pushed so
+            // memory can serve or accept the access; clean copies behave as
+            // an invalidation protocol.
+            (Modified, BusEvent::UncachedRead | BusEvent::UncachedWrite) => Self::push(),
+            (Exclusive, BusEvent::UncachedRead) => BusReaction::quiet(Exclusive),
+            (Shareable, BusEvent::UncachedRead) => BusReaction::hit(Shareable),
+            (
+                Modified,
+                BusEvent::CacheBroadcastWrite | BusEvent::UncachedBroadcastWrite,
+            ) => Self::push(),
+            (Exclusive | Shareable, BusEvent::UncachedWrite) => BusReaction::IGNORE,
+            (
+                Exclusive | Shareable,
+                BusEvent::CacheBroadcastWrite | BusEvent::UncachedBroadcastWrite,
+            ) => BusReaction::IGNORE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compat;
+    use LineState::{Exclusive, Invalid, Modified, Shareable};
+
+    fn local(state: LineState, event: LocalEvent) -> String {
+        WriteOnce::new()
+            .on_local(state, event, &LocalCtx::default())
+            .to_string()
+    }
+
+    fn bus(state: LineState, event: BusEvent) -> String {
+        WriteOnce::new()
+            .on_bus(state, event, &SnoopCtx::default())
+            .to_string()
+    }
+
+    #[test]
+    fn table5_local_cells() {
+        assert_eq!(local(Modified, LocalEvent::Read), "M");
+        assert_eq!(local(Exclusive, LocalEvent::Read), "E");
+        assert_eq!(local(Shareable, LocalEvent::Read), "S");
+        assert_eq!(local(Invalid, LocalEvent::Read), "S,CA,R");
+        assert_eq!(local(Modified, LocalEvent::Write), "M");
+        assert_eq!(local(Exclusive, LocalEvent::Write), "M");
+        assert_eq!(local(Shareable, LocalEvent::Write), "E,CA,IM,W");
+        assert_eq!(local(Invalid, LocalEvent::Write), "M,CA,IM,R");
+    }
+
+    #[test]
+    fn table5_bus_cells() {
+        assert_eq!(bus(Modified, BusEvent::CacheRead), "BS;S,CA,W");
+        assert_eq!(bus(Exclusive, BusEvent::CacheRead), "S,CH");
+        assert_eq!(bus(Shareable, BusEvent::CacheRead), "S,CH");
+        assert_eq!(bus(Invalid, BusEvent::CacheRead), "I");
+        assert_eq!(bus(Modified, BusEvent::CacheReadInvalidate), "I,DI");
+        assert_eq!(bus(Exclusive, BusEvent::CacheReadInvalidate), "I");
+        assert_eq!(bus(Shareable, BusEvent::CacheReadInvalidate), "I");
+    }
+
+    #[test]
+    fn ambiguous_cell_alternative() {
+        let mut p = WriteOnce::always_pushing();
+        let r = p.on_bus(Modified, BusEvent::CacheReadInvalidate, &SnoopCtx::default());
+        assert_eq!(r.to_string(), "BS;S,CA,W");
+    }
+
+    #[test]
+    fn requires_bs() {
+        assert!(WriteOnce::new().requires_bs());
+    }
+
+    #[test]
+    fn write_once_is_not_a_class_member() {
+        // Its signature S/Write action (`E,CA,IM,W`) is not a Table 1 cell,
+        // and its M/CacheRead reaction needs BS.
+        let report = compat::check_protocol(&mut WriteOnce::new());
+        assert!(!report.is_class_member());
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| v.contains("(S, Write)")), "{report}");
+        assert!(report.violations().iter().any(|v| v.contains("BS")), "{report}");
+    }
+
+    #[test]
+    fn first_write_goes_through_the_bus_second_is_silent() {
+        let mut p = WriteOnce::new();
+        let first = p.on_local(Shareable, LocalEvent::Write, &LocalCtx::default());
+        assert_eq!(first.bus_op, BusOp::Write);
+        assert!(!first.signals.bc, "write-once invalidates, it does not broadcast");
+        let second = p.on_local(Exclusive, LocalEvent::Write, &LocalCtx::default());
+        assert!(!second.bus_op.uses_bus());
+    }
+
+    #[test]
+    fn dirty_lines_push_for_foreign_masters() {
+        assert_eq!(bus(Modified, BusEvent::UncachedRead), "BS;S,CA,W");
+        assert_eq!(bus(Modified, BusEvent::UncachedWrite), "BS;S,CA,W");
+    }
+}

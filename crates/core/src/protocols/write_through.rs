@@ -1,0 +1,174 @@
+//! The write-through cache member of the class (§3.3, items 6–8).
+
+use crate::action::{BusReaction, LocalAction};
+use crate::event::{BusEvent, LocalEvent};
+use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::state::LineState;
+use crate::table;
+
+/// A write-through cache: two states, V (≡ S) and I.
+///
+/// "A write through cache is not capable of ownership" (§3.3); it writes
+/// through on every write, asserts CA on reads, and invalidates on any
+/// non-broadcast write it snoops. On snooped broadcast writes it may either
+/// update itself or invalidate; this implementation updates.
+///
+/// Two flavours differ in whether writes assert BC:
+/// [`WriteThrough::new`] broadcasts its writes (column 10 for snoopers,
+/// letting them update), [`WriteThrough::non_broadcasting`] does not
+/// (column 9, forcing them to invalidate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteThrough {
+    broadcast: bool,
+    allocate_on_write: bool,
+}
+
+impl WriteThrough {
+    /// A write-through cache that broadcasts its writes (`S,IM,BC,W`).
+    #[must_use]
+    pub fn new() -> Self {
+        WriteThrough {
+            broadcast: true,
+            allocate_on_write: false,
+        }
+    }
+
+    /// A write-through cache whose writes are not broadcast (`S,IM,W`).
+    #[must_use]
+    pub fn non_broadcasting() -> Self {
+        WriteThrough {
+            broadcast: false,
+            allocate_on_write: false,
+        }
+    }
+
+    /// Enables write-allocate: a write miss reads the line first
+    /// (`Read>Write`, §3.3 item 6).
+    #[must_use]
+    pub fn with_write_allocate(mut self) -> Self {
+        self.allocate_on_write = true;
+        self
+    }
+}
+
+impl Default for WriteThrough {
+    fn default() -> Self {
+        WriteThrough::new()
+    }
+}
+
+impl Protocol for WriteThrough {
+    fn name(&self) -> &str {
+        "write-through"
+    }
+
+    fn kind(&self) -> CacheKind {
+        CacheKind::WriteThrough
+    }
+
+    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
+        let permitted = table::permitted_local(state, event, CacheKind::WriteThrough);
+        let pick = match (state, event) {
+            // `S,IM,BC,W` (index 0) or `S,IM,W` (index 1).
+            (LineState::Shareable, LocalEvent::Write) => usize::from(!self.broadcast),
+            (LineState::Invalid, LocalEvent::Write) => {
+                if self.allocate_on_write {
+                    2 // Read>Write
+                } else {
+                    usize::from(!self.broadcast)
+                }
+            }
+            _ => 0,
+        };
+        *permitted
+            .get(pick)
+            .unwrap_or_else(|| panic!("write-through: no action for ({state}, {event})"))
+    }
+
+    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
+        debug_assert!(
+            matches!(state, LineState::Shareable | LineState::Invalid),
+            "a write-through cache cannot hold {state}"
+        );
+        table::preferred_bus(state, event)
+            .unwrap_or_else(|| panic!("write-through: error cell ({state}, {event})"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{BusOp, ResultState};
+    use crate::signals::MasterSignals;
+    use LineState::{Invalid, Shareable};
+
+    #[test]
+    fn writes_go_through_retaining_the_copy() {
+        let mut p = WriteThrough::new();
+        let a = p.on_local(Shareable, LocalEvent::Write, &LocalCtx::default());
+        assert_eq!(a.to_string(), "S,IM,BC,W");
+        assert!(!a.signals.ca, "write-through writes do not assert CA");
+        let mut q = WriteThrough::non_broadcasting();
+        let a = q.on_local(Shareable, LocalEvent::Write, &LocalCtx::default());
+        assert_eq!(a.to_string(), "S,IM,W");
+    }
+
+    #[test]
+    fn read_miss_asserts_ca_and_enters_v() {
+        let mut p = WriteThrough::new();
+        let a = p.on_local(Invalid, LocalEvent::Read, &LocalCtx::default());
+        assert_eq!(a.signals, MasterSignals::CA);
+        assert_eq!(a.result, ResultState::Fixed(Shareable));
+        assert_eq!(a.bus_op, BusOp::Read);
+    }
+
+    #[test]
+    fn write_miss_writes_past_unless_allocating() {
+        let mut p = WriteThrough::new();
+        let a = p.on_local(Invalid, LocalEvent::Write, &LocalCtx::default());
+        assert_eq!(a.to_string(), "I,IM,BC,W");
+
+        let mut alloc = WriteThrough::new().with_write_allocate();
+        let a = alloc.on_local(Invalid, LocalEvent::Write, &LocalCtx::default());
+        assert_eq!(a.bus_op, BusOp::ReadThenWrite);
+    }
+
+    #[test]
+    fn snooped_non_broadcast_writes_invalidate() {
+        // §3.3 item 8: "On a non-broadcast write (cols. 6, 9), it must become
+        // invalid, since it is not capable of intervention or ownership."
+        let mut p = WriteThrough::new();
+        for ev in [BusEvent::CacheReadInvalidate, BusEvent::UncachedWrite] {
+            let r = p.on_bus(Shareable, ev, &SnoopCtx::default());
+            assert_eq!(r.result, ResultState::Fixed(Invalid), "{ev}");
+            assert!(!r.di);
+        }
+    }
+
+    #[test]
+    fn snooped_reads_leave_the_copy_valid() {
+        let mut p = WriteThrough::new();
+        for ev in [BusEvent::CacheRead, BusEvent::UncachedRead] {
+            let r = p.on_bus(Shareable, ev, &SnoopCtx::default());
+            assert_eq!(r.result, ResultState::Fixed(Shareable), "{ev}");
+            assert!(r.ch);
+        }
+    }
+
+    #[test]
+    fn snooped_broadcast_writes_update() {
+        let mut p = WriteThrough::new();
+        for ev in [BusEvent::CacheBroadcastWrite, BusEvent::UncachedBroadcastWrite] {
+            let r = p.on_bus(Shareable, ev, &SnoopCtx::default());
+            assert!(r.sl, "{ev}");
+            assert_eq!(r.result, ResultState::Fixed(Shareable));
+        }
+    }
+
+    #[test]
+    fn flush_is_silent() {
+        let mut p = WriteThrough::new();
+        let a = p.on_local(Shareable, LocalEvent::Flush, &LocalCtx::default());
+        assert_eq!(a, LocalAction::silent(Invalid));
+    }
+}

@@ -1,0 +1,297 @@
+//! The six Futurebus consistency signal lines (plus BS) of §3.2.
+//!
+//! Three lines are driven by the transaction master ([`MasterSignals`]:
+//! CA, IM, BC) and four are driven by snooping slaves or third parties
+//! ([`ResponseSignals`]: CH, DI, SL, BS). All are open-collector wired-OR
+//! lines on the physical bus; at this layer we only model their logical
+//! values.
+
+use std::fmt;
+
+/// The three master-driven consistency signals asserted during the broadcast
+/// address cycle (§3.2.1).
+///
+/// * `CA` — **cache master**: "I am a copy-back cache and will retain a copy
+///   of the referenced data at the end of this transaction, or I am a
+///   write-through cache and have just read this data."
+/// * `IM` — **intent to modify**: "in this transaction I will modify the
+///   referenced data."
+/// * `BC` — **broadcast**: "if I do modify the data, I will place the
+///   modifications on the bus so that you and/or the memory can update."
+///
+/// # Examples
+///
+/// ```
+/// use moesi::MasterSignals;
+///
+/// // A copy-back cache's read miss: CA only.
+/// let read = MasterSignals::CA;
+/// assert!(read.ca && !read.im && !read.bc);
+///
+/// // A broadcast write by a cache master: CA, IM, BC.
+/// let bcast = MasterSignals::CA_IM_BC;
+/// assert_eq!(bcast.to_string(), "CA,IM,BC");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct MasterSignals {
+    /// Cache-master line.
+    pub ca: bool,
+    /// Intent-to-modify line.
+    pub im: bool,
+    /// Broadcast line.
+    pub bc: bool,
+}
+
+impl MasterSignals {
+    /// No master signal asserted (read by a processor without a cache).
+    pub const NONE: MasterSignals = MasterSignals::new(false, false, false);
+    /// `CA` only: read by a cache master (Table 2 column 5).
+    pub const CA: MasterSignals = MasterSignals::new(true, false, false);
+    /// `CA,IM`: read-for-modify or address-only invalidate (column 6).
+    pub const CA_IM: MasterSignals = MasterSignals::new(true, true, false);
+    /// `CA,IM,BC`: broadcast write by a cache master (column 8).
+    pub const CA_IM_BC: MasterSignals = MasterSignals::new(true, true, true);
+    /// `IM`: write by a non-caching processor or write past a write-through
+    /// cache (column 9).
+    pub const IM: MasterSignals = MasterSignals::new(false, true, false);
+    /// `IM,BC`: broadcast write by a non-cache processor or past a
+    /// write-through cache (column 10).
+    pub const IM_BC: MasterSignals = MasterSignals::new(false, true, true);
+
+    /// Builds a signal set from its three lines.
+    #[must_use]
+    pub const fn new(ca: bool, im: bool, bc: bool) -> Self {
+        MasterSignals { ca, im, bc }
+    }
+
+    /// All signal combinations that can legally appear on the bus, in
+    /// Table 2 column order (5, 6, 7, 8, 9, 10).
+    pub const LEGAL: [MasterSignals; 6] = [
+        MasterSignals::CA,
+        MasterSignals::CA_IM,
+        MasterSignals::NONE,
+        MasterSignals::CA_IM_BC,
+        MasterSignals::IM,
+        MasterSignals::IM_BC,
+    ];
+
+    /// `BC` without `IM` is meaningless: broadcast promises to publish a
+    /// modification, so it accompanies an intent to modify.
+    #[must_use]
+    pub const fn is_legal(self) -> bool {
+        self.im || !self.bc
+    }
+
+    /// Returns these signals with `ca` asserted.
+    #[must_use]
+    pub const fn with_ca(mut self) -> Self {
+        self.ca = true;
+        self
+    }
+
+    /// Returns these signals with `im` asserted.
+    #[must_use]
+    pub const fn with_im(mut self) -> Self {
+        self.im = true;
+        self
+    }
+
+    /// Returns these signals with `bc` asserted.
+    #[must_use]
+    pub const fn with_bc(mut self) -> Self {
+        self.bc = true;
+        self
+    }
+}
+
+impl fmt::Display for MasterSignals {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::with_capacity(3);
+        if self.ca {
+            parts.push("CA");
+        }
+        if self.im {
+            parts.push("IM");
+        }
+        if self.bc {
+            parts.push("BC");
+        }
+        if parts.is_empty() {
+            f.write_str("-")
+        } else {
+            f.write_str(&parts.join(","))
+        }
+    }
+}
+
+/// The slave/third-party response signals asserted during the broadcast
+/// address handshake (§3.2.2).
+///
+/// * `CH` — **cache hit**: "I have a copy of the referenced data, which I
+///   will retain at the end of this transaction."
+/// * `DI` — **data intervention**: the asserting unit owns the line and
+///   preempts memory's response.
+/// * `SL` — **select**: a third-party cache (or memory) connects to a
+///   broadcast transfer to update its copy.
+/// * `BS` — **busy**: aborts the transaction; used only by the adapted
+///   Write-Once, Illinois and Firefly protocols, which must update memory
+///   before a dirty line can change hands.
+///
+/// Response signals from several modules combine by wired-OR, which
+/// [`ResponseSignals::or`] models.
+///
+/// # Examples
+///
+/// ```
+/// use moesi::ResponseSignals;
+///
+/// let owner = ResponseSignals { ch: true, di: true, ..ResponseSignals::NONE };
+/// let sharer = ResponseSignals { ch: true, ..ResponseSignals::NONE };
+/// let bus = owner.or(sharer);
+/// assert!(bus.ch && bus.di && !bus.sl && !bus.bs);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct ResponseSignals {
+    /// Cache-hit line.
+    pub ch: bool,
+    /// Data-intervention line.
+    pub di: bool,
+    /// Select (connect on transfer) line.
+    pub sl: bool,
+    /// Busy (abort) line.
+    pub bs: bool,
+}
+
+impl ResponseSignals {
+    /// No response signal asserted.
+    pub const NONE: ResponseSignals = ResponseSignals {
+        ch: false,
+        di: false,
+        sl: false,
+        bs: false,
+    };
+
+    /// `CH` only — the common "I hold a copy and keep it" reply.
+    pub const CH: ResponseSignals = ResponseSignals {
+        ch: true,
+        ..ResponseSignals::NONE
+    };
+
+    /// Wired-OR combination of two modules' responses: a line is low (asserted)
+    /// if any driver pulls it low.
+    #[must_use]
+    pub const fn or(self, other: ResponseSignals) -> ResponseSignals {
+        ResponseSignals {
+            ch: self.ch || other.ch,
+            di: self.di || other.di,
+            sl: self.sl || other.sl,
+            bs: self.bs || other.bs,
+        }
+    }
+
+    /// True when no line is asserted.
+    #[must_use]
+    pub const fn is_none(self) -> bool {
+        !self.ch && !self.di && !self.sl && !self.bs
+    }
+}
+
+impl fmt::Display for ResponseSignals {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::with_capacity(4);
+        if self.ch {
+            parts.push("CH");
+        }
+        if self.di {
+            parts.push("DI");
+        }
+        if self.sl {
+            parts.push("SL");
+        }
+        if self.bs {
+            parts.push("BS");
+        }
+        if parts.is_empty() {
+            f.write_str("-")
+        } else {
+            f.write_str(&parts.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legal_combinations_are_exactly_the_six_columns() {
+        let mut legal = 0;
+        for ca in [false, true] {
+            for im in [false, true] {
+                for bc in [false, true] {
+                    let s = MasterSignals::new(ca, im, bc);
+                    if s.is_legal() {
+                        legal += 1;
+                        assert!(MasterSignals::LEGAL.contains(&s), "{s} missing from LEGAL");
+                    } else {
+                        assert!(!MasterSignals::LEGAL.contains(&s));
+                    }
+                }
+            }
+        }
+        assert_eq!(legal, 6);
+    }
+
+    #[test]
+    fn bc_without_im_is_illegal() {
+        assert!(!MasterSignals::new(true, false, true).is_legal());
+        assert!(!MasterSignals::new(false, false, true).is_legal());
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let s = MasterSignals::NONE.with_ca().with_im().with_bc();
+        assert_eq!(s, MasterSignals::CA_IM_BC);
+    }
+
+    #[test]
+    fn master_display() {
+        assert_eq!(MasterSignals::NONE.to_string(), "-");
+        assert_eq!(MasterSignals::CA.to_string(), "CA");
+        assert_eq!(MasterSignals::IM_BC.to_string(), "IM,BC");
+    }
+
+    #[test]
+    fn response_wired_or() {
+        let a = ResponseSignals { ch: true, ..ResponseSignals::NONE };
+        let b = ResponseSignals { sl: true, bs: true, ..ResponseSignals::NONE };
+        let c = a.or(b);
+        assert!(c.ch && c.sl && c.bs && !c.di);
+        assert_eq!(ResponseSignals::NONE.or(ResponseSignals::NONE), ResponseSignals::NONE);
+    }
+
+    #[test]
+    fn response_or_is_commutative_and_idempotent() {
+        let combos = [
+            ResponseSignals::NONE,
+            ResponseSignals::CH,
+            ResponseSignals { di: true, ..ResponseSignals::NONE },
+            ResponseSignals { sl: true, bs: true, ..ResponseSignals::NONE },
+        ];
+        for a in combos {
+            assert_eq!(a.or(a), a);
+            for b in combos {
+                assert_eq!(a.or(b), b.or(a));
+            }
+        }
+    }
+
+    #[test]
+    fn response_display_and_is_none() {
+        assert_eq!(ResponseSignals::NONE.to_string(), "-");
+        assert!(ResponseSignals::NONE.is_none());
+        let all = ResponseSignals { ch: true, di: true, sl: true, bs: true };
+        assert_eq!(all.to_string(), "CH,DI,SL,BS");
+        assert!(!all.is_none());
+    }
+}

@@ -1,0 +1,380 @@
+//! The five MOESI line states and their three-characteristic decomposition.
+//!
+//! Section 3.1 of the paper derives the states from three orthogonal
+//! characteristics of cached data — *validity*, *exclusiveness* and
+//! *ownership* (Figure 3) — and observes that of the eight combinations only
+//! five are meaningful, because exclusiveness and ownership are moot for
+//! invalid data. Figure 4 groups the states into four meaningful pairs; those
+//! pair predicates are exposed here as methods.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The consistency state of one cached line.
+///
+/// The paper offers three equivalent vocabularies (§3.1.4); this enum uses the
+/// preferred single-word terminology. The long forms are available through
+/// [`LineState::long_name`].
+///
+/// # Examples
+///
+/// ```
+/// use moesi::LineState;
+///
+/// // An Owned line is valid, shared and owned: the cache holding it must
+/// // intervene on bus reads, but other copies may exist.
+/// let o = LineState::Owned;
+/// assert!(o.is_valid() && o.is_owned() && !o.is_exclusive());
+/// assert!(o.is_intervenient());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LineState {
+    /// Exclusive modified: the only cached copy, and main memory is stale.
+    Modified,
+    /// Shareable modified: this cache owns the line (memory may be stale) but
+    /// other caches may hold shareable copies.
+    Owned,
+    /// Exclusive unmodified: the only cached copy, consistent with memory.
+    Exclusive,
+    /// Shareable unmodified: possibly one of several copies. Note that unlike
+    /// the Illinois protocol's S state, MOESI `Shareable` does **not** imply
+    /// the copy is consistent with main memory — only with the owner (§4.4).
+    Shareable,
+    /// No valid copy is held.
+    Invalid,
+}
+
+/// The three orthogonal characteristics of cached data (Figure 3).
+///
+/// Only five of the eight combinations name a real state; the three
+/// combinations with `validity == false` and any other bit set collapse into
+/// [`LineState::Invalid`].
+///
+/// # Examples
+///
+/// ```
+/// use moesi::{Characteristics, LineState};
+///
+/// let c = Characteristics { validity: true, exclusiveness: false, ownership: true };
+/// assert_eq!(LineState::from(c), LineState::Owned);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Characteristics {
+    /// Is the cached copy valid?
+    pub validity: bool,
+    /// Is this known to be the only cached copy in the system?
+    pub exclusiveness: bool,
+    /// Is this cache responsible for the accuracy of the data system-wide?
+    pub ownership: bool,
+}
+
+impl LineState {
+    /// All five states, in M, O, E, S, I order.
+    pub const ALL: [LineState; 5] = [
+        LineState::Modified,
+        LineState::Owned,
+        LineState::Exclusive,
+        LineState::Shareable,
+        LineState::Invalid,
+    ];
+
+    /// The four valid (non-Invalid) states.
+    pub const VALID: [LineState; 4] = [
+        LineState::Modified,
+        LineState::Owned,
+        LineState::Exclusive,
+        LineState::Shareable,
+    ];
+
+    /// Single-letter abbreviation: `M`, `O`, `E`, `S` or `I`.
+    #[must_use]
+    pub fn letter(self) -> char {
+        match self {
+            LineState::Modified => 'M',
+            LineState::Owned => 'O',
+            LineState::Exclusive => 'E',
+            LineState::Shareable => 'S',
+            LineState::Invalid => 'I',
+        }
+    }
+
+    /// The "exclusive modified"-style long name from §3.1.4's second list.
+    #[must_use]
+    pub fn long_name(self) -> &'static str {
+        match self {
+            LineState::Modified => "exclusive modified",
+            LineState::Owned => "shareable modified",
+            LineState::Exclusive => "exclusive unmodified",
+            LineState::Shareable => "shareable unmodified",
+            LineState::Invalid => "invalid",
+        }
+    }
+
+    /// The cached copy may be used to satisfy local reads.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        self != LineState::Invalid
+    }
+
+    /// This is known to be the only cached copy (M or E).
+    ///
+    /// The paper: "M and E data have in common that they are the only cached
+    /// copy corresponding to a particular address range."
+    #[must_use]
+    pub fn is_exclusive(self) -> bool {
+        matches!(self, LineState::Modified | LineState::Exclusive)
+    }
+
+    /// This cache is responsible for the accuracy of the data (M or O).
+    #[must_use]
+    pub fn is_owned(self) -> bool {
+        matches!(self, LineState::Modified | LineState::Owned)
+    }
+
+    /// The cache must intervene in bus accesses to this line (M or O).
+    ///
+    /// Synonym of [`is_owned`](Self::is_owned); the paper calls M and O the
+    /// *intervenient* states because the holder must preempt memory's response.
+    #[must_use]
+    pub fn is_intervenient(self) -> bool {
+        self.is_owned()
+    }
+
+    /// Other cached copies may exist (O or S) — a local write must notify
+    /// other caches.
+    #[must_use]
+    pub fn is_non_exclusive(self) -> bool {
+        matches!(self, LineState::Owned | LineState::Shareable)
+    }
+
+    /// This cache is not responsible for the line's integrity (E or S).
+    #[must_use]
+    pub fn is_unowned_valid(self) -> bool {
+        matches!(self, LineState::Exclusive | LineState::Shareable)
+    }
+
+    /// The three-characteristic decomposition of this state (Figure 3).
+    ///
+    /// Returns `None` for [`LineState::Invalid`], for which exclusiveness and
+    /// ownership are meaningless.
+    #[must_use]
+    pub fn characteristics(self) -> Option<Characteristics> {
+        if self == LineState::Invalid {
+            return None;
+        }
+        Some(Characteristics {
+            validity: true,
+            exclusiveness: self.is_exclusive(),
+            ownership: self.is_owned(),
+        })
+    }
+
+    /// The conservative weakening of this state described by notes 9–12 of the
+    /// paper's table notes: M may become O, and E may become S, "although with
+    /// a loss of protocol efficiency". S, O and I weaken to themselves.
+    #[must_use]
+    pub fn weakened(self) -> LineState {
+        match self {
+            LineState::Modified => LineState::Owned,
+            LineState::Exclusive => LineState::Shareable,
+            other => other,
+        }
+    }
+
+    /// Whether `self` may be conservatively substituted wherever `target` is
+    /// the tabulated result state, per notes 9–12.
+    ///
+    /// The permitted weakenings are: `O` for `M` (note 9), `S` for `E`
+    /// (note 10), and — for bus-event results only — `I` for any transition to
+    /// or remaining in `E` or `S` (note 11). This method covers notes 9 and
+    /// 10; note 11 is handled at the table layer because it only applies to
+    /// bus events.
+    #[must_use]
+    pub fn is_weakening_of(self, target: LineState) -> bool {
+        self == target || self == target.weakened()
+    }
+}
+
+impl From<Characteristics> for LineState {
+    /// Collapse the eight raw combinations to the five states (Figure 3):
+    /// anything invalid is [`LineState::Invalid`] regardless of the other bits.
+    fn from(c: Characteristics) -> Self {
+        match (c.validity, c.exclusiveness, c.ownership) {
+            (false, _, _) => LineState::Invalid,
+            (true, true, true) => LineState::Modified,
+            (true, false, true) => LineState::Owned,
+            (true, true, false) => LineState::Exclusive,
+            (true, false, false) => LineState::Shareable,
+        }
+    }
+}
+
+impl Default for LineState {
+    /// Lines start life invalid.
+    fn default() -> Self {
+        LineState::Invalid
+    }
+}
+
+impl fmt::Display for LineState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// Error returned when parsing a [`LineState`] from a string fails.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseLineStateError;
+
+impl fmt::Display for ParseLineStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("expected one of M, O, E, S, I")
+    }
+}
+
+impl std::error::Error for ParseLineStateError {}
+
+impl FromStr for LineState {
+    type Err = ParseLineStateError;
+
+    /// Parses the single-letter or long spellings, case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "m" | "modified" => Ok(LineState::Modified),
+            "o" | "owned" => Ok(LineState::Owned),
+            "e" | "exclusive" => Ok(LineState::Exclusive),
+            "s" | "shareable" | "shared" => Ok(LineState::Shareable),
+            "i" | "invalid" => Ok(LineState::Invalid),
+            _ => Err(ParseLineStateError),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_states_and_letters() {
+        let letters: String = LineState::ALL.iter().map(|s| s.letter()).collect();
+        assert_eq!(letters, "MOESI");
+    }
+
+    #[test]
+    fn validity_partition() {
+        for s in LineState::ALL {
+            assert_eq!(s.is_valid(), s != LineState::Invalid);
+        }
+        assert_eq!(LineState::VALID.len(), 4);
+        assert!(LineState::VALID.iter().all(|s| s.is_valid()));
+    }
+
+    #[test]
+    fn figure4_pair_intervenient() {
+        assert!(LineState::Modified.is_intervenient());
+        assert!(LineState::Owned.is_intervenient());
+        assert!(!LineState::Exclusive.is_intervenient());
+        assert!(!LineState::Shareable.is_intervenient());
+        assert!(!LineState::Invalid.is_intervenient());
+    }
+
+    #[test]
+    fn figure4_pair_sole_copy() {
+        assert!(LineState::Modified.is_exclusive());
+        assert!(LineState::Exclusive.is_exclusive());
+        assert!(!LineState::Owned.is_exclusive());
+        assert!(!LineState::Shareable.is_exclusive());
+        assert!(!LineState::Invalid.is_exclusive());
+    }
+
+    #[test]
+    fn figure4_pair_unowned() {
+        assert!(LineState::Exclusive.is_unowned_valid());
+        assert!(LineState::Shareable.is_unowned_valid());
+        assert!(!LineState::Modified.is_unowned_valid());
+        assert!(!LineState::Owned.is_unowned_valid());
+        assert!(!LineState::Invalid.is_unowned_valid());
+    }
+
+    #[test]
+    fn figure4_pair_non_exclusive() {
+        assert!(LineState::Owned.is_non_exclusive());
+        assert!(LineState::Shareable.is_non_exclusive());
+        assert!(!LineState::Modified.is_non_exclusive());
+        assert!(!LineState::Exclusive.is_non_exclusive());
+        assert!(!LineState::Invalid.is_non_exclusive());
+    }
+
+    #[test]
+    fn figure3_round_trip() {
+        for s in LineState::VALID {
+            let c = s.characteristics().expect("valid state has characteristics");
+            assert_eq!(LineState::from(c), s);
+        }
+        assert_eq!(LineState::Invalid.characteristics(), None);
+    }
+
+    #[test]
+    fn figure3_eight_combinations_collapse_to_five() {
+        let mut seen = std::collections::BTreeSet::new();
+        for v in [false, true] {
+            for e in [false, true] {
+                for o in [false, true] {
+                    seen.insert(LineState::from(Characteristics {
+                        validity: v,
+                        exclusiveness: e,
+                        ownership: o,
+                    }));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn weakening_lattice() {
+        assert_eq!(LineState::Modified.weakened(), LineState::Owned);
+        assert_eq!(LineState::Exclusive.weakened(), LineState::Shareable);
+        assert_eq!(LineState::Owned.weakened(), LineState::Owned);
+        assert_eq!(LineState::Shareable.weakened(), LineState::Shareable);
+        assert_eq!(LineState::Invalid.weakened(), LineState::Invalid);
+    }
+
+    #[test]
+    fn weakening_is_reflexive_and_loses_only_exclusiveness() {
+        for s in LineState::ALL {
+            assert!(s.is_weakening_of(s));
+            let w = s.weakened();
+            // Weakening never changes ownership or validity, only exclusiveness.
+            assert_eq!(w.is_owned(), s.is_owned());
+            assert_eq!(w.is_valid(), s.is_valid());
+            assert!(!w.is_exclusive() || w == s);
+        }
+        assert!(LineState::Owned.is_weakening_of(LineState::Modified));
+        assert!(LineState::Shareable.is_weakening_of(LineState::Exclusive));
+        assert!(!LineState::Invalid.is_weakening_of(LineState::Shareable));
+        assert!(!LineState::Modified.is_weakening_of(LineState::Owned));
+    }
+
+    #[test]
+    fn parse_and_display() {
+        for s in LineState::ALL {
+            let parsed: LineState = s.to_string().parse().expect("round trip");
+            assert_eq!(parsed, s);
+            let parsed_long: LineState = s.long_name().split(' ').next_back().map_or(s, |_| s);
+            assert_eq!(parsed_long, s);
+        }
+        assert_eq!("owned".parse::<LineState>(), Ok(LineState::Owned));
+        assert_eq!("shared".parse::<LineState>(), Ok(LineState::Shareable));
+        assert!("q".parse::<LineState>().is_err());
+        assert_eq!(
+            "q".parse::<LineState>().unwrap_err().to_string(),
+            "expected one of M, O, E, S, I"
+        );
+    }
+
+    #[test]
+    fn default_is_invalid() {
+        assert_eq!(LineState::default(), LineState::Invalid);
+    }
+}

@@ -1,0 +1,289 @@
+//! A pure state-level model checker for the compatible class.
+//!
+//! Independently of the full simulator (which carries real data through a
+//! bus model), this test drives N abstract caches over ONE line, picking a
+//! cache, an event and a *random permitted entry* from Tables 1/2 on every
+//! round — the §3.4 "extreme case" — and checks the structural safety
+//! properties the MOESI definitions promise:
+//!
+//! 1. at most one cache owns the line;
+//! 2. an exclusive holder (M/E) is the only valid copy;
+//! 3. whenever main memory is stale, exactly one cache owns the line
+//!    (no data loss);
+//! 4. every read can be served: memory is valid or an owner intervenes;
+//! 5. write-through and non-caching clients stay within their state subsets.
+
+use moesi::table;
+use moesi::{BusEvent, BusOp, CacheKind, LineState, LocalEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One abstract cache: a protocol kind and its state for the single line.
+#[derive(Clone, Copy, Debug)]
+struct AbstractCache {
+    kind: CacheKind,
+    state: LineState,
+}
+
+/// The abstract machine: caches plus one bit of memory truth.
+#[derive(Clone, Debug)]
+struct Model {
+    caches: Vec<AbstractCache>,
+    /// Whether main memory holds the current value of the line.
+    memory_valid: bool,
+    rng: StdRng,
+    trace: Vec<String>,
+}
+
+impl Model {
+    fn new(kinds: &[CacheKind], seed: u64) -> Self {
+        Model {
+            caches: kinds
+                .iter()
+                .map(|&kind| AbstractCache { kind, state: LineState::Invalid })
+                .collect(),
+            memory_valid: true,
+            rng: StdRng::seed_from_u64(seed),
+            trace: Vec::new(),
+        }
+    }
+
+    fn pick<T: Copy>(&mut self, options: &[T]) -> T {
+        options[self.rng.gen_range(0..options.len())]
+    }
+
+    /// Executes one random local event on one random cache, with every other
+    /// cache reacting through a random permitted Table 2 entry.
+    fn step(&mut self) {
+        let master = self.rng.gen_range(0..self.caches.len());
+        let kind = self.caches[master].kind;
+        let state = self.caches[master].state;
+
+        // Choose among the events legal for this (state, kind).
+        let events: Vec<LocalEvent> = LocalEvent::ALL
+            .into_iter()
+            .filter(|&e| !table::permitted_local(state, e, kind).is_empty())
+            .collect();
+        if events.is_empty() {
+            return;
+        }
+        let event = self.pick(&events);
+        let actions = table::permitted_local(state, event, kind);
+        let action = actions[self.rng.gen_range(0..actions.len())];
+        self.trace
+            .push(format!("cache{master}({kind}) {state} {event}: {action}"));
+
+        match action.bus_op {
+            BusOp::None => {
+                // Silent transition (M/E writes, clean flushes).
+                self.caches[master].state = action.result.resolve(false);
+            }
+            BusOp::ReadThenWrite => {
+                // First transaction: the protocol's I/Read entry.
+                let kind = self.caches[master].kind;
+                let reads = table::permitted_local(state, LocalEvent::Read, kind);
+                let read = reads[self.rng.gen_range(0..reads.len())];
+                self.apply_master_txn(master, read);
+                let mid = self.caches[master].state;
+                // Re-decide the write from the new state.
+                let followups = table::permitted_local(mid, LocalEvent::Write, kind);
+                assert!(
+                    !followups.is_empty(),
+                    "Read>Write reached a dead state {mid} for {kind}"
+                );
+                let follow = followups[self.rng.gen_range(0..followups.len())];
+                if follow.bus_op == BusOp::None {
+                    self.caches[master].state = follow.result.resolve(false);
+                } else if follow.bus_op != BusOp::ReadThenWrite {
+                    self.apply_master_txn(master, follow);
+                }
+            }
+            _ => self.apply_master_txn(master, action),
+        }
+        self.check();
+    }
+
+    /// Puts the chosen action's transaction on the abstract bus.
+    fn apply_master_txn(&mut self, master: usize, action: moesi::LocalAction) {
+        let event = BusEvent::from_signals(action.signals).expect("legal signals");
+        // Write-backs (W with ~IM) reach memory; so do broadcast writes.
+        let is_write_txn = matches!(action.bus_op, BusOp::Write);
+        let reaches_memory = is_write_txn && (action.signals.bc || !action.signals.im);
+
+        let (ch_any, any_di) = self.snoop_all(master, event);
+
+        if reaches_memory {
+            self.memory_valid = true;
+        } else if is_write_txn && action.signals.im {
+            // A non-broadcast write transaction: captured by a DI owner
+            // (memory preempted) or absorbed by memory.
+            self.memory_valid = !any_di;
+        }
+
+        // A read must be servable.
+        if action.bus_op == BusOp::Read {
+            assert!(
+                self.memory_valid || any_di,
+                "data loss: read with stale memory and no intervener\n{}",
+                self.trace.join("\n")
+            );
+        }
+
+        let result = action.result.resolve(ch_any);
+        self.caches[master].state = result;
+        // A master that ends the transaction owning the line makes memory's
+        // validity irrelevant; if it ends unowned and nobody owns, memory
+        // must have been the source of truth — checked in `check`.
+        if result.is_owned() {
+            // A local write happened that memory may not have seen.
+            if is_write_txn && !action.signals.bc {
+                self.memory_valid = false;
+            }
+            if action.bus_op == BusOp::Read && action.signals.im {
+                // RWITM: the upcoming local write dirties the line.
+                self.memory_valid = false;
+            }
+            if action.bus_op == BusOp::AddressOnly {
+                self.memory_valid = false;
+            }
+        }
+    }
+
+    /// All non-masters react with a random permitted Table 2 entry.
+    /// Returns (any CH asserted, any DI asserted).
+    fn snoop_all(&mut self, master: usize, event: BusEvent) -> (bool, bool) {
+        // First pass: choose reactions.
+        let mut chosen = Vec::new();
+        for i in 0..self.caches.len() {
+            if i == master || self.caches[i].kind == CacheKind::NonCaching {
+                continue;
+            }
+            let state = self.caches[i].state;
+            let permitted = table::permitted_bus(state, event);
+            assert!(
+                !permitted.is_empty(),
+                "error-condition cell reached: cache{i} in {state} sees {event}\n{}",
+                self.trace.join("\n")
+            );
+            let reaction = permitted[self.rng.gen_range(0..permitted.len())];
+            chosen.push((i, reaction));
+        }
+        let ch_any = chosen.iter().any(|(_, r)| r.ch);
+        let di_any = chosen.iter().any(|(_, r)| r.di);
+        // Second pass: commit, resolving each against the *others'* CH.
+        for (i, reaction) in chosen.clone() {
+            let ch_others = chosen.iter().any(|(j, r)| *j != i && r.ch);
+            self.caches[i].state = reaction.result.resolve(ch_others);
+        }
+        (ch_any, di_any)
+    }
+
+    /// The structural safety properties.
+    fn check(&self) {
+        let owners: Vec<usize> = self
+            .caches
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.state.is_owned())
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            owners.len() <= 1,
+            "multiple owners: {owners:?}\n{}",
+            self.trace.join("\n")
+        );
+        if let Some((i, _)) = self
+            .caches
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.state.is_exclusive())
+        {
+            let other = self
+                .caches
+                .iter()
+                .enumerate()
+                .find(|(j, c)| *j != i && c.state.is_valid());
+            assert!(
+                other.is_none(),
+                "exclusivity violated: cache{i} exclusive but {other:?} valid\n{}",
+                self.trace.join("\n")
+            );
+        }
+        assert!(
+            self.memory_valid || owners.len() == 1,
+            "stale memory with no owner (data lost)\n{}",
+            self.trace.join("\n")
+        );
+        for (i, c) in self.caches.iter().enumerate() {
+            assert!(
+                c.kind.reachable_states().contains(&c.state),
+                "cache{i} ({}) reached illegal state {}\n{}",
+                c.kind,
+                c.state,
+                self.trace.join("\n")
+            );
+        }
+    }
+}
+
+fn kinds_mix(seed: u64) -> Vec<CacheKind> {
+    // 2-6 caches, mixed kinds, always at least one copy-back.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(2..=6);
+    let mut kinds = vec![CacheKind::CopyBack];
+    for _ in 1..n {
+        kinds.push(match rng.gen_range(0..4) {
+            0 | 1 => CacheKind::CopyBack,
+            2 => CacheKind::WriteThrough,
+            _ => CacheKind::NonCaching,
+        });
+    }
+    kinds
+}
+
+#[test]
+fn random_permitted_choices_preserve_the_state_invariants() {
+    for seed in 0..50u64 {
+        let kinds = kinds_mix(seed);
+        let mut model = Model::new(&kinds, seed.wrapping_mul(97));
+        for _ in 0..400 {
+            model.step();
+        }
+    }
+}
+
+#[test]
+fn all_copy_back_machines_hold_up_under_long_runs() {
+    let kinds = vec![CacheKind::CopyBack; 5];
+    for seed in 0..10u64 {
+        let mut model = Model::new(&kinds, seed);
+        for _ in 0..2_000 {
+            model.step();
+        }
+    }
+}
+
+#[test]
+fn write_through_only_machines_never_own() {
+    let kinds = vec![CacheKind::WriteThrough; 4];
+    for seed in 0..10u64 {
+        let mut model = Model::new(&kinds, seed);
+        for _ in 0..500 {
+            model.step();
+        }
+        assert!(model.memory_valid, "write-through machines keep memory current");
+        for c in &model.caches {
+            assert!(!c.state.is_owned());
+        }
+    }
+}
+
+#[test]
+fn non_caching_only_machines_trivially_hold() {
+    let kinds = vec![CacheKind::NonCaching; 3];
+    let mut model = Model::new(&kinds, 1);
+    for _ in 0..300 {
+        model.step();
+    }
+    assert!(model.memory_valid);
+}

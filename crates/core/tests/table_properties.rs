@@ -1,0 +1,227 @@
+//! Exhaustive structural properties of the Tables 1/2 permitted sets — the
+//! well-formedness conditions every entry must satisfy for the Futurebus to
+//! be able to carry it.
+
+use moesi::{table, BusEvent, BusOp, CacheKind, LineState, LocalEvent, ResultState};
+
+#[test]
+fn every_permitted_action_drives_legal_signals() {
+    for kind in CacheKind::ALL {
+        for state in LineState::ALL {
+            for event in LocalEvent::ALL {
+                for action in table::permitted_local(state, event, kind) {
+                    assert!(
+                        action.signals.is_legal(),
+                        "({kind}, {state}, {event}): {action} drives illegal signals"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_bus_using_action_is_classifiable_by_snoopers() {
+    // Whatever a master drives, every snooper must be able to map the
+    // signals to a Table 2 column.
+    for kind in CacheKind::ALL {
+        for state in LineState::ALL {
+            for event in LocalEvent::ALL {
+                for action in table::permitted_local(state, event, kind) {
+                    if !action.bus_op.uses_bus() || action.bus_op == BusOp::ReadThenWrite {
+                        continue;
+                    }
+                    assert!(
+                        BusEvent::from_signals(action.signals).is_some(),
+                        "({kind}, {state}, {event}): {action} is not classifiable"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn preferred_entries_are_the_first_permitted() {
+    for kind in CacheKind::ALL {
+        for state in LineState::ALL {
+            for event in LocalEvent::ALL {
+                let permitted = table::permitted_local(state, event, kind);
+                assert_eq!(
+                    table::preferred_local(state, event, kind),
+                    permitted.first().copied(),
+                );
+            }
+        }
+    }
+    for state in LineState::ALL {
+        for event in BusEvent::ALL {
+            let permitted = table::permitted_bus(state, event);
+            assert_eq!(table::preferred_bus(state, event), permitted.first().copied());
+        }
+    }
+}
+
+#[test]
+fn permitted_sets_contain_no_duplicates() {
+    for kind in CacheKind::ALL {
+        for state in LineState::ALL {
+            for event in LocalEvent::ALL {
+                let permitted = table::permitted_local(state, event, kind);
+                for (i, a) in permitted.iter().enumerate() {
+                    for b in &permitted[i + 1..] {
+                        assert_ne!(a, b, "duplicate in ({kind}, {state}, {event})");
+                    }
+                }
+            }
+        }
+    }
+    for state in LineState::ALL {
+        for event in BusEvent::ALL {
+            let permitted = table::permitted_bus(state, event);
+            for (i, a) in permitted.iter().enumerate() {
+                for b in &permitted[i + 1..] {
+                    assert_ne!(a, b, "duplicate in ({state}, {event})");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn limited_clients_never_reach_owned_or_exclusive_states() {
+    // Write-through and non-caching actions can never produce M, O or E.
+    for kind in [CacheKind::WriteThrough, CacheKind::NonCaching] {
+        for state in LineState::ALL {
+            for event in LocalEvent::ALL {
+                for action in table::permitted_local(state, event, kind) {
+                    if action.bus_op == BusOp::ReadThenWrite {
+                        continue;
+                    }
+                    for r in action.result.possible() {
+                        assert!(
+                            !r.is_owned() && !r.is_exclusive() || r == LineState::Invalid,
+                            "({kind}, {state}, {event}): {action} reaches {r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn note_9_and_10_weakenings_are_present_where_choices_exist() {
+    // Wherever the preferred result is CH:O/M, a fixed-O alternative with the
+    // same transaction shape must be permitted (note 9).
+    let k = CacheKind::CopyBack;
+    for state in [LineState::Owned, LineState::Shareable] {
+        let permitted = table::permitted_local(state, LocalEvent::Write, k);
+        let preferred = permitted[0];
+        assert_eq!(preferred.result, ResultState::CH_O_M);
+        assert!(
+            permitted.iter().any(|a| {
+                a.result == ResultState::Fixed(LineState::Owned)
+                    && a.signals == preferred.signals
+                    && a.bus_op == preferred.bus_op
+            }),
+            "({state}, Write): note-9 weakening missing"
+        );
+    }
+    // Note 10: the read-miss CH:S/E cell admits plain S with identical
+    // signals.
+    let permitted = table::permitted_local(LineState::Invalid, LocalEvent::Read, k);
+    let preferred = permitted[0];
+    assert_eq!(preferred.result, ResultState::CH_S_E);
+    assert!(permitted
+        .iter()
+        .any(|a| a.result == ResultState::Fixed(LineState::Shareable)
+            && a.signals == preferred.signals));
+}
+
+#[test]
+fn note_11_invalid_alternatives_exist_for_unowned_bus_results() {
+    // Every bus cell whose preferred result keeps an E or S copy must also
+    // permit dropping to I.
+    for state in [LineState::Exclusive, LineState::Shareable] {
+        for event in BusEvent::ALL {
+            let permitted = table::permitted_bus(state, event);
+            if permitted.is_empty() {
+                continue;
+            }
+            let keeps_copy = permitted[0]
+                .result
+                .possible()
+                .iter()
+                .any(|r| r.is_unowned_valid());
+            if keeps_copy {
+                assert!(
+                    permitted
+                        .iter()
+                        .any(|r| r.result == ResultState::Fixed(LineState::Invalid)),
+                    "({state}, {event}): note-11 I alternative missing"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bus_reactions_never_combine_bs_with_other_lines() {
+    for state in LineState::ALL {
+        for event in BusEvent::ALL {
+            for r in table::permitted_bus(state, event) {
+                if r.busy.is_some() {
+                    panic!("class cells must not use BS: ({state}, {event}): {r}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn only_writes_carry_im_and_only_modifies_carry_bc() {
+    for kind in CacheKind::ALL {
+        for state in LineState::ALL {
+            // Reads, passes and flushes never assert IM.
+            for event in [LocalEvent::Read, LocalEvent::Pass, LocalEvent::Flush] {
+                for action in table::permitted_local(state, event, kind) {
+                    assert!(
+                        !action.signals.im,
+                        "({kind}, {state}, {event}): {action} asserts IM"
+                    );
+                }
+            }
+            // Every bus-using write asserts IM (writes announce modification).
+            for action in table::permitted_local(state, LocalEvent::Write, kind) {
+                if action.bus_op.uses_bus() && action.bus_op != BusOp::ReadThenWrite {
+                    assert!(
+                        action.signals.im,
+                        "({kind}, {state}, Write): {action} lacks IM"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn result_states_are_reachable_for_the_kind() {
+    for kind in CacheKind::ALL {
+        for state in LineState::ALL {
+            for event in BusEvent::ALL {
+                // Bus reactions only apply to states the kind can hold.
+                if !kind.reachable_states().contains(&state) {
+                    continue;
+                }
+                for reaction in table::permitted_bus(state, event) {
+                    for r in reaction.result.possible() {
+                        if kind == CacheKind::CopyBack {
+                            assert!(kind.reachable_states().contains(&r));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

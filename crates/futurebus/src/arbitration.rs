@@ -1,0 +1,117 @@
+//! Bus arbitration: which requesting master gets the next transaction.
+
+use std::fmt;
+
+/// An arbitration policy over module indices.
+///
+/// The Futurebus arbitrates in parallel with the previous transfer; the
+/// simulator models only the *choice*, charging the fixed
+/// [`arbitration_ns`](crate::TimingConfig::arbitration_ns) cost per
+/// transaction.
+pub trait Arbiter {
+    /// Picks the winner among `requesters` (module indices). Returns `None`
+    /// when no one is requesting.
+    fn grant(&mut self, requesters: &[usize]) -> Option<usize>;
+}
+
+impl fmt::Debug for dyn Arbiter + Send {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Arbiter")
+    }
+}
+
+/// Fixed-priority arbitration: the lowest module index always wins.
+///
+/// Simple and unfair — a greedy low-numbered master can starve the others,
+/// which the fairness integration tests demonstrate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PriorityArbiter;
+
+impl PriorityArbiter {
+    /// Creates the arbiter.
+    #[must_use]
+    pub fn new() -> Self {
+        PriorityArbiter
+    }
+}
+
+impl Arbiter for PriorityArbiter {
+    fn grant(&mut self, requesters: &[usize]) -> Option<usize> {
+        requesters.iter().copied().min()
+    }
+}
+
+/// Round-robin arbitration: after a grant, that module becomes the lowest
+/// priority, guaranteeing every requester is served eventually.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundRobinArbiter {
+    last: usize,
+}
+
+impl RoundRobinArbiter {
+    /// Creates the arbiter; module 0 has initial priority.
+    #[must_use]
+    pub fn new() -> Self {
+        RoundRobinArbiter { last: usize::MAX }
+    }
+}
+
+impl Arbiter for RoundRobinArbiter {
+    fn grant(&mut self, requesters: &[usize]) -> Option<usize> {
+        if requesters.is_empty() {
+            return None;
+        }
+        // The winner is the smallest index strictly greater than the previous
+        // winner, wrapping around.
+        let after = requesters
+            .iter()
+            .copied()
+            .filter(|&r| self.last != usize::MAX && r > self.last)
+            .min();
+        let winner = after.or_else(|| requesters.iter().copied().min())?;
+        self.last = winner;
+        Some(winner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_always_picks_the_lowest() {
+        let mut a = PriorityArbiter::new();
+        assert_eq!(a.grant(&[3, 1, 2]), Some(1));
+        assert_eq!(a.grant(&[3, 1, 2]), Some(1), "no memory, no fairness");
+        assert_eq!(a.grant(&[]), None);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut a = RoundRobinArbiter::new();
+        assert_eq!(a.grant(&[0, 1, 2]), Some(0));
+        assert_eq!(a.grant(&[0, 1, 2]), Some(1));
+        assert_eq!(a.grant(&[0, 1, 2]), Some(2));
+        assert_eq!(a.grant(&[0, 1, 2]), Some(0), "wraps around");
+        assert_eq!(a.grant(&[]), None);
+    }
+
+    #[test]
+    fn round_robin_skips_non_requesters() {
+        let mut a = RoundRobinArbiter::new();
+        assert_eq!(a.grant(&[1]), Some(1));
+        assert_eq!(a.grant(&[0, 3]), Some(3), "next after 1 among {{0,3}}");
+        assert_eq!(a.grant(&[0, 3]), Some(0));
+    }
+
+    #[test]
+    fn round_robin_serves_everyone_within_n_rounds() {
+        let mut a = RoundRobinArbiter::new();
+        let requesters: Vec<usize> = (0..8).collect();
+        let mut served = std::collections::HashSet::new();
+        for _ in 0..8 {
+            served.insert(a.grant(&requesters).unwrap());
+        }
+        assert_eq!(served.len(), 8);
+    }
+}

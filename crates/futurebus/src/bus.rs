@@ -1,0 +1,643 @@
+//! The Futurebus transaction engine.
+//!
+//! [`Futurebus::execute`] runs one transaction end-to-end: the broadcast
+//! address cycle (every attached module snoops, §2.1), wired-OR combination
+//! of the response lines, BS abort-push-restart for the adapted protocols,
+//! the data phase (memory, or an intervening owner preempting it), and the
+//! completion phase in which every snooper commits its state transition with
+//! the resolved CH observation.
+//!
+//! Memory-update semantics follow the paper exactly:
+//!
+//! * a **read** is served by the DI owner if one responds, else by memory;
+//!   intervention does *not* update memory (that limitation is why Write-Once,
+//!   Illinois and Firefly need BS, §4.3–4.5);
+//! * a **non-broadcast write** is captured by the DI owner if one responds
+//!   (memory preempted), else absorbed by memory;
+//! * a **broadcast write** updates main memory *and* every SL-connected cache
+//!   (§4.2: "when a broadcast write is done on the Futurebus, it affects all
+//!   caches holding the line and also main memory");
+//! * an **address-only** transaction moves no data.
+
+use crate::memory::SparseMemory;
+use crate::module::{BusModule, BusObservation};
+use crate::stats::BusStats;
+use crate::timing::{DataSourceLatency, Nanos, TimingConfig};
+use crate::trace::{BusTrace, TraceKind, TraceRecord};
+use crate::transaction::{
+    BusError, DataSource, TransactionKind, TransactionOutcome, TransactionRequest,
+};
+use moesi::ResponseSignals;
+
+/// The shared backplane bus, owning main memory (the default owner of every
+/// line) and the timing model.
+///
+/// # Examples
+///
+/// ```
+/// use futurebus::{Futurebus, TransactionRequest};
+/// use moesi::MasterSignals;
+///
+/// let mut bus = Futurebus::new(16, futurebus::TimingConfig::default());
+/// // A read with no caches attached is served by memory.
+/// let out = bus
+///     .execute(&TransactionRequest::read(0, 0x40, MasterSignals::CA), &mut [])
+///     .unwrap();
+/// assert_eq!(out.data.unwrap().len(), 16);
+/// assert!(!out.ch_seen);
+/// ```
+#[derive(Debug)]
+pub struct Futurebus {
+    memory: SparseMemory,
+    timing: TimingConfig,
+    stats: BusStats,
+    max_retries: u32,
+    trace: BusTrace,
+}
+
+impl Futurebus {
+    /// Creates a bus with the given line size (bytes) and timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `line_size` is a non-zero power of two.
+    #[must_use]
+    pub fn new(line_size: usize, timing: TimingConfig) -> Self {
+        Futurebus {
+            memory: SparseMemory::new(line_size),
+            timing,
+            stats: BusStats::new(),
+            max_retries: 4,
+            trace: BusTrace::new(0),
+        }
+    }
+
+    /// Enables transaction tracing, keeping the most recent `capacity`
+    /// records (0 disables).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = BusTrace::new(capacity);
+    }
+
+    /// The transaction trace (empty unless [`enable_trace`] was called).
+    ///
+    /// [`enable_trace`]: Futurebus::enable_trace
+    #[must_use]
+    pub fn trace(&self) -> &BusTrace {
+        &self.trace
+    }
+
+    /// The configured line size.
+    #[must_use]
+    pub fn line_size(&self) -> usize {
+        self.memory.line_size()
+    }
+
+    /// The timing model in force.
+    #[must_use]
+    pub fn timing(&self) -> &TimingConfig {
+        &self.timing
+    }
+
+    /// Main memory, for initialisation and checking.
+    #[must_use]
+    pub fn memory(&self) -> &SparseMemory {
+        &self.memory
+    }
+
+    /// Mutable access to main memory (e.g. to preload a workload image).
+    pub fn memory_mut(&mut self) -> &mut SparseMemory {
+        &mut self.memory
+    }
+
+    /// Cumulative bus statistics.
+    #[must_use]
+    pub fn stats(&self) -> &BusStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (memory contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = BusStats::new();
+    }
+
+    /// Runs one transaction. `modules` are all attached snooping units; the
+    /// entry at `req.master` is skipped (a master does not snoop itself), so
+    /// callers may pass their full module table. Indices in `req.master` and
+    /// [`DataSource::Intervention`] refer to this slice.
+    ///
+    /// # Errors
+    ///
+    /// See [`BusError`] — illegal signals, unaligned or oversized payloads,
+    /// duplicate interveners, or more BS aborts than the retry limit.
+    pub fn execute(
+        &mut self,
+        req: &TransactionRequest,
+        modules: &mut [&mut dyn BusModule],
+    ) -> Result<TransactionOutcome, BusError> {
+        self.validate(req, modules.len())?;
+        let line_size = self.memory.line_size();
+        let mut duration: Nanos = 0;
+        let mut aborts = 0u32;
+
+        loop {
+            // ---- Broadcast address cycle: every other module snoops. ----
+            let mut replies: Vec<(usize, ResponseSignals)> = Vec::with_capacity(modules.len());
+            let mut combined = ResponseSignals::NONE;
+            for (idx, module) in modules.iter_mut().enumerate() {
+                if idx == req.master {
+                    continue;
+                }
+                let r = module.snoop(req);
+                combined = combined.or(r);
+                replies.push((idx, r));
+            }
+
+            // ---- BS: abort, push, restart (§3.2.2). ----
+            if combined.bs {
+                aborts += 1;
+                self.stats.aborts += 1;
+                // The aborted address cycle still occupied the bus.
+                duration += self.timing.transaction(0, DataSourceLatency::Master, false);
+                if aborts > self.max_retries {
+                    return Err(BusError::TooManyRetries(aborts));
+                }
+                for (idx, r) in &replies {
+                    if !r.bs {
+                        continue;
+                    }
+                    let push = modules[*idx].prepare_push(req.addr);
+                    assert_eq!(
+                        push.data.len(),
+                        line_size,
+                        "push from module {idx} is not a full line"
+                    );
+                    self.memory.write_line(req.addr, &push.data);
+                    // The push is itself a write transaction on the bus. No
+                    // third party needs to snoop it: the pusher held the only
+                    // owned copy, and unowned S copies are unaffected by a
+                    // CA,~IM write-back.
+                    let push_cost = self.timing.transaction(
+                        line_size,
+                        DataSourceLatency::Master,
+                        push.signals.bc,
+                    );
+                    duration += push_cost;
+                    self.stats.pushes += 1;
+                    self.stats.transactions += 1;
+                    self.stats.writes += 1;
+                    self.stats.memory_writes += 1;
+                    self.stats.bytes_moved += line_size as u64;
+                    self.trace.push(TraceRecord {
+                        seq: 0,
+                        master: *idx,
+                        addr: req.addr,
+                        kind: TraceKind::Push,
+                        signals: push.signals,
+                        responses: ResponseSignals::NONE,
+                        source: DataSource::Memory,
+                        duration: push_cost,
+                        aborts: 0,
+                    });
+                }
+                continue;
+            }
+
+            // ---- Resolve the unique intervener, if any. ----
+            let interveners: Vec<usize> = replies
+                .iter()
+                .filter(|(_, r)| r.di)
+                .map(|(idx, _)| *idx)
+                .collect();
+            if interveners.len() > 1 {
+                return Err(BusError::MultipleInterveners(interveners));
+            }
+            let intervener = interveners.first().copied();
+
+            // ---- Data phase. ----
+            let broadcast = req.signals.bc;
+            let (data, source) = match &req.kind {
+                TransactionKind::Read => {
+                    let (line, source, latency) = match intervener {
+                        Some(idx) => {
+                            self.stats.interventions += 1;
+                            (
+                                modules[idx].supply_line(req.addr),
+                                DataSource::Intervention(idx),
+                                DataSourceLatency::Intervention,
+                            )
+                        }
+                        None => {
+                            self.stats.memory_reads += 1;
+                            (
+                                self.memory.read_line(req.addr),
+                                DataSource::Memory,
+                                DataSourceLatency::Memory,
+                            )
+                        }
+                    };
+                    duration += self.timing.transaction(line_size, latency, broadcast);
+                    self.stats.reads += 1;
+                    self.stats.bytes_moved += line_size as u64;
+                    (Some(line), source)
+                }
+                TransactionKind::Write { offset, bytes } => {
+                    if broadcast {
+                        // Broadcast writes always reach memory (§4.2); SL
+                        // snoopers are updated in the completion phase.
+                        self.memory.write_bytes(req.addr, *offset, bytes);
+                        self.stats.memory_writes += 1;
+                    } else if intervener.is_some() {
+                        // The owner captures the write; memory is preempted.
+                        self.stats.captures += 1;
+                    } else {
+                        self.memory.write_bytes(req.addr, *offset, bytes);
+                        self.stats.memory_writes += 1;
+                    }
+                    duration +=
+                        self.timing
+                            .transaction(bytes.len(), DataSourceLatency::Master, broadcast);
+                    self.stats.writes += 1;
+                    self.stats.bytes_moved += bytes.len() as u64;
+                    (
+                        None,
+                        match intervener {
+                            Some(idx) if !broadcast => DataSource::Intervention(idx),
+                            _ => DataSource::Memory,
+                        },
+                    )
+                }
+                TransactionKind::AddressOnly => {
+                    duration += self.timing.transaction(0, DataSourceLatency::Master, false);
+                    self.stats.address_only += 1;
+                    (None, DataSource::None)
+                }
+            };
+            if broadcast {
+                self.stats.broadcasts += 1;
+            }
+
+            // ---- Completion phase: commit every snooper's transition. ----
+            let payload: Option<(usize, &[u8])> = match &req.kind {
+                TransactionKind::Write { offset, bytes } => Some((*offset, bytes.as_slice())),
+                _ => None,
+            };
+            for (idx, r) in &replies {
+                let ch_others = replies
+                    .iter()
+                    .any(|(other, reply)| other != idx && reply.ch);
+                let delivers = payload.is_some() && (r.sl || (r.di && !broadcast));
+                if r.sl && payload.is_some() {
+                    self.stats.sl_updates += 1;
+                }
+                modules[*idx].complete(
+                    req,
+                    &BusObservation {
+                        ch_others,
+                        write_data: if delivers { payload } else { None },
+                    },
+                );
+            }
+
+            self.stats.transactions += 1;
+            self.stats.busy_ns += duration;
+
+            self.trace.push(TraceRecord {
+                seq: 0,
+                master: req.master,
+                addr: req.addr,
+                kind: match &req.kind {
+                    TransactionKind::Read => TraceKind::Read,
+                    TransactionKind::Write { .. } => TraceKind::Write,
+                    TransactionKind::AddressOnly => TraceKind::AddressOnly,
+                },
+                signals: req.signals,
+                responses: combined,
+                source,
+                duration,
+                aborts,
+            });
+
+            return Ok(TransactionOutcome {
+                data,
+                responses: combined,
+                ch_seen: combined.ch,
+                source,
+                duration,
+                aborts,
+            });
+        }
+    }
+
+    fn validate(&self, req: &TransactionRequest, module_count: usize) -> Result<(), BusError> {
+        if !req.signals.is_legal() {
+            return Err(BusError::IllegalSignals(req.signals));
+        }
+        // The master index may equal module_count when the master is not part
+        // of the snoop population (e.g. a bare test harness); anything beyond
+        // is a programming error.
+        if req.master > module_count {
+            return Err(BusError::UnknownMaster(req.master));
+        }
+        if !self.memory.is_aligned(req.addr) {
+            return Err(BusError::UnalignedAddress(req.addr));
+        }
+        if let TransactionKind::Write { offset, bytes } = &req.kind {
+            if offset + bytes.len() > self.memory.line_size() {
+                return Err(BusError::PayloadOutOfRange {
+                    offset: *offset,
+                    len: bytes.len(),
+                    line_size: self.memory.line_size(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::PushWrite;
+    use moesi::MasterSignals;
+
+    /// A scripted snooper for exercising the engine.
+    struct Mock {
+        response: ResponseSignals,
+        line: Vec<u8>,
+        completions: Vec<(bool, Option<Vec<u8>>)>,
+        pushes: u32,
+    }
+
+    impl Mock {
+        fn quiet() -> Self {
+            Mock::with(ResponseSignals::NONE)
+        }
+        fn with(response: ResponseSignals) -> Self {
+            Mock {
+                response,
+                line: vec![0xEE; 16],
+                completions: Vec::new(),
+                pushes: 0,
+            }
+        }
+    }
+
+    impl BusModule for Mock {
+        fn snoop(&mut self, _req: &TransactionRequest) -> ResponseSignals {
+            let r = self.response;
+            if r.bs {
+                // One abort only: react normally on the retry.
+                self.response = ResponseSignals::NONE;
+            }
+            r
+        }
+        fn supply_line(&mut self, _addr: u64) -> Box<[u8]> {
+            self.line.clone().into_boxed_slice()
+        }
+        fn prepare_push(&mut self, _addr: u64) -> PushWrite {
+            self.pushes += 1;
+            PushWrite {
+                data: self.line.clone().into_boxed_slice(),
+                signals: MasterSignals::CA,
+            }
+        }
+        fn complete(&mut self, _req: &TransactionRequest, obs: &BusObservation<'_>) {
+            self.completions
+                .push((obs.ch_others, obs.write_data.map(|(_, b)| b.to_vec())));
+        }
+    }
+
+    fn bus() -> Futurebus {
+        Futurebus::new(16, TimingConfig::default())
+    }
+
+    #[test]
+    fn read_without_owner_comes_from_memory() {
+        let mut bus = bus();
+        bus.memory_mut().write_bytes(0x40, 0, &[7; 16]);
+        let mut a = Mock::quiet();
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut a];
+        let out = bus
+            .execute(&TransactionRequest::read(1, 0x40, MasterSignals::CA), &mut mods)
+            .unwrap();
+        assert_eq!(out.source, DataSource::Memory);
+        assert_eq!(&out.data.unwrap()[..], &[7; 16]);
+        assert_eq!(bus.stats().memory_reads, 1);
+        assert_eq!(bus.stats().interventions, 0);
+    }
+
+    #[test]
+    fn di_owner_preempts_memory_on_reads() {
+        let mut bus = bus();
+        bus.memory_mut().write_bytes(0x40, 0, &[1; 16]); // stale
+        let mut owner = Mock::with(ResponseSignals { di: true, ch: true, ..ResponseSignals::NONE });
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut owner];
+        let out = bus
+            .execute(&TransactionRequest::read(1, 0x40, MasterSignals::CA), &mut mods)
+            .unwrap();
+        assert_eq!(out.source, DataSource::Intervention(0));
+        assert_eq!(&out.data.unwrap()[..], &[0xEE; 16], "owner's data, not memory's");
+        assert!(out.ch_seen);
+        // Intervention does NOT update memory — the Futurebus limitation.
+        assert_eq!(&bus.memory().peek_line(0x40)[..], &[1; 16]);
+    }
+
+    #[test]
+    fn non_broadcast_write_with_owner_is_captured_not_memorised() {
+        let mut bus = bus();
+        let mut owner = Mock::with(ResponseSignals { di: true, ..ResponseSignals::NONE });
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut owner];
+        let req = TransactionRequest::write(1, 0, MasterSignals::IM, 4, vec![9, 9]);
+        bus.execute(&req, &mut mods).unwrap();
+        assert_eq!(bus.stats().captures, 1);
+        assert_eq!(bus.stats().memory_writes, 0);
+        assert_eq!(owner.completions.len(), 1);
+        assert_eq!(owner.completions[0].1.as_deref(), Some(&[9u8, 9][..]));
+    }
+
+    #[test]
+    fn non_broadcast_write_without_owner_updates_memory() {
+        let mut bus = bus();
+        let mut other = Mock::quiet();
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut other];
+        let req = TransactionRequest::write(1, 0, MasterSignals::IM, 2, vec![5, 6]);
+        bus.execute(&req, &mut mods).unwrap();
+        assert_eq!(bus.memory().peek_line(0)[2..4], [5, 6]);
+        // A quiet snooper receives no payload.
+        assert_eq!(other.completions[0].1, None);
+    }
+
+    #[test]
+    fn broadcast_write_updates_memory_and_sl_snoopers() {
+        let mut bus = bus();
+        let mut sharer = Mock::with(ResponseSignals { sl: true, ch: true, ..ResponseSignals::NONE });
+        let mut bystander = Mock::quiet();
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut sharer, &mut bystander];
+        let req = TransactionRequest::write(2, 0, MasterSignals::CA_IM_BC, 0, vec![3; 4]);
+        let out = bus.execute(&req, &mut mods).unwrap();
+        assert_eq!(bus.memory().peek_line(0)[..4], [3; 4]);
+        assert_eq!(bus.stats().sl_updates, 1);
+        assert!(out.ch_seen);
+        assert_eq!(sharer.completions[0].1.as_deref(), Some(&[3u8; 4][..]));
+        assert_eq!(bystander.completions[0].1, None);
+    }
+
+    #[test]
+    fn bs_abort_pushes_then_retries() {
+        let mut bus = bus();
+        let mut dirty =
+            Mock::with(ResponseSignals { bs: true, ..ResponseSignals::NONE });
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut dirty];
+        let out = bus
+            .execute(&TransactionRequest::read(1, 0, MasterSignals::CA), &mut mods)
+            .unwrap();
+        assert_eq!(out.aborts, 1);
+        assert_eq!(dirty.pushes, 1);
+        // The push updated memory, so the retried read is served by memory
+        // with the pushed contents.
+        assert_eq!(out.source, DataSource::Memory);
+        assert_eq!(&out.data.unwrap()[..], &[0xEE; 16]);
+        assert_eq!(bus.stats().aborts, 1);
+        assert_eq!(bus.stats().pushes, 1);
+        assert_eq!(bus.stats().transactions, 2, "push + retried read");
+    }
+
+    #[test]
+    fn endless_bs_hits_the_retry_limit() {
+        struct AlwaysBusy;
+        impl BusModule for AlwaysBusy {
+            fn snoop(&mut self, _req: &TransactionRequest) -> ResponseSignals {
+                ResponseSignals { bs: true, ..ResponseSignals::NONE }
+            }
+            fn prepare_push(&mut self, _addr: u64) -> PushWrite {
+                PushWrite { data: vec![0; 16].into_boxed_slice(), signals: MasterSignals::CA }
+            }
+            fn complete(&mut self, _req: &TransactionRequest, _obs: &BusObservation<'_>) {}
+        }
+        let mut bus = bus();
+        let mut b = AlwaysBusy;
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut b];
+        let err = bus
+            .execute(&TransactionRequest::read(1, 0, MasterSignals::CA), &mut mods)
+            .unwrap_err();
+        assert!(matches!(err, BusError::TooManyRetries(_)));
+    }
+
+    #[test]
+    fn duplicate_interveners_are_rejected() {
+        let di = ResponseSignals { di: true, ..ResponseSignals::NONE };
+        let mut a = Mock::with(di);
+        let mut b = Mock::with(di);
+        let mut bus = bus();
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut a, &mut b];
+        let err = bus
+            .execute(&TransactionRequest::read(2, 0, MasterSignals::CA), &mut mods)
+            .unwrap_err();
+        assert_eq!(err, BusError::MultipleInterveners(vec![0, 1]));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut bus = bus();
+        let mut mods: Vec<&mut dyn BusModule> = vec![];
+        let bad_signals = TransactionRequest::read(0, 0, MasterSignals::new(false, false, true));
+        assert!(matches!(
+            bus.execute(&bad_signals, &mut mods),
+            Err(BusError::IllegalSignals(_))
+        ));
+        let unaligned = TransactionRequest::read(0, 3, MasterSignals::CA);
+        assert!(matches!(
+            bus.execute(&unaligned, &mut mods),
+            Err(BusError::UnalignedAddress(3))
+        ));
+        let oversized = TransactionRequest::write(0, 0, MasterSignals::IM, 12, vec![0; 8]);
+        assert!(matches!(
+            bus.execute(&oversized, &mut mods),
+            Err(BusError::PayloadOutOfRange { .. })
+        ));
+        let ghost = TransactionRequest::read(5, 0, MasterSignals::CA);
+        assert!(matches!(
+            bus.execute(&ghost, &mut mods),
+            Err(BusError::UnknownMaster(5))
+        ));
+    }
+
+    #[test]
+    fn ch_others_excludes_the_asker() {
+        // Two sharers both assert CH; each must see the *other's* CH, and a
+        // quiet third module sees CH from both.
+        let ch = ResponseSignals::CH;
+        let mut a = Mock::with(ch);
+        let mut b = Mock::with(ch);
+        let mut c = Mock::quiet();
+        let mut bus = bus();
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut a, &mut b, &mut c];
+        bus.execute(&TransactionRequest::read(3, 0, MasterSignals::CA), &mut mods)
+            .unwrap();
+        assert!(a.completions[0].0);
+        assert!(b.completions[0].0);
+        assert!(c.completions[0].0);
+
+        // With a single CH asserter, it must NOT see its own CH echoed back.
+        let mut solo = Mock::with(ch);
+        let mut quiet = Mock::quiet();
+        let mut bus = Futurebus::new(16, TimingConfig::default());
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut solo, &mut quiet];
+        bus.execute(&TransactionRequest::read(2, 0, MasterSignals::CA), &mut mods)
+            .unwrap();
+        assert!(!solo.completions[0].0, "own CH must not count");
+        assert!(quiet.completions[0].0);
+    }
+
+    #[test]
+    fn address_only_moves_no_data_and_costs_no_transfer() {
+        let mut bus = bus();
+        let mut s = Mock::quiet();
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut s];
+        let out = bus
+            .execute(
+                &TransactionRequest::address_only(1, 0, MasterSignals::CA_IM),
+                &mut mods,
+            )
+            .unwrap();
+        assert_eq!(out.data, None);
+        assert_eq!(out.source, DataSource::None);
+        let t = TimingConfig::default();
+        assert_eq!(out.duration, t.arbitration_ns + t.address_cycle_ns);
+        assert_eq!(bus.stats().address_only, 1);
+        assert_eq!(bus.stats().bytes_moved, 0);
+    }
+
+    #[test]
+    fn broadcast_writes_cost_the_wired_or_penalty() {
+        let mut bus = bus();
+        let t = *bus.timing();
+        let mut mods: Vec<&mut dyn BusModule> = vec![];
+        let plain = bus
+            .execute(
+                &TransactionRequest::write(0, 0, MasterSignals::IM, 0, vec![0; 4]),
+                &mut mods,
+            )
+            .unwrap();
+        let bcast = bus
+            .execute(
+                &TransactionRequest::write(0, 0, MasterSignals::IM_BC, 0, vec![0; 4]),
+                &mut mods,
+            )
+            .unwrap();
+        assert_eq!(bcast.duration - plain.duration, t.broadcast_penalty_ns);
+    }
+
+    #[test]
+    fn master_does_not_snoop_itself() {
+        let mut a = Mock::with(ResponseSignals::CH);
+        let mut bus = bus();
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut a];
+        // Module 0 is the master: its own CH must not be seen.
+        let out = bus
+            .execute(&TransactionRequest::read(0, 0, MasterSignals::CA), &mut mods)
+            .unwrap();
+        assert!(!out.ch_seen);
+        assert!(a.completions.is_empty(), "master gets no completion callback");
+    }
+}

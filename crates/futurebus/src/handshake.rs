@@ -1,0 +1,272 @@
+//! The broadcast address handshake of Figures 1 and 2.
+//!
+//! "The current bus master first issues an address, then signals the event by
+//! asserting the address strobe, AS*. All other bus modules assert AK*
+//! immediately (address acknowledge), but each releases AI* (address
+//! acknowledge inverse) and allows it to rise only after it is finished with
+//! the address and is ready to go on. Only after AI* has risen may the bus
+//! master remove the address from the bus" (§2.2).
+//!
+//! [`HandshakeSim`] replays that sequence for a set of modules with
+//! individual address-processing delays and produces a timestamped trace —
+//! the event series Figure 2 plots — plus the cycle duration, which is
+//! governed by the *slowest* module plus the wired-OR glitch-filter delay.
+//! "The reward is that broadcast operations are guaranteed to work, no matter
+//! how new or old, fast or slow, a particular board may be."
+
+use crate::timing::{Nanos, TimingConfig};
+use crate::wire::{WireEvent, WiredOr};
+use std::fmt;
+
+/// One timestamped step of the handshake trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HandshakeEvent {
+    /// Nanoseconds since the master began driving the address.
+    pub at: Nanos,
+    /// What happened.
+    pub step: HandshakeStep,
+}
+
+/// The observable steps of one broadcast address cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HandshakeStep {
+    /// Master drives the address lines.
+    AddressDriven,
+    /// Master asserts AS* (address strobe).
+    AsAsserted,
+    /// A module asserts AK* (address acknowledge).
+    AkAsserted(usize),
+    /// A module releases AI*; if others still hold it, this is where a
+    /// wired-OR glitch occurs and the inertial filter earns its delay.
+    AiReleased {
+        /// The releasing module.
+        module: usize,
+        /// Whether the release glitched (other drivers still held AI* low).
+        glitch: bool,
+    },
+    /// AI* has risen: every module is finished with the address.
+    AiRose,
+    /// Master removes the address and releases AS*.
+    AddressRemoved,
+}
+
+impl fmt::Display for HandshakeStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HandshakeStep::AddressDriven => f.write_str("address driven"),
+            HandshakeStep::AsAsserted => f.write_str("AS* asserted"),
+            HandshakeStep::AkAsserted(m) => write!(f, "AK* asserted by module {m}"),
+            HandshakeStep::AiReleased { module, glitch } => {
+                if *glitch {
+                    write!(f, "AI* released by module {module} (wired-OR glitch)")
+                } else {
+                    write!(f, "AI* released by module {module} (line rises)")
+                }
+            }
+            HandshakeStep::AiRose => f.write_str("AI* high: all modules ready"),
+            HandshakeStep::AddressRemoved => f.write_str("address removed"),
+        }
+    }
+}
+
+/// The result of simulating one broadcast address cycle.
+#[derive(Clone, Debug)]
+pub struct HandshakeTrace {
+    /// The timestamped steps, in time order.
+    pub events: Vec<HandshakeEvent>,
+    /// Total duration of the address cycle.
+    pub duration: Nanos,
+    /// Number of wired-OR glitches that the inertial filter absorbed.
+    pub glitches: u64,
+}
+
+impl HandshakeTrace {
+    /// Renders the trace as an ASCII timeline (one line per event).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&format!("{:>6} ns  {}\n", ev.at, ev.step));
+        }
+        out.push_str(&format!("{:>6} ns  cycle complete\n", self.duration));
+        out
+    }
+}
+
+/// Simulates broadcast address cycles over a population of modules.
+///
+/// # Examples
+///
+/// ```
+/// use futurebus::handshake::HandshakeSim;
+/// use futurebus::TimingConfig;
+///
+/// let sim = HandshakeSim::new(TimingConfig::default());
+/// // Three modules: a fast cache, a slow I/O board, memory.
+/// let trace = sim.run(&[20, 90, 45]);
+/// // The slowest module governs the cycle.
+/// assert!(trace.duration >= 90);
+/// assert_eq!(trace.glitches, 2, "two of three AI* releases glitch");
+/// ```
+#[derive(Clone, Debug)]
+pub struct HandshakeSim {
+    timing: TimingConfig,
+    /// Time from address valid to AS* assertion (setup time).
+    pub as_delay_ns: Nanos,
+    /// Time for a module to assert AK* after seeing AS*.
+    pub ak_delay_ns: Nanos,
+}
+
+impl HandshakeSim {
+    /// Creates a simulator with 10 ns setup and 5 ns acknowledge delays.
+    #[must_use]
+    pub fn new(timing: TimingConfig) -> Self {
+        HandshakeSim {
+            timing,
+            as_delay_ns: 10,
+            ak_delay_ns: 5,
+        }
+    }
+
+    /// Runs one broadcast address cycle; `module_delays[i]` is how long module
+    /// `i` needs the address (e.g. a cache directory lookup, §2.1: "the cache
+    /// must check the address for a hit in its directory before allowing the
+    /// address cycle to complete").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module_delays` is empty — a broadcast needs listeners.
+    #[must_use]
+    pub fn run(&self, module_delays: &[Nanos]) -> HandshakeTrace {
+        assert!(!module_delays.is_empty(), "a broadcast cycle needs at least one slave");
+        let mut events = Vec::new();
+        let mut ai = WiredOr::new("AI*");
+        let mut ak = WiredOr::new("AK*");
+
+        events.push(HandshakeEvent { at: 0, step: HandshakeStep::AddressDriven });
+        let as_time = self.as_delay_ns;
+        events.push(HandshakeEvent { at: as_time, step: HandshakeStep::AsAsserted });
+
+        // All modules hold AI* low from the start of the cycle (drive low,
+        // float high) and acknowledge with AK* as soon as they see AS*.
+        for (m, _) in module_delays.iter().enumerate() {
+            ai.assert(m);
+        }
+        let ak_time = as_time + self.ak_delay_ns;
+        for (m, _) in module_delays.iter().enumerate() {
+            ak.assert(m);
+            events.push(HandshakeEvent { at: ak_time, step: HandshakeStep::AkAsserted(m) });
+        }
+
+        // Each module releases AI* when it is done with the address; sort by
+        // completion time so the trace is chronological.
+        let mut order: Vec<usize> = (0..module_delays.len()).collect();
+        order.sort_by_key(|&m| module_delays[m]);
+        let mut glitches = 0;
+        let mut ai_rise_time = ak_time;
+        for m in order {
+            let at = ak_time + module_delays[m];
+            let event = ai.release(m);
+            let glitch = matches!(event, Some(WireEvent::Glitch(_)));
+            if glitch {
+                glitches += 1;
+            }
+            events.push(HandshakeEvent {
+                at,
+                step: HandshakeStep::AiReleased { module: m, glitch },
+            });
+            ai_rise_time = at;
+        }
+
+        // The glitch filter holds the perceived rise back by its delay.
+        let filtered_rise = ai_rise_time
+            + if glitches > 0 {
+                self.timing.broadcast_penalty_ns
+            } else {
+                0
+            };
+        events.push(HandshakeEvent { at: filtered_rise, step: HandshakeStep::AiRose });
+        events.push(HandshakeEvent {
+            at: filtered_rise,
+            step: HandshakeStep::AddressRemoved,
+        });
+
+        HandshakeTrace {
+            events,
+            duration: filtered_rise,
+            glitches,
+        }
+    }
+
+    /// Duration of a single-slave handshake (no glitch filter needed) versus a
+    /// broadcast one with the same per-module delay: the difference is the
+    /// §2.2 "25 nanoseconds slower" penalty.
+    #[must_use]
+    pub fn broadcast_overhead(&self, delay: Nanos, modules: usize) -> Nanos {
+        let single = self.run(&[delay]).duration;
+        let broadcast = self.run(&vec![delay; modules.max(2)]).duration;
+        broadcast - single
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> HandshakeSim {
+        HandshakeSim::new(TimingConfig::default())
+    }
+
+    #[test]
+    fn slowest_module_governs_the_cycle() {
+        let t = sim().run(&[10, 200, 30]);
+        // 10 (AS setup) + 5 (AK) + 200 (slowest) + 25 (glitch filter).
+        assert_eq!(t.duration, 240);
+    }
+
+    #[test]
+    fn single_slave_has_no_glitch_and_no_penalty() {
+        let t = sim().run(&[40]);
+        assert_eq!(t.glitches, 0);
+        assert_eq!(t.duration, 10 + 5 + 40);
+    }
+
+    #[test]
+    fn broadcast_overhead_is_the_paper_25ns() {
+        // Equal-delay modules: the only extra cost is the glitch filter.
+        assert_eq!(sim().broadcast_overhead(50, 4), 25);
+    }
+
+    #[test]
+    fn n_modules_produce_n_minus_1_glitches() {
+        for n in 2..8 {
+            let delays: Vec<Nanos> = (0..n).map(|i| 10 + 7 * i as Nanos).collect();
+            let t = sim().run(&delays);
+            assert_eq!(t.glitches, n as u64 - 1);
+        }
+    }
+
+    #[test]
+    fn trace_is_chronological_and_complete() {
+        let t = sim().run(&[30, 10, 20]);
+        let times: Vec<Nanos> = t.events.iter().map(|e| e.at).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "events out of order");
+        assert!(matches!(t.events[0].step, HandshakeStep::AddressDriven));
+        assert!(matches!(
+            t.events.last().unwrap().step,
+            HandshakeStep::AddressRemoved
+        ));
+        let renders = t.render();
+        assert!(renders.contains("AS* asserted"));
+        assert!(renders.contains("wired-OR glitch"));
+        assert!(renders.contains("cycle complete"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slave")]
+    fn empty_broadcast_is_rejected() {
+        let _ = sim().run(&[]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Main memory: the default owner of every line (§3.1.3).
+//!
+//! "All data is said to be owned uniquely either by one and only one cache or
+//! by main memory ... main memory is the default owner." Memory keeps no
+//! consistency state at all: "Shared memory modules will not need to
+//! distinguish valid data from invalid data; instead, caches associated with
+//! each master will keep track of the invalidity of the data that resides in
+//! shared memory" (§3.1.1).
+
+use crate::transaction::LineAddr;
+use std::collections::HashMap;
+
+/// A sparse, line-granular main memory. Untouched lines read as zero.
+///
+/// # Examples
+///
+/// ```
+/// use futurebus::SparseMemory;
+///
+/// let mut mem = SparseMemory::new(16);
+/// assert_eq!(&mem.read_line(0x40)[..4], &[0, 0, 0, 0]);
+/// mem.write_bytes(0x40, 4, &[0xAB, 0xCD]);
+/// assert_eq!(mem.read_line(0x40)[4], 0xAB);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SparseMemory {
+    line_size: usize,
+    lines: HashMap<LineAddr, Box<[u8]>>,
+    reads: u64,
+    writes: u64,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory with the given line size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `line_size` is a non-zero power of two (the paper's
+    /// §5.1 standard-line-size requirement presumes conventional sizes).
+    #[must_use]
+    pub fn new(line_size: usize) -> Self {
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two, got {line_size}"
+        );
+        SparseMemory {
+            line_size,
+            lines: HashMap::new(),
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// The configured line size in bytes.
+    #[must_use]
+    pub fn line_size(&self) -> usize {
+        self.line_size
+    }
+
+    /// Aligns an arbitrary byte address down to its line address.
+    #[must_use]
+    pub fn align(&self, addr: u64) -> LineAddr {
+        addr & !(self.line_size as u64 - 1)
+    }
+
+    /// True when `addr` is line-aligned.
+    #[must_use]
+    pub fn is_aligned(&self, addr: u64) -> bool {
+        self.align(addr) == addr
+    }
+
+    /// Reads a full line. Untouched lines are zero-filled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not line-aligned.
+    #[must_use]
+    pub fn read_line(&mut self, addr: LineAddr) -> Box<[u8]> {
+        assert!(self.is_aligned(addr), "unaligned line read at {addr:#x}");
+        self.reads += 1;
+        match self.lines.get(&addr) {
+            Some(line) => line.clone(),
+            None => vec![0; self.line_size].into_boxed_slice(),
+        }
+    }
+
+    /// Peeks at a line without counting a memory access (for checkers).
+    #[must_use]
+    pub fn peek_line(&self, addr: LineAddr) -> Box<[u8]> {
+        match self.lines.get(&self.align(addr)) {
+            Some(line) => line.clone(),
+            None => vec![0; self.line_size].into_boxed_slice(),
+        }
+    }
+
+    /// Overwrites a full line (a push / write-back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is unaligned or `data` is not exactly one line.
+    pub fn write_line(&mut self, addr: LineAddr, data: &[u8]) {
+        assert!(self.is_aligned(addr), "unaligned line write at {addr:#x}");
+        assert_eq!(data.len(), self.line_size, "line write must be full-size");
+        self.writes += 1;
+        self.lines.insert(addr, data.into());
+    }
+
+    /// Writes part of a line (a word write from a write-through or
+    /// non-caching master, or a broadcast update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write would cross the end of the line.
+    pub fn write_bytes(&mut self, addr: LineAddr, offset: usize, bytes: &[u8]) {
+        assert!(self.is_aligned(addr), "unaligned partial write at {addr:#x}");
+        assert!(
+            offset + bytes.len() <= self.line_size,
+            "write {}B@+{offset} crosses line boundary (line size {})",
+            bytes.len(),
+            self.line_size
+        );
+        self.writes += 1;
+        let line = self
+            .lines
+            .entry(addr)
+            .or_insert_with(|| vec![0; self.line_size].into_boxed_slice());
+        line[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Number of line reads served.
+    #[must_use]
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of writes accepted (full-line and partial).
+    #[must_use]
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of distinct lines ever written.
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_lines_read_zero() {
+        let mut mem = SparseMemory::new(32);
+        assert!(mem.read_line(0).iter().all(|&b| b == 0));
+        assert_eq!(mem.read_line(0x1000).len(), 32);
+    }
+
+    #[test]
+    fn partial_writes_merge_into_the_line() {
+        let mut mem = SparseMemory::new(16);
+        mem.write_bytes(0x20, 0, &[1, 2]);
+        mem.write_bytes(0x20, 14, &[3, 4]);
+        let line = mem.read_line(0x20);
+        assert_eq!(&line[..2], &[1, 2]);
+        assert_eq!(&line[14..], &[3, 4]);
+        assert!(line[2..14].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn full_line_write_replaces_content() {
+        let mut mem = SparseMemory::new(8);
+        mem.write_bytes(0, 0, &[9; 8]);
+        mem.write_line(0, &[7; 8]);
+        assert_eq!(&mem.read_line(0)[..], &[7; 8]);
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        let mem = SparseMemory::new(64);
+        assert_eq!(mem.align(0x7F), 0x40);
+        assert!(mem.is_aligned(0x80));
+        assert!(!mem.is_aligned(0x81));
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut mem = SparseMemory::new(16);
+        let _ = mem.read_line(0);
+        mem.write_bytes(0, 0, &[1]);
+        mem.write_line(16, &[0; 16]);
+        assert_eq!(mem.read_count(), 1);
+        assert_eq!(mem.write_count(), 2);
+        assert_eq!(mem.resident_lines(), 2);
+        // peek does not count.
+        let _ = mem.peek_line(0);
+        assert_eq!(mem.read_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_line_sizes_are_rejected() {
+        let _ = SparseMemory::new(24);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses line boundary")]
+    fn line_crossing_writes_are_rejected() {
+        let mut mem = SparseMemory::new(16);
+        mem.write_bytes(0, 14, &[0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_reads_are_rejected() {
+        let mut mem = SparseMemory::new(16);
+        let _ = mem.read_line(3);
+    }
+}

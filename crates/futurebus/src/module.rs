@@ -1,0 +1,123 @@
+//! The [`BusModule`] trait: anything attached to the Futurebus that snoops.
+
+use crate::transaction::{LineAddr, TransactionRequest};
+use moesi::{MasterSignals, ResponseSignals};
+
+/// What a snooping module observes at the end of a transaction, after all
+/// responses have been combined on the wired-OR lines.
+#[derive(Clone, Copy, Debug)]
+pub struct BusObservation<'a> {
+    /// CH asserted by at least one *other* cache (not this module, not the
+    /// master). Resolves `CH:O/M` and `CH:S/E` reaction results.
+    pub ch_others: bool,
+    /// The write payload, when this module connected to the transfer (SL on a
+    /// broadcast) or captured it (DI on a write): byte offset within the line
+    /// and the data.
+    pub write_data: Option<(usize, &'a [u8])>,
+}
+
+/// The write-back a module performs after aborting a transaction with BS
+/// (§3.2.2: "BS is used to abort a transaction and update memory before that
+/// transaction can resume").
+#[derive(Clone, Debug)]
+pub struct PushWrite {
+    /// The full line contents pushed to memory.
+    pub data: Box<[u8]>,
+    /// The signals the push write drives (e.g. `CA` for `BS;S,CA,W`).
+    pub signals: MasterSignals,
+}
+
+/// A unit attached to the bus: a cache controller, an I/O board, etc.
+///
+/// Main memory is *not* a `BusModule`: it lives inside the
+/// [`Futurebus`](crate::Futurebus) as the default owner of every line, which
+/// keeps the data path (intervention preempting memory) in one place.
+///
+/// The bus drives a transaction through three phases:
+///
+/// 1. **Snoop** — every module other than the master sees the broadcast
+///    address cycle and answers with its response lines ([`snoop`]).
+/// 2. **Data** — if a module asserted DI on a read, the bus fetches the line
+///    from it ([`supply_line`]); if it asserted BS, the bus collects its push
+///    ([`prepare_push`]), writes it to memory, and restarts the transaction.
+/// 3. **Complete** — every snooped module commits its state transition with
+///    the resolved CH observation and any broadcast/captured data
+///    ([`complete`]).
+///
+/// [`snoop`]: BusModule::snoop
+/// [`supply_line`]: BusModule::supply_line
+/// [`prepare_push`]: BusModule::prepare_push
+/// [`complete`]: BusModule::complete
+pub trait BusModule {
+    /// Observe the broadcast address cycle and answer with response lines.
+    ///
+    /// A module asserting `BS` must be prepared for a [`prepare_push`] call;
+    /// one asserting `DI` on a read must be prepared for [`supply_line`].
+    ///
+    /// [`prepare_push`]: BusModule::prepare_push
+    /// [`supply_line`]: BusModule::supply_line
+    fn snoop(&mut self, req: &TransactionRequest) -> ResponseSignals;
+
+    /// Supply the full line for a read this module intervened on.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics: modules that never assert DI never
+    /// receive this call.
+    fn supply_line(&mut self, addr: LineAddr) -> Box<[u8]> {
+        panic!("module cannot intervene for {addr:#x}");
+    }
+
+    /// Produce the push write-back after this module aborted with BS.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics: modules that never assert BS never
+    /// receive this call.
+    fn prepare_push(&mut self, addr: LineAddr) -> PushWrite {
+        panic!("module cannot push {addr:#x}");
+    }
+
+    /// Commit the state transition for a snooped transaction.
+    fn complete(&mut self, req: &TransactionRequest, obs: &BusObservation<'_>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::TransactionKind;
+
+    struct Dummy;
+    impl BusModule for Dummy {
+        fn snoop(&mut self, _req: &TransactionRequest) -> ResponseSignals {
+            ResponseSignals::NONE
+        }
+        fn complete(&mut self, _req: &TransactionRequest, _obs: &BusObservation<'_>) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot intervene")]
+    fn default_supply_panics() {
+        let _ = Dummy.supply_line(0x40);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot push")]
+    fn default_push_panics() {
+        let _ = Dummy.prepare_push(0x40);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut d = Dummy;
+        let obj: &mut dyn BusModule = &mut d;
+        let req = TransactionRequest {
+            master: 0,
+            addr: 0,
+            kind: TransactionKind::Read,
+            signals: MasterSignals::CA,
+        };
+        assert_eq!(obj.snoop(&req), ResponseSignals::NONE);
+        obj.complete(&req, &BusObservation { ch_others: false, write_data: None });
+    }
+}

@@ -1,0 +1,132 @@
+//! Bus activity counters.
+
+use crate::timing::Nanos;
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Cumulative counts of everything the bus did.
+///
+/// All fields are public passive data: the struct exists to be read, summed
+/// and printed by benchmarks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Completed transactions (not counting aborted passes).
+    pub transactions: u64,
+    /// Read transactions.
+    pub reads: u64,
+    /// Write transactions (including pushes).
+    pub writes: u64,
+    /// Address-only (invalidate) transactions.
+    pub address_only: u64,
+    /// Transactions with BC asserted.
+    pub broadcasts: u64,
+    /// Reads served by an intervening cache instead of memory.
+    pub interventions: u64,
+    /// Reads served by main memory.
+    pub memory_reads: u64,
+    /// Writes absorbed by main memory (full or partial).
+    pub memory_writes: u64,
+    /// Writes captured by an intervening owner (memory preempted).
+    pub captures: u64,
+    /// Third-party SL connections delivered (snooper updates).
+    pub sl_updates: u64,
+    /// BS aborts observed.
+    pub aborts: u64,
+    /// Push write-backs executed on behalf of aborting modules.
+    pub pushes: u64,
+    /// Total bus-occupied time.
+    pub busy_ns: Nanos,
+    /// Total payload bytes moved (reads + writes + pushes).
+    pub bytes_moved: u64,
+}
+
+impl BusStats {
+    /// A zeroed counter set.
+    #[must_use]
+    pub fn new() -> Self {
+        BusStats::default()
+    }
+
+    /// Transactions per microsecond of bus-busy time.
+    #[must_use]
+    pub fn throughput_per_us(&self) -> f64 {
+        if self.busy_ns == 0 {
+            0.0
+        } else {
+            self.transactions as f64 * 1000.0 / self.busy_ns as f64
+        }
+    }
+}
+
+impl AddAssign for BusStats {
+    fn add_assign(&mut self, rhs: BusStats) {
+        self.transactions += rhs.transactions;
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+        self.address_only += rhs.address_only;
+        self.broadcasts += rhs.broadcasts;
+        self.interventions += rhs.interventions;
+        self.memory_reads += rhs.memory_reads;
+        self.memory_writes += rhs.memory_writes;
+        self.captures += rhs.captures;
+        self.sl_updates += rhs.sl_updates;
+        self.aborts += rhs.aborts;
+        self.pushes += rhs.pushes;
+        self.busy_ns += rhs.busy_ns;
+        self.bytes_moved += rhs.bytes_moved;
+    }
+}
+
+impl fmt::Display for BusStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "bus: {} txns ({} R, {} W, {} inval, {} bcast) in {} ns",
+            self.transactions, self.reads, self.writes, self.address_only, self.broadcasts,
+            self.busy_ns
+        )?;
+        write!(
+            f,
+            "     {} interventions, {} captures, {} SL updates, {} mem R, {} mem W, {} aborts/{} pushes, {} B moved",
+            self.interventions,
+            self.captures,
+            self.sl_updates,
+            self.memory_reads,
+            self.memory_writes,
+            self.aborts,
+            self.pushes,
+            self.bytes_moved
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_sums_fields() {
+        let mut a = BusStats { transactions: 2, reads: 1, busy_ns: 100, ..BusStats::new() };
+        let b = BusStats { transactions: 3, writes: 2, busy_ns: 50, ..BusStats::new() };
+        a += b;
+        assert_eq!(a.transactions, 5);
+        assert_eq!(a.reads, 1);
+        assert_eq!(a.writes, 2);
+        assert_eq!(a.busy_ns, 150);
+    }
+
+    #[test]
+    fn throughput_handles_zero_time() {
+        assert_eq!(BusStats::new().throughput_per_us(), 0.0);
+        let s = BusStats { transactions: 10, busy_ns: 1000, ..BusStats::new() };
+        assert!((s.throughput_per_us() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_key_counts() {
+        let s = BusStats { transactions: 7, aborts: 2, ..BusStats::new() };
+        let text = s.to_string();
+        assert!(text.contains("7 txns"));
+        assert!(text.contains("2 aborts"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Bus transaction tracing: a bounded log of everything that crossed the bus.
+//!
+//! Logic analysers were the 1986 way of debugging a backplane; this is ours.
+//! When enabled, the bus appends one [`TraceRecord`] per completed
+//! transaction (and per push), and the log can be rendered as a transcript.
+
+use crate::timing::Nanos;
+use crate::transaction::{DataSource, LineAddr};
+use moesi::{MasterSignals, ResponseSignals};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// What kind of transaction a record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A read transaction (line fill / read-for-modify).
+    Read,
+    /// A write transaction (write-through, broadcast update, write-back).
+    Write,
+    /// An address-only invalidate.
+    AddressOnly,
+    /// A push write executed on behalf of a BS-aborting snooper.
+    Push,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceKind::Read => "READ",
+            TraceKind::Write => "WRITE",
+            TraceKind::AddressOnly => "INVAL",
+            TraceKind::Push => "PUSH",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One logged bus transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Sequence number (monotonically increasing, survives log eviction).
+    pub seq: u64,
+    /// The master module index (the pushing snooper for [`TraceKind::Push`]).
+    pub master: usize,
+    /// The line address.
+    pub addr: LineAddr,
+    /// What happened.
+    pub kind: TraceKind,
+    /// The master signals driven.
+    pub signals: MasterSignals,
+    /// Wired-OR of the snoopers' response lines.
+    pub responses: ResponseSignals,
+    /// Who served the data phase.
+    pub source: DataSource,
+    /// Bus time consumed.
+    pub duration: Nanos,
+    /// BS abort rounds the transaction suffered before completing.
+    pub aborts: u32,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{:<5} m{} {:<5} @{:#08x} [{}] -> [{}] {}{} {} ns",
+            self.seq,
+            self.master,
+            self.kind,
+            self.addr,
+            self.signals,
+            self.responses,
+            match self.source {
+                DataSource::Memory => "mem".to_string(),
+                DataSource::Intervention(i) => format!("cache{i}"),
+                DataSource::None => "-".to_string(),
+            },
+            if self.aborts > 0 {
+                format!(" ({} aborts)", self.aborts)
+            } else {
+                String::new()
+            },
+            self.duration,
+        )
+    }
+}
+
+/// A bounded transaction log.
+#[derive(Clone, Debug, Default)]
+pub struct BusTrace {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl BusTrace {
+    /// Creates a log keeping the most recent `capacity` records.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        BusTrace {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            next_seq: 0,
+        }
+    }
+
+    /// Appends a record (assigning its sequence number), evicting the oldest
+    /// if full.
+    pub fn push(&mut self, mut record: TraceRecord) {
+        if self.capacity == 0 {
+            return;
+        }
+        record.seq = self.next_seq;
+        self.next_seq += 1;
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(record);
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> + '_ {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total records ever logged (including evicted ones).
+    #[must_use]
+    pub fn total_logged(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Renders the retained records, one per line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Clears the log (sequence numbering continues).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(addr: u64) -> TraceRecord {
+        TraceRecord {
+            seq: 0,
+            master: 1,
+            addr,
+            kind: TraceKind::Read,
+            signals: MasterSignals::CA,
+            responses: ResponseSignals::CH,
+            source: DataSource::Memory,
+            duration: 450,
+            aborts: 0,
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_are_assigned_and_monotonic() {
+        let mut t = BusTrace::new(8);
+        t.push(record(0x40));
+        t.push(record(0x80));
+        let seqs: Vec<u64> = t.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+        assert_eq!(t.total_logged(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut t = BusTrace::new(2);
+        for i in 0..5 {
+            t.push(record(i * 0x40));
+        }
+        assert_eq!(t.len(), 2);
+        let addrs: Vec<u64> = t.records().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![0xC0, 0x100]);
+        assert_eq!(t.total_logged(), 5);
+    }
+
+    #[test]
+    fn zero_capacity_logs_nothing() {
+        let mut t = BusTrace::new(0);
+        t.push(record(0));
+        assert!(t.is_empty());
+        assert_eq!(t.total_logged(), 0);
+    }
+
+    #[test]
+    fn render_is_one_line_per_record() {
+        let mut t = BusTrace::new(4);
+        t.push(record(0x40));
+        let mut aborted = record(0x80);
+        aborted.kind = TraceKind::Push;
+        aborted.aborts = 1;
+        t.push(aborted);
+        let text = t.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("READ"));
+        assert!(text.contains("PUSH"));
+        assert!(text.contains("(1 aborts)"));
+        assert!(text.contains("CA"));
+    }
+
+    #[test]
+    fn clear_keeps_numbering() {
+        let mut t = BusTrace::new(4);
+        t.push(record(0));
+        t.clear();
+        assert!(t.is_empty());
+        t.push(record(0));
+        assert_eq!(t.records().next().unwrap().seq, 1);
+    }
+}

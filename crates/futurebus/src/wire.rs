@@ -1,0 +1,208 @@
+//! Open-collector wired-OR signal lines (§2.2 of the paper).
+//!
+//! "All bus signals are open-collector driven and passively terminated" —
+//! any driver can pull a line low (asserted), and the line floats high
+//! (released) only when *every* driver has let go. The paper's garden-hose
+//! analogy: a child's foot on the hose stops the flow; removing one foot does
+//! not resume it while another foot remains.
+//!
+//! The model also tracks **wired-OR glitches**: "an unavoidable perturbation
+//! of the signal occurs when one driver releases an open-collector signal
+//! that is still being asserted by another driver." Glitches are counted and
+//! logged; the deterministic fix (an asymmetrical inertial delay line,
+//! \[Gust83\]) is represented by the filter delay the timing model charges for
+//! broadcast handshakes.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifies one driver (bus module) on a wired-OR line.
+pub type DriverId = usize;
+
+/// An event observed on a wired-OR line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireEvent {
+    /// The line went from released (high) to asserted (low): the *first*
+    /// driver stepped on it.
+    Fell(DriverId),
+    /// The line went from asserted to released: the *last* driver let go.
+    Rose(DriverId),
+    /// A driver released while at least one other driver still asserts: the
+    /// current redistribution produces a wired-OR glitch.
+    Glitch(DriverId),
+}
+
+impl fmt::Display for WireEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireEvent::Fell(d) => write!(f, "fell (driver {d})"),
+            WireEvent::Rose(d) => write!(f, "rose (driver {d})"),
+            WireEvent::Glitch(d) => write!(f, "wired-OR glitch (driver {d} released)"),
+        }
+    }
+}
+
+/// One open-collector bus line with any number of drivers.
+///
+/// # Examples
+///
+/// ```
+/// use futurebus::wire::{WireEvent, WiredOr};
+///
+/// let mut ai = WiredOr::new("AI*");
+/// // "Have them all pulling the signal low initially and wait for the
+/// //  signal to go high" — the all-modules-ready broadcast idiom.
+/// ai.assert(0);
+/// ai.assert(1);
+/// assert!(ai.is_asserted());
+/// assert_eq!(ai.release(0), Some(WireEvent::Glitch(0)));
+/// assert_eq!(ai.release(1), Some(WireEvent::Rose(1)));
+/// assert!(!ai.is_asserted());
+/// ```
+#[derive(Clone, Debug)]
+pub struct WiredOr {
+    name: &'static str,
+    drivers: BTreeSet<DriverId>,
+    glitches: u64,
+}
+
+impl WiredOr {
+    /// Creates a released (floating high) line with the given name.
+    #[must_use]
+    pub fn new(name: &'static str) -> Self {
+        WiredOr {
+            name,
+            drivers: BTreeSet::new(),
+            glitches: 0,
+        }
+    }
+
+    /// The line's name (e.g. `"AS*"`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// True while any driver pulls the line low.
+    #[must_use]
+    pub fn is_asserted(&self) -> bool {
+        !self.drivers.is_empty()
+    }
+
+    /// The number of drivers currently asserting the line.
+    #[must_use]
+    pub fn driver_count(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// Drives the line low. Returns `Fell` if this was the first driver;
+    /// re-asserting is idempotent and returns `None`.
+    pub fn assert(&mut self, driver: DriverId) -> Option<WireEvent> {
+        let was_released = self.drivers.is_empty();
+        if self.drivers.insert(driver) && was_released {
+            Some(WireEvent::Fell(driver))
+        } else {
+            None
+        }
+    }
+
+    /// Releases the line. Returns `Rose` if this was the last driver,
+    /// `Glitch` if other drivers remain (the wired-OR glitch of §2.2), and
+    /// `None` if this driver was not asserting.
+    pub fn release(&mut self, driver: DriverId) -> Option<WireEvent> {
+        if !self.drivers.remove(&driver) {
+            return None;
+        }
+        if self.drivers.is_empty() {
+            Some(WireEvent::Rose(driver))
+        } else {
+            self.glitches += 1;
+            Some(WireEvent::Glitch(driver))
+        }
+    }
+
+    /// How many wired-OR glitches this line has produced.
+    #[must_use]
+    pub fn glitch_count(&self) -> u64 {
+        self.glitches
+    }
+
+    /// Releases every driver at once (end of transaction), without counting
+    /// glitches — physically, the master stops sampling before tear-down.
+    pub fn clear(&mut self) {
+        self.drivers.clear();
+    }
+}
+
+impl fmt::Display for WiredOr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}={} ({} drivers)",
+            self.name,
+            if self.is_asserted() { "low" } else { "high" },
+            self.drivers.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_driver_pulls_low_last_driver_lets_rise() {
+        let mut line = WiredOr::new("AK*");
+        assert!(!line.is_asserted());
+        assert_eq!(line.assert(3), Some(WireEvent::Fell(3)));
+        assert_eq!(line.assert(5), None, "second driver changes nothing");
+        assert!(line.is_asserted());
+        assert_eq!(line.release(3), Some(WireEvent::Glitch(3)));
+        assert!(line.is_asserted(), "still held by driver 5");
+        assert_eq!(line.release(5), Some(WireEvent::Rose(5)));
+        assert!(!line.is_asserted());
+    }
+
+    #[test]
+    fn reassert_and_rerelease_are_idempotent() {
+        let mut line = WiredOr::new("CH");
+        line.assert(1);
+        assert_eq!(line.assert(1), None);
+        assert_eq!(line.driver_count(), 1);
+        assert_eq!(line.release(1), Some(WireEvent::Rose(1)));
+        assert_eq!(line.release(1), None);
+        assert_eq!(line.release(9), None, "non-driver release is a no-op");
+    }
+
+    #[test]
+    fn glitches_are_counted_per_partial_release() {
+        let mut line = WiredOr::new("AI*");
+        for d in 0..4 {
+            line.assert(d);
+        }
+        for d in 0..3 {
+            assert!(matches!(line.release(d), Some(WireEvent::Glitch(_))));
+        }
+        assert_eq!(line.glitch_count(), 3);
+        assert!(matches!(line.release(3), Some(WireEvent::Rose(3))));
+        assert_eq!(line.glitch_count(), 3, "the final release is clean");
+    }
+
+    #[test]
+    fn clear_releases_everyone_without_glitches() {
+        let mut line = WiredOr::new("AD");
+        line.assert(0);
+        line.assert(1);
+        line.clear();
+        assert!(!line.is_asserted());
+        assert_eq!(line.glitch_count(), 0);
+    }
+
+    #[test]
+    fn display_shows_level() {
+        let mut line = WiredOr::new("AS*");
+        assert!(line.to_string().contains("high"));
+        line.assert(0);
+        assert!(line.to_string().contains("low"));
+    }
+}

@@ -1,0 +1,434 @@
+//! The snooping cache controller: one node's cache + protocol + bus port.
+//!
+//! A [`CacheController`] binds a [`Protocol`] policy to a
+//! [`CacheArray`] and implements the Futurebus [`BusModule`] callbacks. The
+//! *snoop* callback consults the protocol's bus-event table and answers with
+//! response lines; the *complete* callback commits the chosen reaction once
+//! the wired-OR CH observation is known (the paper's `CH:O/M` and `CH:S/E`
+//! results need it); *supply* and *push* serve intervention and BS aborts.
+//!
+//! Master-side sequencing (what to do on a local read or write, including
+//! victim write-backs and `Read>Write` two-transaction cells) lives in
+//! [`System`](crate::System), which owns the bus and all controllers.
+
+use cache_array::{CacheArray, CacheConfig, Victim};
+use futurebus::{BusModule, BusObservation, LineAddr, PushWrite, TransactionRequest};
+use moesi::{
+    BusEvent, BusReaction, CacheKind, LineState, LocalAction, LocalCtx, LocalEvent, Protocol,
+    ResponseSignals, SnoopCtx,
+};
+
+use crate::metrics::CpuStats;
+
+/// One bus node: a processor port with (optionally) a cache, driven by a
+/// consistency protocol.
+#[derive(Debug)]
+pub struct CacheController {
+    id: usize,
+    name: String,
+    protocol: Box<dyn Protocol + Send>,
+    cache: Option<CacheArray<LineState>>,
+    stats: CpuStats,
+    pending: Option<PendingSnoop>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PendingSnoop {
+    addr: LineAddr,
+    reaction: BusReaction,
+    had_valid_copy: bool,
+}
+
+impl CacheController {
+    /// Creates a controller. Non-caching protocols take no cache
+    /// configuration; caching ones require it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a caching protocol is given no cache, or a non-caching
+    /// one is given a cache.
+    #[must_use]
+    pub fn new(
+        id: usize,
+        protocol: Box<dyn Protocol + Send>,
+        cache: Option<CacheConfig>,
+        seed: u64,
+    ) -> Self {
+        let caching = protocol.kind() != CacheKind::NonCaching;
+        assert_eq!(
+            caching,
+            cache.is_some(),
+            "protocol `{}` {} a cache configuration",
+            protocol.name(),
+            if caching { "requires" } else { "must not have" }
+        );
+        let name = format!("cpu{id}:{}", protocol.name());
+        CacheController {
+            id,
+            name,
+            protocol,
+            cache: cache.map(|cfg| CacheArray::new(cfg, seed)),
+            stats: CpuStats::new(),
+            pending: None,
+        }
+    }
+
+    /// The controller's module index on the bus.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// A display name, `cpu<id>:<protocol>`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The protocol's client kind.
+    #[must_use]
+    pub fn kind(&self) -> CacheKind {
+        self.protocol.kind()
+    }
+
+    /// Whether the protocol needs the BS line.
+    #[must_use]
+    pub fn requires_bs(&self) -> bool {
+        self.protocol.requires_bs()
+    }
+
+    /// This node's statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CpuStats {
+        &self.stats
+    }
+
+    /// Mutable statistics (the system updates master-side counters).
+    pub fn stats_mut(&mut self) -> &mut CpuStats {
+        &mut self.stats
+    }
+
+    /// The cache array, if this node has one (checker and tests).
+    #[must_use]
+    pub fn cache(&self) -> Option<&CacheArray<LineState>> {
+        self.cache.as_ref()
+    }
+
+    /// The consistency state of the line containing `addr` (Invalid when
+    /// absent or cacheless).
+    #[must_use]
+    pub fn state_of(&self, addr: u64) -> LineState {
+        self.cache
+            .as_ref()
+            .and_then(|c| c.state_of(addr))
+            .unwrap_or(LineState::Invalid)
+    }
+
+    /// Consults the protocol for a local event on `addr`.
+    #[must_use]
+    pub fn decide_local(&mut self, addr: u64, event: LocalEvent) -> LocalAction {
+        let state = self.state_of(addr);
+        let ctx = LocalCtx {
+            recency_rank: self.cache.as_ref().and_then(|c| c.recency_rank(addr)),
+            ways: self
+                .cache
+                .as_ref()
+                .map_or(0, |c| c.config().associativity as u32),
+        };
+        self.protocol.on_local(state, event, &ctx)
+    }
+
+    /// Consults the protocol for an event on a line in an explicit state —
+    /// used for victims that have already left the cache.
+    #[must_use]
+    pub fn decide_for(&mut self, state: LineState, event: LocalEvent) -> LocalAction {
+        self.protocol.on_local(state, event, &LocalCtx::default())
+    }
+
+    /// Reads bytes from the resident line (hit path).
+    #[must_use]
+    pub fn read_cached(&mut self, addr: u64, len: usize) -> Option<Vec<u8>> {
+        let cache = self.cache.as_mut()?;
+        let data = cache.read(addr, len)?;
+        cache.touch(addr);
+        Some(data)
+    }
+
+    /// Writes bytes into the resident line (hit path); false on a miss.
+    pub fn write_cached(&mut self, addr: u64, bytes: &[u8]) -> bool {
+        match self.cache.as_mut() {
+            Some(cache) => {
+                let ok = cache.write(addr, bytes);
+                if ok {
+                    cache.touch(addr);
+                }
+                ok
+            }
+            None => false,
+        }
+    }
+
+    /// Installs a line, returning the evicted victim if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a cacheless node.
+    pub fn fill(&mut self, addr: u64, state: LineState, data: Box<[u8]>) -> Option<Victim<LineState>> {
+        self.cache
+            .as_mut()
+            .expect("fill on a cacheless node")
+            .fill(addr, state, data)
+    }
+
+    /// Sets a resident line's state; on `Invalid`, removes the line.
+    pub fn apply_state(&mut self, addr: u64, state: LineState) {
+        let Some(cache) = self.cache.as_mut() else {
+            return;
+        };
+        if state == LineState::Invalid {
+            cache.invalidate(addr);
+        } else {
+            cache.set_state(addr, state);
+        }
+    }
+
+    fn snoop_ctx(&self, addr: u64) -> SnoopCtx {
+        SnoopCtx {
+            recency_rank: self.cache.as_ref().and_then(|c| c.recency_rank(addr)),
+            ways: self
+                .cache
+                .as_ref()
+                .map_or(0, |c| c.config().associativity as u32),
+        }
+    }
+}
+
+impl BusModule for CacheController {
+    fn snoop(&mut self, req: &TransactionRequest) -> ResponseSignals {
+        self.pending = None;
+        let Some(cache) = self.cache.as_ref() else {
+            // "A non-caching unit never responds to bus events."
+            return ResponseSignals::NONE;
+        };
+        let state = cache.state_of(req.addr).unwrap_or(LineState::Invalid);
+        if state == LineState::Invalid {
+            return ResponseSignals::NONE;
+        }
+        let Some(event) = BusEvent::from_signals(req.signals) else {
+            return ResponseSignals::NONE;
+        };
+        let ctx = self.snoop_ctx(req.addr);
+        let reaction = self.protocol.on_bus(state, event, &ctx);
+        self.pending = Some(PendingSnoop {
+            addr: req.addr,
+            reaction,
+            had_valid_copy: true,
+        });
+        ResponseSignals {
+            ch: reaction.ch && reaction.busy.is_none(),
+            di: reaction.di && reaction.busy.is_none(),
+            sl: reaction.sl && reaction.busy.is_none(),
+            bs: reaction.busy.is_some(),
+        }
+    }
+
+    fn supply_line(&mut self, addr: LineAddr) -> Box<[u8]> {
+        let cache = self.cache.as_ref().expect("supply from a cacheless node");
+        let entry = cache
+            .lookup(addr)
+            .unwrap_or_else(|| panic!("{}: asked to supply non-resident {addr:#x}", self.name));
+        self.stats.interventions_supplied += 1;
+        entry.data.clone()
+    }
+
+    fn prepare_push(&mut self, addr: LineAddr) -> PushWrite {
+        let pending = self
+            .pending
+            .take()
+            .unwrap_or_else(|| panic!("{}: push without a pending snoop", self.name));
+        assert_eq!(pending.addr, addr, "push address mismatch");
+        let push = pending
+            .reaction
+            .busy
+            .unwrap_or_else(|| panic!("{}: push without a BS reaction", self.name));
+        let cache = self.cache.as_mut().expect("push from a cacheless node");
+        let data = cache
+            .lookup(addr)
+            .unwrap_or_else(|| panic!("{}: pushing non-resident {addr:#x}", self.name))
+            .data
+            .clone();
+        if push.result == LineState::Invalid {
+            cache.invalidate(addr);
+        } else {
+            cache.set_state(addr, push.result);
+        }
+        self.stats.pushes += 1;
+        self.stats.write_backs += 1;
+        PushWrite {
+            data,
+            signals: push.signals,
+        }
+    }
+
+    fn complete(&mut self, req: &TransactionRequest, obs: &BusObservation<'_>) {
+        let Some(pending) = self.pending.take() else {
+            return;
+        };
+        if pending.addr != req.addr {
+            return;
+        }
+        debug_assert!(
+            pending.reaction.busy.is_none(),
+            "{}: BS reactions are consumed by prepare_push",
+            self.name
+        );
+        // Apply the delivered data first (SL connect or DI capture), then the
+        // state transition.
+        if let Some((offset, bytes)) = obs.write_data {
+            let cache = self.cache.as_mut().expect("snooped with no cache");
+            let line_addr = req.addr + offset as u64;
+            if cache.write(line_addr, bytes) {
+                if pending.reaction.di {
+                    self.stats.captures += 1;
+                } else {
+                    self.stats.updates_received += 1;
+                }
+            }
+        }
+        let result = pending.reaction.result.resolve(obs.ch_others);
+        if result == LineState::Invalid && pending.had_valid_copy {
+            self.stats.invalidations_received += 1;
+        }
+        self.apply_state(req.addr, result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moesi::protocols::{MoesiPreferred, NonCaching, WriteOnce};
+    use moesi::MasterSignals;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig::new(1024, 16, 2, cache_array::ReplacementKind::Lru)
+    }
+
+    fn moesi_ctrl(id: usize) -> CacheController {
+        CacheController::new(id, Box::new(MoesiPreferred::new()), Some(cfg()), 1)
+    }
+
+    fn read_req(addr: u64) -> TransactionRequest {
+        TransactionRequest::read(9, addr, MasterSignals::CA)
+    }
+
+    #[test]
+    fn snoop_miss_responds_nothing() {
+        let mut c = moesi_ctrl(0);
+        assert_eq!(c.snoop(&read_req(0x100)), ResponseSignals::NONE);
+    }
+
+    #[test]
+    fn snoop_hit_in_modified_asserts_ch_and_di_then_downgrades() {
+        let mut c = moesi_ctrl(0);
+        c.fill(0x100, LineState::Modified, vec![5; 16].into());
+        let r = c.snoop(&read_req(0x100));
+        assert!(r.ch && r.di && !r.bs);
+        assert_eq!(&c.supply_line(0x100)[..], &[5; 16]);
+        c.complete(&read_req(0x100), &BusObservation { ch_others: false, write_data: None });
+        assert_eq!(c.state_of(0x100), LineState::Owned);
+        assert_eq!(c.stats().interventions_supplied, 1);
+    }
+
+    #[test]
+    fn snooped_invalidate_counts_and_removes() {
+        let mut c = moesi_ctrl(0);
+        c.fill(0x100, LineState::Shareable, vec![0; 16].into());
+        let req = TransactionRequest::read(9, 0x100, MasterSignals::CA_IM);
+        let r = c.snoop(&req);
+        assert!(!r.ch && !r.di);
+        c.complete(&req, &BusObservation { ch_others: false, write_data: None });
+        assert_eq!(c.state_of(0x100), LineState::Invalid);
+        assert_eq!(c.stats().invalidations_received, 1);
+    }
+
+    #[test]
+    fn snooped_broadcast_write_updates_the_copy() {
+        let mut c = moesi_ctrl(0);
+        c.fill(0x100, LineState::Shareable, vec![0; 16].into());
+        let req = TransactionRequest::write(9, 0x100, MasterSignals::CA_IM_BC, 4, vec![7, 7]);
+        let r = c.snoop(&req);
+        assert!(r.sl && r.ch);
+        c.complete(
+            &req,
+            &BusObservation { ch_others: false, write_data: Some((4, &[7, 7])) },
+        );
+        assert_eq!(c.state_of(0x100), LineState::Shareable);
+        assert_eq!(c.read_cached(0x104, 2), Some(vec![7, 7]));
+        assert_eq!(c.stats().updates_received, 1);
+    }
+
+    #[test]
+    fn ch_resolution_uses_other_caches() {
+        // An O-state holder snooping an uncached read regains M only when no
+        // other cache claims a copy.
+        let mut c = moesi_ctrl(0);
+        c.fill(0x100, LineState::Owned, vec![1; 16].into());
+        let req = TransactionRequest::read(9, 0x100, MasterSignals::NONE);
+        let _ = c.snoop(&req);
+        c.complete(&req, &BusObservation { ch_others: true, write_data: None });
+        assert_eq!(c.state_of(0x100), LineState::Owned);
+
+        let _ = c.snoop(&req);
+        c.complete(&req, &BusObservation { ch_others: false, write_data: None });
+        assert_eq!(c.state_of(0x100), LineState::Modified);
+    }
+
+    #[test]
+    fn write_once_dirty_snoop_asserts_bs_then_pushes() {
+        let mut c = CacheController::new(0, Box::new(WriteOnce::new()), Some(cfg()), 1);
+        c.fill(0x100, LineState::Modified, vec![9; 16].into());
+        let r = c.snoop(&read_req(0x100));
+        assert!(r.bs);
+        assert!(!r.di && !r.ch, "BS suppresses the other lines this pass");
+        let push = c.prepare_push(0x100);
+        assert_eq!(&push.data[..], &[9; 16]);
+        assert!(push.signals.ca);
+        assert_eq!(c.state_of(0x100), LineState::Shareable);
+        assert_eq!(c.stats().pushes, 1);
+        // The retried transaction snoops again from S.
+        let r2 = c.snoop(&read_req(0x100));
+        assert!(r2.ch && !r2.bs);
+    }
+
+    #[test]
+    fn non_caching_controller_never_responds() {
+        let mut c = CacheController::new(0, Box::new(NonCaching::new()), None, 1);
+        assert_eq!(c.snoop(&read_req(0)), ResponseSignals::NONE);
+        assert_eq!(c.state_of(0), LineState::Invalid);
+        c.complete(&read_req(0), &BusObservation { ch_others: true, write_data: None });
+        assert_eq!(c.stats().invalidations_received, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a cache")]
+    fn caching_protocol_without_cache_is_rejected() {
+        let _ = CacheController::new(0, Box::new(MoesiPreferred::new()), None, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not have")]
+    fn non_caching_protocol_with_cache_is_rejected() {
+        let _ = CacheController::new(0, Box::new(NonCaching::new()), Some(cfg()), 1);
+    }
+
+    #[test]
+    fn decide_local_passes_recency_context() {
+        let mut c = moesi_ctrl(0);
+        c.fill(0x000, LineState::Shareable, vec![0; 16].into());
+        c.fill(0x200, LineState::Shareable, vec![0; 16].into()); // same set
+        // 0x000 is now LRU of a 2-way set.
+        let a = c.decide_local(0x000, LocalEvent::Read);
+        assert_eq!(a.to_string(), "S");
+        assert_eq!(c.cache().unwrap().recency_rank(0x000), Some(1));
+    }
+}

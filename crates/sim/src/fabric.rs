@@ -1,0 +1,386 @@
+//! The access engine shared by [`System`](crate::System) and the §6
+//! multi-bus [`hierarchy`](crate::hierarchy): one Futurebus plus its attached
+//! controllers, and the master-side sequencing that turns processor accesses
+//! into protocol consultations and bus transactions.
+//!
+//! `Fabric` is deliberately oracle-free and workload-free — it is the
+//! machine, not the experiment. `System` wraps it with the consistency
+//! checker; a [`Bridge`](crate::hierarchy::Bridge) wraps it with a cluster
+//! directory.
+
+use cache_array::{split_line_crossers, Victim};
+use futurebus::{
+    BusModule, Futurebus, TimingConfig, TransactionOutcome, TransactionRequest,
+};
+use moesi::{BusOp, LineState, LocalAction, LocalEvent, MasterSignals};
+
+use crate::controller::CacheController;
+
+/// One bus with its controllers and the access sequencing logic.
+#[derive(Debug)]
+pub struct Fabric {
+    bus: Futurebus,
+    controllers: Vec<CacheController>,
+    line_size: usize,
+}
+
+impl Fabric {
+    /// Assembles a fabric from a bus-line size, timing model and controllers.
+    #[must_use]
+    pub fn new(line_size: usize, timing: TimingConfig, controllers: Vec<CacheController>) -> Self {
+        Fabric {
+            bus: Futurebus::new(line_size, timing),
+            controllers,
+            line_size,
+        }
+    }
+
+    /// The line size in bytes.
+    #[must_use]
+    pub fn line_size(&self) -> usize {
+        self.line_size
+    }
+
+    /// Number of controllers attached.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// The bus (stats, memory, trace).
+    #[must_use]
+    pub fn bus(&self) -> &Futurebus {
+        &self.bus
+    }
+
+    /// Mutable bus access (preloading memory, enabling traces).
+    pub fn bus_mut(&mut self) -> &mut Futurebus {
+        &mut self.bus
+    }
+
+    /// A controller by index.
+    #[must_use]
+    pub fn controller(&self, cpu: usize) -> &CacheController {
+        &self.controllers[cpu]
+    }
+
+    /// Mutable controller access.
+    pub fn controller_mut(&mut self, cpu: usize) -> &mut CacheController {
+        &mut self.controllers[cpu]
+    }
+
+    /// All controllers (for the oracle).
+    #[must_use]
+    pub fn controllers(&self) -> &[CacheController] {
+        &self.controllers
+    }
+
+    /// The line-aligned address containing `addr`.
+    #[must_use]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.line_size as u64 - 1)
+    }
+
+    /// The module index used for transactions issued by the fabric's owner
+    /// itself (a bus bridge): one past the last controller, so every
+    /// controller snoops.
+    #[must_use]
+    pub fn external_master(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// Runs a transaction mastered by `cpu` (or by
+    /// [`external_master`](Fabric::external_master)), updating that node's
+    /// stats when it is a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics on bus errors — they indicate protocol bugs, not user error.
+    pub fn run_txn(&mut self, req: &TransactionRequest) -> TransactionOutcome {
+        let mut refs: Vec<&mut dyn BusModule> = self
+            .controllers
+            .iter_mut()
+            .map(|c| c as &mut dyn BusModule)
+            .collect();
+        let out = self
+            .bus
+            .execute(req, &mut refs)
+            .unwrap_or_else(|e| panic!("bus error on {req}: {e}"));
+        if let Some(ctrl) = self.controllers.get_mut(req.master) {
+            let st = ctrl.stats_mut();
+            st.bus_transactions += 1;
+            st.bus_ns += out.duration;
+            st.aborts_suffered += u64::from(out.aborts);
+        }
+        out
+    }
+
+    /// Reads `len` bytes at `addr` for processor `cpu`, splitting line
+    /// crossers (§5.1).
+    pub fn read(&mut self, cpu: usize, addr: u64, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        for (piece_addr, piece_len) in split_line_crossers(addr, len, self.line_size) {
+            out.extend(self.read_piece(cpu, piece_addr, piece_len));
+        }
+        out
+    }
+
+    /// Writes `bytes` at `addr` for processor `cpu`, splitting line crossers.
+    /// Calls `on_piece(line_addr, piece)` before each per-line write — the
+    /// checker's serialisation hook.
+    pub fn write_with<F: FnMut(u64, &[u8])>(
+        &mut self,
+        cpu: usize,
+        addr: u64,
+        bytes: &[u8],
+        mut on_piece: F,
+    ) {
+        let pieces = split_line_crossers(addr, bytes.len(), self.line_size);
+        let mut cursor = 0;
+        for (piece_addr, piece_len) in pieces {
+            let piece = &bytes[cursor..cursor + piece_len];
+            cursor += piece_len;
+            on_piece(piece_addr, piece);
+            self.write_piece(cpu, piece_addr, piece);
+        }
+    }
+
+    /// Pushes a dirty line to memory while keeping the copy (Table 1,
+    /// note 3). No-op unless node `cpu` holds the line in an owned state.
+    pub fn pass(&mut self, cpu: usize, addr: u64) -> bool {
+        let line = self.line_addr(addr);
+        let state = self.controllers[cpu].state_of(line);
+        if !state.is_owned() {
+            return false;
+        }
+        let action = self.controllers[cpu].decide_local(line, LocalEvent::Pass);
+        debug_assert_eq!(action.bus_op, BusOp::Write);
+        let data = self.controllers[cpu]
+            .read_cached(line, self.line_size)
+            .expect("owned line is resident");
+        let req = TransactionRequest::write(cpu, line, action.signals, 0, data);
+        let out = self.run_txn(&req);
+        let result = action.result.resolve(out.ch_seen);
+        self.controllers[cpu].apply_state(line, result);
+        self.controllers[cpu].stats_mut().write_backs += 1;
+        true
+    }
+
+    /// Flushes (pushes if dirty, then discards) the line containing `addr`
+    /// from node `cpu`'s cache (Table 1, note 4). No-op when not resident.
+    pub fn flush(&mut self, cpu: usize, addr: u64) -> bool {
+        let line = self.line_addr(addr);
+        let state = self.controllers[cpu].state_of(line);
+        if !state.is_valid() {
+            return false;
+        }
+        let action = self.controllers[cpu].decide_local(line, LocalEvent::Flush);
+        if action.bus_op == BusOp::Write {
+            let data = self.controllers[cpu]
+                .read_cached(line, self.line_size)
+                .expect("resident");
+            let req = TransactionRequest::write(cpu, line, action.signals, 0, data);
+            self.run_txn(&req);
+            self.controllers[cpu].stats_mut().write_backs += 1;
+        }
+        self.controllers[cpu].apply_state(line, LineState::Invalid);
+        true
+    }
+
+    /// Issues a bus read mastered by the fabric owner (bridge), letting every
+    /// controller snoop — used to extract the current line from an internal
+    /// owner on behalf of an external requester.
+    pub fn external_read(&mut self, line: u64, signals: MasterSignals) -> TransactionOutcome {
+        let req = TransactionRequest::read(self.external_master(), line, signals);
+        self.run_txn(&req)
+    }
+
+    /// Issues an address-only invalidate mastered by the fabric owner.
+    pub fn external_invalidate(&mut self, line: u64) -> TransactionOutcome {
+        let req = TransactionRequest::address_only(
+            self.external_master(),
+            line,
+            MasterSignals::CA_IM,
+        );
+        self.run_txn(&req)
+    }
+
+    /// Issues a broadcast write mastered by the fabric owner — propagating an
+    /// external update into this fabric (memory and SL-connected caches).
+    pub fn external_broadcast_write(
+        &mut self,
+        line: u64,
+        offset: usize,
+        bytes: Vec<u8>,
+    ) -> TransactionOutcome {
+        let req = TransactionRequest::write(
+            self.external_master(),
+            line,
+            MasterSignals::IM_BC,
+            offset,
+            bytes,
+        );
+        self.run_txn(&req)
+    }
+
+    fn read_piece(&mut self, cpu: usize, addr: u64, len: usize) -> Vec<u8> {
+        self.controllers[cpu].stats_mut().reads += 1;
+        let line = self.line_addr(addr);
+        if self.controllers[cpu].state_of(line).is_valid() {
+            self.controllers[cpu].stats_mut().read_hits += 1;
+            return self.controllers[cpu]
+                .read_cached(addr, len)
+                .expect("valid line is resident");
+        }
+        let action = self.controllers[cpu].decide_local(line, LocalEvent::Read);
+        let data = self.execute_read_action(cpu, line, &action);
+        let offset = (addr - line) as usize;
+        data[offset..offset + len].to_vec()
+    }
+
+    /// Runs a read-typed local action (a miss): the bus read, the fill, and
+    /// any victim write-back. Returns the full line.
+    fn execute_read_action(&mut self, cpu: usize, line: u64, action: &LocalAction) -> Box<[u8]> {
+        debug_assert_eq!(action.bus_op, BusOp::Read, "read path expects an R action");
+        let req = TransactionRequest::read(cpu, line, action.signals);
+        let out = self.run_txn(&req);
+        let data = out.data.expect("reads return data");
+        let result = action.result.resolve(out.ch_seen);
+        if result.is_valid() {
+            let victim = self.controllers[cpu].fill(line, result, data.clone());
+            if let Some(v) = victim {
+                self.write_back_victim(cpu, v);
+            }
+        }
+        data
+    }
+
+    fn write_back_victim(&mut self, cpu: usize, victim: Victim<LineState>) {
+        if !victim.state.is_owned() {
+            return; // clean victims are dropped silently
+        }
+        let action = self.controllers[cpu].decide_for(victim.state, LocalEvent::Flush);
+        debug_assert_eq!(action.bus_op, BusOp::Write, "dirty victims must write back");
+        let req =
+            TransactionRequest::write(cpu, victim.addr, action.signals, 0, victim.data.to_vec());
+        self.run_txn(&req);
+        self.controllers[cpu].stats_mut().write_backs += 1;
+    }
+
+    fn write_piece(&mut self, cpu: usize, addr: u64, bytes: &[u8]) {
+        self.controllers[cpu].stats_mut().writes += 1;
+        let line = self.line_addr(addr);
+        if self.controllers[cpu].state_of(line).is_valid() {
+            self.controllers[cpu].stats_mut().write_hits += 1;
+        }
+        self.write_piece_inner(cpu, addr, bytes);
+    }
+
+    fn write_piece_inner(&mut self, cpu: usize, addr: u64, bytes: &[u8]) {
+        let line = self.line_addr(addr);
+        let offset = (addr - line) as usize;
+        let action = self.controllers[cpu].decide_local(line, LocalEvent::Write);
+        match action.bus_op {
+            // A silent write: M stays M, E upgrades to M.
+            BusOp::None => {
+                let ok = self.controllers[cpu].write_cached(addr, bytes);
+                assert!(ok, "silent write requires a resident line");
+                self.controllers[cpu].apply_state(line, action.result.resolve(false));
+            }
+            // Write-through, broadcast update, or write-past.
+            BusOp::Write => {
+                let req =
+                    TransactionRequest::write(cpu, line, action.signals, offset, bytes.to_vec());
+                let out = self.run_txn(&req);
+                let result = action.result.resolve(out.ch_seen);
+                if self.controllers[cpu].write_cached(addr, bytes) {
+                    self.controllers[cpu].apply_state(line, result);
+                }
+            }
+            // Address-only invalidate, then write locally (O/S → M).
+            BusOp::AddressOnly => {
+                let req = TransactionRequest::address_only(cpu, line, action.signals);
+                let out = self.run_txn(&req);
+                let result = action.result.resolve(out.ch_seen);
+                let ok = self.controllers[cpu].write_cached(addr, bytes);
+                assert!(ok, "invalidate-write requires a resident line");
+                self.controllers[cpu].apply_state(line, result);
+            }
+            // Read-for-modify: one transaction reads the line and invalidates
+            // other copies, then the write happens locally.
+            BusOp::Read => {
+                let _ = self.execute_read_action(cpu, line, &action);
+                let ok = self.controllers[cpu].write_cached(addr, bytes);
+                assert!(ok, "read-for-modify must have filled the line");
+            }
+            // Two transactions: a read per the protocol's I/Read row, then
+            // the write is re-decided from the new state.
+            BusOp::ReadThenWrite => {
+                let read_action = self.controllers[cpu].decide_local(line, LocalEvent::Read);
+                let _ = self.execute_read_action(cpu, line, &read_action);
+                self.write_piece_inner(cpu, addr, bytes);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_array::{CacheConfig, ReplacementKind};
+    use moesi::protocols::MoesiPreferred;
+
+    fn fabric(n: usize) -> Fabric {
+        let cfg = CacheConfig::new(1024, 32, 2, ReplacementKind::Lru);
+        let controllers = (0..n)
+            .map(|id| CacheController::new(id, Box::new(MoesiPreferred::new()), Some(cfg), 1))
+            .collect();
+        Fabric::new(32, TimingConfig::default(), controllers)
+    }
+
+    #[test]
+    fn external_master_snoops_everyone() {
+        let mut f = fabric(2);
+        f.write_with(0, 0x100, &[7; 4], |_, _| {});
+        assert_eq!(f.controller(0).state_of(0x100), LineState::Modified);
+        // An external (bridge) read demotes the owner and extracts the line.
+        let out = f.external_read(0x100, MasterSignals::CA);
+        assert_eq!(&out.data.unwrap()[..4], &[7; 4]);
+        assert_eq!(f.controller(0).state_of(0x100), LineState::Owned);
+        assert!(out.ch_seen);
+    }
+
+    #[test]
+    fn external_invalidate_clears_all_copies() {
+        let mut f = fabric(3);
+        let _ = f.read(0, 0x100, 4);
+        let _ = f.read(1, 0x100, 4);
+        let out = f.external_invalidate(0x100);
+        assert_eq!(out.aborts, 0);
+        for cpu in 0..3 {
+            assert_eq!(f.controller(cpu).state_of(0x100), LineState::Invalid);
+        }
+    }
+
+    #[test]
+    fn external_broadcast_write_updates_copies_and_memory() {
+        let mut f = fabric(2);
+        let _ = f.read(0, 0x100, 4);
+        let _ = f.read(1, 0x100, 4);
+        f.external_broadcast_write(0x100, 0, vec![9; 4]);
+        assert_eq!(f.read(0, 0x100, 4), vec![9; 4]);
+        assert_eq!(f.read(1, 0x100, 4), vec![9; 4]);
+        assert_eq!(&f.bus().memory().peek_line(0x100)[..4], &[9; 4]);
+    }
+
+    #[test]
+    fn write_with_hook_sees_each_piece() {
+        let mut f = fabric(1);
+        let mut pieces = Vec::new();
+        let bytes: Vec<u8> = (0..40).collect();
+        f.write_with(0, 0x100 - 8, &bytes, |addr, piece| {
+            pieces.push((addr, piece.len()));
+        });
+        assert_eq!(pieces, vec![(0x100 - 8, 8), (0x100, 32)]);
+    }
+}

@@ -1,0 +1,1031 @@
+//! §6 future work, implemented: "how one might implement a system with
+//! *multiple* buses and still maintain consistency."
+//!
+//! The construction exploits the paper's own recursion: **a cluster is one
+//! big cache**. Each cluster is a complete single-bus machine (a
+//! [`Fabric`]: caches, mirror memory, one Futurebus), and its [`Bridge`]
+//! attaches it to a parent Futurebus as an ordinary MOESI cache master —
+//! holding one cluster-level MOESI state per line in a directory, asserting
+//! CA/IM/BC upward and CH/DI/SL downward exactly per Tables 1 and 2:
+//!
+//! * a cluster-level read miss is a `CH:S/E,CA,R` on the parent bus;
+//! * a write to a line other clusters share is a `CH:O/M,CA,IM,BC,W`
+//!   broadcast (sibling bridges SL-connect and patch their mirrors and local
+//!   caches), and a cluster-level write miss is a read-for-modify;
+//! * a parent-bus read of a line this cluster owns is answered with DI, the
+//!   data extracted from the internal owner; the demotion (M→O at cluster
+//!   level) is propagated into the cluster as an internal bus read;
+//! * the cluster's *mirror memory* (the cluster bus's "main memory") plays
+//!   the default-owner role inside the cluster, exactly as global memory
+//!   does on the parent bus.
+//!
+//! Intra-cluster sharing therefore never leaves the cluster — the bandwidth
+//! multiplication a bus hierarchy exists to provide — while the consistency
+//! oracle's invariants keep holding globally.
+
+use cache_array::{split_line_crossers, CacheConfig};
+use futurebus::{
+    BusModule, BusObservation, BusStats, Futurebus, LineAddr, TimingConfig, TransactionOutcome,
+    TransactionRequest,
+};
+use moesi::{
+    table, BusEvent, BusReaction, CacheKind, LineState, MasterSignals, Protocol, ResponseSignals,
+};
+use std::collections::HashMap;
+
+use crate::checker::{Checker, Violation};
+use crate::controller::CacheController;
+use crate::fabric::Fabric;
+use crate::metrics::CpuStats;
+use crate::workload::RefStream;
+
+/// One node specification: a protocol and (for caching nodes) its geometry.
+type NodeSpec = (Box<dyn Protocol + Send>, Option<CacheConfig>);
+
+/// Builds a [`HierarchicalSystem`].
+///
+/// # Examples
+///
+/// ```
+/// use cache_array::CacheConfig;
+/// use moesi::protocols::MoesiPreferred;
+/// use mpsim::hierarchy::HierarchyBuilder;
+///
+/// let mut sys = HierarchyBuilder::new(32)
+///     .cluster()
+///     .cache(Box::new(MoesiPreferred::new()), CacheConfig::small())
+///     .cache(Box::new(MoesiPreferred::new()), CacheConfig::small())
+///     .cluster()
+///     .cache(Box::new(MoesiPreferred::new()), CacheConfig::small())
+///     .checking(true)
+///     .build();
+///
+/// sys.write(0, 0, 0x1000, &[1, 2, 3, 4]);        // cluster 0, cpu 0
+/// assert_eq!(sys.read(1, 0, 0x1000, 4), vec![1, 2, 3, 4]); // cluster 1 sees it
+/// ```
+#[derive(Debug)]
+pub struct HierarchyBuilder {
+    line_size: usize,
+    parent_timing: TimingConfig,
+    cluster_timing: TimingConfig,
+    checking: bool,
+    seed: u64,
+    clusters: Vec<Vec<NodeSpec>>,
+}
+
+impl HierarchyBuilder {
+    /// Starts a builder with the system-wide (§5.1) line size.
+    #[must_use]
+    pub fn new(line_size: usize) -> Self {
+        HierarchyBuilder {
+            line_size,
+            parent_timing: TimingConfig::default(),
+            cluster_timing: TimingConfig::default(),
+            checking: false,
+            seed: 0xB0B,
+            clusters: Vec::new(),
+        }
+    }
+
+    /// Sets the parent (inter-cluster) bus timing.
+    #[must_use]
+    pub fn parent_timing(mut self, timing: TimingConfig) -> Self {
+        self.parent_timing = timing;
+        self
+    }
+
+    /// Sets the cluster-bus timing.
+    #[must_use]
+    pub fn cluster_timing(mut self, timing: TimingConfig) -> Self {
+        self.cluster_timing = timing;
+        self
+    }
+
+    /// Enables the global consistency oracle.
+    #[must_use]
+    pub fn checking(mut self, on: bool) -> Self {
+        self.checking = on;
+        self
+    }
+
+    /// Seeds replacement RNGs.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Starts a new (initially empty) cluster; subsequent [`cache`] /
+    /// [`uncached`] calls add nodes to it.
+    ///
+    /// [`cache`]: HierarchyBuilder::cache
+    /// [`uncached`]: HierarchyBuilder::uncached
+    #[must_use]
+    pub fn cluster(mut self) -> Self {
+        self.clusters.push(Vec::new());
+        self
+    }
+
+    /// Adds a caching node to the current cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cluster was started or the line size mismatches (§5.1).
+    #[must_use]
+    pub fn cache(mut self, protocol: Box<dyn Protocol + Send>, config: CacheConfig) -> Self {
+        assert_eq!(
+            config.line_size, self.line_size,
+            "§5.1: all caches must use the system line size"
+        );
+        assert_ne!(protocol.kind(), CacheKind::NonCaching);
+        self.clusters
+            .last_mut()
+            .expect("call .cluster() first")
+            .push((protocol, Some(config)));
+        self
+    }
+
+    /// Adds a non-caching node to the current cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cluster was started.
+    #[must_use]
+    pub fn uncached(mut self, protocol: Box<dyn Protocol + Send>) -> Self {
+        assert_eq!(protocol.kind(), CacheKind::NonCaching);
+        self.clusters
+            .last_mut()
+            .expect("call .cluster() first")
+            .push((protocol, None));
+        self
+    }
+
+    /// Assembles the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when there are no clusters or an empty cluster.
+    #[must_use]
+    pub fn build(self) -> HierarchicalSystem {
+        assert!(!self.clusters.is_empty(), "a hierarchy needs clusters");
+        let line_size = self.line_size;
+        let bridges: Vec<Bridge> = self
+            .clusters
+            .into_iter()
+            .enumerate()
+            .map(|(cluster_id, nodes)| {
+                assert!(!nodes.is_empty(), "cluster {cluster_id} is empty");
+                let controllers: Vec<CacheController> = nodes
+                    .into_iter()
+                    .enumerate()
+                    .map(|(id, (protocol, cfg))| {
+                        CacheController::new(
+                            id,
+                            protocol,
+                            cfg,
+                            self.seed
+                                .wrapping_add((cluster_id as u64) << 16)
+                                .wrapping_add(id as u64),
+                        )
+                    })
+                    .collect();
+                Bridge::new(
+                    cluster_id,
+                    Fabric::new(line_size, self.cluster_timing, controllers),
+                )
+            })
+            .collect();
+        HierarchicalSystem {
+            parent: Futurebus::new(line_size, self.parent_timing),
+            bridges,
+            checker: if self.checking {
+                Some(Checker::new(line_size))
+            } else {
+                None
+            },
+            line_size,
+        }
+    }
+}
+
+/// What a bridge needs from the parent bus before an intra-cluster access
+/// may proceed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ParentNeed {
+    /// Fetch the line (a cluster-level read miss or read-for-modify).
+    Fetch {
+        signals: MasterSignals,
+        for_write: bool,
+    },
+    /// Broadcast the written bytes (a cluster-level shared write).
+    Broadcast { offset: usize, bytes: Vec<u8> },
+}
+
+/// Per-bridge counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BridgeStats {
+    /// Parent-bus transactions this bridge mastered.
+    pub parent_transactions: u64,
+    /// Cluster-level line fetches from the parent bus.
+    pub fetches: u64,
+    /// Cluster-level broadcast writes onto the parent bus.
+    pub broadcasts: u64,
+    /// Parent-bus reads this cluster supplied by intervention.
+    pub supplied: u64,
+    /// Invalidations propagated into the cluster from the parent bus.
+    pub invalidations_in: u64,
+    /// Updates propagated into the cluster from the parent bus.
+    pub updates_in: u64,
+}
+
+/// A bus bridge: one cluster presented to the parent bus as a single MOESI
+/// cache master whose "cache" is the whole cluster.
+#[derive(Debug)]
+pub struct Bridge {
+    id: usize,
+    fabric: Fabric,
+    directory: HashMap<LineAddr, LineState>,
+    pending: Option<(LineAddr, BusReaction)>,
+    stats: BridgeStats,
+}
+
+impl Bridge {
+    fn new(id: usize, fabric: Fabric) -> Self {
+        Bridge {
+            id,
+            fabric,
+            directory: HashMap::new(),
+            pending: None,
+            stats: BridgeStats::default(),
+        }
+    }
+
+    /// The cluster index on the parent bus.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The cluster fabric (bus, controllers, mirror memory).
+    #[must_use]
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Bridge counters.
+    #[must_use]
+    pub fn stats(&self) -> &BridgeStats {
+        &self.stats
+    }
+
+    /// The cluster-level MOESI state for a line.
+    #[must_use]
+    pub fn cluster_state(&self, line: LineAddr) -> LineState {
+        self.directory
+            .get(&line)
+            .copied()
+            .unwrap_or(LineState::Invalid)
+    }
+
+    fn set_cluster_state(&mut self, line: LineAddr, state: LineState) {
+        if state == LineState::Invalid {
+            self.directory.remove(&line);
+        } else {
+            self.directory.insert(line, state);
+        }
+    }
+
+    /// Decides what parent-bus traffic must precede an intra-cluster access,
+    /// following Table 1 at cluster granularity.
+    fn prepare(&mut self, line: LineAddr, write: Option<(usize, &[u8])>) -> Option<ParentNeed> {
+        let ext = self.cluster_state(line);
+        match write {
+            None => {
+                if ext.is_valid() {
+                    None
+                } else {
+                    // Table 1, I/Read: `CH:S/E,CA,R`.
+                    Some(ParentNeed::Fetch {
+                        signals: MasterSignals::CA,
+                        for_write: false,
+                    })
+                }
+            }
+            Some((offset, bytes)) => match ext {
+                // Table 1, M/Write: silent.
+                LineState::Modified => None,
+                // Table 1, E/Write: silent upgrade at cluster level.
+                LineState::Exclusive => {
+                    self.set_cluster_state(line, LineState::Modified);
+                    None
+                }
+                // Table 1, O/S Write (preferred): broadcast the change.
+                LineState::Owned | LineState::Shareable => Some(ParentNeed::Broadcast {
+                    offset,
+                    bytes: bytes.to_vec(),
+                }),
+                // Table 1, I/Write (preferred): read-for-modify.
+                LineState::Invalid => Some(ParentNeed::Fetch {
+                    signals: MasterSignals::CA_IM,
+                    for_write: true,
+                }),
+            },
+        }
+    }
+
+    /// Applies the outcome of the parent transaction [`Bridge::prepare`]
+    /// requested.
+    fn commit(&mut self, line: LineAddr, need: &ParentNeed, out: &TransactionOutcome) {
+        self.stats.parent_transactions += 1;
+        match need {
+            ParentNeed::Fetch { for_write, .. } => {
+                self.stats.fetches += 1;
+                let data = out.data.as_ref().expect("fetch returns a line");
+                // The mirror becomes the cluster's default owner for the line.
+                self.fabric.bus_mut().memory_mut().write_line(line, data);
+                let ext = if *for_write {
+                    LineState::Modified
+                } else if out.ch_seen {
+                    LineState::Shareable
+                } else {
+                    LineState::Exclusive
+                };
+                self.set_cluster_state(line, ext);
+            }
+            ParentNeed::Broadcast { offset, bytes } => {
+                self.stats.broadcasts += 1;
+                // Keep the mirror in step with what the siblings saw.
+                self.fabric
+                    .bus_mut()
+                    .memory_mut()
+                    .write_bytes(line, *offset, bytes);
+                let ext = if out.ch_seen {
+                    LineState::Owned
+                } else {
+                    LineState::Modified
+                };
+                self.set_cluster_state(line, ext);
+            }
+        }
+    }
+
+    /// The authoritative cluster data for a line: the internal owner's copy
+    /// if one exists, else the mirror.
+    fn authoritative_line(&self, line: LineAddr) -> Box<[u8]> {
+        for ctrl in self.fabric.controllers() {
+            if ctrl.state_of(line).is_owned() {
+                return ctrl
+                    .cache()
+                    .and_then(|c| c.lookup(line))
+                    .expect("owner is resident")
+                    .data
+                    .clone();
+            }
+        }
+        self.fabric.bus().memory().peek_line(line)
+    }
+
+    fn any_local_copy(&self, line: LineAddr) -> bool {
+        self.fabric
+            .controllers()
+            .iter()
+            .any(|c| c.state_of(line).is_valid())
+    }
+}
+
+impl BusModule for Bridge {
+    fn snoop(&mut self, req: &TransactionRequest) -> ResponseSignals {
+        self.pending = None;
+        let ext = self.cluster_state(req.addr);
+        if ext == LineState::Invalid {
+            return ResponseSignals::NONE;
+        }
+        let event = BusEvent::from_signals(req.signals).expect("legal parent signals");
+        let reaction = table::preferred_bus(ext, event).unwrap_or_else(|| {
+            panic!(
+                "bridge {}: error-condition parent event ({ext}, {event})",
+                self.id
+            )
+        });
+        self.pending = Some((req.addr, reaction));
+        ResponseSignals {
+            ch: reaction.ch,
+            di: reaction.di,
+            sl: reaction.sl,
+            bs: false,
+        }
+    }
+
+    fn supply_line(&mut self, addr: LineAddr) -> Box<[u8]> {
+        self.stats.supplied += 1;
+        self.authoritative_line(addr)
+    }
+
+    fn complete(&mut self, req: &TransactionRequest, obs: &BusObservation<'_>) {
+        let Some((line, reaction)) = self.pending.take() else {
+            return;
+        };
+        if line != req.addr {
+            return;
+        }
+        let event = BusEvent::from_signals(req.signals).expect("legal parent signals");
+        let new_ext = reaction.result.resolve(obs.ch_others);
+
+        // Propagate the parent event into the cluster.
+        match event {
+            // Another cluster fetched the line: internal copies lose
+            // exclusivity (and internal owners demote), exactly as if the
+            // read had happened on the cluster bus.
+            BusEvent::CacheRead => {
+                if self.any_local_copy(line) {
+                    let _ = self.fabric.external_read(line, MasterSignals::CA);
+                }
+            }
+            // Another cluster read-for-modify: every internal copy dies.
+            BusEvent::CacheReadInvalidate => {
+                if self.any_local_copy(line) {
+                    self.stats.invalidations_in += 1;
+                    let _ = self.fabric.external_invalidate(line);
+                }
+            }
+            // Another cluster broadcast a write: patch the mirror and update
+            // (or invalidate) internal copies via an internal broadcast.
+            BusEvent::CacheBroadcastWrite => {
+                if let Some((offset, bytes)) = obs.write_data {
+                    self.stats.updates_in += 1;
+                    let _ = self
+                        .fabric
+                        .external_broadcast_write(line, offset, bytes.to_vec());
+                }
+            }
+            // No uncached masters exist on the parent bus.
+            BusEvent::UncachedRead
+            | BusEvent::UncachedWrite
+            | BusEvent::UncachedBroadcastWrite => {}
+        }
+
+        self.set_cluster_state(line, new_ext);
+    }
+}
+
+/// A two-level multiprocessor: clusters of caches on private buses, joined
+/// by bridges on one parent bus that owns true main memory.
+#[derive(Debug)]
+pub struct HierarchicalSystem {
+    parent: Futurebus,
+    bridges: Vec<Bridge>,
+    checker: Option<Checker>,
+    line_size: usize,
+}
+
+impl HierarchicalSystem {
+    /// Number of clusters.
+    #[must_use]
+    pub fn clusters(&self) -> usize {
+        self.bridges.len()
+    }
+
+    /// A cluster's bridge (directory, stats, fabric).
+    #[must_use]
+    pub fn bridge(&self, cluster: usize) -> &Bridge {
+        &self.bridges[cluster]
+    }
+
+    /// Parent-bus statistics.
+    #[must_use]
+    pub fn parent_stats(&self) -> &BusStats {
+        self.parent.stats()
+    }
+
+    /// A node's CPU statistics.
+    #[must_use]
+    pub fn stats(&self, cluster: usize, cpu: usize) -> &CpuStats {
+        self.bridges[cluster].fabric.controller(cpu).stats()
+    }
+
+    /// The local cache state a node holds for `addr`.
+    #[must_use]
+    pub fn state_of(&self, cluster: usize, cpu: usize, addr: u64) -> LineState {
+        self.bridges[cluster].fabric.controller(cpu).state_of(addr)
+    }
+
+    /// The cluster-level state a bridge holds for `addr`.
+    #[must_use]
+    pub fn cluster_state_of(&self, cluster: usize, addr: u64) -> LineState {
+        self.bridges[cluster].cluster_state(self.line_addr(addr))
+    }
+
+    fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.line_size as u64 - 1)
+    }
+
+    /// Processor (`cluster`, `cpu`) reads `len` bytes at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a consistency violation when the oracle is enabled.
+    pub fn read(&mut self, cluster: usize, cpu: usize, addr: u64, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        for (piece_addr, piece_len) in split_line_crossers(addr, len, self.line_size) {
+            let line = self.line_addr(piece_addr);
+            self.ensure(cluster, line, None);
+            out.extend(self.bridges[cluster].fabric.read(cpu, piece_addr, piece_len));
+        }
+        if let Some(ck) = &self.checker {
+            if let Err(v) = ck.check_read(cpu, addr, &out) {
+                panic!("hierarchy consistency violation: {v}");
+            }
+        }
+        self.audit();
+        out
+    }
+
+    /// Processor (`cluster`, `cpu`) writes `bytes` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a consistency violation when the oracle is enabled.
+    pub fn write(&mut self, cluster: usize, cpu: usize, addr: u64, bytes: &[u8]) {
+        let pieces = split_line_crossers(addr, bytes.len(), self.line_size);
+        let mut cursor = 0;
+        for (piece_addr, piece_len) in pieces {
+            let piece = bytes[cursor..cursor + piece_len].to_vec();
+            cursor += piece_len;
+            let line = self.line_addr(piece_addr);
+            let offset = (piece_addr - line) as usize;
+            if let Some(ck) = &mut self.checker {
+                ck.record_write(piece_addr, &piece);
+            }
+            self.ensure(cluster, line, Some((offset, &piece)));
+            self.bridges[cluster]
+                .fabric
+                .write_with(cpu, piece_addr, &piece, |_, _| {});
+        }
+        self.audit();
+    }
+
+    /// Gates an intra-cluster access on the cluster-level protocol: runs
+    /// whatever parent-bus transaction the bridge's Table-1 consultation
+    /// demands.
+    fn ensure(&mut self, cluster: usize, line: u64, write: Option<(usize, &[u8])>) {
+        let Some(need) = self.bridges[cluster].prepare(line, write) else {
+            return;
+        };
+        let req = match &need {
+            ParentNeed::Fetch { signals, .. } => TransactionRequest::read(cluster, line, *signals),
+            ParentNeed::Broadcast { offset, bytes } => TransactionRequest::write(
+                cluster,
+                line,
+                MasterSignals::CA_IM_BC,
+                *offset,
+                bytes.clone(),
+            ),
+        };
+        let mut refs: Vec<&mut dyn BusModule> = self
+            .bridges
+            .iter_mut()
+            .map(|b| b as &mut dyn BusModule)
+            .collect();
+        let out = self
+            .parent
+            .execute(&req, &mut refs)
+            .unwrap_or_else(|e| panic!("parent bus error on {req}: {e}"));
+        self.bridges[cluster].commit(line, &need, &out);
+    }
+
+    /// Verifies the global shared-memory-image invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found; always `Ok` without the oracle.
+    pub fn verify(&self) -> Result<(), Violation> {
+        let Some(ck) = &self.checker else {
+            return Ok(());
+        };
+        // Collect every line cached anywhere or present in a directory.
+        let mut lines: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        for bridge in &self.bridges {
+            lines.extend(bridge.directory.keys().copied());
+            for ctrl in bridge.fabric.controllers() {
+                if let Some(cache) = ctrl.cache() {
+                    lines.extend(cache.iter().map(|(a, _)| a));
+                }
+            }
+        }
+
+        for line in lines {
+            let golden = ck.golden_bytes(line, self.line_size);
+
+            // (1) Every valid cached copy anywhere equals the golden image.
+            // (2) At most one local owner per cluster.
+            for bridge in &self.bridges {
+                let mut local_owners = 0;
+                for ctrl in bridge.fabric.controllers() {
+                    let state = ctrl.state_of(line);
+                    if state.is_owned() {
+                        local_owners += 1;
+                    }
+                    if state.is_valid() {
+                        let data = ctrl
+                            .cache()
+                            .and_then(|c| c.lookup(line))
+                            .expect("valid line resident")
+                            .data
+                            .clone();
+                        if data[..] != golden[..] {
+                            return Err(Violation::StaleCopy {
+                                addr: line,
+                                holder: format!("cluster{}/{}", bridge.id, ctrl.name()),
+                                state,
+                            });
+                        }
+                    }
+                }
+                if local_owners > 1 {
+                    return Err(Violation::MultipleOwners {
+                        addr: line,
+                        owners: vec![format!("cluster{}: {local_owners} owners", bridge.id)],
+                    });
+                }
+            }
+
+            // (3) At most one owning cluster; (4) exclusivity between clusters.
+            let owning: Vec<usize> = self
+                .bridges
+                .iter()
+                .filter(|b| b.cluster_state(line).is_owned())
+                .map(|b| b.id)
+                .collect();
+            if owning.len() > 1 {
+                return Err(Violation::MultipleOwners {
+                    addr: line,
+                    owners: owning.iter().map(|i| format!("cluster{i}")).collect(),
+                });
+            }
+            if let Some(excl) = self
+                .bridges
+                .iter()
+                .find(|b| b.cluster_state(line).is_exclusive())
+            {
+                if let Some(other) = self
+                    .bridges
+                    .iter()
+                    .find(|b| b.id != excl.id && b.cluster_state(line).is_valid())
+                {
+                    return Err(Violation::ExclusivityViolated {
+                        addr: line,
+                        exclusive_holder: format!("cluster{}", excl.id),
+                        other_holder: format!("cluster{}", other.id),
+                    });
+                }
+            }
+
+            // (5) When no cluster owns the line, parent memory is golden.
+            if owning.is_empty() && self.parent.memory().peek_line(line)[..] != golden[..] {
+                return Err(Violation::StaleMemory { addr: line });
+            }
+
+            // (6) The owning cluster's authoritative data is golden.
+            if let Some(&owner) = owning.first() {
+                let data = self.bridges[owner].authoritative_line(line);
+                if data[..] != golden[..] {
+                    return Err(Violation::StaleCopy {
+                        addr: line,
+                        holder: format!("cluster{owner} (authoritative)"),
+                        state: self.bridges[owner].cluster_state(line),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drives one access from each stream per step, for `steps` rounds.
+    /// `streams[cluster][cpu]` feeds node `cpu` of `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream shape does not match the machine, or on a
+    /// consistency violation.
+    pub fn run(&mut self, streams: &mut [Vec<Box<dyn RefStream + Send>>], steps: u64) {
+        assert_eq!(streams.len(), self.clusters(), "one stream vec per cluster");
+        for (cluster, cluster_streams) in streams.iter().enumerate() {
+            assert_eq!(
+                cluster_streams.len(),
+                self.bridges[cluster].fabric.nodes(),
+                "one stream per node"
+            );
+        }
+        let mut seq: u32 = 0;
+        // The body needs `&mut self` for the access methods, so indexing is
+        // clearer than restructuring around iter_mut.
+        #[allow(clippy::needless_range_loop)]
+        for _ in 0..steps {
+            for cluster in 0..self.bridges.len() {
+                for cpu in 0..self.bridges[cluster].fabric.nodes() {
+                    let access = streams[cluster][cpu].next_access();
+                    if access.is_write {
+                        seq = seq.wrapping_add(1);
+                        let pattern = seq.to_le_bytes();
+                        let bytes: Vec<u8> = (0..access.size)
+                            .map(|i| pattern[i % pattern.len()])
+                            .collect();
+                        self.write(cluster, cpu, access.addr, &bytes);
+                    } else {
+                        let _ = self.read(cluster, cpu, access.addr, access.size);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The §6 consistency command at global scale: pushes every owned line
+    /// out of every cluster so *parent* main memory holds the complete
+    /// shared image (e.g. before parent-bus DMA). Returns lines pushed.
+    pub fn make_globally_consistent(&mut self) -> usize {
+        let mut pushed = 0;
+        for cluster in 0..self.bridges.len() {
+            let owned: Vec<u64> = self.bridges[cluster]
+                .directory
+                .iter()
+                .filter(|(_, s)| s.is_owned())
+                .map(|(&line, _)| line)
+                .collect();
+            for line in owned {
+                // First bring the cluster mirror up to date: an internal
+                // owner passes the line (Table 1, note 3).
+                let owner_cpu = (0..self.bridges[cluster].fabric.nodes()).find(|&cpu| {
+                    self.bridges[cluster]
+                        .fabric
+                        .controller(cpu)
+                        .state_of(line)
+                        .is_owned()
+                });
+                if let Some(cpu) = owner_cpu {
+                    self.bridges[cluster].fabric.pass(cpu, line);
+                }
+                // Then the bridge passes the line on the parent bus: a
+                // full-line write-back with CA (the cluster keeps its copy).
+                let data = self.bridges[cluster].authoritative_line(line);
+                let req = TransactionRequest::write(
+                    cluster,
+                    line,
+                    MasterSignals::CA,
+                    0,
+                    data.to_vec(),
+                );
+                let mut refs: Vec<&mut dyn BusModule> = self
+                    .bridges
+                    .iter_mut()
+                    .map(|b| b as &mut dyn BusModule)
+                    .collect();
+                let out = self
+                    .parent
+                    .execute(&req, &mut refs)
+                    .unwrap_or_else(|e| panic!("parent bus error on {req}: {e}"));
+                // CH from another cluster means shared copies exist.
+                let ext = if out.ch_seen {
+                    LineState::Shareable
+                } else {
+                    LineState::Exclusive
+                };
+                self.bridges[cluster].set_cluster_state(line, ext);
+                pushed += 1;
+            }
+        }
+        self.audit();
+        pushed
+    }
+
+    /// Reads directly from *parent* main memory, bypassing all coherence —
+    /// the parent-bus DMA view. Pair with [`make_globally_consistent`].
+    ///
+    /// [`make_globally_consistent`]: HierarchicalSystem::make_globally_consistent
+    #[must_use]
+    pub fn parent_memory_peek(&self, addr: u64, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut cur = addr;
+        let mut remaining = len;
+        while remaining > 0 {
+            let line = self.line_addr(cur);
+            let offset = (cur - line) as usize;
+            let take = (self.line_size - offset).min(remaining);
+            let data = self.parent.memory().peek_line(line);
+            out.extend_from_slice(&data[offset..offset + take]);
+            cur += take as u64;
+            remaining -= take;
+        }
+        out
+    }
+
+    fn audit(&self) {
+        if let Err(v) = self.verify() {
+            panic!("hierarchy consistency violation: {v}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_array::ReplacementKind;
+    use moesi::protocols::MoesiPreferred;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig::new(1024, 32, 2, ReplacementKind::Lru)
+    }
+
+    fn two_by_two() -> HierarchicalSystem {
+        HierarchyBuilder::new(32)
+            .cluster()
+            .cache(Box::new(MoesiPreferred::new()), cfg())
+            .cache(Box::new(MoesiPreferred::new()), cfg())
+            .cluster()
+            .cache(Box::new(MoesiPreferred::new()), cfg())
+            .cache(Box::new(MoesiPreferred::new()), cfg())
+            .checking(true)
+            .build()
+    }
+
+    #[test]
+    fn cross_cluster_read_after_write() {
+        let mut sys = two_by_two();
+        sys.write(0, 0, 0x1000, &[7; 4]);
+        assert_eq!(sys.cluster_state_of(0, 0x1000), LineState::Modified);
+        let v = sys.read(1, 0, 0x1000, 4);
+        assert_eq!(v, vec![7; 4]);
+        // The owning cluster demotes to O; the reader cluster is S.
+        assert_eq!(sys.cluster_state_of(0, 0x1000), LineState::Owned);
+        assert_eq!(sys.cluster_state_of(1, 0x1000), LineState::Shareable);
+        assert_eq!(sys.bridge(0).stats().supplied, 1);
+    }
+
+    #[test]
+    fn intra_cluster_sharing_stays_off_the_parent_bus() {
+        let mut sys = two_by_two();
+        sys.write(0, 0, 0x1000, &[1; 4]);
+        let parent_before = sys.parent_stats().transactions;
+        // Heavy sharing *within* cluster 0: no parent traffic at all.
+        for i in 0..20u32 {
+            let cpu = (i % 2) as usize;
+            sys.write(0, cpu, 0x1000, &i.to_le_bytes());
+            let _ = sys.read(0, 1 - cpu, 0x1000, 4);
+        }
+        assert_eq!(
+            sys.parent_stats().transactions,
+            parent_before,
+            "intra-cluster traffic must not escalate"
+        );
+    }
+
+    #[test]
+    fn cross_cluster_write_broadcasts_and_updates() {
+        let mut sys = two_by_two();
+        let _ = sys.read(0, 0, 0x1000, 4);
+        let _ = sys.read(1, 0, 0x1000, 4); // both clusters S
+        assert_eq!(sys.cluster_state_of(0, 0x1000), LineState::Shareable);
+        sys.write(0, 0, 0x1000, &[9; 4]);
+        // Cluster 0 broadcast at parent level and became the owner.
+        assert_eq!(sys.cluster_state_of(0, 0x1000), LineState::Owned);
+        assert_eq!(sys.cluster_state_of(1, 0x1000), LineState::Shareable);
+        assert_eq!(sys.bridge(1).stats().updates_in, 1);
+        // Cluster 1's copy was updated in place — reading is a local hit.
+        let parent_before = sys.parent_stats().transactions;
+        assert_eq!(sys.read(1, 0, 0x1000, 4), vec![9; 4]);
+        assert_eq!(sys.parent_stats().transactions, parent_before);
+    }
+
+    #[test]
+    fn cluster_level_exclusive_upgrade_is_silent() {
+        let mut sys = two_by_two();
+        let _ = sys.read(0, 0, 0x1000, 4); // only cluster 0: ext E
+        assert_eq!(sys.cluster_state_of(0, 0x1000), LineState::Exclusive);
+        let parent_before = sys.parent_stats().transactions;
+        sys.write(0, 0, 0x1000, &[3; 4]);
+        assert_eq!(sys.parent_stats().transactions, parent_before, "silent E->M");
+        assert_eq!(sys.cluster_state_of(0, 0x1000), LineState::Modified);
+    }
+
+    #[test]
+    fn write_miss_invalidates_other_clusters() {
+        let mut sys = two_by_two();
+        let _ = sys.read(1, 0, 0x1000, 4);
+        let _ = sys.read(1, 1, 0x1000, 4); // cluster 1 shares internally
+        sys.write(0, 0, 0x1000, &[5; 4]); // cluster 0: RWITM at parent level
+        assert_eq!(sys.cluster_state_of(0, 0x1000), LineState::Modified);
+        assert_eq!(sys.cluster_state_of(1, 0x1000), LineState::Invalid);
+        assert_eq!(sys.state_of(1, 0, 0x1000), LineState::Invalid);
+        assert_eq!(sys.state_of(1, 1, 0x1000), LineState::Invalid);
+        assert_eq!(sys.bridge(1).stats().invalidations_in, 1);
+        assert_eq!(sys.read(1, 1, 0x1000, 4), vec![5; 4]);
+    }
+
+    #[test]
+    fn three_clusters_ownership_ring() {
+        let mut sys = HierarchyBuilder::new(32)
+            .cluster()
+            .cache(Box::new(MoesiPreferred::new()), cfg())
+            .cluster()
+            .cache(Box::new(MoesiPreferred::new()), cfg())
+            .cluster()
+            .cache(Box::new(MoesiPreferred::new()), cfg())
+            .checking(true)
+            .build();
+        for round in 0..9u32 {
+            let cluster = (round as usize) % 3;
+            sys.write(cluster, 0, 0x2000, &round.to_le_bytes());
+            for reader in 0..3 {
+                assert_eq!(
+                    sys.read(reader, 0, 0x2000, 4),
+                    round.to_le_bytes().to_vec(),
+                    "round {round} reader {reader}"
+                );
+            }
+            let owners = (0..3)
+                .filter(|&c| sys.cluster_state_of(c, 0x2000).is_owned())
+                .count();
+            assert!(owners <= 1, "round {round}: {owners} owning clusters");
+        }
+    }
+
+    #[test]
+    fn randomized_hierarchy_run_stays_consistent() {
+        use crate::workload::{DuboisBriggs, SharingModel};
+        let mut sys = two_by_two();
+        let model = SharingModel {
+            shared_lines: 6,
+            private_lines: 16,
+            p_shared: 0.5,
+            p_write: 0.4,
+            p_rereference: 0.3,
+            line_size: 32,
+        };
+        let mut streams: Vec<Vec<Box<dyn RefStream + Send>>> = (0..2)
+            .map(|cluster| {
+                (0..2)
+                    .map(|cpu| {
+                        Box::new(DuboisBriggs::new(cluster * 2 + cpu, model, 99))
+                            as Box<dyn RefStream + Send>
+                    })
+                    .collect()
+            })
+            .collect();
+        sys.run(&mut streams, 250);
+        sys.verify().expect("hierarchy consistent");
+        assert!(sys.parent_stats().transactions > 0);
+    }
+
+    #[test]
+    fn heterogeneous_clusters_work() {
+        use moesi::protocols::{Dragon, NonCaching, WriteThrough};
+        let mut sys = HierarchyBuilder::new(32)
+            .cluster()
+            .cache(Box::new(MoesiPreferred::new()), cfg())
+            .cache(Box::new(WriteThrough::new()), cfg())
+            .cluster()
+            .cache(Box::new(Dragon::new()), cfg())
+            .uncached(Box::new(NonCaching::new()))
+            .checking(true)
+            .build();
+        for i in 0..30u32 {
+            let cluster = (i % 2) as usize;
+            let cpu = ((i / 2) % 2) as usize;
+            let addr = 0x1000 + u64::from(i % 4) * 32;
+            if i % 3 == 0 {
+                sys.write(cluster, cpu, addr, &i.to_le_bytes());
+            } else {
+                let _ = sys.read(cluster, cpu, addr, 4);
+            }
+        }
+        sys.verify().expect("consistent");
+    }
+
+    #[test]
+    fn global_sync_makes_parent_memory_current() {
+        let mut sys = two_by_two();
+        sys.write(0, 0, 0x1000, &[1; 4]);
+        sys.write(1, 1, 0x2000, &[2; 4]);
+        // Parent memory has neither value yet (cluster-level M).
+        assert_eq!(sys.parent_memory_peek(0x1000, 4), vec![0; 4]);
+        let pushed = sys.make_globally_consistent();
+        assert_eq!(pushed, 2);
+        assert_eq!(sys.parent_memory_peek(0x1000, 4), vec![1; 4]);
+        assert_eq!(sys.parent_memory_peek(0x2000, 4), vec![2; 4]);
+        // No cluster owns anything any more.
+        for c in 0..2 {
+            assert!(!sys.cluster_state_of(c, 0x1000).is_owned());
+            assert!(!sys.cluster_state_of(c, 0x2000).is_owned());
+        }
+        assert_eq!(sys.make_globally_consistent(), 0, "idempotent");
+        // The clusters kept readable copies: no parent traffic on re-read.
+        let before = sys.parent_stats().transactions;
+        assert_eq!(sys.read(0, 0, 0x1000, 4), vec![1; 4]);
+        assert_eq!(sys.parent_stats().transactions, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "call .cluster() first")]
+    fn nodes_require_a_cluster() {
+        let _ = HierarchyBuilder::new(32).cache(Box::new(MoesiPreferred::new()), cfg());
+    }
+}

@@ -1,0 +1,73 @@
+//! The paper's opening argument, measured (§1): "Two factors require that
+//! high performance multiprocessor systems have cache memories ... no
+//! feasible bus design can provide adequate bandwidth to memory for any
+//! reasonable number of high performance processors."
+//!
+//! The contention-aware timed mode runs identical workloads on machines of
+//! 1–16 processors built three ways — no caches, write-through caches,
+//! MOESI copy-back caches — and reports aggregate throughput and bus
+//! utilisation.
+//!
+//! Run with `cargo run --release --example bus_saturation`.
+
+use cache_array::{CacheConfig, ReplacementKind};
+use moesi::protocols::by_name;
+use mpsim::workload::{DuboisBriggs, SharingModel};
+use mpsim::{RefStream, SystemBuilder, TimedReport};
+
+const LINE: usize = 32;
+const REFS: u64 = 2_000;
+const CPU_WORK_NS: u64 = 50; // a 20-MIPS-class processor's per-reference work
+
+fn run(kind: &str, cpus: usize) -> TimedReport {
+    let cfg = CacheConfig::new(4096, LINE, 2, ReplacementKind::Lru);
+    let mut b = SystemBuilder::new(LINE);
+    for i in 0..cpus {
+        b = match kind {
+            "none" => b.uncached(by_name("non-caching", i as u64).unwrap()),
+            name => b.cache(by_name(name, i as u64).unwrap(), cfg),
+        };
+    }
+    let mut sys = b.build();
+    let model = SharingModel {
+        p_shared: 0.1,
+        line_size: LINE as u64,
+        ..SharingModel::default()
+    };
+    let mut streams: Vec<Box<dyn RefStream + Send>> = (0..cpus)
+        .map(|cpu| Box::new(DuboisBriggs::new(cpu, model, 9)) as _)
+        .collect();
+    sys.run_timed(&mut streams, REFS, CPU_WORK_NS)
+}
+
+fn main() {
+    println!("Aggregate throughput (refs/us) and bus utilisation vs processor count");
+    println!("({REFS} refs/cpu, {CPU_WORK_NS} ns local work per ref):\n");
+    println!(
+        "{:>5} | {:>12} {:>6} | {:>12} {:>6} | {:>12} {:>6}",
+        "CPUs", "no cache", "bus%", "write-thru", "bus%", "MOESI", "bus%"
+    );
+    let mut last: Vec<f64> = Vec::new();
+    for cpus in [1usize, 2, 4, 8, 16] {
+        let none = run("none", cpus);
+        let wt = run("write-through", cpus);
+        let cb = run("moesi", cpus);
+        println!(
+            "{:>5} | {:>12.2} {:>5.0}% | {:>12.2} {:>5.0}% | {:>12.2} {:>5.0}%",
+            cpus,
+            none.refs_per_us(),
+            none.bus_utilization() * 100.0,
+            wt.refs_per_us(),
+            wt.bus_utilization() * 100.0,
+            cb.refs_per_us(),
+            cb.bus_utilization() * 100.0,
+        );
+        last = vec![none.refs_per_us(), wt.refs_per_us(), cb.refs_per_us()];
+    }
+    println!("\nAt 16 processors the cacheless machine moves {:.1}x fewer references than", last[2] / last[0]);
+    println!("the MOESI machine: its bus saturated almost immediately, while copy-back");
+    println!("caches satisfy most references locally (\"the cache also cuts the memory");
+    println!("bandwidth requirement, since most references are satisfied locally with");
+    println!("no bus activity\", §1). Write-through lands in between — every write still");
+    println!("crosses the bus.");
+}

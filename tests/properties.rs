@@ -1,0 +1,213 @@
+//! Property-based tests (proptest) over the whole stack: random operation
+//! sequences against mixed-protocol systems must preserve the shared memory
+//! image, and the pure layers must uphold their structural invariants under
+//! arbitrary inputs.
+
+use cache_array::{split_line_crossers, CacheConfig, ReplacementKind};
+use moesi::protocols::{
+    Berkeley, Dragon, MoesiInvalidating, MoesiPreferred, NonCaching, PuzakRefinement,
+    RandomPolicy, WriteThrough,
+};
+use moesi::{table, BusEvent, CacheKind, LineState, LocalEvent, Protocol};
+use mpsim::{System, SystemBuilder};
+use proptest::prelude::*;
+
+const LINE: usize = 32;
+
+/// One scripted operation against the system.
+#[derive(Clone, Debug)]
+enum Op {
+    Read { cpu: usize, line: u64, offset: u64, len: usize },
+    Write { cpu: usize, line: u64, offset: u64, val: u8, len: usize },
+    Flush { cpu: usize, line: u64 },
+    Pass { cpu: usize, line: u64 },
+}
+
+fn op_strategy(cpus: usize, lines: u64) -> impl Strategy<Value = Op> {
+    let cpu = 0..cpus;
+    let line = 0..lines;
+    prop_oneof![
+        (cpu.clone(), line.clone(), 0u64..7, 1usize..5).prop_map(|(cpu, line, offset, len)| {
+            Op::Read { cpu, line, offset: offset * 4, len }
+        }),
+        (cpu.clone(), line.clone(), 0u64..7, any::<u8>(), 1usize..5).prop_map(
+            |(cpu, line, offset, val, len)| Op::Write { cpu, line, offset: offset * 4, val, len }
+        ),
+        (cpu.clone(), line.clone()).prop_map(|(cpu, line)| Op::Flush { cpu, line }),
+        (cpu, line).prop_map(|(cpu, line)| Op::Pass { cpu, line }),
+    ]
+}
+
+fn apply(sys: &mut System, op: &Op) {
+    let base = 0x1000;
+    match *op {
+        Op::Read { cpu, line, offset, len } => {
+            let _ = sys.read(cpu, base + line * LINE as u64 + offset, len);
+        }
+        Op::Write { cpu, line, offset, val, len } => {
+            sys.write(cpu, base + line * LINE as u64 + offset, &vec![val; len]);
+        }
+        Op::Flush { cpu, line } => {
+            sys.flush(cpu, base + line * LINE as u64);
+        }
+        Op::Pass { cpu, line } => {
+            sys.pass(cpu, base + line * LINE as u64);
+        }
+    }
+}
+
+fn cfg() -> CacheConfig {
+    CacheConfig::new(512, LINE, 2, ReplacementKind::Lru)
+}
+
+fn mixed_system(seed: u64) -> System {
+    // Small caches force evictions; the checker is on, so every operation is
+    // audited and reads are compared against the golden image.
+    SystemBuilder::new(LINE)
+        .checking(true)
+        .seed(seed)
+        .cache(Box::new(MoesiPreferred::new()), cfg())
+        .cache(Box::new(MoesiInvalidating::new()), cfg())
+        .cache(Box::new(Berkeley::new()), cfg())
+        .cache(Box::new(Dragon::new()), cfg())
+        .cache(Box::new(PuzakRefinement::new()), cfg())
+        .cache(Box::new(WriteThrough::new()), cfg())
+        .cache(Box::new(RandomPolicy::new(CacheKind::CopyBack, seed)), cfg())
+        .uncached(Box::new(NonCaching::new()))
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_op_sequences_preserve_consistency(
+        ops in proptest::collection::vec(op_strategy(8, 6), 1..120),
+        seed in 0u64..1000,
+    ) {
+        let mut sys = mixed_system(seed);
+        for op in &ops {
+            apply(&mut sys, op); // panics (fails the test) on any violation
+        }
+        prop_assert!(sys.verify().is_ok());
+    }
+
+    #[test]
+    fn last_write_wins_for_every_reader(
+        writes in proptest::collection::vec((0usize..4, any::<u8>()), 1..40),
+    ) {
+        let mut sys = mixed_system(1);
+        let addr = 0x1000;
+        let mut last = None;
+        for (cpu, val) in writes {
+            sys.write(cpu, addr, &[val; 4]);
+            last = Some(val);
+        }
+        let expected = vec![last.expect("non-empty"); 4];
+        for cpu in 0..sys.nodes() {
+            prop_assert_eq!(sys.read(cpu, addr, 4), expected.clone());
+        }
+    }
+
+    #[test]
+    fn line_crosser_pieces_partition_any_access(
+        addr in 0u64..10_000,
+        size in 0usize..400,
+        line_pow in 3u32..9,
+    ) {
+        let line = 1usize << line_pow;
+        let pieces = split_line_crossers(addr, size, line);
+        let total: usize = pieces.iter().map(|&(_, l)| l).sum();
+        prop_assert_eq!(total, size);
+        let mut cursor = addr;
+        for (a, l) in pieces {
+            prop_assert_eq!(a, cursor);
+            prop_assert!(l > 0);
+            // Each piece fits within one line.
+            prop_assert_eq!(a / line as u64, (a + l as u64 - 1) / line as u64);
+            cursor += l as u64;
+        }
+    }
+
+    #[test]
+    fn permitted_bus_results_never_create_second_owners_from_nothing(
+        state_idx in 0usize..5,
+        event_idx in 0usize..6,
+        ch in any::<bool>(),
+    ) {
+        let state = LineState::ALL[state_idx];
+        let event = BusEvent::ALL[event_idx];
+        for reaction in table::permitted_bus(state, event) {
+            if reaction.busy.is_some() {
+                continue;
+            }
+            let result = reaction.result.resolve(ch);
+            // Ownership cannot be conjured by snooping.
+            if !state.is_owned() {
+                prop_assert!(!result.is_owned());
+            }
+            // Validity cannot be conjured by snooping either.
+            if !state.is_valid() {
+                prop_assert!(!result.is_valid());
+            }
+        }
+    }
+
+    #[test]
+    fn permitted_local_never_silently_modifies_shared_data(
+        state_idx in 0usize..5,
+        kind_idx in 0usize..3,
+    ) {
+        let state = LineState::ALL[state_idx];
+        let kind = CacheKind::ALL[kind_idx];
+        for action in table::permitted_local(state, LocalEvent::Write, kind) {
+            if state.is_non_exclusive() {
+                prop_assert!(
+                    action.bus_op.uses_bus(),
+                    "silent write to non-exclusive {} under {:?}", state, kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_policy_is_always_in_class(seed in any::<u64>()) {
+        for kind in CacheKind::ALL {
+            let mut p = RandomPolicy::new(kind, seed);
+            let report = moesi::compat::check_protocol(&mut p);
+            prop_assert!(report.is_class_member(), "{}", report);
+        }
+    }
+
+    #[test]
+    fn sector_cache_valid_subsectors_never_exceed_capacity(
+        installs in proptest::collection::vec((0u64..2_048, 0usize..3), 1..80),
+    ) {
+        use cache_array::SectorCache;
+        let mut sc: SectorCache<u8> = SectorCache::new(4, 64, 16);
+        for (addr, state) in installs {
+            sc.install(addr * 4, state as u8);
+            prop_assert!(sc.valid_subsectors() <= 4 * 4);
+        }
+    }
+}
+
+#[test]
+fn protocol_trait_objects_are_usable_generically() {
+    // C-OBJECT: the Protocol trait must work as a trait object.
+    let mut protocols: Vec<Box<dyn Protocol + Send>> = vec![
+        Box::new(MoesiPreferred::new()),
+        Box::new(Dragon::new()),
+        Box::new(WriteThrough::new()),
+    ];
+    for p in &mut protocols {
+        let _ = p.name();
+        let _ = p.kind();
+        let a = p.on_local(
+            LineState::Invalid,
+            LocalEvent::Read,
+            &moesi::LocalCtx::default(),
+        );
+        assert!(a.bus_op.uses_bus());
+    }
+}
