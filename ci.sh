@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything here must pass, fully offline (the workspace has
+# no external dependencies; see the [workspace.dependencies] note in
+# Cargo.toml). Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "ci: all green"

@@ -50,8 +50,10 @@ fn bench_ablation(c: &mut Criterion) {
         b.iter(|| {
             // The refinement must apply *fewer* updates than always-update
             // and *fewer* invalidations than always-invalidate.
-            let mut always = homogeneous_system("moesi", CPUS, 1024, LINE, TimingConfig::default(), false);
-            let mut refined = homogeneous_system("puzak", CPUS, 1024, LINE, TimingConfig::default(), false);
+            let mut always =
+                homogeneous_system("moesi", CPUS, 1024, LINE, TimingConfig::default(), false);
+            let mut refined =
+                homogeneous_system("puzak", CPUS, 1024, LINE, TimingConfig::default(), false);
             let model = SharingModel {
                 shared_lines: 8,
                 private_lines: 48,

@@ -35,22 +35,23 @@ fn bench_lookup(c: &mut Criterion) {
 
 fn bench_fill_evict(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_array/fill_evict");
-    for policy in [ReplacementKind::Lru, ReplacementKind::Fifo, ReplacementKind::Random] {
+    for policy in [
+        ReplacementKind::Lru,
+        ReplacementKind::Fifo,
+        ReplacementKind::Random,
+    ] {
         let cfg = CacheConfig::new(4096, 32, 4, ReplacementKind::Lru);
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{policy}")),
             &policy,
             |b, &policy| {
-                let cfg = CacheConfig::new(cfg.size_bytes, cfg.line_size, cfg.associativity, policy);
+                let cfg =
+                    CacheConfig::new(cfg.size_bytes, cfg.line_size, cfg.associativity, policy);
                 let mut cache = filled_cache(cfg);
                 let mut addr = 0x10_0000u64;
                 b.iter(|| {
                     addr += 32;
-                    black_box(cache.fill(
-                        black_box(addr),
-                        LineState::Exclusive,
-                        vec![0; 32].into(),
-                    ))
+                    black_box(cache.fill(black_box(addr), LineState::Exclusive, vec![0; 32].into()))
                 });
             },
         );
@@ -77,5 +78,10 @@ fn bench_touch_and_rank(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_lookup, bench_fill_evict, bench_touch_and_rank);
+criterion_group!(
+    benches,
+    bench_lookup,
+    bench_fill_evict,
+    bench_touch_and_rank
+);
 criterion_main!(benches);

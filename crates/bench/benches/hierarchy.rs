@@ -51,7 +51,9 @@ fn run_hierarchy(clusters: usize, per_cluster: usize) -> u64 {
     let mut streams: Vec<Vec<Box<dyn RefStream + Send>>> = (0..clusters)
         .map(|cluster| {
             (0..per_cluster)
-                .map(|_| Box::new(DuboisBriggs::new(cluster, model(), 5)) as Box<dyn RefStream + Send>)
+                .map(|_| {
+                    Box::new(DuboisBriggs::new(cluster, model(), 5)) as Box<dyn RefStream + Send>
+                })
                 .collect()
         })
         .collect();

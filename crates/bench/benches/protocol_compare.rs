@@ -40,17 +40,20 @@ fn bench_protocols(c: &mut Criterion) {
 
 fn shape_checks(c: &mut Criterion) {
     // One cheap bench that locks in the headline ordering.
-    c.bench_function("protocol_compare/update_beats_invalidate_on_ping_pong", |b| {
-        b.iter(|| {
-            let update = run_once("moesi", "ping-pong");
-            let invalidate = run_once("moesi-invalidating", "ping-pong");
-            assert!(
-                update < invalidate,
-                "update ({update} ns) must beat invalidate ({invalidate} ns) on ping-pong"
-            );
-            black_box((update, invalidate))
-        });
-    });
+    c.bench_function(
+        "protocol_compare/update_beats_invalidate_on_ping_pong",
+        |b| {
+            b.iter(|| {
+                let update = run_once("moesi", "ping-pong");
+                let invalidate = run_once("moesi-invalidating", "ping-pong");
+                assert!(
+                    update < invalidate,
+                    "update ({update} ns) must beat invalidate ({invalidate} ns) on ping-pong"
+                );
+                black_box((update, invalidate))
+            });
+        },
+    );
 }
 
 criterion_group!(benches, bench_protocols, shape_checks);

@@ -37,11 +37,9 @@ fn bench_saturation(c: &mut Criterion) {
     group.sample_size(10);
     for cpus in [1usize, 4, 8] {
         for kind in ["none", "write-through", "moesi"] {
-            group.bench_with_input(
-                BenchmarkId::new(kind, cpus),
-                &cpus,
-                |b, &cpus| b.iter(|| black_box(run(kind, cpus))),
-            );
+            group.bench_with_input(BenchmarkId::new(kind, cpus), &cpus, |b, &cpus| {
+                b.iter(|| black_box(run(kind, cpus)))
+            });
         }
     }
     group.finish();

@@ -12,7 +12,15 @@ fn bench_protocol_decisions(c: &mut Criterion) {
     let mut group = c.benchmark_group("state_machine");
     group.sample_size(30);
 
-    for name in ["moesi", "berkeley", "dragon", "write-once", "illinois", "firefly", "synapse"] {
+    for name in [
+        "moesi",
+        "berkeley",
+        "dragon",
+        "write-once",
+        "illinois",
+        "firefly",
+        "synapse",
+    ] {
         let mut p = by_name(name, 1).expect("known protocol");
         let reachable = moesi::compat::reachable_states(p.as_mut());
         let local_cells: Vec<(LineState, LocalEvent)> = reachable

@@ -3,7 +3,10 @@
 //!
 //! Run with `cargo run --release -p bench --bin experiments`.
 
-use bench::{compare_one, homogeneous_system, render_comparison, workload_streams, COMPARED_PROTOCOLS, LINE, WORKLOADS};
+use bench::{
+    compare_one, homogeneous_system, render_comparison, workload_streams, COMPARED_PROTOCOLS, LINE,
+    WORKLOADS,
+};
 use futurebus::TimingConfig;
 use mpsim::workload::{DuboisBriggs, SharingModel};
 use mpsim::{RefStream, Sequential};
@@ -36,7 +39,11 @@ fn e2_sharing_sweep() {
             sys.run(&mut streams, STEPS);
             results.push(sys.bus_stats().busy_ns as f64 / 1000.0);
         }
-        let winner = if results[0] <= results[1] { "update" } else { "invalidate" };
+        let winner = if results[0] <= results[1] {
+            "update"
+        } else {
+            "invalidate"
+        };
         println!(
             "{:>9.2} {:>12.1} {:>12.1} {:>12.1} {:>10}",
             p_shared, results[0], results[1], results[2], winner
@@ -56,7 +63,10 @@ fn e3_protocol_comparison() {
             .collect();
         print!(
             "{}",
-            render_comparison(&format!("workload: {workload} ({CPUS} CPUs x {STEPS} steps)"), &rows)
+            render_comparison(
+                &format!("workload: {workload} ({CPUS} CPUs x {STEPS} steps)"),
+                &rows
+            )
         );
         println!();
     }
@@ -129,7 +139,11 @@ fn e5_timing_sensitivity() {
             intervention,
             results[0],
             results[1],
-            if results[0] <= results[1] { "moesi-inv" } else { "illinois" }
+            if results[0] <= results[1] {
+                "moesi-inv"
+            } else {
+                "illinois"
+            }
         );
     }
     println!();

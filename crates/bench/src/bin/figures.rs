@@ -45,7 +45,11 @@ fn main() {
     for v in [true, false] {
         for e in [true, false] {
             for o in [true, false] {
-                let c = Characteristics { validity: v, exclusiveness: e, ownership: o };
+                let c = Characteristics {
+                    validity: v,
+                    exclusiveness: e,
+                    ownership: o,
+                };
                 let s = LineState::from(c);
                 println!(
                     "{:<10} {:<12} {:<14} {:<10} -> {} ({})",
@@ -67,10 +71,26 @@ fn main() {
     println!("================================================================");
     type PairSpec = (&'static str, fn(LineState) -> bool, &'static str);
     let pairs: [PairSpec; 4] = [
-        ("intervenient (owned)", LineState::is_intervenient, "must preempt memory's response"),
-        ("sole copy (exclusive)", LineState::is_exclusive, "may be modified without warning others"),
-        ("unowned valid", LineState::is_unowned_valid, "not responsible for other modules' accesses"),
-        ("non-exclusive", LineState::is_non_exclusive, "local writes must notify the bus"),
+        (
+            "intervenient (owned)",
+            LineState::is_intervenient,
+            "must preempt memory's response",
+        ),
+        (
+            "sole copy (exclusive)",
+            LineState::is_exclusive,
+            "may be modified without warning others",
+        ),
+        (
+            "unowned valid",
+            LineState::is_unowned_valid,
+            "not responsible for other modules' accesses",
+        ),
+        (
+            "non-exclusive",
+            LineState::is_non_exclusive,
+            "local writes must notify the bus",
+        ),
     ];
     for (name, pred, meaning) in pairs {
         let members: Vec<String> = LineState::ALL

@@ -15,9 +15,15 @@ fn render_protocol(p: &mut (dyn Protocol + Send), bus_cols: &[BusEvent]) -> Stri
         .filter(|s| reachable.contains(s))
         .collect();
     let mut out = String::new();
-    out.push_str(&format!("{:<7} {:<18} {:<22}", "State", "Read(1)", "Write(2)"));
+    out.push_str(&format!(
+        "{:<7} {:<18} {:<22}",
+        "State", "Read(1)", "Write(2)"
+    ));
     for ev in bus_cols {
-        out.push_str(&format!(" {:<16}", format!("{}({})", ev.signals(), ev.column())));
+        out.push_str(&format!(
+            " {:<16}",
+            format!("{}({})", ev.signals(), ev.column())
+        ));
     }
     out.push('\n');
     for state in states {
@@ -144,7 +150,10 @@ fn main() {
             if report.is_class_member() {
                 "class member".to_string()
             } else {
-                format!("adapted ({} out-of-class decisions)", report.violations().len())
+                format!(
+                    "adapted ({} out-of-class decisions)",
+                    report.violations().len()
+                )
             }
         );
     }

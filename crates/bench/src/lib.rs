@@ -60,7 +60,8 @@ pub fn homogeneous_system(
     let mut b = SystemBuilder::new(line).timing(timing).checking(checking);
     for i in 0..cpus {
         b = b.cache(
-            by_name(protocol, 1000 + i as u64).unwrap_or_else(|| panic!("unknown protocol {protocol}")),
+            by_name(protocol, 1000 + i as u64)
+                .unwrap_or_else(|| panic!("unknown protocol {protocol}")),
             cfg,
         );
     }
@@ -96,7 +97,10 @@ pub fn workload_streams(
                 }
                 "general" => Box::new(DuboisBriggs::new(
                     cpu,
-                    SharingModel { line_size: line, ..SharingModel::default() },
+                    SharingModel {
+                        line_size: line,
+                        ..SharingModel::default()
+                    },
                     seed,
                 )),
                 other => panic!("unknown workload {other}"),

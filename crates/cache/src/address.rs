@@ -32,7 +32,10 @@ impl AddressMap {
     /// Panics if either argument is not a power of two.
     #[must_use]
     pub fn new(line_size: usize, sets: usize) -> Self {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         AddressMap {
             line_size,
@@ -94,7 +97,10 @@ impl AddressMap {
 /// Panics if `line_size` is not a power of two.
 #[must_use]
 pub fn split_line_crossers(addr: u64, size: usize, line_size: usize) -> Vec<(u64, usize)> {
-    assert!(line_size.is_power_of_two(), "line size must be a power of two");
+    assert!(
+        line_size.is_power_of_two(),
+        "line size must be a power of two"
+    );
     if size == 0 {
         return Vec::new();
     }

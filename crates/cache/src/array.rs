@@ -2,8 +2,7 @@
 
 use crate::address::AddressMap;
 use crate::config::{CacheConfig, ReplacementKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use moesi::rng::SmallRng;
 
 /// One resident line: its tag, protocol state and data.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -70,7 +69,7 @@ pub struct CacheArray<S> {
     config: CacheConfig,
     map: AddressMap,
     sets: Vec<CacheSet<S>>,
-    rng: StdRng,
+    rng: SmallRng,
     resident: usize,
 }
 
@@ -85,7 +84,7 @@ impl<S> CacheArray<S> {
             sets: (0..config.sets())
                 .map(|_| CacheSet::new(config.associativity))
                 .collect(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
             resident: 0,
         }
     }
@@ -214,12 +213,14 @@ impl<S> CacheArray<S> {
 
     /// Iterates over resident lines as `(line_addr, &entry)`.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &Entry<S>)> + '_ {
-        self.sets.iter().enumerate().flat_map(move |(set_idx, set)| {
-            set.ways.iter().filter_map(move |w| {
-                w.as_ref()
-                    .map(|e| (self.map.reassemble(e.tag, set_idx), e))
+        self.sets
+            .iter()
+            .enumerate()
+            .flat_map(move |(set_idx, set)| {
+                set.ways.iter().filter_map(move |w| {
+                    w.as_ref().map(|e| (self.map.reassemble(e.tag, set_idx), e))
+                })
             })
-        })
     }
 
     fn promote(&mut self, set_idx: usize, way: usize) {
@@ -284,7 +285,8 @@ impl<S> CacheArray<S> {
             offset + len <= self.config.line_size,
             "read crosses line boundary; split it first"
         );
-        self.lookup(addr).map(|e| e.data[offset..offset + len].to_vec())
+        self.lookup(addr)
+            .map(|e| e.data[offset..offset + len].to_vec())
     }
 
     /// Writes bytes at `addr` into a resident line; false on a miss.

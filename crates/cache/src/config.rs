@@ -66,8 +66,14 @@ impl CacheConfig {
         associativity: usize,
         replacement: ReplacementKind,
     ) -> Self {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
-        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
         assert!(associativity > 0, "associativity must be non-zero");
         let lines = size_bytes / line_size;
         assert!(lines >= associativity, "fewer lines than ways");
@@ -159,6 +165,9 @@ mod tests {
 
     #[test]
     fn display_summarises() {
-        assert_eq!(CacheConfig::small().to_string(), "4096B, 32B lines, 2-way, LRU");
+        assert_eq!(
+            CacheConfig::small().to_string(),
+            "4096B, 32B lines, 2-way, LRU"
+        );
     }
 }

@@ -140,7 +140,10 @@ impl<S: Copy> SectorCache<S> {
             None => {
                 let lru = *self.order.last().expect("full cache has an order");
                 let old = self.frames[lru].take().expect("occupied");
-                (lru, Some(old.tag << self.sector_map.line_size().trailing_zeros()))
+                (
+                    lru,
+                    Some(old.tag << self.sector_map.line_size().trailing_zeros()),
+                )
             }
         };
         let mut subsectors = vec![None; self.subsectors_per_sector];
@@ -156,7 +159,9 @@ impl<S: Copy> SectorCache<S> {
     pub fn invalidate_subsector(&mut self, addr: u64) -> Option<S> {
         let f = self.frame_of(addr)?;
         let sub = self.subsector_index(addr);
-        self.frames[f].as_mut().and_then(|fr| fr.subsectors[sub].take())
+        self.frames[f]
+            .as_mut()
+            .and_then(|fr| fr.subsectors[sub].take())
     }
 
     /// Number of valid subsectors across all frames.
@@ -199,7 +204,11 @@ mod tests {
         sc.install(0x100, 'S');
         sc.install(0x110, 'S');
         assert_eq!(sc.invalidate_subsector(0x100), Some('S'));
-        assert_eq!(sc.probe(0x100), SectorProbe::SubsectorMiss, "sector survives");
+        assert_eq!(
+            sc.probe(0x100),
+            SectorProbe::SubsectorMiss,
+            "sector survives"
+        );
         assert_eq!(sc.state_of(0x110), Some('S'));
     }
 

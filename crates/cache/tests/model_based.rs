@@ -28,7 +28,14 @@ impl Reference {
         order.insert(0, addr);
     }
 
-    fn fill(&mut self, addr: u64, state: u8, data: Vec<u8>, sets: usize, ways: usize) -> Option<u64> {
+    fn fill(
+        &mut self,
+        addr: u64,
+        state: u8,
+        data: Vec<u8>,
+        sets: usize,
+        ways: usize,
+    ) -> Option<u64> {
         let set = Self::set_of(addr, sets);
         let mut victim = None;
         if !self.lines.contains_key(&addr) {
@@ -66,12 +73,18 @@ enum Op {
 fn op_strategy(lines: u64) -> impl Strategy<Value = Op> {
     let line = 0..lines;
     prop_oneof![
-        (line.clone(), any::<u8>(), any::<u8>())
-            .prop_map(|(line, state, byte)| Op::Fill { line, state, byte }),
+        (line.clone(), any::<u8>(), any::<u8>()).prop_map(|(line, state, byte)| Op::Fill {
+            line,
+            state,
+            byte
+        }),
         line.clone().prop_map(|line| Op::Touch { line }),
         line.clone().prop_map(|line| Op::Invalidate { line }),
-        (line.clone(), 0..LINE, any::<u8>())
-            .prop_map(|(line, offset, byte)| Op::Write { line, offset, byte }),
+        (line.clone(), 0..LINE, any::<u8>()).prop_map(|(line, offset, byte)| Op::Write {
+            line,
+            offset,
+            byte
+        }),
         (line.clone(), 0..LINE).prop_map(|(line, offset)| Op::Read { line, offset }),
         (line, any::<u8>()).prop_map(|(line, state)| Op::SetState { line, state }),
     ]

@@ -382,11 +382,8 @@ mod tests {
         let read_miss = LocalAction::new(ResultState::CH_S_E, MasterSignals::CA, BusOp::Read);
         assert_eq!(read_miss.to_string(), "CH:S/E,CA,R");
 
-        let bcast_write = LocalAction::new(
-            ResultState::CH_O_M,
-            MasterSignals::CA_IM_BC,
-            BusOp::Write,
-        );
+        let bcast_write =
+            LocalAction::new(ResultState::CH_O_M, MasterSignals::CA_IM_BC, BusOp::Write);
         assert_eq!(bcast_write.to_string(), "CH:O/M,CA,IM,BC,W");
 
         let silent = LocalAction::silent(LineState::Modified);
@@ -419,7 +416,12 @@ mod tests {
     #[test]
     fn bus_op_uses_bus() {
         assert!(!BusOp::None.uses_bus());
-        for op in [BusOp::Read, BusOp::Write, BusOp::AddressOnly, BusOp::ReadThenWrite] {
+        for op in [
+            BusOp::Read,
+            BusOp::Write,
+            BusOp::AddressOnly,
+            BusOp::ReadThenWrite,
+        ] {
             assert!(op.uses_bus());
         }
     }

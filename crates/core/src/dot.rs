@@ -45,7 +45,12 @@ pub fn render<P: Protocol + ?Sized>(protocol: &mut P) -> String {
 
     // Local events: solid edges.
     for &state in &reachable {
-        for event in [LocalEvent::Read, LocalEvent::Write, LocalEvent::Pass, LocalEvent::Flush] {
+        for event in [
+            LocalEvent::Read,
+            LocalEvent::Write,
+            LocalEvent::Pass,
+            LocalEvent::Flush,
+        ] {
             // Skip cells that are errors for every client kind.
             let defined = crate::protocol::CacheKind::ALL
                 .iter()
@@ -160,7 +165,10 @@ mod tests {
         // Silent upgrade E -> M on a write.
         assert!(dot.contains("E -> M [label=\"Write\"]"), "{dot}");
         // Snooped read demotes M -> O (column 5).
-        assert!(dot.contains("M -> O [style=dashed label=\"col5\"]"), "{dot}");
+        assert!(
+            dot.contains("M -> O [style=dashed label=\"col5\"]"),
+            "{dot}"
+        );
         // Read miss resolves by CH.
         assert!(dot.contains("I -> E [label=\"Read [~CH] (CA)\"]"), "{dot}");
         assert!(dot.contains("I -> S [label=\"Read [CH] (CA)\"]"), "{dot}");
@@ -182,7 +190,14 @@ mod tests {
 
     #[test]
     fn every_protocol_renders_valid_dot_structure() {
-        for name in ["moesi", "berkeley", "dragon", "write-once", "illinois", "firefly"] {
+        for name in [
+            "moesi",
+            "berkeley",
+            "dragon",
+            "write-once",
+            "illinois",
+            "firefly",
+        ] {
             let mut p = crate::protocols::by_name(name, 1).unwrap();
             let dot = render(p.as_mut());
             assert!(dot.starts_with("digraph "), "{name}");

@@ -51,6 +51,7 @@ pub mod dot;
 mod event;
 mod protocol;
 pub mod protocols;
+pub mod rng;
 mod signals;
 mod state;
 pub mod table;

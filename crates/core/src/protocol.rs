@@ -160,7 +160,10 @@ mod tests {
             CacheKind::WriteThrough.reachable_states(),
             &[LineState::Shareable, LineState::Invalid]
         );
-        assert_eq!(CacheKind::NonCaching.reachable_states(), &[LineState::Invalid]);
+        assert_eq!(
+            CacheKind::NonCaching.reachable_states(),
+            &[LineState::Invalid]
+        );
     }
 
     #[test]
@@ -172,10 +175,22 @@ mod tests {
 
     #[test]
     fn near_replacement_is_lru_only() {
-        let mru = SnoopCtx { recency_rank: Some(0), ways: 2 };
-        let lru = SnoopCtx { recency_rank: Some(1), ways: 2 };
-        let absent = SnoopCtx { recency_rank: None, ways: 2 };
-        let direct_mapped = SnoopCtx { recency_rank: Some(0), ways: 1 };
+        let mru = SnoopCtx {
+            recency_rank: Some(0),
+            ways: 2,
+        };
+        let lru = SnoopCtx {
+            recency_rank: Some(1),
+            ways: 2,
+        };
+        let absent = SnoopCtx {
+            recency_rank: None,
+            ways: 2,
+        };
+        let direct_mapped = SnoopCtx {
+            recency_rank: Some(0),
+            ways: 1,
+        };
         assert!(!mru.near_replacement());
         assert!(lru.near_replacement());
         assert!(!absent.near_replacement());

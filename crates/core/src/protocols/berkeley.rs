@@ -75,9 +75,7 @@ impl Protocol for Berkeley {
         debug_assert_ne!(state, LineState::Exclusive, "Berkeley has no E state");
         match (state, event) {
             // Table 3, column 5.
-            (Modified | Owned, BusEvent::CacheRead) => {
-                BusReaction::hit(Owned).with_di()
-            }
+            (Modified | Owned, BusEvent::CacheRead) => BusReaction::hit(Owned).with_di(),
             (Shareable, BusEvent::CacheRead) => BusReaction::hit(Shareable),
             // Table 3, column 6.
             (Modified | Owned, BusEvent::CacheReadInvalidate) => {

@@ -75,9 +75,7 @@ impl Protocol for Dragon {
             }
             (Invalid, _) => BusReaction::IGNORE,
             // Completion: stay an updater on uncached broadcast writes.
-            (Shareable, BusEvent::UncachedBroadcastWrite) => {
-                BusReaction::hit(Shareable).with_sl()
-            }
+            (Shareable, BusEvent::UncachedBroadcastWrite) => BusReaction::hit(Shareable).with_sl(),
             _ => moesi_fallback_bus(state, event),
         }
     }

@@ -86,9 +86,7 @@ impl Protocol for Firefly {
             (Modified, BusEvent::CacheRead) => Self::push(),
             (Exclusive | Shareable, BusEvent::CacheRead) => BusReaction::hit(Shareable),
             // Table 7, column 8: holders connect and update, staying S.
-            (Shareable, BusEvent::CacheBroadcastWrite) => {
-                BusReaction::hit(Shareable).with_sl()
-            }
+            (Shareable, BusEvent::CacheBroadcastWrite) => BusReaction::hit(Shareable).with_sl(),
             (Invalid, _) => BusReaction::IGNORE,
             // Completion cells (§4 leaves them open): dirty data pushes for
             // any foreign access; clean copies update on broadcasts and
@@ -96,9 +94,7 @@ impl Protocol for Firefly {
             (Modified, _) => Self::push(),
             (Exclusive, BusEvent::UncachedRead) => BusReaction::quiet(Exclusive),
             (Shareable, BusEvent::UncachedRead) => BusReaction::hit(Shareable),
-            (Shareable, BusEvent::UncachedBroadcastWrite) => {
-                BusReaction::hit(Shareable).with_sl()
-            }
+            (Shareable, BusEvent::UncachedBroadcastWrite) => BusReaction::hit(Shareable).with_sl(),
             (Exclusive, BusEvent::UncachedBroadcastWrite) => {
                 BusReaction::quiet(Exclusive).with_sl()
             }

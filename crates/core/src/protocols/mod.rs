@@ -27,6 +27,7 @@ mod moesi_preferred;
 mod non_caching;
 mod puzak;
 mod random_policy;
+mod scripted;
 mod synapse;
 mod write_once;
 mod write_through;
@@ -40,6 +41,7 @@ pub use moesi_preferred::MoesiPreferred;
 pub use non_caching::NonCaching;
 pub use puzak::PuzakRefinement;
 pub use random_policy::RandomPolicy;
+pub use scripted::{ScriptHandle, Scripted};
 pub use synapse::Synapse;
 pub use write_once::WriteOnce;
 pub use write_through::WriteThrough;
@@ -87,8 +89,14 @@ pub fn class_member_protocols(seed: u64) -> Vec<Box<dyn crate::Protocol + Send>>
         Box::new(Berkeley::new()),
         Box::new(Dragon::new()),
         Box::new(RandomPolicy::new(CacheKind::CopyBack, seed)),
-        Box::new(RandomPolicy::new(CacheKind::WriteThrough, seed.wrapping_add(1))),
-        Box::new(RandomPolicy::new(CacheKind::NonCaching, seed.wrapping_add(2))),
+        Box::new(RandomPolicy::new(
+            CacheKind::WriteThrough,
+            seed.wrapping_add(1),
+        )),
+        Box::new(RandomPolicy::new(
+            CacheKind::NonCaching,
+            seed.wrapping_add(2),
+        )),
     ]
 }
 

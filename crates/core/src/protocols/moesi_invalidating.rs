@@ -115,11 +115,20 @@ mod tests {
         let mut inv = MoesiInvalidating::new();
         let ctx = SnoopCtx::default();
         for s in LineState::ALL {
-            for ev in [BusEvent::CacheRead, BusEvent::CacheReadInvalidate, BusEvent::UncachedRead, BusEvent::UncachedWrite] {
+            for ev in [
+                BusEvent::CacheRead,
+                BusEvent::CacheReadInvalidate,
+                BusEvent::UncachedRead,
+                BusEvent::UncachedWrite,
+            ] {
                 if table::permitted_bus(s, ev).is_empty() {
                     continue;
                 }
-                assert_eq!(pref.on_bus(s, ev, &ctx), inv.on_bus(s, ev, &ctx), "({s}, {ev})");
+                assert_eq!(
+                    pref.on_bus(s, ev, &ctx),
+                    inv.on_bus(s, ev, &ctx),
+                    "({s}, {ev})"
+                );
             }
         }
         let lctx = LocalCtx::default();

@@ -98,8 +98,14 @@ mod tests {
 
     #[test]
     fn exclusive_write_is_silent() {
-        assert_eq!(local(Exclusive, LocalEvent::Write), LocalAction::silent(Modified));
-        assert_eq!(local(Modified, LocalEvent::Write), LocalAction::silent(Modified));
+        assert_eq!(
+            local(Exclusive, LocalEvent::Write),
+            LocalAction::silent(Modified)
+        );
+        assert_eq!(
+            local(Modified, LocalEvent::Write),
+            LocalAction::silent(Modified)
+        );
     }
 
     #[test]

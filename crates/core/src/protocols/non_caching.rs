@@ -83,12 +83,16 @@ mod tests {
     fn writes_with_and_without_broadcast() {
         let mut plain = NonCaching::new();
         assert_eq!(
-            plain.on_local(Invalid, LocalEvent::Write, &LocalCtx::default()).to_string(),
+            plain
+                .on_local(Invalid, LocalEvent::Write, &LocalCtx::default())
+                .to_string(),
             "I,IM,W"
         );
         let mut bcast = NonCaching::broadcasting();
         assert_eq!(
-            bcast.on_local(Invalid, LocalEvent::Write, &LocalCtx::default()).to_string(),
+            bcast
+                .on_local(Invalid, LocalEvent::Write, &LocalCtx::default())
+                .to_string(),
             "I,IM,BC,W"
         );
     }
@@ -97,7 +101,10 @@ mod tests {
     fn never_responds_to_bus_events() {
         let mut p = NonCaching::new();
         for ev in BusEvent::ALL {
-            assert_eq!(p.on_bus(Invalid, ev, &SnoopCtx::default()), BusReaction::IGNORE);
+            assert_eq!(
+                p.on_bus(Invalid, ev, &SnoopCtx::default()),
+                BusReaction::IGNORE
+            );
         }
     }
 

@@ -44,8 +44,7 @@ impl Protocol for PuzakRefinement {
 
     fn on_bus(&mut self, state: LineState, event: BusEvent, ctx: &SnoopCtx) -> BusReaction {
         let permitted = table::permitted_bus(state, event);
-        if event.is_broadcast() && state.is_valid() && !state.is_owned() && ctx.near_replacement()
-        {
+        if event.is_broadcast() && state.is_valid() && !state.is_owned() && ctx.near_replacement() {
             // The line is about to be evicted anyway: take the `I` alternative
             // instead of spending an update on it.
             if let Some(inv) = permitted
@@ -71,7 +70,10 @@ mod tests {
     #[test]
     fn mru_lines_are_updated() {
         let mut p = PuzakRefinement::new();
-        let ctx = SnoopCtx { recency_rank: Some(0), ways: 2 };
+        let ctx = SnoopCtx {
+            recency_rank: Some(0),
+            ways: 2,
+        };
         let r = p.on_bus(Shareable, BusEvent::CacheBroadcastWrite, &ctx);
         assert!(r.sl, "MRU line should connect and update");
         assert_eq!(r.result, ResultState::Fixed(Shareable));
@@ -80,7 +82,10 @@ mod tests {
     #[test]
     fn lru_lines_are_discarded() {
         let mut p = PuzakRefinement::new();
-        let ctx = SnoopCtx { recency_rank: Some(1), ways: 2 };
+        let ctx = SnoopCtx {
+            recency_rank: Some(1),
+            ways: 2,
+        };
         let r = p.on_bus(Shareable, BusEvent::CacheBroadcastWrite, &ctx);
         assert!(!r.sl);
         assert_eq!(r.result, ResultState::Fixed(Invalid));
@@ -91,7 +96,10 @@ mod tests {
         // An O holder snooping column 10 must keep updating: it stays the
         // owner. The refinement only applies to unowned copies.
         let mut p = PuzakRefinement::new();
-        let ctx = SnoopCtx { recency_rank: Some(3), ways: 4 };
+        let ctx = SnoopCtx {
+            recency_rank: Some(3),
+            ways: 4,
+        };
         let r = p.on_bus(LineState::Owned, BusEvent::UncachedBroadcastWrite, &ctx);
         assert!(r.sl);
         assert_eq!(r.result, ResultState::Fixed(LineState::Owned));
@@ -100,7 +108,10 @@ mod tests {
     #[test]
     fn non_broadcast_events_are_unaffected() {
         let mut p = PuzakRefinement::new();
-        let lru = SnoopCtx { recency_rank: Some(1), ways: 2 };
+        let lru = SnoopCtx {
+            recency_rank: Some(1),
+            ways: 2,
+        };
         let r = p.on_bus(Shareable, BusEvent::CacheRead, &lru);
         assert!(r.ch);
         assert_eq!(r.result, ResultState::Fixed(Shareable));

@@ -6,8 +6,7 @@ use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
 use crate::state::LineState;
 use crate::table;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// A protocol that picks a permitted action uniformly at random every time.
 ///
@@ -31,7 +30,7 @@ use rand::{Rng, SeedableRng};
 #[derive(Clone, Debug)]
 pub struct RandomPolicy {
     kind: CacheKind,
-    rng: StdRng,
+    rng: SmallRng,
 }
 
 impl RandomPolicy {
@@ -41,7 +40,7 @@ impl RandomPolicy {
     pub fn new(kind: CacheKind, seed: u64) -> Self {
         RandomPolicy {
             kind,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
         }
     }
 }
@@ -114,8 +113,16 @@ mod tests {
         let mut b = RandomPolicy::new(CacheKind::CopyBack, 99);
         for _ in 0..50 {
             assert_eq!(
-                a.on_local(LineState::Shareable, LocalEvent::Write, &LocalCtx::default()),
-                b.on_local(LineState::Shareable, LocalEvent::Write, &LocalCtx::default())
+                a.on_local(
+                    LineState::Shareable,
+                    LocalEvent::Write,
+                    &LocalCtx::default()
+                ),
+                b.on_local(
+                    LineState::Shareable,
+                    LocalEvent::Write,
+                    &LocalCtx::default()
+                )
             );
         }
     }
@@ -127,7 +134,11 @@ mod tests {
             table::permitted_local(LineState::Shareable, LocalEvent::Write, CacheKind::CopyBack);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..500 {
-            seen.insert(p.on_local(LineState::Shareable, LocalEvent::Write, &LocalCtx::default()));
+            seen.insert(p.on_local(
+                LineState::Shareable,
+                LocalEvent::Write,
+                &LocalCtx::default(),
+            ));
         }
         assert_eq!(seen.len(), permitted.len());
     }

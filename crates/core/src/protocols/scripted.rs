@@ -1,0 +1,194 @@
+//! A protocol that replays a pre-chosen script of actions.
+//!
+//! The exhaustive explorer (`crates/verify`) records, for every step of a
+//! counterexample, exactly which permitted Table 1/2 entry each module chose.
+//! To re-execute such a schedule on the *real* simulator, each module is
+//! driven by a [`Scripted`] policy: `on_local`/`on_bus` pop the next scripted
+//! choice instead of consulting a table, falling back to the preferred entry
+//! if the script runs dry (and recording the underflow, so a replayer can
+//! detect a schedule/machine mismatch).
+
+use crate::action::{BusReaction, LocalAction};
+use crate::event::{BusEvent, LocalEvent};
+use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::state::LineState;
+use crate::table;
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The queues a [`Scripted`] protocol consumes, shared with its
+/// [`ScriptHandle`] so a replayer can refill them between steps.
+#[derive(Debug, Default)]
+struct Queues {
+    local: VecDeque<LocalAction>,
+    bus: VecDeque<BusReaction>,
+    underflows: usize,
+}
+
+/// A writer-side handle onto a [`Scripted`] protocol's queues.
+///
+/// The protocol itself is boxed away inside a `CacheController`; the handle
+/// stays with the replayer and lets it push the next step's choices.
+#[derive(Clone, Debug)]
+pub struct ScriptHandle {
+    queues: Arc<Mutex<Queues>>,
+}
+
+impl ScriptHandle {
+    /// Queues a local-event choice (consumed by the next `on_local`).
+    pub fn push_local(&self, action: LocalAction) {
+        self.queues.lock().unwrap().local.push_back(action);
+    }
+
+    /// Queues a snoop choice (consumed by the next `on_bus`).
+    pub fn push_bus(&self, reaction: BusReaction) {
+        self.queues.lock().unwrap().bus.push_back(reaction);
+    }
+
+    /// Drops any unconsumed choices (call between steps for strict replay).
+    pub fn clear(&self) {
+        let mut q = self.queues.lock().unwrap();
+        q.local.clear();
+        q.bus.clear();
+    }
+
+    /// Unconsumed (local, bus) choices still queued.
+    #[must_use]
+    pub fn pending(&self) -> (usize, usize) {
+        let q = self.queues.lock().unwrap();
+        (q.local.len(), q.bus.len())
+    }
+
+    /// How many times the protocol was consulted with an empty queue and had
+    /// to fall back to the preferred table entry.
+    #[must_use]
+    pub fn underflows(&self) -> usize {
+        self.queues.lock().unwrap().underflows
+    }
+}
+
+/// A protocol whose choices are scripted externally via a [`ScriptHandle`].
+///
+/// # Examples
+///
+/// ```
+/// use moesi::protocols::Scripted;
+/// use moesi::{table, CacheKind, LineState, LocalCtx, LocalEvent, Protocol};
+///
+/// let (mut p, handle) = Scripted::new(CacheKind::CopyBack);
+/// let alt = table::permitted_local(
+///     LineState::Invalid, LocalEvent::Read, CacheKind::CopyBack)[1];
+/// handle.push_local(alt);
+/// let chosen = p.on_local(LineState::Invalid, LocalEvent::Read, &LocalCtx::default());
+/// assert_eq!(chosen, alt);
+/// assert_eq!(handle.underflows(), 0);
+/// ```
+#[derive(Debug)]
+pub struct Scripted {
+    kind: CacheKind,
+    queues: Arc<Mutex<Queues>>,
+}
+
+impl Scripted {
+    /// Creates a scripted protocol of the given kind and its feeding handle.
+    #[must_use]
+    pub fn new(kind: CacheKind) -> (Self, ScriptHandle) {
+        let queues = Arc::new(Mutex::new(Queues::default()));
+        let handle = ScriptHandle {
+            queues: Arc::clone(&queues),
+        };
+        (Scripted { kind, queues }, handle)
+    }
+}
+
+impl Protocol for Scripted {
+    fn name(&self) -> &str {
+        "scripted"
+    }
+
+    fn kind(&self) -> CacheKind {
+        self.kind
+    }
+
+    fn requires_bs(&self) -> bool {
+        // Scripts may contain BS push reactions (adapted-protocol replays).
+        true
+    }
+
+    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
+        let mut q = self.queues.lock().unwrap();
+        if let Some(action) = q.local.pop_front() {
+            return action;
+        }
+        q.underflows += 1;
+        table::preferred_local(state, event, self.kind)
+            .unwrap_or_else(|| panic!("scripted: no fallback for ({state}, {event})"))
+    }
+
+    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
+        if self.kind == CacheKind::NonCaching {
+            return BusReaction::IGNORE;
+        }
+        let mut q = self.queues.lock().unwrap();
+        if let Some(reaction) = q.bus.pop_front() {
+            return reaction;
+        }
+        q.underflows += 1;
+        table::preferred_bus(state, event)
+            .unwrap_or_else(|| panic!("scripted: error cell ({state}, {event})"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_fifo_order_then_falls_back() {
+        let (mut p, h) = Scripted::new(CacheKind::CopyBack);
+        let permitted =
+            table::permitted_local(LineState::Invalid, LocalEvent::Read, CacheKind::CopyBack);
+        h.push_local(permitted[1]);
+        h.push_local(permitted[0]);
+        let ctx = LocalCtx::default();
+        assert_eq!(
+            p.on_local(LineState::Invalid, LocalEvent::Read, &ctx),
+            permitted[1]
+        );
+        assert_eq!(
+            p.on_local(LineState::Invalid, LocalEvent::Read, &ctx),
+            permitted[0]
+        );
+        // Queue empty: preferred entry, underflow recorded.
+        assert_eq!(
+            p.on_local(LineState::Invalid, LocalEvent::Read, &ctx),
+            permitted[0]
+        );
+        assert_eq!(h.underflows(), 1);
+    }
+
+    #[test]
+    fn bus_queue_is_independent_of_local_queue() {
+        let (mut p, h) = Scripted::new(CacheKind::CopyBack);
+        let reactions = table::permitted_bus(LineState::Shareable, BusEvent::CacheRead);
+        h.push_bus(reactions[reactions.len() - 1]);
+        let got = p.on_bus(
+            LineState::Shareable,
+            BusEvent::CacheRead,
+            &SnoopCtx::default(),
+        );
+        assert_eq!(got, reactions[reactions.len() - 1]);
+        assert_eq!(h.pending(), (0, 0));
+    }
+
+    #[test]
+    fn clear_empties_both_queues() {
+        let (_p, h) = Scripted::new(CacheKind::CopyBack);
+        h.push_local(LocalAction::silent(LineState::Modified));
+        h.push_bus(BusReaction::IGNORE);
+        assert_eq!(h.pending(), (1, 1));
+        h.clear();
+        assert_eq!(h.pending(), (0, 0));
+    }
+}

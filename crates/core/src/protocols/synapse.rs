@@ -180,10 +180,10 @@ mod tests {
         let report = compat::check_protocol(&mut Synapse::new());
         assert!(!report.is_class_member());
         // Its V-write action is outside Table 1 as well as needing BS.
-        assert!(report
-            .violations()
-            .iter()
-            .any(|v| v.contains("(S, Write)")), "{report}");
+        assert!(
+            report.violations().iter().any(|v| v.contains("(S, Write)")),
+            "{report}"
+        );
     }
 
     #[test]

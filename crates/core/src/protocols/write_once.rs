@@ -133,10 +133,9 @@ impl Protocol for WriteOnce {
             (Modified, BusEvent::UncachedRead | BusEvent::UncachedWrite) => Self::push(),
             (Exclusive, BusEvent::UncachedRead) => BusReaction::quiet(Exclusive),
             (Shareable, BusEvent::UncachedRead) => BusReaction::hit(Shareable),
-            (
-                Modified,
-                BusEvent::CacheBroadcastWrite | BusEvent::UncachedBroadcastWrite,
-            ) => Self::push(),
+            (Modified, BusEvent::CacheBroadcastWrite | BusEvent::UncachedBroadcastWrite) => {
+                Self::push()
+            }
             (Exclusive | Shareable, BusEvent::UncachedWrite) => BusReaction::IGNORE,
             (
                 Exclusive | Shareable,
@@ -190,7 +189,11 @@ mod tests {
     #[test]
     fn ambiguous_cell_alternative() {
         let mut p = WriteOnce::always_pushing();
-        let r = p.on_bus(Modified, BusEvent::CacheReadInvalidate, &SnoopCtx::default());
+        let r = p.on_bus(
+            Modified,
+            BusEvent::CacheReadInvalidate,
+            &SnoopCtx::default(),
+        );
         assert_eq!(r.to_string(), "BS;S,CA,W");
     }
 
@@ -205,11 +208,14 @@ mod tests {
         // and its M/CacheRead reaction needs BS.
         let report = compat::check_protocol(&mut WriteOnce::new());
         assert!(!report.is_class_member());
-        assert!(report
-            .violations()
-            .iter()
-            .any(|v| v.contains("(S, Write)")), "{report}");
-        assert!(report.violations().iter().any(|v| v.contains("BS")), "{report}");
+        assert!(
+            report.violations().iter().any(|v| v.contains("(S, Write)")),
+            "{report}"
+        );
+        assert!(
+            report.violations().iter().any(|v| v.contains("BS")),
+            "{report}"
+        );
     }
 
     #[test]
@@ -217,7 +223,10 @@ mod tests {
         let mut p = WriteOnce::new();
         let first = p.on_local(Shareable, LocalEvent::Write, &LocalCtx::default());
         assert_eq!(first.bus_op, BusOp::Write);
-        assert!(!first.signals.bc, "write-once invalidates, it does not broadcast");
+        assert!(
+            !first.signals.bc,
+            "write-once invalidates, it does not broadcast"
+        );
         let second = p.on_local(Exclusive, LocalEvent::Write, &LocalCtx::default());
         assert!(!second.bus_op.uses_bus());
     }

@@ -158,7 +158,10 @@ mod tests {
     #[test]
     fn snooped_broadcast_writes_update() {
         let mut p = WriteThrough::new();
-        for ev in [BusEvent::CacheBroadcastWrite, BusEvent::UncachedBroadcastWrite] {
+        for ev in [
+            BusEvent::CacheBroadcastWrite,
+            BusEvent::UncachedBroadcastWrite,
+        ] {
             let r = p.on_bus(Shareable, ev, &SnoopCtx::default());
             assert!(r.sl, "{ev}");
             assert_eq!(r.result, ResultState::Fixed(Shareable));

@@ -263,11 +263,21 @@ mod tests {
 
     #[test]
     fn response_wired_or() {
-        let a = ResponseSignals { ch: true, ..ResponseSignals::NONE };
-        let b = ResponseSignals { sl: true, bs: true, ..ResponseSignals::NONE };
+        let a = ResponseSignals {
+            ch: true,
+            ..ResponseSignals::NONE
+        };
+        let b = ResponseSignals {
+            sl: true,
+            bs: true,
+            ..ResponseSignals::NONE
+        };
         let c = a.or(b);
         assert!(c.ch && c.sl && c.bs && !c.di);
-        assert_eq!(ResponseSignals::NONE.or(ResponseSignals::NONE), ResponseSignals::NONE);
+        assert_eq!(
+            ResponseSignals::NONE.or(ResponseSignals::NONE),
+            ResponseSignals::NONE
+        );
     }
 
     #[test]
@@ -275,8 +285,15 @@ mod tests {
         let combos = [
             ResponseSignals::NONE,
             ResponseSignals::CH,
-            ResponseSignals { di: true, ..ResponseSignals::NONE },
-            ResponseSignals { sl: true, bs: true, ..ResponseSignals::NONE },
+            ResponseSignals {
+                di: true,
+                ..ResponseSignals::NONE
+            },
+            ResponseSignals {
+                sl: true,
+                bs: true,
+                ..ResponseSignals::NONE
+            },
         ];
         for a in combos {
             assert_eq!(a.or(a), a);
@@ -290,7 +307,12 @@ mod tests {
     fn response_display_and_is_none() {
         assert_eq!(ResponseSignals::NONE.to_string(), "-");
         assert!(ResponseSignals::NONE.is_none());
-        let all = ResponseSignals { ch: true, di: true, sl: true, bs: true };
+        let all = ResponseSignals {
+            ch: true,
+            di: true,
+            sl: true,
+            bs: true,
+        };
         assert_eq!(all.to_string(), "CH,DI,SL,BS");
         assert!(!all.is_none());
     }

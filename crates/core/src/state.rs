@@ -308,7 +308,9 @@ mod tests {
     #[test]
     fn figure3_round_trip() {
         for s in LineState::VALID {
-            let c = s.characteristics().expect("valid state has characteristics");
+            let c = s
+                .characteristics()
+                .expect("valid state has characteristics");
             assert_eq!(LineState::from(c), s);
         }
         assert_eq!(LineState::Invalid.characteristics(), None);

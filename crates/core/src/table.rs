@@ -59,7 +59,11 @@ pub fn permitted_local(state: LineState, event: LocalEvent, kind: CacheKind) -> 
 /// The preferred local action (the first permitted entry), or `None` for `—`
 /// cells.
 #[must_use]
-pub fn preferred_local(state: LineState, event: LocalEvent, kind: CacheKind) -> Option<LocalAction> {
+pub fn preferred_local(
+    state: LineState,
+    event: LocalEvent,
+    kind: CacheKind,
+) -> Option<LocalAction> {
     permitted_local(state, event, kind).into_iter().next()
 }
 
@@ -72,7 +76,11 @@ fn invalidate(result: LineState) -> LocalAction {
 }
 
 fn push(result: ResultState, retain: bool) -> LocalAction {
-    let signals = if retain { MasterSignals::CA } else { MasterSignals::NONE };
+    let signals = if retain {
+        MasterSignals::CA
+    } else {
+        MasterSignals::NONE
+    };
     LocalAction::new(result, signals, BusOp::Write)
 }
 
@@ -99,10 +107,7 @@ fn permitted_local_copy_back(state: LineState, event: LocalEvent) -> Vec<LocalAc
             bcast_write(O.into()),
         ],
         // `CH:S/E,CA,BC?,W` — push, keep the copy, drop ownership.
-        (O, LE::Pass) => vec![
-            push(ResultState::CH_S_E, true),
-            push(S.into(), true),
-        ],
+        (O, LE::Pass) => vec![push(ResultState::CH_S_E, true), push(S.into(), true)],
 
         (E, LE::Read) => vec![LocalAction::silent(E)],
         // The silent upgrade that justifies the E state; note 9 allows O with
@@ -235,10 +240,7 @@ pub fn permitted_bus(state: LineState, event: BusEvent) -> Vec<BusReaction> {
         ],
         // Another cache broadcasts a write: relinquish ownership and either
         // update (`S,SL,CH`) or invalidate.
-        (O, BE::CacheBroadcastWrite) => vec![
-            BusReaction::hit(S).with_sl(),
-            BusReaction::IGNORE,
-        ],
+        (O, BE::CacheBroadcastWrite) => vec![BusReaction::hit(S).with_sl(), BusReaction::IGNORE],
         // Capture the uncached write, stay owner (CH?).
         (O, BE::UncachedWrite) => vec![
             BusReaction::quiet(O).with_di(),
@@ -276,15 +278,9 @@ pub fn permitted_bus(state: LineState, event: BusEvent) -> Vec<BusReaction> {
         (S, BE::CacheRead) => vec![BusReaction::hit(S), BusReaction::IGNORE],
         (S, BE::CacheReadInvalidate) => vec![BusReaction::IGNORE],
         (S, BE::UncachedRead) => vec![BusReaction::hit(S), BusReaction::IGNORE],
-        (S, BE::CacheBroadcastWrite) => vec![
-            BusReaction::hit(S).with_sl(),
-            BusReaction::IGNORE,
-        ],
+        (S, BE::CacheBroadcastWrite) => vec![BusReaction::hit(S).with_sl(), BusReaction::IGNORE],
         (S, BE::UncachedWrite) => vec![BusReaction::IGNORE],
-        (S, BE::UncachedBroadcastWrite) => vec![
-            BusReaction::hit(S).with_sl(),
-            BusReaction::IGNORE,
-        ],
+        (S, BE::UncachedBroadcastWrite) => vec![BusReaction::hit(S).with_sl(), BusReaction::IGNORE],
 
         // ---- Row I -------------------------------------------------------
         (I, _) => vec![BusReaction::IGNORE],
@@ -296,6 +292,32 @@ pub fn permitted_bus(state: LineState, event: BusEvent) -> Vec<BusReaction> {
 #[must_use]
 pub fn preferred_bus(state: LineState, event: BusEvent) -> Option<BusReaction> {
     permitted_bus(state, event).into_iter().next()
+}
+
+/// Iterates every Table 1 cell for one cache kind: `(state, event,
+/// permitted actions)`, error cells included (with an empty action set).
+///
+/// This is the enumeration surface the exhaustive model checker
+/// (`crates/verify`) walks: §3.4 compatibility means *any* element of each
+/// returned set may be chosen at any instant.
+pub fn local_cells(
+    kind: CacheKind,
+) -> impl Iterator<Item = (LineState, LocalEvent, Vec<LocalAction>)> {
+    LineState::ALL.into_iter().flat_map(move |state| {
+        LocalEvent::ALL
+            .into_iter()
+            .map(move |event| (state, event, permitted_local(state, event, kind)))
+    })
+}
+
+/// Iterates every Table 2 cell: `(state, event, permitted reactions)`,
+/// error cells included (with an empty reaction set).
+pub fn bus_cells() -> impl Iterator<Item = (LineState, BusEvent, Vec<BusReaction>)> {
+    LineState::ALL.into_iter().flat_map(|state| {
+        BusEvent::ALL
+            .into_iter()
+            .map(move |event| (state, event, permitted_bus(state, event)))
+    })
 }
 
 /// Renders Table 1 (local events) for one cache kind in the paper's layout.
@@ -343,7 +365,10 @@ pub fn render_table2() -> String {
     out.push_str("MOESI Protocol: reaction to bus events (Table 2)\n");
     out.push_str(&format!("{:<6}", "State"));
     for ev in BusEvent::ALL {
-        out.push_str(&format!(" {:<22}", format!("{}({})", ev.signals(), ev.column())));
+        out.push_str(&format!(
+            " {:<22}",
+            format!("{}({})", ev.signals(), ev.column())
+        ));
     }
     out.push('\n');
     for state in LineState::ALL {
@@ -396,12 +421,7 @@ mod tests {
     #[test]
     fn table1_error_cells() {
         let k = CacheKind::CopyBack;
-        for (s, e) in [
-            (E, LE::Pass),
-            (S, LE::Pass),
-            (I, LE::Pass),
-            (I, LE::Flush),
-        ] {
+        for (s, e) in [(E, LE::Pass), (S, LE::Pass), (I, LE::Pass), (I, LE::Flush)] {
             assert!(permitted_local(s, e, k).is_empty(), "({s},{e}) should be -");
         }
     }

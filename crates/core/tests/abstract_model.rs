@@ -13,10 +13,9 @@
 //! 4. every read can be served: memory is valid or an owner intervenes;
 //! 5. write-through and non-caching clients stay within their state subsets.
 
+use moesi::rng::SmallRng;
 use moesi::table;
 use moesi::{BusEvent, BusOp, CacheKind, LineState, LocalEvent};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One abstract cache: a protocol kind and its state for the single line.
 #[derive(Clone, Copy, Debug)]
@@ -31,7 +30,7 @@ struct Model {
     caches: Vec<AbstractCache>,
     /// Whether main memory holds the current value of the line.
     memory_valid: bool,
-    rng: StdRng,
+    rng: SmallRng,
     trace: Vec<String>,
 }
 
@@ -40,10 +39,13 @@ impl Model {
         Model {
             caches: kinds
                 .iter()
-                .map(|&kind| AbstractCache { kind, state: LineState::Invalid })
+                .map(|&kind| AbstractCache {
+                    kind,
+                    state: LineState::Invalid,
+                })
                 .collect(),
             memory_valid: true,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
             trace: Vec::new(),
         }
     }
@@ -228,11 +230,11 @@ impl Model {
 
 fn kinds_mix(seed: u64) -> Vec<CacheKind> {
     // 2-6 caches, mixed kinds, always at least one copy-back.
-    let mut rng = StdRng::seed_from_u64(seed);
-    let n = rng.gen_range(2..=6);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = rng.gen_range(2usize..7);
     let mut kinds = vec![CacheKind::CopyBack];
     for _ in 1..n {
-        kinds.push(match rng.gen_range(0..4) {
+        kinds.push(match rng.gen_range(0u32..4) {
             0 | 1 => CacheKind::CopyBack,
             2 => CacheKind::WriteThrough,
             _ => CacheKind::NonCaching,
@@ -271,7 +273,10 @@ fn write_through_only_machines_never_own() {
         for _ in 0..500 {
             model.step();
         }
-        assert!(model.memory_valid, "write-through machines keep memory current");
+        assert!(
+            model.memory_valid,
+            "write-through machines keep memory current"
+        );
         for c in &model.caches {
             assert!(!c.state.is_owned());
         }

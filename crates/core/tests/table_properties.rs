@@ -57,7 +57,10 @@ fn preferred_entries_are_the_first_permitted() {
     for state in LineState::ALL {
         for event in BusEvent::ALL {
             let permitted = table::permitted_bus(state, event);
-            assert_eq!(table::preferred_bus(state, event), permitted.first().copied());
+            assert_eq!(
+                table::preferred_bus(state, event),
+                permitted.first().copied()
+            );
         }
     }
 }

@@ -418,7 +418,10 @@ mod tests {
         let mut a = Mock::quiet();
         let mut mods: Vec<&mut dyn BusModule> = vec![&mut a];
         let out = bus
-            .execute(&TransactionRequest::read(1, 0x40, MasterSignals::CA), &mut mods)
+            .execute(
+                &TransactionRequest::read(1, 0x40, MasterSignals::CA),
+                &mut mods,
+            )
             .unwrap();
         assert_eq!(out.source, DataSource::Memory);
         assert_eq!(&out.data.unwrap()[..], &[7; 16]);
@@ -430,13 +433,24 @@ mod tests {
     fn di_owner_preempts_memory_on_reads() {
         let mut bus = bus();
         bus.memory_mut().write_bytes(0x40, 0, &[1; 16]); // stale
-        let mut owner = Mock::with(ResponseSignals { di: true, ch: true, ..ResponseSignals::NONE });
+        let mut owner = Mock::with(ResponseSignals {
+            di: true,
+            ch: true,
+            ..ResponseSignals::NONE
+        });
         let mut mods: Vec<&mut dyn BusModule> = vec![&mut owner];
         let out = bus
-            .execute(&TransactionRequest::read(1, 0x40, MasterSignals::CA), &mut mods)
+            .execute(
+                &TransactionRequest::read(1, 0x40, MasterSignals::CA),
+                &mut mods,
+            )
             .unwrap();
         assert_eq!(out.source, DataSource::Intervention(0));
-        assert_eq!(&out.data.unwrap()[..], &[0xEE; 16], "owner's data, not memory's");
+        assert_eq!(
+            &out.data.unwrap()[..],
+            &[0xEE; 16],
+            "owner's data, not memory's"
+        );
         assert!(out.ch_seen);
         // Intervention does NOT update memory — the Futurebus limitation.
         assert_eq!(&bus.memory().peek_line(0x40)[..], &[1; 16]);
@@ -445,7 +459,10 @@ mod tests {
     #[test]
     fn non_broadcast_write_with_owner_is_captured_not_memorised() {
         let mut bus = bus();
-        let mut owner = Mock::with(ResponseSignals { di: true, ..ResponseSignals::NONE });
+        let mut owner = Mock::with(ResponseSignals {
+            di: true,
+            ..ResponseSignals::NONE
+        });
         let mut mods: Vec<&mut dyn BusModule> = vec![&mut owner];
         let req = TransactionRequest::write(1, 0, MasterSignals::IM, 4, vec![9, 9]);
         bus.execute(&req, &mut mods).unwrap();
@@ -470,7 +487,11 @@ mod tests {
     #[test]
     fn broadcast_write_updates_memory_and_sl_snoopers() {
         let mut bus = bus();
-        let mut sharer = Mock::with(ResponseSignals { sl: true, ch: true, ..ResponseSignals::NONE });
+        let mut sharer = Mock::with(ResponseSignals {
+            sl: true,
+            ch: true,
+            ..ResponseSignals::NONE
+        });
         let mut bystander = Mock::quiet();
         let mut mods: Vec<&mut dyn BusModule> = vec![&mut sharer, &mut bystander];
         let req = TransactionRequest::write(2, 0, MasterSignals::CA_IM_BC, 0, vec![3; 4]);
@@ -485,11 +506,16 @@ mod tests {
     #[test]
     fn bs_abort_pushes_then_retries() {
         let mut bus = bus();
-        let mut dirty =
-            Mock::with(ResponseSignals { bs: true, ..ResponseSignals::NONE });
+        let mut dirty = Mock::with(ResponseSignals {
+            bs: true,
+            ..ResponseSignals::NONE
+        });
         let mut mods: Vec<&mut dyn BusModule> = vec![&mut dirty];
         let out = bus
-            .execute(&TransactionRequest::read(1, 0, MasterSignals::CA), &mut mods)
+            .execute(
+                &TransactionRequest::read(1, 0, MasterSignals::CA),
+                &mut mods,
+            )
             .unwrap();
         assert_eq!(out.aborts, 1);
         assert_eq!(dirty.pushes, 1);
@@ -507,10 +533,16 @@ mod tests {
         struct AlwaysBusy;
         impl BusModule for AlwaysBusy {
             fn snoop(&mut self, _req: &TransactionRequest) -> ResponseSignals {
-                ResponseSignals { bs: true, ..ResponseSignals::NONE }
+                ResponseSignals {
+                    bs: true,
+                    ..ResponseSignals::NONE
+                }
             }
             fn prepare_push(&mut self, _addr: u64) -> PushWrite {
-                PushWrite { data: vec![0; 16].into_boxed_slice(), signals: MasterSignals::CA }
+                PushWrite {
+                    data: vec![0; 16].into_boxed_slice(),
+                    signals: MasterSignals::CA,
+                }
             }
             fn complete(&mut self, _req: &TransactionRequest, _obs: &BusObservation<'_>) {}
         }
@@ -518,20 +550,29 @@ mod tests {
         let mut b = AlwaysBusy;
         let mut mods: Vec<&mut dyn BusModule> = vec![&mut b];
         let err = bus
-            .execute(&TransactionRequest::read(1, 0, MasterSignals::CA), &mut mods)
+            .execute(
+                &TransactionRequest::read(1, 0, MasterSignals::CA),
+                &mut mods,
+            )
             .unwrap_err();
         assert!(matches!(err, BusError::TooManyRetries(_)));
     }
 
     #[test]
     fn duplicate_interveners_are_rejected() {
-        let di = ResponseSignals { di: true, ..ResponseSignals::NONE };
+        let di = ResponseSignals {
+            di: true,
+            ..ResponseSignals::NONE
+        };
         let mut a = Mock::with(di);
         let mut b = Mock::with(di);
         let mut bus = bus();
         let mut mods: Vec<&mut dyn BusModule> = vec![&mut a, &mut b];
         let err = bus
-            .execute(&TransactionRequest::read(2, 0, MasterSignals::CA), &mut mods)
+            .execute(
+                &TransactionRequest::read(2, 0, MasterSignals::CA),
+                &mut mods,
+            )
             .unwrap_err();
         assert_eq!(err, BusError::MultipleInterveners(vec![0, 1]));
     }
@@ -572,8 +613,11 @@ mod tests {
         let mut c = Mock::quiet();
         let mut bus = bus();
         let mut mods: Vec<&mut dyn BusModule> = vec![&mut a, &mut b, &mut c];
-        bus.execute(&TransactionRequest::read(3, 0, MasterSignals::CA), &mut mods)
-            .unwrap();
+        bus.execute(
+            &TransactionRequest::read(3, 0, MasterSignals::CA),
+            &mut mods,
+        )
+        .unwrap();
         assert!(a.completions[0].0);
         assert!(b.completions[0].0);
         assert!(c.completions[0].0);
@@ -583,8 +627,11 @@ mod tests {
         let mut quiet = Mock::quiet();
         let mut bus = Futurebus::new(16, TimingConfig::default());
         let mut mods: Vec<&mut dyn BusModule> = vec![&mut solo, &mut quiet];
-        bus.execute(&TransactionRequest::read(2, 0, MasterSignals::CA), &mut mods)
-            .unwrap();
+        bus.execute(
+            &TransactionRequest::read(2, 0, MasterSignals::CA),
+            &mut mods,
+        )
+        .unwrap();
         assert!(!solo.completions[0].0, "own CH must not count");
         assert!(quiet.completions[0].0);
     }
@@ -635,9 +682,15 @@ mod tests {
         let mut mods: Vec<&mut dyn BusModule> = vec![&mut a];
         // Module 0 is the master: its own CH must not be seen.
         let out = bus
-            .execute(&TransactionRequest::read(0, 0, MasterSignals::CA), &mut mods)
+            .execute(
+                &TransactionRequest::read(0, 0, MasterSignals::CA),
+                &mut mods,
+            )
             .unwrap();
         assert!(!out.ch_seen);
-        assert!(a.completions.is_empty(), "master gets no completion callback");
+        assert!(
+            a.completions.is_empty(),
+            "master gets no completion callback"
+        );
     }
 }

@@ -138,14 +138,23 @@ impl HandshakeSim {
     /// Panics if `module_delays` is empty — a broadcast needs listeners.
     #[must_use]
     pub fn run(&self, module_delays: &[Nanos]) -> HandshakeTrace {
-        assert!(!module_delays.is_empty(), "a broadcast cycle needs at least one slave");
+        assert!(
+            !module_delays.is_empty(),
+            "a broadcast cycle needs at least one slave"
+        );
         let mut events = Vec::new();
         let mut ai = WiredOr::new("AI*");
         let mut ak = WiredOr::new("AK*");
 
-        events.push(HandshakeEvent { at: 0, step: HandshakeStep::AddressDriven });
+        events.push(HandshakeEvent {
+            at: 0,
+            step: HandshakeStep::AddressDriven,
+        });
         let as_time = self.as_delay_ns;
-        events.push(HandshakeEvent { at: as_time, step: HandshakeStep::AsAsserted });
+        events.push(HandshakeEvent {
+            at: as_time,
+            step: HandshakeStep::AsAsserted,
+        });
 
         // All modules hold AI* low from the start of the cycle (drive low,
         // float high) and acknowledge with AK* as soon as they see AS*.
@@ -155,7 +164,10 @@ impl HandshakeSim {
         let ak_time = as_time + self.ak_delay_ns;
         for (m, _) in module_delays.iter().enumerate() {
             ak.assert(m);
-            events.push(HandshakeEvent { at: ak_time, step: HandshakeStep::AkAsserted(m) });
+            events.push(HandshakeEvent {
+                at: ak_time,
+                step: HandshakeStep::AkAsserted(m),
+            });
         }
 
         // Each module releases AI* when it is done with the address; sort by
@@ -185,7 +197,10 @@ impl HandshakeSim {
             } else {
                 0
             };
-        events.push(HandshakeEvent { at: filtered_rise, step: HandshakeStep::AiRose });
+        events.push(HandshakeEvent {
+            at: filtered_rise,
+            step: HandshakeStep::AiRose,
+        });
         events.push(HandshakeEvent {
             at: filtered_rise,
             step: HandshakeStep::AddressRemoved,

@@ -50,8 +50,8 @@ pub use bus::Futurebus;
 pub use memory::SparseMemory;
 pub use module::{BusModule, BusObservation, PushWrite};
 pub use stats::BusStats;
-pub use trace::{BusTrace, TraceKind, TraceRecord};
 pub use timing::{DataSourceLatency, Nanos, TimingConfig, BROADCAST_PENALTY_NS};
+pub use trace::{BusTrace, TraceKind, TraceRecord};
 pub use transaction::{
     BusError, DataSource, LineAddr, TransactionKind, TransactionOutcome, TransactionRequest,
 };

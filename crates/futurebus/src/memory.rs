@@ -112,7 +112,10 @@ impl SparseMemory {
     ///
     /// Panics if the write would cross the end of the line.
     pub fn write_bytes(&mut self, addr: LineAddr, offset: usize, bytes: &[u8]) {
-        assert!(self.is_aligned(addr), "unaligned partial write at {addr:#x}");
+        assert!(
+            self.is_aligned(addr),
+            "unaligned partial write at {addr:#x}"
+        );
         assert!(
             offset + bytes.len() <= self.line_size,
             "write {}B@+{offset} crosses line boundary (line size {})",

@@ -118,6 +118,12 @@ mod tests {
             signals: MasterSignals::CA,
         };
         assert_eq!(obj.snoop(&req), ResponseSignals::NONE);
-        obj.complete(&req, &BusObservation { ch_others: false, write_data: None });
+        obj.complete(
+            &req,
+            &BusObservation {
+                ch_others: false,
+                write_data: None,
+            },
+        );
     }
 }

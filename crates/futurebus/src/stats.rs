@@ -82,7 +82,11 @@ impl fmt::Display for BusStats {
         writeln!(
             f,
             "bus: {} txns ({} R, {} W, {} inval, {} bcast) in {} ns",
-            self.transactions, self.reads, self.writes, self.address_only, self.broadcasts,
+            self.transactions,
+            self.reads,
+            self.writes,
+            self.address_only,
+            self.broadcasts,
             self.busy_ns
         )?;
         write!(
@@ -106,8 +110,18 @@ mod tests {
 
     #[test]
     fn add_assign_sums_fields() {
-        let mut a = BusStats { transactions: 2, reads: 1, busy_ns: 100, ..BusStats::new() };
-        let b = BusStats { transactions: 3, writes: 2, busy_ns: 50, ..BusStats::new() };
+        let mut a = BusStats {
+            transactions: 2,
+            reads: 1,
+            busy_ns: 100,
+            ..BusStats::new()
+        };
+        let b = BusStats {
+            transactions: 3,
+            writes: 2,
+            busy_ns: 50,
+            ..BusStats::new()
+        };
         a += b;
         assert_eq!(a.transactions, 5);
         assert_eq!(a.reads, 1);
@@ -118,13 +132,21 @@ mod tests {
     #[test]
     fn throughput_handles_zero_time() {
         assert_eq!(BusStats::new().throughput_per_us(), 0.0);
-        let s = BusStats { transactions: 10, busy_ns: 1000, ..BusStats::new() };
+        let s = BusStats {
+            transactions: 10,
+            busy_ns: 1000,
+            ..BusStats::new()
+        };
         assert!((s.throughput_per_us() - 10.0).abs() < 1e-9);
     }
 
     #[test]
     fn display_mentions_key_counts() {
-        let s = BusStats { transactions: 7, aborts: 2, ..BusStats::new() };
+        let s = BusStats {
+            transactions: 7,
+            aborts: 2,
+            ..BusStats::new()
+        };
         let text = s.to_string();
         assert!(text.contains("7 txns"));
         assert!(text.contains("2 aborts"));

@@ -178,7 +178,11 @@ impl fmt::Display for BusError {
                 write!(f, "multiple modules intervened: {ms:?}")
             }
             BusError::TooManyRetries(n) => write!(f, "transaction aborted {n} times"),
-            BusError::PayloadOutOfRange { offset, len, line_size } => write!(
+            BusError::PayloadOutOfRange {
+                offset,
+                len,
+                line_size,
+            } => write!(
                 f,
                 "write payload {len}B@+{offset} exceeds line size {line_size}"
             ),

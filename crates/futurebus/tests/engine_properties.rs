@@ -68,8 +68,16 @@ fn response_strategy() -> impl Strategy<Value = ResponseSignals> {
 
 #[derive(Clone, Debug)]
 enum Txn {
-    Read { ca: bool, im: bool },
-    Write { offset: usize, len: usize, bc: bool, ca: bool },
+    Read {
+        ca: bool,
+        im: bool,
+    },
+    Write {
+        offset: usize,
+        len: usize,
+        bc: bool,
+        ca: bool,
+    },
     Invalidate,
 }
 
@@ -77,7 +85,12 @@ fn txn_strategy() -> impl Strategy<Value = Txn> {
     prop_oneof![
         (any::<bool>(), any::<bool>()).prop_map(|(ca, im)| Txn::Read { ca, im }),
         (0..LINE, 1..4usize, any::<bool>(), any::<bool>()).prop_map(|(offset, len, bc, ca)| {
-            Txn::Write { offset: offset.min(LINE - len), len, bc, ca }
+            Txn::Write {
+                offset: offset.min(LINE - len),
+                len,
+                bc,
+                ca,
+            }
         }),
         Just(Txn::Invalidate),
     ]

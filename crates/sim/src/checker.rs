@@ -286,7 +286,12 @@ mod tests {
         CacheController::new(
             id,
             Box::new(MoesiPreferred::new()),
-            Some(CacheConfig::new(1024, 16, 2, cache_array::ReplacementKind::Lru)),
+            Some(CacheConfig::new(
+                1024,
+                16,
+                2,
+                cache_array::ReplacementKind::Lru,
+            )),
             1,
         )
     }
@@ -297,7 +302,11 @@ mod tests {
         assert_eq!(ck.golden_bytes(0x104, 4), vec![0; 4]);
         ck.record_write(0x104, &[1, 2, 3, 4]);
         assert_eq!(ck.golden_bytes(0x104, 4), vec![1, 2, 3, 4]);
-        assert_eq!(ck.golden_bytes(0x100, 4), vec![0; 4], "rest of line untouched");
+        assert_eq!(
+            ck.golden_bytes(0x100, 4),
+            vec![0; 4],
+            "rest of line untouched"
+        );
     }
 
     #[test]

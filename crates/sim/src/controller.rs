@@ -173,7 +173,12 @@ impl CacheController {
     /// # Panics
     ///
     /// Panics when called on a cacheless node.
-    pub fn fill(&mut self, addr: u64, state: LineState, data: Box<[u8]>) -> Option<Victim<LineState>> {
+    pub fn fill(
+        &mut self,
+        addr: u64,
+        state: LineState,
+        data: Box<[u8]>,
+    ) -> Option<Victim<LineState>> {
         self.cache
             .as_mut()
             .expect("fill on a cacheless node")
@@ -334,7 +339,13 @@ mod tests {
         let r = c.snoop(&read_req(0x100));
         assert!(r.ch && r.di && !r.bs);
         assert_eq!(&c.supply_line(0x100)[..], &[5; 16]);
-        c.complete(&read_req(0x100), &BusObservation { ch_others: false, write_data: None });
+        c.complete(
+            &read_req(0x100),
+            &BusObservation {
+                ch_others: false,
+                write_data: None,
+            },
+        );
         assert_eq!(c.state_of(0x100), LineState::Owned);
         assert_eq!(c.stats().interventions_supplied, 1);
     }
@@ -346,7 +357,13 @@ mod tests {
         let req = TransactionRequest::read(9, 0x100, MasterSignals::CA_IM);
         let r = c.snoop(&req);
         assert!(!r.ch && !r.di);
-        c.complete(&req, &BusObservation { ch_others: false, write_data: None });
+        c.complete(
+            &req,
+            &BusObservation {
+                ch_others: false,
+                write_data: None,
+            },
+        );
         assert_eq!(c.state_of(0x100), LineState::Invalid);
         assert_eq!(c.stats().invalidations_received, 1);
     }
@@ -360,7 +377,10 @@ mod tests {
         assert!(r.sl && r.ch);
         c.complete(
             &req,
-            &BusObservation { ch_others: false, write_data: Some((4, &[7, 7])) },
+            &BusObservation {
+                ch_others: false,
+                write_data: Some((4, &[7, 7])),
+            },
         );
         assert_eq!(c.state_of(0x100), LineState::Shareable);
         assert_eq!(c.read_cached(0x104, 2), Some(vec![7, 7]));
@@ -375,11 +395,23 @@ mod tests {
         c.fill(0x100, LineState::Owned, vec![1; 16].into());
         let req = TransactionRequest::read(9, 0x100, MasterSignals::NONE);
         let _ = c.snoop(&req);
-        c.complete(&req, &BusObservation { ch_others: true, write_data: None });
+        c.complete(
+            &req,
+            &BusObservation {
+                ch_others: true,
+                write_data: None,
+            },
+        );
         assert_eq!(c.state_of(0x100), LineState::Owned);
 
         let _ = c.snoop(&req);
-        c.complete(&req, &BusObservation { ch_others: false, write_data: None });
+        c.complete(
+            &req,
+            &BusObservation {
+                ch_others: false,
+                write_data: None,
+            },
+        );
         assert_eq!(c.state_of(0x100), LineState::Modified);
     }
 
@@ -405,7 +437,13 @@ mod tests {
         let mut c = CacheController::new(0, Box::new(NonCaching::new()), None, 1);
         assert_eq!(c.snoop(&read_req(0)), ResponseSignals::NONE);
         assert_eq!(c.state_of(0), LineState::Invalid);
-        c.complete(&read_req(0), &BusObservation { ch_others: true, write_data: None });
+        c.complete(
+            &read_req(0),
+            &BusObservation {
+                ch_others: true,
+                write_data: None,
+            },
+        );
         assert_eq!(c.stats().invalidations_received, 0);
     }
 
@@ -426,7 +464,7 @@ mod tests {
         let mut c = moesi_ctrl(0);
         c.fill(0x000, LineState::Shareable, vec![0; 16].into());
         c.fill(0x200, LineState::Shareable, vec![0; 16].into()); // same set
-        // 0x000 is now LRU of a 2-way set.
+                                                                 // 0x000 is now LRU of a 2-way set.
         let a = c.decide_local(0x000, LocalEvent::Read);
         assert_eq!(a.to_string(), "S");
         assert_eq!(c.cache().unwrap().recency_rank(0x000), Some(1));

@@ -9,9 +9,7 @@
 //! directory.
 
 use cache_array::{split_line_crossers, Victim};
-use futurebus::{
-    BusModule, Futurebus, TimingConfig, TransactionOutcome, TransactionRequest,
-};
+use futurebus::{BusModule, Futurebus, TimingConfig, TransactionOutcome, TransactionRequest};
 use moesi::{BusOp, LineState, LocalAction, LocalEvent, MasterSignals};
 
 use crate::controller::CacheController;
@@ -197,11 +195,8 @@ impl Fabric {
 
     /// Issues an address-only invalidate mastered by the fabric owner.
     pub fn external_invalidate(&mut self, line: u64) -> TransactionOutcome {
-        let req = TransactionRequest::address_only(
-            self.external_master(),
-            line,
-            MasterSignals::CA_IM,
-        );
+        let req =
+            TransactionRequest::address_only(self.external_master(), line, MasterSignals::CA_IM);
         self.run_txn(&req)
     }
 

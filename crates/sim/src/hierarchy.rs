@@ -459,9 +459,8 @@ impl BusModule for Bridge {
                 }
             }
             // No uncached masters exist on the parent bus.
-            BusEvent::UncachedRead
-            | BusEvent::UncachedWrite
-            | BusEvent::UncachedBroadcastWrite => {}
+            BusEvent::UncachedRead | BusEvent::UncachedWrite | BusEvent::UncachedBroadcastWrite => {
+            }
         }
 
         self.set_cluster_state(line, new_ext);
@@ -529,7 +528,11 @@ impl HierarchicalSystem {
         for (piece_addr, piece_len) in split_line_crossers(addr, len, self.line_size) {
             let line = self.line_addr(piece_addr);
             self.ensure(cluster, line, None);
-            out.extend(self.bridges[cluster].fabric.read(cpu, piece_addr, piece_len));
+            out.extend(
+                self.bridges[cluster]
+                    .fabric
+                    .read(cpu, piece_addr, piece_len),
+            );
         }
         if let Some(ck) = &self.checker {
             if let Err(v) = ck.check_read(cpu, addr, &out) {
@@ -767,13 +770,8 @@ impl HierarchicalSystem {
                 // Then the bridge passes the line on the parent bus: a
                 // full-line write-back with CA (the cluster keeps its copy).
                 let data = self.bridges[cluster].authoritative_line(line);
-                let req = TransactionRequest::write(
-                    cluster,
-                    line,
-                    MasterSignals::CA,
-                    0,
-                    data.to_vec(),
-                );
+                let req =
+                    TransactionRequest::write(cluster, line, MasterSignals::CA, 0, data.to_vec());
                 let mut refs: Vec<&mut dyn BusModule> = self
                     .bridges
                     .iter_mut()
@@ -902,7 +900,11 @@ mod tests {
         assert_eq!(sys.cluster_state_of(0, 0x1000), LineState::Exclusive);
         let parent_before = sys.parent_stats().transactions;
         sys.write(0, 0, 0x1000, &[3; 4]);
-        assert_eq!(sys.parent_stats().transactions, parent_before, "silent E->M");
+        assert_eq!(
+            sys.parent_stats().transactions,
+            parent_before,
+            "silent E->M"
+        );
         assert_eq!(sys.cluster_state_of(0, 0x1000), LineState::Modified);
     }
 

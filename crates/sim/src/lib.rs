@@ -32,15 +32,17 @@ mod controller;
 mod fabric;
 pub mod hierarchy;
 mod metrics;
+pub mod replay;
 mod system;
 pub mod workload;
 
 pub use checker::{Checker, Violation};
-pub use fabric::Fabric;
 pub use controller::CacheController;
+pub use fabric::Fabric;
 pub use metrics::{CpuStats, StateCensus, TimedReport};
+pub use replay::{replay, ReplayOp, ReplayOutcome, Trace, TraceStep};
 pub use system::{System, SystemBuilder};
 pub use workload::{
-    Access, DuboisBriggs, FalseSharing, Migratory, PingPong, ProducerConsumer, ReadMostly,
-    ParseTraceError, RefStream, Sequential, SharingModel, TraceReplay,
+    Access, DuboisBriggs, FalseSharing, Migratory, ParseTraceError, PingPong, ProducerConsumer,
+    ReadMostly, RefStream, Sequential, SharingModel, TraceReplay,
 };

@@ -287,8 +287,16 @@ mod tests {
 
     #[test]
     fn add_assign_sums() {
-        let mut a = CpuStats { reads: 1, pushes: 2, ..CpuStats::new() };
-        a += CpuStats { reads: 3, captures: 1, ..CpuStats::new() };
+        let mut a = CpuStats {
+            reads: 1,
+            pushes: 2,
+            ..CpuStats::new()
+        };
+        a += CpuStats {
+            reads: 3,
+            captures: 1,
+            ..CpuStats::new()
+        };
         assert_eq!(a.reads, 4);
         assert_eq!(a.pushes, 2);
         assert_eq!(a.captures, 1);
@@ -296,7 +304,11 @@ mod tests {
 
     #[test]
     fn display_reports_percentages() {
-        let s = CpuStats { reads: 2, read_hits: 1, ..CpuStats::new() };
+        let s = CpuStats {
+            reads: 2,
+            read_hits: 1,
+            ..CpuStats::new()
+        };
         assert!(s.to_string().contains("50.0% hit"));
     }
 }

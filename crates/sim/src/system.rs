@@ -250,11 +250,12 @@ impl System {
     /// Panics on a consistency violation when the oracle is enabled.
     pub fn write(&mut self, cpu: usize, addr: u64, bytes: &[u8]) {
         let checker = &mut self.checker;
-        self.fabric.write_with(cpu, addr, bytes, |piece_addr, piece| {
-            if let Some(ck) = checker {
-                ck.record_write(piece_addr, piece);
-            }
-        });
+        self.fabric
+            .write_with(cpu, addr, bytes, |piece_addr, piece| {
+                if let Some(ck) = checker {
+                    ck.record_write(piece_addr, piece);
+                }
+            });
         self.audit();
     }
 
@@ -445,11 +446,7 @@ impl System {
     /// Panics if the stream count differs from the node count, or on a
     /// consistency violation.
     pub fn run(&mut self, streams: &mut [Box<dyn RefStream + Send>], steps: u64) {
-        assert_eq!(
-            streams.len(),
-            self.nodes(),
-            "one reference stream per node"
-        );
+        assert_eq!(streams.len(), self.nodes(), "one reference stream per node");
         #[allow(clippy::needless_range_loop)] // body needs `&mut self`
         for _ in 0..steps {
             for cpu in 0..self.nodes() {
@@ -594,7 +591,9 @@ impl System {
 mod tests {
     use super::*;
     use cache_array::ReplacementKind;
-    use moesi::protocols::{Berkeley, Dragon, MoesiInvalidating, MoesiPreferred, NonCaching, WriteThrough};
+    use moesi::protocols::{
+        Berkeley, Dragon, MoesiInvalidating, MoesiPreferred, NonCaching, WriteThrough,
+    };
 
     fn cfg() -> CacheConfig {
         CacheConfig::new(1024, 32, 2, ReplacementKind::Lru)
@@ -675,7 +674,11 @@ mod tests {
         assert_eq!(sys.state_of(0, 0x100), LineState::Modified);
         assert_eq!(sys.state_of(1, 0x100), LineState::Invalid);
         assert_eq!(sys.stats(1).invalidations_received, 1);
-        assert_eq!(sys.read(1, 0x100, 4), vec![7; 4], "re-fetched after invalidate");
+        assert_eq!(
+            sys.read(1, 0x100, 4),
+            vec![7; 4],
+            "re-fetched after invalidate"
+        );
     }
 
     #[test]
@@ -803,7 +806,10 @@ mod tests {
     fn run_drives_streams_and_stays_consistent() {
         use crate::workload::{DuboisBriggs, SharingModel};
         let mut sys = two_moesi();
-        let model = SharingModel { line_size: 32, ..SharingModel::default() };
+        let model = SharingModel {
+            line_size: 32,
+            ..SharingModel::default()
+        };
         let mut streams: Vec<Box<dyn RefStream + Send>> = vec![
             Box::new(DuboisBriggs::new(0, model, 1)),
             Box::new(DuboisBriggs::new(1, model, 2)),

@@ -8,8 +8,7 @@
 //! [`ReadMostly`], [`Sequential`]) exercise the sharing patterns the
 //! coherence literature names.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use moesi::rng::SmallRng;
 
 /// One memory access issued by a processor.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,13 +25,21 @@ impl Access {
     /// A read of `size` bytes.
     #[must_use]
     pub fn read(addr: u64, size: usize) -> Self {
-        Access { addr, size, is_write: false }
+        Access {
+            addr,
+            size,
+            is_write: false,
+        }
     }
 
     /// A write of `size` bytes.
     #[must_use]
     pub fn write(addr: u64, size: usize) -> Self {
-        Access { addr, size, is_write: true }
+        Access {
+            addr,
+            size,
+            is_write: true,
+        }
     }
 }
 
@@ -98,7 +105,7 @@ impl Default for SharingModel {
 pub struct DuboisBriggs {
     cpu: usize,
     model: SharingModel,
-    rng: StdRng,
+    rng: SmallRng,
     last: Option<u64>,
 }
 
@@ -111,17 +118,23 @@ impl DuboisBriggs {
     /// are empty.
     #[must_use]
     pub fn new(cpu: usize, model: SharingModel, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&model.p_shared), "p_shared out of range");
+        assert!(
+            (0.0..=1.0).contains(&model.p_shared),
+            "p_shared out of range"
+        );
         assert!((0.0..=1.0).contains(&model.p_write), "p_write out of range");
         assert!(
             (0.0..=1.0).contains(&model.p_rereference),
             "p_rereference out of range"
         );
-        assert!(model.shared_lines > 0 && model.private_lines > 0, "empty pools");
+        assert!(
+            model.shared_lines > 0 && model.private_lines > 0,
+            "empty pools"
+        );
         DuboisBriggs {
             cpu,
             model,
-            rng: StdRng::seed_from_u64(seed ^ (cpu as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            rng: SmallRng::seed_from_u64(seed ^ (cpu as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             last: None,
         }
     }
@@ -130,9 +143,7 @@ impl DuboisBriggs {
 impl RefStream for DuboisBriggs {
     fn next_access(&mut self) -> Access {
         let m = self.model;
-        let line = if let Some(last) =
-            self.last.filter(|_| self.rng.gen_bool(m.p_rereference))
-        {
+        let line = if let Some(last) = self.last.filter(|_| self.rng.gen_bool(m.p_rereference)) {
             last
         } else if self.rng.gen_bool(m.p_shared) {
             SHARED_BASE + self.rng.gen_range(0..m.shared_lines) * m.line_size
@@ -142,7 +153,11 @@ impl RefStream for DuboisBriggs {
         self.last = Some(line);
         let offset = self.rng.gen_range(0..m.line_size / 4) * 4;
         let is_write = self.rng.gen_bool(m.p_write);
-        Access { addr: line + offset, size: 4, is_write }
+        Access {
+            addr: line + offset,
+            size: 4,
+            is_write,
+        }
     }
 }
 
@@ -194,13 +209,23 @@ impl ProducerConsumer {
     /// The producing stream over `lines` shared lines.
     #[must_use]
     pub fn producer(lines: u64, line_size: u64) -> Self {
-        ProducerConsumer { is_producer: true, lines, line_size, cursor: 0 }
+        ProducerConsumer {
+            is_producer: true,
+            lines,
+            line_size,
+            cursor: 0,
+        }
     }
 
     /// A consuming stream over the same ring.
     #[must_use]
     pub fn consumer(lines: u64, line_size: u64) -> Self {
-        ProducerConsumer { is_producer: false, lines, line_size, cursor: 0 }
+        ProducerConsumer {
+            is_producer: false,
+            lines,
+            line_size,
+            cursor: 0,
+        }
     }
 }
 
@@ -236,7 +261,13 @@ impl Migratory {
     #[must_use]
     pub fn new(cpu: usize, cpus: usize, burst: u64, line_size: u64) -> Self {
         assert!(cpus > 0 && burst > 0);
-        Migratory { cpu, cpus, burst, line_size, step: 0 }
+        Migratory {
+            cpu,
+            cpus,
+            burst,
+            line_size,
+            step: 0,
+        }
     }
 }
 
@@ -281,7 +312,14 @@ impl ReadMostly {
     #[must_use]
     pub fn new(cpu: usize, writer: usize, lines: u64, line_size: u64, write_period: u64) -> Self {
         assert!(lines > 0 && write_period > 0);
-        ReadMostly { cpu, writer, lines, line_size, write_period, step: 0 }
+        ReadMostly {
+            cpu,
+            writer,
+            lines,
+            line_size,
+            write_period,
+            step: 0,
+        }
     }
 }
 
@@ -304,7 +342,7 @@ pub struct Sequential {
     stride: u64,
     span: u64,
     p_write: f64,
-    rng: StdRng,
+    rng: SmallRng,
     cursor: u64,
 }
 
@@ -319,7 +357,7 @@ impl Sequential {
             stride,
             span,
             p_write,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
             cursor: 0,
         }
     }
@@ -330,7 +368,11 @@ impl RefStream for Sequential {
         let addr = private_base(self.cpu) + (self.cursor % (self.span / self.stride)) * self.stride;
         self.cursor += 1;
         let is_write = self.rng.gen_bool(self.p_write);
-        Access { addr, size: 4, is_write }
+        Access {
+            addr,
+            size: 4,
+            is_write,
+        }
     }
 }
 
@@ -466,10 +508,12 @@ impl TraceReplay {
             })?;
             let size = match parts.next() {
                 None => 4,
-                Some(s) => parse_u64(s).filter(|&v| v > 0).ok_or_else(|| ParseTraceError {
-                    line: line_no,
-                    message: format!("bad size `{s}`"),
-                })? as usize,
+                Some(s) => parse_u64(s)
+                    .filter(|&v| v > 0)
+                    .ok_or_else(|| ParseTraceError {
+                        line: line_no,
+                        message: format!("bad size `{s}`"),
+                    })? as usize,
             };
             if let Some(extra) = parts.next() {
                 return Err(ParseTraceError {
@@ -477,7 +521,11 @@ impl TraceReplay {
                     message: format!("unexpected trailing `{extra}`"),
                 });
             }
-            trace.push(Access { addr, size, is_write });
+            trace.push(Access {
+                addr,
+                size,
+                is_write,
+            });
         }
         if trace.is_empty() {
             return Err(ParseTraceError {
@@ -538,7 +586,10 @@ mod tests {
         }
         let shared_frac = shared as f64 / n as f64;
         let write_frac = writes as f64 / n as f64;
-        assert!((shared_frac - 0.5).abs() < 0.03, "shared frac {shared_frac}");
+        assert!(
+            (shared_frac - 0.5).abs() < 0.03,
+            "shared frac {shared_frac}"
+        );
         assert!((write_frac - 0.25).abs() < 0.03, "write frac {write_frac}");
     }
 
@@ -561,8 +612,22 @@ mod tests {
     #[test]
     fn distinct_cpus_use_distinct_private_regions() {
         assert_ne!(private_base(0), private_base(1));
-        let mut a = DuboisBriggs::new(0, SharingModel { p_shared: 0.0, ..Default::default() }, 1);
-        let mut b = DuboisBriggs::new(1, SharingModel { p_shared: 0.0, ..Default::default() }, 1);
+        let mut a = DuboisBriggs::new(
+            0,
+            SharingModel {
+                p_shared: 0.0,
+                ..Default::default()
+            },
+            1,
+        );
+        let mut b = DuboisBriggs::new(
+            1,
+            SharingModel {
+                p_shared: 0.0,
+                ..Default::default()
+            },
+            1,
+        );
         for _ in 0..100 {
             let ra = a.next_access();
             let rb = b.next_access();
@@ -665,10 +730,8 @@ mod tests {
 
     #[test]
     fn trace_text_parses_the_classic_format() {
-        let t = TraceReplay::from_text(
-            "# warm-up\nR 0x1000\nW 0x1004 8  # store\n\nread 256 2\n",
-        )
-        .expect("valid trace");
+        let t = TraceReplay::from_text("# warm-up\nR 0x1000\nW 0x1004 8  # store\n\nread 256 2\n")
+            .expect("valid trace");
         assert_eq!(
             t.accesses(),
             &[

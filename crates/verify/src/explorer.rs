@@ -1,0 +1,187 @@
+//! Breadth-first exhaustive exploration of the abstract machine.
+//!
+//! States are deduplicated on their canonical byte encoding
+//! ([`MachState::encode`]); each admitted state keeps a parent pointer plus
+//! the [`TraceStep`](mpsim::replay::TraceStep) that reached it, so the first
+//! defect found unwinds into a **minimal-length** counterexample schedule
+//! (BFS explores shortest schedules first).
+
+use crate::machine::{Defect, MachState, Machine};
+use mpsim::replay::{Trace, TraceStep};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+/// Exploration limits.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Stop expanding after this many distinct states (0 = unbounded).
+    pub max_states: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_states: 2_000_000,
+        }
+    }
+}
+
+/// A counterexample: a replayable schedule plus the defect it exposes.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The schedule, feedable straight into [`mpsim::replay::replay`].
+    pub trace: Trace,
+    /// The defect observed by the abstract machine.
+    pub defect: Defect,
+}
+
+/// The result of one exhaustive exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Distinct reachable states admitted (each invariant-checked).
+    pub explored: usize,
+    /// Transitions examined (successor computations, including duplicates).
+    pub transitions: usize,
+    /// Largest frontier (queue length) seen during the search.
+    pub frontier_peak: usize,
+    /// Depth (schedule length) of the deepest admitted state.
+    pub depth: usize,
+    /// Whether the state cap stopped the search before exhaustion.
+    pub truncated: bool,
+    /// The first (minimal) defect found, if any.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl Report {
+    /// True when the whole reachable space was explored defect-free.
+    #[must_use]
+    pub fn verified(&self) -> bool {
+        self.counterexample.is_none() && !self.truncated
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.counterexample {
+            Some(cx) => {
+                writeln!(
+                    f,
+                    "VIOLATION after {} states ({} transitions): {}",
+                    self.explored, self.transitions, cx.defect
+                )?;
+                write!(f, "{}", cx.trace)
+            }
+            None => write!(
+                f,
+                "{}: {} states, {} transitions, depth {}, frontier peak {}",
+                if self.truncated {
+                    "TRUNCATED"
+                } else {
+                    "verified"
+                },
+                self.explored,
+                self.transitions,
+                self.depth,
+                self.frontier_peak
+            ),
+        }
+    }
+}
+
+/// Per-state bookkeeping for trace reconstruction.
+struct Node {
+    parent: Option<Box<[u8]>>,
+    step: Option<TraceStep>,
+    depth: usize,
+}
+
+/// Exhaustively explores `machine` from the initial state, checking every
+/// admitted state against the five invariants. Returns on the first defect
+/// (with a minimal counterexample) or when the space is exhausted.
+#[must_use]
+pub fn explore(machine: &mut Machine, limits: &Limits) -> Report {
+    let line_size = 8; // replayed traces use 8-byte lines
+    let initial = MachState::initial(machine.modules(), machine.lines);
+    let init_key = initial.encode();
+
+    let mut seen: HashMap<Box<[u8]>, Node> = HashMap::new();
+    seen.insert(
+        init_key.clone(),
+        Node {
+            parent: None,
+            step: None,
+            depth: 0,
+        },
+    );
+    let mut queue: VecDeque<(MachState, Box<[u8]>)> = VecDeque::new();
+    queue.push_back((initial, init_key));
+
+    let mut report = Report {
+        explored: 1,
+        transitions: 0,
+        frontier_peak: 1,
+        depth: 0,
+        truncated: false,
+        counterexample: None,
+    };
+
+    while let Some((state, key)) = queue.pop_front() {
+        let depth = seen[&key].depth;
+        for t in machine.transitions(&state) {
+            report.transitions += 1;
+            if let Some(defect) = t.defect {
+                let trace = unwind(&seen, &key, t.step, machine, line_size, &defect);
+                report.counterexample = Some(Counterexample { trace, defect });
+                return report;
+            }
+            let next_key = t.next.encode();
+            if let Entry::Vacant(slot) = seen.entry(next_key.clone()) {
+                slot.insert(Node {
+                    parent: Some(key.clone()),
+                    step: Some(t.step),
+                    depth: depth + 1,
+                });
+                report.explored += 1;
+                report.depth = report.depth.max(depth + 1);
+                queue.push_back((t.next, next_key));
+                report.frontier_peak = report.frontier_peak.max(queue.len());
+                if limits.max_states != 0 && report.explored >= limits.max_states {
+                    report.truncated = true;
+                    return report;
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Walks parent pointers from `key` back to the root and appends the
+/// violating step, producing the minimal replayable schedule.
+fn unwind(
+    seen: &HashMap<Box<[u8]>, Node>,
+    key: &[u8],
+    last: TraceStep,
+    machine: &Machine,
+    line_size: usize,
+    defect: &Defect,
+) -> Trace {
+    let mut steps = vec![last];
+    let mut cursor = key.to_vec().into_boxed_slice();
+    loop {
+        let node = &seen[&cursor];
+        match (&node.parent, &node.step) {
+            (Some(parent), Some(step)) => {
+                steps.push(step.clone());
+                cursor = parent.clone();
+            }
+            _ => break,
+        }
+    }
+    steps.reverse();
+    Trace {
+        line_size,
+        modules: machine.kinds(),
+        steps,
+        expected: defect.to_string(),
+    }
+}

@@ -1,0 +1,233 @@
+//! Exhaustive model checking for the compatible cache-consistency class.
+//!
+//! This crate proves — by breadth-first enumeration of **every** reachable
+//! global state — that small configurations of the protocol class from
+//! Sweazey & Smith (ISCA '86) preserve the five shared-image invariants of
+//! `mpsim::Checker`. It complements the randomized simulator tests: where
+//! those sample schedules, the explorer branches on *every* permitted entry
+//! of Tables 1 and 2 at every decision point, so a clean run is a proof over
+//! the modelled configuration, not a statistical statement.
+//!
+//! Three front doors:
+//!
+//! - the library API ([`explore`], [`verify_protocol`], [`verify_pair`],
+//!   [`verify_matrix`], [`verify_class`]);
+//! - the `moesi-sim verify` CLI subcommand;
+//! - the integration tests in `tests/`, which pin "zero violations" for
+//!   every shipped protocol and every protocol pair.
+//!
+//! When a defect *is* found (e.g. via the test-only table-corruption hooks),
+//! the explorer emits a minimal [`mpsim::replay::Trace`] that
+//! [`mpsim::replay::replay`] re-executes step by step on the concrete
+//! simulator, reproducing the violation deterministically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explorer;
+mod machine;
+
+pub use explorer::{explore, Counterexample, Limits, Report};
+pub use machine::{
+    BusOverride, Defect, LineView, LocalOverride, MachState, Machine, ModLine, ModuleSpec, Policy,
+};
+
+use moesi::{protocols, CacheKind};
+
+/// Shape of the explored configuration (the per-module policies come
+/// separately).
+#[derive(Clone, Copy, Debug)]
+pub struct Shape {
+    /// Lines modelled (1–2 keeps the space small; lines are independent).
+    pub lines: usize,
+    /// Size of the write-value domain (2 suffices to distinguish copies).
+    pub values: u8,
+    /// Exploration limits.
+    pub limits: Limits,
+}
+
+impl Default for Shape {
+    fn default() -> Self {
+        Shape {
+            lines: 1,
+            values: 2,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Every name accepted by [`verify_protocol`]/[`verify_matrix`]: the shipped
+/// protocols plus `full-table` (the §3.4 class-at-large: branch over the
+/// whole permitted set of a copy-back client).
+pub const MATRIX_PROTOCOLS: [&str; 12] = [
+    "moesi",
+    "moesi-invalidating",
+    "puzak",
+    "write-through",
+    "non-caching",
+    "berkeley",
+    "dragon",
+    "write-once",
+    "illinois",
+    "firefly",
+    "synapse",
+    "full-table",
+];
+
+/// Builds the module spec for a protocol name.
+///
+/// `full-table`, `full-table-wt` and `full-table-nc` branch over the entire
+/// permitted sets of the corresponding client kind; `random` is folded into
+/// `full-table` (a random selector can pick any permitted entry, so the full
+/// branch *is* its exhaustive closure). Every other name resolves through
+/// [`moesi::protocols::by_name`].
+#[must_use]
+pub fn spec_for(name: &str) -> Option<ModuleSpec> {
+    match name {
+        "full-table" | "random" => Some(ModuleSpec::full_table(CacheKind::CopyBack)),
+        "full-table-wt" => Some(ModuleSpec::full_table(CacheKind::WriteThrough)),
+        "full-table-nc" => Some(ModuleSpec::full_table(CacheKind::NonCaching)),
+        _ => protocols::by_name(name, 0).map(ModuleSpec::protocol),
+    }
+}
+
+/// Whether invariant 5 (an E copy matches memory) must be relaxed for this
+/// protocol mix. The adapted Write-Once protocol reaches its "Reserved" (E)
+/// state with memory still stale when a foreign owner supplied the fill, so
+/// mixed systems containing it drop the strict check — exactly as
+/// `mpsim::Checker::check_exclusive_clean` documents.
+#[must_use]
+pub fn relaxed_exclusive_clean(names: &[&str]) -> bool {
+    let mixed = names.windows(2).any(|w| w[0] != w[1]);
+    mixed && names.contains(&"write-once")
+}
+
+/// Whether the pair `(a, b)` is expected to verify clean.
+///
+/// Every pair is, except the adapted Write-Once protocol next to an
+/// owner-capable class member: Write-Once's eponymous first write is a
+/// write-through (`E,CA,IM,W`), and a foreign M/O holder snooping that
+/// transaction must capture it (`I,DI` is its only permitted reaction) —
+/// which preempts memory and then discards the data with the invalidate.
+/// The value survives only in Write-Once's unowned "Reserved" (E) line, so
+/// invariant 4 (unowned lines live in memory) breaks in three steps. This is
+/// precisely the gap §4.3's BS-based adaptation leaves open; the exhaustive
+/// explorer rediscovers it mechanically, and the concrete simulator
+/// reproduces the counterexample (see `tests/exhaustive.rs`).
+#[must_use]
+pub fn class_compatible(a: &str, b: &str) -> bool {
+    const OWNER_CAPABLE: [&str; 7] = [
+        "moesi",
+        "moesi-invalidating",
+        "puzak",
+        "berkeley",
+        "dragon",
+        "full-table",
+        "random",
+    ];
+    let clash = |x: &str, y: &str| x == "write-once" && OWNER_CAPABLE.contains(&y);
+    !clash(a, b) && !clash(b, a)
+}
+
+/// Exhaustively verifies an arbitrary protocol mix, one module per name.
+/// Returns `None` if any name is unknown. Invariant 5 is relaxed per
+/// [`relaxed_exclusive_clean`].
+#[must_use]
+pub fn verify_mix(names: &[&str], shape: &Shape) -> Option<Report> {
+    let mut specs = Vec::with_capacity(names.len());
+    for name in names {
+        specs.push(spec_for(name)?);
+    }
+    let mut machine = Machine::new(specs, shape.lines, shape.values);
+    machine.check_exclusive_clean = !relaxed_exclusive_clean(names);
+    Some(explore(&mut machine, &shape.limits))
+}
+
+/// Exhaustively verifies a homogeneous system of `caches` modules all
+/// running `name`. Returns `None` for an unknown protocol name.
+#[must_use]
+pub fn verify_protocol(name: &str, caches: usize, shape: &Shape) -> Option<Report> {
+    verify_mix(&vec![name; caches], shape)
+}
+
+/// Exhaustively verifies a two-module heterogeneous system: one module
+/// running `a`, one running `b`. Returns `None` for unknown names.
+#[must_use]
+pub fn verify_pair(a: &str, b: &str, shape: &Shape) -> Option<Report> {
+    verify_mix(&[a, b], shape)
+}
+
+/// Exhaustively verifies the class at large: every module branches over the
+/// full permitted sets for its kind (Tables 1 and 2), so this covers every
+/// member protocol — and every mix of member protocols — at once.
+#[must_use]
+pub fn verify_class(kinds: &[CacheKind], shape: &Shape) -> Report {
+    let specs = kinds.iter().map(|&k| ModuleSpec::full_table(k)).collect();
+    let mut machine = Machine::new(specs, shape.lines, shape.values);
+    explore(&mut machine, &shape.limits)
+}
+
+/// Runs [`verify_pair`] over every unordered pair from `names` (including
+/// the diagonal) and returns `(a, b, report)` rows.
+#[must_use]
+pub fn verify_matrix(names: &[&str], shape: &Shape) -> Vec<(String, String, Report)> {
+    let mut rows = Vec::new();
+    for (i, a) in names.iter().enumerate() {
+        for b in &names[i..] {
+            if let Some(report) = verify_pair(a, b, shape) {
+                rows.push(((*a).to_string(), (*b).to_string(), report));
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_initial_state_round_trips_through_the_encoding() {
+        let a = MachState::initial(3, 2);
+        let b = MachState::initial(3, 2);
+        assert_eq!(a.encode(), b.encode());
+        assert_eq!(a.encode().len(), 2 * (2 + 2 * 3));
+    }
+
+    #[test]
+    fn two_full_table_caches_one_line_verify_clean() {
+        let report = verify_class(&[CacheKind::CopyBack; 2], &Shape::default());
+        assert!(report.verified(), "{report}");
+        assert!(report.explored > 10, "space too small: {report}");
+    }
+
+    #[test]
+    fn unknown_protocol_names_are_rejected() {
+        assert!(verify_protocol("no-such-protocol", 2, &Shape::default()).is_none());
+        assert!(spec_for("also-missing").is_none());
+    }
+
+    #[test]
+    fn exclusive_clean_is_relaxed_only_for_mixed_write_once() {
+        assert!(relaxed_exclusive_clean(&["write-once", "moesi"]));
+        assert!(!relaxed_exclusive_clean(&["write-once", "write-once"]));
+        assert!(!relaxed_exclusive_clean(&["moesi", "dragon"]));
+    }
+
+    #[test]
+    fn write_once_clashes_only_with_owner_capable_members() {
+        assert!(!class_compatible("moesi", "write-once"));
+        assert!(!class_compatible("write-once", "berkeley"));
+        assert!(class_compatible("write-once", "write-once"));
+        assert!(class_compatible("write-once", "write-through"));
+        assert!(class_compatible("write-once", "illinois"));
+        assert!(class_compatible("moesi", "dragon"));
+    }
+
+    #[test]
+    fn every_matrix_name_resolves_to_a_spec() {
+        for name in MATRIX_PROTOCOLS {
+            assert!(spec_for(name).is_some(), "unresolvable: {name}");
+        }
+    }
+}

@@ -1,0 +1,1068 @@
+//! The abstract machine the explorer walks.
+//!
+//! This is a faithful state-and-data abstraction of the concrete stack
+//! (`futurebus::Futurebus` + `mpsim::Fabric`/`CacheController`): each line
+//! carries one symbolic value from a small domain instead of `line_size`
+//! bytes, and time is collapsed to one processor operation per step. The
+//! transaction semantics — who snoops, wired-OR `CH`, unique `DI`
+//! intervention, `SL` broadcast connection, `BS` abort-push-retry, when
+//! memory is updated or preempted — mirror `bus.rs::execute` and
+//! `fabric.rs` clause by clause, so a counterexample found here replays on
+//! the concrete machine (see `mpsim::replay`).
+
+use moesi::table;
+use moesi::{
+    BusEvent, BusOp, BusReaction, CacheKind, LineState, LocalAction, LocalCtx, LocalEvent,
+    Protocol, SnoopCtx,
+};
+
+/// How a module chooses among the permitted actions.
+#[derive(Debug)]
+pub enum Policy {
+    /// Branch over the **entire** permitted Table 1/2 sets for the module's
+    /// kind — the §3.4 class-at-large, covering every member protocol and
+    /// every random/round-robin selector at once.
+    FullTable,
+    /// Follow one concrete protocol; the choice set per cell is whatever the
+    /// protocol returns (sampled over several recency contexts, so
+    /// context-sensitive refinements like Puzak's are covered).
+    Protocol(Box<dyn Protocol + Send>),
+}
+
+/// One bus module in the explored configuration.
+#[derive(Debug)]
+pub struct ModuleSpec {
+    /// The client kind (drives Table 1 column selection and snoop gating).
+    pub kind: CacheKind,
+    /// How this module picks among permitted actions.
+    pub policy: Policy,
+}
+
+impl ModuleSpec {
+    /// A module branching over the full permitted sets of its kind.
+    #[must_use]
+    pub fn full_table(kind: CacheKind) -> Self {
+        ModuleSpec {
+            kind,
+            policy: Policy::FullTable,
+        }
+    }
+
+    /// A module following a concrete protocol.
+    #[must_use]
+    pub fn protocol(p: Box<dyn Protocol + Send>) -> Self {
+        ModuleSpec {
+            kind: p.kind(),
+            policy: Policy::Protocol(p),
+        }
+    }
+}
+
+/// Test-only corruption hooks: rewrite a permitted set before the explorer
+/// branches over it. Used to prove the checker *would* catch a broken table.
+pub type LocalOverride = fn(LineState, LocalEvent, CacheKind, Vec<LocalAction>) -> Vec<LocalAction>;
+/// See [`LocalOverride`].
+pub type BusOverride = fn(LineState, BusEvent, Vec<BusReaction>) -> Vec<BusReaction>;
+
+/// Recency contexts sampled when querying a concrete protocol, so decisions
+/// conditioned on `near_replacement()` (Puzak §5.2) contribute every variant
+/// to the choice set.
+const CTX_RANKS: [(Option<u32>, u32); 3] = [(None, 0), (Some(0), 2), (Some(1), 2)];
+
+/// The per-module view of one line: protocol state plus the symbolic value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ModLine {
+    /// MOESI state.
+    pub state: LineState,
+    /// Value held (canonically 0 when the state is Invalid).
+    pub val: u8,
+}
+
+impl ModLine {
+    const EMPTY: ModLine = ModLine {
+        state: LineState::Invalid,
+        val: 0,
+    };
+}
+
+/// One line of the global state: memory, the oracle's golden value, and every
+/// module's copy.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LineView {
+    /// Main memory's value for the line.
+    pub mem: u8,
+    /// The golden value (last processor write, the serialisation order).
+    pub golden: u8,
+    /// Per-module copies.
+    pub mods: Vec<ModLine>,
+}
+
+/// The global abstract state: every line.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MachState {
+    /// One entry per line.
+    pub lines: Vec<LineView>,
+}
+
+impl MachState {
+    /// The initial state: memory and golden agree on value 0, no copies.
+    #[must_use]
+    pub fn initial(modules: usize, lines: usize) -> Self {
+        MachState {
+            lines: vec![
+                LineView {
+                    mem: 0,
+                    golden: 0,
+                    mods: vec![ModLine::EMPTY; modules],
+                };
+                lines
+            ],
+        }
+    }
+
+    /// Canonical byte encoding, the deduplication key: per line `mem`,
+    /// `golden`, then each module's `(state index, value)` with the value
+    /// normalised to 0 for Invalid copies.
+    #[must_use]
+    pub fn encode(&self) -> Box<[u8]> {
+        let mut out = Vec::with_capacity(self.lines.len() * (2 + 2 * self.lines[0].mods.len()));
+        for line in &self.lines {
+            out.push(line.mem);
+            out.push(line.golden);
+            for m in &line.mods {
+                out.push(state_index(m.state));
+                out.push(if m.state == LineState::Invalid {
+                    0
+                } else {
+                    m.val
+                });
+            }
+        }
+        out.into_boxed_slice()
+    }
+}
+
+fn state_index(s: LineState) -> u8 {
+    LineState::ALL
+        .iter()
+        .position(|&x| x == s)
+        .expect("state in ALL") as u8
+}
+
+/// A defect found during exploration: either one of the checker's five
+/// invariants, or a structural error the concrete bus would reject.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Defect {
+    /// Invariant 1: more than one cache owns the line.
+    MultipleOwners(Vec<usize>),
+    /// Invariant 2: an M/E holder coexists with another valid copy.
+    ExclusivityViolated {
+        /// The module holding M or E.
+        holder: usize,
+        /// Another module with a valid copy.
+        other: usize,
+    },
+    /// Invariant 3: a valid copy differs from the golden value.
+    StaleCopy {
+        /// The module with the wrong data.
+        holder: usize,
+        /// Its state.
+        state: LineState,
+    },
+    /// Invariant 4: no owner anywhere, but memory is not golden.
+    StaleMemory,
+    /// Invariant 5: an E copy differs from main memory.
+    ExclusiveUnmodifiedDiffers {
+        /// The module holding E.
+        holder: usize,
+    },
+    /// A processor read returned a non-golden value.
+    ReadMismatch {
+        /// The reading module.
+        module: usize,
+        /// What it got.
+        got: u8,
+        /// The golden value.
+        expected: u8,
+    },
+    /// A module left the state subset its kind may occupy.
+    IllegalStateForKind {
+        /// The module.
+        module: usize,
+        /// The out-of-subset state.
+        state: LineState,
+    },
+    /// Two snoopers asserted DI in one transaction (`BusError` on the bus).
+    MultipleInterveners(Vec<usize>),
+    /// A snooper with a valid copy faced an empty permitted set (error cell).
+    ErrorCell {
+        /// The module.
+        module: usize,
+        /// Its state.
+        state: LineState,
+        /// The event it could not answer.
+        event: BusEvent,
+    },
+    /// BS aborts exceeded the bus retry limit.
+    TooManyRetries,
+}
+
+impl std::fmt::Display for Defect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Defect::MultipleOwners(owners) => write!(f, "multiple owners: {owners:?}"),
+            Defect::ExclusivityViolated { holder, other } => {
+                write!(f, "cpu{holder} exclusive but cpu{other} holds a copy")
+            }
+            Defect::StaleCopy { holder, state } => {
+                write!(f, "cpu{holder} holds a stale {state} copy")
+            }
+            Defect::StaleMemory => f.write_str("unowned line with stale memory"),
+            Defect::ExclusiveUnmodifiedDiffers { holder } => {
+                write!(f, "cpu{holder} E copy differs from memory")
+            }
+            Defect::ReadMismatch {
+                module,
+                got,
+                expected,
+            } => {
+                write!(f, "cpu{module} read {got}, expected {expected}")
+            }
+            Defect::IllegalStateForKind { module, state } => {
+                write!(f, "cpu{module} reached {state}, outside its kind's subset")
+            }
+            Defect::MultipleInterveners(mods) => {
+                write!(f, "multiple interveners: {mods:?}")
+            }
+            Defect::ErrorCell {
+                module,
+                state,
+                event,
+            } => {
+                write!(
+                    f,
+                    "cpu{module} in {state} has no permitted reaction to {event}"
+                )
+            }
+            Defect::TooManyRetries => f.write_str("BS aborts exceeded the retry limit"),
+        }
+    }
+}
+
+/// The machine: module specs plus exploration parameters.
+pub struct Machine {
+    specs: Vec<ModuleSpec>,
+    /// Number of lines modelled.
+    pub lines: usize,
+    /// Size of the data domain; writes branch over values `0..values`.
+    pub values: u8,
+    /// Whether invariant 5 (E matches memory) is enforced.
+    pub check_exclusive_clean: bool,
+    /// Test-only Table 1 corruption hook.
+    pub local_override: Option<LocalOverride>,
+    /// Test-only Table 2 corruption hook.
+    pub bus_override: Option<BusOverride>,
+    max_retries: u32,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("modules", &self.specs.len())
+            .field("lines", &self.lines)
+            .field("values", &self.values)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One candidate transition out of a state: the successor, the schedule
+/// fragment that produced it, and the defect (if the step or the successor
+/// breaks an invariant).
+#[derive(Clone, Debug)]
+pub struct Transition {
+    /// The successor state (the pre-state of the defect, when one fired
+    /// mid-transaction).
+    pub next: MachState,
+    /// Replayable record of the step.
+    pub step: mpsim::replay::TraceStep,
+    /// The defect, if this transition exposes one.
+    pub defect: Option<Defect>,
+}
+
+/// Outcome of one abstract bus transaction branch.
+struct TxnOutcome {
+    line: LineView,
+    ch_seen: bool,
+    /// Value served by the data phase (reads only).
+    data: Option<u8>,
+    /// Every `on_bus` consultation, in bus order (incl. aborted rounds).
+    log: Vec<(usize, BusReaction)>,
+    error: Option<Defect>,
+}
+
+enum TxnKind {
+    Read,
+    Write(u8),
+    AddressOnly,
+}
+
+impl Machine {
+    /// Builds a machine over `specs` with the given line count and data
+    /// domain. `values` must be at least 1 (value 0 is the initial content).
+    #[must_use]
+    pub fn new(specs: Vec<ModuleSpec>, lines: usize, values: u8) -> Self {
+        assert!(values >= 1, "data domain must contain at least one value");
+        assert!(lines >= 1, "at least one line");
+        assert!(!specs.is_empty(), "at least one module");
+        Machine {
+            specs,
+            lines,
+            values,
+            check_exclusive_clean: true,
+            local_override: None,
+            bus_override: None,
+            max_retries: 4,
+        }
+    }
+
+    /// The number of modules.
+    #[must_use]
+    pub fn modules(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The module kinds, in bus order (for building a replayable trace).
+    #[must_use]
+    pub fn kinds(&self) -> Vec<CacheKind> {
+        self.specs.iter().map(|s| s.kind).collect()
+    }
+
+    /// The permitted local choice set for module `m` at `(state, event)`.
+    fn local_choices(&mut self, m: usize, state: LineState, event: LocalEvent) -> Vec<LocalAction> {
+        let kind = self.specs[m].kind;
+        let raw = match &mut self.specs[m].policy {
+            Policy::FullTable => table::permitted_local(state, event, kind),
+            Policy::Protocol(p) => {
+                let mut out: Vec<LocalAction> = Vec::new();
+                for (recency_rank, ways) in CTX_RANKS {
+                    let ctx = LocalCtx { recency_rank, ways };
+                    let a = p.on_local(state, event, &ctx);
+                    if !out.contains(&a) {
+                        out.push(a);
+                    }
+                }
+                out
+            }
+        };
+        match self.local_override {
+            Some(f) => f(state, event, kind, raw),
+            None => raw,
+        }
+    }
+
+    /// The permitted snoop choice set for module `m` at `(state, event)`.
+    fn bus_choices(&mut self, m: usize, state: LineState, event: BusEvent) -> Vec<BusReaction> {
+        let raw = match &mut self.specs[m].policy {
+            Policy::FullTable => table::permitted_bus(state, event),
+            Policy::Protocol(p) => {
+                let mut out: Vec<BusReaction> = Vec::new();
+                for (recency_rank, ways) in CTX_RANKS {
+                    let ctx = SnoopCtx { recency_rank, ways };
+                    let r = p.on_bus(state, event, &ctx);
+                    if !out.contains(&r) {
+                        out.push(r);
+                    }
+                }
+                out
+            }
+        };
+        match self.bus_override {
+            Some(f) => f(state, event, raw),
+            None => raw,
+        }
+    }
+
+    /// Checks the five shared-image invariants plus kind-subset compliance
+    /// on one line. Mirrors `mpsim::Checker::verify` (same order, so the
+    /// reported defect matches what a replay reports).
+    #[must_use]
+    pub fn check_line(&self, line: &LineView) -> Option<Defect> {
+        let owners: Vec<usize> = line
+            .mods
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.state.is_owned())
+            .map(|(i, _)| i)
+            .collect();
+        // 1. Unique ownership.
+        if owners.len() > 1 {
+            return Some(Defect::MultipleOwners(owners));
+        }
+        // 2. Exclusivity.
+        if let Some((i, _)) = line
+            .mods
+            .iter()
+            .enumerate()
+            .find(|(_, m)| m.state.is_exclusive())
+        {
+            if let Some((j, _)) = line
+                .mods
+                .iter()
+                .enumerate()
+                .find(|(j, m)| *j != i && m.state.is_valid())
+            {
+                return Some(Defect::ExclusivityViolated {
+                    holder: i,
+                    other: j,
+                });
+            }
+        }
+        // 3. Shared image: every valid copy is golden.
+        for (i, m) in line.mods.iter().enumerate() {
+            if m.state.is_valid() && m.val != line.golden {
+                return Some(Defect::StaleCopy {
+                    holder: i,
+                    state: m.state,
+                });
+            }
+        }
+        // 5. Exclusive-clean (before 4, mirroring the checker's order).
+        if self.check_exclusive_clean {
+            for (i, m) in line.mods.iter().enumerate() {
+                if m.state == LineState::Exclusive && line.mem != line.golden {
+                    return Some(Defect::ExclusiveUnmodifiedDiffers { holder: i });
+                }
+            }
+        }
+        // 4. Default owner: unowned lines live in memory.
+        if owners.is_empty() && line.mem != line.golden {
+            return Some(Defect::StaleMemory);
+        }
+        // Kind subsets (write-through never owns, non-caching never holds).
+        for (i, m) in line.mods.iter().enumerate() {
+            if !self.specs[i].kind.reachable_states().contains(&m.state) {
+                return Some(Defect::IllegalStateForKind {
+                    module: i,
+                    state: m.state,
+                });
+            }
+        }
+        None
+    }
+
+    /// Every transition out of `state`: for each module, line and local
+    /// event, for each permitted local action, for each combination of
+    /// permitted snooper reactions.
+    #[must_use]
+    pub fn transitions(&mut self, state: &MachState) -> Vec<Transition> {
+        let mut out = Vec::new();
+        for m in 0..self.specs.len() {
+            for l in 0..self.lines {
+                self.read_transitions(state, m, l, &mut out);
+                self.write_transitions(state, m, l, &mut out);
+                self.pass_flush_transitions(state, m, l, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Local Read (Table 1 note 1). A valid copy is a silent hit (the fabric
+    /// bypasses the protocol entirely), so only misses branch.
+    fn read_transitions(
+        &mut self,
+        state: &MachState,
+        m: usize,
+        l: usize,
+        out: &mut Vec<Transition>,
+    ) {
+        let ml = state.lines[l].mods[m];
+        if ml.state.is_valid() {
+            return; // hit: no decision, no state change, value audited by inv. 3
+        }
+        for action in self.local_choices(m, LineState::Invalid, LocalEvent::Read) {
+            if action.bus_op != BusOp::Read {
+                continue; // the read path only issues bus reads
+            }
+            for txn in self.run_txn(&state.lines[l], m, &TxnKind::Read, action.signals, 0) {
+                let mut line = txn.line;
+                let mut defect = txn.error;
+                if defect.is_none() {
+                    let served = txn.data.expect("reads return data");
+                    // Master side: fill if the resolved state is valid.
+                    let result = action.result.resolve(txn.ch_seen);
+                    if result.is_valid() {
+                        line.mods[m] = ModLine {
+                            state: result,
+                            val: served,
+                        };
+                    }
+                    if served != line.golden {
+                        defect = Some(Defect::ReadMismatch {
+                            module: m,
+                            got: served,
+                            expected: line.golden,
+                        });
+                    }
+                }
+                out.push(self.finish(
+                    state,
+                    l,
+                    line,
+                    m,
+                    mpsim::replay::ReplayOp::Read,
+                    vec![action],
+                    txn.log,
+                    defect,
+                ));
+            }
+        }
+    }
+
+    /// Local Write (note 2), branching over the data domain. Mirrors
+    /// `fabric::write_piece_inner` arm by arm.
+    fn write_transitions(
+        &mut self,
+        state: &MachState,
+        m: usize,
+        l: usize,
+        out: &mut Vec<Transition>,
+    ) {
+        let kind = self.specs[m].kind;
+        for v in 0..self.values {
+            let ml = state.lines[l].mods[m];
+            if table::permitted_local(ml.state, LocalEvent::Write, kind).is_empty()
+                && matches!(self.specs[m].policy, Policy::FullTable)
+            {
+                continue; // error cell for this kind (none exist today)
+            }
+            // Golden update happens at the serialisation point, before the
+            // transaction (System::write's on_piece hook).
+            let mut pre = state.lines[l].clone();
+            pre.golden = v;
+            self.write_from(
+                state,
+                &pre,
+                m,
+                l,
+                ml.state,
+                v,
+                Vec::new(),
+                Vec::new(),
+                0,
+                out,
+            );
+        }
+    }
+
+    /// One write decision from `cur_state`, recursing for `Read>Write`.
+    #[allow(clippy::too_many_arguments)]
+    fn write_from(
+        &mut self,
+        state: &MachState,
+        line: &LineView,
+        m: usize,
+        l: usize,
+        cur_state: LineState,
+        v: u8,
+        locals: Vec<LocalAction>,
+        log: Vec<(usize, BusReaction)>,
+        depth: u32,
+        out: &mut Vec<Transition>,
+    ) {
+        if depth > 3 {
+            return; // corrupted Read>Write loops; the real fabric would hang
+        }
+        for action in self.local_choices(m, cur_state, LocalEvent::Write) {
+            let mut locals = locals.clone();
+            locals.push(action);
+            let op = mpsim::replay::ReplayOp::Write(v);
+            match action.bus_op {
+                BusOp::None => {
+                    // Silent write: requires a resident line.
+                    let mut line = line.clone();
+                    let defect = if cur_state.is_valid() {
+                        line.mods[m] = ModLine {
+                            state: action.result.resolve(false),
+                            val: v,
+                        };
+                        None
+                    } else {
+                        Some(Defect::StaleCopy {
+                            holder: m,
+                            state: cur_state,
+                        })
+                    };
+                    out.push(self.finish(state, l, line, m, op, locals, log.clone(), defect));
+                }
+                BusOp::Write => {
+                    for txn in self.run_txn(line, m, &TxnKind::Write(v), action.signals, 0) {
+                        let mut line = txn.line;
+                        let defect = txn.error;
+                        if defect.is_none() {
+                            let result = action.result.resolve(txn.ch_seen);
+                            // write_cached succeeds only on a resident line
+                            // (write-through hit or broadcast update); a
+                            // write-past from Invalid changes nothing locally.
+                            if line.mods[m].state.is_valid() {
+                                line.mods[m] = ModLine {
+                                    state: result,
+                                    val: v,
+                                };
+                            }
+                        }
+                        let mut full_log = log.clone();
+                        full_log.extend(txn.log);
+                        out.push(self.finish(
+                            state,
+                            l,
+                            line,
+                            m,
+                            op,
+                            locals.clone(),
+                            full_log,
+                            defect,
+                        ));
+                    }
+                }
+                BusOp::AddressOnly => {
+                    for txn in self.run_txn(line, m, &TxnKind::AddressOnly, action.signals, 0) {
+                        let mut line = txn.line;
+                        let mut defect = txn.error;
+                        if defect.is_none() {
+                            let result = action.result.resolve(txn.ch_seen);
+                            if line.mods[m].state.is_valid() {
+                                line.mods[m] = ModLine {
+                                    state: result,
+                                    val: v,
+                                };
+                            } else {
+                                // fabric asserts residency for invalidate-writes
+                                defect = Some(Defect::StaleCopy {
+                                    holder: m,
+                                    state: cur_state,
+                                });
+                            }
+                        }
+                        let mut full_log = log.clone();
+                        full_log.extend(txn.log);
+                        out.push(self.finish(
+                            state,
+                            l,
+                            line,
+                            m,
+                            op,
+                            locals.clone(),
+                            full_log,
+                            defect,
+                        ));
+                    }
+                }
+                BusOp::Read => {
+                    // Read-for-modify: one bus read, then the write lands
+                    // locally (memory is NOT updated — the master owns dirty).
+                    for txn in self.run_txn(line, m, &TxnKind::Read, action.signals, 0) {
+                        let mut line = txn.line;
+                        let mut defect = txn.error;
+                        if defect.is_none() {
+                            let served = txn.data.expect("reads return data");
+                            let result = action.result.resolve(txn.ch_seen);
+                            if result.is_valid() {
+                                let _ = served; // fill value immediately overwritten
+                                line.mods[m] = ModLine {
+                                    state: result,
+                                    val: v,
+                                };
+                            } else {
+                                defect = Some(Defect::StaleCopy {
+                                    holder: m,
+                                    state: result,
+                                });
+                            }
+                        }
+                        let mut full_log = log.clone();
+                        full_log.extend(txn.log);
+                        out.push(self.finish(
+                            state,
+                            l,
+                            line,
+                            m,
+                            op,
+                            locals.clone(),
+                            full_log,
+                            defect,
+                        ));
+                    }
+                }
+                BusOp::ReadThenWrite => {
+                    // Two transactions: the protocol's Read row, then the
+                    // write is re-decided from the new state.
+                    for read_action in self.local_choices(m, cur_state, LocalEvent::Read) {
+                        if read_action.bus_op != BusOp::Read {
+                            continue;
+                        }
+                        let mut locals = locals.clone();
+                        locals.push(read_action);
+                        for txn in self.run_txn(line, m, &TxnKind::Read, read_action.signals, 0) {
+                            if let Some(err) = txn.error {
+                                let mut full_log = log.clone();
+                                full_log.extend(txn.log);
+                                out.push(self.finish(
+                                    state,
+                                    l,
+                                    txn.line,
+                                    m,
+                                    op,
+                                    locals.clone(),
+                                    full_log,
+                                    Some(err),
+                                ));
+                                continue;
+                            }
+                            let mut line = txn.line;
+                            let served = txn.data.expect("reads return data");
+                            let result = read_action.result.resolve(txn.ch_seen);
+                            if result.is_valid() {
+                                line.mods[m] = ModLine {
+                                    state: result,
+                                    val: served,
+                                };
+                            }
+                            let mut full_log = log.clone();
+                            full_log.extend(txn.log);
+                            let mid = line.mods[m].state;
+                            self.write_from(
+                                state,
+                                &line,
+                                m,
+                                l,
+                                mid,
+                                v,
+                                locals.clone(),
+                                full_log,
+                                depth + 1,
+                                out,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Local Pass (note 3) and Flush (note 4), gated exactly as the fabric
+    /// gates them (owned / valid respectively).
+    fn pass_flush_transitions(
+        &mut self,
+        state: &MachState,
+        m: usize,
+        l: usize,
+        out: &mut Vec<Transition>,
+    ) {
+        let ml = state.lines[l].mods[m];
+        if ml.state.is_owned() {
+            for action in self.local_choices(m, ml.state, LocalEvent::Pass) {
+                if action.bus_op != BusOp::Write {
+                    continue; // fabric debug-asserts passes are writes
+                }
+                for txn in self.run_txn(
+                    &state.lines[l],
+                    m,
+                    &TxnKind::Write(ml.val),
+                    action.signals,
+                    0,
+                ) {
+                    let mut line = txn.line;
+                    let defect = txn.error;
+                    if defect.is_none() {
+                        line.mods[m].state = action.result.resolve(txn.ch_seen);
+                    }
+                    out.push(self.finish(
+                        state,
+                        l,
+                        line,
+                        m,
+                        mpsim::replay::ReplayOp::Pass,
+                        vec![action],
+                        txn.log,
+                        defect,
+                    ));
+                }
+            }
+        }
+        if ml.state.is_valid() {
+            for action in self.local_choices(m, ml.state, LocalEvent::Flush) {
+                if action.bus_op == BusOp::Write {
+                    for txn in self.run_txn(
+                        &state.lines[l],
+                        m,
+                        &TxnKind::Write(ml.val),
+                        action.signals,
+                        0,
+                    ) {
+                        let mut line = txn.line;
+                        let defect = txn.error;
+                        if defect.is_none() {
+                            line.mods[m] = ModLine::EMPTY;
+                        }
+                        out.push(self.finish(
+                            state,
+                            l,
+                            line,
+                            m,
+                            mpsim::replay::ReplayOp::Flush,
+                            vec![action],
+                            txn.log,
+                            defect,
+                        ));
+                    }
+                } else {
+                    // Clean flush: drop the copy silently.
+                    let mut line = state.lines[l].clone();
+                    line.mods[m] = ModLine::EMPTY;
+                    out.push(self.finish(
+                        state,
+                        l,
+                        line,
+                        m,
+                        mpsim::replay::ReplayOp::Flush,
+                        vec![action],
+                        Vec::new(),
+                        None,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Packages a finished step: swaps the touched line into the global
+    /// state, checks invariants (unless the step already failed), and emits
+    /// the replayable record.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        state: &MachState,
+        l: usize,
+        line: LineView,
+        m: usize,
+        op: mpsim::replay::ReplayOp,
+        locals: Vec<LocalAction>,
+        log: Vec<(usize, BusReaction)>,
+        defect: Option<Defect>,
+    ) -> Transition {
+        let mut next = state.clone();
+        next.lines[l] = line;
+        let defect = defect.or_else(|| self.check_line(&next.lines[l]));
+        Transition {
+            next,
+            step: mpsim::replay::TraceStep {
+                module: m,
+                line: l as u64,
+                op,
+                local_choices: locals,
+                snoop_choices: log,
+            },
+            defect,
+        }
+    }
+
+    /// Runs one abstract bus transaction, branching over every snooper's
+    /// permitted reaction (and over retry rounds after BS aborts). Mirrors
+    /// `bus.rs::execute`.
+    fn run_txn(
+        &mut self,
+        line: &LineView,
+        master: usize,
+        kind: &TxnKind,
+        signals: moesi::MasterSignals,
+        retries: u32,
+    ) -> Vec<TxnOutcome> {
+        let Some(event) = BusEvent::from_signals(signals) else {
+            // Illegal signal combination: the bus would reject the request.
+            return vec![TxnOutcome {
+                line: line.clone(),
+                ch_seen: false,
+                data: None,
+                log: Vec::new(),
+                error: Some(Defect::TooManyRetries),
+            }];
+        };
+
+        // Snoopers: every other module with a cache and a valid copy (the
+        // controller answers NONE for cacheless or Invalid without
+        // consulting the protocol).
+        let snoopers: Vec<usize> = (0..self.specs.len())
+            .filter(|&i| {
+                i != master
+                    && self.specs[i].kind != CacheKind::NonCaching
+                    && line.mods[i].state.is_valid()
+            })
+            .collect();
+
+        let mut choice_sets: Vec<(usize, Vec<BusReaction>)> = Vec::with_capacity(snoopers.len());
+        for &i in &snoopers {
+            let choices = self.bus_choices(i, line.mods[i].state, event);
+            if choices.is_empty() {
+                return vec![TxnOutcome {
+                    line: line.clone(),
+                    ch_seen: false,
+                    data: None,
+                    log: Vec::new(),
+                    error: Some(Defect::ErrorCell {
+                        module: i,
+                        state: line.mods[i].state,
+                        event,
+                    }),
+                }];
+            }
+            choice_sets.push((i, choices));
+        }
+
+        // Cartesian product over the snoopers' choices.
+        let mut outcomes = Vec::new();
+        let mut combo = vec![0usize; choice_sets.len()];
+        loop {
+            let chosen: Vec<(usize, BusReaction)> = choice_sets
+                .iter()
+                .zip(&combo)
+                .map(|((i, set), &c)| (*i, set[c]))
+                .collect();
+            outcomes.extend(self.run_txn_combo(line, master, kind, signals, retries, &chosen));
+
+            // Advance the odometer.
+            let mut k = 0;
+            loop {
+                if k == combo.len() {
+                    return outcomes;
+                }
+                combo[k] += 1;
+                if combo[k] < choice_sets[k].1.len() {
+                    break;
+                }
+                combo[k] = 0;
+                k += 1;
+            }
+        }
+    }
+
+    /// One fixed combination of snooper reactions: the BS/abort round, data
+    /// phase, and completion phase of `bus.rs::execute`.
+    fn run_txn_combo(
+        &mut self,
+        line: &LineView,
+        master: usize,
+        kind: &TxnKind,
+        signals: moesi::MasterSignals,
+        retries: u32,
+        chosen: &[(usize, BusReaction)],
+    ) -> Vec<TxnOutcome> {
+        let log: Vec<(usize, BusReaction)> = chosen.to_vec();
+
+        // ---- BS: abort, push, restart. ----
+        if chosen.iter().any(|(_, r)| r.busy.is_some()) {
+            if retries + 1 > self.max_retries {
+                return vec![TxnOutcome {
+                    line: line.clone(),
+                    ch_seen: false,
+                    data: None,
+                    log,
+                    error: Some(Defect::TooManyRetries),
+                }];
+            }
+            let mut pushed = line.clone();
+            for (i, r) in chosen {
+                if let Some(push) = r.busy {
+                    // prepare_push: the line goes to memory, the pusher
+                    // transitions to the push result.
+                    pushed.mem = pushed.mods[*i].val;
+                    pushed.mods[*i] = if push.result == LineState::Invalid {
+                        ModLine::EMPTY
+                    } else {
+                        ModLine {
+                            state: push.result,
+                            val: pushed.mods[*i].val,
+                        }
+                    };
+                }
+            }
+            // The master retries the identical transaction.
+            let mut out = Vec::new();
+            for mut retry in self.run_txn(&pushed, master, kind, signals, retries + 1) {
+                let mut full = log.clone();
+                full.extend(retry.log);
+                retry.log = full;
+                out.push(retry);
+            }
+            return out;
+        }
+
+        // ---- Unique intervener. ----
+        let interveners: Vec<usize> = chosen
+            .iter()
+            .filter(|(_, r)| r.di)
+            .map(|(i, _)| *i)
+            .collect();
+        if interveners.len() > 1 {
+            return vec![TxnOutcome {
+                line: line.clone(),
+                ch_seen: false,
+                data: None,
+                log,
+                error: Some(Defect::MultipleInterveners(interveners)),
+            }];
+        }
+        let intervener = interveners.first().copied();
+        let broadcast = signals.bc;
+        let mut next = line.clone();
+
+        // ---- Data phase. ----
+        let data = match kind {
+            TxnKind::Read => Some(match intervener {
+                Some(i) => next.mods[i].val, // intervention does NOT update memory
+                None => next.mem,
+            }),
+            TxnKind::Write(v) => {
+                if broadcast {
+                    next.mem = *v; // broadcast writes always reach memory
+                } else if intervener.is_some() {
+                    // the owner captures the write; memory is preempted
+                } else {
+                    next.mem = *v;
+                }
+                None
+            }
+            TxnKind::AddressOnly => None,
+        };
+
+        // ---- Completion phase. ----
+        let write_val = match kind {
+            TxnKind::Write(v) => Some(*v),
+            _ => None,
+        };
+        for (i, r) in chosen {
+            let ch_others = chosen.iter().any(|(j, other)| j != i && other.ch);
+            let delivers = write_val.is_some() && (r.sl || (r.di && !broadcast));
+            if let Some(v) = write_val {
+                if delivers {
+                    next.mods[*i].val = v;
+                }
+            }
+            let result = r.result.resolve(ch_others);
+            next.mods[*i] = if result == LineState::Invalid {
+                ModLine::EMPTY
+            } else {
+                ModLine {
+                    state: result,
+                    val: next.mods[*i].val,
+                }
+            };
+        }
+
+        vec![TxnOutcome {
+            line: next,
+            ch_seen: chosen.iter().any(|(_, r)| r.ch),
+            data,
+            log,
+            error: None,
+        }]
+    }
+}

@@ -1,0 +1,208 @@
+//! Exhaustive-verification acceptance tests: every shipped protocol and
+//! every protocol pair explores clean, and a deliberately corrupted table
+//! yields a counterexample the concrete simulator reproduces.
+
+use moesi::{BusEvent, BusReaction, CacheKind, LineState};
+use verify::{
+    class_compatible, explore, verify_class, verify_matrix, verify_pair, verify_protocol, Defect,
+    Limits, Machine, ModuleSpec, Shape, MATRIX_PROTOCOLS,
+};
+
+fn small() -> Shape {
+    Shape::default() // 1 line, 2 values
+}
+
+/// Every shipped protocol, homogeneous, 2 caches × 1 line × 2 values: the
+/// whole reachable space is clean.
+#[test]
+fn every_shipped_protocol_is_self_compatible() {
+    for name in MATRIX_PROTOCOLS {
+        let report = verify_protocol(name, 2, &small()).expect("known name");
+        assert!(report.verified(), "{name}: {report}");
+        assert!(report.explored > 1, "{name}: degenerate space ({report})");
+    }
+}
+
+/// The full pair-wise compatibility matrix (including the diagonal and the
+/// `full-table` class-at-large row): every pair verifies clean except the
+/// documented Write-Once × owner-capable clashes, which must fail — and fail
+/// with exactly the stale-memory defect the §4.3 adaptation leaves open.
+#[test]
+fn the_full_pairwise_matrix_matches_the_compatibility_claims() {
+    let rows = verify_matrix(&MATRIX_PROTOCOLS, &small());
+    let n = MATRIX_PROTOCOLS.len();
+    assert_eq!(rows.len(), n * (n + 1) / 2);
+    for (a, b, report) in rows {
+        if class_compatible(&a, &b) {
+            assert!(report.verified(), "{a} + {b}: {report}");
+        } else {
+            let cx = report.counterexample.as_ref().unwrap_or_else(|| {
+                panic!("{a} + {b}: expected the known incompatibility, got {report}")
+            });
+            assert!(
+                matches!(cx.defect, Defect::StaleMemory),
+                "{a} + {b}: {report}"
+            );
+        }
+    }
+}
+
+/// The known Write-Once incompatibility is not an artifact of the abstract
+/// machine: the minimal counterexample replays on the concrete simulator and
+/// trips the concrete checker the same way.
+#[test]
+fn the_write_once_incompatibility_reproduces_on_the_concrete_machine() {
+    let report = verify_pair("moesi", "write-once", &small()).expect("known names");
+    let cx = report.counterexample.expect("known incompatibility");
+    assert!(matches!(cx.defect, Defect::StaleMemory), "{}", cx.defect);
+    assert_eq!(cx.trace.steps.len(), 3, "minimal schedule:\n{}", cx.trace);
+
+    let outcome = mpsim::replay::replay(&cx.trace, false);
+    let (step, violation) = outcome.violation.expect("concrete machine agrees");
+    assert_eq!(step, 2, "violation at the last step:\n{}", cx.trace);
+    assert!(
+        matches!(violation, mpsim::Violation::StaleMemory { .. }),
+        "{violation}"
+    );
+    assert_eq!(outcome.script_underflows, 0);
+}
+
+/// Three caches branching over the entire permitted sets — the §3.4
+/// "extreme case" where every module may follow a different member protocol
+/// on every single transaction.
+#[test]
+fn three_full_table_caches_verify_clean() {
+    let report = verify_class(&[CacheKind::CopyBack; 3], &small());
+    assert!(report.verified(), "{report}");
+}
+
+/// Mixed client kinds on one bus: copy-back, write-through and non-caching,
+/// each over its full permitted set.
+#[test]
+fn mixed_kind_class_verifies_clean() {
+    let report = verify_class(
+        &[
+            CacheKind::CopyBack,
+            CacheKind::WriteThrough,
+            CacheKind::NonCaching,
+        ],
+        &small(),
+    );
+    assert!(report.verified(), "{report}");
+}
+
+/// Two lines double the per-line space independently (lines never interact),
+/// and the invariants hold on both.
+#[test]
+fn two_lines_verify_clean() {
+    let shape = Shape {
+        lines: 2,
+        ..Shape::default()
+    };
+    let one = verify_class(&[CacheKind::CopyBack; 2], &Shape::default());
+    let two = verify_class(&[CacheKind::CopyBack; 2], &shape);
+    assert!(two.verified(), "{two}");
+    assert!(
+        two.explored > one.explored,
+        "two lines must enlarge the space ({} vs {})",
+        two.explored,
+        one.explored
+    );
+}
+
+/// The state cap truncates the search rather than hanging.
+#[test]
+fn the_state_cap_truncates_cleanly() {
+    let shape = Shape {
+        limits: Limits { max_states: 5 },
+        ..Shape::default()
+    };
+    let report = verify_class(&[CacheKind::CopyBack; 2], &shape);
+    assert!(report.truncated);
+    assert!(!report.verified());
+    assert_eq!(report.explored, 5);
+    assert!(report.counterexample.is_none());
+}
+
+/// Corrupt Table 2 so a Shareable snooper *keeps its copy* through an
+/// invalidating transaction. The explorer must find a minimal counterexample,
+/// and the concrete simulator must reproduce the violation deterministically
+/// when replaying it.
+#[test]
+fn corrupted_invalidation_row_yields_a_replayable_counterexample() {
+    fn stubborn(state: LineState, event: BusEvent, raw: Vec<BusReaction>) -> Vec<BusReaction> {
+        if state == LineState::Shareable && event == BusEvent::CacheReadInvalidate {
+            vec![BusReaction::hit(LineState::Shareable)]
+        } else {
+            raw
+        }
+    }
+
+    let specs = vec![
+        ModuleSpec::full_table(CacheKind::CopyBack),
+        ModuleSpec::full_table(CacheKind::CopyBack),
+    ];
+    let mut machine = Machine::new(specs, 1, 2);
+    machine.bus_override = Some(stubborn);
+    let report = explore(&mut machine, &Limits::default());
+
+    let cx = report
+        .counterexample
+        .expect("the corruption must be caught");
+    assert!(
+        cx.trace.steps.len() <= 3,
+        "BFS promises a minimal schedule, got {} steps:\n{}",
+        cx.trace.steps.len(),
+        cx.trace
+    );
+
+    // The concrete machine reproduces it, step for step, run after run.
+    let first = mpsim::replay::replay(&cx.trace, true);
+    assert!(
+        first.reproduced(),
+        "concrete replay missed: {}\n{}",
+        cx.defect,
+        cx.trace
+    );
+    assert_eq!(
+        first.script_underflows, 0,
+        "trace/machine decision mismatch"
+    );
+    let second = mpsim::replay::replay(&cx.trace, true);
+    assert_eq!(
+        first.violation.as_ref().map(|(s, _)| *s),
+        second.violation.as_ref().map(|(s, _)| *s),
+        "replay must be deterministic"
+    );
+}
+
+/// A corrupted *local* row: silent writes from Shareable (skipping the
+/// invalidate) leave stale copies elsewhere; the explorer catches it.
+#[test]
+fn corrupted_local_row_is_caught() {
+    fn silent_shared_write(
+        state: LineState,
+        event: moesi::LocalEvent,
+        _kind: CacheKind,
+        raw: Vec<moesi::LocalAction>,
+    ) -> Vec<moesi::LocalAction> {
+        if state == LineState::Shareable && event == moesi::LocalEvent::Write {
+            vec![moesi::LocalAction::silent(LineState::Modified)]
+        } else {
+            raw
+        }
+    }
+
+    let specs = vec![
+        ModuleSpec::full_table(CacheKind::CopyBack),
+        ModuleSpec::full_table(CacheKind::CopyBack),
+    ];
+    let mut machine = Machine::new(specs, 1, 2);
+    machine.local_override = Some(silent_shared_write);
+    let report = explore(&mut machine, &Limits::default());
+    let cx = report
+        .counterexample
+        .expect("silent shared write must be caught");
+    let replayed = mpsim::replay::replay(&cx.trace, true);
+    assert!(replayed.reproduced(), "{}\n{}", cx.defect, cx.trace);
+}

@@ -64,7 +64,10 @@ fn main() {
         );
         last = vec![none.refs_per_us(), wt.refs_per_us(), cb.refs_per_us()];
     }
-    println!("\nAt 16 processors the cacheless machine moves {:.1}x fewer references than", last[2] / last[0]);
+    println!(
+        "\nAt 16 processors the cacheless machine moves {:.1}x fewer references than",
+        last[2] / last[0]
+    );
     println!("the MOESI machine: its bus saturated almost immediately, while copy-back");
     println!("caches satisfy most references locally (\"the cache also cuts the memory");
     println!("bandwidth requirement, since most references are satisfied locally with");

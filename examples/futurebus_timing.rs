@@ -23,7 +23,10 @@ fn main() {
             _ => println!("  module {m} releases -> {ai}   (line rises cleanly)"),
         }
     }
-    println!("  glitches absorbed by the inertial filter: {}\n", ai.glitch_count());
+    println!(
+        "  glitches absorbed by the inertial filter: {}\n",
+        ai.glitch_count()
+    );
 
     println!("— Figure 2: one broadcast address cycle, timestamped —\n");
     let sim = HandshakeSim::new(TimingConfig::default());
@@ -49,6 +52,9 @@ fn main() {
     println!("  simply holds AI* a little longer:");
     for slow in [50u64, 100, 200, 400] {
         let t = sim.run(&[20, 20, slow]);
-        println!("    slowest board {slow:>3} ns -> cycle {:>3} ns", t.duration);
+        println!(
+            "    slowest board {slow:>3} ns -> cycle {:>3} ns",
+            t.duration
+        );
     }
 }

@@ -7,8 +7,8 @@
 
 use cache_array::{CacheConfig, ReplacementKind};
 use moesi::protocols::{
-    Berkeley, Dragon, MoesiInvalidating, MoesiPreferred, NonCaching, PuzakRefinement,
-    RandomPolicy, WriteThrough,
+    Berkeley, Dragon, MoesiInvalidating, MoesiPreferred, NonCaching, PuzakRefinement, RandomPolicy,
+    WriteThrough,
 };
 use moesi::CacheKind;
 use mpsim::workload::{DuboisBriggs, SharingModel};
@@ -54,8 +54,10 @@ fn main() {
     sys.run(&mut streams, steps as u64);
     sys.verify().expect("the class is compatible");
 
-    println!("{:<22} {:>8} {:>8} {:>9} {:>9} {:>9} {:>8}",
-        "node", "refs", "hit%", "bus txns", "inv-recv", "upd-recv", "interv");
+    println!(
+        "{:<22} {:>8} {:>8} {:>9} {:>9} {:>9} {:>8}",
+        "node", "refs", "hit%", "bus txns", "inv-recv", "upd-recv", "interv"
+    );
     for cpu in 0..sys.nodes() {
         let s = sys.stats(cpu);
         println!(

@@ -46,7 +46,10 @@ fn streams(kind: &str) -> Vec<Box<dyn RefStream + Send>> {
                 "read-mostly" => Box::new(ReadMostly::new(cpu, 0, 16, LINE as u64, 8)),
                 _ => Box::new(DuboisBriggs::new(
                     cpu,
-                    SharingModel { line_size: LINE as u64, ..SharingModel::default() },
+                    SharingModel {
+                        line_size: LINE as u64,
+                        ..SharingModel::default()
+                    },
                     7,
                 )),
             }

@@ -27,23 +27,38 @@ fn main() {
     println!("initially:                         {}", states(&sys, addr));
 
     sys.read(0, addr, 4);
-    println!("cpu0 reads  (miss, no sharers):    {}   <- Exclusive", states(&sys, addr));
+    println!(
+        "cpu0 reads  (miss, no sharers):    {}   <- Exclusive",
+        states(&sys, addr)
+    );
     assert_eq!(sys.state_of(0, addr), LineState::Exclusive);
 
     sys.write(0, addr, &[1, 2, 3, 4]);
-    println!("cpu0 writes (silent upgrade):      {}   <- Modified, no bus traffic", states(&sys, addr));
+    println!(
+        "cpu0 writes (silent upgrade):      {}   <- Modified, no bus traffic",
+        states(&sys, addr)
+    );
     assert_eq!(sys.state_of(0, addr), LineState::Modified);
 
     let v = sys.read(1, addr, 4);
-    println!("cpu1 reads  (cpu0 intervenes):     {}   <- Owned supplies the data {v:?}", states(&sys, addr));
+    println!(
+        "cpu1 reads  (cpu0 intervenes):     {}   <- Owned supplies the data {v:?}",
+        states(&sys, addr)
+    );
     assert_eq!(sys.state_of(0, addr), LineState::Owned);
     assert_eq!(sys.state_of(1, addr), LineState::Shareable);
 
     sys.write(1, addr, &[5, 6, 7, 8]);
-    println!("cpu1 writes (broadcast update):    {}   <- ownership moves", states(&sys, addr));
+    println!(
+        "cpu1 writes (broadcast update):    {}   <- ownership moves",
+        states(&sys, addr)
+    );
 
     let v = sys.read(0, addr, 4);
-    println!("cpu0 reads  (updated copy, hit):   {}   value {v:?}", states(&sys, addr));
+    println!(
+        "cpu0 reads  (updated copy, hit):   {}   value {v:?}",
+        states(&sys, addr)
+    );
     assert_eq!(v, vec![5, 6, 7, 8]);
 
     sys.flush(1, addr);

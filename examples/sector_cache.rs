@@ -16,7 +16,11 @@ fn main() {
     println!("A read miss loads just one subsector of a sector:");
     assert_eq!(cache.probe(0x100), SectorProbe::SectorMiss);
     cache.install(0x100, LineState::Exclusive);
-    println!("  0x100 -> {:?}, state {:?}", cache.probe(0x100), cache.state_of(0x100));
+    println!(
+        "  0x100 -> {:?}, state {:?}",
+        cache.probe(0x100),
+        cache.state_of(0x100)
+    );
     println!(
         "  0x110 (same sector, next subsector) -> {:?}  <- only the subsector misses",
         cache.probe(0x110)
@@ -33,7 +37,10 @@ fn main() {
     println!("  0x100 -> {:?} (still valid)", cache.probe(0x100));
     println!("  0x110 -> {:?}", cache.probe(0x110));
     println!("  0x120 -> {:?} (still valid)", cache.probe(0x120));
-    println!("  valid subsectors remaining: {}\n", cache.valid_subsectors());
+    println!(
+        "  valid subsectors remaining: {}\n",
+        cache.valid_subsectors()
+    );
 
     println!("The line-crosser rule (§5.1) applies at subsector granularity too:");
     let pieces = cache_array::split_line_crossers(0x10C, 8, cache.subsector_size());

@@ -32,7 +32,10 @@ fn main() {
         }
     }
     let total = u32::from_le_bytes(sys.read(0, COUNTER, 4).try_into().unwrap());
-    println!("  final counter: {total} (expected {})", ROUNDS * cpus as u32);
+    println!(
+        "  final counter: {total} (expected {})",
+        ROUNDS * cpus as u32
+    );
     assert_eq!(total, ROUNDS * cpus as u32);
 
     println!("\n— test-and-set spinlock guarding a critical section —\n");
@@ -54,7 +57,10 @@ fn main() {
     }
     let total2 = u32::from_le_bytes(sys.read(1, COUNTER, 4).try_into().unwrap());
     println!("  lock acquisitions per board: {acquisitions:?}");
-    println!("  final counter: {total2} (expected {})", ROUNDS * cpus as u32 + 200);
+    println!(
+        "  final counter: {total2} (expected {})",
+        ROUNDS * cpus as u32 + 200
+    );
     assert_eq!(total2, ROUNDS * cpus as u32 + 200);
 
     println!("\n— what the coherence traffic looked like —\n");

@@ -11,7 +11,15 @@ use mpsim::workload::{DuboisBriggs, SharingModel};
 use mpsim::{RefStream, SystemBuilder};
 
 fn main() {
-    for name in ["moesi", "berkeley", "dragon", "write-once", "illinois", "firefly", "synapse"] {
+    for name in [
+        "moesi",
+        "berkeley",
+        "dragon",
+        "write-once",
+        "illinois",
+        "firefly",
+        "synapse",
+    ] {
         let mut p = by_name(name, 0).expect("known protocol");
         println!("// ---- {} ----", p.name());
         print!("{}", dot::render(p.as_mut()));
@@ -37,6 +45,9 @@ fn main() {
         println!("// cpu{cpu}: {}", sys.state_census(cpu));
     }
     let total = sys.total_state_census();
-    println!("// total: {total}  ({} lines owned system-wide)", total.owned());
+    println!(
+        "// total: {total}  ({} lines owned system-wide)",
+        total.owned()
+    );
     sys.verify().expect("consistent");
 }

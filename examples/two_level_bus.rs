@@ -38,14 +38,29 @@ fn main() {
     let mut sys = build_hierarchy();
     let addr = 0x4000;
     sys.write(0, 0, addr, &[42; 4]);
-    println!("cluster0/cpu0 writes: cluster states = {}",
-        (0..CLUSTERS).map(|c| sys.cluster_state_of(c, addr).to_string()).collect::<Vec<_>>().join(" "));
+    println!(
+        "cluster0/cpu0 writes: cluster states = {}",
+        (0..CLUSTERS)
+            .map(|c| sys.cluster_state_of(c, addr).to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
     let v = sys.read(2, 1, addr, 4);
-    println!("cluster2/cpu1 reads {v:?}: cluster states = {}",
-        (0..CLUSTERS).map(|c| sys.cluster_state_of(c, addr).to_string()).collect::<Vec<_>>().join(" "));
+    println!(
+        "cluster2/cpu1 reads {v:?}: cluster states = {}",
+        (0..CLUSTERS)
+            .map(|c| sys.cluster_state_of(c, addr).to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
     sys.write(2, 0, addr, &[43; 4]);
-    println!("cluster2/cpu0 writes: cluster states = {}",
-        (0..CLUSTERS).map(|c| sys.cluster_state_of(c, addr).to_string()).collect::<Vec<_>>().join(" "));
+    println!(
+        "cluster2/cpu0 writes: cluster states = {}",
+        (0..CLUSTERS)
+            .map(|c| sys.cluster_state_of(c, addr).to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
     println!("  (the whole cluster behaves as one MOESI cache on the parent bus)\n");
 
     println!("— Bandwidth: flat single bus vs two-level hierarchy —\n");
@@ -80,7 +95,9 @@ fn main() {
     let mut hier_streams: Vec<Vec<Box<dyn RefStream + Send>>> = (0..CLUSTERS)
         .map(|cluster| {
             (0..CPUS_PER_CLUSTER)
-                .map(|_| Box::new(DuboisBriggs::new(cluster, model, 5)) as Box<dyn RefStream + Send>)
+                .map(|_| {
+                    Box::new(DuboisBriggs::new(cluster, model, 5)) as Box<dyn RefStream + Send>
+                })
                 .collect()
         })
         .collect();

@@ -4,9 +4,12 @@
 //! moesi-sim --protocol moesi,dragon,write-through --workload ping-pong --steps 2000 --check
 //! moesi-sim --cpus 8 --workload general --census --trace 10
 //! moesi-sim --trace-file trace.txt --protocol berkeley --check
+//! moesi-sim verify --protocol moesi --caches 3
+//! moesi-sim verify --matrix
 //! ```
 //!
-//! Run `moesi-sim --help` for the full option list.
+//! Run `moesi-sim --help` (or `moesi-sim verify --help`) for the full option
+//! list.
 
 use cache_array::{CacheConfig, ReplacementKind};
 use moesi::protocols::by_name;
@@ -21,6 +24,10 @@ moesi-sim: simulate MOESI-class cache consistency protocols on a Futurebus
 
 USAGE:
     moesi-sim [OPTIONS]
+
+SUBCOMMANDS:
+    verify            exhaustively model-check small configurations
+                      (see `moesi-sim verify --help`)
 
 OPTIONS:
     --protocol LIST   comma-separated per-node protocols (repeating the last
@@ -111,8 +118,12 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
                 let (c, n) = spec
                     .split_once(['x', 'X'])
                     .ok_or_else(|| "--clusters expects CxN, e.g. 4x2".to_string())?;
-                let c: usize = c.parse().map_err(|_| "--clusters expects CxN".to_string())?;
-                let n: usize = n.parse().map_err(|_| "--clusters expects CxN".to_string())?;
+                let c: usize = c
+                    .parse()
+                    .map_err(|_| "--clusters expects CxN".to_string())?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| "--clusters expects CxN".to_string())?;
                 if c == 0 || n == 0 {
                     return Err("--clusters dimensions must be at least 1".to_string());
                 }
@@ -191,7 +202,10 @@ fn build_streams(cfg: &Config) -> Result<Vec<Box<dyn RefStream + Send>>, String>
             Ok(match cfg.workload.as_str() {
                 "general" => Box::new(DuboisBriggs::new(
                     cpu,
-                    SharingModel { line_size: line, ..SharingModel::default() },
+                    SharingModel {
+                        line_size: line,
+                        ..SharingModel::default()
+                    },
                     cfg.seed,
                 )),
                 "ping-pong" => Box::new(PingPong::new(cpu, 0, line)),
@@ -244,7 +258,8 @@ fn run_hierarchy(cfg: &Config, clusters: usize, per_cluster: usize) -> Result<()
     }
     sys.run(&mut streams, cfg.steps);
     if cfg.check {
-        sys.verify().map_err(|v| format!("consistency violation: {v}"))?;
+        sys.verify()
+            .map_err(|v| format!("consistency violation: {v}"))?;
     }
     println!(
         "{clusters} clusters x {per_cluster} nodes x {} steps, workload `{}`{}\n",
@@ -289,7 +304,8 @@ fn run(cfg: &Config) -> Result<(), String> {
     let mut streams = build_streams(cfg)?;
     sys.run(&mut streams, cfg.steps);
     if cfg.check {
-        sys.verify().map_err(|v| format!("consistency violation: {v}"))?;
+        sys.verify()
+            .map_err(|v| format!("consistency violation: {v}"))?;
     }
 
     println!(
@@ -323,7 +339,11 @@ fn run(cfg: &Config) -> Result<(), String> {
     if cfg.census {
         println!("\nMOESI state census:");
         for cpu in 0..sys.nodes() {
-            println!("  {:<24} {}", sys.controller(cpu).name(), sys.state_census(cpu));
+            println!(
+                "  {:<24} {}",
+                sys.controller(cpu).name(),
+                sys.state_census(cpu)
+            );
         }
     }
     if cfg.trace > 0 {
@@ -335,8 +355,217 @@ fn run(cfg: &Config) -> Result<(), String> {
     Ok(())
 }
 
+const VERIFY_USAGE: &str = "\
+moesi-sim verify: exhaustively model-check small configurations
+
+Explores EVERY reachable global state of an abstract machine where each
+module branches over every permitted Table 1/2 entry (or over one concrete
+protocol's choices), checking the five shared-image invariants at every
+state. A clean run is a proof over the modelled configuration; a violation
+prints a minimal counterexample schedule that the concrete simulator
+replays deterministically.
+
+USAGE:
+    moesi-sim verify [OPTIONS]
+
+OPTIONS:
+    --protocol LIST   comma-separated protocol mix, one module per entry
+                      (a single name is replicated to --caches). Accepts the
+                      simulator names plus full-table / full-table-wt /
+                      full-table-nc (branch over the whole permitted set of
+                      that client kind). [default: full-table]
+    --caches N        modules for a single-name mix [default: 2]
+    --lines N         lines modelled [default: 1]
+    --values N        write-value domain size [default: 2]
+    --max-states N    truncate after N distinct states (0 = unbounded)
+    --matrix          verify every protocol pair instead, printing one row
+                      per pair; exits nonzero if any result contradicts the
+                      documented compatibility claims
+    --help            print this help
+";
+
+#[derive(Clone, Debug, PartialEq)]
+struct VerifyConfig {
+    protocols: Vec<String>,
+    caches: usize,
+    lines: usize,
+    values: u8,
+    max_states: Option<usize>,
+    matrix: bool,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            protocols: vec!["full-table".to_string()],
+            caches: 2,
+            lines: 1,
+            values: 2,
+            max_states: None,
+            matrix: false,
+        }
+    }
+}
+
+fn parse_verify_args(args: &[String]) -> Result<VerifyConfig, String> {
+    let mut cfg = VerifyConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--protocol" => {
+                cfg.protocols = value("--protocol")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if cfg.protocols.is_empty() {
+                    return Err("--protocol list is empty".to_string());
+                }
+            }
+            "--caches" => {
+                cfg.caches = value("--caches")?
+                    .parse()
+                    .map_err(|_| "--caches expects a number".to_string())?;
+                if cfg.caches == 0 {
+                    return Err("--caches must be at least 1".to_string());
+                }
+            }
+            "--lines" => {
+                cfg.lines = value("--lines")?
+                    .parse()
+                    .map_err(|_| "--lines expects a number".to_string())?;
+                if cfg.lines == 0 {
+                    return Err("--lines must be at least 1".to_string());
+                }
+            }
+            "--values" => {
+                cfg.values = value("--values")?
+                    .parse()
+                    .map_err(|_| "--values expects a number".to_string())?;
+                if cfg.values == 0 {
+                    return Err("--values must be at least 1".to_string());
+                }
+            }
+            "--max-states" => {
+                cfg.max_states = Some(
+                    value("--max-states")?
+                        .parse()
+                        .map_err(|_| "--max-states expects a number".to_string())?,
+                );
+            }
+            "--matrix" => cfg.matrix = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn verify_shape(cfg: &VerifyConfig) -> verify::Shape {
+    let mut shape = verify::Shape {
+        lines: cfg.lines,
+        values: cfg.values,
+        ..verify::Shape::default()
+    };
+    if let Some(max) = cfg.max_states {
+        shape.limits.max_states = max;
+    }
+    shape
+}
+
+fn run_verify_matrix(shape: &verify::Shape) -> Result<(), String> {
+    println!(
+        "pair-wise compatibility matrix: 2 modules x {} line(s) x {} values\n",
+        shape.lines, shape.values
+    );
+    let mut surprises = 0usize;
+    for (a, b, report) in verify::verify_matrix(&verify::MATRIX_PROTOCOLS, shape) {
+        let expected_clean = verify::class_compatible(&a, &b);
+        let (tag, detail) = match (&report.counterexample, expected_clean) {
+            (None, true) => ("ok", format!("{} states", report.explored)),
+            (Some(cx), false) => ("incompatible (expected)", cx.defect.to_string()),
+            (None, false) => {
+                surprises += 1;
+                ("UNEXPECTEDLY CLEAN", format!("{} states", report.explored))
+            }
+            (Some(cx), true) => {
+                surprises += 1;
+                ("VIOLATION", format!("{}\n{}", cx.defect, cx.trace))
+            }
+        };
+        println!("{a:>20} + {b:<20} {tag:<24} {detail}");
+    }
+    if surprises > 0 {
+        return Err(format!(
+            "{surprises} pair(s) contradict the documented compatibility claims"
+        ));
+    }
+    println!("\nall pairs match the documented compatibility claims");
+    Ok(())
+}
+
+fn run_verify(cfg: &VerifyConfig) -> Result<(), String> {
+    let shape = verify_shape(cfg);
+    if cfg.matrix {
+        return run_verify_matrix(&shape);
+    }
+    let names: Vec<&str> = if cfg.protocols.len() == 1 {
+        vec![cfg.protocols[0].as_str(); cfg.caches]
+    } else {
+        cfg.protocols.iter().map(String::as_str).collect()
+    };
+    println!(
+        "exhaustive exploration: [{}] x {} line(s) x {} values",
+        names.join(", "),
+        shape.lines,
+        shape.values
+    );
+    let report = verify::verify_mix(&names, &shape)
+        .ok_or_else(|| format!("unknown protocol in `{}`", cfg.protocols.join(",")))?;
+    println!("{report}");
+    match &report.counterexample {
+        None if report.truncated => Err(format!(
+            "state cap hit after {} states; raise --max-states for a full proof",
+            report.explored
+        )),
+        None => Ok(()),
+        Some(cx) => {
+            let outcome = mpsim::replay::replay(&cx.trace, false);
+            match &outcome.violation {
+                Some((step, violation)) => {
+                    println!("concrete replay reproduces it at step {step}: {violation}")
+                }
+                None => println!("concrete replay did NOT reproduce it (abstraction gap?)"),
+            }
+            Err(format!("invariant violated: {}", cx.defect))
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("verify") {
+        return match parse_verify_args(&args[1..]) {
+            Ok(cfg) => match run_verify(&cfg) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(msg) if msg.is_empty() => {
+                print!("{VERIFY_USAGE}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{VERIFY_USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
     match parse_args(&args) {
         Ok(cfg) => match run(&cfg) {
             Ok(()) => ExitCode::SUCCESS,
@@ -390,11 +619,22 @@ mod tests {
 
     #[test]
     fn errors_are_descriptive() {
-        assert!(parse_args(&args("--bogus")).unwrap_err().contains("unknown option"));
-        assert!(parse_args(&args("--cpus")).unwrap_err().contains("needs a value"));
-        assert!(parse_args(&args("--cpus zero")).unwrap_err().contains("expects a number"));
-        assert!(parse_args(&args("--cpus 0")).unwrap_err().contains("at least 1"));
-        assert!(parse_args(&args("--help")).unwrap_err().is_empty(), "help sentinel");
+        assert!(parse_args(&args("--bogus"))
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(parse_args(&args("--cpus"))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse_args(&args("--cpus zero"))
+            .unwrap_err()
+            .contains("expects a number"));
+        assert!(parse_args(&args("--cpus 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(
+            parse_args(&args("--help")).unwrap_err().is_empty(),
+            "help sentinel"
+        );
     }
 
     #[test]
@@ -437,8 +677,12 @@ mod tests {
     fn clusters_spec_parses_and_validates() {
         let cfg = parse_args(&args("--clusters 4x2")).expect("valid");
         assert_eq!(cfg.clusters, Some((4, 2)));
-        assert!(parse_args(&args("--clusters 4")).unwrap_err().contains("CxN"));
-        assert!(parse_args(&args("--clusters 0x2")).unwrap_err().contains("at least 1"));
+        assert!(parse_args(&args("--clusters 4"))
+            .unwrap_err()
+            .contains("CxN"));
+        assert!(parse_args(&args("--clusters 0x2"))
+            .unwrap_err()
+            .contains("at least 1"));
     }
 
     #[test]
@@ -459,5 +703,76 @@ mod tests {
             ..Config::default()
         };
         assert!(run(&cfg).unwrap_err().contains("unknown workload"));
+    }
+
+    #[test]
+    fn verify_defaults_and_full_option_set_parse() {
+        assert_eq!(
+            parse_verify_args(&[]).expect("empty"),
+            VerifyConfig::default()
+        );
+        let cfg = parse_verify_args(&args(
+            "--protocol moesi,dragon --lines 2 --values 3 --max-states 500",
+        ))
+        .expect("valid");
+        assert_eq!(cfg.protocols, vec!["moesi", "dragon"]);
+        assert_eq!((cfg.lines, cfg.values), (2, 3));
+        assert_eq!(cfg.max_states, Some(500));
+        assert!(parse_verify_args(&args("--help")).unwrap_err().is_empty());
+        assert!(parse_verify_args(&args("--bogus"))
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(parse_verify_args(&args("--values 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+    }
+
+    #[test]
+    fn verify_smoke_runs() {
+        // Homogeneous per-protocol mode.
+        run_verify(&VerifyConfig {
+            protocols: vec!["moesi".to_string()],
+            ..VerifyConfig::default()
+        })
+        .expect("moesi pair verifies");
+        // Mixed mode with an explicit list.
+        run_verify(&VerifyConfig {
+            protocols: vec!["dragon".to_string(), "write-through".to_string()],
+            ..VerifyConfig::default()
+        })
+        .expect("mixed pair verifies");
+        // Unknown names are reported.
+        let err = run_verify(&VerifyConfig {
+            protocols: vec!["mesif".to_string()],
+            ..VerifyConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown protocol"));
+        // A state cap that bites is an error, not a silent pass.
+        let err = run_verify(&VerifyConfig {
+            max_states: Some(3),
+            ..VerifyConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("state cap"), "{err}");
+    }
+
+    #[test]
+    fn verify_detects_the_write_once_clash() {
+        let err = run_verify(&VerifyConfig {
+            protocols: vec!["moesi".to_string(), "write-once".to_string()],
+            ..VerifyConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("invariant violated"), "{err}");
+    }
+
+    #[test]
+    fn verify_matrix_matches_the_claims() {
+        run_verify(&VerifyConfig {
+            matrix: true,
+            ..VerifyConfig::default()
+        })
+        .expect("matrix matches documented compatibility");
     }
 }

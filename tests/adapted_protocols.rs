@@ -33,7 +33,8 @@ fn drive(sys: &mut System, steps: u64, seed: u64) {
         .map(|cpu| Box::new(DuboisBriggs::new(cpu, model, seed)) as _)
         .collect();
     sys.run(&mut streams, steps);
-    sys.verify().expect("homogeneous adapted system must be consistent");
+    sys.verify()
+        .expect("homogeneous adapted system must be consistent");
 }
 
 #[test]
@@ -96,7 +97,11 @@ fn firefly_shared_write_stays_clean() {
     sys.read(0, 0x100, 4);
     sys.read(1, 0x100, 4);
     sys.write(0, 0x100, &[6; 4]); // broadcast; memory updated too
-    assert_eq!(sys.state_of(0, 0x100), Shareable, "CH seen, stays shared-clean");
+    assert_eq!(
+        sys.state_of(0, 0x100),
+        Shareable,
+        "CH seen, stays shared-clean"
+    );
     assert_eq!(sys.state_of(1, 0x100), Shareable);
     assert_eq!(sys.read(1, 0x100, 4), vec![6; 4]);
     // Both copies and memory agree: flushing both is silent.

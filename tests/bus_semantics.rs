@@ -2,7 +2,7 @@
 //! protocol adaptations hinge on (§2, §4).
 
 use cache_array::{CacheConfig, ReplacementKind};
-use futurebus::{BROADCAST_PENALTY_NS, TimingConfig};
+use futurebus::{TimingConfig, BROADCAST_PENALTY_NS};
 use moesi::protocols::{MoesiInvalidating, MoesiPreferred, NonCaching, WriteThrough};
 use mpsim::{System, SystemBuilder};
 
@@ -55,7 +55,11 @@ fn broadcast_write_updates_memory_and_third_parties() {
     let sl = sys.bus_stats().sl_updates;
     sys.write(0, 0x100, &[9; 4]); // broadcast
     assert_eq!(sys.bus_stats().memory_writes, mem_w + 1);
-    assert_eq!(sys.bus_stats().sl_updates, sl + 2, "both third parties connect");
+    assert_eq!(
+        sys.bus_stats().sl_updates,
+        sl + 2,
+        "both third parties connect"
+    );
     assert_eq!(sys.stats(1).updates_received, 1);
     assert_eq!(sys.stats(2).updates_received, 1);
 }
@@ -142,7 +146,11 @@ fn timing_config_scales_simulated_time_not_behaviour() {
             .cache(Box::new(MoesiPreferred::new()), cfg())
             .build();
         for i in 0..20u32 {
-            sys.write((i % 2) as usize, 0x100 + u64::from(i % 4) * 32, &i.to_le_bytes());
+            sys.write(
+                (i % 2) as usize,
+                0x100 + u64::from(i % 4) * 32,
+                &i.to_le_bytes(),
+            );
             let _ = sys.read(((i + 1) % 2) as usize, 0x100 + u64::from(i % 4) * 32, 4);
         }
         (sys.bus_stats().transactions, sys.bus_stats().busy_ns)
@@ -150,7 +158,10 @@ fn timing_config_scales_simulated_time_not_behaviour() {
     let (txns_fast, ns_fast) = run(fast);
     let (txns_slow, ns_slow) = run(slow);
     assert_eq!(txns_fast, txns_slow, "timing must not change behaviour");
-    assert!(ns_slow > ns_fast * 3, "slow memory must show up in the clock");
+    assert!(
+        ns_slow > ns_fast * 3,
+        "slow memory must show up in the clock"
+    );
 }
 
 #[test]

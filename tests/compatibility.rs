@@ -4,8 +4,8 @@
 
 use cache_array::{CacheConfig, ReplacementKind};
 use moesi::protocols::{
-    Berkeley, Dragon, MoesiInvalidating, MoesiPreferred, NonCaching, PuzakRefinement,
-    RandomPolicy, WriteThrough,
+    Berkeley, Dragon, MoesiInvalidating, MoesiPreferred, NonCaching, PuzakRefinement, RandomPolicy,
+    WriteThrough,
 };
 use moesi::{CacheKind, Protocol};
 use mpsim::workload::{DuboisBriggs, SharingModel};
@@ -36,7 +36,11 @@ fn mixed_system(members: &[usize], seed: u64) -> System {
     let mut b = SystemBuilder::new(LINE).checking(true).seed(seed);
     for (slot, &i) in members.iter().enumerate() {
         let (p, caching) = class_member(i, seed.wrapping_add(slot as u64));
-        b = if caching { b.cache(p, cfg()) } else { b.uncached(p) };
+        b = if caching {
+            b.cache(p, cfg())
+        } else {
+            b.uncached(p)
+        };
     }
     b.build()
 }
@@ -82,7 +86,10 @@ fn all_random_policies_is_consistent() {
     // The extreme of the extreme case: every cache rolls dice on every event.
     let mut b = SystemBuilder::new(LINE).checking(true);
     for i in 0..5u64 {
-        b = b.cache(Box::new(RandomPolicy::new(CacheKind::CopyBack, 100 + i)), cfg());
+        b = b.cache(
+            Box::new(RandomPolicy::new(CacheKind::CopyBack, 100 + i)),
+            cfg(),
+        );
     }
     let mut sys = b.build();
     for seed in 0..3 {
@@ -95,7 +102,10 @@ fn random_write_through_and_non_caching_randoms_mix() {
     let mut sys = SystemBuilder::new(LINE)
         .checking(true)
         .cache(Box::new(RandomPolicy::new(CacheKind::CopyBack, 1)), cfg())
-        .cache(Box::new(RandomPolicy::new(CacheKind::WriteThrough, 2)), cfg())
+        .cache(
+            Box::new(RandomPolicy::new(CacheKind::WriteThrough, 2)),
+            cfg(),
+        )
         .uncached(Box::new(RandomPolicy::new(CacheKind::NonCaching, 3)))
         .cache(Box::new(MoesiPreferred::new()), cfg())
         .build();
@@ -111,7 +121,11 @@ fn sequential_writes_are_observed_in_order_by_every_node() {
         sys.write(writer, addr, &round.to_le_bytes());
         for reader in 0..sys.nodes() {
             let got = sys.read(reader, addr, 4);
-            assert_eq!(got, round.to_le_bytes().to_vec(), "round {round}, reader {reader}");
+            assert_eq!(
+                got,
+                round.to_le_bytes().to_vec(),
+                "round {round}, reader {reader}"
+            );
         }
     }
 }

@@ -104,7 +104,10 @@ fn trace_records_the_transaction_stream() {
     let rendered = sys.trace().render();
     assert!(rendered.contains("READ"));
     assert!(rendered.contains("WRITE"));
-    assert!(rendered.contains("CA,IM,BC"), "broadcast signals visible:\n{rendered}");
+    assert!(
+        rendered.contains("CA,IM,BC"),
+        "broadcast signals visible:\n{rendered}"
+    );
     // The second read was served by cpu0's cache.
     let second = sys.trace().records().nth(1).unwrap();
     assert_eq!(second.source, futurebus::DataSource::Intervention(0));
@@ -135,7 +138,10 @@ fn trace_captures_bs_pushes() {
 #[test]
 fn long_run_with_commands_interleaved_stays_consistent() {
     let mut sys = sys(4);
-    let model = SharingModel { line_size: LINE as u64, ..SharingModel::default() };
+    let model = SharingModel {
+        line_size: LINE as u64,
+        ..SharingModel::default()
+    };
     for round in 0..10 {
         let mut streams: Vec<Box<dyn RefStream + Send>> = (0..4)
             .map(|cpu| Box::new(DuboisBriggs::new(cpu, model, round)) as _)

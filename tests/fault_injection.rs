@@ -85,10 +85,7 @@ fn ignoring_invalidations_is_caught() {
         let mut sys = SystemBuilder::new(LINE)
             .checking(true)
             .cache(Box::new(broken), cfg())
-            .cache(
-                Box::new(moesi::protocols::MoesiInvalidating::new()),
-                cfg(),
-            )
+            .cache(Box::new(moesi::protocols::MoesiInvalidating::new()), cfg())
             .build();
         sys.read(0, 0x100, 4); // broken board caches the line
         sys.write(1, 0x100, &[9; 4]); // RWITM; broken board keeps its copy
@@ -127,7 +124,10 @@ fn claiming_exclusivity_next_to_a_sharer_is_caught() {
         sys.read(0, 0x100, 4); // honest board holds the line
         sys.read(1, 0x100, 4); // broken board claims E next to it
     }));
-    assert!(msg.contains("exclusivity") || msg.contains("claims"), "wrong violation: {msg}");
+    assert!(
+        msg.contains("exclusivity") || msg.contains("claims"),
+        "wrong violation: {msg}"
+    );
 }
 
 #[test]
@@ -158,7 +158,10 @@ fn double_ownership_is_caught() {
         sys.write(0, 0x100, &[1; 4]); // cpu0: M
         sys.read(1, 0x100, 4); // cpu0 -> O (intervenes); broken claims O too
     }));
-    assert!(msg.contains("multiple") || msg.contains("owned by"), "wrong violation: {msg}");
+    assert!(
+        msg.contains("multiple") || msg.contains("owned by"),
+        "wrong violation: {msg}"
+    );
 }
 
 #[test]
@@ -183,7 +186,10 @@ fn dropping_dirty_data_is_caught_as_stale_memory() {
         sys.write(0, 0x100, &[7; 4]);
         sys.flush(0, 0x100); // drops the only copy of the data
     }));
-    assert!(msg.contains("memory is stale") || msg.contains("unowned"), "wrong violation: {msg}");
+    assert!(
+        msg.contains("memory is stale") || msg.contains("unowned"),
+        "wrong violation: {msg}"
+    );
 }
 
 #[test]
@@ -207,10 +213,7 @@ fn refusing_to_update_on_a_connected_broadcast_is_caught() {
             let r = self.inner.on_bus(s, e, c);
             if e == BusEvent::CacheBroadcastWrite && s == LineState::Shareable {
                 // Keep the copy but do not connect: the data silently rots.
-                BusReaction {
-                    sl: false,
-                    ..r
-                }
+                BusReaction { sl: false, ..r }
             } else {
                 r
             }
@@ -220,7 +223,12 @@ fn refusing_to_update_on_a_connected_broadcast_is_caught() {
         let mut sys = SystemBuilder::new(LINE)
             .checking(true)
             .cache(Box::new(MoesiPreferred::new()), cfg())
-            .cache(Box::new(KeepStale { inner: MoesiPreferred::new() }), cfg())
+            .cache(
+                Box::new(KeepStale {
+                    inner: MoesiPreferred::new(),
+                }),
+                cfg(),
+            )
             .build();
         sys.read(0, 0x100, 4);
         sys.read(1, 0x100, 4); // both S

@@ -59,14 +59,18 @@ struct Op {
 
 fn ops_strategy(nodes: usize) -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(
-        (0..nodes, 0u64..6, 0u64..7, proptest::option::of(any::<u8>())).prop_map(
-            |(node, line, offset, write)| Op {
+        (
+            0..nodes,
+            0u64..6,
+            0u64..7,
+            proptest::option::of(any::<u8>()),
+        )
+            .prop_map(|(node, line, offset, write)| Op {
                 node,
                 line,
                 offset: offset * 4,
                 write,
-            },
-        ),
+            }),
         1..80,
     )
 }

@@ -168,7 +168,11 @@ fn item8_non_broadcast_write_kills_the_v_copy() {
     // The invalidating peer write-misses: RWITM, column 6.
     sys.write(1, 0x104, &[3; 4]);
     assert_eq!(sys.state_of(0, 0x100), Invalid);
-    assert_eq!(sys.read(0, 0x104, 4), vec![3; 4], "re-fetched after invalidate");
+    assert_eq!(
+        sys.read(0, 0x104, 4),
+        vec![3; 4],
+        "re-fetched after invalidate"
+    );
 }
 
 // Ownership transfer chain: M -> O -> (new writer) -> ... the line's owner
@@ -184,9 +188,7 @@ fn ownership_migrates_cleanly_around_the_ring() {
         for reader in 0..4 {
             assert_eq!(sys.read(reader, addr, 4), round.to_le_bytes().to_vec());
         }
-        let owners = (0..4)
-            .filter(|&c| sys.state_of(c, addr).is_owned())
-            .count();
+        let owners = (0..4).filter(|&c| sys.state_of(c, addr).is_owned()).count();
         assert!(owners <= 1, "round {round}: {owners} owners");
     }
 }
@@ -231,7 +233,7 @@ fn line_crosser_spanning_two_owners() {
     let mut sys = moesi_system(3);
     sys.write(0, 0x0E0, &[1; 4]); // cpu0 owns line 0x0E0
     sys.write(1, 0x100, &[2; 4]); // cpu1 owns line 0x100
-    // cpu2 writes 8 bytes straddling the boundary at 0x100.
+                                  // cpu2 writes 8 bytes straddling the boundary at 0x100.
     let bytes: Vec<u8> = (10..18).collect();
     sys.write(2, 0x0FC, &bytes);
     assert_eq!(sys.read(0, 0x0FC, 8), bytes);

@@ -5,8 +5,8 @@
 
 use cache_array::{split_line_crossers, CacheConfig, ReplacementKind};
 use moesi::protocols::{
-    Berkeley, Dragon, MoesiInvalidating, MoesiPreferred, NonCaching, PuzakRefinement,
-    RandomPolicy, WriteThrough,
+    Berkeley, Dragon, MoesiInvalidating, MoesiPreferred, NonCaching, PuzakRefinement, RandomPolicy,
+    WriteThrough,
 };
 use moesi::{table, BusEvent, CacheKind, LineState, LocalEvent, Protocol};
 use mpsim::{System, SystemBuilder};
@@ -17,10 +17,27 @@ const LINE: usize = 32;
 /// One scripted operation against the system.
 #[derive(Clone, Debug)]
 enum Op {
-    Read { cpu: usize, line: u64, offset: u64, len: usize },
-    Write { cpu: usize, line: u64, offset: u64, val: u8, len: usize },
-    Flush { cpu: usize, line: u64 },
-    Pass { cpu: usize, line: u64 },
+    Read {
+        cpu: usize,
+        line: u64,
+        offset: u64,
+        len: usize,
+    },
+    Write {
+        cpu: usize,
+        line: u64,
+        offset: u64,
+        val: u8,
+        len: usize,
+    },
+    Flush {
+        cpu: usize,
+        line: u64,
+    },
+    Pass {
+        cpu: usize,
+        line: u64,
+    },
 }
 
 fn op_strategy(cpus: usize, lines: u64) -> impl Strategy<Value = Op> {
@@ -28,10 +45,21 @@ fn op_strategy(cpus: usize, lines: u64) -> impl Strategy<Value = Op> {
     let line = 0..lines;
     prop_oneof![
         (cpu.clone(), line.clone(), 0u64..7, 1usize..5).prop_map(|(cpu, line, offset, len)| {
-            Op::Read { cpu, line, offset: offset * 4, len }
+            Op::Read {
+                cpu,
+                line,
+                offset: offset * 4,
+                len,
+            }
         }),
         (cpu.clone(), line.clone(), 0u64..7, any::<u8>(), 1usize..5).prop_map(
-            |(cpu, line, offset, val, len)| Op::Write { cpu, line, offset: offset * 4, val, len }
+            |(cpu, line, offset, val, len)| Op::Write {
+                cpu,
+                line,
+                offset: offset * 4,
+                val,
+                len
+            }
         ),
         (cpu.clone(), line.clone()).prop_map(|(cpu, line)| Op::Flush { cpu, line }),
         (cpu, line).prop_map(|(cpu, line)| Op::Pass { cpu, line }),
@@ -41,10 +69,21 @@ fn op_strategy(cpus: usize, lines: u64) -> impl Strategy<Value = Op> {
 fn apply(sys: &mut System, op: &Op) {
     let base = 0x1000;
     match *op {
-        Op::Read { cpu, line, offset, len } => {
+        Op::Read {
+            cpu,
+            line,
+            offset,
+            len,
+        } => {
             let _ = sys.read(cpu, base + line * LINE as u64 + offset, len);
         }
-        Op::Write { cpu, line, offset, val, len } => {
+        Op::Write {
+            cpu,
+            line,
+            offset,
+            val,
+            len,
+        } => {
             sys.write(cpu, base + line * LINE as u64 + offset, &vec![val; len]);
         }
         Op::Flush { cpu, line } => {
@@ -72,7 +111,10 @@ fn mixed_system(seed: u64) -> System {
         .cache(Box::new(Dragon::new()), cfg())
         .cache(Box::new(PuzakRefinement::new()), cfg())
         .cache(Box::new(WriteThrough::new()), cfg())
-        .cache(Box::new(RandomPolicy::new(CacheKind::CopyBack, seed)), cfg())
+        .cache(
+            Box::new(RandomPolicy::new(CacheKind::CopyBack, seed)),
+            cfg(),
+        )
         .uncached(Box::new(NonCaching::new()))
         .build()
 }

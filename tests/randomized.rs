@@ -1,0 +1,244 @@
+//! Plain-harness ports of the highest-value property tests.
+//!
+//! The original proptest suites (`tests/properties.rs`,
+//! `tests/hierarchy_properties.rs`) are feature-gated behind `proptest`,
+//! which needs registry access to build. These ports keep the same
+//! properties exercised offline: inputs come from the in-tree
+//! `moesi::rng::SmallRng` instead of proptest strategies, with fixed seeds
+//! for reproducibility and enough iterations to match the original case
+//! counts.
+
+use cache_array::{split_line_crossers, CacheConfig, ReplacementKind};
+use moesi::protocols::{
+    Berkeley, Dragon, MoesiInvalidating, MoesiPreferred, NonCaching, PuzakRefinement, RandomPolicy,
+    WriteThrough,
+};
+use moesi::rng::SmallRng;
+use moesi::{table, BusEvent, CacheKind, LineState, LocalEvent};
+use mpsim::{System, SystemBuilder};
+
+const LINE: usize = 32;
+
+/// One scripted operation against the system.
+#[derive(Clone, Debug)]
+enum Op {
+    Read {
+        cpu: usize,
+        line: u64,
+        offset: u64,
+        len: usize,
+    },
+    Write {
+        cpu: usize,
+        line: u64,
+        offset: u64,
+        val: u8,
+        len: usize,
+    },
+    Flush {
+        cpu: usize,
+        line: u64,
+    },
+    Pass {
+        cpu: usize,
+        line: u64,
+    },
+}
+
+fn random_op(rng: &mut SmallRng, cpus: usize, lines: u64) -> Op {
+    let cpu = rng.gen_range(0..cpus);
+    let line = rng.gen_range(0u64..lines);
+    match rng.gen_range(0u32..4) {
+        0 => Op::Read {
+            cpu,
+            line,
+            offset: rng.gen_range(0u64..7) * 4,
+            len: rng.gen_range(1usize..5),
+        },
+        1 => Op::Write {
+            cpu,
+            line,
+            offset: rng.gen_range(0u64..7) * 4,
+            val: rng.gen_range(0u32..256) as u8,
+            len: rng.gen_range(1usize..5),
+        },
+        2 => Op::Flush { cpu, line },
+        _ => Op::Pass { cpu, line },
+    }
+}
+
+fn apply(sys: &mut System, op: &Op) {
+    let base = 0x1000;
+    match *op {
+        Op::Read {
+            cpu,
+            line,
+            offset,
+            len,
+        } => {
+            let _ = sys.read(cpu, base + line * LINE as u64 + offset, len);
+        }
+        Op::Write {
+            cpu,
+            line,
+            offset,
+            val,
+            len,
+        } => {
+            sys.write(cpu, base + line * LINE as u64 + offset, &vec![val; len]);
+        }
+        Op::Flush { cpu, line } => {
+            sys.flush(cpu, base + line * LINE as u64);
+        }
+        Op::Pass { cpu, line } => {
+            sys.pass(cpu, base + line * LINE as u64);
+        }
+    }
+}
+
+fn cfg() -> CacheConfig {
+    CacheConfig::new(512, LINE, 2, ReplacementKind::Lru)
+}
+
+fn mixed_system(seed: u64) -> System {
+    // Small caches force evictions; the checker is on, so every operation is
+    // audited and reads are compared against the golden image.
+    SystemBuilder::new(LINE)
+        .checking(true)
+        .seed(seed)
+        .cache(Box::new(MoesiPreferred::new()), cfg())
+        .cache(Box::new(MoesiInvalidating::new()), cfg())
+        .cache(Box::new(Berkeley::new()), cfg())
+        .cache(Box::new(Dragon::new()), cfg())
+        .cache(Box::new(PuzakRefinement::new()), cfg())
+        .cache(Box::new(WriteThrough::new()), cfg())
+        .cache(
+            Box::new(RandomPolicy::new(CacheKind::CopyBack, seed)),
+            cfg(),
+        )
+        .uncached(Box::new(NonCaching::new()))
+        .build()
+}
+
+#[test]
+fn random_op_sequences_preserve_consistency() {
+    for case in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(case.wrapping_mul(0x9E37_79B9));
+        let mut sys = mixed_system(rng.next_u64() % 1000);
+        let steps = rng.gen_range(1usize..120);
+        for _ in 0..steps {
+            let op = random_op(&mut rng, 8, 6);
+            apply(&mut sys, &op); // panics (fails the test) on any violation
+        }
+        assert!(sys.verify().is_ok());
+    }
+}
+
+#[test]
+fn last_write_wins_for_every_reader() {
+    for case in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(case.wrapping_add(7));
+        let mut sys = mixed_system(1);
+        let addr = 0x1000;
+        let mut last = None;
+        for _ in 0..rng.gen_range(1usize..40) {
+            let cpu = rng.gen_range(0usize..4);
+            let val = rng.gen_range(0u32..256) as u8;
+            sys.write(cpu, addr, &[val; 4]);
+            last = Some(val);
+        }
+        let expected = vec![last.expect("non-empty"); 4];
+        for cpu in 0..sys.nodes() {
+            assert_eq!(sys.read(cpu, addr, 4), expected);
+        }
+    }
+}
+
+#[test]
+fn line_crosser_pieces_partition_any_access() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    for _ in 0..500 {
+        let addr = rng.gen_range(0u64..10_000);
+        let size = rng.gen_range(0usize..400);
+        let line = 1usize << rng.gen_range(3u32..9);
+        let pieces = split_line_crossers(addr, size, line);
+        let total: usize = pieces.iter().map(|&(_, l)| l).sum();
+        assert_eq!(total, size);
+        let mut cursor = addr;
+        for (a, l) in pieces {
+            assert_eq!(a, cursor);
+            assert!(l > 0);
+            // Each piece fits within one line.
+            assert_eq!(a / line as u64, (a + l as u64 - 1) / line as u64);
+            cursor += l as u64;
+        }
+    }
+}
+
+#[test]
+fn permitted_bus_results_never_create_second_owners_from_nothing() {
+    for state in LineState::ALL {
+        for event in BusEvent::ALL {
+            for ch in [false, true] {
+                for reaction in table::permitted_bus(state, event) {
+                    if reaction.busy.is_some() {
+                        continue;
+                    }
+                    let result = reaction.result.resolve(ch);
+                    // Ownership cannot be conjured by snooping.
+                    if !state.is_owned() {
+                        assert!(!result.is_owned(), "({state}, {event}): {reaction}");
+                    }
+                    // Validity cannot be conjured by snooping either.
+                    if !state.is_valid() {
+                        assert!(!result.is_valid(), "({state}, {event}): {reaction}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn permitted_local_never_silently_modifies_shared_data() {
+    for state in LineState::ALL {
+        for kind in CacheKind::ALL {
+            for action in table::permitted_local(state, LocalEvent::Write, kind) {
+                if state.is_non_exclusive() {
+                    assert!(
+                        action.bus_op.uses_bus(),
+                        "silent write to non-exclusive {state} under {kind:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn random_policy_is_always_in_class() {
+    let mut rng = SmallRng::seed_from_u64(0xFACE);
+    for _ in 0..16 {
+        let seed = rng.next_u64();
+        for kind in CacheKind::ALL {
+            let mut p = RandomPolicy::new(kind, seed);
+            let report = moesi::compat::check_protocol(&mut p);
+            assert!(report.is_class_member(), "{report}");
+        }
+    }
+}
+
+#[test]
+fn sector_cache_valid_subsectors_never_exceed_capacity() {
+    use cache_array::SectorCache;
+    let mut rng = SmallRng::seed_from_u64(99);
+    for _ in 0..40 {
+        let mut sc: SectorCache<u8> = SectorCache::new(4, 64, 16);
+        for _ in 0..rng.gen_range(1usize..80) {
+            let addr = rng.gen_range(0u64..2_048);
+            let state = rng.gen_range(0usize..3);
+            sc.install(addr * 4, state as u8);
+            assert!(sc.valid_subsectors() <= 4 * 4);
+        }
+    }
+}

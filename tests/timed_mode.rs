@@ -35,7 +35,10 @@ fn single_cpu_wall_time_decomposes_exactly() {
     // wall = refs * work + the single miss's bus time.
     assert_eq!(report.wall_ns, refs * work + report.bus_busy_ns);
     assert_eq!(report.bus_wait_ns, 0, "nobody to contend with");
-    assert!(report.bus_utilization() <= 0.25, "one cold miss only: {report}");
+    assert!(
+        report.bus_utilization() <= 0.25,
+        "one cold miss only: {report}"
+    );
 }
 
 #[test]
