@@ -17,4 +17,7 @@ cargo build --release
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> fault-injection smoke campaign (fixed seed, fails on silent corruption)"
+./target/release/moesi-sim faults --seed 7 --steps 800
+
 echo "ci: all green"

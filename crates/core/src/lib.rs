@@ -59,7 +59,7 @@ pub mod table;
 pub use action::{BusOp, BusReaction, BusyPush, LocalAction, ResultState};
 pub use event::{BusEvent, LocalEvent};
 pub use protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
-pub use signals::{MasterSignals, ResponseSignals};
+pub use signals::{ConsistencyLine, MasterSignals, ResponseSignals};
 pub use state::{Characteristics, LineState, ParseLineStateError};
 
 #[cfg(test)]

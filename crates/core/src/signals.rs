@@ -196,6 +196,64 @@ impl ResponseSignals {
     }
 }
 
+/// One of the three wired-OR consistency response lines (CH, DI, SL) that a
+/// third party can observe — and that a fault can glitch — individually.
+///
+/// BS is deliberately excluded: it participates in the abort handshake, not
+/// the settle-window race, so abort faults are modelled separately (as abort
+/// storms) rather than as line glitches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConsistencyLine {
+    /// The cache-hit line.
+    Ch,
+    /// The data-intervention line.
+    Di,
+    /// The select (connect on transfer) line.
+    Sl,
+}
+
+impl ConsistencyLine {
+    /// All three glitchable lines, in CH/DI/SL order.
+    pub const ALL: [ConsistencyLine; 3] = [
+        ConsistencyLine::Ch,
+        ConsistencyLine::Di,
+        ConsistencyLine::Sl,
+    ];
+}
+
+impl fmt::Display for ConsistencyLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ConsistencyLine::Ch => "CH",
+            ConsistencyLine::Di => "DI",
+            ConsistencyLine::Sl => "SL",
+        })
+    }
+}
+
+impl ResponseSignals {
+    /// Reads the value of one consistency line.
+    #[must_use]
+    pub const fn line(self, line: ConsistencyLine) -> bool {
+        match line {
+            ConsistencyLine::Ch => self.ch,
+            ConsistencyLine::Di => self.di,
+            ConsistencyLine::Sl => self.sl,
+        }
+    }
+
+    /// Returns these signals with one consistency line forced to `value`.
+    #[must_use]
+    pub const fn with_line(mut self, line: ConsistencyLine, value: bool) -> Self {
+        match line {
+            ConsistencyLine::Ch => self.ch = value,
+            ConsistencyLine::Di => self.di = value,
+            ConsistencyLine::Sl => self.sl = value,
+        }
+        self
+    }
+}
+
 impl fmt::Display for ResponseSignals {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut parts = Vec::with_capacity(4);
@@ -301,6 +359,23 @@ mod tests {
                 assert_eq!(a.or(b), b.or(a));
             }
         }
+    }
+
+    #[test]
+    fn line_get_and_set_round_trip() {
+        for line in ConsistencyLine::ALL {
+            let set = ResponseSignals::NONE.with_line(line, true);
+            assert!(set.line(line), "{line} should read back asserted");
+            for other in ConsistencyLine::ALL {
+                if other != line {
+                    assert!(!set.line(other), "{other} must stay clear");
+                }
+            }
+            assert_eq!(set.with_line(line, false), ResponseSignals::NONE);
+            assert!(!set.bs, "BS is never touched by line helpers");
+        }
+        assert_eq!(ConsistencyLine::Ch.to_string(), "CH");
+        assert_eq!(ConsistencyLine::Sl.to_string(), "SL");
     }
 
     #[test]

@@ -18,7 +18,16 @@
 //!   (§4.2: "when a broadcast write is done on the Futurebus, it affects all
 //!   caches holding the line and also main memory");
 //! * an **address-only** transaction moves no data.
+//!
+//! The engine also carries the recovery machinery that makes the class
+//! degrade gracefully under faulty hardware (see [`fault`](crate::fault)):
+//! BS aborts retry under a capped exponential [`RetryPolicy`] instead of a
+//! bare cutoff, consistency-line glitches are absorbed by the wired-OR settle
+//! window at a 25 ns cost, and a watchdog times out a non-responding snooper
+//! and retires it from the snoop set — it is treated thereafter as a
+//! non-caching processor, which the class explicitly supports (§3.3).
 
+use crate::fault::{FaultPlan, InjectedFault, TxnFaults};
 use crate::memory::SparseMemory;
 use crate::module::{BusModule, BusObservation};
 use crate::stats::BusStats;
@@ -27,7 +36,50 @@ use crate::trace::{BusTrace, TraceKind, TraceRecord};
 use crate::transaction::{
     BusError, DataSource, TransactionKind, TransactionOutcome, TransactionRequest,
 };
-use moesi::ResponseSignals;
+use moesi::{MasterSignals, ResponseSignals};
+use std::collections::BTreeSet;
+
+/// Capped exponential backoff for BS abort retries.
+///
+/// The bare `max_retries` cutoff modelled an infinitely patient master; real
+/// masters back off so a transient abort storm drains instead of livelocking.
+/// Round `n` (1-based) waits `min(base << (n-1), cap)` nanoseconds before the
+/// re-arbitrated address cycle; the wait is charged to the transaction and
+/// surfaced in [`BusStats::backoff_ns`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Abort rounds tolerated before the bus gives up with
+    /// [`BusError::TooManyRetries`].
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub backoff_base_ns: Nanos,
+    /// Upper bound on any single backoff wait.
+    pub backoff_cap_ns: Nanos,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 16,
+            backoff_base_ns: 50,
+            backoff_cap_ns: 1600,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retry round `round` (1-based); zero for round 0.
+    #[must_use]
+    pub fn backoff(&self, round: u32) -> Nanos {
+        if round == 0 {
+            return 0;
+        }
+        let shift = (round - 1).min(20);
+        self.backoff_base_ns
+            .saturating_mul(1u64 << shift)
+            .min(self.backoff_cap_ns)
+    }
+}
 
 /// The shared backplane bus, owning main memory (the default owner of every
 /// line) and the timing model.
@@ -51,8 +103,11 @@ pub struct Futurebus {
     memory: SparseMemory,
     timing: TimingConfig,
     stats: BusStats,
-    max_retries: u32,
+    retry: RetryPolicy,
     trace: BusTrace,
+    faults: Option<FaultPlan>,
+    retired: BTreeSet<usize>,
+    pending_stall: Option<(usize, bool)>,
 }
 
 impl Futurebus {
@@ -67,8 +122,11 @@ impl Futurebus {
             memory: SparseMemory::new(line_size),
             timing,
             stats: BusStats::new(),
-            max_retries: 4,
+            retry: RetryPolicy::default(),
             trace: BusTrace::new(0),
+            faults: None,
+            retired: BTreeSet::new(),
+            pending_stall: None,
         }
     }
 
@@ -120,15 +178,65 @@ impl Futurebus {
         self.stats = BusStats::new();
     }
 
+    /// The abort-retry policy in force.
+    #[must_use]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Replaces the abort-retry policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Installs a fault-injection plan; every subsequent transaction consults
+    /// it. Replaces any previous plan (and its log).
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault plan and its injection log, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Arms a one-shot stall: during the next transaction in which `module`
+    /// is a snooper (not the master, not already retired), it stops
+    /// responding and the watchdog retires it. `salvageable` distinguishes a
+    /// hung board whose cache RAM can still be read out from a dead one.
+    ///
+    /// Works without a fault plan installed — this is the deterministic
+    /// arming hook replay scripts use to pin watchdog behaviour.
+    pub fn stall_module(&mut self, module: usize, salvageable: bool) {
+        self.pending_stall = Some((module, salvageable));
+    }
+
+    /// Modules the watchdog has retired from the snoop set, ascending.
+    #[must_use]
+    pub fn retired(&self) -> Vec<usize> {
+        self.retired.iter().copied().collect()
+    }
+
+    /// True when the watchdog has retired `module`.
+    #[must_use]
+    pub fn is_retired(&self, module: usize) -> bool {
+        self.retired.contains(&module)
+    }
+
     /// Runs one transaction. `modules` are all attached snooping units; the
     /// entry at `req.master` is skipped (a master does not snoop itself), so
     /// callers may pass their full module table. Indices in `req.master` and
-    /// [`DataSource::Intervention`] refer to this slice.
+    /// [`DataSource::Intervention`] refer to this slice. Modules the watchdog
+    /// has retired are skipped too: a retired board neither snoops nor
+    /// completes.
     ///
     /// # Errors
     ///
     /// See [`BusError`] — illegal signals, unaligned or oversized payloads,
-    /// duplicate interveners, or more BS aborts than the retry limit.
+    /// duplicate interveners, more BS aborts than the retry policy tolerates,
+    /// or a protocol violation (BS asserted with no push to offer). All error
+    /// paths still account the bus time burned into [`BusStats::busy_ns`].
     pub fn execute(
         &mut self,
         req: &TransactionRequest,
@@ -139,12 +247,40 @@ impl Futurebus {
         let mut duration: Nanos = 0;
         let mut aborts = 0u32;
 
+        // Ask the fault plan what lands in this transaction.
+        let mut faults = match self.faults.as_mut() {
+            Some(plan) => {
+                let candidates: Vec<usize> = (0..modules.len())
+                    .filter(|&i| i != req.master && !self.retired.contains(&i))
+                    .collect();
+                plan.decide(&candidates)
+            }
+            None => TxnFaults::default(),
+        };
+        // A manually armed stall (replay pins) overrides the plan's roll, but
+        // only fires once the victim is actually a live snooper.
+        if let Some((victim, salvage)) = self.pending_stall {
+            if victim != req.master && victim < modules.len() && !self.retired.contains(&victim) {
+                faults.stall = Some((victim, salvage));
+                self.pending_stall = None;
+            }
+        }
+        let mut storm_left = faults.storm_rounds;
+        let mut storm_recorded = false;
+
         loop {
-            // ---- Broadcast address cycle: every other module snoops. ----
+            // ---- Watchdog: a stalled snooper never completes the handshake.
+            // Time it out, retire it from the snoop set, re-run the cycle.
+            if let Some((victim, salvage)) = faults.stall.take() {
+                duration += self.retire_module(victim, salvage, req, modules);
+                continue;
+            }
+
+            // ---- Broadcast address cycle: every other live module snoops.
             let mut replies: Vec<(usize, ResponseSignals)> = Vec::with_capacity(modules.len());
             let mut combined = ResponseSignals::NONE;
             for (idx, module) in modules.iter_mut().enumerate() {
-                if idx == req.master {
+                if idx == req.master || self.retired.contains(&idx) {
                     continue;
                 }
                 let r = module.snoop(req);
@@ -152,52 +288,125 @@ impl Futurebus {
                 replies.push((idx, r));
             }
 
-            // ---- BS: abort, push, restart (§3.2.2). ----
-            if combined.bs {
+            // ---- Glitch: a consistency line bounces before the settle
+            // window; the wired-OR inertial-delay filter absorbs it (§2.2) at
+            // the cost of one settle delay. The *true* values proceed.
+            if faults.glitch {
+                faults.glitch = false;
+                if let Some(plan) = self.faults.as_mut() {
+                    let fault = plan.glitch_spec(combined);
+                    let settle = self.timing.broadcast_penalty_ns;
+                    duration += settle;
+                    self.stats.glitches_filtered += 1;
+                    self.stats.settle_ns += settle;
+                    let perturbed = match &fault {
+                        InjectedFault::Glitch { line, spurious } => {
+                            combined.with_line(*line, *spurious)
+                        }
+                        _ => combined,
+                    };
+                    self.trace.push(TraceRecord {
+                        seq: 0,
+                        master: req.master,
+                        addr: req.addr,
+                        kind: TraceKind::Glitch,
+                        signals: req.signals,
+                        responses: perturbed,
+                        source: DataSource::None,
+                        duration: settle,
+                        aborts,
+                    });
+                    plan.record(req.master, req.addr, fault, settle);
+                }
+            }
+
+            // ---- BS: abort, push, restart (§3.2.2) — plus injected abort
+            // storms, phantom BS rounds with nobody pushing.
+            let genuine_bs = combined.bs;
+            if genuine_bs || storm_left > 0 {
+                if !genuine_bs {
+                    storm_left -= 1;
+                }
                 aborts += 1;
                 self.stats.aborts += 1;
                 // The aborted address cycle still occupied the bus.
                 duration += self.timing.transaction(0, DataSourceLatency::Master, false);
-                if aborts > self.max_retries {
+                if aborts > self.retry.max_retries {
+                    self.stats.busy_ns += duration;
                     return Err(BusError::TooManyRetries(aborts));
                 }
-                for (idx, r) in &replies {
-                    if !r.bs {
-                        continue;
+                let backoff = self.retry.backoff(aborts);
+                duration += backoff;
+                self.stats.retries += 1;
+                self.stats.backoff_ns += backoff;
+                if !genuine_bs && !storm_recorded {
+                    storm_recorded = true;
+                    let cost = self.timing.transaction(0, DataSourceLatency::Master, false);
+                    if let Some(plan) = self.faults.as_mut() {
+                        plan.record(
+                            req.master,
+                            req.addr,
+                            InjectedFault::AbortStorm {
+                                rounds: faults.storm_rounds,
+                            },
+                            cost + backoff,
+                        );
                     }
-                    let push = modules[*idx].prepare_push(req.addr);
-                    assert_eq!(
-                        push.data.len(),
-                        line_size,
-                        "push from module {idx} is not a full line"
-                    );
-                    self.memory.write_line(req.addr, &push.data);
-                    // The push is itself a write transaction on the bus. No
-                    // third party needs to snoop it: the pusher held the only
-                    // owned copy, and unowned S copies are unaffected by a
-                    // CA,~IM write-back.
-                    let push_cost = self.timing.transaction(
-                        line_size,
-                        DataSourceLatency::Master,
-                        push.signals.bc,
-                    );
-                    duration += push_cost;
-                    self.stats.pushes += 1;
-                    self.stats.transactions += 1;
-                    self.stats.writes += 1;
-                    self.stats.memory_writes += 1;
-                    self.stats.bytes_moved += line_size as u64;
-                    self.trace.push(TraceRecord {
-                        seq: 0,
-                        master: *idx,
-                        addr: req.addr,
-                        kind: TraceKind::Push,
-                        signals: push.signals,
-                        responses: ResponseSignals::NONE,
-                        source: DataSource::Memory,
-                        duration: push_cost,
-                        aborts: 0,
-                    });
+                }
+                if genuine_bs {
+                    for (idx, r) in &replies {
+                        if !r.bs {
+                            continue;
+                        }
+                        let Some(push) = modules[*idx].prepare_push(req.addr) else {
+                            self.stats.busy_ns += duration;
+                            return Err(BusError::ProtocolError {
+                                module: *idx,
+                                detail: format!(
+                                    "asserted BS for {:#x} with no push to offer",
+                                    req.addr
+                                ),
+                            });
+                        };
+                        if push.data.len() != line_size {
+                            self.stats.busy_ns += duration;
+                            return Err(BusError::ProtocolError {
+                                module: *idx,
+                                detail: format!(
+                                    "pushed {} bytes for {:#x}, not a full {line_size}-byte line",
+                                    push.data.len(),
+                                    req.addr
+                                ),
+                            });
+                        }
+                        self.memory.write_line(req.addr, &push.data);
+                        // The push is itself a write transaction on the bus. No
+                        // third party needs to snoop it: the pusher held the only
+                        // owned copy, and unowned S copies are unaffected by a
+                        // CA,~IM write-back.
+                        let push_cost = self.timing.transaction(
+                            line_size,
+                            DataSourceLatency::Master,
+                            push.signals.bc,
+                        );
+                        duration += push_cost;
+                        self.stats.pushes += 1;
+                        self.stats.transactions += 1;
+                        self.stats.writes += 1;
+                        self.stats.memory_writes += 1;
+                        self.stats.bytes_moved += line_size as u64;
+                        self.trace.push(TraceRecord {
+                            seq: 0,
+                            master: *idx,
+                            addr: req.addr,
+                            kind: TraceKind::Push,
+                            signals: push.signals,
+                            responses: ResponseSignals::NONE,
+                            source: DataSource::Memory,
+                            duration: push_cost,
+                            aborts: 0,
+                        });
+                    }
                 }
                 continue;
             }
@@ -209,6 +418,7 @@ impl Futurebus {
                 .map(|(idx, _)| *idx)
                 .collect();
             if interveners.len() > 1 {
+                self.stats.busy_ns += duration;
                 return Err(BusError::MultipleInterveners(interveners));
             }
             let intervener = interveners.first().copied();
@@ -298,6 +508,39 @@ impl Futurebus {
                 );
             }
 
+            // ---- Soft error: corrupt a resident memory line once the
+            // transaction is over (never the in-flight data phase — the bus
+            // got the electrical transfer right; the cell rots afterwards).
+            if faults.corrupt {
+                let resident = self.memory.line_addrs();
+                if let Some(plan) = self.faults.as_mut() {
+                    let fault = plan.corrupt_spec(&resident, req.addr, line_size);
+                    if let InjectedFault::CorruptMemory { addr, offset, mask } = fault {
+                        let mut line = self.memory.peek_line(addr);
+                        line[offset] ^= mask;
+                        self.memory.write_line(addr, &line);
+                        self.stats.corruptions += 1;
+                        self.trace.push(TraceRecord {
+                            seq: 0,
+                            master: req.master,
+                            addr,
+                            kind: TraceKind::Corrupt,
+                            signals: MasterSignals::NONE,
+                            responses: ResponseSignals::NONE,
+                            source: DataSource::Memory,
+                            duration: 0,
+                            aborts: 0,
+                        });
+                        plan.record(
+                            req.master,
+                            req.addr,
+                            InjectedFault::CorruptMemory { addr, offset, mask },
+                            0,
+                        );
+                    }
+                }
+            }
+
             self.stats.transactions += 1;
             self.stats.busy_ns += duration;
 
@@ -326,6 +569,96 @@ impl Futurebus {
                 aborts,
             });
         }
+    }
+
+    /// Times out and retires a non-responding snooper: salvages its dirty
+    /// lines to memory if its cache RAM is still readable, or — when the
+    /// board is dead — invalidates every surviving copy of the lines whose
+    /// only up-to-date data died with it, so no stale data outlives the
+    /// owner. Returns the bus time consumed.
+    fn retire_module(
+        &mut self,
+        victim: usize,
+        salvage: bool,
+        req: &TransactionRequest,
+        modules: &mut [&mut dyn BusModule],
+    ) -> Nanos {
+        let line_size = self.memory.line_size();
+        let mut cost = self.timing.watchdog_timeout_ns;
+        let report = modules[victim].retire(salvage);
+
+        let mut salvaged_addrs = Vec::with_capacity(report.salvaged.len());
+        for (addr, data) in &report.salvaged {
+            self.memory.write_line(*addr, data);
+            cost += self
+                .timing
+                .transaction(line_size, DataSourceLatency::Master, false);
+            self.stats.transactions += 1;
+            self.stats.writes += 1;
+            self.stats.memory_writes += 1;
+            self.stats.bytes_moved += line_size as u64;
+            self.stats.salvaged_lines += 1;
+            salvaged_addrs.push(*addr);
+        }
+
+        // The dead board's dirty lines are gone; any surviving S copies of
+        // them now disagree with the (stale) memory image, so the recovery
+        // invalidates them bus-wide. The data loss is *reported* — it shows
+        // up in the stats, the fault log and the trace, never silently.
+        for addr in &report.lost {
+            let inval = TransactionRequest::address_only(victim, *addr, MasterSignals::CA_IM);
+            for (idx, module) in modules.iter_mut().enumerate() {
+                if idx == victim || self.retired.contains(&idx) {
+                    continue;
+                }
+                let _ = module.snoop(&inval);
+            }
+            for (idx, module) in modules.iter_mut().enumerate() {
+                if idx == victim || self.retired.contains(&idx) {
+                    continue;
+                }
+                module.complete(
+                    &inval,
+                    &BusObservation {
+                        ch_others: false,
+                        write_data: None,
+                    },
+                );
+            }
+            cost += self.timing.transaction(0, DataSourceLatency::Master, false);
+            self.stats.transactions += 1;
+            self.stats.address_only += 1;
+            self.stats.lost_lines += 1;
+        }
+
+        self.retired.insert(victim);
+        self.stats.watchdog_retirements += 1;
+        self.trace.push(TraceRecord {
+            seq: 0,
+            master: victim,
+            addr: req.addr,
+            kind: TraceKind::Retire,
+            signals: req.signals,
+            responses: ResponseSignals::NONE,
+            source: DataSource::None,
+            duration: cost,
+            aborts: 0,
+        });
+        if let Some(plan) = self.faults.as_mut() {
+            let fault = if salvage {
+                InjectedFault::Stall {
+                    module: victim,
+                    salvaged: salvaged_addrs,
+                }
+            } else {
+                InjectedFault::Kill {
+                    module: victim,
+                    lost: report.lost.clone(),
+                }
+            };
+            plan.record(req.master, req.addr, fault, cost);
+        }
+        cost
     }
 
     fn validate(&self, req: &TransactionRequest, module_count: usize) -> Result<(), BusError> {
@@ -357,7 +690,9 @@ impl Futurebus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::module::PushWrite;
+    use crate::fault::{FaultConfig, FaultKind};
+    use crate::module::{PushWrite, RetireReport};
+    use crate::transaction::LineAddr;
     use moesi::MasterSignals;
 
     /// A scripted snooper for exercising the engine.
@@ -366,6 +701,9 @@ mod tests {
         line: Vec<u8>,
         completions: Vec<(bool, Option<Vec<u8>>)>,
         pushes: u32,
+        snooped: Vec<LineAddr>,
+        dirty: Vec<LineAddr>,
+        retired_as: Option<bool>,
     }
 
     impl Mock {
@@ -378,12 +716,16 @@ mod tests {
                 line: vec![0xEE; 16],
                 completions: Vec::new(),
                 pushes: 0,
+                snooped: Vec::new(),
+                dirty: Vec::new(),
+                retired_as: None,
             }
         }
     }
 
     impl BusModule for Mock {
-        fn snoop(&mut self, _req: &TransactionRequest) -> ResponseSignals {
+        fn snoop(&mut self, req: &TransactionRequest) -> ResponseSignals {
+            self.snooped.push(req.addr);
             let r = self.response;
             if r.bs {
                 // One abort only: react normally on the retry.
@@ -394,11 +736,29 @@ mod tests {
         fn supply_line(&mut self, _addr: u64) -> Box<[u8]> {
             self.line.clone().into_boxed_slice()
         }
-        fn prepare_push(&mut self, _addr: u64) -> PushWrite {
+        fn prepare_push(&mut self, _addr: u64) -> Option<PushWrite> {
             self.pushes += 1;
-            PushWrite {
+            Some(PushWrite {
                 data: self.line.clone().into_boxed_slice(),
                 signals: MasterSignals::CA,
+            })
+        }
+        fn retire(&mut self, salvage: bool) -> RetireReport {
+            self.retired_as = Some(salvage);
+            if salvage {
+                RetireReport {
+                    salvaged: self
+                        .dirty
+                        .iter()
+                        .map(|&a| (a, self.line.clone().into_boxed_slice()))
+                        .collect(),
+                    lost: Vec::new(),
+                }
+            } else {
+                RetireReport {
+                    salvaged: Vec::new(),
+                    lost: self.dirty.clone(),
+                }
             }
         }
         fn complete(&mut self, _req: &TransactionRequest, obs: &BusObservation<'_>) {
@@ -526,10 +886,13 @@ mod tests {
         assert_eq!(bus.stats().aborts, 1);
         assert_eq!(bus.stats().pushes, 1);
         assert_eq!(bus.stats().transactions, 2, "push + retried read");
+        // One retry round waited out one base backoff.
+        assert_eq!(bus.stats().retries, 1);
+        assert_eq!(bus.stats().backoff_ns, bus.retry_policy().backoff_base_ns);
     }
 
     #[test]
-    fn endless_bs_hits_the_retry_limit() {
+    fn endless_bs_hits_the_retry_limit_after_backing_off() {
         struct AlwaysBusy;
         impl BusModule for AlwaysBusy {
             fn snoop(&mut self, _req: &TransactionRequest) -> ResponseSignals {
@@ -538,15 +901,19 @@ mod tests {
                     ..ResponseSignals::NONE
                 }
             }
-            fn prepare_push(&mut self, _addr: u64) -> PushWrite {
-                PushWrite {
+            fn prepare_push(&mut self, _addr: u64) -> Option<PushWrite> {
+                Some(PushWrite {
                     data: vec![0; 16].into_boxed_slice(),
                     signals: MasterSignals::CA,
-                }
+                })
             }
             fn complete(&mut self, _req: &TransactionRequest, _obs: &BusObservation<'_>) {}
         }
         let mut bus = bus();
+        bus.set_retry_policy(RetryPolicy {
+            max_retries: 3,
+            ..RetryPolicy::default()
+        });
         let mut b = AlwaysBusy;
         let mut mods: Vec<&mut dyn BusModule> = vec![&mut b];
         let err = bus
@@ -555,7 +922,248 @@ mod tests {
                 &mut mods,
             )
             .unwrap_err();
-        assert!(matches!(err, BusError::TooManyRetries(_)));
+        assert_eq!(err, BusError::TooManyRetries(4));
+        // Rounds 1..=3 retried with growing backoff; round 4 gave up.
+        assert_eq!(bus.stats().retries, 3);
+        assert_eq!(bus.stats().backoff_ns, 50 + 100 + 200);
+        assert!(
+            bus.stats().busy_ns >= bus.stats().backoff_ns,
+            "the failed transaction's time is still accounted"
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 16,
+            backoff_base_ns: 50,
+            backoff_cap_ns: 300,
+        };
+        assert_eq!(p.backoff(0), 0);
+        assert_eq!(p.backoff(1), 50);
+        assert_eq!(p.backoff(2), 100);
+        assert_eq!(p.backoff(3), 200);
+        assert_eq!(p.backoff(4), 300, "capped");
+        assert_eq!(p.backoff(40), 300, "huge rounds stay capped");
+    }
+
+    #[test]
+    fn bs_without_a_push_is_a_protocol_error_not_a_panic() {
+        struct Liar;
+        impl BusModule for Liar {
+            fn snoop(&mut self, _req: &TransactionRequest) -> ResponseSignals {
+                ResponseSignals {
+                    bs: true,
+                    ..ResponseSignals::NONE
+                }
+            }
+            // No prepare_push override: the default declines.
+            fn complete(&mut self, _req: &TransactionRequest, _obs: &BusObservation<'_>) {}
+        }
+        let mut bus = bus();
+        let mut l = Liar;
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut l];
+        let err = bus
+            .execute(
+                &TransactionRequest::read(1, 0, MasterSignals::CA),
+                &mut mods,
+            )
+            .unwrap_err();
+        match err {
+            BusError::ProtocolError { module, detail } => {
+                assert_eq!(module, 0);
+                assert!(detail.contains("no push"), "{detail}");
+            }
+            other => panic!("expected ProtocolError, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_pushes_are_a_protocol_error() {
+        struct ShortPusher;
+        impl BusModule for ShortPusher {
+            fn snoop(&mut self, _req: &TransactionRequest) -> ResponseSignals {
+                ResponseSignals {
+                    bs: true,
+                    ..ResponseSignals::NONE
+                }
+            }
+            fn prepare_push(&mut self, _addr: u64) -> Option<PushWrite> {
+                Some(PushWrite {
+                    data: vec![0; 4].into_boxed_slice(), // line size is 16
+                    signals: MasterSignals::CA,
+                })
+            }
+            fn complete(&mut self, _req: &TransactionRequest, _obs: &BusObservation<'_>) {}
+        }
+        let mut bus = bus();
+        let mut s = ShortPusher;
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut s];
+        let err = bus
+            .execute(
+                &TransactionRequest::read(1, 0, MasterSignals::CA),
+                &mut mods,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, BusError::ProtocolError { module: 0, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn watchdog_retires_a_stalled_module_and_salvages_its_dirty_lines() {
+        let mut bus = bus();
+        bus.enable_trace(16);
+        let mut victim = Mock::quiet();
+        victim.dirty = vec![0x40, 0x80];
+        let mut survivor = Mock::quiet();
+        bus.stall_module(0, true);
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut victim, &mut survivor];
+        let out = bus
+            .execute(
+                &TransactionRequest::read(1, 0x40, MasterSignals::CA),
+                &mut mods,
+            )
+            .unwrap();
+        // The victim was retired before snooping; the survivor completed.
+        assert_eq!(victim.retired_as, Some(true));
+        assert!(victim.snooped.is_empty(), "a stalled board never answers");
+        assert!(bus.is_retired(0));
+        assert_eq!(bus.retired(), vec![0]);
+        // Its dirty lines were salvaged to memory — including the one the
+        // in-flight read wanted, which therefore sees the salvaged data.
+        assert_eq!(&bus.memory().peek_line(0x40)[..], &[0xEE; 16]);
+        assert_eq!(&bus.memory().peek_line(0x80)[..], &[0xEE; 16]);
+        assert_eq!(&out.data.unwrap()[..], &[0xEE; 16]);
+        assert_eq!(bus.stats().watchdog_retirements, 1);
+        assert_eq!(bus.stats().salvaged_lines, 2);
+        assert_eq!(bus.stats().lost_lines, 0);
+        // The watchdog timeout is charged to the transaction.
+        assert!(out.duration >= bus.timing().watchdog_timeout_ns);
+        let rendered = bus.trace().render();
+        assert!(rendered.contains("RETIR"), "{rendered}");
+    }
+
+    #[test]
+    fn killed_module_loses_lines_and_survivors_are_invalidated() {
+        let mut bus = bus();
+        let mut victim = Mock::quiet();
+        victim.dirty = vec![0x40];
+        let mut survivor = Mock::quiet();
+        bus.stall_module(0, false);
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut victim, &mut survivor];
+        // Master index 2 == module count: an external master, so both
+        // attached modules are snoopers.
+        bus.execute(
+            &TransactionRequest::read(2, 0x80, MasterSignals::CA),
+            &mut mods,
+        )
+        .unwrap();
+        assert_eq!(victim.retired_as, Some(false));
+        // Nothing salvaged: the lost line never reached memory.
+        assert_eq!(&bus.memory().peek_line(0x40)[..], &[0u8; 16]);
+        assert_eq!(bus.stats().lost_lines, 1);
+        assert_eq!(bus.stats().salvaged_lines, 0);
+        // The survivor snooped the recovery invalidate for the lost line,
+        // then the retried read for 0x80.
+        assert_eq!(survivor.snooped, vec![0x40, 0x80]);
+    }
+
+    #[test]
+    fn retired_modules_stop_snooping_entirely() {
+        let mut bus = bus();
+        let mut victim = Mock::with(ResponseSignals::CH);
+        let mut survivor = Mock::quiet();
+        bus.stall_module(0, true);
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut victim, &mut survivor];
+        let req = TransactionRequest::read(1, 0x40, MasterSignals::CA);
+        let first = bus.execute(&req, &mut mods).unwrap();
+        assert!(!first.ch_seen, "retired module's CH is gone");
+        let again = bus.execute(&req, &mut mods).unwrap();
+        assert!(!again.ch_seen);
+        assert!(victim.snooped.is_empty());
+        assert_eq!(victim.completions.len(), 0, "no completions either");
+        assert_eq!(bus.stats().watchdog_retirements, 1, "retired only once");
+    }
+
+    #[test]
+    fn glitches_are_filtered_at_the_settle_window_cost() {
+        let mut bus = bus();
+        bus.enable_trace(8);
+        bus.inject_faults(FaultPlan::new(
+            FaultConfig::default().with_rate(FaultKind::Glitch, 1.0),
+        ));
+        let mut sharer = Mock::with(ResponseSignals::CH);
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut sharer];
+        let out = bus
+            .execute(
+                &TransactionRequest::read(1, 0x40, MasterSignals::CA),
+                &mut mods,
+            )
+            .unwrap();
+        // The filter absorbed the glitch: true responses prevailed.
+        assert!(out.ch_seen);
+        assert_eq!(out.responses, ResponseSignals::CH);
+        assert_eq!(bus.stats().glitches_filtered, 1);
+        assert_eq!(bus.stats().settle_ns, bus.timing().broadcast_penalty_ns);
+        assert_eq!(bus.fault_plan().unwrap().injected(), 1);
+        assert_eq!(
+            bus.fault_plan().unwrap().records()[0].fault.kind(),
+            FaultKind::Glitch
+        );
+        assert!(bus.trace().render().contains("GLTCH"));
+    }
+
+    #[test]
+    fn abort_storms_are_absorbed_by_bounded_retry() {
+        let mut bus = bus();
+        bus.inject_faults(FaultPlan::new(FaultConfig {
+            storm_rate: 1.0,
+            max_storm_rounds: 3,
+            ..FaultConfig::default()
+        }));
+        let mut quiet = Mock::quiet();
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut quiet];
+        let out = bus
+            .execute(
+                &TransactionRequest::read(1, 0x40, MasterSignals::CA),
+                &mut mods,
+            )
+            .unwrap();
+        assert!(out.aborts >= 1 && out.aborts <= 3);
+        assert_eq!(bus.stats().pushes, 0, "phantom BS rounds push nothing");
+        assert_eq!(bus.stats().aborts as u32, out.aborts);
+        assert_eq!(bus.stats().retries as u32, out.aborts);
+        assert!(bus.stats().backoff_ns > 0);
+        let records = bus.fault_plan().unwrap().records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].fault.kind(), FaultKind::AbortStorm);
+    }
+
+    #[test]
+    fn soft_errors_corrupt_memory_after_the_transaction() {
+        let mut bus = bus();
+        bus.enable_trace(8);
+        bus.inject_faults(FaultPlan::new(
+            FaultConfig::default().with_rate(FaultKind::CorruptMemory, 1.0),
+        ));
+        let mut mods: Vec<&mut dyn BusModule> = vec![];
+        bus.execute(
+            &TransactionRequest::write(0, 0x40, MasterSignals::IM, 0, vec![7; 16]),
+            &mut mods,
+        )
+        .unwrap();
+        assert_eq!(bus.stats().corruptions, 1);
+        let records = bus.fault_plan().unwrap().records();
+        assert_eq!(records.len(), 1);
+        let InjectedFault::CorruptMemory { addr, offset, mask } = records[0].fault.clone() else {
+            panic!("expected a corruption record");
+        };
+        assert_eq!(addr, 0x40, "the only resident line");
+        let line = bus.memory().peek_line(0x40);
+        assert_eq!(line[offset], 7 ^ mask, "exactly one byte flipped");
+        assert!(bus.trace().render().contains("CORPT"));
     }
 
     #[test]
@@ -692,5 +1300,28 @@ mod tests {
             a.completions.is_empty(),
             "master gets no completion callback"
         );
+    }
+
+    #[test]
+    fn a_pending_stall_waits_until_the_victim_is_a_snooper() {
+        let mut bus = bus();
+        let mut victim = Mock::quiet();
+        let mut other = Mock::quiet();
+        bus.stall_module(0, true);
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut victim, &mut other];
+        // Victim is the master here: the arm must hold its fire.
+        bus.execute(
+            &TransactionRequest::read(0, 0x40, MasterSignals::CA),
+            &mut mods,
+        )
+        .unwrap();
+        assert!(!bus.is_retired(0));
+        // Now it snoops — and dies.
+        bus.execute(
+            &TransactionRequest::read(1, 0x40, MasterSignals::CA),
+            &mut mods,
+        )
+        .unwrap();
+        assert!(bus.is_retired(0));
     }
 }

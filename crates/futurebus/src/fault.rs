@@ -1,0 +1,500 @@
+//! Deterministic, seeded fault injection for the Futurebus layer.
+//!
+//! The paper's robustness claim is electrical as much as logical: §2.2's
+//! wired-OR glitch filter, §3.2.2's BS abort-push-restart path, and the
+//! class's tolerance of non-caching processors all exist so the protocol
+//! survives *misbehaving hardware*. A [`FaultPlan`] turns that claim into a
+//! testable one — it injects, from a seeded [`moesi::rng::SmallRng`], the four
+//! fault families the bus must absorb:
+//!
+//! * **glitches** on the CH/DI/SL consistency lines before the settle window
+//!   (spurious or suppressed assertions, swallowed by the inertial delay
+//!   filter at the cost of `broadcast_penalty_ns`),
+//! * **stalls** and **kills** of a module mid-snoop (the watchdog retires the
+//!   board, degrading it to a non-caching processor — which the class
+//!   explicitly supports),
+//! * **abort storms**, phantom BS assertions beyond a single genuine abort
+//!   (absorbed by bounded retry with backoff),
+//! * **memory corruption**, a soft-error bit flip in a resident line (must be
+//!   *detected* by the consistency oracle, never masked as correct).
+//!
+//! Every injected fault is logged as a [`FaultRecord`], so a campaign driver
+//! can classify each one as masked, detected-and-recovered, or silent.
+
+use crate::timing::Nanos;
+use crate::transaction::LineAddr;
+use moesi::rng::SmallRng;
+use moesi::{ConsistencyLine, ResponseSignals};
+use std::fmt;
+
+/// The families of hardware fault the engine can inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A spurious or suppressed CH/DI/SL assertion before the settle window.
+    Glitch,
+    /// A module hangs mid-snoop but its cache RAM stays readable, so the
+    /// watchdog can salvage dirty lines while retiring it.
+    Stall,
+    /// A module dies outright: retired with its dirty lines lost (the loss
+    /// is reported, never silent).
+    Kill,
+    /// Phantom BS assertions abort the transaction for several extra rounds.
+    AbortStorm,
+    /// A soft error flips bits in a resident memory line.
+    CorruptMemory,
+}
+
+impl FaultKind {
+    /// Every fault kind, in declaration order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Glitch,
+        FaultKind::Stall,
+        FaultKind::Kill,
+        FaultKind::AbortStorm,
+        FaultKind::CorruptMemory,
+    ];
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::Glitch => "glitch",
+            FaultKind::Stall => "stall",
+            FaultKind::Kill => "kill",
+            FaultKind::AbortStorm => "abort-storm",
+            FaultKind::CorruptMemory => "corrupt-memory",
+        })
+    }
+}
+
+/// Seed and per-kind injection rates for a [`FaultPlan`].
+///
+/// Rates are per-transaction probabilities in `[0, 1]`; the default enables
+/// nothing, so a plan built from `FaultConfig::default()` is inert until a
+/// rate is raised (see [`FaultConfig::with_rate`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// RNG seed; two plans with the same seed and rates inject identically.
+    pub seed: u64,
+    /// Probability of glitching one consistency line per transaction.
+    pub glitch_rate: f64,
+    /// Probability of stalling (salvageable hang) a snooper per transaction.
+    pub stall_rate: f64,
+    /// Probability of killing (unsalvageable death) a snooper per transaction.
+    pub kill_rate: f64,
+    /// Probability of an abort storm per transaction.
+    pub storm_rate: f64,
+    /// Probability of corrupting a resident memory line per transaction.
+    pub corrupt_rate: f64,
+    /// Upper bound on phantom BS rounds per storm (each storm draws
+    /// uniformly from `1..=max_storm_rounds`).
+    pub max_storm_rounds: u32,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0xFA_017,
+            glitch_rate: 0.0,
+            stall_rate: 0.0,
+            kill_rate: 0.0,
+            storm_rate: 0.0,
+            corrupt_rate: 0.0,
+            max_storm_rounds: 8,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Returns this config with the given kind's rate set.
+    #[must_use]
+    pub fn with_rate(mut self, kind: FaultKind, rate: f64) -> Self {
+        match kind {
+            FaultKind::Glitch => self.glitch_rate = rate,
+            FaultKind::Stall => self.stall_rate = rate,
+            FaultKind::Kill => self.kill_rate = rate,
+            FaultKind::AbortStorm => self.storm_rate = rate,
+            FaultKind::CorruptMemory => self.corrupt_rate = rate,
+        }
+        self
+    }
+}
+
+/// The faults a plan decided to inject into one transaction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TxnFaults {
+    /// Glitch one consistency line during the first snoop pass.
+    pub glitch: bool,
+    /// Stall or kill this module: `(victim, salvageable)`.
+    pub stall: Option<(usize, bool)>,
+    /// Phantom BS rounds to inject before letting the transaction through.
+    pub storm_rounds: u32,
+    /// Corrupt a resident memory line once the transaction completes.
+    pub corrupt: bool,
+}
+
+/// One injected fault, with enough detail to replay or explain it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// A consistency line was glitched: `spurious` means the line was forced
+    /// asserted (it was quiet), otherwise its genuine assertion was briefly
+    /// suppressed. Either way the settle window filtered it out.
+    Glitch {
+        /// The line that glitched.
+        line: ConsistencyLine,
+        /// True for a spurious assertion, false for a suppressed one.
+        spurious: bool,
+    },
+    /// A module hung mid-snoop; the watchdog retired it and salvaged the
+    /// listed dirty lines to memory.
+    Stall {
+        /// The retired module.
+        module: usize,
+        /// Dirty lines the watchdog pushed to memory on its behalf.
+        salvaged: Vec<LineAddr>,
+    },
+    /// A module died mid-snoop; the watchdog retired it and reports the
+    /// listed dirty lines as lost.
+    Kill {
+        /// The retired module.
+        module: usize,
+        /// Dirty lines whose only up-to-date copy died with the module.
+        lost: Vec<LineAddr>,
+    },
+    /// Phantom BS assertions aborted the transaction `rounds` extra times.
+    AbortStorm {
+        /// Number of phantom abort rounds injected.
+        rounds: u32,
+    },
+    /// Bits flipped in a resident memory line.
+    CorruptMemory {
+        /// The corrupted line.
+        addr: LineAddr,
+        /// Byte offset within the line.
+        offset: usize,
+        /// XOR mask applied to that byte (never zero).
+        mask: u8,
+    },
+}
+
+impl InjectedFault {
+    /// The family this fault belongs to.
+    #[must_use]
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            InjectedFault::Glitch { .. } => FaultKind::Glitch,
+            InjectedFault::Stall { .. } => FaultKind::Stall,
+            InjectedFault::Kill { .. } => FaultKind::Kill,
+            InjectedFault::AbortStorm { .. } => FaultKind::AbortStorm,
+            InjectedFault::CorruptMemory { .. } => FaultKind::CorruptMemory,
+        }
+    }
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectedFault::Glitch { line, spurious } => {
+                write!(
+                    f,
+                    "{} {line}",
+                    if *spurious { "spurious" } else { "suppressed" }
+                )
+            }
+            InjectedFault::Stall { module, salvaged } => {
+                write!(f, "stall m{module} ({} salvaged)", salvaged.len())
+            }
+            InjectedFault::Kill { module, lost } => {
+                write!(f, "kill m{module} ({} lost)", lost.len())
+            }
+            InjectedFault::AbortStorm { rounds } => write!(f, "abort storm x{rounds}"),
+            InjectedFault::CorruptMemory { addr, offset, mask } => {
+                write!(f, "corrupt @{addr:#x}+{offset} ^{mask:#04x}")
+            }
+        }
+    }
+}
+
+/// One logged injection: what was injected, into whose transaction, and how
+/// much bus time the recovery cost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Monotonic injection id, 0-based in injection order.
+    pub id: u64,
+    /// The master of the transaction the fault landed in.
+    pub master: usize,
+    /// The line address of that transaction.
+    pub addr: LineAddr,
+    /// The fault itself.
+    pub fault: InjectedFault,
+    /// Bus time the fault added (settle delay, backoff, watchdog timeout).
+    pub recovery_ns: Nanos,
+}
+
+impl fmt::Display for FaultRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fault #{} [{}] in m{}'s txn @{:#x}: {} (+{} ns)",
+            self.id,
+            self.fault.kind(),
+            self.master,
+            self.addr,
+            self.fault,
+            self.recovery_ns
+        )
+    }
+}
+
+/// A deterministic, seeded fault-injection plan.
+///
+/// Installed on a `Futurebus` via `inject_faults`; the bus consults it once
+/// per transaction ([`FaultPlan::decide`]) and logs whatever it actually
+/// injected. The log ([`FaultPlan::records`]) is the campaign driver's input
+/// for classifying outcomes.
+#[derive(Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    rng: SmallRng,
+    log: Vec<FaultRecord>,
+}
+
+impl FaultPlan {
+    /// Builds a plan from a config; same config ⇒ same injection sequence.
+    #[must_use]
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultPlan {
+            cfg,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            log: Vec::new(),
+        }
+    }
+
+    /// The configuration this plan was built from.
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Rolls the dice for one transaction. `stall_candidates` are the modules
+    /// eligible for a stall/kill (snooping, not the master, not yet retired);
+    /// stall faults are skipped when it is empty.
+    pub fn decide(&mut self, stall_candidates: &[usize]) -> TxnFaults {
+        let glitch = self.rng.gen_bool(self.cfg.glitch_rate);
+        let stall = if stall_candidates.is_empty() {
+            None
+        } else if self.rng.gen_bool(self.cfg.stall_rate) {
+            Some((*self.rng.pick(stall_candidates), true))
+        } else if self.rng.gen_bool(self.cfg.kill_rate) {
+            Some((*self.rng.pick(stall_candidates), false))
+        } else {
+            None
+        };
+        let storm_rounds =
+            if self.cfg.max_storm_rounds > 0 && self.rng.gen_bool(self.cfg.storm_rate) {
+                self.rng.gen_range(1..self.cfg.max_storm_rounds + 1)
+            } else {
+                0
+            };
+        let corrupt = self.rng.gen_bool(self.cfg.corrupt_rate);
+        TxnFaults {
+            glitch,
+            stall,
+            storm_rounds,
+            corrupt,
+        }
+    }
+
+    /// Picks which line to glitch given the wired-OR value the snoop pass
+    /// actually produced: a quiet line glitches spuriously asserted, an
+    /// asserted line glitches briefly suppressed.
+    pub fn glitch_spec(&mut self, actual: ResponseSignals) -> InjectedFault {
+        let line = *self.rng.pick(&ConsistencyLine::ALL);
+        InjectedFault::Glitch {
+            line,
+            spurious: !actual.line(line),
+        }
+    }
+
+    /// Picks a resident line (falling back to `fallback` when memory is
+    /// empty), a byte offset and a non-zero XOR mask for a soft error.
+    pub fn corrupt_spec(
+        &mut self,
+        resident: &[LineAddr],
+        fallback: LineAddr,
+        line_size: usize,
+    ) -> InjectedFault {
+        let addr = if resident.is_empty() {
+            fallback
+        } else {
+            *self.rng.pick(resident)
+        };
+        InjectedFault::CorruptMemory {
+            addr,
+            offset: self.rng.gen_range(0..line_size),
+            mask: self.rng.gen_range(1u16..256) as u8,
+        }
+    }
+
+    /// Logs one injected fault, returning its id.
+    pub fn record(
+        &mut self,
+        master: usize,
+        addr: LineAddr,
+        fault: InjectedFault,
+        recovery_ns: Nanos,
+    ) -> u64 {
+        let id = self.log.len() as u64;
+        self.log.push(FaultRecord {
+            id,
+            master,
+            addr,
+            fault,
+            recovery_ns,
+        });
+        id
+    }
+
+    /// Every fault injected so far, in injection order.
+    #[must_use]
+    pub fn records(&self) -> &[FaultRecord] {
+        &self.log
+    }
+
+    /// Total faults injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.log.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_means_same_decisions() {
+        let cfg = FaultConfig {
+            glitch_rate: 0.5,
+            stall_rate: 0.2,
+            kill_rate: 0.2,
+            storm_rate: 0.3,
+            corrupt_rate: 0.4,
+            ..FaultConfig::default()
+        };
+        let mut a = FaultPlan::new(cfg);
+        let mut b = FaultPlan::new(cfg);
+        for _ in 0..200 {
+            let (da, db) = (a.decide(&[1, 2, 3]), b.decide(&[1, 2, 3]));
+            assert_eq!(da.glitch, db.glitch);
+            assert_eq!(da.stall, db.stall);
+            assert_eq!(da.storm_rounds, db.storm_rounds);
+            assert_eq!(da.corrupt, db.corrupt);
+        }
+    }
+
+    #[test]
+    fn default_config_is_inert() {
+        let mut plan = FaultPlan::new(FaultConfig::default());
+        for _ in 0..100 {
+            let d = plan.decide(&[1, 2]);
+            assert!(!d.glitch && d.stall.is_none() && d.storm_rounds == 0 && !d.corrupt);
+        }
+        assert_eq!(plan.injected(), 0);
+    }
+
+    #[test]
+    fn glitch_spec_inverts_the_actual_line_value() {
+        let mut plan = FaultPlan::new(FaultConfig::default());
+        let all = ResponseSignals {
+            ch: true,
+            di: true,
+            sl: true,
+            bs: false,
+        };
+        for _ in 0..20 {
+            match plan.glitch_spec(ResponseSignals::NONE) {
+                InjectedFault::Glitch { spurious, .. } => assert!(spurious),
+                other => panic!("unexpected {other:?}"),
+            }
+            match plan.glitch_spec(all) {
+                InjectedFault::Glitch { spurious, .. } => assert!(!spurious),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_spec_targets_resident_lines_with_nonzero_mask() {
+        let mut plan = FaultPlan::new(FaultConfig::default());
+        let resident = [0x40, 0x80, 0xC0];
+        for _ in 0..50 {
+            match plan.corrupt_spec(&resident, 0x0, 32) {
+                InjectedFault::CorruptMemory { addr, offset, mask } => {
+                    assert!(resident.contains(&addr));
+                    assert!(offset < 32);
+                    assert_ne!(mask, 0);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        match plan.corrupt_spec(&[], 0x1C0, 32) {
+            InjectedFault::CorruptMemory { addr, .. } => assert_eq!(addr, 0x1C0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stalls_only_pick_eligible_victims() {
+        let cfg = FaultConfig {
+            stall_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut plan = FaultPlan::new(cfg);
+        assert_eq!(plan.decide(&[]).stall, None, "no candidates, no stall");
+        for _ in 0..20 {
+            let (victim, salvage) = plan.decide(&[2, 5]).stall.expect("rate 1.0 always fires");
+            assert!(victim == 2 || victim == 5);
+            assert!(salvage);
+        }
+    }
+
+    #[test]
+    fn records_accumulate_in_order() {
+        let mut plan = FaultPlan::new(FaultConfig::default());
+        let id0 = plan.record(0, 0x40, InjectedFault::AbortStorm { rounds: 3 }, 150);
+        let id1 = plan.record(
+            1,
+            0x80,
+            InjectedFault::Kill {
+                module: 2,
+                lost: vec![0x40],
+            },
+            10_000,
+        );
+        assert_eq!((id0, id1), (0, 1));
+        assert_eq!(plan.injected(), 2);
+        assert_eq!(plan.records()[1].fault.kind(), FaultKind::Kill);
+        let shown = plan.records()[0].to_string();
+        assert!(
+            shown.contains("abort-storm") && shown.contains("x3"),
+            "{shown}"
+        );
+    }
+
+    #[test]
+    fn displays_are_descriptive() {
+        assert_eq!(FaultKind::CorruptMemory.to_string(), "corrupt-memory");
+        let g = InjectedFault::Glitch {
+            line: ConsistencyLine::Di,
+            spurious: true,
+        };
+        assert_eq!(g.to_string(), "spurious DI");
+        let c = InjectedFault::CorruptMemory {
+            addr: 0x40,
+            offset: 3,
+            mask: 0x80,
+        };
+        assert!(c.to_string().contains("0x40"), "{c}");
+    }
+}

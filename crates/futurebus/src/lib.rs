@@ -12,7 +12,10 @@
 //!   (DI) preempting memory, broadcast writes updating memory and SL-connected
 //!   third parties, BS abort-push-restart, and nanosecond cost accounting;
 //! * [`SparseMemory`] — main memory, the default owner of every line;
-//! * [`arbitration`] — priority and round-robin arbiters.
+//! * [`arbitration`] — priority and round-robin arbiters;
+//! * [`fault`] — a deterministic, seeded fault-injection engine (consistency-
+//!   line glitches, stalled/killed snoopers, abort storms, soft errors) paired
+//!   with the bus watchdog and bounded-retry recovery machinery.
 //!
 //! The consistency *protocols* live in the `moesi` crate; the cache arrays in
 //! `cache-array`; the full multiprocessor simulator in `mpsim`.
@@ -36,6 +39,7 @@
 
 pub mod arbitration;
 mod bus;
+pub mod fault;
 pub mod handshake;
 mod memory;
 mod module;
@@ -46,9 +50,10 @@ mod transaction;
 pub mod wire;
 
 pub use arbitration::{Arbiter, PriorityArbiter, RoundRobinArbiter};
-pub use bus::Futurebus;
+pub use bus::{Futurebus, RetryPolicy};
+pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultRecord, InjectedFault};
 pub use memory::SparseMemory;
-pub use module::{BusModule, BusObservation, PushWrite};
+pub use module::{BusModule, BusObservation, PushWrite, RetireReport};
 pub use stats::BusStats;
 pub use timing::{DataSourceLatency, Nanos, TimingConfig, BROADCAST_PENALTY_NS};
 pub use trace::{BusTrace, TraceKind, TraceRecord};

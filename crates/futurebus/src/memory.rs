@@ -147,6 +147,16 @@ impl SparseMemory {
     pub fn resident_lines(&self) -> usize {
         self.lines.len()
     }
+
+    /// Addresses of every resident line, sorted ascending. The underlying
+    /// map iterates in hash order, so callers that need determinism (fault
+    /// injection, checkers) must go through this.
+    #[must_use]
+    pub fn line_addrs(&self) -> Vec<LineAddr> {
+        let mut addrs: Vec<LineAddr> = self.lines.keys().copied().collect();
+        addrs.sort_unstable();
+        addrs
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +209,15 @@ mod tests {
         // peek does not count.
         let _ = mem.peek_line(0);
         assert_eq!(mem.read_count(), 1);
+    }
+
+    #[test]
+    fn line_addrs_are_sorted() {
+        let mut mem = SparseMemory::new(16);
+        for addr in [0x300, 0x10, 0x200, 0x0] {
+            mem.write_line(addr, &[1; 16]);
+        }
+        assert_eq!(mem.line_addrs(), vec![0x0, 0x10, 0x200, 0x300]);
     }
 
     #[test]

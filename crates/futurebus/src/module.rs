@@ -27,6 +27,21 @@ pub struct PushWrite {
     pub signals: MasterSignals,
 }
 
+/// What the bus watchdog recovers when it retires a non-responding module
+/// from the snoop set.
+///
+/// A *stalled* module's snoop logic hung but its cache RAM is still readable,
+/// so its dirty (owned) lines can be salvaged to memory; a *killed* module
+/// takes its dirty lines with it, and the loss is reported here rather than
+/// discovered later as silent corruption.
+#[derive(Clone, Debug, Default)]
+pub struct RetireReport {
+    /// Dirty lines recovered from the module, ready to write back to memory.
+    pub salvaged: Vec<(LineAddr, Box<[u8]>)>,
+    /// Dirty lines whose only up-to-date copy died with the module.
+    pub lost: Vec<LineAddr>,
+}
+
 /// A unit attached to the bus: a cache controller, an I/O board, etc.
 ///
 /// Main memory is *not* a `BusModule`: it lives inside the
@@ -68,14 +83,27 @@ pub trait BusModule {
         panic!("module cannot intervene for {addr:#x}");
     }
 
-    /// Produce the push write-back after this module aborted with BS.
+    /// Produce the push write-back after this module aborted with BS, or
+    /// `None` if it has nothing to push.
     ///
-    /// # Panics
+    /// Asserting BS without a push is a protocol bug, but it must not crash
+    /// the machine: the bus turns a `None` here into a reported
+    /// [`BusError::ProtocolError`](crate::BusError::ProtocolError) instead of
+    /// a process abort. The default implementation returns `None`, since
+    /// modules that never assert BS never receive this call.
+    fn prepare_push(&mut self, _addr: LineAddr) -> Option<PushWrite> {
+        None
+    }
+
+    /// Retire this module from the bus after the watchdog timed it out.
     ///
-    /// The default implementation panics: modules that never assert BS never
-    /// receive this call.
-    fn prepare_push(&mut self, addr: LineAddr) -> PushWrite {
-        panic!("module cannot push {addr:#x}");
+    /// `salvage` is true for a stalled module whose cache RAM is still
+    /// readable; the implementation should hand over its dirty lines and
+    /// degrade itself to a non-caching client (the class explicitly supports
+    /// those, §3.3). The default reports nothing salvaged and nothing lost —
+    /// correct for modules that never own data.
+    fn retire(&mut self, _salvage: bool) -> RetireReport {
+        RetireReport::default()
     }
 
     /// Commit the state transition for a snooped transaction.
@@ -102,9 +130,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot push")]
-    fn default_push_panics() {
-        let _ = Dummy.prepare_push(0x40);
+    fn default_push_declines_instead_of_panicking() {
+        assert!(Dummy.prepare_push(0x40).is_none());
+    }
+
+    #[test]
+    fn default_retire_reports_nothing() {
+        let report = Dummy.retire(true);
+        assert!(report.salvaged.is_empty() && report.lost.is_empty());
     }
 
     #[test]

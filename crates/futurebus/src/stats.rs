@@ -38,6 +38,23 @@ pub struct BusStats {
     pub busy_ns: Nanos,
     /// Total payload bytes moved (reads + writes + pushes).
     pub bytes_moved: u64,
+    /// Retry rounds spent waiting out exponential backoff.
+    pub retries: u64,
+    /// Bus time spent in backoff between abort retries (included in
+    /// `busy_ns`).
+    pub backoff_ns: Nanos,
+    /// Consistency-line glitches absorbed by the wired-OR settle window.
+    pub glitches_filtered: u64,
+    /// Extra settle time charged while filtering glitches (in `busy_ns`).
+    pub settle_ns: Nanos,
+    /// Snoopers retired by the watchdog after failing to respond.
+    pub watchdog_retirements: u64,
+    /// Dirty lines the watchdog salvaged from stalled modules into memory.
+    pub salvaged_lines: u64,
+    /// Dirty lines lost with killed modules (reported, not silent).
+    pub lost_lines: u64,
+    /// Soft-error corruptions injected into memory lines.
+    pub corruptions: u64,
 }
 
 impl BusStats {
@@ -74,6 +91,14 @@ impl AddAssign for BusStats {
         self.pushes += rhs.pushes;
         self.busy_ns += rhs.busy_ns;
         self.bytes_moved += rhs.bytes_moved;
+        self.retries += rhs.retries;
+        self.backoff_ns += rhs.backoff_ns;
+        self.glitches_filtered += rhs.glitches_filtered;
+        self.settle_ns += rhs.settle_ns;
+        self.watchdog_retirements += rhs.watchdog_retirements;
+        self.salvaged_lines += rhs.salvaged_lines;
+        self.lost_lines += rhs.lost_lines;
+        self.corruptions += rhs.corruptions;
     }
 }
 
@@ -100,7 +125,29 @@ impl fmt::Display for BusStats {
             self.aborts,
             self.pushes,
             self.bytes_moved
-        )
+        )?;
+        let faulty = self.retries
+            + self.glitches_filtered
+            + self.watchdog_retirements
+            + self.salvaged_lines
+            + self.lost_lines
+            + self.corruptions;
+        if faulty > 0 {
+            write!(
+                f,
+                "\n     {} retries ({} ns backoff), {} glitches filtered ({} ns settle), \
+                 {} retired ({} salvaged/{} lost lines), {} corruptions",
+                self.retries,
+                self.backoff_ns,
+                self.glitches_filtered,
+                self.settle_ns,
+                self.watchdog_retirements,
+                self.salvaged_lines,
+                self.lost_lines,
+                self.corruptions
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -150,5 +197,37 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("7 txns"));
         assert!(text.contains("2 aborts"));
+        assert_eq!(text.lines().count(), 2, "fault line only when faults hit");
+    }
+
+    #[test]
+    fn fault_counters_sum_and_display() {
+        let mut a = BusStats {
+            retries: 2,
+            backoff_ns: 300,
+            glitches_filtered: 1,
+            settle_ns: 25,
+            ..BusStats::new()
+        };
+        a += BusStats {
+            retries: 1,
+            backoff_ns: 100,
+            watchdog_retirements: 1,
+            salvaged_lines: 3,
+            lost_lines: 1,
+            corruptions: 2,
+            ..BusStats::new()
+        };
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.backoff_ns, 400);
+        assert_eq!(a.salvaged_lines, 3);
+        let text = a.to_string();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("3 retries (400 ns backoff)"), "{text}");
+        assert!(
+            text.contains("1 retired (3 salvaged/1 lost lines)"),
+            "{text}"
+        );
+        assert!(text.contains("2 corruptions"), "{text}");
     }
 }

@@ -49,6 +49,11 @@ pub struct TimingConfig {
     pub intervention_latency_ns: Nanos,
     /// Bytes moved per data beat (bus width). 4 for the 32-bit Futurebus.
     pub bus_word_bytes: usize,
+    /// How long the bus waits for a snooper's response before the watchdog
+    /// declares it dead and retires it from the snoop set. Far above any
+    /// legitimate handshake time: a healthy module answers within the
+    /// address-cycle handshake, so only a genuinely hung board ever pays this.
+    pub watchdog_timeout_ns: Nanos,
 }
 
 impl Default for TimingConfig {
@@ -63,6 +68,7 @@ impl Default for TimingConfig {
             memory_latency_ns: 300,
             intervention_latency_ns: 100,
             bus_word_bytes: 4,
+            watchdog_timeout_ns: 10_000,
         }
     }
 }

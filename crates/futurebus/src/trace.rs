@@ -21,6 +21,13 @@ pub enum TraceKind {
     AddressOnly,
     /// A push write executed on behalf of a BS-aborting snooper.
     Push,
+    /// An injected consistency-line glitch, absorbed by the settle window.
+    Glitch,
+    /// The watchdog retired a non-responding snooper (the `master` field
+    /// holds the retired module).
+    Retire,
+    /// An injected soft error corrupted a memory line.
+    Corrupt,
 }
 
 impl fmt::Display for TraceKind {
@@ -30,6 +37,9 @@ impl fmt::Display for TraceKind {
             TraceKind::Write => "WRITE",
             TraceKind::AddressOnly => "INVAL",
             TraceKind::Push => "PUSH",
+            TraceKind::Glitch => "GLTCH",
+            TraceKind::Retire => "RETIR",
+            TraceKind::Corrupt => "CORPT",
         };
         f.write_str(s)
     }

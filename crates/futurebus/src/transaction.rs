@@ -167,6 +167,15 @@ pub enum BusError {
     },
     /// The address is not aligned to the configured line size.
     UnalignedAddress(LineAddr),
+    /// A snooper broke the bus protocol — e.g. asserted BS without having a
+    /// push ready, or pushed a short line. Reported as an error so a buggy
+    /// protocol is a diagnosable failure, not a process abort.
+    ProtocolError {
+        /// The offending module index.
+        module: usize,
+        /// What it did wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for BusError {
@@ -187,6 +196,9 @@ impl fmt::Display for BusError {
                 "write payload {len}B@+{offset} exceeds line size {line_size}"
             ),
             BusError::UnalignedAddress(a) => write!(f, "address {a:#x} is not line-aligned"),
+            BusError::ProtocolError { module, detail } => {
+                write!(f, "module {module} broke the bus protocol: {detail}")
+            }
         }
     }
 }
@@ -224,5 +236,11 @@ mod tests {
             "illegal master signals `BC`"
         );
         assert!(BusError::TooManyRetries(5).to_string().contains("5 times"));
+        let pe = BusError::ProtocolError {
+            module: 2,
+            detail: "asserted BS without a push".to_string(),
+        };
+        assert!(pe.to_string().contains("module 2"), "{pe}");
+        assert!(pe.to_string().contains("without a push"), "{pe}");
     }
 }

@@ -12,7 +12,8 @@
 //! [`System`](crate::System), which owns the bus and all controllers.
 
 use cache_array::{CacheArray, CacheConfig, Victim};
-use futurebus::{BusModule, BusObservation, LineAddr, PushWrite, TransactionRequest};
+use futurebus::{BusModule, BusObservation, LineAddr, PushWrite, RetireReport, TransactionRequest};
+use moesi::protocols::NonCaching;
 use moesi::{
     BusEvent, BusReaction, CacheKind, LineState, LocalAction, LocalCtx, LocalEvent, Protocol,
     ResponseSignals, SnoopCtx,
@@ -246,22 +247,17 @@ impl BusModule for CacheController {
         entry.data.clone()
     }
 
-    fn prepare_push(&mut self, addr: LineAddr) -> PushWrite {
-        let pending = self
-            .pending
-            .take()
-            .unwrap_or_else(|| panic!("{}: push without a pending snoop", self.name));
-        assert_eq!(pending.addr, addr, "push address mismatch");
-        let push = pending
-            .reaction
-            .busy
-            .unwrap_or_else(|| panic!("{}: push without a BS reaction", self.name));
-        let cache = self.cache.as_mut().expect("push from a cacheless node");
-        let data = cache
-            .lookup(addr)
-            .unwrap_or_else(|| panic!("{}: pushing non-resident {addr:#x}", self.name))
-            .data
-            .clone();
+    fn prepare_push(&mut self, addr: LineAddr) -> Option<PushWrite> {
+        // Any of these being absent means this controller asserted BS it
+        // cannot honour; declining lets the bus report a ProtocolError
+        // instead of crashing the whole machine.
+        let pending = self.pending.take()?;
+        if pending.addr != addr {
+            return None;
+        }
+        let push = pending.reaction.busy?;
+        let cache = self.cache.as_mut()?;
+        let data = cache.lookup(addr)?.data.clone();
         if push.result == LineState::Invalid {
             cache.invalidate(addr);
         } else {
@@ -269,10 +265,37 @@ impl BusModule for CacheController {
         }
         self.stats.pushes += 1;
         self.stats.write_backs += 1;
-        PushWrite {
+        Some(PushWrite {
             data,
             signals: push.signals,
+        })
+    }
+
+    fn retire(&mut self, salvage: bool) -> RetireReport {
+        self.pending = None;
+        let mut report = RetireReport::default();
+        if let Some(cache) = self.cache.take() {
+            // Only the owned (M/O) lines matter: memory already has an
+            // up-to-date copy of everything else.
+            for (addr, entry) in cache.iter() {
+                if entry.state.is_owned() {
+                    if salvage {
+                        report.salvaged.push((addr, entry.data.clone()));
+                    } else {
+                        report.lost.push(addr);
+                    }
+                }
+            }
         }
+        report.salvaged.sort_by_key(|(addr, _)| *addr);
+        report.lost.sort_unstable();
+        // The board is degraded to a non-caching client from here on — the
+        // class explicitly accommodates those (§3.3), so the survivors keep
+        // running the same protocol around it.
+        self.protocol = Box::new(NonCaching::new());
+        self.name.push_str("[retired]");
+        self.stats.retired = true;
+        report
     }
 
     fn complete(&mut self, req: &TransactionRequest, obs: &BusObservation<'_>) {
@@ -422,7 +445,7 @@ mod tests {
         let r = c.snoop(&read_req(0x100));
         assert!(r.bs);
         assert!(!r.di && !r.ch, "BS suppresses the other lines this pass");
-        let push = c.prepare_push(0x100);
+        let push = c.prepare_push(0x100).expect("BS snoop must yield a push");
         assert_eq!(&push.data[..], &[9; 16]);
         assert!(push.signals.ca);
         assert_eq!(c.state_of(0x100), LineState::Shareable);
@@ -457,6 +480,36 @@ mod tests {
     #[should_panic(expected = "must not have")]
     fn non_caching_protocol_with_cache_is_rejected() {
         let _ = CacheController::new(0, Box::new(NonCaching::new()), Some(cfg()), 1);
+    }
+
+    #[test]
+    fn retire_salvages_owned_lines_and_degrades_to_non_caching() {
+        let mut c = moesi_ctrl(0);
+        c.fill(0x100, LineState::Modified, vec![3; 16].into());
+        c.fill(0x200, LineState::Shareable, vec![4; 16].into());
+        let report = c.retire(true);
+        // Only the owned line is salvaged; the S copy is already in memory.
+        assert_eq!(report.salvaged.len(), 1);
+        assert_eq!(report.salvaged[0].0, 0x100);
+        assert_eq!(&report.salvaged[0].1[..], &[3; 16]);
+        assert!(report.lost.is_empty());
+        assert_eq!(c.kind(), CacheKind::NonCaching);
+        assert!(c.cache().is_none());
+        assert!(c.name().ends_with("[retired]"));
+        assert!(c.stats().retired);
+        // A retired node behaves like any non-caching client.
+        assert_eq!(c.snoop(&read_req(0x100)), ResponseSignals::NONE);
+    }
+
+    #[test]
+    fn retire_without_salvage_reports_owned_lines_lost() {
+        let mut c = moesi_ctrl(0);
+        c.fill(0x100, LineState::Owned, vec![1; 16].into());
+        c.fill(0x300, LineState::Modified, vec![2; 16].into());
+        let report = c.retire(false);
+        assert!(report.salvaged.is_empty());
+        assert_eq!(report.lost, vec![0x100, 0x300]);
+        assert!(c.stats().retired);
     }
 
     #[test]

@@ -1,0 +1,559 @@
+//! Fault-injection campaigns: prove the protocol class degrades gracefully.
+//!
+//! A campaign runs a seeded workload over one machine per protocol with a
+//! [`FaultPlan`] installed on the bus, then audits every injected fault with
+//! the consistency oracle and classifies it:
+//!
+//! * [`FaultClass::Masked`] — the fault had no observable effect at all; the
+//!   hardware absorbed it (the fate of every consistency-line glitch, which
+//!   the §2.2 settle window filters out).
+//! * [`FaultClass::Detected`] — the fault was observed and recovered from
+//!   with the damage *reported*: a watchdog retirement, a drained abort
+//!   storm, a scrubbed soft error, or an explicitly-reported data loss.
+//! * [`FaultClass::Silent`] — the machine kept running but an invariant or a
+//!   read went wrong *after* recovery. This is the failure mode the class is
+//!   claimed not to have; a campaign with any silent fault fails.
+//!
+//! The harness is deliberately an *accepting* auditor: when a killed module
+//! takes the only copy of a line with it, the golden image is reconciled to
+//! the post-loss memory (the loss was reported, so consumers know), and any
+//! *remaining* divergence is silent corruption.
+
+use cache_array::{CacheConfig, ReplacementKind};
+use futurebus::fault::{FaultConfig, FaultKind, FaultPlan, FaultRecord, InjectedFault};
+use futurebus::{BusStats, TimingConfig};
+use moesi::protocols::by_name;
+use moesi::rng::SmallRng;
+use moesi::CacheKind;
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::checker::Checker;
+use crate::controller::CacheController;
+use crate::fabric::Fabric;
+
+/// How a campaign classified one injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// No observable effect; the hardware absorbed it outright.
+    Masked,
+    /// Observed and recovered, with any damage reported.
+    Detected,
+    /// An invariant or read went wrong after recovery — the failure mode the
+    /// class must not have.
+    Silent,
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultClass::Masked => "masked",
+            FaultClass::Detected => "detected",
+            FaultClass::Silent => "SILENT",
+        })
+    }
+}
+
+/// One injected fault with its audit verdict.
+#[derive(Clone, Debug)]
+pub struct FaultVerdict {
+    /// The fault as the bus logged it.
+    pub record: FaultRecord,
+    /// The audit classification.
+    pub class: FaultClass,
+    /// Why the class was assigned.
+    pub note: String,
+}
+
+impl fmt::Display for FaultVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]: {}", self.record, self.class, self.note)
+    }
+}
+
+/// Campaign shape: protocols, machine geometry, workload and fault rates.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Protocol names (see `moesi::protocols::by_name`), one homogeneous
+    /// machine per entry.
+    pub protocols: Vec<String>,
+    /// Processors per machine.
+    pub cpus: usize,
+    /// Bytes per line.
+    pub line_size: usize,
+    /// Cache capacity per node in bytes.
+    pub cache_bytes: usize,
+    /// Processor accesses per machine.
+    pub steps: u64,
+    /// Distinct lines in the working set (sized to overflow the caches so
+    /// the bus stays busy and faults keep landing).
+    pub lines: u64,
+    /// Workload seed (the fault seed lives in [`CampaignConfig::faults`]).
+    pub seed: u64,
+    /// Fault kinds and rates to inject.
+    pub faults: FaultConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            protocols: vec![
+                "moesi".into(),
+                "dragon".into(),
+                "write-through".into(),
+                "berkeley".into(),
+            ],
+            cpus: 4,
+            line_size: 16,
+            cache_bytes: 1024,
+            steps: 2500,
+            lines: 96,
+            seed: 0xCA_FE,
+            faults: FaultConfig {
+                glitch_rate: 0.20,
+                stall_rate: 0.0015,
+                kill_rate: 0.0015,
+                storm_rate: 0.04,
+                corrupt_rate: 0.10,
+                max_storm_rounds: 4,
+                ..FaultConfig::default()
+            },
+        }
+    }
+}
+
+/// One protocol's campaign outcome.
+#[derive(Clone, Debug)]
+pub struct ProtocolRun {
+    /// The protocol name the machine ran.
+    pub protocol: String,
+    /// Processor accesses executed.
+    pub accesses: u64,
+    /// Every injected fault with its verdict, in injection order.
+    pub verdicts: Vec<FaultVerdict>,
+    /// Modules the watchdog retired, ascending.
+    pub retired: Vec<usize>,
+    /// Invariant/read violations observed after recovery (silent corruption;
+    /// the run stops at the first one).
+    pub violations: Vec<String>,
+    /// Bus statistics at the end of the run.
+    pub bus_stats: BusStats,
+}
+
+impl ProtocolRun {
+    /// Faults in `class`.
+    #[must_use]
+    pub fn count_class(&self, class: FaultClass) -> u64 {
+        self.verdicts.iter().filter(|v| v.class == class).count() as u64
+    }
+
+    /// Faults of `kind` in `class`.
+    #[must_use]
+    pub fn count(&self, kind: FaultKind, class: FaultClass) -> u64 {
+        self.verdicts
+            .iter()
+            .filter(|v| v.record.fault.kind() == kind && v.class == class)
+            .count() as u64
+    }
+}
+
+impl fmt::Display for ProtocolRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} accesses, {} faults",
+            self.protocol,
+            self.accesses,
+            self.verdicts.len()
+        )?;
+        let mut by_kind: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+        for v in &self.verdicts {
+            let slot = by_kind
+                .entry(v.record.fault.kind().to_string())
+                .or_default();
+            match v.class {
+                FaultClass::Masked => slot.0 += 1,
+                FaultClass::Detected => slot.1 += 1,
+                FaultClass::Silent => slot.2 += 1,
+            }
+        }
+        for (kind, (masked, detected, silent)) in &by_kind {
+            write!(f, "\n    {kind}: {masked} masked, {detected} detected")?;
+            if *silent > 0 {
+                write!(f, ", {silent} SILENT")?;
+            }
+        }
+        if !self.retired.is_empty() {
+            write!(f, "\n    retired modules: {:?}", self.retired)?;
+        }
+        for v in &self.violations {
+            write!(f, "\n    SILENT CORRUPTION: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A whole campaign's outcome: one [`ProtocolRun`] per protocol.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Per-protocol results, in configuration order.
+    pub runs: Vec<ProtocolRun>,
+}
+
+impl CampaignReport {
+    /// Total faults injected across all runs.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.runs.iter().map(|r| r.verdicts.len() as u64).sum()
+    }
+
+    /// Total silent corruptions (violations observed after recovery). A
+    /// graceful degradation claim requires this to be zero.
+    #[must_use]
+    pub fn silent(&self) -> u64 {
+        self.runs.iter().map(|r| r.violations.len() as u64).sum()
+    }
+
+    /// Total faults of `kind` in `class` across all runs.
+    #[must_use]
+    pub fn count(&self, kind: FaultKind, class: FaultClass) -> u64 {
+        self.runs.iter().map(|r| r.count(kind, class)).sum()
+    }
+
+    /// Total watchdog retirements across all runs.
+    #[must_use]
+    pub fn retirements(&self) -> u64 {
+        self.runs.iter().map(|r| r.retired.len() as u64).sum()
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fault campaign: {} protocols, {} faults injected, {} silent",
+            self.runs.len(),
+            self.injected(),
+            self.silent()
+        )?;
+        for run in &self.runs {
+            writeln!(f, "  {run}")?;
+        }
+        write!(
+            f,
+            "verdict: {}",
+            if self.silent() == 0 {
+                "graceful degradation — every fault masked or detected"
+            } else {
+                "SILENT CORRUPTION OBSERVED"
+            }
+        )
+    }
+}
+
+/// Runs a fault-injection campaign: for each protocol, a seeded workload on a
+/// faulty bus, with every injected fault audited and classified.
+///
+/// # Errors
+///
+/// Returns a message when a protocol name is unknown or the geometry is
+/// unusable (zero cpus/steps/lines).
+pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, String> {
+    if cfg.protocols.is_empty() {
+        return Err("no protocols given".into());
+    }
+    if cfg.cpus == 0 || cfg.steps == 0 || cfg.lines == 0 {
+        return Err("cpus, steps and lines must all be non-zero".into());
+    }
+    let mut runs = Vec::with_capacity(cfg.protocols.len());
+    for (run_idx, name) in cfg.protocols.iter().enumerate() {
+        runs.push(run_one(cfg, name, run_idx as u64)?);
+    }
+    Ok(CampaignReport { runs })
+}
+
+fn run_one(cfg: &CampaignConfig, name: &str, run_idx: u64) -> Result<ProtocolRun, String> {
+    let controllers: Vec<CacheController> = (0..cfg.cpus)
+        .map(|id| {
+            let protocol = by_name(name, cfg.seed.wrapping_add(id as u64))
+                .ok_or_else(|| format!("unknown protocol `{name}`"))?;
+            let cache = (protocol.kind() != CacheKind::NonCaching)
+                .then(|| CacheConfig::new(cfg.cache_bytes, cfg.line_size, 2, ReplacementKind::Lru));
+            Ok(CacheController::new(
+                id,
+                protocol,
+                cache,
+                cfg.seed.wrapping_add(id as u64),
+            ))
+        })
+        .collect::<Result<_, String>>()?;
+    let mut fabric = Fabric::new(cfg.line_size, TimingConfig::default(), controllers);
+    fabric.bus_mut().inject_faults(FaultPlan::new(FaultConfig {
+        seed: cfg.faults.seed.wrapping_add(run_idx),
+        ..cfg.faults
+    }));
+    let mut checker = Checker::new(cfg.line_size);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(run_idx));
+
+    let mut run = ProtocolRun {
+        protocol: name.to_string(),
+        accesses: 0,
+        verdicts: Vec::new(),
+        retired: Vec::new(),
+        violations: Vec::new(),
+        bus_stats: BusStats::new(),
+    };
+    let mut cursor = 0usize;
+    let mut write_pieces: Vec<(u64, Vec<u8>)> = Vec::new();
+
+    for step in 0..cfg.steps {
+        let cpu = (step as usize) % cfg.cpus;
+        let line = rng.gen_range(0..cfg.lines);
+        let word = rng.gen_range(0..(cfg.line_size / 4) as u64);
+        let addr = line * cfg.line_size as u64 + word * 4;
+        write_pieces.clear();
+        let read_back = if rng.gen_bool(0.5) {
+            let bytes = vec![rng.gen_range(0u16..256) as u8; 4];
+            let ck = &mut checker;
+            let pieces = &mut write_pieces;
+            fabric.write_with(cpu, addr, &bytes, |piece_addr, piece| {
+                ck.record_write(piece_addr, piece);
+                pieces.push((piece_addr, piece.to_vec()));
+            });
+            None
+        } else {
+            Some(fabric.read(cpu, addr, 4))
+        };
+        run.accesses += 1;
+
+        // Drain faults the bus injected during this access, reconcile the
+        // reported damage, and classify.
+        let new: Vec<FaultRecord> = {
+            let plan = fabric.bus().fault_plan().expect("plan installed above");
+            plan.records()[cursor..].to_vec()
+        };
+        cursor += new.len();
+        let first_new = run.verdicts.len();
+        let mut killed = false;
+        for record in new {
+            killed |= matches!(record.fault, InjectedFault::Kill { .. });
+            let (class, note) = audit(&record.fault, &mut fabric, &mut checker, cfg.line_size);
+            run.verdicts.push(FaultVerdict {
+                record,
+                class,
+                note,
+            });
+        }
+        // A kill can land mid-transaction on the very line this step is
+        // writing: the master fills from the rolled-back memory and merges
+        // its bytes on top, so the write *survives* even though the rest of
+        // the line reverted. The kill reconciliation above set the golden
+        // line to bare memory; re-apply the step's write on top of it.
+        if killed {
+            for (piece_addr, piece) in &write_pieces {
+                checker.record_write(*piece_addr, piece);
+            }
+        }
+
+        // With all reported damage reconciled, anything still wrong is
+        // silent corruption: the read must match the golden image and every
+        // structural invariant must hold.
+        let mut broken = None;
+        if let Some(got) = read_back {
+            if let Err(v) = checker.check_read(cpu, addr, &got) {
+                broken = Some(v);
+            }
+        }
+        if broken.is_none() {
+            if let Err(v) = checker.verify(fabric.controllers(), fabric.bus().memory()) {
+                broken = Some(v);
+            }
+        }
+        if let Some(v) = broken {
+            run.violations.push(format!("step {step}: {v}"));
+            for verdict in &mut run.verdicts[first_new..] {
+                verdict.class = FaultClass::Silent;
+                verdict.note = format!("post-recovery violation: {v}");
+            }
+            break; // the machine state is poisoned; stop this run
+        }
+    }
+
+    run.retired = fabric.bus().retired();
+    run.bus_stats = *fabric.bus().stats();
+    Ok(run)
+}
+
+/// Reconciles one fault's reported damage and returns its provisional class
+/// (flipped to `Silent` by the caller if the post-recovery audit fails).
+fn audit(
+    fault: &InjectedFault,
+    fabric: &mut Fabric,
+    checker: &mut Checker,
+    line_size: usize,
+) -> (FaultClass, String) {
+    match fault {
+        InjectedFault::Glitch { .. } => (
+            FaultClass::Masked,
+            "absorbed by the wired-OR settle window".into(),
+        ),
+        InjectedFault::Stall { module, salvaged } => (
+            FaultClass::Detected,
+            format!(
+                "watchdog retired m{module}; {} dirty lines salvaged to memory",
+                salvaged.len()
+            ),
+        ),
+        InjectedFault::Kill { module, lost } => {
+            // The loss is reported: accept the rolled-back memory image as
+            // the new truth. Any divergence beyond it is silent corruption.
+            for addr in lost {
+                let mem_line = fabric.bus().memory().peek_line(*addr);
+                checker.record_write(*addr, &mem_line);
+            }
+            (
+                FaultClass::Detected,
+                format!(
+                    "watchdog retired m{module}; {} dirty lines lost (reported, survivors invalidated)",
+                    lost.len()
+                ),
+            )
+        }
+        InjectedFault::AbortStorm { rounds } => (
+            FaultClass::Detected,
+            format!("{rounds} phantom BS rounds drained by bounded retry with backoff"),
+        ),
+        InjectedFault::CorruptMemory { addr, .. } => {
+            let golden = checker.golden_bytes(*addr, line_size);
+            let diverged = fabric.bus().memory().peek_line(*addr)[..] != golden[..];
+            fabric.bus_mut().memory_mut().write_line(*addr, &golden);
+            (
+                FaultClass::Detected,
+                if diverged {
+                    "scrubber found memory diverged from the golden image; restored".into()
+                } else {
+                    "corruption landed on already-stale bytes; scrubbed anyway".into()
+                },
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> CampaignConfig {
+        CampaignConfig {
+            protocols: vec!["moesi".into()],
+            steps: 300,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let cfg = quick_cfg();
+        let a = run_campaign(&cfg).unwrap();
+        let b = run_campaign(&cfg).unwrap();
+        assert_eq!(a.injected(), b.injected());
+        assert_eq!(a.silent(), b.silent());
+        assert_eq!(a.runs[0].retired, b.runs[0].retired);
+        assert_eq!(a.runs[0].bus_stats, b.runs[0].bus_stats);
+    }
+
+    #[test]
+    fn an_inert_plan_injects_nothing_and_stays_clean() {
+        let cfg = CampaignConfig {
+            protocols: vec!["moesi".into(), "write-through".into()],
+            steps: 200,
+            faults: FaultConfig::default(),
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&cfg).unwrap();
+        assert_eq!(report.injected(), 0);
+        assert_eq!(report.silent(), 0);
+        assert_eq!(report.retirements(), 0);
+    }
+
+    #[test]
+    fn unknown_protocols_are_reported() {
+        let cfg = CampaignConfig {
+            protocols: vec!["mesif".into()],
+            ..CampaignConfig::default()
+        };
+        let err = run_campaign(&cfg).unwrap_err();
+        assert!(err.contains("mesif"), "{err}");
+    }
+
+    #[test]
+    fn empty_geometry_is_rejected() {
+        let cfg = CampaignConfig {
+            steps: 0,
+            ..CampaignConfig::default()
+        };
+        assert!(run_campaign(&cfg).is_err());
+        assert!(run_campaign(&CampaignConfig {
+            protocols: vec![],
+            ..CampaignConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn glitches_alone_are_always_masked() {
+        let cfg = CampaignConfig {
+            protocols: vec!["moesi".into()],
+            steps: 400,
+            faults: FaultConfig {
+                glitch_rate: 0.5,
+                ..FaultConfig::default()
+            },
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&cfg).unwrap();
+        assert!(report.injected() > 50, "glitches must actually land");
+        assert_eq!(
+            report.count(FaultKind::Glitch, FaultClass::Masked),
+            report.injected(),
+            "every glitch is absorbed by the settle window"
+        );
+        assert_eq!(report.silent(), 0);
+    }
+
+    #[test]
+    fn a_kill_landing_on_the_line_being_written_is_reported_not_silent() {
+        // A kill can take the owner of the very line another module is
+        // mid-write to: the master fills from the rolled-back memory and
+        // merges its bytes on top. The audit must credit the surviving
+        // write when it reconciles the loss, or the master's copy looks
+        // silently stale. These parameters (matching
+        // `moesi-sim faults --protocol moesi --kind kill --rate 0.5
+        // --steps 600`) hit that interleaving.
+        let cfg = CampaignConfig {
+            protocols: vec!["moesi".into()],
+            steps: 600,
+            faults: FaultConfig {
+                seed: 0xCA_FE ^ 0xFA_017,
+                kill_rate: 0.005,
+                max_storm_rounds: 4,
+                ..FaultConfig::default()
+            },
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&cfg).unwrap();
+        assert!(
+            report.count(FaultKind::Kill, FaultClass::Detected) > 0,
+            "kills must actually land: {report}"
+        );
+        assert_eq!(report.silent(), 0, "{report}");
+    }
+
+    #[test]
+    fn report_display_renders_the_verdict() {
+        let report = run_campaign(&quick_cfg()).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("fault campaign"), "{text}");
+        assert!(text.contains("graceful degradation"), "{text}");
+    }
+}

@@ -30,6 +30,7 @@
 mod checker;
 mod controller;
 mod fabric;
+pub mod faults;
 pub mod hierarchy;
 mod metrics;
 pub mod replay;
@@ -39,8 +40,11 @@ pub mod workload;
 pub use checker::{Checker, Violation};
 pub use controller::CacheController;
 pub use fabric::Fabric;
+pub use faults::{
+    run_campaign, CampaignConfig, CampaignReport, FaultClass, FaultVerdict, ProtocolRun,
+};
 pub use metrics::{CpuStats, StateCensus, TimedReport};
-pub use replay::{replay, ReplayOp, ReplayOutcome, Trace, TraceStep};
+pub use replay::{replay, ReplayFault, ReplayOp, ReplayOutcome, Trace, TraceStep};
 pub use system::{System, SystemBuilder};
 pub use workload::{
     Access, DuboisBriggs, FalseSharing, Migratory, ParseTraceError, PingPong, ProducerConsumer,

@@ -156,6 +156,9 @@ pub struct CpuStats {
     pub pushes: u64,
     /// Aborts this node's own transactions suffered.
     pub aborts_suffered: u64,
+    /// True once the bus watchdog retired this node from the snoop set and
+    /// degraded it to a non-caching client.
+    pub retired: bool,
 }
 
 impl CpuStats {
@@ -217,6 +220,7 @@ impl AddAssign for CpuStats {
         self.write_backs += r.write_backs;
         self.pushes += r.pushes;
         self.aborts_suffered += r.aborts_suffered;
+        self.retired |= r.retired;
     }
 }
 

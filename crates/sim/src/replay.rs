@@ -80,6 +80,34 @@ impl fmt::Display for TraceStep {
     }
 }
 
+/// A scripted hardware fault: before executing step `step`, arm the bus
+/// watchdog so `module` stalls (and is retired) the next time it snoops.
+///
+/// This pins watchdog recovery behaviour to a deterministic schedule — the
+/// replay equivalent of the randomised injection in `futurebus::fault`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplayFault {
+    /// Index of the step before which the stall is armed.
+    pub step: usize,
+    /// The module that stops responding.
+    pub module: usize,
+    /// True when its cache RAM stays readable (dirty lines salvaged); false
+    /// for a dead board (dirty lines lost, survivors invalidated).
+    pub salvage: bool,
+}
+
+impl fmt::Display for ReplayFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cpu{} before step {}",
+            if self.salvage { "stall" } else { "kill" },
+            self.module,
+            self.step
+        )
+    }
+}
+
 /// A complete counterexample: machine shape plus the violating schedule.
 #[derive(Clone, Debug)]
 pub struct Trace {
@@ -90,6 +118,9 @@ pub struct Trace {
     /// The schedule, shortest-first (the explorer searches breadth-first, so
     /// the trace is minimal in step count).
     pub steps: Vec<TraceStep>,
+    /// Scripted stall/kill faults to arm during the replay (empty for pure
+    /// consistency counterexamples).
+    pub faults: Vec<ReplayFault>,
     /// The violation the explorer observed (display form), for reporting.
     pub expected: String,
 }
@@ -103,6 +134,9 @@ impl fmt::Display for Trace {
             self.steps.len(),
             self.expected
         )?;
+        for fault in &self.faults {
+            writeln!(f, "  fault: {fault}")?;
+        }
         for (i, step) in self.steps.iter().enumerate() {
             writeln!(f, "  {i}: {step}")?;
         }
@@ -120,6 +154,8 @@ pub struct ReplayOutcome {
     /// Times a scripted module was consulted beyond its script (a mismatch
     /// between the abstract and concrete machines; 0 for a faithful replay).
     pub script_underflows: usize,
+    /// Modules the bus watchdog retired during the replay, ascending.
+    pub retired: Vec<usize>,
 }
 
 impl ReplayOutcome {
@@ -161,9 +197,17 @@ pub fn replay(trace: &Trace, check_exclusive_clean: bool) -> ReplayOutcome {
         violation: None,
         steps_executed: 0,
         script_underflows: 0,
+        retired: Vec::new(),
     };
 
     for (idx, step) in trace.steps.iter().enumerate() {
+        // Arm any fault scheduled for this step: the named module stalls the
+        // next time it would snoop, and the watchdog retires it.
+        for fault in &trace.faults {
+            if fault.step == idx {
+                fabric.bus_mut().stall_module(fault.module, fault.salvage);
+            }
+        }
         // Load this step's script: the master's local decisions and every
         // snooper's reactions, in the order the bus will consult them.
         for h in &handles {
@@ -209,6 +253,7 @@ pub fn replay(trace: &Trace, check_exclusive_clean: bool) -> ReplayOutcome {
         }
     }
     outcome.script_underflows = handles.iter().map(ScriptHandle::underflows).sum();
+    outcome.retired = fabric.bus().retired();
     outcome
 }
 
@@ -255,6 +300,7 @@ mod tests {
                     snoop_choices: vec![(0, owner_reacts)],
                 },
             ],
+            faults: Vec::new(),
             expected: "none".into(),
         };
         let out = replay(&trace, true);
@@ -300,6 +346,7 @@ mod tests {
                     snoop_choices: vec![(1, stubborn)],
                 },
             ],
+            faults: Vec::new(),
             expected: "cpu1 keeps a copy past cpu0's invalidate".into(),
         };
         let out = replay(&trace, true);
@@ -310,6 +357,110 @@ mod tests {
             "{violation}"
         );
         // Determinism: run it again, same answer.
+        let again = replay(&trace, true);
+        assert_eq!(again.violation.map(|(s, _)| s), Some(1));
+    }
+
+    /// cpu0 dirties a line, then stalls mid-snoop of cpu1's read. The
+    /// watchdog must retire it, salvage the dirty line to memory, and let the
+    /// read complete with the correct data — no violation anywhere.
+    #[test]
+    fn stalled_owner_is_retired_and_its_dirty_line_salvaged() {
+        let rwitm =
+            table::permitted_local(LineState::Invalid, LocalEvent::Write, CacheKind::CopyBack)
+                .into_iter()
+                .find(|a| a.bus_op == BusOp::Read)
+                .expect("RWITM entry");
+        let read_miss =
+            table::preferred_local(LineState::Invalid, LocalEvent::Read, CacheKind::CopyBack)
+                .unwrap();
+        let trace = Trace {
+            line_size: 8,
+            modules: copyback_pair(),
+            steps: vec![
+                TraceStep {
+                    module: 0,
+                    line: 0,
+                    op: ReplayOp::Write(3),
+                    local_choices: vec![rwitm],
+                    snoop_choices: vec![],
+                },
+                // No snoop choices for cpu0: it is retired before it could
+                // react, so its script is never consulted.
+                TraceStep {
+                    module: 1,
+                    line: 0,
+                    op: ReplayOp::Read,
+                    local_choices: vec![read_miss],
+                    snoop_choices: vec![],
+                },
+            ],
+            faults: vec![ReplayFault {
+                step: 1,
+                module: 0,
+                salvage: true,
+            }],
+            expected: "none — degradation is graceful".into(),
+        };
+        let out = replay(&trace, true);
+        assert!(
+            !out.reproduced(),
+            "salvaged stall must stay coherent: {:?}",
+            out.violation
+        );
+        assert_eq!(out.retired, vec![0]);
+        assert_eq!(out.steps_executed, 2);
+        assert_eq!(out.script_underflows, 0);
+    }
+
+    /// Same schedule, but the board dies outright: its dirty line is lost and
+    /// the loss must surface as a reported violation at the read — never as a
+    /// silently wrong value later.
+    #[test]
+    fn killed_owner_loses_its_line_and_the_loss_is_reported() {
+        let rwitm =
+            table::permitted_local(LineState::Invalid, LocalEvent::Write, CacheKind::CopyBack)
+                .into_iter()
+                .find(|a| a.bus_op == BusOp::Read)
+                .expect("RWITM entry");
+        let read_miss =
+            table::preferred_local(LineState::Invalid, LocalEvent::Read, CacheKind::CopyBack)
+                .unwrap();
+        let trace = Trace {
+            line_size: 8,
+            modules: copyback_pair(),
+            steps: vec![
+                TraceStep {
+                    module: 0,
+                    line: 0,
+                    op: ReplayOp::Write(3),
+                    local_choices: vec![rwitm],
+                    snoop_choices: vec![],
+                },
+                TraceStep {
+                    module: 1,
+                    line: 0,
+                    op: ReplayOp::Read,
+                    local_choices: vec![read_miss],
+                    snoop_choices: vec![],
+                },
+            ],
+            faults: vec![ReplayFault {
+                step: 1,
+                module: 0,
+                salvage: false,
+            }],
+            expected: "the killed owner's data is lost".into(),
+        };
+        let out = replay(&trace, true);
+        let (step, violation) = out.violation.expect("data loss must be reported");
+        assert_eq!(step, 1, "detected at the very read that missed the data");
+        assert!(
+            matches!(violation, Violation::ReadMismatch { cpu: 1, .. }),
+            "{violation}"
+        );
+        assert_eq!(out.retired, vec![0]);
+        // Determinism: the loss reproduces identically.
         let again = replay(&trace, true);
         assert_eq!(again.violation.map(|(s, _)| s), Some(1));
     }

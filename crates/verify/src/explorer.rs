@@ -182,6 +182,7 @@ fn unwind(
         line_size,
         modules: machine.kinds(),
         steps,
+        faults: Vec::new(),
         expected: defect.to_string(),
     }
 }

@@ -6,17 +6,19 @@
 //! moesi-sim --trace-file trace.txt --protocol berkeley --check
 //! moesi-sim verify --protocol moesi --caches 3
 //! moesi-sim verify --matrix
+//! moesi-sim faults --rate 0.2 --seed 7
 //! ```
 //!
-//! Run `moesi-sim --help` (or `moesi-sim verify --help`) for the full option
-//! list.
+//! Run `moesi-sim --help` (or `moesi-sim verify --help`,
+//! `moesi-sim faults --help`) for the full option list.
 
 use cache_array::{CacheConfig, ReplacementKind};
+use futurebus::fault::{FaultConfig, FaultKind};
 use moesi::protocols::by_name;
 use mpsim::workload::{
     DuboisBriggs, FalseSharing, Migratory, PingPong, ProducerConsumer, ReadMostly, SharingModel,
 };
-use mpsim::{RefStream, System, SystemBuilder, TraceReplay};
+use mpsim::{run_campaign, CampaignConfig, RefStream, System, SystemBuilder, TraceReplay};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -28,6 +30,8 @@ USAGE:
 SUBCOMMANDS:
     verify            exhaustively model-check small configurations
                       (see `moesi-sim verify --help`)
+    faults            run a seeded fault-injection campaign and audit the
+                      recovery (see `moesi-sim faults --help`)
 
 OPTIONS:
     --protocol LIST   comma-separated per-node protocols (repeating the last
@@ -545,8 +549,207 @@ fn run_verify(cfg: &VerifyConfig) -> Result<(), String> {
     }
 }
 
+const FAULTS_USAGE: &str = "\
+moesi-sim faults: run a seeded fault-injection campaign over the class
+
+Runs one machine per protocol on a bus that injects wired-OR consistency
+line glitches, module stalls and kills, BS abort storms and memory soft
+errors, then audits every fault against the consistency oracle and
+classifies it masked / detected / SILENT. Exits nonzero if any fault is
+silent — the graceful-degradation claim made executable.
+
+USAGE:
+    moesi-sim faults [OPTIONS]
+
+OPTIONS:
+    --protocol LIST   comma-separated protocols, one homogeneous machine per
+                      entry [default: moesi,dragon,write-through,berkeley]
+    --cpus N          processors per machine [default: 4]
+    --steps N         processor accesses per machine [default: 2500]
+    --lines N         distinct lines in the working set [default: 96]
+    --line-size N     bytes per line [default: 16]
+    --cache-bytes N   per-node cache capacity [default: 1024]
+    --seed N          campaign seed, covering workload and faults
+                      [default: 51966]
+    --rate R          base per-transaction injection rate in [0, 1]. Enabled
+                      kinds scale from it: glitch and corrupt land at R,
+                      storms at R/2, stalls and kills at R/100 (retirements
+                      are permanent, so they stay rare) [default: 0.1]
+    --kind LIST       fault kinds to enable: glitch, stall, kill, storm,
+                      corrupt, or all [default: all]
+    --help            print this help
+";
+
+#[derive(Clone, Debug, PartialEq)]
+struct FaultsConfig {
+    protocols: Vec<String>,
+    cpus: usize,
+    steps: u64,
+    lines: u64,
+    line_size: usize,
+    cache_bytes: usize,
+    seed: u64,
+    rate: f64,
+    kinds: Vec<FaultKind>,
+}
+
+impl Default for FaultsConfig {
+    fn default() -> Self {
+        let base = CampaignConfig::default();
+        FaultsConfig {
+            protocols: base.protocols,
+            cpus: base.cpus,
+            steps: base.steps,
+            lines: base.lines,
+            line_size: base.line_size,
+            cache_bytes: base.cache_bytes,
+            seed: base.seed,
+            rate: 0.1,
+            kinds: FaultKind::ALL.to_vec(),
+        }
+    }
+}
+
+fn parse_fault_kinds(list: &str) -> Result<Vec<FaultKind>, String> {
+    let mut kinds = Vec::new();
+    for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match name {
+            "glitch" => kinds.push(FaultKind::Glitch),
+            "stall" => kinds.push(FaultKind::Stall),
+            "kill" => kinds.push(FaultKind::Kill),
+            "storm" | "abort-storm" => kinds.push(FaultKind::AbortStorm),
+            "corrupt" | "corrupt-memory" => kinds.push(FaultKind::CorruptMemory),
+            "all" => kinds.extend(FaultKind::ALL),
+            other => return Err(format!("unknown fault kind `{other}`")),
+        }
+    }
+    if kinds.is_empty() {
+        return Err("--kind list is empty".to_string());
+    }
+    kinds.dedup();
+    Ok(kinds)
+}
+
+fn parse_faults_args(args: &[String]) -> Result<FaultsConfig, String> {
+    let mut cfg = FaultsConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let number = |name: &str, v: &str| -> Result<u64, String> {
+            let n: u64 = v.parse().map_err(|_| format!("{name} expects a number"))?;
+            if n == 0 {
+                return Err(format!("{name} must be at least 1"));
+            }
+            Ok(n)
+        };
+        match arg.as_str() {
+            "--protocol" => {
+                cfg.protocols = value("--protocol")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if cfg.protocols.is_empty() {
+                    return Err("--protocol list is empty".to_string());
+                }
+            }
+            "--cpus" => cfg.cpus = number("--cpus", value("--cpus")?)? as usize,
+            "--steps" => cfg.steps = number("--steps", value("--steps")?)?,
+            "--lines" => cfg.lines = number("--lines", value("--lines")?)?,
+            "--line-size" => {
+                cfg.line_size = number("--line-size", value("--line-size")?)? as usize;
+                if cfg.line_size < 4 {
+                    return Err("--line-size must be at least 4".to_string());
+                }
+            }
+            "--cache-bytes" => {
+                cfg.cache_bytes = number("--cache-bytes", value("--cache-bytes")?)? as usize;
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects a number".to_string())?;
+            }
+            "--rate" => {
+                cfg.rate = value("--rate")?
+                    .parse()
+                    .map_err(|_| "--rate expects a number".to_string())?;
+                if !(0.0..=1.0).contains(&cfg.rate) {
+                    return Err("--rate must be between 0 and 1".to_string());
+                }
+            }
+            "--kind" => cfg.kinds = parse_fault_kinds(value("--kind")?)?,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn campaign_config(cfg: &FaultsConfig) -> CampaignConfig {
+    let mut faults = FaultConfig {
+        // Decorrelate the fault stream from the workload stream while keeping
+        // both under the single --seed knob.
+        seed: cfg.seed ^ 0xFA_017,
+        max_storm_rounds: 4,
+        ..FaultConfig::default()
+    };
+    for kind in &cfg.kinds {
+        match kind {
+            FaultKind::Glitch => faults.glitch_rate = cfg.rate,
+            FaultKind::Stall => faults.stall_rate = cfg.rate / 100.0,
+            FaultKind::Kill => faults.kill_rate = cfg.rate / 100.0,
+            FaultKind::AbortStorm => faults.storm_rate = cfg.rate / 2.0,
+            FaultKind::CorruptMemory => faults.corrupt_rate = cfg.rate,
+        }
+    }
+    CampaignConfig {
+        protocols: cfg.protocols.clone(),
+        cpus: cfg.cpus,
+        line_size: cfg.line_size,
+        cache_bytes: cfg.cache_bytes,
+        steps: cfg.steps,
+        lines: cfg.lines,
+        seed: cfg.seed,
+        faults,
+    }
+}
+
+fn run_faults(cfg: &FaultsConfig) -> Result<(), String> {
+    let report = run_campaign(&campaign_config(cfg))?;
+    println!("{report}");
+    if report.silent() > 0 {
+        return Err(format!(
+            "{} fault(s) caused silent corruption",
+            report.silent()
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("faults") {
+        return match parse_faults_args(&args[1..]) {
+            Ok(cfg) => match run_faults(&cfg) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(msg) if msg.is_empty() => {
+                print!("{FAULTS_USAGE}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{FAULTS_USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("verify") {
         return match parse_verify_args(&args[1..]) {
             Ok(cfg) => match run_verify(&cfg) {
@@ -774,5 +977,69 @@ mod tests {
             ..VerifyConfig::default()
         })
         .expect("matrix matches documented compatibility");
+    }
+
+    #[test]
+    fn faults_defaults_and_full_option_set_parse() {
+        assert_eq!(
+            parse_faults_args(&[]).expect("empty"),
+            FaultsConfig::default()
+        );
+        let cfg = parse_faults_args(&args(
+            "--protocol moesi,berkeley --cpus 3 --steps 500 --lines 40 \
+             --line-size 32 --cache-bytes 2048 --seed 9 --rate 0.25 \
+             --kind glitch,corrupt",
+        ))
+        .expect("valid");
+        assert_eq!(cfg.protocols, vec!["moesi", "berkeley"]);
+        assert_eq!((cfg.cpus, cfg.steps, cfg.lines), (3, 500, 40));
+        assert_eq!((cfg.line_size, cfg.cache_bytes), (32, 2048));
+        assert_eq!(cfg.seed, 9);
+        assert!((cfg.rate - 0.25).abs() < 1e-12);
+        assert_eq!(cfg.kinds, vec![FaultKind::Glitch, FaultKind::CorruptMemory]);
+        assert!(parse_faults_args(&args("--help")).unwrap_err().is_empty());
+        assert!(parse_faults_args(&args("--bogus"))
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(parse_faults_args(&args("--rate 1.5"))
+            .unwrap_err()
+            .contains("between 0 and 1"));
+        assert!(parse_faults_args(&args("--kind gremlin"))
+            .unwrap_err()
+            .contains("unknown fault kind"));
+        assert!(parse_faults_args(&args("--steps 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+    }
+
+    #[test]
+    fn faults_rate_maps_onto_the_enabled_kinds_only() {
+        let cfg = parse_faults_args(&args("--rate 0.2 --kind glitch,storm")).expect("valid");
+        let campaign = campaign_config(&cfg);
+        assert!((campaign.faults.glitch_rate - 0.2).abs() < 1e-12);
+        assert!((campaign.faults.storm_rate - 0.1).abs() < 1e-12);
+        assert_eq!(campaign.faults.stall_rate, 0.0, "stall not enabled");
+        assert_eq!(campaign.faults.kill_rate, 0.0, "kill not enabled");
+        assert_eq!(campaign.faults.corrupt_rate, 0.0, "corrupt not enabled");
+        // `all` expands to every kind.
+        let all = campaign_config(&parse_faults_args(&args("--kind all")).expect("valid"));
+        assert!(all.faults.stall_rate > 0.0 && all.faults.corrupt_rate > 0.0);
+    }
+
+    #[test]
+    fn faults_smoke_campaign_runs_clean() {
+        run_faults(&FaultsConfig {
+            protocols: vec!["moesi".to_string()],
+            steps: 200,
+            rate: 0.2,
+            ..FaultsConfig::default()
+        })
+        .expect("short campaign degrades gracefully");
+        let err = run_faults(&FaultsConfig {
+            protocols: vec!["mesif".to_string()],
+            ..FaultsConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown protocol"), "{err}");
     }
 }

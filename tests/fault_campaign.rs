@@ -1,0 +1,116 @@
+//! The graceful-degradation campaign: thousands of injected hardware faults
+//! across several class members, every one audited by the consistency oracle.
+//!
+//! This is the robustness claim of the paper made executable. The §2.2 settle
+//! window must mask every consistency-line glitch; the watchdog must retire
+//! stalled and killed boards with any data loss *reported*; bounded retry
+//! must drain abort storms; and the scrubber must catch every soft error.
+//! Zero faults may be silent.
+
+use futurebus::fault::{FaultConfig, FaultKind};
+use mpsim::{run_campaign, CampaignConfig, FaultClass};
+
+fn campaign() -> CampaignConfig {
+    // The default config: moesi, dragon, write-through and berkeley machines
+    // under all five fault kinds, fixed seed.
+    CampaignConfig::default()
+}
+
+#[test]
+fn the_class_degrades_gracefully_under_a_thousand_faults() {
+    let cfg = campaign();
+    assert!(cfg.protocols.len() >= 3, "campaign spans the class");
+    let report = run_campaign(&cfg).expect("campaign runs");
+
+    assert!(
+        report.injected() >= 1000,
+        "campaign must be substantial: only {} faults injected",
+        report.injected()
+    );
+    assert_eq!(report.silent(), 0, "silent corruption observed:\n{report}");
+
+    // Glitches are *always* masked: the wired-OR settle window absorbs them
+    // before any protocol logic sees the lines.
+    let glitches = report.count(FaultKind::Glitch, FaultClass::Masked);
+    assert!(glitches > 100, "glitches must land in volume");
+    assert_eq!(
+        report.count(FaultKind::Glitch, FaultClass::Detected)
+            + report.count(FaultKind::Glitch, FaultClass::Silent),
+        0,
+        "no glitch may escape the filter"
+    );
+
+    // Corruption is *never* masked-as-correct: every soft error is detected
+    // by the scrubber (and recovered), or the campaign fails.
+    let corrupt_detected = report.count(FaultKind::CorruptMemory, FaultClass::Detected);
+    assert!(corrupt_detected > 100, "soft errors must land in volume");
+    assert_eq!(
+        report.count(FaultKind::CorruptMemory, FaultClass::Masked),
+        0,
+        "a corruption classified as masked would be an unaudited lie"
+    );
+    assert_eq!(
+        report.count(FaultKind::CorruptMemory, FaultClass::Silent),
+        0
+    );
+
+    // Abort storms drain through bounded retry.
+    assert!(report.count(FaultKind::AbortStorm, FaultClass::Detected) > 20);
+    assert_eq!(report.count(FaultKind::AbortStorm, FaultClass::Silent), 0);
+}
+
+#[test]
+fn watchdog_retirements_keep_the_survivors_coherent() {
+    // Crank stall/kill rates so retirements actually happen in volume, with
+    // the other fault kinds off to isolate the watchdog path.
+    let cfg = CampaignConfig {
+        faults: FaultConfig {
+            stall_rate: 0.01,
+            kill_rate: 0.01,
+            ..FaultConfig::default()
+        },
+        ..campaign()
+    };
+    let report = run_campaign(&cfg).expect("campaign runs");
+    assert!(
+        report.retirements() >= 3,
+        "retirements must actually occur, got {}",
+        report.retirements()
+    );
+    assert_eq!(
+        report.silent(),
+        0,
+        "retirement broke an invariant:\n{report}"
+    );
+    assert_eq!(report.count(FaultKind::Stall, FaultClass::Silent), 0);
+    assert_eq!(report.count(FaultKind::Kill, FaultClass::Silent), 0);
+    // Stalls salvage; kills report losses; neither is ever masked (the
+    // retirement itself is an observable event).
+    assert_eq!(report.count(FaultKind::Stall, FaultClass::Masked), 0);
+    assert_eq!(report.count(FaultKind::Kill, FaultClass::Masked), 0);
+    for run in &report.runs {
+        assert_eq!(
+            run.retired.len() as u64,
+            run.bus_stats.watchdog_retirements,
+            "{}: retired set and stats must agree",
+            run.protocol
+        );
+    }
+}
+
+#[test]
+fn campaigns_reproduce_exactly_from_their_seed() {
+    let cfg = CampaignConfig {
+        steps: 600,
+        ..campaign()
+    };
+    let a = run_campaign(&cfg).expect("first run");
+    let b = run_campaign(&cfg).expect("second run");
+    assert_eq!(a.injected(), b.injected());
+    assert_eq!(a.retirements(), b.retirements());
+    for (ra, rb) in a.runs.iter().zip(&b.runs) {
+        assert_eq!(ra.bus_stats, rb.bus_stats, "{} diverged", ra.protocol);
+        assert_eq!(ra.retired, rb.retired);
+        assert_eq!(ra.verdicts.len(), rb.verdicts.len());
+    }
+}
