@@ -20,4 +20,14 @@ cargo test -q --workspace
 echo "==> fault-injection smoke campaign (fixed seed, fails on silent corruption)"
 ./target/release/moesi-sim faults --seed 7 --steps 800
 
+echo "==> bench smoke (fixed seed; sharded run must match the sequential one)"
+bench_j2="$(mktemp)" bench_j1="$(mktemp)"
+./target/release/moesi-sim bench --seed 7 --steps 500 --jobs 2 --json --out "$bench_j2" \
+  | grep -E "total [1-9][0-9]* accesses" \
+  || { echo "bench smoke reported zero throughput" >&2; exit 1; }
+./target/release/moesi-sim bench --seed 7 --steps 500 --jobs 1 --json --out "$bench_j1" >/dev/null
+cmp "$bench_j2" "$bench_j1" \
+  || { echo "bench --jobs 2 diverged from --jobs 1" >&2; exit 1; }
+rm -f "$bench_j2" "$bench_j1"
+
 echo "ci: all green"

@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use cache_array::{CacheConfig, ReplacementKind};
 use futurebus::TimingConfig;
 use moesi::protocols::by_name;

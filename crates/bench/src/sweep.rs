@@ -1,0 +1,263 @@
+//! The protocol × workload benchmark sweep behind `moesi-sim bench`.
+//!
+//! Each cell of the sweep runs one homogeneous machine (one protocol) under
+//! one named workload with the contention-aware timed model
+//! (`System::run_timed`), and reports simulated throughput (accesses per
+//! simulated second), bus occupancy and the miss ratio. Cells are fully
+//! independent, so the sweep shards across the [`mpsim::campaign`] pool;
+//! rows come back in protocol-major order for any worker count, and the
+//! rendered JSON is byte-identical for `--jobs 1` and `--jobs N`.
+
+use crate::{homogeneous_system, workload_streams, COMPARED_PROTOCOLS, LINE, WORKLOADS};
+use futurebus::TimingConfig;
+
+/// Nanoseconds of local (non-bus) work modelled per processor reference.
+pub const CPU_WORK_NS: u64 = 50;
+
+/// Shape of a benchmark sweep.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Protocol names to bench (one homogeneous machine per entry).
+    pub protocols: Vec<String>,
+    /// Workload names (see [`workload_streams`]).
+    pub workloads: Vec<String>,
+    /// Processors per machine.
+    pub cpus: usize,
+    /// References per processor.
+    pub steps: u64,
+    /// Cache capacity per node in bytes.
+    pub cache_bytes: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Worker threads sharding the cells (1 = sequential).
+    pub jobs: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            protocols: COMPARED_PROTOCOLS
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+            workloads: WORKLOADS.iter().map(|s| (*s).to_string()).collect(),
+            cpus: 4,
+            steps: 2000,
+            cache_bytes: 4096,
+            seed: 7,
+            jobs: mpsim::campaign::default_jobs(),
+        }
+    }
+}
+
+/// One cell of the sweep: a protocol under a workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// Workload name.
+    pub workload: String,
+    /// Processor accesses executed.
+    pub accesses: u64,
+    /// Simulated wall time of the timed run (ns).
+    pub wall_ns: u64,
+    /// Bus occupancy during the run (ns).
+    pub busy_ns: u64,
+    /// Time spent queued for the bus (ns).
+    pub wait_ns: u64,
+    /// Accesses per simulated second.
+    pub accesses_per_sec: f64,
+    /// Cache miss ratio over all nodes.
+    pub miss_ratio: f64,
+}
+
+/// Runs one cell.
+///
+/// # Errors
+///
+/// Returns a message for an unknown protocol or workload name.
+pub fn sweep_one(cfg: &SweepConfig, protocol: &str, workload: &str) -> Result<SweepRow, String> {
+    if moesi::protocols::by_name(protocol, 0).is_none() {
+        return Err(format!("unknown protocol `{protocol}`"));
+    }
+    if !WORKLOADS.contains(&workload) {
+        return Err(format!("unknown workload `{workload}`"));
+    }
+    let mut sys = homogeneous_system(
+        protocol,
+        cfg.cpus,
+        cfg.cache_bytes,
+        LINE,
+        TimingConfig::default(),
+        false,
+    );
+    let mut streams = workload_streams(workload, cfg.cpus, LINE, cfg.seed);
+    let timed = sys.run_timed(&mut streams, cfg.steps, CPU_WORK_NS);
+    let total = sys.total_stats();
+    Ok(SweepRow {
+        protocol: protocol.to_string(),
+        workload: workload.to_string(),
+        accesses: timed.total_refs,
+        wall_ns: timed.wall_ns,
+        busy_ns: timed.bus_busy_ns,
+        wait_ns: timed.bus_wait_ns,
+        accesses_per_sec: if timed.wall_ns == 0 {
+            0.0
+        } else {
+            timed.total_refs as f64 * 1e9 / timed.wall_ns as f64
+        },
+        miss_ratio: 1.0 - total.hit_ratio(),
+    })
+}
+
+/// Runs the whole sweep, sharded over `cfg.jobs` workers. Rows come back in
+/// protocol-major, workload-minor order regardless of worker count.
+///
+/// # Errors
+///
+/// Returns the first cell error (unknown protocol/workload) in row order.
+pub fn sweep(cfg: &SweepConfig) -> Result<Vec<SweepRow>, String> {
+    if cfg.protocols.is_empty() || cfg.workloads.is_empty() {
+        return Err("nothing to bench: empty protocol or workload list".into());
+    }
+    if cfg.cpus == 0 || cfg.steps == 0 {
+        return Err("cpus and steps must be non-zero".into());
+    }
+    let mut cells = Vec::with_capacity(cfg.protocols.len() * cfg.workloads.len());
+    for p in &cfg.protocols {
+        for w in &cfg.workloads {
+            cells.push((p.clone(), w.clone()));
+        }
+    }
+    mpsim::campaign::run_jobs(cells, cfg.jobs, |(p, w)| sweep_one(cfg, &p, &w))
+        .into_iter()
+        .collect()
+}
+
+/// Renders the rows as a JSON document (hand-rolled: the workspace carries
+/// no serialisation dependency). Floats are printed with fixed precision so
+/// the bytes are stable across runs and worker counts.
+#[must_use]
+pub fn sweep_json(cfg: &SweepConfig, rows: &[SweepRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"seed\": {},\n  \"cpus\": {},\n  \"steps_per_cpu\": {},\n  \"cpu_work_ns\": {},\n",
+        cfg.seed, cfg.cpus, cfg.steps, CPU_WORK_NS
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"protocol\": \"{}\", \"workload\": \"{}\", \"accesses\": {}, \
+             \"wall_ns\": {}, \"busy_ns\": {}, \"wait_ns\": {}, \
+             \"accesses_per_sec\": {:.3}, \"miss_ratio\": {:.6}}}{}\n",
+            r.protocol,
+            r.workload,
+            r.accesses,
+            r.wall_ns,
+            r.busy_ns,
+            r.wait_ns,
+            r.accesses_per_sec,
+            r.miss_ratio,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the rows as an aligned text table grouped by workload.
+#[must_use]
+pub fn render_sweep(rows: &[SweepRow]) -> String {
+    let mut out = format!(
+        "{:<20} {:<18} {:>9} {:>12} {:>12} {:>14} {:>7}\n",
+        "protocol", "workload", "accesses", "wall us", "bus us", "acc/sec", "miss%"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<20} {:<18} {:>9} {:>12.1} {:>12.1} {:>14.0} {:>6.1}%\n",
+            r.protocol,
+            r.workload,
+            r.accesses,
+            r.wall_ns as f64 / 1000.0,
+            r.busy_ns as f64 / 1000.0,
+            r.accesses_per_sec,
+            r.miss_ratio * 100.0,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SweepConfig {
+        SweepConfig {
+            protocols: vec!["moesi".into(), "write-through".into()],
+            workloads: vec!["general".into(), "ping-pong".into()],
+            cpus: 2,
+            steps: 100,
+            jobs: 1,
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_produces_protocol_major_rows_with_traffic() {
+        let rows = sweep(&tiny()).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].protocol, "moesi");
+        assert_eq!(rows[0].workload, "general");
+        assert_eq!(rows[1].workload, "ping-pong");
+        assert_eq!(rows[2].protocol, "write-through");
+        for r in &rows {
+            assert!(r.accesses > 0, "{}/{} ran nothing", r.protocol, r.workload);
+            assert!(r.accesses_per_sec > 0.0);
+            assert!((0.0..=1.0).contains(&r.miss_ratio));
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_is_byte_identical_to_sequential() {
+        let cfg = tiny();
+        let seq = sweep(&cfg).unwrap();
+        let par = sweep(&SweepConfig {
+            jobs: 4,
+            ..cfg.clone()
+        })
+        .unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(sweep_json(&cfg, &seq), sweep_json(&cfg, &par));
+    }
+
+    #[test]
+    fn json_is_wellformed_enough_to_eyeball() {
+        let cfg = tiny();
+        let rows = sweep(&cfg).unwrap();
+        let json = sweep_json(&cfg, &rows);
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert_eq!(json.matches("\"protocol\"").count(), rows.len());
+        assert!(json.contains("\"seed\": 7"));
+        assert!(!json.contains(",\n  ]"), "no trailing comma:\n{json}");
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let mut cfg = tiny();
+        cfg.protocols = vec!["mesif".into()];
+        assert!(sweep(&cfg).unwrap_err().contains("mesif"));
+        let mut cfg = tiny();
+        cfg.workloads = vec!["zipfian".into()];
+        assert!(sweep(&cfg).unwrap_err().contains("zipfian"));
+    }
+
+    #[test]
+    fn render_lists_every_cell() {
+        let cfg = tiny();
+        let rows = sweep(&cfg).unwrap();
+        let text = render_sweep(&rows);
+        assert_eq!(text.lines().count(), rows.len() + 1);
+        assert!(text.contains("acc/sec"));
+    }
+}

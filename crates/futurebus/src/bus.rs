@@ -1,11 +1,14 @@
 //! The Futurebus transaction engine.
 //!
-//! [`Futurebus::execute`] runs one transaction end-to-end: the broadcast
-//! address cycle (every attached module snoops, §2.1), wired-OR combination
-//! of the response lines, BS abort-push-restart for the adapted protocols,
-//! the data phase (memory, or an intervening owner preempting it), and the
-//! completion phase in which every snooper commits its state transition with
-//! the resolved CH observation.
+//! [`Futurebus::execute`] runs one transaction end-to-end by driving a
+//! [`TxnContext`](crate::phases) through the explicit phase pipeline of
+//! [`crate::phases`] — `Arbitrate → AddressBroadcast → SnoopResolve →
+//! AbortBackoff → DataTransfer → Commit`, mirroring the paper's staged
+//! handshake: the broadcast address cycle (every attached module snoops,
+//! §2.1), wired-OR combination of the response lines, BS abort-push-restart
+//! for the adapted protocols, the data phase (memory, or an intervening
+//! owner preempting it), and the completion phase in which every snooper
+//! commits its state transition with the resolved CH observation.
 //!
 //! Memory-update semantics follow the paper exactly:
 //!
@@ -27,16 +30,14 @@
 //! and retires it from the snoop set — it is treated thereafter as a
 //! non-caching processor, which the class explicitly supports (§3.3).
 
-use crate::fault::{FaultPlan, InjectedFault, TxnFaults};
+use crate::fault::{FaultPlan, TxnFaults};
 use crate::memory::SparseMemory;
-use crate::module::{BusModule, BusObservation};
+use crate::module::BusModule;
+use crate::phases::TxnContext;
 use crate::stats::BusStats;
-use crate::timing::{DataSourceLatency, Nanos, TimingConfig};
-use crate::trace::{BusTrace, TraceKind, TraceRecord};
-use crate::transaction::{
-    BusError, DataSource, TransactionKind, TransactionOutcome, TransactionRequest,
-};
-use moesi::{MasterSignals, ResponseSignals};
+use crate::timing::{Nanos, TimingConfig};
+use crate::trace::BusTrace;
+use crate::transaction::{BusError, TransactionKind, TransactionOutcome, TransactionRequest};
 use std::collections::BTreeSet;
 
 /// Capped exponential backoff for BS abort retries.
@@ -100,13 +101,13 @@ impl RetryPolicy {
 /// ```
 #[derive(Debug)]
 pub struct Futurebus {
-    memory: SparseMemory,
-    timing: TimingConfig,
-    stats: BusStats,
-    retry: RetryPolicy,
-    trace: BusTrace,
-    faults: Option<FaultPlan>,
-    retired: BTreeSet<usize>,
+    pub(crate) memory: SparseMemory,
+    pub(crate) timing: TimingConfig,
+    pub(crate) stats: BusStats,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) trace: BusTrace,
+    pub(crate) faults: Option<FaultPlan>,
+    pub(crate) retired: BTreeSet<usize>,
     pending_stall: Option<(usize, bool)>,
 }
 
@@ -243,422 +244,38 @@ impl Futurebus {
         modules: &mut [&mut dyn BusModule],
     ) -> Result<TransactionOutcome, BusError> {
         self.validate(req, modules.len())?;
-        let line_size = self.memory.line_size();
-        let mut duration: Nanos = 0;
-        let mut aborts = 0u32;
+        let faults = self.decide_faults(req, modules.len());
+        let mut ctx = TxnContext::new(req, self.memory.line_size(), faults);
+        match self.run_pipeline(&mut ctx, modules) {
+            Ok(()) => Ok(ctx.into_outcome()),
+            Err(err) => {
+                // Every error path still accounts the bus time burned.
+                self.stats.busy_ns += ctx.duration;
+                Err(err)
+            }
+        }
+    }
 
-        // Ask the fault plan what lands in this transaction.
+    /// Rolls the fault plan's dice for this transaction and folds in any
+    /// manually armed stall (replay pins), which overrides the plan's roll
+    /// but only fires once the victim is actually a live snooper.
+    fn decide_faults(&mut self, req: &TransactionRequest, module_count: usize) -> TxnFaults {
         let mut faults = match self.faults.as_mut() {
             Some(plan) => {
-                let candidates: Vec<usize> = (0..modules.len())
+                let candidates: Vec<usize> = (0..module_count)
                     .filter(|&i| i != req.master && !self.retired.contains(&i))
                     .collect();
                 plan.decide(&candidates)
             }
             None => TxnFaults::default(),
         };
-        // A manually armed stall (replay pins) overrides the plan's roll, but
-        // only fires once the victim is actually a live snooper.
         if let Some((victim, salvage)) = self.pending_stall {
-            if victim != req.master && victim < modules.len() && !self.retired.contains(&victim) {
+            if victim != req.master && victim < module_count && !self.retired.contains(&victim) {
                 faults.stall = Some((victim, salvage));
                 self.pending_stall = None;
             }
         }
-        let mut storm_left = faults.storm_rounds;
-        let mut storm_recorded = false;
-
-        loop {
-            // ---- Watchdog: a stalled snooper never completes the handshake.
-            // Time it out, retire it from the snoop set, re-run the cycle.
-            if let Some((victim, salvage)) = faults.stall.take() {
-                duration += self.retire_module(victim, salvage, req, modules);
-                continue;
-            }
-
-            // ---- Broadcast address cycle: every other live module snoops.
-            let mut replies: Vec<(usize, ResponseSignals)> = Vec::with_capacity(modules.len());
-            let mut combined = ResponseSignals::NONE;
-            for (idx, module) in modules.iter_mut().enumerate() {
-                if idx == req.master || self.retired.contains(&idx) {
-                    continue;
-                }
-                let r = module.snoop(req);
-                combined = combined.or(r);
-                replies.push((idx, r));
-            }
-
-            // ---- Glitch: a consistency line bounces before the settle
-            // window; the wired-OR inertial-delay filter absorbs it (§2.2) at
-            // the cost of one settle delay. The *true* values proceed.
-            if faults.glitch {
-                faults.glitch = false;
-                if let Some(plan) = self.faults.as_mut() {
-                    let fault = plan.glitch_spec(combined);
-                    let settle = self.timing.broadcast_penalty_ns;
-                    duration += settle;
-                    self.stats.glitches_filtered += 1;
-                    self.stats.settle_ns += settle;
-                    let perturbed = match &fault {
-                        InjectedFault::Glitch { line, spurious } => {
-                            combined.with_line(*line, *spurious)
-                        }
-                        _ => combined,
-                    };
-                    self.trace.push(TraceRecord {
-                        seq: 0,
-                        master: req.master,
-                        addr: req.addr,
-                        kind: TraceKind::Glitch,
-                        signals: req.signals,
-                        responses: perturbed,
-                        source: DataSource::None,
-                        duration: settle,
-                        aborts,
-                    });
-                    plan.record(req.master, req.addr, fault, settle);
-                }
-            }
-
-            // ---- BS: abort, push, restart (§3.2.2) — plus injected abort
-            // storms, phantom BS rounds with nobody pushing.
-            let genuine_bs = combined.bs;
-            if genuine_bs || storm_left > 0 {
-                if !genuine_bs {
-                    storm_left -= 1;
-                }
-                aborts += 1;
-                self.stats.aborts += 1;
-                // The aborted address cycle still occupied the bus.
-                duration += self.timing.transaction(0, DataSourceLatency::Master, false);
-                if aborts > self.retry.max_retries {
-                    self.stats.busy_ns += duration;
-                    return Err(BusError::TooManyRetries(aborts));
-                }
-                let backoff = self.retry.backoff(aborts);
-                duration += backoff;
-                self.stats.retries += 1;
-                self.stats.backoff_ns += backoff;
-                if !genuine_bs && !storm_recorded {
-                    storm_recorded = true;
-                    let cost = self.timing.transaction(0, DataSourceLatency::Master, false);
-                    if let Some(plan) = self.faults.as_mut() {
-                        plan.record(
-                            req.master,
-                            req.addr,
-                            InjectedFault::AbortStorm {
-                                rounds: faults.storm_rounds,
-                            },
-                            cost + backoff,
-                        );
-                    }
-                }
-                if genuine_bs {
-                    for (idx, r) in &replies {
-                        if !r.bs {
-                            continue;
-                        }
-                        let Some(push) = modules[*idx].prepare_push(req.addr) else {
-                            self.stats.busy_ns += duration;
-                            return Err(BusError::ProtocolError {
-                                module: *idx,
-                                detail: format!(
-                                    "asserted BS for {:#x} with no push to offer",
-                                    req.addr
-                                ),
-                            });
-                        };
-                        if push.data.len() != line_size {
-                            self.stats.busy_ns += duration;
-                            return Err(BusError::ProtocolError {
-                                module: *idx,
-                                detail: format!(
-                                    "pushed {} bytes for {:#x}, not a full {line_size}-byte line",
-                                    push.data.len(),
-                                    req.addr
-                                ),
-                            });
-                        }
-                        self.memory.write_line(req.addr, &push.data);
-                        // The push is itself a write transaction on the bus. No
-                        // third party needs to snoop it: the pusher held the only
-                        // owned copy, and unowned S copies are unaffected by a
-                        // CA,~IM write-back.
-                        let push_cost = self.timing.transaction(
-                            line_size,
-                            DataSourceLatency::Master,
-                            push.signals.bc,
-                        );
-                        duration += push_cost;
-                        self.stats.pushes += 1;
-                        self.stats.transactions += 1;
-                        self.stats.writes += 1;
-                        self.stats.memory_writes += 1;
-                        self.stats.bytes_moved += line_size as u64;
-                        self.trace.push(TraceRecord {
-                            seq: 0,
-                            master: *idx,
-                            addr: req.addr,
-                            kind: TraceKind::Push,
-                            signals: push.signals,
-                            responses: ResponseSignals::NONE,
-                            source: DataSource::Memory,
-                            duration: push_cost,
-                            aborts: 0,
-                        });
-                    }
-                }
-                continue;
-            }
-
-            // ---- Resolve the unique intervener, if any. ----
-            let interveners: Vec<usize> = replies
-                .iter()
-                .filter(|(_, r)| r.di)
-                .map(|(idx, _)| *idx)
-                .collect();
-            if interveners.len() > 1 {
-                self.stats.busy_ns += duration;
-                return Err(BusError::MultipleInterveners(interveners));
-            }
-            let intervener = interveners.first().copied();
-
-            // ---- Data phase. ----
-            let broadcast = req.signals.bc;
-            let (data, source) = match &req.kind {
-                TransactionKind::Read => {
-                    let (line, source, latency) = match intervener {
-                        Some(idx) => {
-                            self.stats.interventions += 1;
-                            (
-                                modules[idx].supply_line(req.addr),
-                                DataSource::Intervention(idx),
-                                DataSourceLatency::Intervention,
-                            )
-                        }
-                        None => {
-                            self.stats.memory_reads += 1;
-                            (
-                                self.memory.read_line(req.addr),
-                                DataSource::Memory,
-                                DataSourceLatency::Memory,
-                            )
-                        }
-                    };
-                    duration += self.timing.transaction(line_size, latency, broadcast);
-                    self.stats.reads += 1;
-                    self.stats.bytes_moved += line_size as u64;
-                    (Some(line), source)
-                }
-                TransactionKind::Write { offset, bytes } => {
-                    if broadcast {
-                        // Broadcast writes always reach memory (§4.2); SL
-                        // snoopers are updated in the completion phase.
-                        self.memory.write_bytes(req.addr, *offset, bytes);
-                        self.stats.memory_writes += 1;
-                    } else if intervener.is_some() {
-                        // The owner captures the write; memory is preempted.
-                        self.stats.captures += 1;
-                    } else {
-                        self.memory.write_bytes(req.addr, *offset, bytes);
-                        self.stats.memory_writes += 1;
-                    }
-                    duration +=
-                        self.timing
-                            .transaction(bytes.len(), DataSourceLatency::Master, broadcast);
-                    self.stats.writes += 1;
-                    self.stats.bytes_moved += bytes.len() as u64;
-                    (
-                        None,
-                        match intervener {
-                            Some(idx) if !broadcast => DataSource::Intervention(idx),
-                            _ => DataSource::Memory,
-                        },
-                    )
-                }
-                TransactionKind::AddressOnly => {
-                    duration += self.timing.transaction(0, DataSourceLatency::Master, false);
-                    self.stats.address_only += 1;
-                    (None, DataSource::None)
-                }
-            };
-            if broadcast {
-                self.stats.broadcasts += 1;
-            }
-
-            // ---- Completion phase: commit every snooper's transition. ----
-            let payload: Option<(usize, &[u8])> = match &req.kind {
-                TransactionKind::Write { offset, bytes } => Some((*offset, bytes.as_slice())),
-                _ => None,
-            };
-            for (idx, r) in &replies {
-                let ch_others = replies
-                    .iter()
-                    .any(|(other, reply)| other != idx && reply.ch);
-                let delivers = payload.is_some() && (r.sl || (r.di && !broadcast));
-                if r.sl && payload.is_some() {
-                    self.stats.sl_updates += 1;
-                }
-                modules[*idx].complete(
-                    req,
-                    &BusObservation {
-                        ch_others,
-                        write_data: if delivers { payload } else { None },
-                    },
-                );
-            }
-
-            // ---- Soft error: corrupt a resident memory line once the
-            // transaction is over (never the in-flight data phase — the bus
-            // got the electrical transfer right; the cell rots afterwards).
-            if faults.corrupt {
-                let resident = self.memory.line_addrs();
-                if let Some(plan) = self.faults.as_mut() {
-                    let fault = plan.corrupt_spec(&resident, req.addr, line_size);
-                    if let InjectedFault::CorruptMemory { addr, offset, mask } = fault {
-                        let mut line = self.memory.peek_line(addr);
-                        line[offset] ^= mask;
-                        self.memory.write_line(addr, &line);
-                        self.stats.corruptions += 1;
-                        self.trace.push(TraceRecord {
-                            seq: 0,
-                            master: req.master,
-                            addr,
-                            kind: TraceKind::Corrupt,
-                            signals: MasterSignals::NONE,
-                            responses: ResponseSignals::NONE,
-                            source: DataSource::Memory,
-                            duration: 0,
-                            aborts: 0,
-                        });
-                        plan.record(
-                            req.master,
-                            req.addr,
-                            InjectedFault::CorruptMemory { addr, offset, mask },
-                            0,
-                        );
-                    }
-                }
-            }
-
-            self.stats.transactions += 1;
-            self.stats.busy_ns += duration;
-
-            self.trace.push(TraceRecord {
-                seq: 0,
-                master: req.master,
-                addr: req.addr,
-                kind: match &req.kind {
-                    TransactionKind::Read => TraceKind::Read,
-                    TransactionKind::Write { .. } => TraceKind::Write,
-                    TransactionKind::AddressOnly => TraceKind::AddressOnly,
-                },
-                signals: req.signals,
-                responses: combined,
-                source,
-                duration,
-                aborts,
-            });
-
-            return Ok(TransactionOutcome {
-                data,
-                responses: combined,
-                ch_seen: combined.ch,
-                source,
-                duration,
-                aborts,
-            });
-        }
-    }
-
-    /// Times out and retires a non-responding snooper: salvages its dirty
-    /// lines to memory if its cache RAM is still readable, or — when the
-    /// board is dead — invalidates every surviving copy of the lines whose
-    /// only up-to-date data died with it, so no stale data outlives the
-    /// owner. Returns the bus time consumed.
-    fn retire_module(
-        &mut self,
-        victim: usize,
-        salvage: bool,
-        req: &TransactionRequest,
-        modules: &mut [&mut dyn BusModule],
-    ) -> Nanos {
-        let line_size = self.memory.line_size();
-        let mut cost = self.timing.watchdog_timeout_ns;
-        let report = modules[victim].retire(salvage);
-
-        let mut salvaged_addrs = Vec::with_capacity(report.salvaged.len());
-        for (addr, data) in &report.salvaged {
-            self.memory.write_line(*addr, data);
-            cost += self
-                .timing
-                .transaction(line_size, DataSourceLatency::Master, false);
-            self.stats.transactions += 1;
-            self.stats.writes += 1;
-            self.stats.memory_writes += 1;
-            self.stats.bytes_moved += line_size as u64;
-            self.stats.salvaged_lines += 1;
-            salvaged_addrs.push(*addr);
-        }
-
-        // The dead board's dirty lines are gone; any surviving S copies of
-        // them now disagree with the (stale) memory image, so the recovery
-        // invalidates them bus-wide. The data loss is *reported* — it shows
-        // up in the stats, the fault log and the trace, never silently.
-        for addr in &report.lost {
-            let inval = TransactionRequest::address_only(victim, *addr, MasterSignals::CA_IM);
-            for (idx, module) in modules.iter_mut().enumerate() {
-                if idx == victim || self.retired.contains(&idx) {
-                    continue;
-                }
-                let _ = module.snoop(&inval);
-            }
-            for (idx, module) in modules.iter_mut().enumerate() {
-                if idx == victim || self.retired.contains(&idx) {
-                    continue;
-                }
-                module.complete(
-                    &inval,
-                    &BusObservation {
-                        ch_others: false,
-                        write_data: None,
-                    },
-                );
-            }
-            cost += self.timing.transaction(0, DataSourceLatency::Master, false);
-            self.stats.transactions += 1;
-            self.stats.address_only += 1;
-            self.stats.lost_lines += 1;
-        }
-
-        self.retired.insert(victim);
-        self.stats.watchdog_retirements += 1;
-        self.trace.push(TraceRecord {
-            seq: 0,
-            master: victim,
-            addr: req.addr,
-            kind: TraceKind::Retire,
-            signals: req.signals,
-            responses: ResponseSignals::NONE,
-            source: DataSource::None,
-            duration: cost,
-            aborts: 0,
-        });
-        if let Some(plan) = self.faults.as_mut() {
-            let fault = if salvage {
-                InjectedFault::Stall {
-                    module: victim,
-                    salvaged: salvaged_addrs,
-                }
-            } else {
-                InjectedFault::Kill {
-                    module: victim,
-                    lost: report.lost.clone(),
-                }
-            };
-            plan.record(req.master, req.addr, fault, cost);
-        }
-        cost
+        faults
     }
 
     fn validate(&self, req: &TransactionRequest, module_count: usize) -> Result<(), BusError> {
@@ -690,10 +307,10 @@ impl Futurebus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::{FaultConfig, FaultKind};
-    use crate::module::{PushWrite, RetireReport};
-    use crate::transaction::LineAddr;
-    use moesi::MasterSignals;
+    use crate::fault::{FaultConfig, FaultKind, InjectedFault};
+    use crate::module::{BusObservation, PushWrite, RetireReport};
+    use crate::transaction::{DataSource, LineAddr};
+    use moesi::{MasterSignals, ResponseSignals};
 
     /// A scripted snooper for exercising the engine.
     struct Mock {

@@ -1,0 +1,645 @@
+//! The phased transaction pipeline.
+//!
+//! The paper's bus protocol is explicitly staged: connection and arbitration,
+//! the broadcast address cycle with wired-OR snoop responses (Figures 1–2),
+//! the BS abort-and-push restart (§3.2.2), the data transfer, and the
+//! completion handshake in which every snooper commits its transition. The
+//! engine mirrors that structure literally — [`Futurebus::execute`] walks a
+//! [`TxnContext`] through the six [`Phase`]s in order, and every recovery
+//! concern from the fault model lives inside exactly one phase:
+//!
+//! * [`Phase::Arbitrate`] — bus acquisition; the watchdog times out a stalled
+//!   snooper *here*, before the address cycle it would otherwise wedge, and
+//!   the pipeline re-arbitrates.
+//! * [`Phase::AddressBroadcast`] — every live module snoops the address and
+//!   drives its response lines.
+//! * [`Phase::SnoopResolve`] — the wired-OR settle window combines the
+//!   responses; an injected consistency-line glitch is absorbed here at the
+//!   cost of one settle delay (§2.2).
+//! * [`Phase::AbortBackoff`] — a genuine BS abort runs the push-restart
+//!   sequence, phantom storm rounds drain under the capped exponential
+//!   [`RetryPolicy`](crate::RetryPolicy); either way the pipeline restarts
+//!   from arbitration.
+//! * [`Phase::DataTransfer`] — the unique DI owner (or memory) moves the
+//!   line; broadcast writes reach memory and are fanned out at completion.
+//! * [`Phase::Commit`] — every snooper observes the resolved CH value and
+//!   commits its state transition; post-transaction soft errors land, the
+//!   stats and trace are sealed.
+//!
+//! A phase returns [`Step::Restart`] to re-enter arbitration (watchdog
+//! recovery, BS abort) and [`Step::Advance`] to proceed; errors abort the
+//! pipeline with the bus time burned still accounted by the caller.
+
+use crate::bus::Futurebus;
+use crate::fault::{InjectedFault, TxnFaults};
+use crate::module::{BusModule, BusObservation};
+use crate::timing::{DataSourceLatency, Nanos};
+use crate::trace::{TraceKind, TraceRecord};
+use crate::transaction::{
+    BusError, DataSource, TransactionKind, TransactionOutcome, TransactionRequest,
+};
+use moesi::{MasterSignals, ResponseSignals};
+use std::fmt;
+
+/// The six stages of one bus transaction, in pipeline order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Bus acquisition; watchdog recovery of stalled snoopers.
+    Arbitrate,
+    /// Broadcast address cycle: every live module snoops.
+    AddressBroadcast,
+    /// Wired-OR combination and settle of the response lines.
+    SnoopResolve,
+    /// BS abort-push-restart and storm draining under bounded retry.
+    AbortBackoff,
+    /// The data phase: intervention, memory, or broadcast distribution.
+    DataTransfer,
+    /// Completion handshake: snoopers commit; stats and trace are sealed.
+    Commit,
+}
+
+impl Phase {
+    /// The pipeline, in execution order.
+    pub const PIPELINE: [Phase; 6] = [
+        Phase::Arbitrate,
+        Phase::AddressBroadcast,
+        Phase::SnoopResolve,
+        Phase::AbortBackoff,
+        Phase::DataTransfer,
+        Phase::Commit,
+    ];
+
+    /// The phase after this one (`None` after [`Phase::Commit`]).
+    #[must_use]
+    pub fn next(self) -> Option<Phase> {
+        match self {
+            Phase::Arbitrate => Some(Phase::AddressBroadcast),
+            Phase::AddressBroadcast => Some(Phase::SnoopResolve),
+            Phase::SnoopResolve => Some(Phase::AbortBackoff),
+            Phase::AbortBackoff => Some(Phase::DataTransfer),
+            Phase::DataTransfer => Some(Phase::Commit),
+            Phase::Commit => None,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::Arbitrate => "arbitrate",
+            Phase::AddressBroadcast => "address-broadcast",
+            Phase::SnoopResolve => "snoop-resolve",
+            Phase::AbortBackoff => "abort-backoff",
+            Phase::DataTransfer => "data-transfer",
+            Phase::Commit => "commit",
+        })
+    }
+}
+
+/// What a phase tells the pipeline driver to do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Step {
+    /// Proceed to the next phase in [`Phase::PIPELINE`] order.
+    Advance,
+    /// Re-enter arbitration (watchdog recovery, BS abort, storm round).
+    Restart,
+}
+
+/// Everything one in-flight transaction accumulates while it walks the
+/// pipeline: the request, the per-snooper replies and their wired-OR
+/// combination, the fault decisions still pending, and the bus time burned
+/// so far. Sealed into a [`TransactionOutcome`] after [`Phase::Commit`].
+#[derive(Debug)]
+pub(crate) struct TxnContext<'r> {
+    /// The request being executed.
+    pub(crate) req: &'r TransactionRequest,
+    /// The system line size, cached off the bus memory.
+    pub(crate) line_size: usize,
+    /// Bus time consumed so far (sealed into stats at commit, and accounted
+    /// on every error path by the pipeline driver).
+    pub(crate) duration: Nanos,
+    /// BS abort rounds suffered so far.
+    pub(crate) aborts: u32,
+    /// The fault plan's decisions for this transaction, consumed phase by
+    /// phase (stall in arbitration, glitch at snoop-resolve, storm rounds at
+    /// abort-backoff, corruption at commit).
+    pub(crate) faults: TxnFaults,
+    /// Phantom BS rounds still to inject.
+    pub(crate) storm_left: u32,
+    /// Whether the storm has already been logged to the fault plan.
+    pub(crate) storm_recorded: bool,
+    /// Per-snooper response lines from the current address cycle.
+    pub(crate) replies: Vec<(usize, ResponseSignals)>,
+    /// Wired-OR of `replies` after the settle window.
+    pub(crate) combined: ResponseSignals,
+    /// The unique DI responder, resolved in the data phase.
+    pub(crate) intervener: Option<usize>,
+    /// The line contents, for reads.
+    pub(crate) data: Option<Box<[u8]>>,
+    /// Who served the data phase.
+    pub(crate) source: DataSource,
+}
+
+impl<'r> TxnContext<'r> {
+    /// Starts a context for `req` with the fault decisions already rolled.
+    pub(crate) fn new(req: &'r TransactionRequest, line_size: usize, faults: TxnFaults) -> Self {
+        TxnContext {
+            req,
+            line_size,
+            duration: 0,
+            aborts: 0,
+            storm_left: faults.storm_rounds,
+            storm_recorded: false,
+            faults,
+            replies: Vec::new(),
+            combined: ResponseSignals::NONE,
+            intervener: None,
+            data: None,
+            source: DataSource::None,
+        }
+    }
+
+    /// Seals the context into the outcome handed back to the master.
+    pub(crate) fn into_outcome(self) -> TransactionOutcome {
+        TransactionOutcome {
+            data: self.data,
+            responses: self.combined,
+            ch_seen: self.combined.ch,
+            source: self.source,
+            duration: self.duration,
+            aborts: self.aborts,
+        }
+    }
+}
+
+impl Futurebus {
+    /// Drives `ctx` through the pipeline until [`Phase::Commit`] completes.
+    /// The caller accounts `ctx.duration` into the stats on error.
+    pub(crate) fn run_pipeline(
+        &mut self,
+        ctx: &mut TxnContext<'_>,
+        modules: &mut [&mut dyn BusModule],
+    ) -> Result<(), BusError> {
+        let mut phase = Phase::Arbitrate;
+        loop {
+            match self.run_phase(phase, ctx, modules)? {
+                Step::Restart => phase = Phase::Arbitrate,
+                Step::Advance => match phase.next() {
+                    Some(next) => phase = next,
+                    None => return Ok(()),
+                },
+            }
+        }
+    }
+
+    fn run_phase(
+        &mut self,
+        phase: Phase,
+        ctx: &mut TxnContext<'_>,
+        modules: &mut [&mut dyn BusModule],
+    ) -> Result<Step, BusError> {
+        match phase {
+            Phase::Arbitrate => Ok(self.arbitrate(ctx, modules)),
+            Phase::AddressBroadcast => Ok(self.address_broadcast(ctx, modules)),
+            Phase::SnoopResolve => Ok(self.snoop_resolve(ctx)),
+            Phase::AbortBackoff => self.abort_backoff(ctx, modules),
+            Phase::DataTransfer => self.data_transfer(ctx, modules),
+            Phase::Commit => Ok(self.commit(ctx, modules)),
+        }
+    }
+
+    /// Bus acquisition. A stalled snooper never completes the connection
+    /// handshake, so the watchdog times it out *here*, retires it from the
+    /// snoop set, and the master re-arbitrates.
+    fn arbitrate(&mut self, ctx: &mut TxnContext<'_>, modules: &mut [&mut dyn BusModule]) -> Step {
+        if let Some((victim, salvage)) = ctx.faults.stall.take() {
+            ctx.duration += self.retire_module(victim, salvage, ctx, modules);
+            return Step::Restart;
+        }
+        Step::Advance
+    }
+
+    /// Broadcast address cycle: every other live module snoops the request
+    /// and drives its response lines.
+    fn address_broadcast(
+        &mut self,
+        ctx: &mut TxnContext<'_>,
+        modules: &mut [&mut dyn BusModule],
+    ) -> Step {
+        ctx.replies.clear();
+        ctx.combined = ResponseSignals::NONE;
+        for (idx, module) in modules.iter_mut().enumerate() {
+            if idx == ctx.req.master || self.retired.contains(&idx) {
+                continue;
+            }
+            let r = module.snoop(ctx.req);
+            ctx.combined = ctx.combined.or(r);
+            ctx.replies.push((idx, r));
+        }
+        Step::Advance
+    }
+
+    /// Wired-OR settle: an injected consistency-line glitch bounces before
+    /// the settle window and the inertial-delay filter absorbs it (§2.2) at
+    /// the cost of one settle delay. The *true* values proceed.
+    fn snoop_resolve(&mut self, ctx: &mut TxnContext<'_>) -> Step {
+        if ctx.faults.glitch {
+            ctx.faults.glitch = false;
+            if let Some(plan) = self.faults.as_mut() {
+                let fault = plan.glitch_spec(ctx.combined);
+                let settle = self.timing.broadcast_penalty_ns;
+                ctx.duration += settle;
+                self.stats.glitches_filtered += 1;
+                self.stats.settle_ns += settle;
+                let perturbed = match &fault {
+                    InjectedFault::Glitch { line, spurious } => {
+                        ctx.combined.with_line(*line, *spurious)
+                    }
+                    _ => ctx.combined,
+                };
+                self.trace.push(TraceRecord {
+                    responses: perturbed,
+                    duration: settle,
+                    aborts: ctx.aborts,
+                    ..TraceRecord::for_txn(ctx, TraceKind::Glitch)
+                });
+                plan.record(ctx.req.master, ctx.req.addr, fault, settle);
+            }
+        }
+        Step::Advance
+    }
+
+    /// BS: abort, push, restart (§3.2.2) — plus injected abort storms,
+    /// phantom BS rounds with nobody pushing. Both drain under the capped
+    /// exponential retry policy; the aborted address cycle and the backoff
+    /// wait are charged to the transaction.
+    fn abort_backoff(
+        &mut self,
+        ctx: &mut TxnContext<'_>,
+        modules: &mut [&mut dyn BusModule],
+    ) -> Result<Step, BusError> {
+        let genuine_bs = ctx.combined.bs;
+        if !genuine_bs && ctx.storm_left == 0 {
+            return Ok(Step::Advance);
+        }
+        if !genuine_bs {
+            ctx.storm_left -= 1;
+        }
+        ctx.aborts += 1;
+        self.stats.aborts += 1;
+        // The aborted address cycle still occupied the bus.
+        ctx.duration += self.timing.transaction(0, DataSourceLatency::Master, false);
+        if ctx.aborts > self.retry.max_retries {
+            return Err(BusError::TooManyRetries(ctx.aborts));
+        }
+        let backoff = self.retry.backoff(ctx.aborts);
+        ctx.duration += backoff;
+        self.stats.retries += 1;
+        self.stats.backoff_ns += backoff;
+        if !genuine_bs && !ctx.storm_recorded {
+            ctx.storm_recorded = true;
+            let cost = self.timing.transaction(0, DataSourceLatency::Master, false);
+            if let Some(plan) = self.faults.as_mut() {
+                plan.record(
+                    ctx.req.master,
+                    ctx.req.addr,
+                    InjectedFault::AbortStorm {
+                        rounds: ctx.faults.storm_rounds,
+                    },
+                    cost + backoff,
+                );
+            }
+        }
+        if genuine_bs {
+            self.execute_pushes(ctx, modules)?;
+        }
+        Ok(Step::Restart)
+    }
+
+    /// Runs the push write-back of every BS-asserting snooper: the pusher
+    /// held the only owned copy, so its line goes to memory as a write
+    /// transaction of its own before the master's retry.
+    fn execute_pushes(
+        &mut self,
+        ctx: &mut TxnContext<'_>,
+        modules: &mut [&mut dyn BusModule],
+    ) -> Result<(), BusError> {
+        let line_size = ctx.line_size;
+        for (idx, r) in &ctx.replies {
+            if !r.bs {
+                continue;
+            }
+            let Some(push) = modules[*idx].prepare_push(ctx.req.addr) else {
+                return Err(BusError::ProtocolError {
+                    module: *idx,
+                    detail: format!("asserted BS for {:#x} with no push to offer", ctx.req.addr),
+                });
+            };
+            if push.data.len() != line_size {
+                return Err(BusError::ProtocolError {
+                    module: *idx,
+                    detail: format!(
+                        "pushed {} bytes for {:#x}, not a full {line_size}-byte line",
+                        push.data.len(),
+                        ctx.req.addr
+                    ),
+                });
+            }
+            self.memory.write_line(ctx.req.addr, &push.data);
+            // The push is itself a write transaction on the bus. No third
+            // party needs to snoop it: the pusher held the only owned copy,
+            // and unowned S copies are unaffected by a CA,~IM write-back.
+            let push_cost =
+                self.timing
+                    .transaction(line_size, DataSourceLatency::Master, push.signals.bc);
+            ctx.duration += push_cost;
+            self.stats.pushes += 1;
+            self.stats.transactions += 1;
+            self.stats.writes += 1;
+            self.stats.memory_writes += 1;
+            self.stats.bytes_moved += line_size as u64;
+            self.trace.push(TraceRecord {
+                master: *idx,
+                signals: push.signals,
+                source: DataSource::Memory,
+                duration: push_cost,
+                ..TraceRecord::for_txn(ctx, TraceKind::Push)
+            });
+        }
+        Ok(())
+    }
+
+    /// The data phase: a read is served by the unique DI owner if one
+    /// responded, else by memory (intervention does *not* update memory —
+    /// the Futurebus limitation of §4.3–4.5); a non-broadcast write is
+    /// captured by the owner or absorbed by memory; a broadcast write
+    /// updates memory *and* every SL snooper (§4.2, fanned out at commit).
+    fn data_transfer(
+        &mut self,
+        ctx: &mut TxnContext<'_>,
+        modules: &mut [&mut dyn BusModule],
+    ) -> Result<Step, BusError> {
+        let interveners: Vec<usize> = ctx
+            .replies
+            .iter()
+            .filter(|(_, r)| r.di)
+            .map(|(idx, _)| *idx)
+            .collect();
+        if interveners.len() > 1 {
+            return Err(BusError::MultipleInterveners(interveners));
+        }
+        ctx.intervener = interveners.first().copied();
+
+        let line_size = ctx.line_size;
+        let broadcast = ctx.req.signals.bc;
+        match &ctx.req.kind {
+            TransactionKind::Read => {
+                let (line, source, latency) = match ctx.intervener {
+                    Some(idx) => {
+                        self.stats.interventions += 1;
+                        (
+                            modules[idx].supply_line(ctx.req.addr),
+                            DataSource::Intervention(idx),
+                            DataSourceLatency::Intervention,
+                        )
+                    }
+                    None => {
+                        self.stats.memory_reads += 1;
+                        (
+                            self.memory.read_line(ctx.req.addr),
+                            DataSource::Memory,
+                            DataSourceLatency::Memory,
+                        )
+                    }
+                };
+                ctx.duration += self.timing.transaction(line_size, latency, broadcast);
+                self.stats.reads += 1;
+                self.stats.bytes_moved += line_size as u64;
+                ctx.data = Some(line);
+                ctx.source = source;
+            }
+            TransactionKind::Write { offset, bytes } => {
+                if broadcast {
+                    // Broadcast writes always reach memory (§4.2); SL
+                    // snoopers are updated in the completion phase.
+                    self.memory.write_bytes(ctx.req.addr, *offset, bytes);
+                    self.stats.memory_writes += 1;
+                } else if ctx.intervener.is_some() {
+                    // The owner captures the write; memory is preempted.
+                    self.stats.captures += 1;
+                } else {
+                    self.memory.write_bytes(ctx.req.addr, *offset, bytes);
+                    self.stats.memory_writes += 1;
+                }
+                ctx.duration +=
+                    self.timing
+                        .transaction(bytes.len(), DataSourceLatency::Master, broadcast);
+                self.stats.writes += 1;
+                self.stats.bytes_moved += bytes.len() as u64;
+                ctx.data = None;
+                ctx.source = match ctx.intervener {
+                    Some(idx) if !broadcast => DataSource::Intervention(idx),
+                    _ => DataSource::Memory,
+                };
+            }
+            TransactionKind::AddressOnly => {
+                ctx.duration += self.timing.transaction(0, DataSourceLatency::Master, false);
+                self.stats.address_only += 1;
+                ctx.data = None;
+                ctx.source = DataSource::None;
+            }
+        }
+        if broadcast {
+            self.stats.broadcasts += 1;
+        }
+        Ok(Step::Advance)
+    }
+
+    /// Completion handshake: every snooper commits its state transition with
+    /// the resolved CH observation (and the write payload, when SL- or
+    /// DI-connected). Post-transaction soft errors land here, then the stats
+    /// and trace are sealed.
+    fn commit(&mut self, ctx: &mut TxnContext<'_>, modules: &mut [&mut dyn BusModule]) -> Step {
+        let payload: Option<(usize, &[u8])> = match &ctx.req.kind {
+            TransactionKind::Write { offset, bytes } => Some((*offset, bytes.as_slice())),
+            _ => None,
+        };
+        let broadcast = ctx.req.signals.bc;
+        for (idx, r) in &ctx.replies {
+            let ch_others = ctx
+                .replies
+                .iter()
+                .any(|(other, reply)| other != idx && reply.ch);
+            let delivers = payload.is_some() && (r.sl || (r.di && !broadcast));
+            if r.sl && payload.is_some() {
+                self.stats.sl_updates += 1;
+            }
+            modules[*idx].complete(
+                ctx.req,
+                &BusObservation {
+                    ch_others,
+                    write_data: if delivers { payload } else { None },
+                },
+            );
+        }
+
+        // Soft error: corrupt a resident memory line once the transaction is
+        // over (never the in-flight data phase — the bus got the electrical
+        // transfer right; the cell rots afterwards).
+        if ctx.faults.corrupt {
+            let resident = self.memory.line_addrs();
+            if let Some(plan) = self.faults.as_mut() {
+                let fault = plan.corrupt_spec(&resident, ctx.req.addr, ctx.line_size);
+                if let InjectedFault::CorruptMemory { addr, offset, mask } = fault {
+                    let mut line = self.memory.peek_line(addr);
+                    line[offset] ^= mask;
+                    self.memory.write_line(addr, &line);
+                    self.stats.corruptions += 1;
+                    self.trace.push(TraceRecord {
+                        addr,
+                        signals: MasterSignals::NONE,
+                        source: DataSource::Memory,
+                        ..TraceRecord::for_txn(ctx, TraceKind::Corrupt)
+                    });
+                    plan.record(
+                        ctx.req.master,
+                        ctx.req.addr,
+                        InjectedFault::CorruptMemory { addr, offset, mask },
+                        0,
+                    );
+                }
+            }
+        }
+
+        self.stats.transactions += 1;
+        self.stats.busy_ns += ctx.duration;
+        let kind = match &ctx.req.kind {
+            TransactionKind::Read => TraceKind::Read,
+            TransactionKind::Write { .. } => TraceKind::Write,
+            TransactionKind::AddressOnly => TraceKind::AddressOnly,
+        };
+        self.trace.push(TraceRecord {
+            responses: ctx.combined,
+            source: ctx.source,
+            duration: ctx.duration,
+            aborts: ctx.aborts,
+            ..TraceRecord::for_txn(ctx, kind)
+        });
+        Step::Advance
+    }
+
+    /// Times out and retires a non-responding snooper: salvages its dirty
+    /// lines to memory if its cache RAM is still readable, or — when the
+    /// board is dead — invalidates every surviving copy of the lines whose
+    /// only up-to-date data died with it, so no stale data outlives the
+    /// owner. Returns the bus time consumed.
+    fn retire_module(
+        &mut self,
+        victim: usize,
+        salvage: bool,
+        ctx: &TxnContext<'_>,
+        modules: &mut [&mut dyn BusModule],
+    ) -> Nanos {
+        let line_size = ctx.line_size;
+        let mut cost = self.timing.watchdog_timeout_ns;
+        let report = modules[victim].retire(salvage);
+
+        let mut salvaged_addrs = Vec::with_capacity(report.salvaged.len());
+        for (addr, data) in &report.salvaged {
+            self.memory.write_line(*addr, data);
+            cost += self
+                .timing
+                .transaction(line_size, DataSourceLatency::Master, false);
+            self.stats.transactions += 1;
+            self.stats.writes += 1;
+            self.stats.memory_writes += 1;
+            self.stats.bytes_moved += line_size as u64;
+            self.stats.salvaged_lines += 1;
+            salvaged_addrs.push(*addr);
+        }
+
+        // The dead board's dirty lines are gone; any surviving S copies of
+        // them now disagree with the (stale) memory image, so the recovery
+        // invalidates them bus-wide. The data loss is *reported* — it shows
+        // up in the stats, the fault log and the trace, never silently.
+        for addr in &report.lost {
+            let inval = TransactionRequest::address_only(victim, *addr, MasterSignals::CA_IM);
+            for (idx, module) in modules.iter_mut().enumerate() {
+                if idx == victim || self.retired.contains(&idx) {
+                    continue;
+                }
+                let _ = module.snoop(&inval);
+            }
+            for (idx, module) in modules.iter_mut().enumerate() {
+                if idx == victim || self.retired.contains(&idx) {
+                    continue;
+                }
+                module.complete(
+                    &inval,
+                    &BusObservation {
+                        ch_others: false,
+                        write_data: None,
+                    },
+                );
+            }
+            cost += self.timing.transaction(0, DataSourceLatency::Master, false);
+            self.stats.transactions += 1;
+            self.stats.address_only += 1;
+            self.stats.lost_lines += 1;
+        }
+
+        self.retired.insert(victim);
+        self.stats.watchdog_retirements += 1;
+        self.trace.push(TraceRecord {
+            master: victim,
+            duration: cost,
+            ..TraceRecord::for_txn(ctx, TraceKind::Retire)
+        });
+        if let Some(plan) = self.faults.as_mut() {
+            let fault = if salvage {
+                InjectedFault::Stall {
+                    module: victim,
+                    salvaged: salvaged_addrs,
+                }
+            } else {
+                InjectedFault::Kill {
+                    module: victim,
+                    lost: report.lost.clone(),
+                }
+            };
+            plan.record(ctx.req.master, ctx.req.addr, fault, cost);
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_order_is_the_paper_handshake() {
+        let mut walked = vec![Phase::PIPELINE[0]];
+        while let Some(next) = walked.last().unwrap().next() {
+            walked.push(next);
+        }
+        assert_eq!(walked, Phase::PIPELINE);
+        assert_eq!(Phase::Commit.next(), None);
+    }
+
+    #[test]
+    fn phases_render_for_diagnostics() {
+        let names: Vec<String> = Phase::PIPELINE.iter().map(Phase::to_string).collect();
+        assert_eq!(
+            names,
+            [
+                "arbitrate",
+                "address-broadcast",
+                "snoop-resolve",
+                "abort-backoff",
+                "data-transfer",
+                "commit"
+            ]
+        );
+    }
+}

@@ -68,6 +68,26 @@ pub struct TraceRecord {
     pub aborts: u32,
 }
 
+impl TraceRecord {
+    /// A record template for the transaction `ctx` carries: master, address
+    /// and signals come from the request, everything else defaults (the
+    /// sequence number is assigned by [`BusTrace::push`]). Push sites
+    /// override the fields that differ with struct-update syntax.
+    pub(crate) fn for_txn(ctx: &crate::phases::TxnContext<'_>, kind: TraceKind) -> TraceRecord {
+        TraceRecord {
+            seq: 0,
+            master: ctx.req.master,
+            addr: ctx.req.addr,
+            kind,
+            signals: ctx.req.signals,
+            responses: ResponseSignals::NONE,
+            source: DataSource::None,
+            duration: 0,
+            aborts: 0,
+        }
+    }
+}
+
 impl fmt::Display for TraceRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

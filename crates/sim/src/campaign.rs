@@ -1,0 +1,143 @@
+//! A zero-dependency worker pool for sharding independent simulations.
+//!
+//! Every campaign-style driver in this workspace — the fault campaign, the
+//! verifier's protocol matrix, the benchmark sweep — has the same shape: a
+//! list of *independent* jobs (a protocol name, a seed, a pair of protocols),
+//! each of which builds its own seeded [`crate::System`] and runs it to
+//! completion. The jobs share nothing, so they parallelise trivially; what
+//! they must **not** share is the output order, which has to be a pure
+//! function of the job list so that `--jobs 4` and `--jobs 1` print the same
+//! report byte for byte.
+//!
+//! [`run_jobs`] provides exactly that contract on plain [`std::thread`]:
+//!
+//! * jobs are claimed off a shared atomic cursor (cheap work stealing — a
+//!   slow job never strands the queue behind it);
+//! * each result lands in the slot of *its own* job index, so the returned
+//!   `Vec` is always in job order, regardless of worker count or scheduling;
+//! * `workers == 1` degenerates to a plain in-order loop on the caller's
+//!   thread (no spawn overhead, bit-identical to the sequential code it
+//!   replaced).
+//!
+//! Jobs are plain data (`J: Send`) and systems are constructed *inside* the
+//! worker closure, so `System` itself never needs to cross a thread
+//! boundary.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The default worker count: the machine's available parallelism, or 1 when
+/// the OS will not say.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `worker` over every job on `workers` threads, returning the results
+/// **in job order** regardless of how many workers ran or how the scheduler
+/// interleaved them.
+///
+/// `workers` is clamped to `1..=jobs.len()`; with one worker the jobs run
+/// sequentially on the calling thread. The worker closure is shared by all
+/// threads, so it takes `&self` state only (`Fn`, not `FnMut`).
+///
+/// # Panics
+///
+/// Propagates a panic from any worker thread (the pool joins before
+/// returning, so no work is silently lost).
+pub fn run_jobs<J, R, F>(jobs: Vec<J>, workers: usize, worker: F) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(J) -> R + Sync,
+{
+    let n = jobs.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        return jobs.into_iter().map(worker).collect();
+    }
+
+    // Each job moves into a slot; each worker claims the next unclaimed index
+    // and deposits the result into the matching output slot.
+    let job_slots: Vec<Mutex<Option<J>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let out_slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = job_slots[i]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("job claimed once");
+                let result = worker(job);
+                *out_slots[i].lock().unwrap() = Some(result);
+            }));
+        }
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    out_slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let jobs: Vec<usize> = (0..64).collect();
+        for workers in [1, 2, 3, 8, 64, 200] {
+            let got = run_jobs(jobs.clone(), workers, |j| j * j);
+            let want: Vec<usize> = (0..64).map(|j| j * j).collect();
+            assert_eq!(got, want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_seeded_sims() {
+        // The real contract: sharded seeded simulations merge identically.
+        let jobs: Vec<u64> = (0..12).collect();
+        let run = |seed: u64| {
+            let mut rng = moesi::rng::SmallRng::seed_from_u64(seed);
+            (0..100).map(|_| rng.next_u64() & 0xFF).sum::<u64>()
+        };
+        let seq = run_jobs(jobs.clone(), 1, run);
+        let par = run_jobs(jobs, 4, run);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let got: Vec<u32> = run_jobs(Vec::<u32>::new(), 8, |j| j);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn single_worker_runs_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        let ids = run_jobs(vec![(), ()], 1, |()| std::thread::current().id());
+        assert!(ids.iter().all(|id| *id == caller));
+    }
+
+    #[test]
+    fn default_jobs_is_at_least_one() {
+        assert!(default_jobs() >= 1);
+    }
+}

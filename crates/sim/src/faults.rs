@@ -92,6 +92,10 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Fault kinds and rates to inject.
     pub faults: FaultConfig,
+    /// Worker threads sharding the per-protocol runs. Each protocol's
+    /// machine is fully independent and seeded, so the merged report is
+    /// byte-identical for any value; `1` runs sequentially on the caller.
+    pub jobs: usize,
 }
 
 impl Default for CampaignConfig {
@@ -118,6 +122,7 @@ impl Default for CampaignConfig {
                 max_storm_rounds: 4,
                 ..FaultConfig::default()
             },
+            jobs: crate::campaign::default_jobs(),
         }
     }
 }
@@ -265,10 +270,20 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, String> {
     if cfg.cpus == 0 || cfg.steps == 0 || cfg.lines == 0 {
         return Err("cpus, steps and lines must all be non-zero".into());
     }
-    let mut runs = Vec::with_capacity(cfg.protocols.len());
-    for (run_idx, name) in cfg.protocols.iter().enumerate() {
-        runs.push(run_one(cfg, name, run_idx as u64)?);
-    }
+    // Every protocol's machine is independent, so shard them across the
+    // pool; `run_jobs` hands results back in protocol order, keeping the
+    // report identical for any worker count.
+    let jobs: Vec<(u64, String)> = cfg
+        .protocols
+        .iter()
+        .enumerate()
+        .map(|(run_idx, name)| (run_idx as u64, name.clone()))
+        .collect();
+    let runs = crate::campaign::run_jobs(jobs, cfg.jobs, |(run_idx, name)| {
+        run_one(cfg, &name, run_idx)
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, String>>()?;
     Ok(CampaignReport { runs })
 }
 
@@ -460,6 +475,28 @@ mod tests {
         assert_eq!(a.silent(), b.silent());
         assert_eq!(a.runs[0].retired, b.runs[0].retired);
         assert_eq!(a.runs[0].bus_stats, b.runs[0].bus_stats);
+    }
+
+    #[test]
+    fn sharded_campaigns_match_sequential_ones() {
+        let base = CampaignConfig {
+            steps: 250,
+            ..CampaignConfig::default()
+        };
+        let seq = run_campaign(&CampaignConfig {
+            jobs: 1,
+            ..base.clone()
+        })
+        .unwrap();
+        let par = run_campaign(&CampaignConfig { jobs: 4, ..base }).unwrap();
+        assert_eq!(seq.runs.len(), par.runs.len());
+        for (a, b) in seq.runs.iter().zip(&par.runs) {
+            assert_eq!(a.protocol, b.protocol);
+            assert_eq!(a.accesses, b.accesses);
+            assert_eq!(a.verdicts.len(), b.verdicts.len());
+            assert_eq!(a.retired, b.retired);
+            assert_eq!(a.bus_stats, b.bus_stats);
+        }
     }
 
     #[test]

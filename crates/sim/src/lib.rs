@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 mod checker;
 mod controller;
 mod fabric;
@@ -37,6 +38,7 @@ pub mod replay;
 mod system;
 pub mod workload;
 
+pub use campaign::{default_jobs, run_jobs};
 pub use checker::{Checker, Violation};
 pub use controller::CacheController;
 pub use fabric::Fabric;

@@ -171,20 +171,51 @@ pub fn verify_class(kinds: &[CacheKind], shape: &Shape) -> Report {
 /// the diagonal) and returns `(a, b, report)` rows.
 #[must_use]
 pub fn verify_matrix(names: &[&str], shape: &Shape) -> Vec<(String, String, Report)> {
-    let mut rows = Vec::new();
+    verify_matrix_jobs(names, shape, 1)
+}
+
+/// [`verify_matrix`] sharded over `jobs` worker threads. Every pair's state
+/// exploration is independent, so the rows come back in the same (row-major,
+/// upper-triangular) order for any worker count.
+#[must_use]
+pub fn verify_matrix_jobs(
+    names: &[&str],
+    shape: &Shape,
+    jobs: usize,
+) -> Vec<(String, String, Report)> {
+    let mut pairs = Vec::new();
     for (i, a) in names.iter().enumerate() {
         for b in &names[i..] {
-            if let Some(report) = verify_pair(a, b, shape) {
-                rows.push(((*a).to_string(), (*b).to_string(), report));
-            }
+            pairs.push(((*a).to_string(), (*b).to_string()));
         }
     }
-    rows
+    mpsim::campaign::run_jobs(pairs, jobs, |(a, b)| {
+        verify_pair(&a, &b, shape).map(|report| (a, b, report))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sharded_matrix_matches_the_sequential_one() {
+        let names = ["moesi", "write-through", "berkeley", "dragon"];
+        let shape = Shape::default();
+        let seq = verify_matrix(&names, &shape);
+        let par = verify_matrix_jobs(&names, &shape, 3);
+        assert_eq!(seq.len(), par.len());
+        for ((a1, b1, r1), (a2, b2, r2)) in seq.iter().zip(&par) {
+            assert_eq!((a1, b1), (a2, b2));
+            assert_eq!(r1.explored, r2.explored);
+            assert_eq!(r1.transitions, r2.transitions);
+            assert_eq!(r1.depth, r2.depth);
+            assert_eq!(r1.verified(), r2.verified());
+        }
+    }
 
     #[test]
     fn the_initial_state_round_trips_through_the_encoding() {

@@ -5,12 +5,14 @@
 //! moesi-sim --cpus 8 --workload general --census --trace 10
 //! moesi-sim --trace-file trace.txt --protocol berkeley --check
 //! moesi-sim verify --protocol moesi --caches 3
-//! moesi-sim verify --matrix
+//! moesi-sim verify --matrix --jobs 4
 //! moesi-sim faults --rate 0.2 --seed 7
+//! moesi-sim bench --seed 7 --json
 //! ```
 //!
 //! Run `moesi-sim --help` (or `moesi-sim verify --help`,
-//! `moesi-sim faults --help`) for the full option list.
+//! `moesi-sim faults --help`, `moesi-sim bench --help`) for the full
+//! option list.
 
 use cache_array::{CacheConfig, ReplacementKind};
 use futurebus::fault::{FaultConfig, FaultKind};
@@ -32,6 +34,8 @@ SUBCOMMANDS:
                       (see `moesi-sim verify --help`)
     faults            run a seeded fault-injection campaign and audit the
                       recovery (see `moesi-sim faults --help`)
+    bench             run the protocol x workload benchmark sweep
+                      (see `moesi-sim bench --help`)
 
 OPTIONS:
     --protocol LIST   comma-separated per-node protocols (repeating the last
@@ -385,6 +389,8 @@ OPTIONS:
     --matrix          verify every protocol pair instead, printing one row
                       per pair; exits nonzero if any result contradicts the
                       documented compatibility claims
+    --jobs N          worker threads sharding the --matrix pairs; the output
+                      is identical for any N [default: available cores]
     --help            print this help
 ";
 
@@ -396,6 +402,7 @@ struct VerifyConfig {
     values: u8,
     max_states: Option<usize>,
     matrix: bool,
+    jobs: usize,
 }
 
 impl Default for VerifyConfig {
@@ -407,6 +414,7 @@ impl Default for VerifyConfig {
             values: 2,
             max_states: None,
             matrix: false,
+            jobs: mpsim::default_jobs(),
         }
     }
 }
@@ -461,6 +469,14 @@ fn parse_verify_args(args: &[String]) -> Result<VerifyConfig, String> {
                 );
             }
             "--matrix" => cfg.matrix = true,
+            "--jobs" => {
+                cfg.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs expects a number".to_string())?;
+                if cfg.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -480,13 +496,13 @@ fn verify_shape(cfg: &VerifyConfig) -> verify::Shape {
     shape
 }
 
-fn run_verify_matrix(shape: &verify::Shape) -> Result<(), String> {
+fn run_verify_matrix(shape: &verify::Shape, jobs: usize) -> Result<(), String> {
     println!(
         "pair-wise compatibility matrix: 2 modules x {} line(s) x {} values\n",
         shape.lines, shape.values
     );
     let mut surprises = 0usize;
-    for (a, b, report) in verify::verify_matrix(&verify::MATRIX_PROTOCOLS, shape) {
+    for (a, b, report) in verify::verify_matrix_jobs(&verify::MATRIX_PROTOCOLS, shape, jobs) {
         let expected_clean = verify::class_compatible(&a, &b);
         let (tag, detail) = match (&report.counterexample, expected_clean) {
             (None, true) => ("ok", format!("{} states", report.explored)),
@@ -514,7 +530,7 @@ fn run_verify_matrix(shape: &verify::Shape) -> Result<(), String> {
 fn run_verify(cfg: &VerifyConfig) -> Result<(), String> {
     let shape = verify_shape(cfg);
     if cfg.matrix {
-        return run_verify_matrix(&shape);
+        return run_verify_matrix(&shape, cfg.jobs);
     }
     let names: Vec<&str> = if cfg.protocols.len() == 1 {
         vec![cfg.protocols[0].as_str(); cfg.caches]
@@ -577,6 +593,9 @@ OPTIONS:
                       are permanent, so they stay rare) [default: 0.1]
     --kind LIST       fault kinds to enable: glitch, stall, kill, storm,
                       corrupt, or all [default: all]
+    --jobs N          worker threads, one protocol machine per job; the
+                      report is identical for any N [default: available
+                      cores]
     --help            print this help
 ";
 
@@ -591,6 +610,7 @@ struct FaultsConfig {
     seed: u64,
     rate: f64,
     kinds: Vec<FaultKind>,
+    jobs: usize,
 }
 
 impl Default for FaultsConfig {
@@ -606,6 +626,7 @@ impl Default for FaultsConfig {
             seed: base.seed,
             rate: 0.1,
             kinds: FaultKind::ALL.to_vec(),
+            jobs: base.jobs,
         }
     }
 }
@@ -681,6 +702,7 @@ fn parse_faults_args(args: &[String]) -> Result<FaultsConfig, String> {
                 }
             }
             "--kind" => cfg.kinds = parse_fault_kinds(value("--kind")?)?,
+            "--jobs" => cfg.jobs = number("--jobs", value("--jobs")?)? as usize,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -714,7 +736,145 @@ fn campaign_config(cfg: &FaultsConfig) -> CampaignConfig {
         lines: cfg.lines,
         seed: cfg.seed,
         faults,
+        jobs: cfg.jobs,
     }
+}
+
+const BENCH_USAGE: &str = "\
+moesi-sim bench: run the protocol x workload benchmark sweep
+
+Runs one homogeneous machine per (protocol, workload) cell under the
+contention-aware timed model and reports simulated throughput (accesses per
+simulated second), bus occupancy and miss ratios. Cells shard across a
+worker pool; the output is byte-identical for any --jobs value.
+
+USAGE:
+    moesi-sim bench [OPTIONS]
+
+OPTIONS:
+    --protocol LIST   comma-separated protocols, one machine per entry
+                      [default: the full compared set]
+    --workload LIST   comma-separated workloads [default: all six]
+    --cpus N          processors per machine [default: 4]
+    --steps N         references per processor [default: 2000]
+    --cache-bytes N   per-node cache capacity [default: 4096]
+    --seed N          workload seed [default: 7]
+    --jobs N          worker threads sharding the cells [default: available
+                      cores]
+    --json            also write the rows as JSON to --out
+    --out PATH        JSON output path [default: BENCH_protocols.json]
+    --help            print this help
+";
+
+#[derive(Clone, Debug, PartialEq)]
+struct BenchCliConfig {
+    protocols: Option<Vec<String>>,
+    workloads: Option<Vec<String>>,
+    cpus: usize,
+    steps: u64,
+    cache_bytes: usize,
+    seed: u64,
+    jobs: usize,
+    json: bool,
+    out: String,
+}
+
+impl Default for BenchCliConfig {
+    fn default() -> Self {
+        let base = bench::sweep::SweepConfig::default();
+        BenchCliConfig {
+            protocols: None,
+            workloads: None,
+            cpus: base.cpus,
+            steps: base.steps,
+            cache_bytes: base.cache_bytes,
+            seed: base.seed,
+            jobs: base.jobs,
+            json: false,
+            out: "BENCH_protocols.json".to_string(),
+        }
+    }
+}
+
+fn parse_bench_args(args: &[String]) -> Result<BenchCliConfig, String> {
+    let mut cfg = BenchCliConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let number = |name: &str, v: &str| -> Result<u64, String> {
+            let n: u64 = v.parse().map_err(|_| format!("{name} expects a number"))?;
+            if n == 0 {
+                return Err(format!("{name} must be at least 1"));
+            }
+            Ok(n)
+        };
+        let list = |name: &str, v: &str| -> Result<Vec<String>, String> {
+            let items: Vec<String> = v
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if items.is_empty() {
+                return Err(format!("{name} list is empty"));
+            }
+            Ok(items)
+        };
+        match arg.as_str() {
+            "--protocol" => cfg.protocols = Some(list("--protocol", value("--protocol")?)?),
+            "--workload" => cfg.workloads = Some(list("--workload", value("--workload")?)?),
+            "--cpus" => cfg.cpus = number("--cpus", value("--cpus")?)? as usize,
+            "--steps" => cfg.steps = number("--steps", value("--steps")?)?,
+            "--cache-bytes" => {
+                cfg.cache_bytes = number("--cache-bytes", value("--cache-bytes")?)? as usize;
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects a number".to_string())?;
+            }
+            "--jobs" => cfg.jobs = number("--jobs", value("--jobs")?)? as usize,
+            "--json" => cfg.json = true,
+            "--out" => cfg.out = value("--out")?.clone(),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn sweep_config(cfg: &BenchCliConfig) -> bench::sweep::SweepConfig {
+    let base = bench::sweep::SweepConfig::default();
+    bench::sweep::SweepConfig {
+        protocols: cfg.protocols.clone().unwrap_or(base.protocols),
+        workloads: cfg.workloads.clone().unwrap_or(base.workloads),
+        cpus: cfg.cpus,
+        steps: cfg.steps,
+        cache_bytes: cfg.cache_bytes,
+        seed: cfg.seed,
+        jobs: cfg.jobs,
+    }
+}
+
+fn run_bench(cfg: &BenchCliConfig) -> Result<(), String> {
+    let sweep_cfg = sweep_config(cfg);
+    let rows = bench::sweep::sweep(&sweep_cfg)?;
+    print!("{}", bench::sweep::render_sweep(&rows));
+    let total: u64 = rows.iter().map(|r| r.accesses).sum();
+    println!(
+        "\ntotal {total} accesses across {} cells ({} protocols x {} workloads, jobs={})",
+        rows.len(),
+        sweep_cfg.protocols.len(),
+        sweep_cfg.workloads.len(),
+        sweep_cfg.jobs,
+    );
+    if cfg.json {
+        let json = bench::sweep::sweep_json(&sweep_cfg, &rows);
+        std::fs::write(&cfg.out, json).map_err(|e| format!("cannot write `{}`: {e}", cfg.out))?;
+        println!("wrote {}", cfg.out);
+    }
+    Ok(())
 }
 
 fn run_faults(cfg: &FaultsConfig) -> Result<(), String> {
@@ -746,6 +906,25 @@ fn main() -> ExitCode {
             }
             Err(msg) => {
                 eprintln!("error: {msg}\n\n{FAULTS_USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        return match parse_bench_args(&args[1..]) {
+            Ok(cfg) => match run_bench(&cfg) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(msg) if msg.is_empty() => {
+                print!("{BENCH_USAGE}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{BENCH_USAGE}");
                 ExitCode::from(2)
             }
         };
@@ -1024,6 +1203,61 @@ mod tests {
         // `all` expands to every kind.
         let all = campaign_config(&parse_faults_args(&args("--kind all")).expect("valid"));
         assert!(all.faults.stall_rate > 0.0 && all.faults.corrupt_rate > 0.0);
+    }
+
+    #[test]
+    fn bench_defaults_and_full_option_set_parse() {
+        assert_eq!(
+            parse_bench_args(&[]).expect("empty"),
+            BenchCliConfig::default()
+        );
+        let cfg = parse_bench_args(&args(
+            "--protocol moesi,dragon --workload general,ping-pong --cpus 2 \
+             --steps 100 --cache-bytes 2048 --seed 3 --jobs 2 --json --out /tmp/b.json",
+        ))
+        .expect("valid");
+        assert_eq!(cfg.protocols, Some(vec!["moesi".into(), "dragon".into()]));
+        assert_eq!(
+            cfg.workloads,
+            Some(vec!["general".into(), "ping-pong".into()])
+        );
+        assert_eq!((cfg.cpus, cfg.steps, cfg.cache_bytes), (2, 100, 2048));
+        assert_eq!((cfg.seed, cfg.jobs), (3, 2));
+        assert!(cfg.json);
+        assert_eq!(cfg.out, "/tmp/b.json");
+        assert!(parse_bench_args(&args("--help")).unwrap_err().is_empty());
+        assert!(parse_bench_args(&args("--bogus"))
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(parse_bench_args(&args("--jobs 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+    }
+
+    #[test]
+    fn bench_smoke_run_writes_json() {
+        let out = std::env::temp_dir().join("moesi_sim_bench_smoke.json");
+        let cfg = BenchCliConfig {
+            protocols: Some(vec!["moesi".into()]),
+            workloads: Some(vec!["ping-pong".into()]),
+            cpus: 2,
+            steps: 50,
+            json: true,
+            out: out.to_string_lossy().into_owned(),
+            ..BenchCliConfig::default()
+        };
+        run_bench(&cfg).expect("bench smoke succeeds");
+        let json = std::fs::read_to_string(&out).expect("json written");
+        assert!(json.contains("\"protocol\": \"moesi\""), "{json}");
+        let _ = std::fs::remove_file(&out);
+        // Unknown names are reported.
+        let err = run_bench(&BenchCliConfig {
+            protocols: Some(vec!["mesif".into()]),
+            json: false,
+            ..cfg
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown protocol"), "{err}");
     }
 
     #[test]
