@@ -21,13 +21,29 @@ echo "==> fault-injection smoke campaign (fixed seed, fails on silent corruption
 ./target/release/moesi-sim faults --seed 7 --steps 800
 
 echo "==> bench smoke (fixed seed; sharded run must match the sequential one)"
-bench_j2="$(mktemp)" bench_j1="$(mktemp)"
+bench_j2="$(mktemp)" bench_j1="$(mktemp)" trace_j2="$(mktemp)" trace_j1="$(mktemp)"
 ./target/release/moesi-sim bench --seed 7 --steps 500 --jobs 2 --json --out "$bench_j2" \
+    --trace-out "$trace_j2" \
   | grep -E "total [1-9][0-9]* accesses" \
   || { echo "bench smoke reported zero throughput" >&2; exit 1; }
-./target/release/moesi-sim bench --seed 7 --steps 500 --jobs 1 --json --out "$bench_j1" >/dev/null
+./target/release/moesi-sim bench --seed 7 --steps 500 --jobs 1 --json --out "$bench_j1" \
+    --trace-out "$trace_j1" >/dev/null
 cmp "$bench_j2" "$bench_j1" \
   || { echo "bench --jobs 2 diverged from --jobs 1" >&2; exit 1; }
-rm -f "$bench_j2" "$bench_j1"
+grep -q '"phase_p50_ns"' "$bench_j1" \
+  || { echo "bench JSON is missing the per-phase percentiles" >&2; exit 1; }
+
+echo "==> chrome-trace smoke (fixed seed; --jobs must not perturb the trace)"
+cmp "$trace_j2" "$trace_j1" \
+  || { echo "trace --jobs 2 diverged from --jobs 1" >&2; exit 1; }
+grep -q '"traceEvents"' "$trace_j1" \
+  || { echo "trace output is not a Chrome trace document" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "$trace_j1" \
+    || { echo "trace output is not valid JSON" >&2; exit 1; }
+  python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "$bench_j1" \
+    || { echo "bench output is not valid JSON" >&2; exit 1; }
+fi
+rm -f "$bench_j2" "$bench_j1" "$trace_j2" "$trace_j1"
 
 echo "ci: all green"

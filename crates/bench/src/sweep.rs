@@ -9,7 +9,7 @@
 //! rendered JSON is byte-identical for `--jobs 1` and `--jobs N`.
 
 use crate::{homogeneous_system, workload_streams, COMPARED_PROTOCOLS, LINE, WORKLOADS};
-use futurebus::TimingConfig;
+use futurebus::{Nanos, Phase, TimingConfig};
 
 /// Nanoseconds of local (non-bus) work modelled per processor reference.
 pub const CPU_WORK_NS: u64 = 50;
@@ -69,6 +69,11 @@ pub struct SweepRow {
     pub accesses_per_sec: f64,
     /// Cache miss ratio over all nodes.
     pub miss_ratio: f64,
+    /// Median latency charged per pipeline phase, in [`Phase::PIPELINE`]
+    /// order (nearest-rank histogram bucket bounds).
+    pub phase_p50: [Nanos; Phase::PIPELINE.len()],
+    /// 99th-percentile latency charged per pipeline phase.
+    pub phase_p99: [Nanos; Phase::PIPELINE.len()],
 }
 
 /// Runs one cell.
@@ -107,6 +112,8 @@ pub fn sweep_one(cfg: &SweepConfig, protocol: &str, workload: &str) -> Result<Sw
             timed.total_refs as f64 * 1e9 / timed.wall_ns as f64
         },
         miss_ratio: 1.0 - total.hit_ratio(),
+        phase_p50: timed.phase_hist.p50s(),
+        phase_p99: timed.phase_hist.p99s(),
     })
 }
 
@@ -149,7 +156,8 @@ pub fn sweep_json(cfg: &SweepConfig, rows: &[SweepRow]) -> String {
         out.push_str(&format!(
             "    {{\"protocol\": \"{}\", \"workload\": \"{}\", \"accesses\": {}, \
              \"wall_ns\": {}, \"busy_ns\": {}, \"wait_ns\": {}, \
-             \"accesses_per_sec\": {:.3}, \"miss_ratio\": {:.6}}}{}\n",
+             \"accesses_per_sec\": {:.3}, \"miss_ratio\": {:.6}, \
+             \"phase_p50_ns\": {}, \"phase_p99_ns\": {}}}{}\n",
             r.protocol,
             r.workload,
             r.accesses,
@@ -158,11 +166,18 @@ pub fn sweep_json(cfg: &SweepConfig, rows: &[SweepRow]) -> String {
             r.wait_ns,
             r.accesses_per_sec,
             r.miss_ratio,
+            json_array(&r.phase_p50),
+            json_array(&r.phase_p99),
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+fn json_array(values: &[Nanos]) -> String {
+    let body: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", body.join(", "))
 }
 
 /// Renders the rows as an aligned text table grouped by workload.
@@ -214,6 +229,19 @@ mod tests {
             assert!(r.accesses > 0, "{}/{} ran nothing", r.protocol, r.workload);
             assert!(r.accesses_per_sec > 0.0);
             assert!((0.0..=1.0).contains(&r.miss_ratio));
+            let data = Phase::DataTransfer as usize;
+            assert!(
+                r.phase_p99[data] >= r.phase_p50[data],
+                "{}/{}: p99 below p50",
+                r.protocol,
+                r.workload
+            );
+            assert!(
+                r.phase_p99[data] > 0,
+                "{}/{}: bus traffic must charge the data phase",
+                r.protocol,
+                r.workload
+            );
         }
     }
 
@@ -238,6 +266,8 @@ mod tests {
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("}\n"));
         assert_eq!(json.matches("\"protocol\"").count(), rows.len());
+        assert_eq!(json.matches("\"phase_p50_ns\": [").count(), rows.len());
+        assert_eq!(json.matches("\"phase_p99_ns\": [").count(), rows.len());
         assert!(json.contains("\"seed\": 7"));
         assert!(!json.contains(",\n  ]"), "no trailing comma:\n{json}");
     }

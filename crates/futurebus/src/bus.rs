@@ -33,10 +33,11 @@
 use crate::fault::{FaultPlan, TxnFaults};
 use crate::memory::SparseMemory;
 use crate::module::BusModule;
+use crate::observe::{PhaseHistograms, TxnPhases};
 use crate::phases::TxnContext;
 use crate::stats::BusStats;
 use crate::timing::{Nanos, TimingConfig};
-use crate::trace::BusTrace;
+use crate::trace::{BusTrace, TraceKind};
 use crate::transaction::{BusError, TransactionKind, TransactionOutcome, TransactionRequest};
 use std::collections::BTreeSet;
 
@@ -109,6 +110,8 @@ pub struct Futurebus {
     pub(crate) faults: Option<FaultPlan>,
     pub(crate) retired: BTreeSet<usize>,
     pending_stall: Option<(usize, bool)>,
+    histograms: PhaseHistograms,
+    phase_events: Option<Vec<TxnPhases>>,
 }
 
 impl Futurebus {
@@ -128,6 +131,8 @@ impl Futurebus {
             faults: None,
             retired: BTreeSet::new(),
             pending_stall: None,
+            histograms: PhaseHistograms::new(),
+            phase_events: None,
         }
     }
 
@@ -174,9 +179,57 @@ impl Futurebus {
         &self.stats
     }
 
-    /// Resets the statistics (memory contents are kept).
+    /// Resets the statistics and phase histograms (memory contents and any
+    /// collected phase events are kept).
     pub fn reset_stats(&mut self) {
         self.stats = BusStats::new();
+        self.histograms = PhaseHistograms::new();
+    }
+
+    /// Per-phase latency histograms: one sample per phase per transaction
+    /// (errored transactions included — their burned time is observed too).
+    #[must_use]
+    pub fn phase_histograms(&self) -> &PhaseHistograms {
+        &self.histograms
+    }
+
+    /// Starts collecting one [`TxnPhases`] record per *committed*
+    /// transaction, the raw material for Chrome trace export. Replaces any
+    /// previously collected events.
+    pub fn enable_phase_events(&mut self) {
+        self.phase_events = Some(Vec::new());
+    }
+
+    /// The collected per-transaction phase events (empty unless
+    /// [`enable_phase_events`](Futurebus::enable_phase_events) was called).
+    #[must_use]
+    pub fn phase_events(&self) -> &[TxnPhases] {
+        self.phase_events.as_deref().unwrap_or(&[])
+    }
+
+    /// Flushes one finished transaction's observations: folds its duration
+    /// into `busy_ns` and the per-phase breakdown into `phase_ns` (keeping
+    /// the sum invariant by construction), records one histogram sample per
+    /// phase, and — when the transaction committed and event collection is
+    /// on — appends a [`TxnPhases`] record aligned 1:1 with the trace's
+    /// final READ/WRITE/INVAL records. Called from exactly two places: the
+    /// commit phase and the `execute` error path.
+    pub(crate) fn seal_observation(&mut self, ctx: &TxnContext<'_>, completed: Option<TraceKind>) {
+        let start_ns = self.stats.busy_ns;
+        self.stats.busy_ns += ctx.duration;
+        for (total, charged) in self.stats.phase_ns.iter_mut().zip(ctx.phase_ns) {
+            *total += charged;
+        }
+        self.histograms.record_txn(&ctx.phase_ns);
+        if let (Some(kind), Some(events)) = (completed, self.phase_events.as_mut()) {
+            events.push(TxnPhases {
+                master: ctx.req.master,
+                addr: ctx.req.addr,
+                kind,
+                start_ns,
+                phase_ns: ctx.phase_ns,
+            });
+        }
     }
 
     /// The abort-retry policy in force.
@@ -249,8 +302,9 @@ impl Futurebus {
         match self.run_pipeline(&mut ctx, modules) {
             Ok(()) => Ok(ctx.into_outcome()),
             Err(err) => {
-                // Every error path still accounts the bus time burned.
-                self.stats.busy_ns += ctx.duration;
+                // Every error path still accounts (and observes) the bus
+                // time burned; no phase event, since nothing committed.
+                self.seal_observation(&ctx, None);
                 Err(err)
             }
         }
@@ -350,8 +404,8 @@ mod tests {
             }
             r
         }
-        fn supply_line(&mut self, _addr: u64) -> Box<[u8]> {
-            self.line.clone().into_boxed_slice()
+        fn supply_line(&mut self, _addr: u64) -> Option<Box<[u8]>> {
+            Some(self.line.clone().into_boxed_slice())
         }
         fn prepare_push(&mut self, _addr: u64) -> Option<PushWrite> {
             self.pushes += 1;
@@ -593,6 +647,46 @@ mod tests {
             }
             other => panic!("expected ProtocolError, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn di_without_a_line_is_a_protocol_error_not_a_panic() {
+        // A protocol that wrongly asserts DI (intervention) but then cannot
+        // supply the line used to hit the trait default's panic; it is now a
+        // reported protocol violation, like BS-without-a-push.
+        struct EmptyHanded;
+        impl BusModule for EmptyHanded {
+            fn snoop(&mut self, _req: &TransactionRequest) -> ResponseSignals {
+                ResponseSignals {
+                    di: true,
+                    ..ResponseSignals::NONE
+                }
+            }
+            // No supply_line override: the default declines.
+            fn complete(&mut self, _req: &TransactionRequest, _obs: &BusObservation<'_>) {}
+        }
+        let mut bus = bus();
+        let mut e = EmptyHanded;
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut e];
+        let err = bus
+            .execute(
+                &TransactionRequest::read(1, 0x40, MasterSignals::CA),
+                &mut mods,
+            )
+            .unwrap_err();
+        match err {
+            BusError::ProtocolError { module, detail } => {
+                assert_eq!(module, 0);
+                assert!(detail.contains("declined to supply"), "{detail}");
+            }
+            other => panic!("expected ProtocolError, got {other:?}"),
+        }
+        assert_eq!(bus.stats().interventions, 0, "no intervention happened");
+        assert_eq!(
+            bus.stats().phase_total_ns(),
+            bus.stats().busy_ns,
+            "the failed transaction still balances its books"
+        );
     }
 
     #[test]
@@ -917,6 +1011,109 @@ mod tests {
             a.completions.is_empty(),
             "master gets no completion callback"
         );
+    }
+
+    #[test]
+    fn phase_breakdown_always_sums_to_busy_ns() {
+        use crate::Phase;
+        let mut bus = bus();
+        let mut dirty = Mock::with(ResponseSignals {
+            bs: true,
+            ..ResponseSignals::NONE
+        });
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut dirty];
+        bus.execute(
+            &TransactionRequest::read(1, 0, MasterSignals::CA),
+            &mut mods,
+        )
+        .unwrap();
+        bus.execute(
+            &TransactionRequest::write(1, 0, MasterSignals::IM_BC, 0, vec![3; 4]),
+            &mut mods,
+        )
+        .unwrap();
+        let s = bus.stats();
+        assert_eq!(s.phase_total_ns(), s.busy_ns);
+        // The sub-charges live inside their phase's bucket.
+        assert!(s.phase_ns[Phase::AbortBackoff as usize] >= s.backoff_ns);
+        assert!(s.phase_ns[Phase::SnoopResolve as usize] >= s.settle_ns);
+        // Each phase histogram saw one sample per bus request (the push and
+        // the backoff fold into the aborted read's own breakdown).
+        for phase in Phase::PIPELINE {
+            assert_eq!(bus.phase_histograms().phase(phase).samples(), 2, "{phase}");
+        }
+        assert_eq!(bus.phase_histograms().sums(), s.phase_ns);
+    }
+
+    #[test]
+    fn errored_transactions_are_observed_but_emit_no_phase_event() {
+        let mut bus = bus();
+        bus.enable_phase_events();
+        bus.set_retry_policy(RetryPolicy {
+            max_retries: 1,
+            ..RetryPolicy::default()
+        });
+        struct AlwaysBusy;
+        impl BusModule for AlwaysBusy {
+            fn snoop(&mut self, _req: &TransactionRequest) -> ResponseSignals {
+                ResponseSignals {
+                    bs: true,
+                    ..ResponseSignals::NONE
+                }
+            }
+            fn prepare_push(&mut self, _addr: u64) -> Option<PushWrite> {
+                Some(PushWrite {
+                    data: vec![0; 16].into_boxed_slice(),
+                    signals: MasterSignals::CA,
+                })
+            }
+            fn complete(&mut self, _req: &TransactionRequest, _obs: &BusObservation<'_>) {}
+        }
+        let mut b = AlwaysBusy;
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut b];
+        bus.execute(
+            &TransactionRequest::read(1, 0, MasterSignals::CA),
+            &mut mods,
+        )
+        .unwrap_err();
+        // The failing read burned time that is observed (histograms, stats)
+        // but committed nothing, so no phase event was recorded.
+        assert!(bus.phase_events().is_empty());
+        assert!(bus.stats().busy_ns > 0);
+        assert_eq!(bus.stats().phase_total_ns(), bus.stats().busy_ns);
+        assert_eq!(
+            bus.phase_histograms()
+                .phase(crate::Phase::Arbitrate)
+                .samples(),
+            1
+        );
+    }
+
+    #[test]
+    fn phase_events_line_up_with_the_occupancy_timeline() {
+        let mut bus = bus();
+        bus.enable_phase_events();
+        let mut s = Mock::quiet();
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut s];
+        bus.execute(
+            &TransactionRequest::read(1, 0x40, MasterSignals::CA),
+            &mut mods,
+        )
+        .unwrap();
+        bus.execute(
+            &TransactionRequest::write(1, 0x40, MasterSignals::IM, 0, vec![9; 4]),
+            &mut mods,
+        )
+        .unwrap();
+        let events = bus.phase_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, TraceKind::Read);
+        assert_eq!(events[1].kind, TraceKind::Write);
+        assert_eq!(events[0].start_ns, 0);
+        let first_dur: Nanos = events[0].phase_ns.iter().sum();
+        assert_eq!(events[1].start_ns, first_dur, "back-to-back on the bus");
+        let total: Nanos = events.iter().flat_map(|e| e.phase_ns).sum();
+        assert_eq!(total, bus.stats().busy_ns);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod fault;
 pub mod handshake;
 mod memory;
 mod module;
+pub mod observe;
 pub mod phases;
 mod stats;
 mod timing;
@@ -55,6 +56,9 @@ pub use bus::{Futurebus, RetryPolicy};
 pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultRecord, InjectedFault};
 pub use memory::SparseMemory;
 pub use module::{BusModule, BusObservation, PushWrite, RetireReport};
+pub use observe::{
+    ChromeTraceWriter, LatencyHistogram, PhaseHistograms, TxnPhases, HISTOGRAM_BUCKETS,
+};
 pub use phases::Phase;
 pub use stats::BusStats;
 pub use timing::{DataSourceLatency, Nanos, TimingConfig, BROADCAST_PENALTY_NS};

@@ -73,14 +73,16 @@ pub trait BusModule {
     /// [`supply_line`]: BusModule::supply_line
     fn snoop(&mut self, req: &TransactionRequest) -> ResponseSignals;
 
-    /// Supply the full line for a read this module intervened on.
+    /// Supply the full line for a read this module intervened on, or `None`
+    /// if it cannot.
     ///
-    /// # Panics
-    ///
-    /// The default implementation panics: modules that never assert DI never
-    /// receive this call.
-    fn supply_line(&mut self, addr: LineAddr) -> Box<[u8]> {
-        panic!("module cannot intervene for {addr:#x}");
+    /// Asserting DI without being able to supply the line is a protocol bug,
+    /// but it must not crash the machine: the bus turns a `None` here into a
+    /// reported [`BusError::ProtocolError`](crate::BusError::ProtocolError)
+    /// instead of a process abort. The default implementation returns
+    /// `None`, since modules that never assert DI never receive this call.
+    fn supply_line(&mut self, _addr: LineAddr) -> Option<Box<[u8]>> {
+        None
     }
 
     /// Produce the push write-back after this module aborted with BS, or
@@ -124,9 +126,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot intervene")]
-    fn default_supply_panics() {
-        let _ = Dummy.supply_line(0x40);
+    fn default_supply_declines_instead_of_panicking() {
+        assert!(Dummy.supply_line(0x40).is_none());
     }
 
     #[test]

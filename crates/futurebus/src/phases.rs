@@ -118,6 +118,10 @@ pub(crate) struct TxnContext<'r> {
     /// Bus time consumed so far (sealed into stats at commit, and accounted
     /// on every error path by the pipeline driver).
     pub(crate) duration: Nanos,
+    /// `duration` attributed to the phase that charged it, in
+    /// [`Phase::PIPELINE`] order — every charge goes through
+    /// [`TxnContext::charge`], so the six entries always sum to `duration`.
+    pub(crate) phase_ns: [Nanos; 6],
     /// BS abort rounds suffered so far.
     pub(crate) aborts: u32,
     /// The fault plan's decisions for this transaction, consumed phase by
@@ -147,6 +151,7 @@ impl<'r> TxnContext<'r> {
             req,
             line_size,
             duration: 0,
+            phase_ns: [0; 6],
             aborts: 0,
             storm_left: faults.storm_rounds,
             storm_recorded: false,
@@ -157,6 +162,14 @@ impl<'r> TxnContext<'r> {
             data: None,
             source: DataSource::None,
         }
+    }
+
+    /// Charges `ns` of bus time to `phase`: the single funnel through which
+    /// every phase accrues time, keeping the per-phase breakdown summing to
+    /// `duration` by construction.
+    pub(crate) fn charge(&mut self, phase: Phase, ns: Nanos) {
+        self.duration += ns;
+        self.phase_ns[phase as usize] += ns;
     }
 
     /// Seals the context into the outcome handed back to the master.
@@ -213,7 +226,8 @@ impl Futurebus {
     /// snoop set, and the master re-arbitrates.
     fn arbitrate(&mut self, ctx: &mut TxnContext<'_>, modules: &mut [&mut dyn BusModule]) -> Step {
         if let Some((victim, salvage)) = ctx.faults.stall.take() {
-            ctx.duration += self.retire_module(victim, salvage, ctx, modules);
+            let cost = self.retire_module(victim, salvage, ctx, modules);
+            ctx.charge(Phase::Arbitrate, cost);
             return Step::Restart;
         }
         Step::Advance
@@ -248,7 +262,7 @@ impl Futurebus {
             if let Some(plan) = self.faults.as_mut() {
                 let fault = plan.glitch_spec(ctx.combined);
                 let settle = self.timing.broadcast_penalty_ns;
-                ctx.duration += settle;
+                ctx.charge(Phase::SnoopResolve, settle);
                 self.stats.glitches_filtered += 1;
                 self.stats.settle_ns += settle;
                 let perturbed = match &fault {
@@ -288,12 +302,13 @@ impl Futurebus {
         ctx.aborts += 1;
         self.stats.aborts += 1;
         // The aborted address cycle still occupied the bus.
-        ctx.duration += self.timing.transaction(0, DataSourceLatency::Master, false);
+        let aborted_cycle = self.timing.transaction(0, DataSourceLatency::Master, false);
+        ctx.charge(Phase::AbortBackoff, aborted_cycle);
         if ctx.aborts > self.retry.max_retries {
             return Err(BusError::TooManyRetries(ctx.aborts));
         }
         let backoff = self.retry.backoff(ctx.aborts);
-        ctx.duration += backoff;
+        ctx.charge(Phase::AbortBackoff, backoff);
         self.stats.retries += 1;
         self.stats.backoff_ns += backoff;
         if !genuine_bs && !ctx.storm_recorded {
@@ -325,19 +340,22 @@ impl Futurebus {
         modules: &mut [&mut dyn BusModule],
     ) -> Result<(), BusError> {
         let line_size = ctx.line_size;
-        for (idx, r) in &ctx.replies {
-            if !r.bs {
-                continue;
-            }
-            let Some(push) = modules[*idx].prepare_push(ctx.req.addr) else {
+        let pushers: Vec<usize> = ctx
+            .replies
+            .iter()
+            .filter(|(_, r)| r.bs)
+            .map(|(idx, _)| *idx)
+            .collect();
+        for idx in pushers {
+            let Some(push) = modules[idx].prepare_push(ctx.req.addr) else {
                 return Err(BusError::ProtocolError {
-                    module: *idx,
+                    module: idx,
                     detail: format!("asserted BS for {:#x} with no push to offer", ctx.req.addr),
                 });
             };
             if push.data.len() != line_size {
                 return Err(BusError::ProtocolError {
-                    module: *idx,
+                    module: idx,
                     detail: format!(
                         "pushed {} bytes for {:#x}, not a full {line_size}-byte line",
                         push.data.len(),
@@ -352,14 +370,14 @@ impl Futurebus {
             let push_cost =
                 self.timing
                     .transaction(line_size, DataSourceLatency::Master, push.signals.bc);
-            ctx.duration += push_cost;
+            ctx.charge(Phase::AbortBackoff, push_cost);
             self.stats.pushes += 1;
             self.stats.transactions += 1;
             self.stats.writes += 1;
             self.stats.memory_writes += 1;
             self.stats.bytes_moved += line_size as u64;
             self.trace.push(TraceRecord {
-                master: *idx,
+                master: idx,
                 signals: push.signals,
                 source: DataSource::Memory,
                 duration: push_cost,
@@ -396,9 +414,21 @@ impl Futurebus {
             TransactionKind::Read => {
                 let (line, source, latency) = match ctx.intervener {
                     Some(idx) => {
+                        // A module that asserts DI must be able to supply
+                        // the line; one that declines broke the protocol,
+                        // reported rather than crashing the machine.
+                        let Some(line) = modules[idx].supply_line(ctx.req.addr) else {
+                            return Err(BusError::ProtocolError {
+                                module: idx,
+                                detail: format!(
+                                    "asserted DI for {:#x} but declined to supply the line",
+                                    ctx.req.addr
+                                ),
+                            });
+                        };
                         self.stats.interventions += 1;
                         (
-                            modules[idx].supply_line(ctx.req.addr),
+                            line,
                             DataSource::Intervention(idx),
                             DataSourceLatency::Intervention,
                         )
@@ -412,7 +442,8 @@ impl Futurebus {
                         )
                     }
                 };
-                ctx.duration += self.timing.transaction(line_size, latency, broadcast);
+                let cost = self.timing.transaction(line_size, latency, broadcast);
+                ctx.charge(Phase::DataTransfer, cost);
                 self.stats.reads += 1;
                 self.stats.bytes_moved += line_size as u64;
                 ctx.data = Some(line);
@@ -431,9 +462,10 @@ impl Futurebus {
                     self.memory.write_bytes(ctx.req.addr, *offset, bytes);
                     self.stats.memory_writes += 1;
                 }
-                ctx.duration +=
+                let cost =
                     self.timing
                         .transaction(bytes.len(), DataSourceLatency::Master, broadcast);
+                ctx.charge(Phase::DataTransfer, cost);
                 self.stats.writes += 1;
                 self.stats.bytes_moved += bytes.len() as u64;
                 ctx.data = None;
@@ -443,7 +475,8 @@ impl Futurebus {
                 };
             }
             TransactionKind::AddressOnly => {
-                ctx.duration += self.timing.transaction(0, DataSourceLatency::Master, false);
+                let cost = self.timing.transaction(0, DataSourceLatency::Master, false);
+                ctx.charge(Phase::DataTransfer, cost);
                 self.stats.address_only += 1;
                 ctx.data = None;
                 ctx.source = DataSource::None;
@@ -511,13 +544,13 @@ impl Futurebus {
             }
         }
 
-        self.stats.transactions += 1;
-        self.stats.busy_ns += ctx.duration;
         let kind = match &ctx.req.kind {
             TransactionKind::Read => TraceKind::Read,
             TransactionKind::Write { .. } => TraceKind::Write,
             TransactionKind::AddressOnly => TraceKind::AddressOnly,
         };
+        self.stats.transactions += 1;
+        self.seal_observation(ctx, Some(kind));
         self.trace.push(TraceRecord {
             responses: ctx.combined,
             source: ctx.source,

@@ -23,6 +23,7 @@
 //! worker closure, so `System` itself never needs to cross a thread
 //! boundary.
 
+use futurebus::PhaseHistograms;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -96,9 +97,57 @@ where
         .collect()
 }
 
+/// Folds per-job phase histograms into one aggregate, **in job order**.
+///
+/// Histogram merging is a bucket-wise sum, so the fold is commutative — but
+/// campaign drivers still merge in job order so the aggregate is a pure
+/// function of the job list, matching the `--jobs N` ≡ `--jobs 1` contract
+/// everything else in this module honours.
+#[must_use]
+pub fn merge_phase_histograms<I>(parts: I) -> PhaseHistograms
+where
+    I: IntoIterator<Item = PhaseHistograms>,
+{
+    let mut total = PhaseHistograms::new();
+    for part in parts {
+        total.merge(&part);
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use futurebus::Phase;
+
+    #[test]
+    fn merged_histograms_are_independent_of_sharding() {
+        // Simulate per-job observation: each job records its own samples,
+        // the driver merges the shards in job order.
+        let observe = |seed: u64| {
+            let mut h = PhaseHistograms::new();
+            let mut phases = [0u64; Phase::PIPELINE.len()];
+            for (i, slot) in phases.iter_mut().enumerate() {
+                *slot = seed * 100 + i as u64;
+            }
+            h.record_txn(&phases);
+            h
+        };
+        let jobs: Vec<u64> = (0..16).collect();
+        let seq = merge_phase_histograms(run_jobs(jobs.clone(), 1, observe));
+        let par = merge_phase_histograms(run_jobs(jobs, 5, observe));
+        assert_eq!(seq, par);
+        assert_eq!(seq.phase(Phase::Arbitrate).samples(), 16);
+        let total: u64 = seq.sums().iter().sum();
+        let want: u64 = (0..16u64)
+            .map(|s| {
+                (0..Phase::PIPELINE.len() as u64)
+                    .map(|i| s * 100 + i)
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(total, want);
+    }
 
     #[test]
     fn results_come_back_in_job_order() {

@@ -238,13 +238,14 @@ impl BusModule for CacheController {
         }
     }
 
-    fn supply_line(&mut self, addr: LineAddr) -> Box<[u8]> {
-        let cache = self.cache.as_ref().expect("supply from a cacheless node");
-        let entry = cache
-            .lookup(addr)
-            .unwrap_or_else(|| panic!("{}: asked to supply non-resident {addr:#x}", self.name));
+    fn supply_line(&mut self, addr: LineAddr) -> Option<Box<[u8]>> {
+        // A cacheless node, or a non-resident line, means this controller
+        // asserted DI it cannot honour (or a fault ate the line since the
+        // snoop); declining lets the bus report a ProtocolError the fault
+        // campaign records as *detected*, instead of killing the process.
+        let entry = self.cache.as_ref()?.lookup(addr)?;
         self.stats.interventions_supplied += 1;
-        entry.data.clone()
+        Some(entry.data.clone())
     }
 
     fn prepare_push(&mut self, addr: LineAddr) -> Option<PushWrite> {
@@ -361,7 +362,7 @@ mod tests {
         c.fill(0x100, LineState::Modified, vec![5; 16].into());
         let r = c.snoop(&read_req(0x100));
         assert!(r.ch && r.di && !r.bs);
-        assert_eq!(&c.supply_line(0x100)[..], &[5; 16]);
+        assert_eq!(&c.supply_line(0x100).unwrap()[..], &[5; 16]);
         c.complete(
             &read_req(0x100),
             &BusObservation {
@@ -453,6 +454,50 @@ mod tests {
         // The retried transaction snoops again from S.
         let r2 = c.snoop(&read_req(0x100));
         assert!(r2.ch && !r2.bs);
+    }
+
+    #[test]
+    fn supplying_a_non_resident_line_declines_instead_of_panicking() {
+        let mut c = moesi_ctrl(0);
+        assert!(c.supply_line(0x100).is_none(), "nothing resident");
+        let mut cacheless = CacheController::new(1, Box::new(NonCaching::new()), None, 1);
+        assert!(cacheless.supply_line(0x100).is_none());
+        assert_eq!(c.stats().interventions_supplied, 0);
+    }
+
+    #[test]
+    fn a_wrongly_asserted_intervention_is_a_reported_bus_error() {
+        // End-to-end: a controller holding M answers DI, but the line is
+        // invalidated before the data phase (here: by reaching straight into
+        // the cache, standing in for a mid-transaction fault). The bus must
+        // surface a ProtocolError, not abort the process.
+        use futurebus::{BusError, Futurebus, TimingConfig};
+        let mut bus = Futurebus::new(16, TimingConfig::default());
+        let mut c = moesi_ctrl(0);
+        c.fill(0x100, LineState::Modified, vec![5; 16].into());
+        struct Saboteur<'a>(&'a mut CacheController);
+        impl BusModule for Saboteur<'_> {
+            fn snoop(&mut self, req: &TransactionRequest) -> ResponseSignals {
+                let r = self.0.snoop(req);
+                self.0.apply_state(req.addr, LineState::Invalid);
+                r
+            }
+            fn supply_line(&mut self, addr: LineAddr) -> Option<Box<[u8]>> {
+                self.0.supply_line(addr)
+            }
+            fn complete(&mut self, req: &TransactionRequest, obs: &BusObservation<'_>) {
+                self.0.complete(req, obs);
+            }
+        }
+        let mut s = Saboteur(&mut c);
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut s];
+        let req = TransactionRequest::read(1, 0x100, MasterSignals::CA);
+        let err = bus.execute(&req, &mut mods).unwrap_err();
+        assert!(
+            matches!(err, BusError::ProtocolError { module: 0, .. }),
+            "{err:?}"
+        );
+        assert_eq!(c.stats().interventions_supplied, 0);
     }
 
     #[test]

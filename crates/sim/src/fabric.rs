@@ -20,6 +20,8 @@ pub struct Fabric {
     bus: Futurebus,
     controllers: Vec<CacheController>,
     line_size: usize,
+    tolerate: bool,
+    errors: Vec<String>,
 }
 
 impl Fabric {
@@ -30,7 +32,22 @@ impl Fabric {
             bus: Futurebus::new(line_size, timing),
             controllers,
             line_size,
+            tolerate: false,
+            errors: Vec::new(),
         }
+    }
+
+    /// Switches between panicking on bus errors (the default — they indicate
+    /// protocol bugs in clean runs) and degrading: logging the error and
+    /// completing the access memory-direct, so a fault campaign records a
+    /// *detected* error instead of aborting the whole process.
+    pub fn tolerate_bus_errors(&mut self, on: bool) {
+        self.tolerate = on;
+    }
+
+    /// Takes the bus errors survived since the last drain (tolerant mode).
+    pub fn drain_bus_errors(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.errors)
     }
 
     /// The line size in bytes.
@@ -93,17 +110,24 @@ impl Fabric {
     ///
     /// # Panics
     ///
-    /// Panics on bus errors — they indicate protocol bugs, not user error.
+    /// Panics on bus errors — they indicate protocol bugs, not user error —
+    /// unless [`tolerate_bus_errors`](Fabric::tolerate_bus_errors) is on, in
+    /// which case the error is logged and the access degrades to a
+    /// memory-direct fallback.
     pub fn run_txn(&mut self, req: &TransactionRequest) -> TransactionOutcome {
         let mut refs: Vec<&mut dyn BusModule> = self
             .controllers
             .iter_mut()
             .map(|c| c as &mut dyn BusModule)
             .collect();
-        let out = self
-            .bus
-            .execute(req, &mut refs)
-            .unwrap_or_else(|e| panic!("bus error on {req}: {e}"));
+        let out = match self.bus.execute(req, &mut refs) {
+            Ok(out) => out,
+            Err(e) if self.tolerate => {
+                self.errors.push(format!("{req}: {e}"));
+                self.degraded_outcome(req)
+            }
+            Err(e) => panic!("bus error on {req}: {e}"),
+        };
         if let Some(ctrl) = self.controllers.get_mut(req.master) {
             let st = ctrl.stats_mut();
             st.bus_transactions += 1;
@@ -111,6 +135,35 @@ impl Fabric {
             st.aborts_suffered += u64::from(out.aborts);
         }
         out
+    }
+
+    /// Completes a failed transaction memory-direct: reads are served from
+    /// main memory, writes are absorbed by it, and no snooper is involved
+    /// (they already saw the failing passes). Whatever staleness the skipped
+    /// snoops cause is the campaign checker's to detect and report.
+    fn degraded_outcome(&mut self, req: &TransactionRequest) -> TransactionOutcome {
+        use futurebus::{DataSource, TransactionKind};
+        let line = self.line_addr(req.addr);
+        let data = match &req.kind {
+            TransactionKind::Read => Some(self.bus.memory().peek_line(line)),
+            TransactionKind::Write { offset, bytes } => {
+                let bytes = bytes.clone();
+                self.bus.memory_mut().write_bytes(line, *offset, &bytes);
+                None
+            }
+            TransactionKind::AddressOnly => None,
+        };
+        TransactionOutcome {
+            data,
+            responses: moesi::ResponseSignals::NONE,
+            // Conservative: the wired-OR never resolved, and claiming
+            // exclusivity after a failed snoop round would be worse than
+            // assuming sharers exist.
+            ch_seen: true,
+            source: DataSource::Memory,
+            duration: 0,
+            aborts: 0,
+        }
     }
 
     /// Reads `len` bytes at `addr` for processor `cpu`, splitting line
@@ -366,6 +419,41 @@ mod tests {
         assert_eq!(f.read(0, 0x100, 4), vec![9; 4]);
         assert_eq!(f.read(1, 0x100, 4), vec![9; 4]);
         assert_eq!(&f.bus().memory().peek_line(0x100)[..4], &[9; 4]);
+    }
+
+    #[test]
+    fn tolerated_bus_errors_degrade_to_memory_instead_of_panicking() {
+        use futurebus::fault::{FaultConfig, FaultPlan};
+        let mut f = fabric(2);
+        f.bus_mut().memory_mut().write_bytes(0x100, 0, &[7; 4]);
+        f.tolerate_bus_errors(true);
+        // A full-rate abort storm outlasting the 16-round retry policy makes
+        // every transaction fail with TooManyRetries, deterministically.
+        f.bus_mut().inject_faults(FaultPlan::new(FaultConfig {
+            storm_rate: 1.0,
+            max_storm_rounds: 32,
+            ..FaultConfig::default()
+        }));
+        assert_eq!(f.read(0, 0x100, 4), vec![7; 4], "memory-direct fallback");
+        f.write_with(1, 0x200, &[9; 4], |_, _| {});
+        assert_eq!(f.read(1, 0x200, 4), vec![9; 4]);
+        let errors = f.drain_bus_errors();
+        assert!(!errors.is_empty());
+        assert!(errors[0].contains("aborted"), "{errors:?}");
+        assert!(f.drain_bus_errors().is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    #[should_panic(expected = "bus error")]
+    fn untolerated_bus_errors_still_panic() {
+        use futurebus::fault::{FaultConfig, FaultPlan};
+        let mut f = fabric(1);
+        f.bus_mut().inject_faults(FaultPlan::new(FaultConfig {
+            storm_rate: 1.0,
+            max_storm_rounds: 32,
+            ..FaultConfig::default()
+        }));
+        let _ = f.read(0, 0x100, 4);
     }
 
     #[test]

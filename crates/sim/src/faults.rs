@@ -21,7 +21,7 @@
 
 use cache_array::{CacheConfig, ReplacementKind};
 use futurebus::fault::{FaultConfig, FaultKind, FaultPlan, FaultRecord, InjectedFault};
-use futurebus::{BusStats, TimingConfig};
+use futurebus::{BusStats, PhaseHistograms, TimingConfig};
 use moesi::protocols::by_name;
 use moesi::rng::SmallRng;
 use moesi::CacheKind;
@@ -141,8 +141,13 @@ pub struct ProtocolRun {
     /// Invariant/read violations observed after recovery (silent corruption;
     /// the run stops at the first one).
     pub violations: Vec<String>,
+    /// Bus errors the fabric survived in tolerant mode (each degraded one
+    /// access to a memory-direct fallback — detected, not process-fatal).
+    pub bus_errors: Vec<String>,
     /// Bus statistics at the end of the run.
     pub bus_stats: BusStats,
+    /// Per-phase latency histograms accumulated over the run.
+    pub phase_hist: PhaseHistograms,
 }
 
 impl ProtocolRun {
@@ -191,6 +196,9 @@ impl fmt::Display for ProtocolRun {
         if !self.retired.is_empty() {
             write!(f, "\n    retired modules: {:?}", self.retired)?;
         }
+        if !self.bus_errors.is_empty() {
+            write!(f, "\n    bus errors survived: {}", self.bus_errors.len())?;
+        }
         for v in &self.violations {
             write!(f, "\n    SILENT CORRUPTION: {v}")?;
         }
@@ -229,6 +237,13 @@ impl CampaignReport {
     #[must_use]
     pub fn retirements(&self) -> u64 {
         self.runs.iter().map(|r| r.retired.len() as u64).sum()
+    }
+
+    /// Campaign-wide phase latency histograms, merged over the runs in job
+    /// (configuration) order so the aggregate is independent of `jobs`.
+    #[must_use]
+    pub fn phase_hist(&self) -> PhaseHistograms {
+        crate::campaign::merge_phase_histograms(self.runs.iter().map(|r| r.phase_hist))
     }
 }
 
@@ -303,6 +318,10 @@ fn run_one(cfg: &CampaignConfig, name: &str, run_idx: u64) -> Result<ProtocolRun
         })
         .collect::<Result<_, String>>()?;
     let mut fabric = Fabric::new(cfg.line_size, TimingConfig::default(), controllers);
+    // A fault campaign must record bus errors as detected damage, not die
+    // on them: errored accesses degrade to a memory-direct fallback and any
+    // staleness they cause is the checker's to flag.
+    fabric.tolerate_bus_errors(true);
     fabric.bus_mut().inject_faults(FaultPlan::new(FaultConfig {
         seed: cfg.faults.seed.wrapping_add(run_idx),
         ..cfg.faults
@@ -316,7 +335,9 @@ fn run_one(cfg: &CampaignConfig, name: &str, run_idx: u64) -> Result<ProtocolRun
         verdicts: Vec::new(),
         retired: Vec::new(),
         violations: Vec::new(),
+        bus_errors: Vec::new(),
         bus_stats: BusStats::new(),
+        phase_hist: PhaseHistograms::new(),
     };
     let mut cursor = 0usize;
     let mut write_pieces: Vec<(u64, Vec<u8>)> = Vec::new();
@@ -340,6 +361,7 @@ fn run_one(cfg: &CampaignConfig, name: &str, run_idx: u64) -> Result<ProtocolRun
             Some(fabric.read(cpu, addr, 4))
         };
         run.accesses += 1;
+        run.bus_errors.extend(fabric.drain_bus_errors());
 
         // Drain faults the bus injected during this access, reconcile the
         // reported damage, and classify.
@@ -396,6 +418,7 @@ fn run_one(cfg: &CampaignConfig, name: &str, run_idx: u64) -> Result<ProtocolRun
 
     run.retired = fabric.bus().retired();
     run.bus_stats = *fabric.bus().stats();
+    run.phase_hist = *fabric.bus().phase_histograms();
     Ok(run)
 }
 
@@ -496,7 +519,45 @@ mod tests {
             assert_eq!(a.verdicts.len(), b.verdicts.len());
             assert_eq!(a.retired, b.retired);
             assert_eq!(a.bus_stats, b.bus_stats);
+            assert_eq!(a.phase_hist, b.phase_hist);
         }
+    }
+
+    #[test]
+    fn histograms_cover_every_access_and_sum_to_busy_ns() {
+        let report = run_campaign(&quick_cfg()).unwrap();
+        let run = &report.runs[0];
+        assert!(run.phase_hist.phase(futurebus::Phase::Arbitrate).samples() > 0);
+        let charged: u64 = run.phase_hist.sums().iter().sum();
+        assert_eq!(charged, run.bus_stats.busy_ns);
+        assert_eq!(run.bus_stats.phase_total_ns(), run.bus_stats.busy_ns);
+    }
+
+    #[test]
+    fn a_saturated_storm_degrades_the_run_instead_of_killing_it() {
+        // Storm every arbitration for more rounds than the retry budget:
+        // every bus transaction fails with TooManyRetries. Pre-tolerant
+        // fabrics panicked here and took the whole campaign process down;
+        // now each failure is logged and the access degrades to memory.
+        let cfg = CampaignConfig {
+            protocols: vec!["moesi".into()],
+            steps: 40,
+            faults: FaultConfig {
+                storm_rate: 1.0,
+                max_storm_rounds: 32,
+                ..FaultConfig::default()
+            },
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&cfg).unwrap();
+        let run = &report.runs[0];
+        assert!(!run.bus_errors.is_empty(), "errors must be recorded");
+        assert!(
+            run.bus_errors[0].contains("aborted"),
+            "{}",
+            run.bus_errors[0]
+        );
+        assert!(run.accesses > 0, "the campaign keeps making progress");
     }
 
     #[test]

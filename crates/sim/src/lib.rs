@@ -34,11 +34,12 @@ mod fabric;
 pub mod faults;
 pub mod hierarchy;
 mod metrics;
+pub mod profile;
 pub mod replay;
 mod system;
 pub mod workload;
 
-pub use campaign::{default_jobs, run_jobs};
+pub use campaign::{default_jobs, merge_phase_histograms, run_jobs};
 pub use checker::{Checker, Violation};
 pub use controller::CacheController;
 pub use fabric::Fabric;
@@ -46,6 +47,7 @@ pub use faults::{
     run_campaign, CampaignConfig, CampaignReport, FaultClass, FaultVerdict, ProtocolRun,
 };
 pub use metrics::{CpuStats, StateCensus, TimedReport};
+pub use profile::{chrome_trace, trace_run, TraceRunConfig};
 pub use replay::{replay, ReplayFault, ReplayOp, ReplayOutcome, Trace, TraceStep};
 pub use system::{System, SystemBuilder};
 pub use workload::{

@@ -1,6 +1,6 @@
 //! Per-processor statistics and state-occupancy censuses.
 
-use futurebus::Nanos;
+use futurebus::{Nanos, PhaseHistograms};
 use moesi::LineState;
 use std::fmt;
 use std::ops::AddAssign;
@@ -88,6 +88,9 @@ pub struct TimedReport {
     pub bus_wait_ns: Nanos,
     /// References completed across all processors.
     pub total_refs: u64,
+    /// Per-phase bus latency histograms observed by the bus during the run —
+    /// which pipeline phases the occupancy actually went to.
+    pub phase_hist: PhaseHistograms,
 }
 
 impl TimedReport {

@@ -189,6 +189,12 @@ impl System {
         self.fabric.bus().stats()
     }
 
+    /// Per-phase bus latency histograms accumulated so far.
+    #[must_use]
+    pub fn phase_histograms(&self) -> &futurebus::PhaseHistograms {
+        self.fabric.bus().phase_histograms()
+    }
+
     /// A node's controller (for state inspection in tests).
     #[must_use]
     pub fn controller(&self, cpu: usize) -> &CacheController {
@@ -535,6 +541,7 @@ impl System {
             bus_busy_ns: bus_busy,
             bus_wait_ns: bus_wait,
             total_refs: refs_per_cpu * n as u64,
+            phase_hist: *self.fabric.bus().phase_histograms(),
         }
     }
 

@@ -391,6 +391,8 @@ OPTIONS:
                       documented compatibility claims
     --jobs N          worker threads sharding the --matrix pairs; the output
                       is identical for any N [default: available cores]
+    --trace-out FILE  also write a Chrome trace (chrome://tracing JSON) of an
+                      exemplar concrete run of the first named protocol
     --help            print this help
 ";
 
@@ -403,6 +405,7 @@ struct VerifyConfig {
     max_states: Option<usize>,
     matrix: bool,
     jobs: usize,
+    trace_out: Option<String>,
 }
 
 impl Default for VerifyConfig {
@@ -415,6 +418,7 @@ impl Default for VerifyConfig {
             max_states: None,
             matrix: false,
             jobs: mpsim::default_jobs(),
+            trace_out: None,
         }
     }
 }
@@ -477,6 +481,7 @@ fn parse_verify_args(args: &[String]) -> Result<VerifyConfig, String> {
                     return Err("--jobs must be at least 1".to_string());
                 }
             }
+            "--trace-out" => cfg.trace_out = Some(value("--trace-out")?.clone()),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -528,6 +533,22 @@ fn run_verify_matrix(shape: &verify::Shape, jobs: usize) -> Result<(), String> {
 }
 
 fn run_verify(cfg: &VerifyConfig) -> Result<(), String> {
+    if let Some(path) = &cfg.trace_out {
+        // The model checker is abstract; the trace shows an exemplar
+        // *concrete* run of the first named protocol (full-table mixes have
+        // no concrete counterpart, so MOESI stands in).
+        let protocol = match cfg.protocols.first().map(String::as_str) {
+            None | Some("full-table") | Some("full-table-wt") | Some("full-table-nc") => "moesi",
+            Some(name) => name,
+        };
+        write_chrome_trace(
+            path,
+            &mpsim::TraceRunConfig {
+                protocol: protocol.to_string(),
+                ..mpsim::TraceRunConfig::default()
+            },
+        )?;
+    }
     let shape = verify_shape(cfg);
     if cfg.matrix {
         return run_verify_matrix(&shape, cfg.jobs);
@@ -596,6 +617,9 @@ OPTIONS:
     --jobs N          worker threads, one protocol machine per job; the
                       report is identical for any N [default: available
                       cores]
+    --trace-out FILE  also write a Chrome trace (chrome://tracing JSON) of
+                      one exemplar faulted run of the first protocol; the
+                      file is identical for any --jobs value
     --help            print this help
 ";
 
@@ -611,6 +635,7 @@ struct FaultsConfig {
     rate: f64,
     kinds: Vec<FaultKind>,
     jobs: usize,
+    trace_out: Option<String>,
 }
 
 impl Default for FaultsConfig {
@@ -627,6 +652,7 @@ impl Default for FaultsConfig {
             rate: 0.1,
             kinds: FaultKind::ALL.to_vec(),
             jobs: base.jobs,
+            trace_out: None,
         }
     }
 }
@@ -703,6 +729,7 @@ fn parse_faults_args(args: &[String]) -> Result<FaultsConfig, String> {
             }
             "--kind" => cfg.kinds = parse_fault_kinds(value("--kind")?)?,
             "--jobs" => cfg.jobs = number("--jobs", value("--jobs")?)? as usize,
+            "--trace-out" => cfg.trace_out = Some(value("--trace-out")?.clone()),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -763,6 +790,9 @@ OPTIONS:
                       cores]
     --json            also write the rows as JSON to --out
     --out PATH        JSON output path [default: BENCH_protocols.json]
+    --trace-out FILE  also write a Chrome trace (chrome://tracing JSON) of
+                      one exemplar run of the first benched protocol; the
+                      file is identical for any --jobs value
     --help            print this help
 ";
 
@@ -777,6 +807,7 @@ struct BenchCliConfig {
     jobs: usize,
     json: bool,
     out: String,
+    trace_out: Option<String>,
 }
 
 impl Default for BenchCliConfig {
@@ -792,6 +823,7 @@ impl Default for BenchCliConfig {
             jobs: base.jobs,
             json: false,
             out: "BENCH_protocols.json".to_string(),
+            trace_out: None,
         }
     }
 }
@@ -837,6 +869,7 @@ fn parse_bench_args(args: &[String]) -> Result<BenchCliConfig, String> {
             "--jobs" => cfg.jobs = number("--jobs", value("--jobs")?)? as usize,
             "--json" => cfg.json = true,
             "--out" => cfg.out = value("--out")?.clone(),
+            "--trace-out" => cfg.trace_out = Some(value("--trace-out")?.clone()),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -857,6 +890,13 @@ fn sweep_config(cfg: &BenchCliConfig) -> bench::sweep::SweepConfig {
     }
 }
 
+fn write_chrome_trace(path: &str, cfg: &mpsim::TraceRunConfig) -> Result<(), String> {
+    let json = mpsim::trace_run(cfg)?;
+    std::fs::write(path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    println!("wrote {path} (load it in chrome://tracing or Perfetto)");
+    Ok(())
+}
+
 fn run_bench(cfg: &BenchCliConfig) -> Result<(), String> {
     let sweep_cfg = sweep_config(cfg);
     let rows = bench::sweep::sweep(&sweep_cfg)?;
@@ -874,12 +914,42 @@ fn run_bench(cfg: &BenchCliConfig) -> Result<(), String> {
         std::fs::write(&cfg.out, json).map_err(|e| format!("cannot write `{}`: {e}", cfg.out))?;
         println!("wrote {}", cfg.out);
     }
+    if let Some(path) = &cfg.trace_out {
+        write_chrome_trace(
+            path,
+            &mpsim::TraceRunConfig {
+                protocol: sweep_cfg.protocols[0].clone(),
+                cpus: sweep_cfg.cpus,
+                line_size: bench::LINE,
+                cache_bytes: sweep_cfg.cache_bytes,
+                steps: sweep_cfg.steps,
+                seed: sweep_cfg.seed,
+                ..mpsim::TraceRunConfig::default()
+            },
+        )?;
+    }
     Ok(())
 }
 
 fn run_faults(cfg: &FaultsConfig) -> Result<(), String> {
-    let report = run_campaign(&campaign_config(cfg))?;
+    let campaign = campaign_config(cfg);
+    let report = run_campaign(&campaign)?;
     println!("{report}");
+    if let Some(path) = &cfg.trace_out {
+        write_chrome_trace(
+            path,
+            &mpsim::TraceRunConfig {
+                protocol: campaign.protocols[0].clone(),
+                cpus: campaign.cpus,
+                line_size: campaign.line_size,
+                cache_bytes: campaign.cache_bytes,
+                steps: campaign.steps,
+                lines: campaign.lines,
+                seed: campaign.seed,
+                faults: Some(campaign.faults),
+            },
+        )?;
+    }
     if report.silent() > 0 {
         return Err(format!(
             "{} fault(s) caused silent corruption",
@@ -1094,12 +1164,14 @@ mod tests {
             VerifyConfig::default()
         );
         let cfg = parse_verify_args(&args(
-            "--protocol moesi,dragon --lines 2 --values 3 --max-states 500",
+            "--protocol moesi,dragon --lines 2 --values 3 --max-states 500 \
+             --trace-out /tmp/v.json",
         ))
         .expect("valid");
         assert_eq!(cfg.protocols, vec!["moesi", "dragon"]);
         assert_eq!((cfg.lines, cfg.values), (2, 3));
         assert_eq!(cfg.max_states, Some(500));
+        assert_eq!(cfg.trace_out.as_deref(), Some("/tmp/v.json"));
         assert!(parse_verify_args(&args("--help")).unwrap_err().is_empty());
         assert!(parse_verify_args(&args("--bogus"))
             .unwrap_err()
@@ -1167,13 +1239,14 @@ mod tests {
         let cfg = parse_faults_args(&args(
             "--protocol moesi,berkeley --cpus 3 --steps 500 --lines 40 \
              --line-size 32 --cache-bytes 2048 --seed 9 --rate 0.25 \
-             --kind glitch,corrupt",
+             --kind glitch,corrupt --trace-out /tmp/f.json",
         ))
         .expect("valid");
         assert_eq!(cfg.protocols, vec!["moesi", "berkeley"]);
         assert_eq!((cfg.cpus, cfg.steps, cfg.lines), (3, 500, 40));
         assert_eq!((cfg.line_size, cfg.cache_bytes), (32, 2048));
         assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.trace_out.as_deref(), Some("/tmp/f.json"));
         assert!((cfg.rate - 0.25).abs() < 1e-12);
         assert_eq!(cfg.kinds, vec![FaultKind::Glitch, FaultKind::CorruptMemory]);
         assert!(parse_faults_args(&args("--help")).unwrap_err().is_empty());
@@ -1213,7 +1286,8 @@ mod tests {
         );
         let cfg = parse_bench_args(&args(
             "--protocol moesi,dragon --workload general,ping-pong --cpus 2 \
-             --steps 100 --cache-bytes 2048 --seed 3 --jobs 2 --json --out /tmp/b.json",
+             --steps 100 --cache-bytes 2048 --seed 3 --jobs 2 --json --out /tmp/b.json \
+             --trace-out /tmp/b-trace.json",
         ))
         .expect("valid");
         assert_eq!(cfg.protocols, Some(vec!["moesi".into(), "dragon".into()]));
@@ -1225,6 +1299,7 @@ mod tests {
         assert_eq!((cfg.seed, cfg.jobs), (3, 2));
         assert!(cfg.json);
         assert_eq!(cfg.out, "/tmp/b.json");
+        assert_eq!(cfg.trace_out.as_deref(), Some("/tmp/b-trace.json"));
         assert!(parse_bench_args(&args("--help")).unwrap_err().is_empty());
         assert!(parse_bench_args(&args("--bogus"))
             .unwrap_err()
@@ -1237,6 +1312,7 @@ mod tests {
     #[test]
     fn bench_smoke_run_writes_json() {
         let out = std::env::temp_dir().join("moesi_sim_bench_smoke.json");
+        let trace_out = std::env::temp_dir().join("moesi_sim_bench_smoke_trace.json");
         let cfg = BenchCliConfig {
             protocols: Some(vec!["moesi".into()]),
             workloads: Some(vec!["ping-pong".into()]),
@@ -1244,12 +1320,18 @@ mod tests {
             steps: 50,
             json: true,
             out: out.to_string_lossy().into_owned(),
+            trace_out: Some(trace_out.to_string_lossy().into_owned()),
             ..BenchCliConfig::default()
         };
         run_bench(&cfg).expect("bench smoke succeeds");
         let json = std::fs::read_to_string(&out).expect("json written");
         assert!(json.contains("\"protocol\": \"moesi\""), "{json}");
+        assert!(json.contains("\"phase_p50_ns\": ["), "{json}");
+        let trace = std::fs::read_to_string(&trace_out).expect("trace written");
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
+        assert!(trace.contains("\"ph\": \"X\""), "{trace}");
         let _ = std::fs::remove_file(&out);
+        let _ = std::fs::remove_file(&trace_out);
         // Unknown names are reported.
         let err = run_bench(&BenchCliConfig {
             protocols: Some(vec!["mesif".into()]),
