@@ -20,6 +20,23 @@ cargo test -q --workspace
 echo "==> fault-injection smoke campaign (fixed seed, fails on silent corruption)"
 ./target/release/moesi-sim faults --seed 7 --steps 800
 
+echo "==> policy tables match the committed fixture (paper Tables 3-7)"
+tables_out="$(mktemp)"
+./target/release/moesi-sim table > "$tables_out"
+cmp "$tables_out" tests/fixtures/tables/paper_tables.txt \
+  || { echo "rendered policy tables diverged from tests/fixtures/tables/paper_tables.txt" >&2; exit 1; }
+rm -f "$tables_out"
+
+echo "==> hybrid bench smoke (fixed seed; sharded run must match the sequential one)"
+hyb_j2="$(mktemp)" hyb_j1="$(mktemp)"
+./target/release/moesi-sim bench --protocol hybrid --seed 7 --steps 500 --jobs 2 \
+    --json --out "$hyb_j2" >/dev/null
+./target/release/moesi-sim bench --protocol hybrid --seed 7 --steps 500 --jobs 1 \
+    --json --out "$hyb_j1" >/dev/null
+cmp "$hyb_j2" "$hyb_j1" \
+  || { echo "hybrid bench --jobs 2 diverged from --jobs 1" >&2; exit 1; }
+rm -f "$hyb_j2" "$hyb_j1"
+
 echo "==> bench smoke (fixed seed; sharded run must match the sequential one)"
 bench_j2="$(mktemp)" bench_j1="$(mktemp)" trace_j2="$(mktemp)" trace_j1="$(mktemp)"
 ./target/release/moesi-sim bench --seed 7 --steps 500 --jobs 2 --json --out "$bench_j2" \

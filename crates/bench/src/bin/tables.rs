@@ -29,23 +29,18 @@ fn render_protocol(p: &mut (dyn Protocol + Send), bus_cols: &[BusEvent]) -> Stri
     for state in states {
         out.push_str(&format!("{:<7}", state.letter()));
         for event in [LocalEvent::Read, LocalEvent::Write] {
-            let legal = !table::permitted_local(state, event, CacheKind::CopyBack).is_empty()
-                || !table::permitted_local(state, event, p.kind()).is_empty();
-            let cell = if legal {
-                p.on_local(state, event, &LocalCtx::default()).to_string()
-            } else {
-                "-".to_string()
-            };
+            let cell = p
+                .try_on_local(state, event, &LocalCtx::default())
+                .map_or_else(|_| "-".to_string(), |a| a.to_string());
             let w = if event == LocalEvent::Read { 18 } else { 22 };
             out.push_str(&format!(" {cell:<w$}", w = w));
         }
         for ev in bus_cols {
-            // Error-condition cells (`—` in the paper) make protocols panic;
-            // render them as dashes.
-            let cell = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                p.on_bus(state, *ev, &SnoopCtx::default()).to_string()
-            }))
-            .unwrap_or_else(|_| "-".to_string());
+            // Error-condition cells (`—` in the paper) are structured
+            // IllegalCell errors; render them as dashes.
+            let cell = p
+                .try_on_bus(state, *ev, &SnoopCtx::default())
+                .map_or_else(|_| "-".to_string(), |r| r.to_string());
             out.push_str(&format!(" {cell:<16}"));
         }
         out.push('\n');
@@ -54,8 +49,6 @@ fn render_protocol(p: &mut (dyn Protocol + Send), bus_cols: &[BusEvent]) -> Stri
 }
 
 fn main() {
-    // Error-condition probes are expected to panic; keep the output clean.
-    std::panic::set_hook(Box::new(|_| {}));
     println!("================================================================");
     println!("Table 1 — MOESI protocol class: local events (copy-back rows)");
     println!("================================================================");

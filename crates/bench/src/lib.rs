@@ -32,6 +32,7 @@ pub const COMPARED_PROTOCOLS: &[&str] = &[
     "firefly",
     "synapse",
     "write-through",
+    "hybrid",
 ];
 
 /// The named workloads used across the experiments.

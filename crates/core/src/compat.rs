@@ -10,6 +10,7 @@
 
 use crate::action::BusOp;
 use crate::event::{BusEvent, LocalEvent};
+use crate::policy::PolicyTable;
 use crate::protocol::{LocalCtx, Protocol, SnoopCtx};
 use crate::state::LineState;
 use crate::table;
@@ -141,10 +142,109 @@ pub fn reachable_states<P: Protocol + ?Sized>(protocol: &mut P) -> BTreeSet<Line
     }
 }
 
+/// Computes the states a [`PolicyTable`] can reach from Invalid, purely
+/// structurally: the possible result states of every populated cell, to a
+/// fixpoint. For an exact table this agrees with [`reachable_states`] on its
+/// interpreter, without any sampling.
+fn table_reachable(table: &PolicyTable) -> BTreeSet<LineState> {
+    let mut reachable: BTreeSet<LineState> = BTreeSet::new();
+    reachable.insert(LineState::Invalid);
+    loop {
+        let mut next = reachable.clone();
+        for &state in &reachable {
+            for event in LocalEvent::ALL {
+                let Some(action) = table.local(state, event) else {
+                    continue;
+                };
+                if action.bus_op == BusOp::ReadThenWrite {
+                    continue;
+                }
+                for r in action.result.possible() {
+                    next.insert(r);
+                }
+            }
+            for event in BusEvent::ALL {
+                let Some(reaction) = table.bus(state, event) else {
+                    continue;
+                };
+                if let Some(push) = reaction.busy {
+                    next.insert(push.result);
+                } else {
+                    for r in reaction.result.possible() {
+                        next.insert(r);
+                    }
+                }
+            }
+        }
+        if next == reachable {
+            return reachable;
+        }
+        reachable = next;
+    }
+}
+
+/// Structurally checks a [`PolicyTable`] against the permitted sets of
+/// Tables 1 and 2, without sampling its interpreter.
+///
+/// This is the declarative counterpart of [`check_protocol`]: for a protocol
+/// whose table is exact ([`Protocol::table_is_exact`]), the two give the same
+/// class-membership verdict — and `check_protocol` exploits that as a fast
+/// path. Unlike `check_protocol`, this also flags out-of-class entries on
+/// *unreachable* rows (a table is judged as written, not as driven).
+///
+/// # Examples
+///
+/// ```
+/// use moesi::compat::check_table;
+/// use moesi::protocols::{Berkeley, Illinois};
+/// use moesi::Protocol;
+///
+/// assert!(check_table(Berkeley::new().policy_table().unwrap()).is_class_member());
+/// assert!(!check_table(Illinois::new().policy_table().unwrap()).is_class_member());
+/// ```
+#[must_use]
+pub fn check_table(table: &PolicyTable) -> CompatReport {
+    let reachable = table_reachable(table);
+    let cells_checked = reachable
+        .iter()
+        .map(|&s| {
+            LocalEvent::ALL
+                .iter()
+                .filter(|&&e| table.local(s, e).is_some())
+                .count()
+                + BusEvent::ALL
+                    .iter()
+                    .filter(|&&e| table.bus(s, e).is_some())
+                    .count()
+        })
+        .sum();
+    CompatReport {
+        name: table.name().to_string(),
+        violations: table.class_violations(),
+        reachable,
+        cells_checked,
+    }
+}
+
 /// Checks every reachable cell of a protocol against the permitted sets of
 /// Tables 1 and 2.
+///
+/// Protocols that expose an exact [`PolicyTable`] take a structural fast
+/// path: if [`check_table`] finds the table clean, sampling is skipped
+/// entirely — every decision the interpreter can make *is* a table cell, so
+/// the sampled check could not disagree. Stateful or out-of-class protocols
+/// fall through to the exhaustive per-cell sampling below, preserving the
+/// sampled violation messages.
 #[must_use]
 pub fn check_protocol<P: Protocol + ?Sized>(protocol: &mut P) -> CompatReport {
+    if protocol.table_is_exact() {
+        if let Some(table) = protocol.policy_table().copied() {
+            let structural = check_table(&table);
+            if structural.is_class_member() {
+                return structural;
+            }
+        }
+    }
     let reachable = reachable_states(protocol);
     let mut violations = Vec::new();
     let mut cells_checked = 0;
@@ -278,6 +378,65 @@ mod tests {
 
         let nc = reachable_states(&mut NonCaching::new());
         assert_eq!(nc, BTreeSet::from([Invalid]));
+    }
+
+    #[test]
+    fn structural_and_sampled_checks_agree_for_every_protocol() {
+        for p in crate::protocols::all_protocols(7) {
+            let mut p = p;
+            let sampled = check_protocol(p.as_mut()).is_class_member();
+            if let Some(table) = p.policy_table() {
+                assert_eq!(
+                    check_table(table).is_class_member(),
+                    sampled,
+                    "{}: structural and sampled verdicts disagree",
+                    p.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a_mutated_cell_is_rejected_by_both_checks() {
+        use crate::action::LocalAction;
+        use crate::policy::{PolicyTable, TablePolicy};
+        use crate::CacheKind;
+
+        // Corrupt one cell of the preferred table: an S-hit read that
+        // silently jumps to M is in no column of Table 1.
+        let mut table = PolicyTable::preferred("mutant", CacheKind::CopyBack);
+        table.set_local_unchecked(
+            LineState::Shareable,
+            LocalEvent::Read,
+            LocalAction::silent(LineState::Modified),
+        );
+
+        let structural = check_table(&table);
+        assert!(!structural.is_class_member());
+        assert!(
+            structural
+                .violations()
+                .iter()
+                .any(|v| v.contains("(S, Read)")),
+            "{structural}"
+        );
+
+        let sampled = check_protocol(&mut TablePolicy::new(table));
+        assert!(!sampled.is_class_member());
+        assert!(
+            sampled.violations().iter().any(|v| v.contains("(S, Read)")),
+            "{sampled}"
+        );
+    }
+
+    #[test]
+    fn the_fast_path_preserves_the_report_shape() {
+        // MOESI preferred takes the structural fast path; its report must
+        // still show full reachability and a sensible cell count.
+        let report = check_protocol(&mut MoesiPreferred::new());
+        assert!(report.is_class_member());
+        assert_eq!(report.reachable_states().len(), 5);
+        assert_eq!(report.cells_checked(), 44);
     }
 
     #[test]

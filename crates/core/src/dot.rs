@@ -58,11 +58,8 @@ pub fn render<P: Protocol + ?Sized>(protocol: &mut P) -> String {
             if !defined {
                 continue;
             }
-            let action = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                protocol.on_local(state, event, &LocalCtx::default())
-            })) {
-                Ok(a) => a,
-                Err(_) => continue,
+            let Ok(action) = protocol.try_on_local(state, event, &LocalCtx::default()) else {
+                continue;
             };
             if action.bus_op == BusOp::ReadThenWrite {
                 let _ = writeln!(
@@ -109,11 +106,8 @@ pub fn render<P: Protocol + ?Sized>(protocol: &mut P) -> String {
             continue; // I -> I on everything; omit for readability
         }
         for event in BusEvent::ALL {
-            let reaction = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                protocol.on_bus(state, event, &SnoopCtx::default())
-            })) {
-                Ok(r) => r,
-                Err(_) => continue,
+            let Ok(reaction) = protocol.try_on_bus(state, event, &SnoopCtx::default()) else {
+                continue;
             };
             if let Some(push) = reaction.busy {
                 let _ = writeln!(

@@ -49,6 +49,7 @@ mod action;
 pub mod compat;
 pub mod dot;
 mod event;
+pub mod policy;
 mod protocol;
 pub mod protocols;
 pub mod rng;
@@ -58,6 +59,7 @@ pub mod table;
 
 pub use action::{BusOp, BusReaction, BusyPush, LocalAction, ResultState};
 pub use event::{BusEvent, LocalEvent};
+pub use policy::{CellEvent, DynamicPolicy, IllegalCell, PolicyTable, TablePolicy};
 pub use protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
 pub use signals::{ConsistencyLine, MasterSignals, ResponseSignals};
 pub use state::{Characteristics, LineState, ParseLineStateError};

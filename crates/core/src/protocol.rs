@@ -9,6 +9,7 @@
 
 use crate::action::{BusReaction, LocalAction};
 use crate::event::{BusEvent, LocalEvent};
+use crate::policy::{IllegalCell, PolicyTable};
 use crate::state::LineState;
 use std::fmt;
 
@@ -70,6 +71,10 @@ pub struct LocalCtx {
     pub recency_rank: Option<u32>,
     /// Number of ways in the set (for interpreting `recency_rank`).
     pub ways: u32,
+    /// Identity of the line (its aligned address), for policies that keep
+    /// per-line state such as the hybrid switcher's sharing counters. `None`
+    /// when unknown (e.g. abstract table queries).
+    pub line_addr: Option<u64>,
 }
 
 /// Context available to a protocol when reacting to a snooped bus event.
@@ -79,6 +84,9 @@ pub struct SnoopCtx {
     pub recency_rank: Option<u32>,
     /// Number of ways in the set.
     pub ways: u32,
+    /// Identity of the snooped line (its aligned address), for policies that
+    /// keep per-line state. `None` when unknown.
+    pub line_addr: Option<u64>,
 }
 
 impl SnoopCtx {
@@ -130,7 +138,8 @@ pub trait Protocol {
     ///
     /// Implementations may panic if `(state, event)` is not a legal
     /// combination for this protocol (a `—` cell in the tables), e.g. a
-    /// `Pass` from Invalid.
+    /// `Pass` from Invalid. Fallible callers (the bus, the renderers) use
+    /// [`Protocol::try_on_local`] instead.
     fn on_local(&mut self, state: LineState, event: LocalEvent, ctx: &LocalCtx) -> LocalAction;
 
     /// Chooses the reaction to a snooped bus event on a line in `state`.
@@ -139,8 +148,50 @@ pub trait Protocol {
     ///
     /// Implementations may panic on error-condition cells (`—` in Table 2),
     /// such as observing another master's broadcast write while holding the
-    /// line Modified.
+    /// line Modified. Fallible callers use [`Protocol::try_on_bus`] instead.
     fn on_bus(&mut self, state: LineState, event: BusEvent, ctx: &SnoopCtx) -> BusReaction;
+
+    /// Fallible form of [`Protocol::on_local`]: a `—` cell is a structured
+    /// [`IllegalCell`] error instead of a panic, so the bus can surface a
+    /// recoverable `ProtocolError` mid-transaction.
+    ///
+    /// The table-driven protocols override this; the default wraps
+    /// [`Protocol::on_local`] and therefore still panics for hand-written
+    /// implementations that do.
+    fn try_on_local(
+        &mut self,
+        state: LineState,
+        event: LocalEvent,
+        ctx: &LocalCtx,
+    ) -> Result<LocalAction, IllegalCell> {
+        Ok(self.on_local(state, event, ctx))
+    }
+
+    /// Fallible form of [`Protocol::on_bus`]; see [`Protocol::try_on_local`].
+    fn try_on_bus(
+        &mut self,
+        state: LineState,
+        event: BusEvent,
+        ctx: &SnoopCtx,
+    ) -> Result<BusReaction, IllegalCell> {
+        Ok(self.on_bus(state, event, ctx))
+    }
+
+    /// The declarative [`PolicyTable`] behind this protocol, if it is
+    /// table-driven (all shipped protocols are). For stateful policies this is
+    /// the *base* table the [`DynamicPolicy`](crate::policy::DynamicPolicy)
+    /// hook deviates from.
+    fn policy_table(&self) -> Option<&PolicyTable> {
+        None
+    }
+
+    /// True when every decision is read straight from
+    /// [`Protocol::policy_table`] with no dynamic selection — the
+    /// precondition for the structural compatibility fast path
+    /// (`compat::check_table`).
+    fn table_is_exact(&self) -> bool {
+        false
+    }
 }
 
 impl fmt::Debug for dyn Protocol + Send {
@@ -178,18 +229,22 @@ mod tests {
         let mru = SnoopCtx {
             recency_rank: Some(0),
             ways: 2,
+            line_addr: None,
         };
         let lru = SnoopCtx {
             recency_rank: Some(1),
             ways: 2,
+            line_addr: None,
         };
         let absent = SnoopCtx {
             recency_rank: None,
             ways: 2,
+            line_addr: None,
         };
         let direct_mapped = SnoopCtx {
             recency_rank: Some(0),
             ways: 1,
+            line_addr: None,
         };
         assert!(!mru.near_replacement());
         assert!(lru.near_replacement());

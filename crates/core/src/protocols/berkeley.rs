@@ -2,18 +2,17 @@
 
 use crate::action::{BusOp, BusReaction, LocalAction};
 use crate::event::{BusEvent, LocalEvent};
-use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::policy::{PolicyTable, TablePolicy};
+use crate::protocol::CacheKind;
 use crate::signals::MasterSignals;
 use crate::state::LineState;
-
-use super::{moesi_fallback_bus, moesi_fallback_local};
 
 /// The Berkeley ownership protocol as mapped onto the Futurebus (Table 3).
 ///
 /// "The states in that protocol map into M, O, S and I; there is no state
 /// that corresponds to E. The facilities of Futurebus are sufficient to
-/// implement the Berkeley Protocol" (§4.1). Every transition below is a cell
-/// of Tables 1–2 (using the note 10 weakening `S` for `CH:S/E`), so Berkeley
+/// implement the Berkeley Protocol" (§4.1). Every cell below is an entry of
+/// Tables 1–2 (using the note 10 weakening `S` for `CH:S/E`), so Berkeley
 /// is a member of the compatible class; the CH signal is generated for
 /// compatibility with the MOESI mechanism even though \[Katz85\] does not use
 /// it.
@@ -22,84 +21,81 @@ use super::{moesi_fallback_bus, moesi_fallback_local};
 /// masters, columns 7–10) are completed in the protocol's invalidation-based
 /// spirit: reads are answered per the MOESI preferred entries, snooped
 /// broadcast writes discard unowned copies, and owners capture or update as
-/// Table 2 requires.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct Berkeley;
+/// Table 2 requires. The E row is cleared — Berkeley can never reach it.
+#[derive(Debug)]
+pub struct Berkeley {
+    inner: TablePolicy,
+}
+
+/// Table 3 as data: the preferred table, minus the E row, with Berkeley's
+/// invalidation-flavoured choices.
+fn berkeley_table() -> PolicyTable {
+    use LineState::{Exclusive, Invalid, Modified, Owned, Shareable};
+    let mut t = PolicyTable::preferred("Berkeley", CacheKind::CopyBack);
+    t.clear_state(Exclusive);
+    // `S,CA,R`: read misses always enter S (no E state).
+    t.set_local(
+        Invalid,
+        LocalEvent::Read,
+        LocalAction::new(Shareable, MasterSignals::CA, BusOp::Read),
+    );
+    // `M,CA,IM`: invalidate other copies, address-only.
+    for s in [Owned, Shareable] {
+        t.set_local(
+            s,
+            LocalEvent::Write,
+            LocalAction::new(Modified, MasterSignals::CA_IM, BusOp::AddressOnly),
+        );
+    }
+    // Pushes are not tabulated in Table 3; keep the copy in S (the note 10
+    // weakening of the MOESI `CH:S/E` result, since Berkeley has no E state).
+    for s in [Modified, Owned] {
+        t.set_local(
+            s,
+            LocalEvent::Pass,
+            LocalAction::new(Shareable, MasterSignals::CA, BusOp::Write),
+        );
+    }
+    // Completion: unowned copies discard on any snooped broadcast write
+    // (invalidation-based protocol; the `I` alternative of the Table 2 cells).
+    t.set_bus(
+        Shareable,
+        BusEvent::CacheBroadcastWrite,
+        BusReaction::IGNORE,
+    );
+    t.set_bus(
+        Shareable,
+        BusEvent::UncachedBroadcastWrite,
+        BusReaction::IGNORE,
+    );
+    t.set_bus(Owned, BusEvent::CacheBroadcastWrite, BusReaction::IGNORE);
+    t
+}
 
 impl Berkeley {
     /// Creates the protocol.
     #[must_use]
     pub fn new() -> Self {
-        Berkeley
-    }
-}
-
-impl Protocol for Berkeley {
-    fn name(&self) -> &str {
-        "Berkeley"
-    }
-
-    fn kind(&self) -> CacheKind {
-        CacheKind::CopyBack
-    }
-
-    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
-        use LineState::{Invalid, Modified, Owned, Shareable};
-        match (state, event) {
-            (Modified | Owned | Shareable, LocalEvent::Read) => LocalAction::silent(state),
-            // `S,CA,R`: read misses always enter S (no E state).
-            (Invalid, LocalEvent::Read) => {
-                LocalAction::new(Shareable, MasterSignals::CA, BusOp::Read)
-            }
-            (Modified, LocalEvent::Write) => LocalAction::silent(Modified),
-            // `M,CA,IM`: invalidate other copies, address-only.
-            (Owned | Shareable, LocalEvent::Write) => {
-                LocalAction::new(Modified, MasterSignals::CA_IM, BusOp::AddressOnly)
-            }
-            // `M,CA,IM,R`: read-for-modify.
-            (Invalid, LocalEvent::Write) => {
-                LocalAction::new(Modified, MasterSignals::CA_IM, BusOp::Read)
-            }
-            // Pushes are not tabulated in Table 3; keep the copy in S (the
-            // note 10 weakening of the MOESI `CH:S/E` result, since Berkeley
-            // has no E state).
-            (Modified | Owned, LocalEvent::Pass) => {
-                LocalAction::new(Shareable, MasterSignals::CA, BusOp::Write)
-            }
-            _ => moesi_fallback_local(state, event),
-        }
-    }
-
-    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
-        use LineState::{Invalid, Modified, Owned, Shareable};
-        debug_assert_ne!(state, LineState::Exclusive, "Berkeley has no E state");
-        match (state, event) {
-            // Table 3, column 5.
-            (Modified | Owned, BusEvent::CacheRead) => BusReaction::hit(Owned).with_di(),
-            (Shareable, BusEvent::CacheRead) => BusReaction::hit(Shareable),
-            // Table 3, column 6.
-            (Modified | Owned, BusEvent::CacheReadInvalidate) => {
-                BusReaction::quiet(Invalid).with_di()
-            }
-            (Shareable, BusEvent::CacheReadInvalidate) => BusReaction::IGNORE,
-            (Invalid, _) => BusReaction::IGNORE,
-            // Completion: unowned copies discard on any snooped broadcast
-            // write (invalidation-based protocol; the `I` alternative of the
-            // Table 2 cells).
-            (Shareable, BusEvent::CacheBroadcastWrite | BusEvent::UncachedBroadcastWrite) => {
-                BusReaction::IGNORE
-            }
-            (Owned, BusEvent::CacheBroadcastWrite) => BusReaction::IGNORE,
-            _ => moesi_fallback_bus(state, event),
+        Berkeley {
+            inner: TablePolicy::new(berkeley_table()),
         }
     }
 }
+
+impl Default for Berkeley {
+    fn default() -> Self {
+        Berkeley::new()
+    }
+}
+
+delegate_to_table!(Berkeley);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::action::ResultState;
     use crate::compat;
+    use crate::protocol::{LocalCtx, Protocol, SnoopCtx};
     use LineState::{Invalid, Modified, Owned, Shareable};
 
     fn local(state: LineState, event: LocalEvent) -> String {
@@ -163,5 +159,19 @@ mod tests {
     fn owners_still_serve_uncached_masters() {
         assert_eq!(bus(Modified, BusEvent::UncachedRead), "M,DI");
         assert_eq!(bus(Owned, BusEvent::UncachedWrite), "O,DI");
+    }
+
+    #[test]
+    fn the_exclusive_row_is_cleared() {
+        let p = Berkeley::new();
+        assert!(p.table_is_exact());
+        let t = p.policy_table().unwrap();
+        assert!(t.is_class_member());
+        for ev in LocalEvent::ALL {
+            assert_eq!(t.local(LineState::Exclusive, ev), None);
+        }
+        for ev in BusEvent::ALL {
+            assert_eq!(t.bus(LineState::Exclusive, ev), None);
+        }
     }
 }

@@ -1,12 +1,10 @@
 //! The Dragon protocol (Xerox PARC) — Table 4.
 
-use crate::action::{BusOp, BusReaction, LocalAction, ResultState};
-use crate::event::{BusEvent, LocalEvent};
-use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
-use crate::signals::MasterSignals;
+use crate::action::LocalAction;
+use crate::event::LocalEvent;
+use crate::policy::{PolicyTable, TablePolicy};
+use crate::protocol::CacheKind;
 use crate::state::LineState;
-
-use super::{moesi_fallback_bus, moesi_fallback_local};
 
 /// The Dragon update protocol as mapped onto the Futurebus (Table 4).
 ///
@@ -21,70 +19,53 @@ use super::{moesi_fallback_bus, moesi_fallback_local};
 /// 6, 7, 9, 10) are completed with the MOESI preferred entries, except that
 /// snooped uncached broadcast writes update rather than discard, keeping the
 /// protocol's update-everywhere character.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct Dragon;
+///
+/// As a table, Dragon *is* the preferred table except for one cell: the write
+/// miss uses the two-transaction `Read>Write` instead of read-for-modify —
+/// the Dragon write miss first obtains the line like any read miss, then
+/// performs the (possibly broadcast) write.
+#[derive(Debug)]
+pub struct Dragon {
+    inner: TablePolicy,
+}
+
+/// Table 4 as data.
+fn dragon_table() -> PolicyTable {
+    let mut t = PolicyTable::preferred("Dragon", CacheKind::CopyBack);
+    // `Read>Write`: a write miss is a read miss followed by a write.
+    t.set_local(
+        LineState::Invalid,
+        LocalEvent::Write,
+        LocalAction::read_then_write(),
+    );
+    t
+}
 
 impl Dragon {
     /// Creates the protocol.
     #[must_use]
     pub fn new() -> Self {
-        Dragon
-    }
-}
-
-impl Protocol for Dragon {
-    fn name(&self) -> &str {
-        "Dragon"
-    }
-
-    fn kind(&self) -> CacheKind {
-        CacheKind::CopyBack
-    }
-
-    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
-        use LineState::{Exclusive, Invalid, Modified, Owned, Shareable};
-        match (state, event) {
-            (Modified | Owned | Exclusive | Shareable, LocalEvent::Read) => {
-                LocalAction::silent(state)
-            }
-            // `CH:S/E,CA,R`.
-            (Invalid, LocalEvent::Read) => {
-                LocalAction::new(ResultState::CH_S_E, MasterSignals::CA, BusOp::Read)
-            }
-            (Modified, LocalEvent::Write) => LocalAction::silent(Modified),
-            (Exclusive, LocalEvent::Write) => LocalAction::silent(Modified),
-            // `CH:O/M,CA,IM,BC,W`: broadcast the word; holders update.
-            (Owned | Shareable, LocalEvent::Write) => {
-                LocalAction::new(ResultState::CH_O_M, MasterSignals::CA_IM_BC, BusOp::Write)
-            }
-            // `Read>Write`: a write miss is a read miss followed by a write.
-            (Invalid, LocalEvent::Write) => LocalAction::read_then_write(),
-            _ => moesi_fallback_local(state, event),
-        }
-    }
-
-    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
-        use LineState::{Exclusive, Invalid, Modified, Owned, Shareable};
-        match (state, event) {
-            // Table 4, column 5.
-            (Modified | Owned, BusEvent::CacheRead) => BusReaction::hit(Owned).with_di(),
-            (Exclusive | Shareable, BusEvent::CacheRead) => BusReaction::hit(Shareable),
-            // Table 4, column 8: holders connect and update.
-            (Owned | Shareable, BusEvent::CacheBroadcastWrite) => {
-                BusReaction::hit(Shareable).with_sl()
-            }
-            (Invalid, _) => BusReaction::IGNORE,
-            // Completion: stay an updater on uncached broadcast writes.
-            (Shareable, BusEvent::UncachedBroadcastWrite) => BusReaction::hit(Shareable).with_sl(),
-            _ => moesi_fallback_bus(state, event),
+        Dragon {
+            inner: TablePolicy::new(dragon_table()),
         }
     }
 }
+
+impl Default for Dragon {
+    fn default() -> Self {
+        Dragon::new()
+    }
+}
+
+delegate_to_table!(Dragon);
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::action::BusOp;
     use crate::compat;
+    use crate::event::BusEvent;
+    use crate::protocol::{LocalCtx, Protocol, SnoopCtx};
     use LineState::{Exclusive, Invalid, Modified, Owned, Shareable};
 
     fn local(state: LineState, event: LocalEvent) -> String {
@@ -148,5 +129,12 @@ mod tests {
     #[test]
     fn snooped_updates_keep_copies_alive() {
         assert_eq!(bus(Shareable, BusEvent::UncachedBroadcastWrite), "S,CH,SL");
+    }
+
+    #[test]
+    fn the_table_is_exact_and_in_class() {
+        let p = Dragon::new();
+        assert!(p.table_is_exact());
+        assert!(p.policy_table().unwrap().is_class_member());
     }
 }

@@ -2,7 +2,8 @@
 
 use crate::action::{BusOp, BusReaction, LocalAction, ResultState};
 use crate::event::{BusEvent, LocalEvent};
-use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::policy::{PolicyTable, TablePolicy};
+use crate::protocol::CacheKind;
 use crate::signals::MasterSignals;
 use crate::state::LineState;
 
@@ -18,98 +19,124 @@ use crate::state::LineState;
 /// through the normal E-row reaction.
 ///
 /// Not a member of the MOESI compatible class (requires BS, and its S/E
-/// states are defined as consistent with memory).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct Firefly;
+/// states are defined as consistent with memory); the table is built with
+/// the unchecked setters.
+#[derive(Debug)]
+pub struct Firefly {
+    inner: TablePolicy,
+}
+
+fn push() -> BusReaction {
+    BusReaction::busy_push(LineState::Exclusive, MasterSignals::CA)
+}
+
+/// Table 7 as data.
+fn firefly_table() -> PolicyTable {
+    use LineState::{Exclusive, Invalid, Modified, Shareable};
+    let mut t = PolicyTable::empty("Firefly", CacheKind::CopyBack).with_bs();
+    for s in [Modified, Exclusive, Shareable] {
+        t.set_local_unchecked(s, LocalEvent::Read, LocalAction::silent(s));
+    }
+    // `CH:S/E,CA,R`.
+    t.set_local_unchecked(
+        Invalid,
+        LocalEvent::Read,
+        LocalAction::new(ResultState::CH_S_E, MasterSignals::CA, BusOp::Read),
+    );
+    t.set_local_unchecked(Modified, LocalEvent::Write, LocalAction::silent(Modified));
+    t.set_local_unchecked(Exclusive, LocalEvent::Write, LocalAction::silent(Modified));
+    // `CH:S/E,CA,IM,BC,W`: broadcast update; the Futurebus updates memory
+    // too, so the writer stays clean and may regain E when no other cache
+    // answers CH.
+    t.set_local_unchecked(
+        Shareable,
+        LocalEvent::Write,
+        LocalAction::new(ResultState::CH_S_E, MasterSignals::CA_IM_BC, BusOp::Write),
+    );
+    // `Read>Write`.
+    t.set_local_unchecked(Invalid, LocalEvent::Write, LocalAction::read_then_write());
+    t.set_local_unchecked(
+        Modified,
+        LocalEvent::Pass,
+        LocalAction::new(Exclusive, MasterSignals::CA, BusOp::Write),
+    );
+    t.set_local_unchecked(
+        Modified,
+        LocalEvent::Flush,
+        LocalAction::new(Invalid, MasterSignals::NONE, BusOp::Write),
+    );
+    t.set_local_unchecked(Exclusive, LocalEvent::Flush, LocalAction::silent(Invalid));
+    t.set_local_unchecked(Shareable, LocalEvent::Flush, LocalAction::silent(Invalid));
+
+    // Table 7, column 5 is `BS;E,CA,W`; the completion cells (§4 leaves them
+    // open) push dirty data for any foreign access, update clean copies on
+    // broadcasts, and invalidate them on non-broadcast modifies.
+    for ev in BusEvent::ALL {
+        t.set_bus_unchecked(Modified, ev, push());
+        t.set_bus_unchecked(Invalid, ev, BusReaction::IGNORE);
+    }
+    for s in [Exclusive, Shareable] {
+        t.set_bus_unchecked(s, BusEvent::CacheRead, BusReaction::hit(Shareable));
+        t.set_bus_unchecked(s, BusEvent::CacheReadInvalidate, BusReaction::IGNORE);
+        t.set_bus_unchecked(s, BusEvent::UncachedWrite, BusReaction::IGNORE);
+    }
+    t.set_bus_unchecked(
+        Exclusive,
+        BusEvent::UncachedRead,
+        BusReaction::quiet(Exclusive),
+    );
+    t.set_bus_unchecked(
+        Shareable,
+        BusEvent::UncachedRead,
+        BusReaction::hit(Shareable),
+    );
+    // Table 7, column 8: holders connect and update, staying S.
+    t.set_bus_unchecked(
+        Shareable,
+        BusEvent::CacheBroadcastWrite,
+        BusReaction::hit(Shareable).with_sl(),
+    );
+    t.set_bus_unchecked(
+        Shareable,
+        BusEvent::UncachedBroadcastWrite,
+        BusReaction::hit(Shareable).with_sl(),
+    );
+    t.set_bus_unchecked(
+        Exclusive,
+        BusEvent::UncachedBroadcastWrite,
+        BusReaction::quiet(Exclusive).with_sl(),
+    );
+    t.set_bus_unchecked(
+        Exclusive,
+        BusEvent::CacheBroadcastWrite,
+        BusReaction::IGNORE,
+    );
+    t
+}
 
 impl Firefly {
     /// Creates the protocol.
     #[must_use]
     pub fn new() -> Self {
-        Firefly
-    }
-
-    fn push() -> BusReaction {
-        BusReaction::busy_push(LineState::Exclusive, MasterSignals::CA)
-    }
-}
-
-impl Protocol for Firefly {
-    fn name(&self) -> &str {
-        "Firefly"
-    }
-
-    fn kind(&self) -> CacheKind {
-        CacheKind::CopyBack
-    }
-
-    fn requires_bs(&self) -> bool {
-        true
-    }
-
-    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
-        use LineState::{Exclusive, Invalid, Modified, Shareable};
-        match (state, event) {
-            (Modified | Exclusive | Shareable, LocalEvent::Read) => LocalAction::silent(state),
-            // `CH:S/E,CA,R`.
-            (Invalid, LocalEvent::Read) => {
-                LocalAction::new(ResultState::CH_S_E, MasterSignals::CA, BusOp::Read)
-            }
-            (Modified, LocalEvent::Write) => LocalAction::silent(Modified),
-            (Exclusive, LocalEvent::Write) => LocalAction::silent(Modified),
-            // `CH:S/E,CA,IM,BC,W`: broadcast update; the Futurebus updates
-            // memory too, so the writer stays clean and may regain E when no
-            // other cache answers CH.
-            (Shareable, LocalEvent::Write) => {
-                LocalAction::new(ResultState::CH_S_E, MasterSignals::CA_IM_BC, BusOp::Write)
-            }
-            // `Read>Write`.
-            (Invalid, LocalEvent::Write) => LocalAction::read_then_write(),
-            (Modified, LocalEvent::Pass) => {
-                LocalAction::new(Exclusive, MasterSignals::CA, BusOp::Write)
-            }
-            (Modified, LocalEvent::Flush) => {
-                LocalAction::new(Invalid, MasterSignals::NONE, BusOp::Write)
-            }
-            (Exclusive | Shareable, LocalEvent::Flush) => LocalAction::silent(Invalid),
-            _ => panic!("Firefly: no action for ({state}, {event})"),
-        }
-    }
-
-    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
-        use LineState::{Exclusive, Invalid, Modified, Shareable};
-        match (state, event) {
-            (LineState::Owned, _) => {
-                unreachable!("{} has no O state", self.name())
-            }
-            // Table 7, column 5: `BS;E,CA,W`.
-            (Modified, BusEvent::CacheRead) => Self::push(),
-            (Exclusive | Shareable, BusEvent::CacheRead) => BusReaction::hit(Shareable),
-            // Table 7, column 8: holders connect and update, staying S.
-            (Shareable, BusEvent::CacheBroadcastWrite) => BusReaction::hit(Shareable).with_sl(),
-            (Invalid, _) => BusReaction::IGNORE,
-            // Completion cells (§4 leaves them open): dirty data pushes for
-            // any foreign access; clean copies update on broadcasts and
-            // invalidate on non-broadcast modifies.
-            (Modified, _) => Self::push(),
-            (Exclusive, BusEvent::UncachedRead) => BusReaction::quiet(Exclusive),
-            (Shareable, BusEvent::UncachedRead) => BusReaction::hit(Shareable),
-            (Shareable, BusEvent::UncachedBroadcastWrite) => BusReaction::hit(Shareable).with_sl(),
-            (Exclusive, BusEvent::UncachedBroadcastWrite) => {
-                BusReaction::quiet(Exclusive).with_sl()
-            }
-            (Exclusive | Shareable, BusEvent::CacheReadInvalidate | BusEvent::UncachedWrite) => {
-                BusReaction::IGNORE
-            }
-            (Exclusive, BusEvent::CacheBroadcastWrite) => BusReaction::IGNORE,
+        Firefly {
+            inner: TablePolicy::new(firefly_table()),
         }
     }
 }
+
+impl Default for Firefly {
+    fn default() -> Self {
+        Firefly::new()
+    }
+}
+
+delegate_to_table!(Firefly);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::compat;
+    use crate::protocol::{LocalCtx, Protocol, SnoopCtx};
     use LineState::{Exclusive, Invalid, Modified, Shareable};
 
     fn local(state: LineState, event: LocalEvent) -> String {
@@ -173,6 +200,7 @@ mod tests {
     fn firefly_is_not_a_class_member() {
         let report = compat::check_protocol(&mut Firefly::new());
         assert!(!report.is_class_member());
+        assert!(!Firefly::new().policy_table().unwrap().is_class_member());
     }
 
     #[test]

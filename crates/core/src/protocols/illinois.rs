@@ -2,7 +2,8 @@
 
 use crate::action::{BusOp, BusReaction, LocalAction, ResultState};
 use crate::event::{BusEvent, LocalEvent};
-use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::policy::{PolicyTable, TablePolicy};
+use crate::protocol::CacheKind;
 use crate::signals::MasterSignals;
 use crate::state::LineState;
 
@@ -19,88 +20,114 @@ use crate::state::LineState;
 /// protocol defines the S state as consistent with memory; that is not the
 /// case for the protocol as we have defined it."
 ///
-/// Not a member of the MOESI compatible class (requires BS).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct Illinois;
+/// Not a member of the MOESI compatible class (requires BS): the table is
+/// built with the unchecked setters and `class_violations` reports the BS
+/// cells.
+#[derive(Debug)]
+pub struct Illinois {
+    inner: TablePolicy,
+}
+
+fn push() -> BusReaction {
+    BusReaction::busy_push(LineState::Shareable, MasterSignals::CA)
+}
+
+/// Table 6 as data.
+fn illinois_table() -> PolicyTable {
+    use LineState::{Exclusive, Invalid, Modified, Shareable};
+    let mut t = PolicyTable::empty("Illinois", CacheKind::CopyBack).with_bs();
+    for s in [Modified, Exclusive, Shareable] {
+        t.set_local_unchecked(s, LocalEvent::Read, LocalAction::silent(s));
+    }
+    // `CH:S/E,CA,R` (printed "CU:S/E" in the paper — a typo).
+    t.set_local_unchecked(
+        Invalid,
+        LocalEvent::Read,
+        LocalAction::new(ResultState::CH_S_E, MasterSignals::CA, BusOp::Read),
+    );
+    t.set_local_unchecked(Modified, LocalEvent::Write, LocalAction::silent(Modified));
+    t.set_local_unchecked(Exclusive, LocalEvent::Write, LocalAction::silent(Modified));
+    // `M,CA,IM`: address-only invalidate.
+    t.set_local_unchecked(
+        Shareable,
+        LocalEvent::Write,
+        LocalAction::new(Modified, MasterSignals::CA_IM, BusOp::AddressOnly),
+    );
+    // `M,CA,IM,R`.
+    t.set_local_unchecked(
+        Invalid,
+        LocalEvent::Write,
+        LocalAction::new(Modified, MasterSignals::CA_IM, BusOp::Read),
+    );
+    t.set_local_unchecked(
+        Modified,
+        LocalEvent::Pass,
+        LocalAction::new(Exclusive, MasterSignals::CA, BusOp::Write),
+    );
+    t.set_local_unchecked(
+        Modified,
+        LocalEvent::Flush,
+        LocalAction::new(Invalid, MasterSignals::NONE, BusOp::Write),
+    );
+    t.set_local_unchecked(Exclusive, LocalEvent::Flush, LocalAction::silent(Invalid));
+    t.set_local_unchecked(Shareable, LocalEvent::Flush, LocalAction::silent(Invalid));
+
+    // Table 6, columns 5 and 6: dirty data aborts and pushes — every M
+    // reaction uses BS, never DI (memory must always end up current).
+    for ev in BusEvent::ALL {
+        t.set_bus_unchecked(Modified, ev, push());
+        t.set_bus_unchecked(Invalid, ev, BusReaction::IGNORE);
+    }
+    for s in [Exclusive, Shareable] {
+        t.set_bus_unchecked(s, BusEvent::CacheRead, BusReaction::hit(Shareable));
+        t.set_bus_unchecked(s, BusEvent::CacheReadInvalidate, BusReaction::IGNORE);
+    }
+    // Completion cells for foreign masters (§4 leaves them open).
+    t.set_bus_unchecked(
+        Exclusive,
+        BusEvent::UncachedRead,
+        BusReaction::quiet(Exclusive),
+    );
+    t.set_bus_unchecked(
+        Shareable,
+        BusEvent::UncachedRead,
+        BusReaction::hit(Shareable),
+    );
+    for s in [Exclusive, Shareable] {
+        for ev in [
+            BusEvent::UncachedWrite,
+            BusEvent::CacheBroadcastWrite,
+            BusEvent::UncachedBroadcastWrite,
+        ] {
+            t.set_bus_unchecked(s, ev, BusReaction::IGNORE);
+        }
+    }
+    t
+}
 
 impl Illinois {
     /// Creates the protocol.
     #[must_use]
     pub fn new() -> Self {
-        Illinois
-    }
-
-    fn push() -> BusReaction {
-        BusReaction::busy_push(LineState::Shareable, MasterSignals::CA)
-    }
-}
-
-impl Protocol for Illinois {
-    fn name(&self) -> &str {
-        "Illinois"
-    }
-
-    fn kind(&self) -> CacheKind {
-        CacheKind::CopyBack
-    }
-
-    fn requires_bs(&self) -> bool {
-        true
-    }
-
-    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
-        use LineState::{Exclusive, Invalid, Modified, Shareable};
-        match (state, event) {
-            (Modified | Exclusive | Shareable, LocalEvent::Read) => LocalAction::silent(state),
-            // `CH:S/E,CA,R` (printed "CU:S/E" in the paper — a typo).
-            (Invalid, LocalEvent::Read) => {
-                LocalAction::new(ResultState::CH_S_E, MasterSignals::CA, BusOp::Read)
-            }
-            (Modified, LocalEvent::Write) => LocalAction::silent(Modified),
-            (Exclusive, LocalEvent::Write) => LocalAction::silent(Modified),
-            // `M,CA,IM`: address-only invalidate.
-            (Shareable, LocalEvent::Write) => {
-                LocalAction::new(Modified, MasterSignals::CA_IM, BusOp::AddressOnly)
-            }
-            // `M,CA,IM,R`.
-            (Invalid, LocalEvent::Write) => {
-                LocalAction::new(Modified, MasterSignals::CA_IM, BusOp::Read)
-            }
-            (Modified, LocalEvent::Pass) => {
-                LocalAction::new(Exclusive, MasterSignals::CA, BusOp::Write)
-            }
-            (Modified, LocalEvent::Flush) => {
-                LocalAction::new(Invalid, MasterSignals::NONE, BusOp::Write)
-            }
-            (Exclusive | Shareable, LocalEvent::Flush) => LocalAction::silent(Invalid),
-            _ => panic!("Illinois: no action for ({state}, {event})"),
-        }
-    }
-
-    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
-        use LineState::{Exclusive, Invalid, Modified, Shareable};
-        match (state, event) {
-            (LineState::Owned, _) => {
-                unreachable!("{} has no O state", self.name())
-            }
-            // Table 6, columns 5 and 6: dirty data aborts and pushes.
-            (Modified, BusEvent::CacheRead | BusEvent::CacheReadInvalidate) => Self::push(),
-            (Exclusive | Shareable, BusEvent::CacheRead) => BusReaction::hit(Shareable),
-            (Exclusive | Shareable, BusEvent::CacheReadInvalidate) => BusReaction::IGNORE,
-            (Invalid, _) => BusReaction::IGNORE,
-            // Completion cells for foreign masters (§4 leaves them open).
-            (Modified, _) => Self::push(),
-            (Exclusive, BusEvent::UncachedRead) => BusReaction::quiet(Exclusive),
-            (Shareable, BusEvent::UncachedRead) => BusReaction::hit(Shareable),
-            (Exclusive | Shareable, _) => BusReaction::IGNORE,
+        Illinois {
+            inner: TablePolicy::new(illinois_table()),
         }
     }
 }
+
+impl Default for Illinois {
+    fn default() -> Self {
+        Illinois::new()
+    }
+}
+
+delegate_to_table!(Illinois);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::compat;
+    use crate::protocol::{LocalCtx, Protocol, SnoopCtx};
     use LineState::{Exclusive, Invalid, Modified, Shareable};
 
     fn local(state: LineState, event: LocalEvent) -> String {
@@ -144,6 +171,7 @@ mod tests {
     fn illinois_is_not_a_class_member() {
         let report = compat::check_protocol(&mut Illinois::new());
         assert!(!report.is_class_member());
+        assert!(!Illinois::new().policy_table().unwrap().is_class_member());
     }
 
     #[test]

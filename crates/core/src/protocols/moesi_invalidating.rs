@@ -1,8 +1,9 @@
 //! An invalidation-flavoured member of the MOESI class.
 
-use crate::action::{BusReaction, LocalAction};
+use crate::action::ResultState;
 use crate::event::{BusEvent, LocalEvent};
-use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::policy::{PolicyTable, TablePolicy};
+use crate::protocol::CacheKind;
 use crate::state::LineState;
 use crate::table;
 
@@ -16,62 +17,63 @@ use crate::table;
 /// is a class member and can share a bus with updating caches; §5.2's
 /// discussion of invalidate-versus-broadcast is exactly the comparison between
 /// this protocol and the preferred one.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct MoesiInvalidating;
+#[derive(Debug)]
+pub struct MoesiInvalidating {
+    inner: TablePolicy,
+}
+
+/// The invalidating table: the preferred table with the `M,CA,IM` write
+/// alternative on non-exclusive states and the trailing `I` alternative on
+/// snooped broadcasts. (An O holder snooping an uncached broadcast has no `I`
+/// alternative — it must stay the owner — so that cell keeps the preferred
+/// entry.)
+fn invalidating_table() -> PolicyTable {
+    let mut t = PolicyTable::preferred("MOESI-inv", CacheKind::CopyBack);
+    for state in LineState::ALL {
+        if state.is_non_exclusive() {
+            let permitted = table::permitted_local(state, LocalEvent::Write, CacheKind::CopyBack);
+            t.set_local(state, LocalEvent::Write, permitted[1]);
+        }
+        for event in BusEvent::ALL {
+            if !(event.is_broadcast() && state.is_valid()) {
+                continue;
+            }
+            let permitted = table::permitted_bus(state, event);
+            if let Some(inv) = permitted
+                .iter()
+                .rev()
+                .find(|r| r.result == ResultState::Fixed(LineState::Invalid) && !r.di)
+            {
+                t.set_bus(state, event, *inv);
+            }
+        }
+    }
+    t
+}
 
 impl MoesiInvalidating {
     /// Creates the protocol.
     #[must_use]
     pub fn new() -> Self {
-        MoesiInvalidating
+        MoesiInvalidating {
+            inner: TablePolicy::new(invalidating_table()),
+        }
     }
 }
 
-impl Protocol for MoesiInvalidating {
-    fn name(&self) -> &str {
-        "MOESI-inv"
-    }
-
-    fn kind(&self) -> CacheKind {
-        CacheKind::CopyBack
-    }
-
-    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
-        let permitted = table::permitted_local(state, event, CacheKind::CopyBack);
-        if event == LocalEvent::Write && state.is_non_exclusive() {
-            // `M,CA,IM`: invalidate other copies and take sole ownership.
-            return permitted[1];
-        }
-        permitted
-            .into_iter()
-            .next()
-            .unwrap_or_else(|| panic!("MOESI-inv: no action for ({state}, {event})"))
-    }
-
-    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
-        let permitted = table::permitted_bus(state, event);
-        if event.is_broadcast() && state.is_valid() {
-            // Prefer the trailing `I` alternative: discard rather than update.
-            // (An O holder snooping an uncached broadcast has no such
-            // alternative — it must stay the owner — so the search below
-            // finds nothing and the preferred entry applies.)
-            if let Some(inv) = permitted.iter().rev().find(|r| {
-                r.result == crate::action::ResultState::Fixed(LineState::Invalid) && !r.di
-            }) {
-                return *inv;
-            }
-        }
-        permitted
-            .into_iter()
-            .next()
-            .unwrap_or_else(|| panic!("MOESI-inv: error-condition cell ({state}, {event})"))
+impl Default for MoesiInvalidating {
+    fn default() -> Self {
+        MoesiInvalidating::new()
     }
 }
+
+delegate_to_table!(MoesiInvalidating);
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::action::{BusOp, ResultState};
+    use crate::action::{BusOp, BusReaction, LocalAction};
+    use crate::protocol::{LocalCtx, Protocol, SnoopCtx};
     use crate::signals::MasterSignals;
     use LineState::{Invalid, Modified, Owned, Shareable};
 
@@ -144,5 +146,12 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn the_table_is_exact_and_in_class() {
+        let p = MoesiInvalidating::new();
+        assert!(p.table_is_exact());
+        assert!(p.policy_table().unwrap().is_class_member());
     }
 }

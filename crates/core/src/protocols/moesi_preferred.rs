@@ -1,10 +1,7 @@
 //! The preferred MOESI protocol: the first entry of every cell of Tables 1–2.
 
-use crate::action::{BusReaction, LocalAction};
-use crate::event::{BusEvent, LocalEvent};
-use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
-use crate::state::LineState;
-use crate::table;
+use crate::policy::{PolicyTable, TablePolicy};
+use crate::protocol::CacheKind;
 
 /// A copy-back cache that always takes the paper's preferred action.
 ///
@@ -13,6 +10,9 @@ use crate::table;
 /// \[Arch85\]" (§5.2). In particular it broadcasts writes to shared lines
 /// rather than invalidating, and uses the one-transaction read-for-modify on
 /// write misses.
+///
+/// As a table this is exactly [`PolicyTable::preferred`] — the base every
+/// other class member overrides cell by cell.
 ///
 /// # Examples
 ///
@@ -24,42 +24,37 @@ use crate::table;
 /// let r = p.on_bus(LineState::Modified, BusEvent::CacheRead, &SnoopCtx::default());
 /// assert_eq!(r.to_string(), "O,CH,DI");
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct MoesiPreferred;
+#[derive(Debug)]
+pub struct MoesiPreferred {
+    inner: TablePolicy,
+}
 
 impl MoesiPreferred {
     /// Creates the protocol.
     #[must_use]
     pub fn new() -> Self {
-        MoesiPreferred
+        MoesiPreferred {
+            inner: TablePolicy::new(PolicyTable::preferred("MOESI", CacheKind::CopyBack)),
+        }
     }
 }
 
-impl Protocol for MoesiPreferred {
-    fn name(&self) -> &str {
-        "MOESI"
-    }
-
-    fn kind(&self) -> CacheKind {
-        CacheKind::CopyBack
-    }
-
-    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
-        table::preferred_local(state, event, CacheKind::CopyBack)
-            .unwrap_or_else(|| panic!("MOESI: no action for ({state}, {event})"))
-    }
-
-    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
-        table::preferred_bus(state, event)
-            .unwrap_or_else(|| panic!("MOESI: error-condition cell ({state}, {event})"))
+impl Default for MoesiPreferred {
+    fn default() -> Self {
+        MoesiPreferred::new()
     }
 }
+
+delegate_to_table!(MoesiPreferred);
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::action::{BusOp, ResultState};
+    use crate::action::{BusOp, BusReaction, LocalAction, ResultState};
+    use crate::event::{BusEvent, LocalEvent};
+    use crate::protocol::{LocalCtx, Protocol, SnoopCtx};
     use crate::signals::MasterSignals;
+    use crate::state::LineState;
     use LineState::{Exclusive, Invalid, Modified, Owned, Shareable};
 
     fn local(state: LineState, event: LocalEvent) -> LocalAction {
@@ -152,5 +147,14 @@ mod tests {
         assert!(!MoesiPreferred::new().requires_bs());
         assert_eq!(MoesiPreferred::new().kind(), CacheKind::CopyBack);
         assert_eq!(MoesiPreferred::new().name(), "MOESI");
+    }
+
+    #[test]
+    fn is_an_exact_table() {
+        let p = MoesiPreferred::new();
+        assert!(p.table_is_exact());
+        let t = p.policy_table().unwrap();
+        assert!(t.is_class_member());
+        assert_eq!(t.populated_cells(), 16 + 28);
     }
 }

@@ -1,8 +1,8 @@
 //! The non-caching processor member of the class (§3.3, `**` entries).
 
-use crate::action::{BusReaction, LocalAction};
-use crate::event::{BusEvent, LocalEvent};
-use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::event::LocalEvent;
+use crate::policy::{PolicyTable, TablePolicy};
+use crate::protocol::CacheKind;
 use crate::state::LineState;
 use crate::table;
 
@@ -10,27 +10,46 @@ use crate::table;
 ///
 /// "Such a processor writes with or without broadcast (as with a write
 /// through cache), and reads without asserting CA. A non-caching unit never
-/// responds to bus events" (§3.3).
+/// responds to bus events" (§3.3) — its only populated bus row is the
+/// Invalid one, and every cell of it is `I` (ignore).
 ///
 /// [`NonCaching::new`] writes without broadcast (column 9 to snoopers);
 /// [`NonCaching::broadcasting`] asserts BC so caching snoopers can update
 /// instead of invalidating (column 10).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct NonCaching {
-    broadcast: bool,
+    inner: TablePolicy,
+}
+
+/// The non-caching table: only the Invalid row exists; the `broadcast` flag
+/// picks which write entry (`I,IM,BC,W` vs `I,IM,W`) is used.
+fn non_caching_table(broadcast: bool) -> PolicyTable {
+    let mut t = PolicyTable::preferred("non-caching", CacheKind::NonCaching);
+    let writes =
+        table::permitted_local(LineState::Invalid, LocalEvent::Write, CacheKind::NonCaching);
+    t.set_local(
+        LineState::Invalid,
+        LocalEvent::Write,
+        writes[usize::from(!broadcast)],
+    );
+    t
 }
 
 impl NonCaching {
     /// A non-caching unit whose writes are not broadcast (`I,IM,W`).
     #[must_use]
     pub fn new() -> Self {
-        NonCaching { broadcast: false }
+        NonCaching {
+            inner: TablePolicy::new(non_caching_table(false)),
+        }
     }
 
     /// A non-caching unit that broadcasts its writes (`I,IM,BC,W`).
     #[must_use]
     pub fn broadcasting() -> Self {
-        NonCaching { broadcast: true }
+        NonCaching {
+            inner: TablePolicy::new(non_caching_table(true)),
+        }
     }
 }
 
@@ -40,35 +59,14 @@ impl Default for NonCaching {
     }
 }
 
-impl Protocol for NonCaching {
-    fn name(&self) -> &str {
-        "non-caching"
-    }
-
-    fn kind(&self) -> CacheKind {
-        CacheKind::NonCaching
-    }
-
-    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
-        let permitted = table::permitted_local(state, event, CacheKind::NonCaching);
-        let pick = match event {
-            LocalEvent::Write => usize::from(!self.broadcast),
-            _ => 0,
-        };
-        *permitted
-            .get(pick)
-            .unwrap_or_else(|| panic!("non-caching: no action for ({state}, {event})"))
-    }
-
-    fn on_bus(&mut self, _state: LineState, _event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
-        // "A non-caching unit never responds to bus events."
-        BusReaction::IGNORE
-    }
-}
+delegate_to_table!(NonCaching);
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::action::BusReaction;
+    use crate::event::BusEvent;
+    use crate::protocol::{LocalCtx, Protocol, SnoopCtx};
     use LineState::Invalid;
 
     #[test]
@@ -112,5 +110,20 @@ mod tests {
     #[should_panic(expected = "no action")]
     fn flush_makes_no_sense_without_a_cache() {
         NonCaching::new().on_local(Invalid, LocalEvent::Flush, &LocalCtx::default());
+    }
+
+    #[test]
+    fn the_table_only_populates_the_invalid_row() {
+        let p = NonCaching::new();
+        assert!(p.table_is_exact());
+        let t = p.policy_table().unwrap();
+        assert!(t.is_class_member());
+        for state in LineState::ALL {
+            if state != Invalid {
+                for ev in BusEvent::ALL {
+                    assert_eq!(t.bus(state, ev), None, "({state}, {ev})");
+                }
+            }
+        }
     }
 }

@@ -2,9 +2,9 @@
 
 use crate::action::{BusReaction, LocalAction, ResultState};
 use crate::event::{BusEvent, LocalEvent};
-use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::policy::{DynamicPolicy, PolicyTable, TablePolicy};
+use crate::protocol::{CacheKind, LocalCtx, SnoopCtx};
 use crate::state::LineState;
-use crate::table;
 
 /// A MOESI cache that chooses update-versus-invalidate by replacement status.
 ///
@@ -16,55 +16,76 @@ use crate::table;
 ///
 /// Both choices are listed alternatives of the same Table 2 cells, so the
 /// refinement is itself a class member. Locally it behaves like the preferred
-/// protocol (broadcasting writes to shared lines).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct PuzakRefinement;
+/// protocol (broadcasting writes to shared lines). As a table policy the
+/// preferred table is the base and the recency check is a [`DynamicPolicy`]
+/// hook over the snoop side only.
+#[derive(Debug)]
+pub struct PuzakRefinement {
+    inner: TablePolicy,
+}
+
+/// The recency hook: on a snooped broadcast to an unowned valid line that is
+/// nearing replacement, take the trailing `I` alternative of the permitted
+/// set instead of the preferred update.
+#[derive(Debug)]
+struct RecencyHook;
+
+impl DynamicPolicy for RecencyHook {
+    fn pick_local(
+        &mut self,
+        _state: LineState,
+        _event: LocalEvent,
+        _ctx: &LocalCtx,
+        _permitted: &[LocalAction],
+    ) -> Option<LocalAction> {
+        None // local side: always the preferred table cell
+    }
+
+    fn pick_bus(
+        &mut self,
+        state: LineState,
+        event: BusEvent,
+        ctx: &SnoopCtx,
+        permitted: &[BusReaction],
+    ) -> Option<BusReaction> {
+        if event.is_broadcast() && state.is_valid() && !state.is_owned() && ctx.near_replacement() {
+            // The line is about to be evicted anyway: take the `I` alternative
+            // instead of spending an update on it.
+            return permitted
+                .iter()
+                .rev()
+                .find(|r| r.result == ResultState::Fixed(LineState::Invalid) && !r.di)
+                .copied();
+        }
+        None
+    }
+}
 
 impl PuzakRefinement {
     /// Creates the protocol.
     #[must_use]
     pub fn new() -> Self {
-        PuzakRefinement
-    }
-}
-
-impl Protocol for PuzakRefinement {
-    fn name(&self) -> &str {
-        "MOESI-puzak"
-    }
-
-    fn kind(&self) -> CacheKind {
-        CacheKind::CopyBack
-    }
-
-    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
-        table::preferred_local(state, event, CacheKind::CopyBack)
-            .unwrap_or_else(|| panic!("MOESI-puzak: no action for ({state}, {event})"))
-    }
-
-    fn on_bus(&mut self, state: LineState, event: BusEvent, ctx: &SnoopCtx) -> BusReaction {
-        let permitted = table::permitted_bus(state, event);
-        if event.is_broadcast() && state.is_valid() && !state.is_owned() && ctx.near_replacement() {
-            // The line is about to be evicted anyway: take the `I` alternative
-            // instead of spending an update on it.
-            if let Some(inv) = permitted
-                .iter()
-                .rev()
-                .find(|r| r.result == ResultState::Fixed(LineState::Invalid) && !r.di)
-            {
-                return *inv;
-            }
+        PuzakRefinement {
+            inner: TablePolicy::with_dynamic(
+                PolicyTable::preferred("MOESI-puzak", CacheKind::CopyBack),
+                Box::new(RecencyHook),
+            ),
         }
-        permitted
-            .into_iter()
-            .next()
-            .unwrap_or_else(|| panic!("MOESI-puzak: error-condition cell ({state}, {event})"))
     }
 }
+
+impl Default for PuzakRefinement {
+    fn default() -> Self {
+        PuzakRefinement::new()
+    }
+}
+
+delegate_to_table!(PuzakRefinement);
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::Protocol;
     use LineState::{Invalid, Shareable};
 
     #[test]
@@ -73,6 +94,7 @@ mod tests {
         let ctx = SnoopCtx {
             recency_rank: Some(0),
             ways: 2,
+            line_addr: None,
         };
         let r = p.on_bus(Shareable, BusEvent::CacheBroadcastWrite, &ctx);
         assert!(r.sl, "MRU line should connect and update");
@@ -85,6 +107,7 @@ mod tests {
         let ctx = SnoopCtx {
             recency_rank: Some(1),
             ways: 2,
+            line_addr: None,
         };
         let r = p.on_bus(Shareable, BusEvent::CacheBroadcastWrite, &ctx);
         assert!(!r.sl);
@@ -99,6 +122,7 @@ mod tests {
         let ctx = SnoopCtx {
             recency_rank: Some(3),
             ways: 4,
+            line_addr: None,
         };
         let r = p.on_bus(LineState::Owned, BusEvent::UncachedBroadcastWrite, &ctx);
         assert!(r.sl);
@@ -111,9 +135,19 @@ mod tests {
         let lru = SnoopCtx {
             recency_rank: Some(1),
             ways: 2,
+            line_addr: None,
         };
         let r = p.on_bus(Shareable, BusEvent::CacheRead, &lru);
         assert!(r.ch);
         assert_eq!(r.result, ResultState::Fixed(Shareable));
+    }
+
+    #[test]
+    fn the_base_table_is_preferred_but_not_exact() {
+        let p = PuzakRefinement::new();
+        assert!(!p.table_is_exact(), "the recency hook is stateful");
+        let t = p.policy_table().unwrap();
+        assert!(t.is_class_member());
+        assert_eq!(t.name(), "MOESI-puzak");
     }
 }

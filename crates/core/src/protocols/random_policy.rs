@@ -2,9 +2,9 @@
 
 use crate::action::{BusReaction, LocalAction};
 use crate::event::{BusEvent, LocalEvent};
-use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::policy::{DynamicPolicy, PolicyTable, TablePolicy};
+use crate::protocol::{CacheKind, LocalCtx, SnoopCtx};
 use crate::state::LineState;
-use crate::table;
 
 use crate::rng::SmallRng;
 
@@ -15,6 +15,11 @@ use crate::rng::SmallRng;
 /// number generator or a selection algorithm such as round robin." This type
 /// exists to *test* that claim: a system mixing `RandomPolicy` caches with
 /// every other class member must still satisfy the consistency oracle.
+///
+/// Implemented as a [`DynamicPolicy`] hook over the preferred table: the hook
+/// answers every cell with a non-empty permitted set (so the static cells are
+/// never consulted), and the table supplies only the name, kind, and the
+/// `IllegalCell` error for `—` cells.
 ///
 /// # Examples
 ///
@@ -27,10 +32,48 @@ use crate::rng::SmallRng;
 /// let permitted = table::permitted_local(LineState::Shareable, LocalEvent::Write, CacheKind::CopyBack);
 /// assert!(permitted.contains(&a));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct RandomPolicy {
+    inner: TablePolicy,
+}
+
+/// The uniform selector. Holds the RNG and the client kind (the kind decides
+/// whether bus events are snooped at all).
+#[derive(Debug)]
+struct UniformHook {
     kind: CacheKind,
     rng: SmallRng,
+}
+
+impl DynamicPolicy for UniformHook {
+    fn pick_local(
+        &mut self,
+        _state: LineState,
+        _event: LocalEvent,
+        _ctx: &LocalCtx,
+        permitted: &[LocalAction],
+    ) -> Option<LocalAction> {
+        if permitted.is_empty() {
+            return None;
+        }
+        Some(permitted[self.rng.gen_range(0..permitted.len())])
+    }
+
+    fn pick_bus(
+        &mut self,
+        _state: LineState,
+        _event: BusEvent,
+        _ctx: &SnoopCtx,
+        permitted: &[BusReaction],
+    ) -> Option<BusReaction> {
+        if self.kind == CacheKind::NonCaching {
+            return Some(BusReaction::IGNORE);
+        }
+        if permitted.is_empty() {
+            return None;
+        }
+        Some(permitted[self.rng.gen_range(0..permitted.len())])
+    }
 }
 
 impl RandomPolicy {
@@ -39,48 +82,24 @@ impl RandomPolicy {
     #[must_use]
     pub fn new(kind: CacheKind, seed: u64) -> Self {
         RandomPolicy {
-            kind,
-            rng: SmallRng::seed_from_u64(seed),
+            inner: TablePolicy::with_dynamic(
+                PolicyTable::preferred("random", kind),
+                Box::new(UniformHook {
+                    kind,
+                    rng: SmallRng::seed_from_u64(seed),
+                }),
+            ),
         }
     }
 }
 
-impl Protocol for RandomPolicy {
-    fn name(&self) -> &str {
-        "random"
-    }
-
-    fn kind(&self) -> CacheKind {
-        self.kind
-    }
-
-    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
-        let permitted = table::permitted_local(state, event, self.kind);
-        assert!(
-            !permitted.is_empty(),
-            "random policy ({}): no action for ({state}, {event})",
-            self.kind
-        );
-        permitted[self.rng.gen_range(0..permitted.len())]
-    }
-
-    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
-        if self.kind == CacheKind::NonCaching {
-            return BusReaction::IGNORE;
-        }
-        let permitted = table::permitted_bus(state, event);
-        assert!(
-            !permitted.is_empty(),
-            "random policy ({}): error-condition cell ({state}, {event})",
-            self.kind
-        );
-        permitted[self.rng.gen_range(0..permitted.len())]
-    }
-}
+delegate_to_table!(RandomPolicy);
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::Protocol;
+    use crate::table;
 
     #[test]
     fn choices_are_always_permitted() {
@@ -152,5 +171,12 @@ mod tests {
                 BusReaction::IGNORE
             );
         }
+    }
+
+    #[test]
+    fn the_base_table_is_preferred_but_not_exact() {
+        let p = RandomPolicy::new(CacheKind::CopyBack, 1);
+        assert!(!p.table_is_exact());
+        assert!(p.policy_table().unwrap().is_class_member());
     }
 }

@@ -10,9 +10,9 @@
 
 use crate::action::{BusReaction, LocalAction};
 use crate::event::{BusEvent, LocalEvent};
-use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::policy::{DynamicPolicy, PolicyTable, TablePolicy};
+use crate::protocol::{CacheKind, LocalCtx, SnoopCtx};
 use crate::state::LineState;
-use crate::table;
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -68,6 +68,49 @@ impl ScriptHandle {
     }
 }
 
+/// The queue-popping selector: scripted choices first, preferred-table cells
+/// (the static base) on underflow.
+#[derive(Debug)]
+struct ScriptHook {
+    kind: CacheKind,
+    queues: Arc<Mutex<Queues>>,
+}
+
+impl DynamicPolicy for ScriptHook {
+    fn pick_local(
+        &mut self,
+        _state: LineState,
+        _event: LocalEvent,
+        _ctx: &LocalCtx,
+        _permitted: &[LocalAction],
+    ) -> Option<LocalAction> {
+        let mut q = self.queues.lock().unwrap();
+        if let Some(action) = q.local.pop_front() {
+            return Some(action);
+        }
+        q.underflows += 1;
+        None
+    }
+
+    fn pick_bus(
+        &mut self,
+        _state: LineState,
+        _event: BusEvent,
+        _ctx: &SnoopCtx,
+        _permitted: &[BusReaction],
+    ) -> Option<BusReaction> {
+        if self.kind == CacheKind::NonCaching {
+            return Some(BusReaction::IGNORE);
+        }
+        let mut q = self.queues.lock().unwrap();
+        if let Some(reaction) = q.bus.pop_front() {
+            return Some(reaction);
+        }
+        q.underflows += 1;
+        None
+    }
+}
+
 /// A protocol whose choices are scripted externally via a [`ScriptHandle`].
 ///
 /// # Examples
@@ -86,63 +129,40 @@ impl ScriptHandle {
 /// ```
 #[derive(Debug)]
 pub struct Scripted {
-    kind: CacheKind,
-    queues: Arc<Mutex<Queues>>,
+    inner: TablePolicy,
 }
 
 impl Scripted {
     /// Creates a scripted protocol of the given kind and its feeding handle.
+    ///
+    /// The base table is the preferred table with BS allowed — scripts may
+    /// contain BS push reactions when replaying adapted-protocol schedules.
     #[must_use]
     pub fn new(kind: CacheKind) -> (Self, ScriptHandle) {
         let queues = Arc::new(Mutex::new(Queues::default()));
         let handle = ScriptHandle {
             queues: Arc::clone(&queues),
         };
-        (Scripted { kind, queues }, handle)
+        let hook = ScriptHook { kind, queues };
+        (
+            Scripted {
+                inner: TablePolicy::with_dynamic(
+                    PolicyTable::preferred("scripted", kind).with_bs(),
+                    Box::new(hook),
+                ),
+            },
+            handle,
+        )
     }
 }
 
-impl Protocol for Scripted {
-    fn name(&self) -> &str {
-        "scripted"
-    }
-
-    fn kind(&self) -> CacheKind {
-        self.kind
-    }
-
-    fn requires_bs(&self) -> bool {
-        // Scripts may contain BS push reactions (adapted-protocol replays).
-        true
-    }
-
-    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
-        let mut q = self.queues.lock().unwrap();
-        if let Some(action) = q.local.pop_front() {
-            return action;
-        }
-        q.underflows += 1;
-        table::preferred_local(state, event, self.kind)
-            .unwrap_or_else(|| panic!("scripted: no fallback for ({state}, {event})"))
-    }
-
-    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
-        if self.kind == CacheKind::NonCaching {
-            return BusReaction::IGNORE;
-        }
-        let mut q = self.queues.lock().unwrap();
-        if let Some(reaction) = q.bus.pop_front() {
-            return reaction;
-        }
-        q.underflows += 1;
-        table::preferred_bus(state, event)
-            .unwrap_or_else(|| panic!("scripted: error cell ({state}, {event})"))
-    }
-}
+delegate_to_table!(Scripted);
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::Protocol;
+    use crate::table;
 
     #[test]
     fn pops_in_fifo_order_then_falls_back() {
@@ -190,5 +210,12 @@ mod tests {
         assert_eq!(h.pending(), (1, 1));
         h.clear();
         assert_eq!(h.pending(), (0, 0));
+    }
+
+    #[test]
+    fn requires_bs_for_adapted_replays() {
+        let (p, _h) = Scripted::new(CacheKind::CopyBack);
+        assert!(p.requires_bs());
+        assert!(!p.table_is_exact());
     }
 }

@@ -3,7 +3,8 @@
 
 use crate::action::{BusOp, BusReaction, LocalAction};
 use crate::event::{BusEvent, LocalEvent};
-use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::policy::{PolicyTable, TablePolicy};
+use crate::protocol::CacheKind;
 use crate::signals::MasterSignals;
 use crate::state::LineState;
 
@@ -23,103 +24,103 @@ use crate::state::LineState;
 ///   results.
 ///
 /// Not a member of the MOESI compatible class: it needs BS, and its
-/// V-write re-fetch is not a Table 1 entry.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct Synapse;
+/// V-write re-fetch is not a Table 1 entry — the table is built with the
+/// unchecked setters, and both the O and E rows are empty.
+#[derive(Debug)]
+pub struct Synapse {
+    inner: TablePolicy,
+}
+
+/// On a snooped read: NAK, write back, keep the copy as Valid.
+fn push_to_valid() -> BusReaction {
+    BusReaction::busy_push(LineState::Shareable, MasterSignals::CA)
+}
+
+/// On a snooped read-for-ownership: NAK, write back, invalidate.
+fn push_to_invalid() -> BusReaction {
+    BusReaction::busy_push(LineState::Invalid, MasterSignals::NONE)
+}
+
+/// The Synapse table as data: M, S and I rows only.
+fn synapse_table() -> PolicyTable {
+    use LineState::{Invalid, Modified, Shareable};
+    let mut t = PolicyTable::empty("Synapse", CacheKind::CopyBack).with_bs();
+    t.set_local_unchecked(Modified, LocalEvent::Read, LocalAction::silent(Modified));
+    t.set_local_unchecked(Shareable, LocalEvent::Read, LocalAction::silent(Shareable));
+    // Read misses always enter Valid; Synapse has no E state.
+    t.set_local_unchecked(
+        Invalid,
+        LocalEvent::Read,
+        LocalAction::new(Shareable, MasterSignals::CA, BusOp::Read),
+    );
+    t.set_local_unchecked(Modified, LocalEvent::Write, LocalAction::silent(Modified));
+    // The signature inefficiency: no invalidation transaction exists, so a
+    // write to Valid data is a full read-for-ownership.
+    for s in [Shareable, Invalid] {
+        t.set_local_unchecked(
+            s,
+            LocalEvent::Write,
+            LocalAction::new(Modified, MasterSignals::CA_IM, BusOp::Read),
+        );
+    }
+    // Pushes: only Dirty data writes back; Valid data drops silently.
+    t.set_local_unchecked(
+        Modified,
+        LocalEvent::Pass,
+        LocalAction::new(Shareable, MasterSignals::CA, BusOp::Write),
+    );
+    t.set_local_unchecked(
+        Modified,
+        LocalEvent::Flush,
+        LocalAction::new(Invalid, MasterSignals::NONE, BusOp::Write),
+    );
+    t.set_local_unchecked(Shareable, LocalEvent::Flush, LocalAction::silent(Invalid));
+
+    for ev in BusEvent::ALL {
+        t.set_bus_unchecked(Invalid, ev, BusReaction::IGNORE);
+    }
+    // Dirty data NAKs everything: memory must be made current first.
+    for ev in [BusEvent::CacheRead, BusEvent::UncachedRead] {
+        t.set_bus_unchecked(Modified, ev, push_to_valid());
+        // Valid copies: stay on reads (CH for compatibility)...
+        t.set_bus_unchecked(Shareable, ev, BusReaction::hit(Shareable));
+    }
+    for ev in [
+        BusEvent::CacheReadInvalidate,
+        BusEvent::UncachedWrite,
+        BusEvent::CacheBroadcastWrite,
+        BusEvent::UncachedBroadcastWrite,
+    ] {
+        t.set_bus_unchecked(Modified, ev, push_to_invalid());
+        // ...and die on any modification — Synapse has no update path.
+        t.set_bus_unchecked(Shareable, ev, BusReaction::IGNORE);
+    }
+    t
+}
 
 impl Synapse {
     /// Creates the protocol.
     #[must_use]
     pub fn new() -> Self {
-        Synapse
-    }
-
-    /// On a snooped read: NAK, write back, keep the copy as Valid.
-    fn push_to_valid() -> BusReaction {
-        BusReaction::busy_push(LineState::Shareable, MasterSignals::CA)
-    }
-
-    /// On a snooped read-for-ownership: NAK, write back, invalidate.
-    fn push_to_invalid() -> BusReaction {
-        BusReaction::busy_push(LineState::Invalid, MasterSignals::NONE)
-    }
-}
-
-impl Protocol for Synapse {
-    fn name(&self) -> &str {
-        "Synapse"
-    }
-
-    fn kind(&self) -> CacheKind {
-        CacheKind::CopyBack
-    }
-
-    fn requires_bs(&self) -> bool {
-        true
-    }
-
-    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
-        use LineState::{Invalid, Modified, Shareable};
-        match (state, event) {
-            (Modified | Shareable, LocalEvent::Read) => LocalAction::silent(state),
-            // Read misses always enter Valid; Synapse has no E state.
-            (Invalid, LocalEvent::Read) => {
-                LocalAction::new(Shareable, MasterSignals::CA, BusOp::Read)
-            }
-            (Modified, LocalEvent::Write) => LocalAction::silent(Modified),
-            // The signature inefficiency: no invalidation transaction exists,
-            // so a write to Valid data is a full read-for-ownership.
-            (Shareable | Invalid, LocalEvent::Write) => {
-                LocalAction::new(Modified, MasterSignals::CA_IM, BusOp::Read)
-            }
-            // Pushes: only Dirty data writes back; Valid data drops silently.
-            (Modified, LocalEvent::Pass) => {
-                LocalAction::new(Shareable, MasterSignals::CA, BusOp::Write)
-            }
-            (Modified, LocalEvent::Flush) => {
-                LocalAction::new(Invalid, MasterSignals::NONE, BusOp::Write)
-            }
-            (Shareable, LocalEvent::Flush) => LocalAction::silent(Invalid),
-            _ => panic!("Synapse: no action for ({state}, {event})"),
-        }
-    }
-
-    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
-        use LineState::{Invalid, Modified, Shareable};
-        match (state, event) {
-            (Invalid, _) => BusReaction::IGNORE,
-            // Dirty data NAKs everything: memory must be made current first.
-            (Modified, BusEvent::CacheRead | BusEvent::UncachedRead) => Self::push_to_valid(),
-            (
-                Modified,
-                BusEvent::CacheReadInvalidate
-                | BusEvent::UncachedWrite
-                | BusEvent::CacheBroadcastWrite
-                | BusEvent::UncachedBroadcastWrite,
-            ) => Self::push_to_invalid(),
-            // Valid copies: stay on reads (CH for compatibility), die on any
-            // modification — Synapse has no update path.
-            (Shareable, BusEvent::CacheRead | BusEvent::UncachedRead) => {
-                BusReaction::hit(Shareable)
-            }
-            (
-                Shareable,
-                BusEvent::CacheReadInvalidate
-                | BusEvent::UncachedWrite
-                | BusEvent::CacheBroadcastWrite
-                | BusEvent::UncachedBroadcastWrite,
-            ) => BusReaction::IGNORE,
-            (LineState::Owned | LineState::Exclusive, _) => {
-                unreachable!("Synapse has neither O nor E states")
-            }
+        Synapse {
+            inner: TablePolicy::new(synapse_table()),
         }
     }
 }
+
+impl Default for Synapse {
+    fn default() -> Self {
+        Synapse::new()
+    }
+}
+
+delegate_to_table!(Synapse);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::compat;
+    use crate::protocol::{LocalCtx, Protocol, SnoopCtx};
     use LineState::{Invalid, Modified, Shareable};
 
     fn local(state: LineState, event: LocalEvent) -> String {
@@ -184,6 +185,22 @@ mod tests {
             report.violations().iter().any(|v| v.contains("(S, Write)")),
             "{report}"
         );
+    }
+
+    #[test]
+    fn the_o_and_e_rows_are_empty() {
+        let p = Synapse::new();
+        assert!(p.table_is_exact());
+        let t = p.policy_table().unwrap();
+        assert!(!t.is_class_member());
+        for s in [LineState::Owned, LineState::Exclusive] {
+            for ev in LocalEvent::ALL {
+                assert_eq!(t.local(s, ev), None);
+            }
+            for ev in BusEvent::ALL {
+                assert_eq!(t.bus(s, ev), None);
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use crate::action::{BusOp, BusReaction, LocalAction};
 use crate::event::{BusEvent, LocalEvent};
-use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::policy::{PolicyTable, TablePolicy};
+use crate::protocol::CacheKind;
 use crate::signals::MasterSignals;
 use crate::state::LineState;
 
@@ -26,12 +27,113 @@ use crate::state::LineState;
 ///
 /// This protocol is **not** a member of the MOESI compatible class: its S
 /// state means "consistent with memory", it relies on writes-through updating
-/// memory beneath CA,IM signalling, and it needs BS. It is safe among caches
-/// running Write-Once (and with non-caching masters via the completion cells
-/// below), which is how §4 frames all of Tables 3–7.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// memory beneath CA,IM signalling, and it needs BS — so its table is built
+/// with the unchecked setters and `class_violations` reports the
+/// out-of-class cells. It is safe among caches running Write-Once (and with
+/// non-caching masters via the completion cells below), which is how §4
+/// frames all of Tables 3–7.
+#[derive(Debug)]
 pub struct WriteOnce {
-    push_on_read_invalidate: bool,
+    inner: TablePolicy,
+}
+
+fn push() -> BusReaction {
+    BusReaction::busy_push(LineState::Shareable, MasterSignals::CA)
+}
+
+/// Table 5 as data. `push_on_read_invalidate` picks the second alternative of
+/// the ambiguous M column-6 cell.
+fn write_once_table(push_on_read_invalidate: bool) -> PolicyTable {
+    use LineState::{Exclusive, Invalid, Modified, Shareable};
+    let mut t = PolicyTable::empty("Write-Once", CacheKind::CopyBack).with_bs();
+    for s in [Modified, Exclusive, Shareable] {
+        t.set_local_unchecked(s, LocalEvent::Read, LocalAction::silent(s));
+    }
+    // `S,CA,R`: read misses enter S (Goodman's Valid).
+    t.set_local_unchecked(
+        Invalid,
+        LocalEvent::Read,
+        LocalAction::new(Shareable, MasterSignals::CA, BusOp::Read),
+    );
+    t.set_local_unchecked(Modified, LocalEvent::Write, LocalAction::silent(Modified));
+    t.set_local_unchecked(Exclusive, LocalEvent::Write, LocalAction::silent(Modified));
+    // The eponymous write-once: write through, invalidating other copies
+    // (CA,IM without BC), and reserve the line (E).
+    t.set_local_unchecked(
+        Shareable,
+        LocalEvent::Write,
+        LocalAction::new(Exclusive, MasterSignals::CA_IM, BusOp::Write),
+    );
+    // `M,CA,IM,R or Read>Write` — prefer the single transaction.
+    t.set_local_unchecked(
+        Invalid,
+        LocalEvent::Write,
+        LocalAction::new(Modified, MasterSignals::CA_IM, BusOp::Read),
+    );
+    // Pushes: dirty lines write back; Table 5 does not tabulate them.
+    t.set_local_unchecked(
+        Modified,
+        LocalEvent::Pass,
+        LocalAction::new(Exclusive, MasterSignals::CA, BusOp::Write),
+    );
+    t.set_local_unchecked(
+        Modified,
+        LocalEvent::Flush,
+        LocalAction::new(Invalid, MasterSignals::NONE, BusOp::Write),
+    );
+    t.set_local_unchecked(Exclusive, LocalEvent::Flush, LocalAction::silent(Invalid));
+    t.set_local_unchecked(Shareable, LocalEvent::Flush, LocalAction::silent(Invalid));
+
+    // Table 5, column 5: abort, push, resume — memory then supplies.
+    t.set_bus_unchecked(Modified, BusEvent::CacheRead, push());
+    // Table 5, column 6: `I,DI or BS;S,CA,W`.
+    t.set_bus_unchecked(
+        Modified,
+        BusEvent::CacheReadInvalidate,
+        if push_on_read_invalidate {
+            push()
+        } else {
+            BusReaction::quiet(Invalid).with_di()
+        },
+    );
+    for s in [Exclusive, Shareable] {
+        t.set_bus_unchecked(s, BusEvent::CacheRead, BusReaction::hit(Shareable));
+        t.set_bus_unchecked(s, BusEvent::CacheReadInvalidate, BusReaction::IGNORE);
+    }
+    for ev in BusEvent::ALL {
+        t.set_bus_unchecked(Invalid, ev, BusReaction::IGNORE);
+    }
+    // Completion cells for foreign masters: dirty data is pushed so memory
+    // can serve or accept the access; clean copies behave as an invalidation
+    // protocol.
+    for ev in [
+        BusEvent::UncachedRead,
+        BusEvent::UncachedWrite,
+        BusEvent::CacheBroadcastWrite,
+        BusEvent::UncachedBroadcastWrite,
+    ] {
+        t.set_bus_unchecked(Modified, ev, push());
+    }
+    t.set_bus_unchecked(
+        Exclusive,
+        BusEvent::UncachedRead,
+        BusReaction::quiet(Exclusive),
+    );
+    t.set_bus_unchecked(
+        Shareable,
+        BusEvent::UncachedRead,
+        BusReaction::hit(Shareable),
+    );
+    for s in [Exclusive, Shareable] {
+        for ev in [
+            BusEvent::UncachedWrite,
+            BusEvent::CacheBroadcastWrite,
+            BusEvent::UncachedBroadcastWrite,
+        ] {
+            t.set_bus_unchecked(s, ev, BusReaction::IGNORE);
+        }
+    }
+    t
 }
 
 impl WriteOnce {
@@ -40,7 +142,7 @@ impl WriteOnce {
     #[must_use]
     pub fn new() -> Self {
         WriteOnce {
-            push_on_read_invalidate: false,
+            inner: TablePolicy::new(write_once_table(false)),
         }
     }
 
@@ -49,12 +151,8 @@ impl WriteOnce {
     #[must_use]
     pub fn always_pushing() -> Self {
         WriteOnce {
-            push_on_read_invalidate: true,
+            inner: TablePolicy::new(write_once_table(true)),
         }
-    }
-
-    fn push() -> BusReaction {
-        BusReaction::busy_push(LineState::Shareable, MasterSignals::CA)
     }
 }
 
@@ -64,91 +162,13 @@ impl Default for WriteOnce {
     }
 }
 
-impl Protocol for WriteOnce {
-    fn name(&self) -> &str {
-        "Write-Once"
-    }
-
-    fn kind(&self) -> CacheKind {
-        CacheKind::CopyBack
-    }
-
-    fn requires_bs(&self) -> bool {
-        true
-    }
-
-    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
-        use LineState::{Exclusive, Invalid, Modified, Shareable};
-        match (state, event) {
-            (Modified | Exclusive | Shareable, LocalEvent::Read) => LocalAction::silent(state),
-            // `S,CA,R`: read misses enter S (Goodman's Valid).
-            (Invalid, LocalEvent::Read) => {
-                LocalAction::new(Shareable, MasterSignals::CA, BusOp::Read)
-            }
-            (Modified, LocalEvent::Write) => LocalAction::silent(Modified),
-            (Exclusive, LocalEvent::Write) => LocalAction::silent(Modified),
-            // The eponymous write-once: write through, invalidating other
-            // copies (CA,IM without BC), and reserve the line (E).
-            (Shareable, LocalEvent::Write) => {
-                LocalAction::new(Exclusive, MasterSignals::CA_IM, BusOp::Write)
-            }
-            // `M,CA,IM,R or Read>Write` — prefer the single transaction.
-            (Invalid, LocalEvent::Write) => {
-                LocalAction::new(Modified, MasterSignals::CA_IM, BusOp::Read)
-            }
-            // Pushes: dirty lines write back; Table 5 does not tabulate them.
-            (Modified, LocalEvent::Pass) => {
-                LocalAction::new(Exclusive, MasterSignals::CA, BusOp::Write)
-            }
-            (Modified, LocalEvent::Flush) => {
-                LocalAction::new(Invalid, MasterSignals::NONE, BusOp::Write)
-            }
-            (Exclusive | Shareable, LocalEvent::Flush) => LocalAction::silent(Invalid),
-            _ => panic!("Write-Once: no action for ({state}, {event})"),
-        }
-    }
-
-    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
-        use LineState::{Exclusive, Invalid, Modified, Shareable};
-        match (state, event) {
-            (LineState::Owned, _) => {
-                unreachable!("{} has no O state", self.name())
-            }
-            // Table 5, column 5: abort, push, resume — memory then supplies.
-            (Modified, BusEvent::CacheRead) => Self::push(),
-            (Exclusive | Shareable, BusEvent::CacheRead) => BusReaction::hit(Shareable),
-            // Table 5, column 6: `I,DI or BS;S,CA,W`.
-            (Modified, BusEvent::CacheReadInvalidate) => {
-                if self.push_on_read_invalidate {
-                    Self::push()
-                } else {
-                    BusReaction::quiet(Invalid).with_di()
-                }
-            }
-            (Exclusive | Shareable, BusEvent::CacheReadInvalidate) => BusReaction::IGNORE,
-            (Invalid, _) => BusReaction::IGNORE,
-            // Completion cells for foreign masters: dirty data is pushed so
-            // memory can serve or accept the access; clean copies behave as
-            // an invalidation protocol.
-            (Modified, BusEvent::UncachedRead | BusEvent::UncachedWrite) => Self::push(),
-            (Exclusive, BusEvent::UncachedRead) => BusReaction::quiet(Exclusive),
-            (Shareable, BusEvent::UncachedRead) => BusReaction::hit(Shareable),
-            (Modified, BusEvent::CacheBroadcastWrite | BusEvent::UncachedBroadcastWrite) => {
-                Self::push()
-            }
-            (Exclusive | Shareable, BusEvent::UncachedWrite) => BusReaction::IGNORE,
-            (
-                Exclusive | Shareable,
-                BusEvent::CacheBroadcastWrite | BusEvent::UncachedBroadcastWrite,
-            ) => BusReaction::IGNORE,
-        }
-    }
-}
+delegate_to_table!(WriteOnce);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::compat;
+    use crate::protocol::{LocalCtx, Protocol, SnoopCtx};
     use LineState::{Exclusive, Invalid, Modified, Shareable};
 
     fn local(state: LineState, event: LocalEvent) -> String {
@@ -216,6 +236,22 @@ mod tests {
             report.violations().iter().any(|v| v.contains("BS")),
             "{report}"
         );
+    }
+
+    #[test]
+    fn the_table_agrees_it_is_out_of_class() {
+        let p = WriteOnce::new();
+        assert!(p.table_is_exact());
+        let t = p.policy_table().unwrap();
+        assert!(!t.is_class_member());
+        assert!(t.requires_bs());
+        // No O row: Write-Once dirty data never stays shared.
+        for ev in LocalEvent::ALL {
+            assert_eq!(t.local(LineState::Owned, ev), None);
+        }
+        for ev in BusEvent::ALL {
+            assert_eq!(t.bus(LineState::Owned, ev), None);
+        }
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The write-through cache member of the class (§3.3, items 6–8).
 
-use crate::action::{BusReaction, LocalAction};
-use crate::event::{BusEvent, LocalEvent};
-use crate::protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+use crate::event::LocalEvent;
+use crate::policy::{PolicyTable, TablePolicy};
+use crate::protocol::CacheKind;
 use crate::state::LineState;
 use crate::table;
 
@@ -17,10 +17,38 @@ use crate::table;
 /// [`WriteThrough::new`] broadcasts its writes (column 10 for snoopers,
 /// letting them update), [`WriteThrough::non_broadcasting`] does not
 /// (column 9, forcing them to invalidate).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct WriteThrough {
-    broadcast: bool,
-    allocate_on_write: bool,
+    inner: TablePolicy,
+}
+
+/// The write-through table: the preferred write-through-kind table with the
+/// write cells picked by the `broadcast` / `allocate_on_write` flags.
+fn write_through_table(broadcast: bool, allocate_on_write: bool) -> PolicyTable {
+    let mut t = PolicyTable::preferred("write-through", CacheKind::WriteThrough);
+    // `S,IM,BC,W` (index 0) or `S,IM,W` (index 1).
+    let shared = table::permitted_local(
+        LineState::Shareable,
+        LocalEvent::Write,
+        CacheKind::WriteThrough,
+    );
+    t.set_local(
+        LineState::Shareable,
+        LocalEvent::Write,
+        shared[usize::from(!broadcast)],
+    );
+    let miss = table::permitted_local(
+        LineState::Invalid,
+        LocalEvent::Write,
+        CacheKind::WriteThrough,
+    );
+    let pick = if allocate_on_write {
+        2 // Read>Write (§3.3 item 6)
+    } else {
+        usize::from(!broadcast)
+    };
+    t.set_local(LineState::Invalid, LocalEvent::Write, miss[pick]);
+    t
 }
 
 impl WriteThrough {
@@ -28,8 +56,7 @@ impl WriteThrough {
     #[must_use]
     pub fn new() -> Self {
         WriteThrough {
-            broadcast: true,
-            allocate_on_write: false,
+            inner: TablePolicy::new(write_through_table(true, false)),
         }
     }
 
@@ -37,17 +64,22 @@ impl WriteThrough {
     #[must_use]
     pub fn non_broadcasting() -> Self {
         WriteThrough {
-            broadcast: false,
-            allocate_on_write: false,
+            inner: TablePolicy::new(write_through_table(false, false)),
         }
     }
 
     /// Enables write-allocate: a write miss reads the line first
     /// (`Read>Write`, §3.3 item 6).
     #[must_use]
-    pub fn with_write_allocate(mut self) -> Self {
-        self.allocate_on_write = true;
-        self
+    pub fn with_write_allocate(self) -> Self {
+        let broadcast = self
+            .inner
+            .table()
+            .local(LineState::Shareable, LocalEvent::Write)
+            .is_some_and(|a| a.signals.bc);
+        WriteThrough {
+            inner: TablePolicy::new(write_through_table(broadcast, true)),
+        }
     }
 }
 
@@ -57,48 +89,14 @@ impl Default for WriteThrough {
     }
 }
 
-impl Protocol for WriteThrough {
-    fn name(&self) -> &str {
-        "write-through"
-    }
-
-    fn kind(&self) -> CacheKind {
-        CacheKind::WriteThrough
-    }
-
-    fn on_local(&mut self, state: LineState, event: LocalEvent, _ctx: &LocalCtx) -> LocalAction {
-        let permitted = table::permitted_local(state, event, CacheKind::WriteThrough);
-        let pick = match (state, event) {
-            // `S,IM,BC,W` (index 0) or `S,IM,W` (index 1).
-            (LineState::Shareable, LocalEvent::Write) => usize::from(!self.broadcast),
-            (LineState::Invalid, LocalEvent::Write) => {
-                if self.allocate_on_write {
-                    2 // Read>Write
-                } else {
-                    usize::from(!self.broadcast)
-                }
-            }
-            _ => 0,
-        };
-        *permitted
-            .get(pick)
-            .unwrap_or_else(|| panic!("write-through: no action for ({state}, {event})"))
-    }
-
-    fn on_bus(&mut self, state: LineState, event: BusEvent, _ctx: &SnoopCtx) -> BusReaction {
-        debug_assert!(
-            matches!(state, LineState::Shareable | LineState::Invalid),
-            "a write-through cache cannot hold {state}"
-        );
-        table::preferred_bus(state, event)
-            .unwrap_or_else(|| panic!("write-through: error cell ({state}, {event})"))
-    }
-}
+delegate_to_table!(WriteThrough);
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::action::{BusOp, ResultState};
+    use crate::action::{BusOp, LocalAction, ResultState};
+    use crate::event::BusEvent;
+    use crate::protocol::{LocalCtx, Protocol, SnoopCtx};
     use crate::signals::MasterSignals;
     use LineState::{Invalid, Shareable};
 
@@ -131,6 +129,15 @@ mod tests {
         let mut alloc = WriteThrough::new().with_write_allocate();
         let a = alloc.on_local(Invalid, LocalEvent::Write, &LocalCtx::default());
         assert_eq!(a.bus_op, BusOp::ReadThenWrite);
+    }
+
+    #[test]
+    fn non_broadcasting_allocate_keeps_the_read_then_write() {
+        let mut alloc = WriteThrough::non_broadcasting().with_write_allocate();
+        let a = alloc.on_local(Invalid, LocalEvent::Write, &LocalCtx::default());
+        assert_eq!(a.bus_op, BusOp::ReadThenWrite);
+        let a = alloc.on_local(Shareable, LocalEvent::Write, &LocalCtx::default());
+        assert_eq!(a.to_string(), "S,IM,W", "broadcast flag survives");
     }
 
     #[test]
@@ -173,5 +180,17 @@ mod tests {
         let mut p = WriteThrough::new();
         let a = p.on_local(Shareable, LocalEvent::Flush, &LocalCtx::default());
         assert_eq!(a, LocalAction::silent(Invalid));
+    }
+
+    #[test]
+    fn every_flavour_is_an_exact_class_member_table() {
+        for p in [
+            WriteThrough::new(),
+            WriteThrough::non_broadcasting(),
+            WriteThrough::new().with_write_allocate(),
+        ] {
+            assert!(p.table_is_exact());
+            assert!(p.policy_table().unwrap().is_class_member());
+        }
     }
 }

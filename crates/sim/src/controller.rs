@@ -15,8 +15,8 @@ use cache_array::{CacheArray, CacheConfig, Victim};
 use futurebus::{BusModule, BusObservation, LineAddr, PushWrite, RetireReport, TransactionRequest};
 use moesi::protocols::NonCaching;
 use moesi::{
-    BusEvent, BusReaction, CacheKind, LineState, LocalAction, LocalCtx, LocalEvent, Protocol,
-    ResponseSignals, SnoopCtx,
+    BusEvent, BusReaction, CacheKind, IllegalCell, LineState, LocalAction, LocalCtx, LocalEvent,
+    Protocol, ResponseSignals, SnoopCtx,
 };
 
 use crate::metrics::CpuStats;
@@ -126,8 +126,24 @@ impl CacheController {
     }
 
     /// Consults the protocol for a local event on `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a `—` cell; [`CacheController::try_decide_local`] is the
+    /// fallible form the fabric uses.
     #[must_use]
     pub fn decide_local(&mut self, addr: u64, event: LocalEvent) -> LocalAction {
+        self.try_decide_local(addr, event)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`CacheController::decide_local`]: a `—` cell is a structured
+    /// [`IllegalCell`] error instead of a panic.
+    pub fn try_decide_local(
+        &mut self,
+        addr: u64,
+        event: LocalEvent,
+    ) -> Result<LocalAction, IllegalCell> {
         let state = self.state_of(addr);
         let ctx = LocalCtx {
             recency_rank: self.cache.as_ref().and_then(|c| c.recency_rank(addr)),
@@ -135,15 +151,32 @@ impl CacheController {
                 .cache
                 .as_ref()
                 .map_or(0, |c| c.config().associativity as u32),
+            line_addr: Some(self.line_addr(addr)),
         };
-        self.protocol.on_local(state, event, &ctx)
+        self.protocol.try_on_local(state, event, &ctx)
     }
 
     /// Consults the protocol for an event on a line in an explicit state —
     /// used for victims that have already left the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a `—` cell; [`CacheController::try_decide_for`] is the
+    /// fallible form the fabric uses.
     #[must_use]
     pub fn decide_for(&mut self, state: LineState, event: LocalEvent) -> LocalAction {
-        self.protocol.on_local(state, event, &LocalCtx::default())
+        self.try_decide_for(state, event)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`CacheController::decide_for`].
+    pub fn try_decide_for(
+        &mut self,
+        state: LineState,
+        event: LocalEvent,
+    ) -> Result<LocalAction, IllegalCell> {
+        self.protocol
+            .try_on_local(state, event, &LocalCtx::default())
     }
 
     /// Reads bytes from the resident line (hit path).
@@ -205,7 +238,14 @@ impl CacheController {
                 .cache
                 .as_ref()
                 .map_or(0, |c| c.config().associativity as u32),
+            line_addr: Some(self.line_addr(addr)),
         }
+    }
+
+    fn line_addr(&self, addr: u64) -> u64 {
+        self.cache
+            .as_ref()
+            .map_or(addr, |c| c.map().line_addr(addr))
     }
 }
 
@@ -224,7 +264,23 @@ impl BusModule for CacheController {
             return ResponseSignals::NONE;
         };
         let ctx = self.snoop_ctx(req.addr);
-        let reaction = self.protocol.on_bus(state, event, &ctx);
+        let reaction = match self.protocol.try_on_bus(state, event, &ctx) {
+            Ok(r) => r,
+            Err(_) => {
+                // An error-condition cell (`—` in Table 2) reached
+                // mid-transaction: the protocol defines no reaction, so a
+                // fault (or bug) put this line in a state the event should
+                // never meet. Assert BS with no push staged; the bus's push
+                // phase then reports a recoverable ProtocolError naming this
+                // module, instead of the process dying inside the snooper.
+                return ResponseSignals {
+                    ch: false,
+                    di: false,
+                    sl: false,
+                    bs: true,
+                };
+            }
+        };
         self.pending = Some(PendingSnoop {
             addr: req.addr,
             reaction,
@@ -498,6 +554,26 @@ mod tests {
             "{err:?}"
         );
         assert_eq!(c.stats().interventions_supplied, 0);
+    }
+
+    #[test]
+    fn an_illegal_snoop_cell_surfaces_as_a_bus_error_not_a_panic() {
+        // Synapse's E row is all `—` cells (the protocol never uses E); a
+        // fault standing a line in E mid-run must not crash the snooper. The
+        // controller asserts BS with no push staged, so the bus reports a
+        // ProtocolError against this module.
+        use futurebus::{BusError, Futurebus, TimingConfig};
+        use moesi::protocols::Synapse;
+        let mut bus = Futurebus::new(16, TimingConfig::default());
+        let mut c = CacheController::new(0, Box::new(Synapse::new()), Some(cfg()), 1);
+        c.fill(0x100, LineState::Exclusive, vec![5; 16].into());
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut c];
+        let req = TransactionRequest::read(1, 0x100, MasterSignals::CA);
+        let err = bus.execute(&req, &mut mods).unwrap_err();
+        assert!(
+            matches!(err, BusError::ProtocolError { module: 0, .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

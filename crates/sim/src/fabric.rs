@@ -137,6 +137,21 @@ impl Fabric {
         out
     }
 
+    /// Consults `cpu`'s protocol for `event` on `line`, treating a `—` cell
+    /// (an [`moesi::IllegalCell`]) like a bus error: panic in strict mode —
+    /// reaching an error-condition cell is a protocol bug — or, in tolerant
+    /// mode, log it and return `None` so the caller degrades memory-direct.
+    fn try_decide(&mut self, cpu: usize, line: u64, event: LocalEvent) -> Option<LocalAction> {
+        match self.controllers[cpu].try_decide_local(line, event) {
+            Ok(action) => Some(action),
+            Err(e) if self.tolerate => {
+                self.errors.push(format!("cpu {cpu}: {e}"));
+                None
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+
     /// Completes a failed transaction memory-direct: reads are served from
     /// main memory, writes are absorbed by it, and no snooper is involved
     /// (they already saw the failing passes). Whatever staleness the skipped
@@ -204,7 +219,9 @@ impl Fabric {
         if !state.is_owned() {
             return false;
         }
-        let action = self.controllers[cpu].decide_local(line, LocalEvent::Pass);
+        let Some(action) = self.try_decide(cpu, line, LocalEvent::Pass) else {
+            return false;
+        };
         debug_assert_eq!(action.bus_op, BusOp::Write);
         let data = self.controllers[cpu]
             .read_cached(line, self.line_size)
@@ -225,7 +242,9 @@ impl Fabric {
         if !state.is_valid() {
             return false;
         }
-        let action = self.controllers[cpu].decide_local(line, LocalEvent::Flush);
+        let Some(action) = self.try_decide(cpu, line, LocalEvent::Flush) else {
+            return false;
+        };
         if action.bus_op == BusOp::Write {
             let data = self.controllers[cpu]
                 .read_cached(line, self.line_size)
@@ -280,9 +299,13 @@ impl Fabric {
                 .read_cached(addr, len)
                 .expect("valid line is resident");
         }
-        let action = self.controllers[cpu].decide_local(line, LocalEvent::Read);
-        let data = self.execute_read_action(cpu, line, &action);
         let offset = (addr - line) as usize;
+        let Some(action) = self.try_decide(cpu, line, LocalEvent::Read) else {
+            // Degraded: serve from memory without caching the line.
+            let data = self.bus.memory().peek_line(line);
+            return data[offset..offset + len].to_vec();
+        };
+        let data = self.execute_read_action(cpu, line, &action);
         data[offset..offset + len].to_vec()
     }
 
@@ -307,7 +330,18 @@ impl Fabric {
         if !victim.state.is_owned() {
             return; // clean victims are dropped silently
         }
-        let action = self.controllers[cpu].decide_for(victim.state, LocalEvent::Flush);
+        let action = match self.controllers[cpu].try_decide_for(victim.state, LocalEvent::Flush) {
+            Ok(action) => action,
+            Err(e) if self.tolerate => {
+                // Degraded: push the dirty data memory-direct so it survives.
+                self.errors.push(format!("cpu {cpu}: {e}"));
+                self.bus
+                    .memory_mut()
+                    .write_bytes(victim.addr, 0, &victim.data);
+                return;
+            }
+            Err(e) => panic!("{e}"),
+        };
         debug_assert_eq!(action.bus_op, BusOp::Write, "dirty victims must write back");
         let req =
             TransactionRequest::write(cpu, victim.addr, action.signals, 0, victim.data.to_vec());
@@ -327,7 +361,11 @@ impl Fabric {
     fn write_piece_inner(&mut self, cpu: usize, addr: u64, bytes: &[u8]) {
         let line = self.line_addr(addr);
         let offset = (addr - line) as usize;
-        let action = self.controllers[cpu].decide_local(line, LocalEvent::Write);
+        let Some(action) = self.try_decide(cpu, line, LocalEvent::Write) else {
+            // Degraded: absorb the write into memory, bypassing the cache.
+            self.bus.memory_mut().write_bytes(line, offset, bytes);
+            return;
+        };
         match action.bus_op {
             // A silent write: M stays M, E upgrades to M.
             BusOp::None => {
@@ -364,7 +402,10 @@ impl Fabric {
             // Two transactions: a read per the protocol's I/Read row, then
             // the write is re-decided from the new state.
             BusOp::ReadThenWrite => {
-                let read_action = self.controllers[cpu].decide_local(line, LocalEvent::Read);
+                let Some(read_action) = self.try_decide(cpu, line, LocalEvent::Read) else {
+                    self.bus.memory_mut().write_bytes(line, offset, bytes);
+                    return;
+                };
                 let _ = self.execute_read_action(cpu, line, &read_action);
                 self.write_piece_inner(cpu, addr, bytes);
             }
@@ -453,6 +494,42 @@ mod tests {
             max_storm_rounds: 32,
             ..FaultConfig::default()
         }));
+        let _ = f.read(0, 0x100, 4);
+    }
+
+    /// A preferred table with the whole Invalid row blown away: every miss
+    /// lands on a `—` cell. Stands in for a corrupted or mis-built policy.
+    fn holey_fabric() -> Fabric {
+        use moesi::{CacheKind, PolicyTable, TablePolicy};
+        let mut table = PolicyTable::preferred("holey", CacheKind::CopyBack);
+        table.clear_state(LineState::Invalid);
+        let cfg = CacheConfig::new(1024, 32, 2, ReplacementKind::Lru);
+        let ctrl = CacheController::new(0, Box::new(TablePolicy::new(table)), Some(cfg), 1);
+        Fabric::new(32, TimingConfig::default(), vec![ctrl])
+    }
+
+    #[test]
+    fn tolerated_illegal_cells_degrade_to_memory_instead_of_panicking() {
+        let mut f = holey_fabric();
+        f.bus_mut().memory_mut().write_bytes(0x100, 0, &[7; 4]);
+        f.tolerate_bus_errors(true);
+        assert_eq!(f.read(0, 0x100, 4), vec![7; 4], "memory-direct read");
+        f.write_with(0, 0x200, &[9; 4], |_, _| {});
+        assert_eq!(f.read(0, 0x200, 4), vec![9; 4], "memory absorbed the write");
+        let errors = f.drain_bus_errors();
+        assert!(errors.len() >= 2, "{errors:?}");
+        assert!(errors[0].contains("no action"), "{errors:?}");
+        assert_eq!(
+            f.controller(0).state_of(0x100),
+            LineState::Invalid,
+            "degraded accesses must not cache the line"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no action")]
+    fn untolerated_illegal_cells_still_panic() {
+        let mut f = holey_fabric();
         let _ = f.read(0, 0x100, 4);
     }
 

@@ -106,6 +106,7 @@ impl Default for CampaignConfig {
                 "dragon".into(),
                 "write-through".into(),
                 "berkeley".into(),
+                "hybrid".into(),
             ],
             cpus: 4,
             line_size: 16,

@@ -32,7 +32,10 @@ pub use machine::{
     BusOverride, Defect, LineView, LocalOverride, MachState, Machine, ModLine, ModuleSpec, Policy,
 };
 
-use moesi::{protocols, CacheKind};
+use moesi::{
+    protocols, BusEvent, BusReaction, CacheKind, LineState, LocalAction, LocalEvent, PolicyTable,
+    TablePolicy,
+};
 
 /// Shape of the explored configuration (the per-module policies come
 /// separately).
@@ -167,6 +170,86 @@ pub fn verify_class(kinds: &[CacheKind], shape: &Shape) -> Report {
     explore(&mut machine, &shape.limits)
 }
 
+/// One row of [`mutation_sweep`]: a single corrupted cell of the preferred
+/// copy-back table and what each detection layer said about it.
+#[derive(Clone, Debug)]
+pub struct MutationRow {
+    /// The corrupted cell, in the structural check's naming: `local (S,
+    /// Write)` or `bus (S, col 6)`.
+    pub cell: String,
+    /// Whether the §3.4 structural check (`moesi::compat::check_table`)
+    /// rejects the mutated table outright.
+    pub structural: bool,
+    /// The defect exhaustive exploration finds when the mutated policy shares
+    /// a bus with a clean preferred-MOESI module, if any.
+    pub defect: Option<Defect>,
+    /// Global states explored for this mutation.
+    pub explored: usize,
+}
+
+/// Enumerates single-cell corruptions of the preferred copy-back table and
+/// checks each one twice: structurally (is the mutated table still inside
+/// the permitted sets of Tables 1–2?) and dynamically (does the mutated
+/// policy, sharing a bus with a clean preferred-MOESI module, break a
+/// shared-image invariant somewhere in its reachable space?).
+///
+/// Each local cell is flipped to the canonical local bug — silently claiming
+/// Modified without a bus transaction — and each bus cell to the canonical
+/// snoop bug — ignoring the event and keeping the copy as-is. Cells whose
+/// chosen entry already *is* the mutation are skipped. The §3.4 theorem shows
+/// up as a property of the rows: a mutation the structural check accepts is
+/// still a class member, so exploration must find no defect for it.
+#[must_use]
+pub fn mutation_sweep(shape: &Shape) -> Vec<MutationRow> {
+    let base = PolicyTable::preferred("mutant", CacheKind::CopyBack);
+    let mut rows = Vec::new();
+    for state in LineState::ALL {
+        for event in LocalEvent::ALL {
+            let mutation = LocalAction::silent(LineState::Modified);
+            if base.local(state, event).is_none_or(|c| c == mutation) {
+                continue;
+            }
+            let mut table = base;
+            table.set_local_unchecked(state, event, mutation);
+            rows.push(run_mutation(
+                format!("local ({state}, {event})"),
+                table,
+                shape,
+            ));
+        }
+        for event in BusEvent::ALL {
+            let mutation = BusReaction::quiet(state);
+            if base.bus(state, event).is_none_or(|c| c == mutation) {
+                continue;
+            }
+            let mut table = base;
+            table.set_bus_unchecked(state, event, mutation);
+            rows.push(run_mutation(
+                format!("bus ({state}, col {})", event.column()),
+                table,
+                shape,
+            ));
+        }
+    }
+    rows
+}
+
+fn run_mutation(cell: String, table: PolicyTable, shape: &Shape) -> MutationRow {
+    let structural = !moesi::compat::check_table(&table).is_class_member();
+    let specs = vec![
+        ModuleSpec::protocol(Box::new(TablePolicy::new(table))),
+        spec_for("moesi").expect("moesi is a known protocol"),
+    ];
+    let mut machine = Machine::new(specs, shape.lines, shape.values);
+    let report = explore(&mut machine, &shape.limits);
+    MutationRow {
+        cell,
+        structural,
+        defect: report.counterexample.map(|cx| cx.defect),
+        explored: report.explored,
+    }
+}
+
 /// Runs [`verify_pair`] over every unordered pair from `names` (including
 /// the diagonal) and returns `(a, b, report)` rows.
 #[must_use]
@@ -253,6 +336,40 @@ mod tests {
         assert!(class_compatible("write-once", "write-through"));
         assert!(class_compatible("write-once", "illinois"));
         assert!(class_compatible("moesi", "dragon"));
+    }
+
+    #[test]
+    fn single_cell_mutations_are_caught_or_provably_harmless() {
+        let rows = mutation_sweep(&Shape::default());
+        assert!(rows.len() >= 30, "only {} mutations", rows.len());
+        // The §3.4 theorem, mechanically: a mutation the structural check
+        // accepts is still a class member, so exploration finds no defect.
+        for r in &rows {
+            assert!(
+                r.structural || r.defect.is_none(),
+                "in-class mutation {} found {:?}",
+                r.cell,
+                r.defect
+            );
+            assert!(r.explored > 1, "{}: degenerate space", r.cell);
+        }
+        // Ignoring a snooped read-invalidate (col 6) leaves a stale copy that
+        // the next local read returns: structural AND concrete.
+        let ignored = rows
+            .iter()
+            .find(|r| r.cell == "bus (S, col 6)")
+            .expect("the (S, col 6) cell is populated");
+        assert!(ignored.structural);
+        assert!(
+            ignored.defect.is_some(),
+            "ignoring an invalidate is silent?"
+        );
+        // Silently claiming M is likewise both rejected and reproduced.
+        let claimed = rows
+            .iter()
+            .find(|r| r.cell == "local (S, Write)")
+            .expect("the (S, Write) cell is populated");
+        assert!(claimed.structural && claimed.defect.is_some());
     }
 
     #[test]

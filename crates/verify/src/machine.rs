@@ -345,7 +345,11 @@ impl Machine {
             Policy::Protocol(p) => {
                 let mut out: Vec<LocalAction> = Vec::new();
                 for (recency_rank, ways) in CTX_RANKS {
-                    let ctx = LocalCtx { recency_rank, ways };
+                    let ctx = LocalCtx {
+                        recency_rank,
+                        ways,
+                        line_addr: None,
+                    };
                     let a = p.on_local(state, event, &ctx);
                     if !out.contains(&a) {
                         out.push(a);
@@ -367,7 +371,11 @@ impl Machine {
             Policy::Protocol(p) => {
                 let mut out: Vec<BusReaction> = Vec::new();
                 for (recency_rank, ways) in CTX_RANKS {
-                    let ctx = SnoopCtx { recency_rank, ways };
+                    let ctx = SnoopCtx {
+                        recency_rank,
+                        ways,
+                        line_addr: None,
+                    };
                     let r = p.on_bus(state, event, &ctx);
                     if !out.contains(&r) {
                         out.push(r);

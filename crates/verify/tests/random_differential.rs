@@ -38,6 +38,7 @@ fn every_random_choice_is_in_the_explored_set() {
                     let ctx = LocalCtx {
                         recency_rank: Some(round % 4),
                         ways: 4,
+                        line_addr: None,
                     };
                     let a = policy.on_local(state, event, &ctx);
                     assert!(
@@ -56,6 +57,7 @@ fn every_random_choice_is_in_the_explored_set() {
                     let ctx = SnoopCtx {
                         recency_rank: Some(round % 4),
                         ways: 4,
+                        line_addr: None,
                     };
                     let r = policy.on_bus(state, event, &ctx);
                     assert!(

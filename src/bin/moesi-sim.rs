@@ -17,6 +17,7 @@
 use cache_array::{CacheConfig, ReplacementKind};
 use futurebus::fault::{FaultConfig, FaultKind};
 use moesi::protocols::by_name;
+use moesi_futurebus::cli::CommonOpts;
 use mpsim::workload::{
     DuboisBriggs, FalseSharing, Migratory, PingPong, ProducerConsumer, ReadMostly, SharingModel,
 };
@@ -36,12 +37,14 @@ SUBCOMMANDS:
                       recovery (see `moesi-sim faults --help`)
     bench             run the protocol x workload benchmark sweep
                       (see `moesi-sim bench --help`)
+    table             print protocol policy tables, the paper's Tables 3-7
+                      (see `moesi-sim table --help`)
 
 OPTIONS:
     --protocol LIST   comma-separated per-node protocols (repeating the last
                       to fill --cpus). Known: moesi, moesi-invalidating,
                       puzak, berkeley, dragon, write-once, illinois, firefly, synapse,
-                      write-through, non-caching, random. [default: moesi]
+                      write-through, non-caching, random, hybrid. [default: moesi]
     --cpus N          number of nodes [default: 4]
     --clusters CxN    run a two-level hierarchy instead: C clusters of N
                       nodes each on private buses behind bridges (ignores
@@ -389,8 +392,15 @@ OPTIONS:
     --matrix          verify every protocol pair instead, printing one row
                       per pair; exits nonzero if any result contradicts the
                       documented compatibility claims
+    --mutate          corrupt the preferred copy-back table one cell at a
+                      time instead, printing the structural verdict and any
+                      concrete counterexample per mutation; exits nonzero if
+                      a mutation passes the structural check but breaks an
+                      invariant
     --jobs N          worker threads sharding the --matrix pairs; the output
                       is identical for any N [default: available cores]
+    --seed N          seed for the --trace-out exemplar run [default: its
+                      built-in seed]
     --trace-out FILE  also write a Chrome trace (chrome://tracing JSON) of an
                       exemplar concrete run of the first named protocol
     --help            print this help
@@ -404,7 +414,9 @@ struct VerifyConfig {
     values: u8,
     max_states: Option<usize>,
     matrix: bool,
+    mutate: bool,
     jobs: usize,
+    seed: Option<u64>,
     trace_out: Option<String>,
 }
 
@@ -417,7 +429,9 @@ impl Default for VerifyConfig {
             values: 2,
             max_states: None,
             matrix: false,
+            mutate: false,
             jobs: mpsim::default_jobs(),
+            seed: None,
             trace_out: None,
         }
     }
@@ -425,8 +439,12 @@ impl Default for VerifyConfig {
 
 fn parse_verify_args(args: &[String]) -> Result<VerifyConfig, String> {
     let mut cfg = VerifyConfig::default();
+    let mut common = CommonOpts::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if common.try_consume(arg, &mut it)? {
+            continue;
+        }
         let mut value = |name: &str| -> Result<&String, String> {
             it.next().ok_or_else(|| format!("{name} needs a value"))
         };
@@ -473,19 +491,16 @@ fn parse_verify_args(args: &[String]) -> Result<VerifyConfig, String> {
                 );
             }
             "--matrix" => cfg.matrix = true,
-            "--jobs" => {
-                cfg.jobs = value("--jobs")?
-                    .parse()
-                    .map_err(|_| "--jobs expects a number".to_string())?;
-                if cfg.jobs == 0 {
-                    return Err("--jobs must be at least 1".to_string());
-                }
-            }
-            "--trace-out" => cfg.trace_out = Some(value("--trace-out")?.clone()),
+            "--mutate" => cfg.mutate = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
+    if let Some(jobs) = common.jobs {
+        cfg.jobs = jobs;
+    }
+    cfg.seed = common.seed;
+    cfg.trace_out = common.trace_out;
     Ok(cfg)
 }
 
@@ -532,6 +547,40 @@ fn run_verify_matrix(shape: &verify::Shape, jobs: usize) -> Result<(), String> {
     Ok(())
 }
 
+fn run_verify_mutations(shape: &verify::Shape) -> Result<(), String> {
+    println!(
+        "single-cell mutations of the preferred copy-back table, next to a clean MOESI module\n"
+    );
+    let rows = verify::mutation_sweep(shape);
+    let mut missed = 0usize;
+    for row in &rows {
+        let structural = if row.structural {
+            "rejected"
+        } else {
+            "in-class"
+        };
+        let dynamic = match &row.defect {
+            Some(defect) => format!("counterexample: {defect}"),
+            None => format!("clean ({} states)", row.explored),
+        };
+        if !row.structural && row.defect.is_some() {
+            missed += 1;
+        }
+        println!("{:<20} {structural:<10} {dynamic}", row.cell);
+    }
+    let caught = rows.iter().filter(|r| r.defect.is_some()).count();
+    println!(
+        "\n{} mutations: {caught} produce concrete counterexamples; every in-class one verifies clean",
+        rows.len(),
+    );
+    if missed > 0 {
+        return Err(format!(
+            "{missed} mutation(s) passed the structural check but broke an invariant"
+        ));
+    }
+    Ok(())
+}
+
 fn run_verify(cfg: &VerifyConfig) -> Result<(), String> {
     if let Some(path) = &cfg.trace_out {
         // The model checker is abstract; the trace shows an exemplar
@@ -541,15 +590,19 @@ fn run_verify(cfg: &VerifyConfig) -> Result<(), String> {
             None | Some("full-table") | Some("full-table-wt") | Some("full-table-nc") => "moesi",
             Some(name) => name,
         };
-        write_chrome_trace(
-            path,
-            &mpsim::TraceRunConfig {
-                protocol: protocol.to_string(),
-                ..mpsim::TraceRunConfig::default()
-            },
-        )?;
+        let mut trace_cfg = mpsim::TraceRunConfig {
+            protocol: protocol.to_string(),
+            ..mpsim::TraceRunConfig::default()
+        };
+        if let Some(seed) = cfg.seed {
+            trace_cfg.seed = seed;
+        }
+        write_chrome_trace(path, &trace_cfg)?;
     }
     let shape = verify_shape(cfg);
+    if cfg.mutate {
+        return run_verify_mutations(&shape);
+    }
     if cfg.matrix {
         return run_verify_matrix(&shape, cfg.jobs);
     }
@@ -600,7 +653,8 @@ USAGE:
 
 OPTIONS:
     --protocol LIST   comma-separated protocols, one homogeneous machine per
-                      entry [default: moesi,dragon,write-through,berkeley]
+                      entry [default: moesi,dragon,write-through,berkeley,
+                      hybrid]
     --cpus N          processors per machine [default: 4]
     --steps N         processor accesses per machine [default: 2500]
     --lines N         distinct lines in the working set [default: 96]
@@ -679,8 +733,12 @@ fn parse_fault_kinds(list: &str) -> Result<Vec<FaultKind>, String> {
 
 fn parse_faults_args(args: &[String]) -> Result<FaultsConfig, String> {
     let mut cfg = FaultsConfig::default();
+    let mut common = CommonOpts::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if common.try_consume(arg, &mut it)? {
+            continue;
+        }
         let mut value = |name: &str| -> Result<&String, String> {
             it.next().ok_or_else(|| format!("{name} needs a value"))
         };
@@ -714,11 +772,6 @@ fn parse_faults_args(args: &[String]) -> Result<FaultsConfig, String> {
             "--cache-bytes" => {
                 cfg.cache_bytes = number("--cache-bytes", value("--cache-bytes")?)? as usize;
             }
-            "--seed" => {
-                cfg.seed = value("--seed")?
-                    .parse()
-                    .map_err(|_| "--seed expects a number".to_string())?;
-            }
             "--rate" => {
                 cfg.rate = value("--rate")?
                     .parse()
@@ -728,12 +781,17 @@ fn parse_faults_args(args: &[String]) -> Result<FaultsConfig, String> {
                 }
             }
             "--kind" => cfg.kinds = parse_fault_kinds(value("--kind")?)?,
-            "--jobs" => cfg.jobs = number("--jobs", value("--jobs")?)? as usize,
-            "--trace-out" => cfg.trace_out = Some(value("--trace-out")?.clone()),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
+    if let Some(seed) = common.seed {
+        cfg.seed = seed;
+    }
+    if let Some(jobs) = common.jobs {
+        cfg.jobs = jobs;
+    }
+    cfg.trace_out = common.trace_out;
     Ok(cfg)
 }
 
@@ -830,8 +888,12 @@ impl Default for BenchCliConfig {
 
 fn parse_bench_args(args: &[String]) -> Result<BenchCliConfig, String> {
     let mut cfg = BenchCliConfig::default();
+    let mut common = CommonOpts::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if common.try_consume(arg, &mut it)? {
+            continue;
+        }
         let mut value = |name: &str| -> Result<&String, String> {
             it.next().ok_or_else(|| format!("{name} needs a value"))
         };
@@ -861,19 +923,19 @@ fn parse_bench_args(args: &[String]) -> Result<BenchCliConfig, String> {
             "--cache-bytes" => {
                 cfg.cache_bytes = number("--cache-bytes", value("--cache-bytes")?)? as usize;
             }
-            "--seed" => {
-                cfg.seed = value("--seed")?
-                    .parse()
-                    .map_err(|_| "--seed expects a number".to_string())?;
-            }
-            "--jobs" => cfg.jobs = number("--jobs", value("--jobs")?)? as usize,
             "--json" => cfg.json = true,
             "--out" => cfg.out = value("--out")?.clone(),
-            "--trace-out" => cfg.trace_out = Some(value("--trace-out")?.clone()),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
+    if let Some(seed) = common.seed {
+        cfg.seed = seed;
+    }
+    if let Some(jobs) = common.jobs {
+        cfg.jobs = jobs;
+    }
+    cfg.trace_out = common.trace_out;
     Ok(cfg)
 }
 
@@ -959,8 +1021,121 @@ fn run_faults(cfg: &FaultsConfig) -> Result<(), String> {
     Ok(())
 }
 
+const TABLE_USAGE: &str = "\
+moesi-sim table: print protocol policy tables (the paper's Tables 3-7)
+
+Renders the chosen action per (state, event) cell straight from each
+protocol's PolicyTable — the same data the engine interprets — with `-` for
+error-condition cells, plus the structural class-membership verdict.
+
+USAGE:
+    moesi-sim table [OPTIONS]
+
+OPTIONS:
+    --protocol LIST   comma-separated protocols to render
+                      [default: berkeley,dragon,write-once,illinois,firefly]
+    --seed N          seed for seeded protocols such as random [default: 42]
+    --help            print this help
+";
+
+#[derive(Clone, Debug, PartialEq)]
+struct TableConfig {
+    protocols: Vec<String>,
+    seed: u64,
+}
+
+impl Default for TableConfig {
+    fn default() -> Self {
+        TableConfig {
+            // The paper's protocol examples, in table order (Tables 3-7).
+            protocols: ["berkeley", "dragon", "write-once", "illinois", "firefly"]
+                .map(str::to_string)
+                .to_vec(),
+            seed: 42,
+        }
+    }
+}
+
+fn parse_table_args(args: &[String]) -> Result<TableConfig, String> {
+    let mut cfg = TableConfig::default();
+    let mut common = CommonOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if common.try_consume(arg, &mut it)? {
+            continue;
+        }
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--protocol" => {
+                cfg.protocols = value("--protocol")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if cfg.protocols.is_empty() {
+                    return Err("--protocol list is empty".to_string());
+                }
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if common.jobs.is_some() || common.trace_out.is_some() {
+        return Err("`table` accepts only --protocol and --seed".to_string());
+    }
+    if let Some(seed) = common.seed {
+        cfg.seed = seed;
+    }
+    Ok(cfg)
+}
+
+fn run_table(cfg: &TableConfig) -> Result<(), String> {
+    for name in &cfg.protocols {
+        let p = by_name(name, cfg.seed).ok_or_else(|| format!("unknown protocol `{name}`"))?;
+        let table = p
+            .policy_table()
+            .ok_or_else(|| format!("`{name}` exposes no policy table"))?;
+        print!("{}", table.render());
+        if !p.table_is_exact() {
+            println!("note: base table only — a stateful hook refines the choice per line");
+        }
+        let violations = table.class_violations();
+        if violations.is_empty() {
+            println!("class membership: IN the MOESI compatible class");
+        } else {
+            println!(
+                "class membership: ADAPTED ({} out-of-class entries)",
+                violations.len()
+            );
+        }
+        println!();
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("table") {
+        return match parse_table_args(&args[1..]) {
+            Ok(cfg) => match run_table(&cfg) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(msg) if msg.is_empty() => {
+                print!("{TABLE_USAGE}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{TABLE_USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("faults") {
         return match parse_faults_args(&args[1..]) {
             Ok(cfg) => match run_faults(&cfg) {
@@ -1340,6 +1515,58 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("unknown protocol"), "{err}");
+    }
+
+    #[test]
+    fn shared_flags_parse_identically_across_subcommands() {
+        let shared = "--seed 11 --jobs 3 --trace-out /tmp/t.json";
+        let v = parse_verify_args(&args(shared)).expect("verify");
+        let f = parse_faults_args(&args(shared)).expect("faults");
+        let b = parse_bench_args(&args(shared)).expect("bench");
+        assert_eq!((v.jobs, f.jobs, b.jobs), (3, 3, 3));
+        assert_eq!((v.seed, f.seed, b.seed), (Some(11), 11, 11));
+        assert_eq!(v.trace_out.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(f.trace_out, b.trace_out);
+        assert_eq!(v.trace_out, f.trace_out);
+        for err in [
+            parse_verify_args(&args("--jobs 0")).unwrap_err(),
+            parse_faults_args(&args("--jobs 0")).unwrap_err(),
+            parse_bench_args(&args("--jobs 0")).unwrap_err(),
+        ] {
+            assert!(err.contains("at least 1"), "{err}");
+        }
+    }
+
+    #[test]
+    fn table_args_parse_and_render() {
+        assert_eq!(
+            parse_table_args(&[]).expect("empty"),
+            TableConfig::default()
+        );
+        let cfg = parse_table_args(&args("--protocol hybrid,moesi --seed 9")).expect("valid");
+        assert_eq!(cfg.protocols, vec!["hybrid", "moesi"]);
+        assert_eq!(cfg.seed, 9);
+        assert!(parse_table_args(&args("--help")).unwrap_err().is_empty());
+        assert!(parse_table_args(&args("--jobs 2"))
+            .unwrap_err()
+            .contains("only --protocol and --seed"));
+        run_table(&TableConfig::default()).expect("default tables render");
+        run_table(&cfg).expect("hybrid and moesi tables render");
+        let err = run_table(&TableConfig {
+            protocols: vec!["mesif".to_string()],
+            seed: 0,
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown protocol"), "{err}");
+    }
+
+    #[test]
+    fn verify_mutate_mode_runs_clean() {
+        run_verify(&VerifyConfig {
+            mutate: true,
+            ..VerifyConfig::default()
+        })
+        .expect("every in-class mutation verifies clean");
     }
 
     #[test]

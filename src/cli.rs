@@ -1,0 +1,92 @@
+//! Shared command-line plumbing for the `moesi-sim` subcommands.
+//!
+//! The `verify`, `faults`, `bench` and `table` subcommands all accept the
+//! same trio of flags — `--seed`, `--jobs`, `--trace-out` — with identical
+//! syntax, validation and error wording. [`CommonOpts`] parses them in one
+//! place; each subcommand keeps its own loop for the flags only it
+//! understands.
+
+/// The flags shared across `moesi-sim` subcommands, each `None` until seen.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CommonOpts {
+    /// `--seed N`: the RNG seed.
+    pub seed: Option<u64>,
+    /// `--jobs N`: worker threads; validated to be at least 1.
+    pub jobs: Option<usize>,
+    /// `--trace-out FILE`: Chrome-trace output path.
+    pub trace_out: Option<String>,
+}
+
+impl CommonOpts {
+    /// Tries to consume `arg` as one of the shared flags, pulling its value
+    /// from `rest`. Returns `Ok(true)` when consumed and `Ok(false)` when
+    /// the flag is not a shared one (the caller's own match handles it).
+    pub fn try_consume<'a, I>(&mut self, arg: &str, rest: &mut I) -> Result<bool, String>
+    where
+        I: Iterator<Item = &'a String>,
+    {
+        let mut value = |name: &str| -> Result<&'a String, String> {
+            rest.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg {
+            "--seed" => {
+                self.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed expects a number".to_string())?,
+                );
+            }
+            "--jobs" => {
+                let jobs: usize = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs expects a number".to_string())?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                self.jobs = Some(jobs);
+            }
+            "--trace-out" => self.trace_out = Some(value("--trace-out")?.clone()),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CommonOpts, String> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_string()).collect();
+        let mut opts = CommonOpts::default();
+        let mut it = owned.iter();
+        while let Some(arg) = it.next() {
+            if !opts.try_consume(arg, &mut it)? {
+                return Err(format!("unknown option `{arg}`"));
+            }
+        }
+        Ok(opts)
+    }
+
+    #[test]
+    fn all_three_flags_parse() {
+        let opts = parse(&["--seed", "9", "--jobs", "3", "--trace-out", "/tmp/t.json"]).unwrap();
+        assert_eq!(opts.seed, Some(9));
+        assert_eq!(opts.jobs, Some(3));
+        assert_eq!(opts.trace_out.as_deref(), Some("/tmp/t.json"));
+    }
+
+    #[test]
+    fn unshared_flags_are_left_to_the_caller() {
+        assert!(parse(&["--protocol"]).unwrap_err().contains("unknown"));
+    }
+
+    #[test]
+    fn validation_matches_the_subcommands() {
+        assert!(parse(&["--jobs", "0"]).unwrap_err().contains("at least 1"));
+        assert!(parse(&["--jobs", "x"])
+            .unwrap_err()
+            .contains("expects a number"));
+        assert!(parse(&["--seed"]).unwrap_err().contains("needs a value"));
+    }
+}

@@ -50,6 +50,8 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
+
 pub use cache_array;
 pub use futurebus;
 pub use moesi;
