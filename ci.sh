@@ -63,4 +63,43 @@ if command -v python3 >/dev/null 2>&1; then
 fi
 rm -f "$bench_j2" "$bench_j1" "$trace_j2" "$trace_j1"
 
+echo "==> synth smoke (fixed seed, tiny cell budget; sharded run must match the sequential one)"
+synth_t2="$(mktemp)" synth_t1="$(mktemp)" synth_j2="$(mktemp)" synth_j1="$(mktemp)"
+./target/release/moesi-sim synth --workload ping-pong --cpus 2 --steps 80 --rounds 1 \
+    --campaign-steps 300 --sensitivity --seed 7 --jobs 2 \
+    --out "$synth_t2" --json-out "$synth_j2" >/dev/null
+./target/release/moesi-sim synth --workload ping-pong --cpus 2 --steps 80 --rounds 1 \
+    --campaign-steps 300 --sensitivity --seed 7 --jobs 1 \
+    --out "$synth_t1" --json-out "$synth_j1" >/dev/null
+cmp "$synth_t2" "$synth_t1" \
+  || { echo "synth tables --jobs 2 diverged from --jobs 1" >&2; exit 1; }
+cmp "$synth_j2" "$synth_j1" \
+  || { echo "synth JSON --jobs 2 diverged from --jobs 1" >&2; exit 1; }
+grep -q '"faults_silent": 0' "$synth_j1" \
+  || { echo "synth smoke saw silent corruption" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "$synth_j1" \
+    || { echo "synth output is not valid JSON" >&2; exit 1; }
+fi
+rm -f "$synth_t2" "$synth_t1" "$synth_j2" "$synth_j1"
+
+echo "==> synthesized winners match the committed fixture (best-known tables per workload)"
+synth_tables="$(mktemp)" synth_json="$(mktemp)"
+./target/release/moesi-sim synth --seed 7 --out "$synth_tables" --json-out "$synth_json" >/dev/null
+cmp "$synth_tables" tests/fixtures/synth/best_tables.txt \
+  || { echo "synthesized tables diverged from tests/fixtures/synth/best_tables.txt" >&2; exit 1; }
+cmp "$synth_json" tests/fixtures/synth/best_tables.json \
+  || { echo "synth report diverged from tests/fixtures/synth/best_tables.json" >&2; exit 1; }
+rm -f "$synth_tables" "$synth_json"
+
+echo "==> mutation sweep accepts a loaded table (synth fixture as the base)"
+./target/release/moesi-sim verify --mutate --table tests/fixtures/synth/best_tables.txt >/dev/null 2>&1 \
+  && { echo "mutation sweep accepted a multi-table document as one table" >&2; exit 1; }
+first_table="$(mktemp)" mutate_out="$(mktemp)"
+head -20 tests/fixtures/synth/best_tables.txt > "$first_table"
+./target/release/moesi-sim verify --mutate --table "$first_table" > "$mutate_out"
+grep -q "single-cell mutations of \`synth-general\`" "$mutate_out" \
+  || { echo "verify --mutate --table failed on the synthesized winner" >&2; exit 1; }
+rm -f "$first_table" "$mutate_out"
+
 echo "ci: all green"

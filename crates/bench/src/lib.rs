@@ -12,6 +12,7 @@ pub mod sweep;
 use cache_array::{CacheConfig, ReplacementKind};
 use futurebus::TimingConfig;
 use moesi::protocols::by_name;
+use moesi::{PolicyTable, TablePolicy};
 use mpsim::workload::{
     DuboisBriggs, FalseSharing, Migratory, PingPong, ProducerConsumer, ReadMostly, SharingModel,
 };
@@ -67,6 +68,27 @@ pub fn homogeneous_system(
                 .unwrap_or_else(|| panic!("unknown protocol {protocol}")),
             cfg,
         );
+    }
+    b.build()
+}
+
+/// A homogeneous machine like [`homogeneous_system`], but every node runs a
+/// given [`PolicyTable`] through the generic `TablePolicy` interpreter
+/// instead of a shipped protocol looked up by name. This is how the synth
+/// subsystem scores candidate tables that exist nowhere in the registry.
+#[must_use]
+pub fn homogeneous_table_system(
+    table: PolicyTable,
+    cpus: usize,
+    cache_bytes: usize,
+    line: usize,
+    timing: TimingConfig,
+    checking: bool,
+) -> System {
+    let cfg = CacheConfig::new(cache_bytes, line, 2, ReplacementKind::Lru);
+    let mut b = SystemBuilder::new(line).timing(timing).checking(checking);
+    for _ in 0..cpus {
+        b = b.cache(Box::new(TablePolicy::new(table)), cfg);
     }
     b.build()
 }

@@ -8,8 +8,13 @@
 //! rows come back in protocol-major order for any worker count, and the
 //! rendered JSON is byte-identical for `--jobs 1` and `--jobs N`.
 
-use crate::{homogeneous_system, workload_streams, COMPARED_PROTOCOLS, LINE, WORKLOADS};
+use crate::{
+    homogeneous_system, homogeneous_table_system, workload_streams, COMPARED_PROTOCOLS, LINE,
+    WORKLOADS,
+};
 use futurebus::{Nanos, Phase, TimingConfig};
+use moesi::json::{array_u64, JsonObject};
+use moesi::PolicyTable;
 
 /// Nanoseconds of local (non-bus) work modelled per processor reference.
 pub const CPU_WORK_NS: u64 = 50;
@@ -31,6 +36,9 @@ pub struct SweepConfig {
     pub seed: u64,
     /// Worker threads sharding the cells (1 = sequential).
     pub jobs: usize,
+    /// Bus/memory/cache cost model every cell runs under. The §5.2
+    /// sensitivity study re-scores candidates across a grid of these.
+    pub timing: TimingConfig,
 }
 
 impl Default for SweepConfig {
@@ -46,6 +54,7 @@ impl Default for SweepConfig {
             cache_bytes: 4096,
             seed: 7,
             jobs: mpsim::campaign::default_jobs(),
+            timing: TimingConfig::default(),
         }
     }
 }
@@ -88,18 +97,36 @@ pub fn sweep_one(cfg: &SweepConfig, protocol: &str, workload: &str) -> Result<Sw
     if !WORKLOADS.contains(&workload) {
         return Err(format!("unknown workload `{workload}`"));
     }
-    let mut sys = homogeneous_system(
-        protocol,
-        cfg.cpus,
-        cfg.cache_bytes,
-        LINE,
-        TimingConfig::default(),
-        false,
-    );
+    let sys = homogeneous_system(protocol, cfg.cpus, cfg.cache_bytes, LINE, cfg.timing, false);
+    Ok(measure(cfg, sys, protocol, workload))
+}
+
+/// Scores one candidate [`PolicyTable`] under a workload — the synth
+/// subsystem's fitness function. Identical machinery to [`sweep_one`]
+/// (same machine shape, timed model and cost knobs), but the protocol is
+/// the given table interpreted by the generic `TablePolicy` engine rather
+/// than a shipped protocol looked up by name.
+///
+/// # Errors
+///
+/// Returns a message for an unknown workload name.
+pub fn table_fitness(
+    cfg: &SweepConfig,
+    table: PolicyTable,
+    workload: &str,
+) -> Result<SweepRow, String> {
+    if !WORKLOADS.contains(&workload) {
+        return Err(format!("unknown workload `{workload}`"));
+    }
+    let sys = homogeneous_table_system(table, cfg.cpus, cfg.cache_bytes, LINE, cfg.timing, false);
+    Ok(measure(cfg, sys, table.name(), workload))
+}
+
+fn measure(cfg: &SweepConfig, mut sys: mpsim::System, protocol: &str, workload: &str) -> SweepRow {
     let mut streams = workload_streams(workload, cfg.cpus, LINE, cfg.seed);
     let timed = sys.run_timed(&mut streams, cfg.steps, CPU_WORK_NS);
     let total = sys.total_stats();
-    Ok(SweepRow {
+    SweepRow {
         protocol: protocol.to_string(),
         workload: workload.to_string(),
         accesses: timed.total_refs,
@@ -114,7 +141,7 @@ pub fn sweep_one(cfg: &SweepConfig, protocol: &str, workload: &str) -> Result<Sw
         miss_ratio: 1.0 - total.hit_ratio(),
         phase_p50: timed.phase_hist.p50s(),
         phase_p99: timed.phase_hist.p99s(),
-    })
+    }
 }
 
 /// Runs the whole sweep, sharded over `cfg.jobs` workers. Rows come back in
@@ -141,9 +168,10 @@ pub fn sweep(cfg: &SweepConfig) -> Result<Vec<SweepRow>, String> {
         .collect()
 }
 
-/// Renders the rows as a JSON document (hand-rolled: the workspace carries
-/// no serialisation dependency). Floats are printed with fixed precision so
-/// the bytes are stable across runs and worker counts.
+/// Renders the rows as a JSON document via the shared hand-rolled writer
+/// ([`moesi::json`]; the workspace carries no serialisation dependency).
+/// Floats are printed with fixed precision so the bytes are stable across
+/// runs and worker counts.
 #[must_use]
 pub fn sweep_json(cfg: &SweepConfig, rows: &[SweepRow]) -> String {
     let mut out = String::from("{\n");
@@ -153,31 +181,25 @@ pub fn sweep_json(cfg: &SweepConfig, rows: &[SweepRow]) -> String {
     ));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let row = JsonObject::new()
+            .string("protocol", &r.protocol)
+            .string("workload", &r.workload)
+            .number("accesses", r.accesses)
+            .number("wall_ns", r.wall_ns)
+            .number("busy_ns", r.busy_ns)
+            .number("wait_ns", r.wait_ns)
+            .fixed("accesses_per_sec", r.accesses_per_sec, 3)
+            .fixed("miss_ratio", r.miss_ratio, 6)
+            .raw("phase_p50_ns", &array_u64(&r.phase_p50))
+            .raw("phase_p99_ns", &array_u64(&r.phase_p99))
+            .finish();
         out.push_str(&format!(
-            "    {{\"protocol\": \"{}\", \"workload\": \"{}\", \"accesses\": {}, \
-             \"wall_ns\": {}, \"busy_ns\": {}, \"wait_ns\": {}, \
-             \"accesses_per_sec\": {:.3}, \"miss_ratio\": {:.6}, \
-             \"phase_p50_ns\": {}, \"phase_p99_ns\": {}}}{}\n",
-            r.protocol,
-            r.workload,
-            r.accesses,
-            r.wall_ns,
-            r.busy_ns,
-            r.wait_ns,
-            r.accesses_per_sec,
-            r.miss_ratio,
-            json_array(&r.phase_p50),
-            json_array(&r.phase_p99),
+            "    {row}{}\n",
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
     out
-}
-
-fn json_array(values: &[Nanos]) -> String {
-    let body: Vec<String> = values.iter().map(|v| v.to_string()).collect();
-    format!("[{}]", body.join(", "))
 }
 
 /// Renders the rows as an aligned text table grouped by workload.

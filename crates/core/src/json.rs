@@ -1,0 +1,152 @@
+//! Minimal hand-rolled JSON building blocks.
+//!
+//! The workspace deliberately carries no serialisation dependency, so every
+//! JSON emitter — the bench sweep, the fault campaign's Chrome trace writer
+//! and the synth reports — was hand-assembling `{...}` strings. This module
+//! is the one shared helper they all use: a [`JsonObject`] builder with the
+//! house style (`", "` separators, `"key": value` spacing, fixed-precision
+//! floats so output bytes are stable across runs and worker counts) plus
+//! string escaping and a numeric-array renderer.
+//!
+//! # Examples
+//!
+//! ```
+//! use moesi::json::{array_u64, JsonObject};
+//!
+//! let obj = JsonObject::new()
+//!     .string("protocol", "moesi")
+//!     .number("accesses", 1200)
+//!     .fixed("miss_ratio", 0.25, 6)
+//!     .raw("phase_p50_ns", &array_u64(&[50, 100]))
+//!     .finish();
+//! assert_eq!(
+//!     obj,
+//!     r#"{"protocol": "moesi", "accesses": 1200, "miss_ratio": 0.250000, "phase_p50_ns": [50, 100]}"#
+//! );
+//! ```
+
+use std::fmt::{Display, Write};
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes,
+/// backslashes and control characters).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a numeric slice as a JSON array in the house style: `[1, 2, 3]`.
+#[must_use]
+pub fn array_u64(values: &[u64]) -> String {
+    let body: Vec<String> = values.iter().map(u64::to_string).collect();
+    format!("[{}]", body.join(", "))
+}
+
+/// An incremental JSON object builder. Fields appear in insertion order,
+/// separated by `", "`, with a space after each key's colon.
+#[derive(Clone, Debug, Default)]
+pub struct JsonObject {
+    body: String,
+}
+
+impl JsonObject {
+    /// An empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.body.is_empty() {
+            self.body.push_str(", ");
+        }
+        let _ = write!(self.body, "\"{key}\": ");
+    }
+
+    /// Adds a string field, escaped and quoted.
+    #[must_use]
+    pub fn string(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        let _ = write!(self.body, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Adds a numeric (or other `Display`-rendered, JSON-safe) field.
+    #[must_use]
+    pub fn number(mut self, key: &str, value: impl Display) -> Self {
+        self.key(key);
+        let _ = write!(self.body, "{value}");
+        self
+    }
+
+    /// Adds a float with exactly `decimals` digits after the point, so the
+    /// rendered bytes are identical wherever the value is recomputed.
+    #[must_use]
+    pub fn fixed(mut self, key: &str, value: f64, decimals: usize) -> Self {
+        self.key(key);
+        let _ = write!(self.body, "{value:.decimals$}");
+        self
+    }
+
+    /// Adds a preformatted value verbatim (a nested array or object).
+    #[must_use]
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.body.push_str(value);
+        self
+    }
+
+    /// Closes the object and returns its text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\n\t\r"), "x\\n\\t\\r");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn object_builder_matches_the_house_style() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        let obj = JsonObject::new()
+            .string("name", "snoop-resolve")
+            .number("tid", 3)
+            .fixed("ratio", 0.5, 3)
+            .raw("tags", "[1, 2]")
+            .finish();
+        assert_eq!(
+            obj,
+            r#"{"name": "snoop-resolve", "tid": 3, "ratio": 0.500, "tags": [1, 2]}"#
+        );
+    }
+
+    #[test]
+    fn arrays_render_with_comma_space() {
+        assert_eq!(array_u64(&[]), "[]");
+        assert_eq!(array_u64(&[7]), "[7]");
+        assert_eq!(array_u64(&[1, 2, 3]), "[1, 2, 3]");
+    }
+}

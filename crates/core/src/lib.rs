@@ -49,10 +49,12 @@ mod action;
 pub mod compat;
 pub mod dot;
 mod event;
+pub mod json;
 pub mod policy;
 mod protocol;
 pub mod protocols;
 pub mod rng;
+pub mod serialize;
 mod signals;
 mod state;
 pub mod table;
@@ -61,6 +63,7 @@ pub use action::{BusOp, BusReaction, BusyPush, LocalAction, ResultState};
 pub use event::{BusEvent, LocalEvent};
 pub use policy::{CellEvent, DynamicPolicy, IllegalCell, PolicyTable, TablePolicy};
 pub use protocol::{CacheKind, LocalCtx, Protocol, SnoopCtx};
+pub use serialize::{parse_member_tables, parse_table, parse_tables, TableParseError};
 pub use signals::{ConsistencyLine, MasterSignals, ResponseSignals};
 pub use state::{Characteristics, LineState, ParseLineStateError};
 

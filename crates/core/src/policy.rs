@@ -211,6 +211,14 @@ impl PolicyTable {
         self
     }
 
+    /// Returns this table under a different protocol name (the cells are
+    /// unchanged). Synthesized tables are renamed per workload this way.
+    #[must_use]
+    pub fn renamed(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
+    }
+
     /// The chosen local action for `(state, event)`, or `None` for `—`.
     #[must_use]
     pub fn local(&self, state: LineState, event: LocalEvent) -> Option<LocalAction> {
@@ -370,6 +378,49 @@ impl PolicyTable {
     #[must_use]
     pub fn is_class_member(&self) -> bool {
         self.class_violations().is_empty()
+    }
+
+    /// Every table one in-class cell change away from this one: for each
+    /// *populated* cell, each permitted Table 1/2 alternative to the current
+    /// entry yields one neighbor (the search space of the synth subsystem).
+    ///
+    /// Neighbors come back in table order (states in MOESI order, local
+    /// events before bus events, alternatives in permitted-set order), so the
+    /// enumeration is deterministic. Unpopulated (`—`) cells are never
+    /// filled and populated cells never cleared: the class defines no
+    /// permitted entry for `—` cells, and clearing a cell only removes
+    /// behaviour. Because alternatives are drawn from the permitted sets,
+    /// every neighbor of a class member is itself a class member.
+    #[must_use]
+    pub fn neighbors(&self) -> Vec<PolicyTable> {
+        let mut out = Vec::new();
+        for state in LineState::ALL {
+            for event in LocalEvent::ALL {
+                let Some(current) = self.local(state, event) else {
+                    continue;
+                };
+                for alt in table::permitted_local(state, event, self.kind) {
+                    if alt != current {
+                        let mut t = *self;
+                        t.set_local_unchecked(state, event, alt);
+                        out.push(t);
+                    }
+                }
+            }
+            for event in BusEvent::ALL {
+                let Some(current) = self.bus(state, event) else {
+                    continue;
+                };
+                for alt in table::permitted_bus(state, event) {
+                    if alt != current {
+                        let mut t = *self;
+                        t.set_bus_unchecked(state, event, alt);
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Renders the table in the paper's Tables 3–7 layout: one chosen entry
@@ -734,6 +785,66 @@ mod tests {
         // (E, Pass) and (M, CA,IM,BC) are `—`.
         assert!(text.contains('-'));
         assert_eq!(text.lines().count(), 1 + 1 + 1 + 5 + 1 + 1 + 5);
+    }
+
+    #[test]
+    fn renamed_changes_only_the_name() {
+        let t = PolicyTable::preferred("MOESI", CacheKind::CopyBack);
+        let r = t.renamed("synth-general");
+        assert_eq!(r.name(), "synth-general");
+        assert_eq!(r.kind(), t.kind());
+        for state in LineState::ALL {
+            for event in LocalEvent::ALL {
+                assert_eq!(r.local(state, event), t.local(state, event));
+            }
+            for event in BusEvent::ALL {
+                assert_eq!(r.bus(state, event), t.bus(state, event));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_differ_in_exactly_one_cell_and_stay_in_class() {
+        let base = PolicyTable::preferred("MOESI", CacheKind::CopyBack);
+        let neighbors = base.neighbors();
+        assert!(!neighbors.is_empty());
+        for n in &neighbors {
+            assert!(n.is_class_member(), "neighbor fell out of the class");
+            assert_eq!(n.populated_cells(), base.populated_cells());
+            let mut diffs = 0;
+            for state in LineState::ALL {
+                for event in LocalEvent::ALL {
+                    if n.local(state, event) != base.local(state, event) {
+                        diffs += 1;
+                    }
+                }
+                for event in BusEvent::ALL {
+                    if n.bus(state, event) != base.bus(state, event) {
+                        diffs += 1;
+                    }
+                }
+            }
+            assert_eq!(diffs, 1, "a neighbor must differ in exactly one cell");
+        }
+        // The enumeration is exactly "one alternative per populated cell":
+        // its size is the sum over populated cells of |permitted| - 1.
+        let mut expected = 0;
+        for state in LineState::ALL {
+            for event in LocalEvent::ALL {
+                if base.local(state, event).is_some() {
+                    expected += table::permitted_local(state, event, base.kind()).len() - 1;
+                }
+            }
+            for event in BusEvent::ALL {
+                if base.bus(state, event).is_some() {
+                    expected += table::permitted_bus(state, event).len() - 1;
+                }
+            }
+        }
+        assert_eq!(neighbors.len(), expected);
+        // Deterministic order.
+        let again = base.neighbors();
+        assert_eq!(neighbors, again);
     }
 
     #[test]

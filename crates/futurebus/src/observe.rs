@@ -12,14 +12,14 @@
 //! Everything here is zero-dependency and deterministic: histograms use
 //! fixed power-of-two buckets with integer percentile extraction (so merged
 //! shard results are byte-identical for any worker count), and the Chrome
-//! trace-event JSON is hand-rolled in the same style as the benchmark
-//! sweep's writer.
+//! trace-event JSON is assembled with the workspace's one shared
+//! hand-rolled writer, [`moesi::json`].
 
 use crate::timing::Nanos;
 use crate::trace::TraceKind;
 use crate::transaction::LineAddr;
 use crate::Phase;
-use std::fmt::Write as _;
+use moesi::json::JsonObject;
 
 /// Number of power-of-two latency buckets per histogram. Bucket 0 holds
 /// exact zeros; bucket `b >= 1` holds samples in `[2^(b-1), 2^b)`; the last
@@ -231,25 +231,36 @@ impl ChromeTraceWriter {
         self.events += 1;
     }
 
-    /// Appends a complete-duration event (`"ph": "X"`). `name` and `cat`
-    /// must be JSON-safe literals (no quotes or backslashes).
+    /// Appends a complete-duration event (`"ph": "X"`).
     pub fn duration(&mut self, name: &str, cat: &str, tid: usize, ts: Nanos, dur: Nanos) {
-        debug_assert!(!name.contains(['"', '\\']) && !cat.contains(['"', '\\']));
         self.lead_in();
-        let _ = write!(
-            self.out,
-            "  {{\"name\": \"{name}\", \"cat\": \"{cat}\", \"ph\": \"X\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"dur\": {dur}}}"
-        );
+        let event = JsonObject::new()
+            .string("name", name)
+            .string("cat", cat)
+            .string("ph", "X")
+            .number("pid", 0)
+            .number("tid", tid)
+            .number("ts", ts)
+            .number("dur", dur)
+            .finish();
+        self.out.push_str("  ");
+        self.out.push_str(&event);
     }
 
     /// Appends a global instant event (`"ph": "i"`).
     pub fn instant(&mut self, name: &str, cat: &str, tid: usize, ts: Nanos) {
-        debug_assert!(!name.contains(['"', '\\']) && !cat.contains(['"', '\\']));
         self.lead_in();
-        let _ = write!(
-            self.out,
-            "  {{\"name\": \"{name}\", \"cat\": \"{cat}\", \"ph\": \"i\", \"s\": \"g\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}}}"
-        );
+        let event = JsonObject::new()
+            .string("name", name)
+            .string("cat", cat)
+            .string("ph", "i")
+            .string("s", "g")
+            .number("pid", 0)
+            .number("tid", tid)
+            .number("ts", ts)
+            .finish();
+        self.out.push_str("  ");
+        self.out.push_str(&event);
     }
 
     /// Events appended so far.

@@ -24,7 +24,7 @@ use futurebus::fault::{FaultConfig, FaultKind, FaultPlan, FaultRecord, InjectedF
 use futurebus::{BusStats, PhaseHistograms, TimingConfig};
 use moesi::protocols::by_name;
 use moesi::rng::SmallRng;
-use moesi::CacheKind;
+use moesi::{CacheKind, PolicyTable, Protocol, TablePolicy};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -90,6 +90,11 @@ pub struct CampaignConfig {
     pub lines: u64,
     /// Workload seed (the fault seed lives in [`CampaignConfig::faults`]).
     pub seed: u64,
+    /// Loaded policy tables (e.g. synthesized winners) made addressable by
+    /// name: when an entry in [`CampaignConfig::protocols`] matches a
+    /// table's name, the machine runs that table under the generic
+    /// `TablePolicy` engine instead of a shipped protocol.
+    pub tables: Vec<PolicyTable>,
     /// Fault kinds and rates to inject.
     pub faults: FaultConfig,
     /// Worker threads sharding the per-protocol runs. Each protocol's
@@ -114,6 +119,7 @@ impl Default for CampaignConfig {
             steps: 2500,
             lines: 96,
             seed: 0xCA_FE,
+            tables: Vec::new(),
             faults: FaultConfig {
                 glitch_rate: 0.20,
                 stall_rate: 0.0015,
@@ -306,8 +312,12 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, String> {
 fn run_one(cfg: &CampaignConfig, name: &str, run_idx: u64) -> Result<ProtocolRun, String> {
     let controllers: Vec<CacheController> = (0..cfg.cpus)
         .map(|id| {
-            let protocol = by_name(name, cfg.seed.wrapping_add(id as u64))
-                .ok_or_else(|| format!("unknown protocol `{name}`"))?;
+            let protocol: Box<dyn Protocol + Send> =
+                match cfg.tables.iter().find(|t| t.name() == name) {
+                    Some(table) => Box::new(TablePolicy::new(*table)),
+                    None => by_name(name, cfg.seed.wrapping_add(id as u64))
+                        .ok_or_else(|| format!("unknown protocol `{name}`"))?,
+                };
             let cache = (protocol.kind() != CacheKind::NonCaching)
                 .then(|| CacheConfig::new(cfg.cache_bytes, cfg.line_size, 2, ReplacementKind::Lru));
             Ok(CacheController::new(
@@ -488,6 +498,32 @@ mod tests {
             steps: 300,
             ..CampaignConfig::default()
         }
+    }
+
+    #[test]
+    fn loaded_tables_run_under_the_table_engine_by_name() {
+        // A table whose name matches a protocol entry shadows the shipped
+        // registry: the campaign runs it via `TablePolicy` and it must
+        // degrade as gracefully as the hand-written original.
+        let table = PolicyTable::preferred("loaded-preferred", CacheKind::CopyBack);
+        let cfg = CampaignConfig {
+            protocols: vec!["loaded-preferred".into()],
+            tables: vec![table],
+            steps: 300,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&cfg).unwrap();
+        assert_eq!(report.runs[0].protocol, "loaded-preferred");
+        assert!(report.injected() > 0, "faults must land");
+        assert_eq!(report.silent(), 0, "loaded table corrupted silently");
+        // Without the table, the same name is unknown.
+        let missing = CampaignConfig {
+            tables: Vec::new(),
+            ..cfg
+        };
+        assert!(run_campaign(&missing)
+            .unwrap_err()
+            .contains("loaded-preferred"));
     }
 
     #[test]

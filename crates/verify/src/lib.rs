@@ -201,7 +201,14 @@ pub struct MutationRow {
 /// still a class member, so exploration must find no defect for it.
 #[must_use]
 pub fn mutation_sweep(shape: &Shape) -> Vec<MutationRow> {
-    let base = PolicyTable::preferred("mutant", CacheKind::CopyBack);
+    mutation_sweep_of(PolicyTable::preferred("mutant", CacheKind::CopyBack), shape)
+}
+
+/// [`mutation_sweep`] generalised to an arbitrary base table (`moesi-sim
+/// verify --mutate --table FILE`): synthesized winners get the same
+/// single-cell corruption audit as the built-in preferred table.
+#[must_use]
+pub fn mutation_sweep_of(base: PolicyTable, shape: &Shape) -> Vec<MutationRow> {
     let mut rows = Vec::new();
     for state in LineState::ALL {
         for event in LocalEvent::ALL {
@@ -236,18 +243,28 @@ pub fn mutation_sweep(shape: &Shape) -> Vec<MutationRow> {
 
 fn run_mutation(cell: String, table: PolicyTable, shape: &Shape) -> MutationRow {
     let structural = !moesi::compat::check_table(&table).is_class_member();
-    let specs = vec![
-        ModuleSpec::protocol(Box::new(TablePolicy::new(table))),
-        spec_for("moesi").expect("moesi is a known protocol"),
-    ];
-    let mut machine = Machine::new(specs, shape.lines, shape.values);
-    let report = explore(&mut machine, &shape.limits);
+    let report = verify_table(table, shape);
     MutationRow {
         cell,
         structural,
         defect: report.counterexample.map(|cx| cx.defect),
         explored: report.explored,
     }
+}
+
+/// Exhaustively explores one policy table sharing a bus with a clean
+/// preferred-MOESI module — the synth subsystem's deep feasibility oracle,
+/// callable without a CLI run. A clean [`Report`] (no counterexample) means
+/// every schedule the table can produce against a known-good peer preserves
+/// the five shared-image invariants in the modelled configuration.
+#[must_use]
+pub fn verify_table(table: PolicyTable, shape: &Shape) -> Report {
+    let specs = vec![
+        ModuleSpec::protocol(Box::new(TablePolicy::new(table))),
+        spec_for("moesi").expect("moesi is a known protocol"),
+    ];
+    let mut machine = Machine::new(specs, shape.lines, shape.values);
+    explore(&mut machine, &shape.limits)
 }
 
 /// Runs [`verify_pair`] over every unordered pair from `names` (including
@@ -370,6 +387,47 @@ mod tests {
             .find(|r| r.cell == "local (S, Write)")
             .expect("the (S, Write) cell is populated");
         assert!(claimed.structural && claimed.defect.is_some());
+    }
+
+    #[test]
+    fn verify_table_is_the_deep_oracle() {
+        // The preferred table explores clean...
+        let clean = verify_table(
+            PolicyTable::preferred("candidate", CacheKind::CopyBack),
+            &Shape::default(),
+        );
+        assert!(clean.verified(), "{clean}");
+        // ...a corrupted one yields a counterexample.
+        let mut broken = PolicyTable::preferred("broken", CacheKind::CopyBack);
+        broken.set_local_unchecked(
+            LineState::Shareable,
+            LocalEvent::Write,
+            LocalAction::silent(LineState::Modified),
+        );
+        let report = verify_table(broken, &Shape::default());
+        assert!(report.counterexample.is_some(), "{report}");
+    }
+
+    #[test]
+    fn mutation_sweep_of_accepts_arbitrary_bases() {
+        // Berkeley's table is a different class member: its sweep covers its
+        // own populated cells and upholds the same §3.4 invariant.
+        let berkeley = *moesi::protocols::by_name("berkeley", 0)
+            .expect("shipped")
+            .policy_table()
+            .expect("exact table");
+        let rows = mutation_sweep_of(berkeley, &Shape::default());
+        // Berkeley never uses E, so its sweep is smaller than the
+        // preferred table's but still covers every populated cell.
+        assert!(rows.len() >= 25, "only {} mutations", rows.len());
+        for r in &rows {
+            assert!(
+                r.structural || r.defect.is_none(),
+                "in-class mutation {} found {:?}",
+                r.cell,
+                r.defect
+            );
+        }
     }
 
     #[test]

@@ -37,6 +37,8 @@ SUBCOMMANDS:
                       recovery (see `moesi-sim faults --help`)
     bench             run the protocol x workload benchmark sweep
                       (see `moesi-sim bench --help`)
+    synth             search the compatibility class for workload-tuned
+                      policy tables (see `moesi-sim synth --help`)
     table             print protocol policy tables, the paper's Tables 3-7
                       (see `moesi-sim table --help`)
 
@@ -397,6 +399,9 @@ OPTIONS:
                       concrete counterexample per mutation; exits nonzero if
                       a mutation passes the structural check but breaks an
                       invariant
+    --table FILE      with --mutate: read the mutation base from FILE (any
+                      parseable policy table, e.g. a synthesized winner)
+                      instead of the preferred copy-back table
     --jobs N          worker threads sharding the --matrix pairs; the output
                       is identical for any N [default: available cores]
     --seed N          seed for the --trace-out exemplar run [default: its
@@ -415,6 +420,7 @@ struct VerifyConfig {
     max_states: Option<usize>,
     matrix: bool,
     mutate: bool,
+    table: Option<String>,
     jobs: usize,
     seed: Option<u64>,
     trace_out: Option<String>,
@@ -430,6 +436,7 @@ impl Default for VerifyConfig {
             max_states: None,
             matrix: false,
             mutate: false,
+            table: None,
             jobs: mpsim::default_jobs(),
             seed: None,
             trace_out: None,
@@ -492,9 +499,13 @@ fn parse_verify_args(args: &[String]) -> Result<VerifyConfig, String> {
             }
             "--matrix" => cfg.matrix = true,
             "--mutate" => cfg.mutate = true,
+            "--table" => cfg.table = Some(value("--table")?.clone()),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }
+    }
+    if cfg.table.is_some() && !cfg.mutate {
+        return Err("--table requires --mutate".to_string());
     }
     if let Some(jobs) = common.jobs {
         cfg.jobs = jobs;
@@ -547,11 +558,25 @@ fn run_verify_matrix(shape: &verify::Shape, jobs: usize) -> Result<(), String> {
     Ok(())
 }
 
-fn run_verify_mutations(shape: &verify::Shape) -> Result<(), String> {
-    println!(
-        "single-cell mutations of the preferred copy-back table, next to a clean MOESI module\n"
-    );
-    let rows = verify::mutation_sweep(shape);
+fn run_verify_mutations(shape: &verify::Shape, table: Option<&str>) -> Result<(), String> {
+    let rows = match table {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let base = moesi::parse_table(&text).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "single-cell mutations of `{}` (from {path}), next to a clean MOESI module\n",
+                base.name()
+            );
+            verify::mutation_sweep_of(base, shape)
+        }
+        None => {
+            println!(
+                "single-cell mutations of the preferred copy-back table, next to a clean MOESI module\n"
+            );
+            verify::mutation_sweep(shape)
+        }
+    };
     let mut missed = 0usize;
     for row in &rows {
         let structural = if row.structural {
@@ -601,7 +626,7 @@ fn run_verify(cfg: &VerifyConfig) -> Result<(), String> {
     }
     let shape = verify_shape(cfg);
     if cfg.mutate {
-        return run_verify_mutations(&shape);
+        return run_verify_mutations(&shape, cfg.table.as_deref());
     }
     if cfg.matrix {
         return run_verify_matrix(&shape, cfg.jobs);
@@ -820,6 +845,7 @@ fn campaign_config(cfg: &FaultsConfig) -> CampaignConfig {
         steps: cfg.steps,
         lines: cfg.lines,
         seed: cfg.seed,
+        tables: Vec::new(),
         faults,
         jobs: cfg.jobs,
     }
@@ -949,6 +975,7 @@ fn sweep_config(cfg: &BenchCliConfig) -> bench::sweep::SweepConfig {
         cache_bytes: cfg.cache_bytes,
         seed: cfg.seed,
         jobs: cfg.jobs,
+        timing: base.timing,
     }
 }
 
@@ -989,6 +1016,193 @@ fn run_bench(cfg: &BenchCliConfig) -> Result<(), String> {
                 ..mpsim::TraceRunConfig::default()
             },
         )?;
+    }
+    Ok(())
+}
+
+const SYNTH_USAGE: &str = "\
+moesi-sim synth: search the compatibility class for workload-tuned tables
+
+Hill-climbs over the permitted sets per (state, event) cell of the class,
+one search per workload: the starting pool is every shipped exact-table
+copy-back class member, candidate fitness is timed-model throughput on the
+target workload, and each winner is audited structurally, by bounded
+exhaustive exploration against a MOESI peer, and by a fault-injection
+campaign that must report zero silent corruption. Candidate evaluations
+shard across a worker pool; all output is byte-identical for any --jobs
+value.
+
+USAGE:
+    moesi-sim synth [OPTIONS]
+
+OPTIONS:
+    --workload LIST   comma-separated workloads to synthesize for
+                      [default: all six]
+    --cpus N          processors per fitness machine [default: 4]
+    --steps N         references per processor per evaluation [default: 2000]
+    --cache-bytes N   per-node cache capacity [default: 2048]
+    --rounds N        maximum improving hill-climb steps per workload
+                      (0 = just pick the best starting table) [default: 4]
+    --campaign-steps N
+                      accesses per machine in the audit fault campaign
+                      [default: 2500]
+    --sensitivity     also run the section 5.2 cost-ratio study: re-score
+                      each winner and the pool across a 27-point grid of
+                      bus/memory/cache cost scales and report where the
+                      winner flips
+    --seed N          workload seed for every evaluation [default: 7]
+    --jobs N          worker threads sharding evaluations [default:
+                      available cores]
+    --out PATH        write the winners as a parseable policy-table document
+    --json-out PATH   write the full report as JSON
+    --help            print this help
+";
+
+#[derive(Clone, Debug, PartialEq)]
+struct SynthCliConfig {
+    workloads: Option<Vec<String>>,
+    cpus: usize,
+    steps: u64,
+    cache_bytes: usize,
+    rounds: usize,
+    campaign_steps: u64,
+    sensitivity: bool,
+    seed: u64,
+    jobs: usize,
+    out: Option<String>,
+    json_out: Option<String>,
+}
+
+impl Default for SynthCliConfig {
+    fn default() -> Self {
+        let base = synth::SynthConfig::default();
+        SynthCliConfig {
+            workloads: None,
+            cpus: base.cpus,
+            steps: base.steps,
+            cache_bytes: base.cache_bytes,
+            rounds: base.rounds,
+            campaign_steps: base.campaign_steps,
+            sensitivity: false,
+            seed: base.seed,
+            jobs: base.jobs,
+            out: None,
+            json_out: None,
+        }
+    }
+}
+
+fn parse_synth_args(args: &[String]) -> Result<SynthCliConfig, String> {
+    let mut cfg = SynthCliConfig::default();
+    let mut common = CommonOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if common.try_consume(arg, &mut it)? {
+            continue;
+        }
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let number = |name: &str, v: &str| -> Result<u64, String> {
+            let n: u64 = v.parse().map_err(|_| format!("{name} expects a number"))?;
+            if n == 0 {
+                return Err(format!("{name} must be at least 1"));
+            }
+            Ok(n)
+        };
+        match arg.as_str() {
+            "--workload" => {
+                let items: Vec<String> = value("--workload")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if items.is_empty() {
+                    return Err("--workload list is empty".to_string());
+                }
+                cfg.workloads = Some(items);
+            }
+            "--cpus" => cfg.cpus = number("--cpus", value("--cpus")?)? as usize,
+            "--steps" => cfg.steps = number("--steps", value("--steps")?)?,
+            "--cache-bytes" => {
+                cfg.cache_bytes = number("--cache-bytes", value("--cache-bytes")?)? as usize;
+            }
+            "--rounds" => {
+                // 0 is meaningful: no climbing, just pick the best start.
+                cfg.rounds = value("--rounds")?
+                    .parse()
+                    .map_err(|_| "--rounds expects a number".to_string())?;
+            }
+            "--campaign-steps" => {
+                cfg.campaign_steps = number("--campaign-steps", value("--campaign-steps")?)?;
+            }
+            "--sensitivity" => cfg.sensitivity = true,
+            "--out" => cfg.out = Some(value("--out")?.clone()),
+            "--json-out" => cfg.json_out = Some(value("--json-out")?.clone()),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if common.trace_out.is_some() {
+        return Err("--trace-out is not supported by synth".to_string());
+    }
+    if let Some(seed) = common.seed {
+        cfg.seed = seed;
+    }
+    if let Some(jobs) = common.jobs {
+        cfg.jobs = jobs;
+    }
+    Ok(cfg)
+}
+
+fn synth_config(cfg: &SynthCliConfig) -> synth::SynthConfig {
+    let base = synth::SynthConfig::default();
+    synth::SynthConfig {
+        workloads: cfg.workloads.clone().unwrap_or(base.workloads),
+        cpus: cfg.cpus,
+        steps: cfg.steps,
+        cache_bytes: cfg.cache_bytes,
+        rounds: cfg.rounds,
+        seed: cfg.seed,
+        jobs: cfg.jobs,
+        timing: base.timing,
+        campaign_steps: cfg.campaign_steps,
+    }
+}
+
+fn run_synth(cfg: &SynthCliConfig) -> Result<(), String> {
+    let synth_cfg = synth_config(cfg);
+    let report = synth::synthesize(&synth_cfg)?;
+    print!("{}", synth::render_report(&report));
+    let sens = if cfg.sensitivity {
+        let rows = synth::sensitivity(&synth_cfg, &report)?;
+        print!("{}", synth::render_sensitivity(&rows));
+        Some(rows)
+    } else {
+        None
+    };
+    if let Some(path) = &cfg.out {
+        std::fs::write(path, synth::tables_document(&report))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &cfg.json_out {
+        let json = synth::report_json(&synth_cfg, &report, sens.as_deref());
+        std::fs::write(path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(bad) = report
+        .outcomes
+        .iter()
+        .find(|o| o.structural_violations > 0 || !o.exhaustive_clean)
+    {
+        return Err(format!("winner `{}` failed its audit", bad.winner.name()));
+    }
+    if report.faults_silent > 0 {
+        return Err(format!(
+            "fault campaign observed {} silent corruption(s)",
+            report.faults_silent
+        ));
     }
     Ok(())
 }
@@ -1170,6 +1384,25 @@ fn main() -> ExitCode {
             }
             Err(msg) => {
                 eprintln!("error: {msg}\n\n{BENCH_USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("synth") {
+        return match parse_synth_args(&args[1..]) {
+            Ok(cfg) => match run_synth(&cfg) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(msg) if msg.is_empty() => {
+                print!("{SYNTH_USAGE}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{SYNTH_USAGE}");
                 ExitCode::from(2)
             }
         };
@@ -1567,6 +1800,102 @@ mod tests {
             ..VerifyConfig::default()
         })
         .expect("every in-class mutation verifies clean");
+    }
+
+    #[test]
+    fn verify_mutate_accepts_a_loaded_table() {
+        let path = std::env::temp_dir().join("moesi_sim_verify_table_smoke.txt");
+        let berkeley = by_name("berkeley", 0).unwrap();
+        std::fs::write(&path, berkeley.policy_table().unwrap().render()).unwrap();
+        let cfg = parse_verify_args(&args(&format!(
+            "--mutate --table {}",
+            path.to_string_lossy()
+        )))
+        .expect("valid");
+        assert!(cfg.mutate);
+        run_verify(&cfg).expect("Berkeley-based mutation sweep runs clean");
+        let _ = std::fs::remove_file(&path);
+        // --table without --mutate is a usage error, caught at parse time.
+        assert!(parse_verify_args(&args("--table foo.txt"))
+            .unwrap_err()
+            .contains("requires --mutate"));
+        // An unreadable file is a run-time error.
+        let err = run_verify(&VerifyConfig {
+            mutate: true,
+            table: Some("/nonexistent/table.txt".to_string()),
+            ..VerifyConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn synth_defaults_and_full_option_set_parse() {
+        assert_eq!(
+            parse_synth_args(&[]).expect("empty"),
+            SynthCliConfig::default()
+        );
+        let cfg = parse_synth_args(&args(
+            "--workload ping-pong,general --cpus 2 --steps 80 --cache-bytes 1024 \
+             --rounds 0 --campaign-steps 300 --sensitivity --seed 5 --jobs 2 \
+             --out /tmp/s.txt --json-out /tmp/s.json",
+        ))
+        .expect("valid");
+        assert_eq!(
+            cfg.workloads,
+            Some(vec!["ping-pong".into(), "general".into()])
+        );
+        assert_eq!((cfg.cpus, cfg.steps, cfg.cache_bytes), (2, 80, 1024));
+        assert_eq!((cfg.rounds, cfg.campaign_steps), (0, 300));
+        assert!(cfg.sensitivity);
+        assert_eq!((cfg.seed, cfg.jobs), (5, 2));
+        assert_eq!(cfg.out.as_deref(), Some("/tmp/s.txt"));
+        assert_eq!(cfg.json_out.as_deref(), Some("/tmp/s.json"));
+        assert!(parse_synth_args(&args("--help")).unwrap_err().is_empty());
+        assert!(parse_synth_args(&args("--bogus"))
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(parse_synth_args(&args("--steps 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_synth_args(&args("--trace-out /tmp/t.json"))
+            .unwrap_err()
+            .contains("not supported"));
+    }
+
+    #[test]
+    fn synth_smoke_run_writes_outputs() {
+        let out = std::env::temp_dir().join("moesi_sim_synth_smoke.txt");
+        let json_out = std::env::temp_dir().join("moesi_sim_synth_smoke.json");
+        let cfg = SynthCliConfig {
+            workloads: Some(vec!["ping-pong".into()]),
+            cpus: 2,
+            steps: 40,
+            rounds: 0,
+            campaign_steps: 150,
+            out: Some(out.to_string_lossy().into_owned()),
+            json_out: Some(json_out.to_string_lossy().into_owned()),
+            ..SynthCliConfig::default()
+        };
+        run_synth(&cfg).expect("synth smoke succeeds");
+        let doc = std::fs::read_to_string(&out).expect("tables written");
+        let tables = moesi::parse_member_tables(&doc).expect("document parses in-class");
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].name(), "synth-ping-pong");
+        let json = std::fs::read_to_string(&json_out).expect("json written");
+        assert!(json.contains("\"winner\": \"synth-ping-pong\""), "{json}");
+        assert!(json.contains("\"faults_silent\": 0"), "{json}");
+        let _ = std::fs::remove_file(&out);
+        let _ = std::fs::remove_file(&json_out);
+        // Unknown workloads are reported.
+        let err = run_synth(&SynthCliConfig {
+            workloads: Some(vec!["zipfian".into()]),
+            out: None,
+            json_out: None,
+            ..cfg
+        })
+        .unwrap_err();
+        assert!(err.contains("zipfian"), "{err}");
     }
 
     #[test]
