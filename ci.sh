@@ -20,6 +20,27 @@ cargo test -q --workspace
 echo "==> fault-injection smoke campaign (fixed seed, fails on silent corruption)"
 ./target/release/moesi-sim faults --seed 7 --steps 800
 
+echo "==> hierarchy fault smoke (fixed seed, >=1000 faults; exits nonzero on silent corruption)"
+hier_j2="$(mktemp)" hier_j1="$(mktemp)"
+./target/release/moesi-sim faults --hierarchy --seed 7 --jobs 2 --json --out "$hier_j2" \
+  | grep -E "faults injected" \
+  || { echo "hierarchy fault smoke produced no report" >&2; exit 1; }
+./target/release/moesi-sim faults --hierarchy --seed 7 --jobs 1 --json --out "$hier_j1" >/dev/null
+cmp "$hier_j2" "$hier_j1" \
+  || { echo "hierarchy faults --jobs 2 diverged from --jobs 1" >&2; exit 1; }
+hier_injected="$(grep -o '"injected": [0-9]*' "$hier_j1" | head -1 | grep -o '[0-9]*$')"
+[ "${hier_injected:-0}" -ge 1000 ] \
+  || { echo "hierarchy smoke injected only ${hier_injected:-0} faults (need >= 1000)" >&2; exit 1; }
+grep -q '"silent": 0' "$hier_j1" \
+  || { echo "hierarchy smoke saw silent corruption" >&2; exit 1; }
+grep -q '"recovery_demonstrated": true' "$hier_j1" \
+  || { echo "liveness probe failed to demonstrate livelock recovery" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "$hier_j1" \
+    || { echo "hierarchy faults output is not valid JSON" >&2; exit 1; }
+fi
+rm -f "$hier_j2" "$hier_j1"
+
 echo "==> policy tables match the committed fixture (paper Tables 3-7)"
 tables_out="$(mktemp)"
 ./target/release/moesi-sim table > "$tables_out"

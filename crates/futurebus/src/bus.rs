@@ -33,7 +33,7 @@
 use crate::fault::{FaultPlan, TxnFaults};
 use crate::memory::SparseMemory;
 use crate::module::BusModule;
-use crate::observe::{PhaseHistograms, TxnPhases};
+use crate::observe::{LatencyHistogram, LivenessMonitor, PhaseHistograms, TxnPhases};
 use crate::phases::TxnContext;
 use crate::stats::BusStats;
 use crate::timing::{Nanos, TimingConfig};
@@ -57,6 +57,17 @@ pub struct RetryPolicy {
     pub backoff_base_ns: Nanos,
     /// Upper bound on any single backoff wait.
     pub backoff_cap_ns: Nanos,
+    /// Naive discipline: every retry waits exactly `backoff_base_ns` and the
+    /// retries stay phase-locked with any periodic interference, so a
+    /// phantom abort storm never drains — the adversarial configuration the
+    /// liveness watchdog exists to catch. Off by default.
+    pub flat_retry: bool,
+    /// Arbitration priority aging (§2.1 fairness): after this many
+    /// consecutive aborts the master's aged priority outranks any phantom
+    /// interferer and the transaction proceeds. Genuine BS aborts are never
+    /// bypassed — a real owner's push is required for correctness. Zero
+    /// disables aging.
+    pub aging_rounds: u32,
 }
 
 impl Default for RetryPolicy {
@@ -65,21 +76,38 @@ impl Default for RetryPolicy {
             max_retries: 16,
             backoff_base_ns: 50,
             backoff_cap_ns: 1600,
+            flat_retry: false,
+            aging_rounds: 0,
         }
     }
 }
 
 impl RetryPolicy {
     /// The wait before retry round `round` (1-based); zero for round 0.
+    /// Flat retry waits the constant base; the default discipline doubles
+    /// up to the cap.
     #[must_use]
     pub fn backoff(&self, round: u32) -> Nanos {
         if round == 0 {
             return 0;
         }
+        if self.flat_retry {
+            return self.backoff_base_ns;
+        }
         let shift = (round - 1).min(20);
         self.backoff_base_ns
             .saturating_mul(1u64 << shift)
             .min(self.backoff_cap_ns)
+    }
+
+    /// The bounded-retry certificate: no transaction ever suffers more than
+    /// this many aborts — it either commits within the bound or fails with
+    /// [`BusError::TooManyRetries`] at `max_retries + 1`. The regression
+    /// suite pins [`BusStats::max_txn_aborts`] against this bound for every
+    /// protocol in the class.
+    #[must_use]
+    pub fn abort_bound(&self) -> u32 {
+        self.max_retries + 1
     }
 }
 
@@ -111,6 +139,8 @@ pub struct Futurebus {
     pub(crate) retired: BTreeSet<usize>,
     pending_stall: Option<(usize, bool)>,
     histograms: PhaseHistograms,
+    retry_hist: LatencyHistogram,
+    liveness: Option<LivenessMonitor>,
     phase_events: Option<Vec<TxnPhases>>,
 }
 
@@ -132,6 +162,8 @@ impl Futurebus {
             retired: BTreeSet::new(),
             pending_stall: None,
             histograms: PhaseHistograms::new(),
+            retry_hist: LatencyHistogram::new(),
+            liveness: None,
             phase_events: None,
         }
     }
@@ -179,11 +211,13 @@ impl Futurebus {
         &self.stats
     }
 
-    /// Resets the statistics and phase histograms (memory contents and any
-    /// collected phase events are kept).
+    /// Resets the statistics, phase histograms and retry histogram (memory
+    /// contents, the liveness ledgers and any collected phase events are
+    /// kept).
     pub fn reset_stats(&mut self) {
         self.stats = BusStats::new();
         self.histograms = PhaseHistograms::new();
+        self.retry_hist = LatencyHistogram::new();
     }
 
     /// Per-phase latency histograms: one sample per phase per transaction
@@ -191,6 +225,34 @@ impl Futurebus {
     #[must_use]
     pub fn phase_histograms(&self) -> &PhaseHistograms {
         &self.histograms
+    }
+
+    /// The retries-per-transaction histogram: one sample per transaction
+    /// (errored included), whose value is the transaction's *abort count* —
+    /// the buckets hold counts, not nanoseconds. The long tail of this
+    /// distribution is where starvation shows before the liveness deadline
+    /// fires.
+    #[must_use]
+    pub fn retry_histogram(&self) -> &LatencyHistogram {
+        &self.retry_hist
+    }
+
+    /// Arms the liveness watchdog: `deadline` consecutive retry-cutoff
+    /// failures by one master with no intervening commit fire a violation
+    /// into [`BusStats::liveness_violations`]. Replaces any previous
+    /// monitor (and its ledgers).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `deadline` is zero.
+    pub fn enable_liveness(&mut self, deadline: u32) {
+        self.liveness = Some(LivenessMonitor::new(deadline));
+    }
+
+    /// The liveness watchdog's ledgers, if armed.
+    #[must_use]
+    pub fn liveness(&self) -> Option<&LivenessMonitor> {
+        self.liveness.as_ref()
     }
 
     /// Starts collecting one [`TxnPhases`] record per *committed*
@@ -221,6 +283,8 @@ impl Futurebus {
             *total += charged;
         }
         self.histograms.record_txn(&ctx.phase_ns);
+        self.retry_hist.record(u64::from(ctx.aborts));
+        self.stats.max_txn_aborts = self.stats.max_txn_aborts.max(u64::from(ctx.aborts));
         if let (Some(kind), Some(events)) = (completed, self.phase_events.as_mut()) {
             events.push(TxnPhases {
                 master: ctx.req.master,
@@ -253,6 +317,13 @@ impl Futurebus {
     #[must_use]
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// Mutable access to the installed fault plan — the hierarchy campaign
+    /// uses the plan's own RNG stream for faults (stale inclusion tags)
+    /// that the bus engine cannot inject itself.
+    pub fn fault_plan_mut(&mut self) -> Option<&mut FaultPlan> {
+        self.faults.as_mut()
     }
 
     /// Arms a one-shot stall: during the next transaction in which `module`
@@ -300,11 +371,26 @@ impl Futurebus {
         let faults = self.decide_faults(req, modules.len());
         let mut ctx = TxnContext::new(req, self.memory.line_size(), faults);
         match self.run_pipeline(&mut ctx, modules) {
-            Ok(()) => Ok(ctx.into_outcome()),
+            Ok(()) => {
+                if let Some(mon) = self.liveness.as_mut() {
+                    mon.record_commit(req.master);
+                }
+                Ok(ctx.into_outcome())
+            }
             Err(err) => {
                 // Every error path still accounts (and observes) the bus
                 // time burned; no phase event, since nothing committed.
                 self.seal_observation(&ctx, None);
+                // Only the retry cutoff is a *liveness* failure — the master
+                // wanted to proceed and the bus starved it. Validation and
+                // protocol errors are the master's (or a snooper's) fault.
+                if matches!(err, BusError::TooManyRetries(_)) {
+                    if let Some(mon) = self.liveness.as_mut() {
+                        if mon.record_failure(req.master) {
+                            self.stats.liveness_violations += 1;
+                        }
+                    }
+                }
                 Err(err)
             }
         }
@@ -606,9 +692,8 @@ mod tests {
     #[test]
     fn backoff_doubles_and_caps() {
         let p = RetryPolicy {
-            max_retries: 16,
-            backoff_base_ns: 50,
             backoff_cap_ns: 300,
+            ..RetryPolicy::default()
         };
         assert_eq!(p.backoff(0), 0);
         assert_eq!(p.backoff(1), 50);
@@ -616,6 +701,19 @@ mod tests {
         assert_eq!(p.backoff(3), 200);
         assert_eq!(p.backoff(4), 300, "capped");
         assert_eq!(p.backoff(40), 300, "huge rounds stay capped");
+        assert_eq!(p.abort_bound(), 17, "commit within 16 or fail at 17");
+    }
+
+    #[test]
+    fn flat_retry_waits_the_constant_base() {
+        let p = RetryPolicy {
+            flat_retry: true,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(0), 0);
+        assert_eq!(p.backoff(1), 50);
+        assert_eq!(p.backoff(2), 50);
+        assert_eq!(p.backoff(40), 50);
     }
 
     #[test]
@@ -850,6 +948,144 @@ mod tests {
         let records = bus.fault_plan().unwrap().records();
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].fault.kind(), FaultKind::AbortStorm);
+    }
+
+    #[test]
+    fn flat_retry_livelocks_where_capped_backoff_drains() {
+        // The same 3-round phantom storm, twice. The capped-backoff
+        // discipline drains it (one round per retry); the naive flat
+        // discipline stays phase-locked with the interference, drains
+        // nothing, and runs straight into the retry cutoff.
+        let storm = FaultConfig {
+            storm_rate: 1.0,
+            max_storm_rounds: 3,
+            ..FaultConfig::default()
+        };
+        let req = TransactionRequest::read(1, 0x40, MasterSignals::CA);
+
+        let mut sane = bus();
+        sane.inject_faults(FaultPlan::new(storm));
+        let mut quiet = Mock::quiet();
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut quiet];
+        let out = sane.execute(&req, &mut mods).unwrap();
+        assert!(out.aborts <= 3, "the storm drained");
+
+        let mut naive = bus();
+        naive.set_retry_policy(RetryPolicy {
+            flat_retry: true,
+            ..RetryPolicy::default()
+        });
+        naive.enable_liveness(1);
+        naive.inject_faults(FaultPlan::new(storm));
+        let mut quiet = Mock::quiet();
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut quiet];
+        let err = naive.execute(&req, &mut mods).unwrap_err();
+        assert_eq!(err, BusError::TooManyRetries(17));
+        assert_eq!(naive.stats().liveness_violations, 1);
+        assert_eq!(naive.stats().max_txn_aborts, 17);
+        assert_eq!(naive.liveness().unwrap().progress(1).failures, 1);
+        // Every flat backoff waited the constant base.
+        assert_eq!(naive.stats().backoff_ns, 16 * 50);
+    }
+
+    #[test]
+    fn priority_aging_recovers_a_storm_longer_than_the_retry_budget() {
+        // A 32-round phantom storm outlasts the 16-retry budget, so even
+        // capped backoff fails — but with priority aging the master's aged
+        // arbitration priority outranks the interferer after 4 rounds and
+        // the transaction proceeds.
+        let storm = FaultConfig {
+            storm_rate: 1.0,
+            max_storm_rounds: 32,
+            ..FaultConfig::default()
+        };
+        let req = TransactionRequest::read(1, 0x40, MasterSignals::CA);
+
+        let mut unaged = bus();
+        unaged.inject_faults(FaultPlan::new(storm));
+        let mut quiet = Mock::quiet();
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut quiet];
+        let err = unaged.execute(&req, &mut mods).unwrap_err();
+        assert_eq!(err, BusError::TooManyRetries(17));
+
+        let mut aged = bus();
+        aged.set_retry_policy(RetryPolicy {
+            aging_rounds: 4,
+            ..RetryPolicy::default()
+        });
+        aged.enable_liveness(1);
+        aged.inject_faults(FaultPlan::new(storm));
+        let mut quiet = Mock::quiet();
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut quiet];
+        let out = aged.execute(&req, &mut mods).unwrap();
+        assert_eq!(out.aborts, 4, "promoted after exactly aging_rounds");
+        assert_eq!(aged.stats().aging_promotions, 1);
+        assert_eq!(aged.stats().liveness_violations, 0);
+        assert_eq!(aged.liveness().unwrap().progress(1).commits, 1);
+    }
+
+    #[test]
+    fn aging_never_bypasses_a_genuine_bs_push() {
+        // Three genuine BS aborts in a row (a real owner pushing each time)
+        // must all run their pushes even with aggressive aging configured.
+        struct BusyThrice(u32);
+        impl BusModule for BusyThrice {
+            fn snoop(&mut self, _req: &TransactionRequest) -> ResponseSignals {
+                if self.0 > 0 {
+                    self.0 -= 1;
+                    ResponseSignals {
+                        bs: true,
+                        ..ResponseSignals::NONE
+                    }
+                } else {
+                    ResponseSignals::NONE
+                }
+            }
+            fn prepare_push(&mut self, _addr: u64) -> Option<PushWrite> {
+                Some(PushWrite {
+                    data: vec![0xAB; 16].into_boxed_slice(),
+                    signals: MasterSignals::CA,
+                })
+            }
+            fn complete(&mut self, _req: &TransactionRequest, _obs: &BusObservation<'_>) {}
+        }
+        let mut bus = bus();
+        bus.set_retry_policy(RetryPolicy {
+            aging_rounds: 1,
+            ..RetryPolicy::default()
+        });
+        let mut owner = BusyThrice(3);
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut owner];
+        let out = bus
+            .execute(
+                &TransactionRequest::read(1, 0x40, MasterSignals::CA),
+                &mut mods,
+            )
+            .unwrap();
+        assert_eq!(out.aborts, 3, "all genuine aborts ran");
+        assert_eq!(bus.stats().pushes, 3);
+        assert_eq!(bus.stats().aging_promotions, 0);
+    }
+
+    #[test]
+    fn retry_histogram_samples_every_transaction() {
+        let mut bus = bus();
+        bus.inject_faults(FaultPlan::new(FaultConfig {
+            storm_rate: 1.0,
+            max_storm_rounds: 2,
+            ..FaultConfig::default()
+        }));
+        let mut quiet = Mock::quiet();
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut quiet];
+        let out = bus
+            .execute(
+                &TransactionRequest::read(1, 0x40, MasterSignals::CA),
+                &mut mods,
+            )
+            .unwrap();
+        assert_eq!(bus.retry_histogram().samples(), 1);
+        assert_eq!(bus.retry_histogram().sum_ns(), u64::from(out.aborts));
+        assert_eq!(bus.stats().max_txn_aborts, u64::from(out.aborts));
     }
 
     #[test]

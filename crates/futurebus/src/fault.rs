@@ -42,16 +42,29 @@ pub enum FaultKind {
     AbortStorm,
     /// A soft error flips bits in a resident memory line.
     CorruptMemory,
+    /// A segment bridge hangs on the parent bus but its directory and mirror
+    /// stay readable: the parent watchdog salvages the dirty lines its
+    /// cluster owned before retiring it to memory-direct degraded mode.
+    BridgeStall,
+    /// A segment bridge dies outright: its cluster's dirty lines are lost
+    /// (reported, never silent) and the cluster degrades to memory-direct.
+    BridgeKill,
+    /// A soft error corrupts a bridge's inclusion tag: the cached
+    /// cluster-level state of a resident line flips to a bogus value.
+    StaleTag,
 }
 
 impl FaultKind {
     /// Every fault kind, in declaration order.
-    pub const ALL: [FaultKind; 5] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::Glitch,
         FaultKind::Stall,
         FaultKind::Kill,
         FaultKind::AbortStorm,
         FaultKind::CorruptMemory,
+        FaultKind::BridgeStall,
+        FaultKind::BridgeKill,
+        FaultKind::StaleTag,
     ];
 }
 
@@ -63,6 +76,9 @@ impl fmt::Display for FaultKind {
             FaultKind::Kill => "kill",
             FaultKind::AbortStorm => "abort-storm",
             FaultKind::CorruptMemory => "corrupt-memory",
+            FaultKind::BridgeStall => "bridge-stall",
+            FaultKind::BridgeKill => "bridge-kill",
+            FaultKind::StaleTag => "stale-tag",
         })
     }
 }
@@ -89,6 +105,13 @@ pub struct FaultConfig {
     /// Upper bound on phantom BS rounds per storm (each storm draws
     /// uniformly from `1..=max_storm_rounds`).
     pub max_storm_rounds: u32,
+    /// Probability of corrupting a bridge inclusion tag per hierarchy
+    /// access (consumed by the hierarchy driver, not the bus pipeline).
+    pub stale_tag_rate: f64,
+    /// When true the plan's stall/kill victims are segment *bridges* on a
+    /// parent bus, so the watchdog records retirements as
+    /// [`FaultKind::BridgeStall`] / [`FaultKind::BridgeKill`].
+    pub bridges: bool,
 }
 
 impl Default for FaultConfig {
@@ -101,20 +124,25 @@ impl Default for FaultConfig {
             storm_rate: 0.0,
             corrupt_rate: 0.0,
             max_storm_rounds: 8,
+            stale_tag_rate: 0.0,
+            bridges: false,
         }
     }
 }
 
 impl FaultConfig {
-    /// Returns this config with the given kind's rate set.
+    /// Returns this config with the given kind's rate set. The bridge
+    /// variants share the stall/kill rate fields — which family the
+    /// watchdog records is governed by [`FaultConfig::bridges`].
     #[must_use]
     pub fn with_rate(mut self, kind: FaultKind, rate: f64) -> Self {
         match kind {
             FaultKind::Glitch => self.glitch_rate = rate,
-            FaultKind::Stall => self.stall_rate = rate,
-            FaultKind::Kill => self.kill_rate = rate,
+            FaultKind::Stall | FaultKind::BridgeStall => self.stall_rate = rate,
+            FaultKind::Kill | FaultKind::BridgeKill => self.kill_rate = rate,
             FaultKind::AbortStorm => self.storm_rate = rate,
             FaultKind::CorruptMemory => self.corrupt_rate = rate,
+            FaultKind::StaleTag => self.stale_tag_rate = rate,
         }
         self
     }
@@ -175,6 +203,35 @@ pub enum InjectedFault {
         /// XOR mask applied to that byte (never zero).
         mask: u8,
     },
+    /// A segment bridge hung on the parent bus; the watchdog retired it
+    /// (degrading its whole cluster to memory-direct) and salvaged the
+    /// listed cluster-owned dirty lines to parent memory.
+    BridgeStall {
+        /// The retired bridge's parent-bus module index.
+        bridge: usize,
+        /// Dirty lines the watchdog pushed to parent memory on its behalf.
+        salvaged: Vec<LineAddr>,
+    },
+    /// A segment bridge died on the parent bus; the watchdog retired it
+    /// (degrading its cluster to memory-direct) and reports the listed
+    /// cluster-owned dirty lines as lost.
+    BridgeKill {
+        /// The retired bridge's parent-bus module index.
+        bridge: usize,
+        /// Dirty lines whose only up-to-date copy died with the cluster.
+        lost: Vec<LineAddr>,
+    },
+    /// A bridge's inclusion tag for a resident line was corrupted.
+    StaleTag {
+        /// The affected bridge's parent-bus module index.
+        bridge: usize,
+        /// The line whose cluster-level tag flipped.
+        addr: LineAddr,
+        /// The state letter the tag held before the flip.
+        from: char,
+        /// The bogus state letter it flipped to.
+        to: char,
+    },
 }
 
 impl InjectedFault {
@@ -187,6 +244,9 @@ impl InjectedFault {
             InjectedFault::Kill { .. } => FaultKind::Kill,
             InjectedFault::AbortStorm { .. } => FaultKind::AbortStorm,
             InjectedFault::CorruptMemory { .. } => FaultKind::CorruptMemory,
+            InjectedFault::BridgeStall { .. } => FaultKind::BridgeStall,
+            InjectedFault::BridgeKill { .. } => FaultKind::BridgeKill,
+            InjectedFault::StaleTag { .. } => FaultKind::StaleTag,
         }
     }
 }
@@ -210,6 +270,20 @@ impl fmt::Display for InjectedFault {
             InjectedFault::AbortStorm { rounds } => write!(f, "abort storm x{rounds}"),
             InjectedFault::CorruptMemory { addr, offset, mask } => {
                 write!(f, "corrupt @{addr:#x}+{offset} ^{mask:#04x}")
+            }
+            InjectedFault::BridgeStall { bridge, salvaged } => {
+                write!(f, "bridge stall b{bridge} ({} salvaged)", salvaged.len())
+            }
+            InjectedFault::BridgeKill { bridge, lost } => {
+                write!(f, "bridge kill b{bridge} ({} lost)", lost.len())
+            }
+            InjectedFault::StaleTag {
+                bridge,
+                addr,
+                from,
+                to,
+            } => {
+                write!(f, "stale tag b{bridge} @{addr:#x} {from}->{to}")
             }
         }
     }
@@ -334,6 +408,25 @@ impl FaultPlan {
             offset: self.rng.gen_range(0..line_size),
             mask: self.rng.gen_range(1u16..256) as u8,
         }
+    }
+
+    /// Rolls the stale-inclusion-tag dice once. The hierarchy driver calls
+    /// this per access (tags live in the bridges, not on the bus, so the
+    /// bus pipeline never consumes this rate itself).
+    pub fn decide_stale_tag(&mut self) -> bool {
+        self.rng.gen_bool(self.cfg.stale_tag_rate)
+    }
+
+    /// A uniform index into `0..len` from the plan's RNG — lets hierarchy
+    /// drivers pick fault sites (which bridge, which resident tag) from the
+    /// same deterministic stream the plan injects with.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` is zero.
+    pub fn gen_index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "gen_index over an empty range");
+        self.rng.gen_range(0..len)
     }
 
     /// Logs one injected fault, returning its id.

@@ -57,7 +57,8 @@ pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultRecord, InjectedFault};
 pub use memory::SparseMemory;
 pub use module::{BusModule, BusObservation, PushWrite, RetireReport};
 pub use observe::{
-    ChromeTraceWriter, LatencyHistogram, PhaseHistograms, TxnPhases, HISTOGRAM_BUCKETS,
+    ChromeTraceWriter, LatencyHistogram, LivenessMonitor, MasterProgress, PhaseHistograms,
+    TxnPhases, HISTOGRAM_BUCKETS,
 };
 pub use phases::Phase;
 pub use stats::BusStats;

@@ -20,6 +20,7 @@ use crate::trace::TraceKind;
 use crate::transaction::LineAddr;
 use crate::Phase;
 use moesi::json::JsonObject;
+use std::collections::BTreeMap;
 
 /// Number of power-of-two latency buckets per histogram. Bucket 0 holds
 /// exact zeros; bucket `b >= 1` holds samples in `[2^(b-1), 2^b)`; the last
@@ -128,6 +129,115 @@ impl LatencyHistogram {
     #[must_use]
     pub fn p99(&self) -> Nanos {
         self.percentile(99)
+    }
+}
+
+/// One master's progress ledger inside the [`LivenessMonitor`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MasterProgress {
+    /// Transactions this master has committed.
+    pub commits: u64,
+    /// Transactions this master lost to the retry cutoff
+    /// ([`BusError::TooManyRetries`](crate::BusError::TooManyRetries)).
+    pub failures: u64,
+    /// Retry-cutoff failures since the last commit. Reset on commit and on
+    /// each fired violation, so repeated starvation keeps firing.
+    pub consecutive_failures: u32,
+    /// Deadline violations charged to this master.
+    pub violations: u64,
+}
+
+/// A deadline-based livelock/starvation detector over the Abort/Backoff
+/// phase.
+///
+/// The paper's §3.2.2 abort-push-restart makes forward progress a *protocol
+/// obligation*, not a given: a master that keeps losing to BS aborts commits
+/// nothing, and with a naive flat retry discipline it can lose forever. The
+/// monitor keeps one [`MasterProgress`] ledger per master; a commit proves
+/// progress and clears the master's consecutive-failure count, while each
+/// retry-cutoff failure raises it. When the count reaches the configured
+/// deadline, a **liveness violation** fires — the watchdog's verdict that
+/// the master is starved, surfaced in
+/// [`BusStats::liveness_violations`](crate::BusStats) and in the fault
+/// campaign's oracle. Deliberately deadline-based rather than
+/// rate-based: deterministic, seed-stable, and mergeable.
+#[derive(Clone, Debug)]
+pub struct LivenessMonitor {
+    deadline: u32,
+    masters: BTreeMap<usize, MasterProgress>,
+    violations: u64,
+}
+
+impl LivenessMonitor {
+    /// A monitor that declares starvation after `deadline` consecutive
+    /// retry-cutoff failures by one master with no intervening commit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `deadline` is zero (a zero deadline would fire before any
+    /// failure was even possible).
+    #[must_use]
+    pub fn new(deadline: u32) -> Self {
+        assert!(deadline > 0, "liveness deadline must be at least 1");
+        LivenessMonitor {
+            deadline,
+            masters: BTreeMap::new(),
+            violations: 0,
+        }
+    }
+
+    /// The configured deadline (consecutive failures before a violation).
+    #[must_use]
+    pub fn deadline(&self) -> u32 {
+        self.deadline
+    }
+
+    /// Records one committed transaction: progress, so the master's
+    /// consecutive-failure count resets.
+    pub fn record_commit(&mut self, master: usize) {
+        let p = self.masters.entry(master).or_default();
+        p.commits += 1;
+        p.consecutive_failures = 0;
+    }
+
+    /// Records one retry-cutoff failure. Returns `true` when this failure
+    /// reached the deadline and fired a violation (the count then resets so
+    /// continued starvation keeps firing every `deadline` failures).
+    pub fn record_failure(&mut self, master: usize) -> bool {
+        let deadline = self.deadline;
+        let p = self.masters.entry(master).or_default();
+        p.failures += 1;
+        p.consecutive_failures += 1;
+        if p.consecutive_failures >= deadline {
+            p.consecutive_failures = 0;
+            p.violations += 1;
+            self.violations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total violations fired across all masters.
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// The progress ledger for `master` (zeroed if it never transacted).
+    #[must_use]
+    pub fn progress(&self, master: usize) -> MasterProgress {
+        self.masters.get(&master).copied().unwrap_or_default()
+    }
+
+    /// Masters with at least one violation, ascending.
+    #[must_use]
+    pub fn starved(&self) -> Vec<usize> {
+        self.masters
+            .iter()
+            .filter(|(_, p)| p.violations > 0)
+            .map(|(&m, _)| m)
+            .collect()
     }
 }
 
@@ -377,5 +487,39 @@ mod tests {
     fn empty_chrome_trace_is_still_a_document() {
         let text = ChromeTraceWriter::new().finish();
         assert!(text.contains("\"traceEvents\": [\n\n]"), "{text}");
+    }
+
+    #[test]
+    fn liveness_violations_fire_at_the_deadline_and_commits_reset_it() {
+        let mut mon = LivenessMonitor::new(3);
+        assert!(!mon.record_failure(1));
+        assert!(!mon.record_failure(1));
+        // A commit is progress: the streak resets.
+        mon.record_commit(1);
+        assert!(!mon.record_failure(1));
+        assert!(!mon.record_failure(1));
+        assert!(mon.record_failure(1), "third consecutive failure fires");
+        assert_eq!(mon.violations(), 1);
+        assert_eq!(mon.starved(), vec![1]);
+        let p = mon.progress(1);
+        assert_eq!(p.commits, 1);
+        assert_eq!(p.failures, 5);
+        assert_eq!(p.violations, 1);
+        assert_eq!(p.consecutive_failures, 0, "reset after firing");
+        // Continued starvation keeps firing every `deadline` failures.
+        assert!(!mon.record_failure(1));
+        assert!(!mon.record_failure(1));
+        assert!(mon.record_failure(1));
+        assert_eq!(mon.violations(), 2);
+    }
+
+    #[test]
+    fn liveness_ledgers_are_per_master() {
+        let mut mon = LivenessMonitor::new(2);
+        assert!(!mon.record_failure(0));
+        assert!(!mon.record_failure(1));
+        assert!(mon.record_failure(1));
+        assert_eq!(mon.starved(), vec![1], "master 0 is one short");
+        assert_eq!(mon.progress(7), MasterProgress::default(), "never seen");
     }
 }

@@ -297,7 +297,21 @@ impl Futurebus {
             return Ok(Step::Advance);
         }
         if !genuine_bs {
-            ctx.storm_left -= 1;
+            if self.retry.aging_rounds > 0 && ctx.aborts >= self.retry.aging_rounds {
+                // Priority aging: after enough consecutive losses the
+                // master's aged arbitration priority outranks the phantom
+                // interferer and the transaction proceeds. Genuine BS is
+                // never bypassed — a real owner's push is required.
+                ctx.storm_left = 0;
+                self.stats.aging_promotions += 1;
+                return Ok(Step::Advance);
+            }
+            if !self.retry.flat_retry {
+                // Capped exponential backoff desynchronises the retries
+                // from the interference, so the storm drains one round per
+                // retry. A flat retry stays phase-locked and drains nothing.
+                ctx.storm_left -= 1;
+            }
         }
         ctx.aborts += 1;
         self.stats.aborts += 1;
@@ -629,16 +643,26 @@ impl Futurebus {
             ..TraceRecord::for_txn(ctx, TraceKind::Retire)
         });
         if let Some(plan) = self.faults.as_mut() {
-            let fault = if salvage {
-                InjectedFault::Stall {
+            // On a parent bus the snoopers are bridges, and the plan says so;
+            // the record then names the fault for what it is — a whole
+            // cluster's bus adapter dying, not one cache board.
+            let fault = match (plan.config().bridges, salvage) {
+                (false, true) => InjectedFault::Stall {
                     module: victim,
                     salvaged: salvaged_addrs,
-                }
-            } else {
-                InjectedFault::Kill {
+                },
+                (false, false) => InjectedFault::Kill {
                     module: victim,
                     lost: report.lost.clone(),
-                }
+                },
+                (true, true) => InjectedFault::BridgeStall {
+                    bridge: victim,
+                    salvaged: salvaged_addrs,
+                },
+                (true, false) => InjectedFault::BridgeKill {
+                    bridge: victim,
+                    lost: report.lost.clone(),
+                },
             };
             plan.record(ctx.req.master, ctx.req.addr, fault, cost);
         }

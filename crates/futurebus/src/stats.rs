@@ -55,6 +55,17 @@ pub struct BusStats {
     pub lost_lines: u64,
     /// Soft-error corruptions injected into memory lines.
     pub corruptions: u64,
+    /// Liveness-deadline violations: masters whose consecutive-failure run
+    /// in the Abort/Backoff phase reached the configured deadline without
+    /// any committed transaction in between. Kept out of the pinned `Debug`
+    /// (like `phase_ns`): fixtures predate the liveness watchdog.
+    pub liveness_violations: u64,
+    /// The worst abort count any single transaction suffered before
+    /// committing (or giving up). Merged with `max`, not summed.
+    pub max_txn_aborts: u64,
+    /// Aborted masters promoted past phantom interference by arbitration
+    /// priority aging (see `RetryPolicy::aging_rounds`).
+    pub aging_promotions: u64,
     /// `busy_ns` attributed to the pipeline phase that charged it, in
     /// [`Phase::PIPELINE`](crate::Phase::PIPELINE) order. Invariant: the six
     /// entries always sum to exactly `busy_ns` (sub-charges like
@@ -143,6 +154,9 @@ impl AddAssign for BusStats {
         self.salvaged_lines += rhs.salvaged_lines;
         self.lost_lines += rhs.lost_lines;
         self.corruptions += rhs.corruptions;
+        self.liveness_violations += rhs.liveness_violations;
+        self.max_txn_aborts = self.max_txn_aborts.max(rhs.max_txn_aborts);
+        self.aging_promotions += rhs.aging_promotions;
         for (a, b) in self.phase_ns.iter_mut().zip(rhs.phase_ns) {
             *a += b;
         }
@@ -192,6 +206,13 @@ impl fmt::Display for BusStats {
                 self.salvaged_lines,
                 self.lost_lines,
                 self.corruptions
+            )?;
+        }
+        if self.liveness_violations > 0 || self.aging_promotions > 0 {
+            write!(
+                f,
+                "\n     liveness: {} violations, {} aging promotions, worst txn {} aborts",
+                self.liveness_violations, self.aging_promotions, self.max_txn_aborts
             )?;
         }
         Ok(())
@@ -309,5 +330,43 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("2 corruptions"), "{text}");
+    }
+
+    #[test]
+    fn liveness_counters_stay_out_of_the_pinned_debug() {
+        let s = BusStats {
+            liveness_violations: 2,
+            max_txn_aborts: 9,
+            aging_promotions: 4,
+            ..BusStats::new()
+        };
+        let text = format!("{s:?}");
+        assert!(!text.contains("liveness"), "{text}");
+        assert!(!text.contains("aging"), "{text}");
+        assert!(text.ends_with("corruptions: 0 }"), "{text}");
+        let shown = s.to_string();
+        assert!(
+            shown.contains("2 violations, 4 aging promotions, worst txn 9 aborts"),
+            "{shown}"
+        );
+    }
+
+    #[test]
+    fn max_txn_aborts_merges_with_max_not_sum() {
+        let mut a = BusStats {
+            max_txn_aborts: 5,
+            liveness_violations: 1,
+            aging_promotions: 2,
+            ..BusStats::new()
+        };
+        a += BusStats {
+            max_txn_aborts: 3,
+            liveness_violations: 1,
+            aging_promotions: 1,
+            ..BusStats::new()
+        };
+        assert_eq!(a.max_txn_aborts, 5);
+        assert_eq!(a.liveness_violations, 2);
+        assert_eq!(a.aging_promotions, 3);
     }
 }

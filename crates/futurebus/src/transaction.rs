@@ -178,6 +178,27 @@ pub enum BusError {
     },
 }
 
+impl BusError {
+    /// The pipeline phase in which this error arises: validation failures
+    /// never pass arbitration, the retry cutoff fires in abort-backoff, and
+    /// duplicate interveners or protocol violations surface when the data
+    /// has to move (an intervention supply or an abort push). Lets fault
+    /// campaigns classify damage structurally instead of string-matching.
+    #[must_use]
+    pub fn phase(&self) -> crate::Phase {
+        match self {
+            BusError::IllegalSignals(_)
+            | BusError::UnknownMaster(_)
+            | BusError::PayloadOutOfRange { .. }
+            | BusError::UnalignedAddress(_) => crate::Phase::Arbitrate,
+            BusError::TooManyRetries(_) => crate::Phase::AbortBackoff,
+            BusError::MultipleInterveners(_) | BusError::ProtocolError { .. } => {
+                crate::Phase::DataTransfer
+            }
+        }
+    }
+}
+
 impl fmt::Display for BusError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

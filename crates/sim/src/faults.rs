@@ -21,7 +21,8 @@
 
 use cache_array::{CacheConfig, ReplacementKind};
 use futurebus::fault::{FaultConfig, FaultKind, FaultPlan, FaultRecord, InjectedFault};
-use futurebus::{BusStats, PhaseHistograms, TimingConfig};
+use futurebus::{BusStats, PhaseHistograms, RetryPolicy, TimingConfig};
+use moesi::json::{array_u64, JsonObject};
 use moesi::protocols::by_name;
 use moesi::rng::SmallRng;
 use moesi::{CacheKind, PolicyTable, Protocol, TablePolicy};
@@ -31,6 +32,7 @@ use std::fmt;
 use crate::checker::Checker;
 use crate::controller::CacheController;
 use crate::fabric::Fabric;
+use crate::hierarchy::{HierarchicalSystem, HierarchyBuilder, ParentError};
 
 /// How a campaign classified one injected fault.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -485,7 +487,854 @@ fn audit(
                 },
             )
         }
+        // Bridge-level faults only arise on a parent bus whose plan carries
+        // `bridges: true`; a flat campaign never configures one. Classify
+        // defensively so a misconfigured plan is visible, not fatal.
+        InjectedFault::BridgeStall { .. }
+        | InjectedFault::BridgeKill { .. }
+        | InjectedFault::StaleTag { .. } => (
+            FaultClass::Detected,
+            "bridge-level fault on a flat (single-bus) campaign".into(),
+        ),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchy campaign: inject bridge-targeted faults into a two-level machine
+// and prove the partition/recovery machinery never corrupts silently.
+// ---------------------------------------------------------------------------
+
+/// Hierarchy campaign shape: protocols, cluster geometry, workload and fault
+/// rates. The parent bus gets the full plan (`bridges: true`, so stalls and
+/// kills target bridges); each cluster bus gets a derived glitch/storm-only
+/// plan — retiring an individual cache is the flat campaign's subject, here
+/// the bridge is the victim.
+#[derive(Clone, Debug)]
+pub struct HierarchyCampaignConfig {
+    /// Protocol names, one homogeneous hierarchy per entry.
+    pub protocols: Vec<String>,
+    /// Clusters per hierarchy.
+    pub clusters: usize,
+    /// Caching processors per cluster.
+    pub cpus: usize,
+    /// Bytes per line.
+    pub line_size: usize,
+    /// Cache capacity per node in bytes.
+    pub cache_bytes: usize,
+    /// Processor accesses per hierarchy.
+    pub steps: u64,
+    /// Distinct lines in the working set.
+    pub lines: u64,
+    /// Workload seed (the fault seed lives in
+    /// [`HierarchyCampaignConfig::faults`]).
+    pub seed: u64,
+    /// Fault kinds and rates (see the field doc above for how they are split
+    /// between the parent and cluster buses).
+    pub faults: FaultConfig,
+    /// Consecutive parent-bus retry-cutoff failures per master before the
+    /// liveness watchdog flags starvation.
+    pub liveness_deadline: u32,
+    /// Worker threads sharding the per-protocol runs; the merged report is
+    /// byte-identical for any value.
+    pub jobs: usize,
+}
+
+impl Default for HierarchyCampaignConfig {
+    fn default() -> Self {
+        HierarchyCampaignConfig {
+            protocols: vec![
+                "moesi".into(),
+                "dragon".into(),
+                "write-through".into(),
+                "berkeley".into(),
+            ],
+            clusters: 2,
+            cpus: 2,
+            line_size: 16,
+            cache_bytes: 1024,
+            steps: 1500,
+            lines: 48,
+            seed: 0xCA_FE,
+            faults: FaultConfig {
+                glitch_rate: 0.20,
+                stall_rate: 0.002,
+                kill_rate: 0.002,
+                storm_rate: 0.05,
+                corrupt_rate: 0.08,
+                stale_tag_rate: 0.10,
+                max_storm_rounds: 4,
+                ..FaultConfig::default()
+            },
+            liveness_deadline: 3,
+            jobs: crate::campaign::default_jobs(),
+        }
+    }
+}
+
+/// One protocol's hierarchy campaign outcome.
+#[derive(Clone, Debug)]
+pub struct HierarchyRun {
+    /// The protocol every cache in the hierarchy ran.
+    pub protocol: String,
+    /// Processor accesses executed.
+    pub accesses: u64,
+    /// Every injected fault (parent and cluster buses) with its verdict.
+    pub verdicts: Vec<FaultVerdict>,
+    /// Bridges the parent-bus watchdog retired, ascending.
+    pub retired_bridges: Vec<usize>,
+    /// Clusters running memory-direct degraded mode at the end of the run.
+    pub degraded_clusters: Vec<usize>,
+    /// Invariant/read violations observed after recovery (silent corruption;
+    /// the run stops at the first one).
+    pub violations: Vec<String>,
+    /// Structured parent-bus errors the hierarchy survived.
+    pub parent_errors: Vec<ParentError>,
+    /// Cluster-bus errors survived in tolerant mode.
+    pub cluster_bus_errors: Vec<String>,
+    /// Parent-bus statistics at the end of the run.
+    pub parent_stats: BusStats,
+    /// Dirty lines owned by bridges at their retirement instants, summed.
+    pub dirty_at_retire: u64,
+    /// Of those, lines salvaged to parent memory by synthetic push rounds.
+    pub salvaged_lines: u64,
+    /// Of those, lines lost with their bridge (reported, never silent).
+    pub lost_lines: u64,
+}
+
+impl HierarchyRun {
+    /// Faults in `class`.
+    #[must_use]
+    pub fn count_class(&self, class: FaultClass) -> u64 {
+        self.verdicts.iter().filter(|v| v.class == class).count() as u64
+    }
+
+    /// Faults of `kind` in `class`.
+    #[must_use]
+    pub fn count(&self, kind: FaultKind, class: FaultClass) -> u64 {
+        self.verdicts
+            .iter()
+            .filter(|v| v.record.fault.kind() == kind && v.class == class)
+            .count() as u64
+    }
+}
+
+impl fmt::Display for HierarchyRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} accesses, {} faults",
+            self.protocol,
+            self.accesses,
+            self.verdicts.len()
+        )?;
+        let mut by_kind: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+        for v in &self.verdicts {
+            let slot = by_kind
+                .entry(v.record.fault.kind().to_string())
+                .or_default();
+            match v.class {
+                FaultClass::Masked => slot.0 += 1,
+                FaultClass::Detected => slot.1 += 1,
+                FaultClass::Silent => slot.2 += 1,
+            }
+        }
+        for (kind, (masked, detected, silent)) in &by_kind {
+            write!(f, "\n    {kind}: {masked} masked, {detected} detected")?;
+            if *silent > 0 {
+                write!(f, ", {silent} SILENT")?;
+            }
+        }
+        if !self.retired_bridges.is_empty() {
+            write!(
+                f,
+                "\n    retired bridges: {:?} ({} dirty lines: {} salvaged, {} lost)",
+                self.retired_bridges, self.dirty_at_retire, self.salvaged_lines, self.lost_lines
+            )?;
+        }
+        if !self.parent_errors.is_empty() || !self.cluster_bus_errors.is_empty() {
+            write!(
+                f,
+                "\n    bus errors survived: {} parent, {} cluster",
+                self.parent_errors.len(),
+                self.cluster_bus_errors.len()
+            )?;
+        }
+        if self.parent_stats.liveness_violations > 0 {
+            write!(
+                f,
+                "\n    liveness violations: {}",
+                self.parent_stats.liveness_violations
+            )?;
+        }
+        for v in &self.violations {
+            write!(f, "\n    SILENT CORRUPTION: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A whole hierarchy campaign's outcome.
+#[derive(Clone, Debug)]
+pub struct HierarchyReport {
+    /// Per-protocol results, in configuration order.
+    pub runs: Vec<HierarchyRun>,
+}
+
+impl HierarchyReport {
+    /// Total faults injected across all runs.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.runs.iter().map(|r| r.verdicts.len() as u64).sum()
+    }
+
+    /// Total silent corruptions. The zero-silent-corruption bar of the
+    /// partition/recovery oracle: any nonzero value fails the campaign.
+    #[must_use]
+    pub fn silent(&self) -> u64 {
+        self.runs.iter().map(|r| r.violations.len() as u64).sum()
+    }
+
+    /// Total faults of `kind` in `class` across all runs.
+    #[must_use]
+    pub fn count(&self, kind: FaultKind, class: FaultClass) -> u64 {
+        self.runs.iter().map(|r| r.count(kind, class)).sum()
+    }
+
+    /// Total bridge retirements across all runs.
+    #[must_use]
+    pub fn retirements(&self) -> u64 {
+        self.runs
+            .iter()
+            .map(|r| r.retired_bridges.len() as u64)
+            .sum()
+    }
+
+    /// Total liveness violations the parent-bus watchdogs flagged.
+    #[must_use]
+    pub fn liveness_violations(&self) -> u64 {
+        self.runs
+            .iter()
+            .map(|r| r.parent_stats.liveness_violations)
+            .sum()
+    }
+}
+
+impl fmt::Display for HierarchyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "hierarchy fault campaign: {} protocols, {} faults injected, {} silent",
+            self.runs.len(),
+            self.injected(),
+            self.silent()
+        )?;
+        for run in &self.runs {
+            writeln!(f, "  {run}")?;
+        }
+        write!(
+            f,
+            "verdict: {}",
+            if self.silent() == 0 {
+                "graceful degradation — every fault masked or detected"
+            } else {
+                "SILENT CORRUPTION OBSERVED"
+            }
+        )
+    }
+}
+
+/// Runs a hierarchy fault campaign: for each protocol, a seeded workload on a
+/// clustered machine whose parent bus injects bridge-targeted faults, with
+/// every fault audited against [`HierarchicalSystem::verify`] and classified
+/// masked / detected / silent.
+///
+/// # Errors
+///
+/// Returns a message when a protocol name is unknown or the geometry is
+/// unusable.
+pub fn run_hierarchy_campaign(cfg: &HierarchyCampaignConfig) -> Result<HierarchyReport, String> {
+    if cfg.protocols.is_empty() {
+        return Err("no protocols given".into());
+    }
+    if cfg.clusters == 0 || cfg.cpus == 0 || cfg.steps == 0 || cfg.lines == 0 {
+        return Err("clusters, cpus, steps and lines must all be non-zero".into());
+    }
+    let jobs: Vec<(u64, String)> = cfg
+        .protocols
+        .iter()
+        .enumerate()
+        .map(|(run_idx, name)| (run_idx as u64, name.clone()))
+        .collect();
+    let runs = crate::campaign::run_jobs(jobs, cfg.jobs, |(run_idx, name)| {
+        run_hierarchy_one(cfg, &name, run_idx)
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, String>>()?;
+    Ok(HierarchyReport { runs })
+}
+
+fn run_hierarchy_one(
+    cfg: &HierarchyCampaignConfig,
+    name: &str,
+    run_idx: u64,
+) -> Result<HierarchyRun, String> {
+    let mut builder = HierarchyBuilder::new(cfg.line_size)
+        .checking(true)
+        .seed(cfg.seed.wrapping_add(run_idx));
+    for _ in 0..cfg.clusters {
+        builder = builder.cluster();
+        for cpu in 0..cfg.cpus {
+            let protocol = by_name(name, cfg.seed.wrapping_add(cpu as u64))
+                .ok_or_else(|| format!("unknown protocol `{name}`"))?;
+            if protocol.kind() == CacheKind::NonCaching {
+                builder = builder.uncached(protocol);
+            } else {
+                builder = builder.cache(
+                    protocol,
+                    CacheConfig::new(cfg.cache_bytes, cfg.line_size, 2, ReplacementKind::Lru),
+                );
+            }
+        }
+    }
+    let mut sys = builder.build();
+    // The campaign owns verification: reported damage is reconciled first,
+    // then the oracle runs — only unreported divergence counts as silent.
+    sys.tolerate_faults(true);
+    sys.parent_bus_mut()
+        .inject_faults(FaultPlan::new(FaultConfig {
+            seed: cfg.faults.seed.wrapping_add(run_idx),
+            bridges: true,
+            ..cfg.faults
+        }));
+    sys.parent_bus_mut().enable_liveness(cfg.liveness_deadline);
+    for cluster in 0..cfg.clusters {
+        sys.bridge_mut(cluster)
+            .fabric_mut()
+            .bus_mut()
+            .inject_faults(FaultPlan::new(FaultConfig {
+                seed: cfg
+                    .faults
+                    .seed
+                    .wrapping_add(run_idx)
+                    .wrapping_add((cluster as u64 + 1) << 32),
+                glitch_rate: cfg.faults.glitch_rate,
+                storm_rate: cfg.faults.storm_rate,
+                max_storm_rounds: cfg.faults.max_storm_rounds,
+                ..FaultConfig::default()
+            }));
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(run_idx));
+
+    let mut run = HierarchyRun {
+        protocol: name.to_string(),
+        accesses: 0,
+        verdicts: Vec::new(),
+        retired_bridges: Vec::new(),
+        degraded_clusters: Vec::new(),
+        violations: Vec::new(),
+        parent_errors: Vec::new(),
+        cluster_bus_errors: Vec::new(),
+        parent_stats: BusStats::new(),
+        dirty_at_retire: 0,
+        salvaged_lines: 0,
+        lost_lines: 0,
+    };
+    let mut parent_cursor = 0usize;
+    let mut cluster_cursors = vec![0usize; cfg.clusters];
+
+    for step in 0..cfg.steps {
+        // Inclusion-tag soft errors are injected by the campaign itself (the
+        // directory RAM is not in any transaction's fault path) and scrubbed
+        // immediately: ECC detection precedes use, so no coherence action
+        // ever trusts a corrupt tag. The scrubber reconstructs the tag from
+        // cluster evidence alone; the record still gets a verdict below.
+        if let Some((cluster, line)) = sys.corrupt_inclusion_tag() {
+            let _ = sys.scrub_inclusion_tag(cluster, line);
+        }
+
+        let cluster = rng.gen_range(0..cfg.clusters as u64) as usize;
+        let cpu = rng.gen_range(0..cfg.cpus as u64) as usize;
+        let line = rng.gen_range(0..cfg.lines);
+        let word = rng.gen_range(0..(cfg.line_size / 4) as u64);
+        let addr = line * cfg.line_size as u64 + word * 4;
+        let mut write_piece: Option<(u64, Vec<u8>)> = None;
+        let read_back = if rng.gen_bool(0.5) {
+            let bytes = vec![rng.gen_range(0u16..256) as u8; 4];
+            sys.write(cluster, cpu, addr, &bytes);
+            write_piece = Some((addr, bytes));
+            None
+        } else {
+            Some(sys.read(cluster, cpu, addr, 4))
+        };
+        run.accesses += 1;
+        run.cluster_bus_errors
+            .extend(sys.drain_cluster_bus_errors());
+
+        // Drain and audit the parent plan's injections from this step.
+        let new: Vec<FaultRecord> = {
+            let plan = sys.parent_bus().fault_plan().expect("plan installed above");
+            plan.records()[parent_cursor..].to_vec()
+        };
+        parent_cursor += new.len();
+        let first_new = run.verdicts.len();
+        let mut killed = false;
+        for record in new {
+            killed |= matches!(record.fault, InjectedFault::BridgeKill { .. });
+            let (class, note) = audit_hierarchy(&record.fault, &mut sys, cfg.line_size);
+            run.verdicts.push(FaultVerdict {
+                record,
+                class,
+                note,
+            });
+        }
+        // Then each cluster bus's glitch/storm injections.
+        for (c, cursor) in cluster_cursors.iter_mut().enumerate() {
+            let new: Vec<FaultRecord> = {
+                let plan = sys
+                    .bridge(c)
+                    .fabric()
+                    .bus()
+                    .fault_plan()
+                    .expect("plan installed above");
+                plan.records()[*cursor..].to_vec()
+            };
+            *cursor += new.len();
+            for record in new {
+                let (class, note) = match &record.fault {
+                    InjectedFault::Glitch { .. } => (
+                        FaultClass::Masked,
+                        format!("cluster {c}: absorbed by the wired-OR settle window"),
+                    ),
+                    InjectedFault::AbortStorm { rounds } => (
+                        FaultClass::Detected,
+                        format!("cluster {c}: {rounds} phantom BS rounds drained by bounded retry"),
+                    ),
+                    other => (
+                        FaultClass::Detected,
+                        format!("cluster {c}: unexpected fault `{other}`"),
+                    ),
+                };
+                run.verdicts.push(FaultVerdict {
+                    record,
+                    class,
+                    note,
+                });
+            }
+        }
+        // A bridge kill can land mid-transaction on the very line this step
+        // is writing; the kill reconciliation accepted the pre-kill memory as
+        // truth, so re-apply the surviving write on top of it.
+        if killed {
+            if let Some((piece_addr, piece)) = &write_piece {
+                sys.checker_mut()
+                    .expect("campaign hierarchies run checked")
+                    .record_write(*piece_addr, piece);
+            }
+        }
+
+        // The partition/recovery oracle: with all reported damage reconciled,
+        // anything still wrong is silent corruption.
+        let mut broken = None;
+        if let Some(got) = read_back {
+            let global_cpu = cluster * cfg.cpus + cpu;
+            if let Err(v) = sys
+                .checker()
+                .expect("campaign hierarchies run checked")
+                .check_read(global_cpu, addr, &got)
+            {
+                broken = Some(v);
+            }
+        }
+        if broken.is_none() {
+            if let Err(v) = sys.verify() {
+                broken = Some(v);
+            }
+        }
+        if let Some(v) = broken {
+            run.violations.push(format!("step {step}: {v}"));
+            for verdict in &mut run.verdicts[first_new..] {
+                verdict.class = FaultClass::Silent;
+                verdict.note = format!("post-recovery violation: {v}");
+            }
+            break;
+        }
+    }
+
+    run.retired_bridges = sys.parent_bus().retired();
+    run.degraded_clusters = sys.degraded_clusters();
+    run.parent_errors = sys.parent_errors().to_vec();
+    run.parent_stats = *sys.parent_bus().stats();
+    for c in 0..cfg.clusters {
+        let stats = sys.bridge(c).stats();
+        run.dirty_at_retire += stats.dirty_at_retire;
+        run.salvaged_lines += stats.salvaged_lines;
+        run.lost_lines += stats.lost_lines;
+    }
+    Ok(run)
+}
+
+/// Reconciles one parent-bus fault's reported damage against the hierarchy
+/// and returns its provisional class.
+fn audit_hierarchy(
+    fault: &InjectedFault,
+    sys: &mut HierarchicalSystem,
+    line_size: usize,
+) -> (FaultClass, String) {
+    match fault {
+        InjectedFault::Glitch { .. } => (
+            FaultClass::Masked,
+            "parent bus: absorbed by the wired-OR settle window".into(),
+        ),
+        InjectedFault::AbortStorm { rounds } => (
+            FaultClass::Detected,
+            format!("parent bus: {rounds} phantom BS rounds drained by bounded retry"),
+        ),
+        InjectedFault::BridgeStall { bridge, salvaged } => (
+            FaultClass::Detected,
+            format!(
+                "watchdog retired bridge b{bridge}; {} dirty lines salvaged by synthetic \
+                 push rounds; cluster degraded to memory-direct",
+                salvaged.len()
+            ),
+        ),
+        InjectedFault::BridgeKill { bridge, lost } => {
+            // The loss is reported: accept the pre-kill parent memory as the
+            // new truth for the lost lines. Survivor copies were invalidated
+            // by the watchdog's synthetic invalidate rounds; anything beyond
+            // that is silent corruption.
+            for addr in lost {
+                let mem = sys.parent_memory_peek(*addr, line_size);
+                sys.checker_mut()
+                    .expect("campaign hierarchies run checked")
+                    .record_write(*addr, &mem);
+            }
+            (
+                FaultClass::Detected,
+                format!(
+                    "watchdog retired bridge b{bridge}; {} dirty lines lost (reported, \
+                     survivors invalidated); cluster degraded to memory-direct",
+                    lost.len()
+                ),
+            )
+        }
+        InjectedFault::CorruptMemory { addr, .. } => {
+            let golden = sys
+                .checker()
+                .expect("campaign hierarchies run checked")
+                .golden_bytes(*addr, line_size);
+            let diverged = sys.parent_memory_peek(*addr, line_size)[..] != golden[..];
+            // The scrubber may restore a line a cluster currently owns — in
+            // that case parent memory is *supposed* to be stale, but golden
+            // is still the safest restoration (the owner's push will
+            // overwrite it), and the corruption itself remains reported.
+            sys.parent_bus_mut().memory_mut().write_line(*addr, &golden);
+            (
+                FaultClass::Detected,
+                if diverged {
+                    "scrubber found parent memory diverged from the golden image; restored".into()
+                } else {
+                    "corruption landed on already-stale bytes; scrubbed anyway".into()
+                },
+            )
+        }
+        InjectedFault::StaleTag {
+            bridge,
+            addr,
+            from,
+            to,
+        } => (
+            FaultClass::Detected,
+            format!(
+                "directory parity hit on b{bridge} @{addr:#x} ({from}->{to}); tag \
+                 reconstructed from cluster evidence"
+            ),
+        ),
+        InjectedFault::Stall { module, .. } | InjectedFault::Kill { module, .. } => (
+            FaultClass::Detected,
+            format!("flat-style retirement of parent module m{module} (bridges flag unset?)"),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Liveness probe: the seeded adversarial workload of §2.1's arbitration
+// story. A phantom-BS storm longer than the retry budget livelocks a naive
+// flat-retry bus; capped exponential backoff bounds the waste but still hits
+// the cutoff; arbitration priority aging recovers outright.
+// ---------------------------------------------------------------------------
+
+/// One retry-policy configuration's outcome under the adversarial storm.
+#[derive(Clone, Debug)]
+pub struct LivenessOutcome {
+    /// Configuration label: `flat-retry`, `capped-backoff` or
+    /// `capped+aging`.
+    pub label: String,
+    /// Bus transactions that committed.
+    pub committed: u64,
+    /// Bus transactions that hit the retry cutoff (each degraded one access).
+    pub failed: u64,
+    /// Starvation events the liveness watchdog flagged.
+    pub liveness_violations: u64,
+    /// Largest abort count any single transaction saw.
+    pub max_txn_aborts: u64,
+    /// Phantom-storm promotions granted by priority aging.
+    pub aging_promotions: u64,
+    /// Total nanoseconds spent backing off.
+    pub backoff_ns: u64,
+}
+
+/// The three-way comparison the liveness probe produces.
+#[derive(Clone, Debug)]
+pub struct LivenessProbe {
+    /// Outcomes in escalation order: flat retry, capped backoff, capped
+    /// backoff + priority aging.
+    pub outcomes: Vec<LivenessOutcome>,
+}
+
+impl LivenessProbe {
+    /// The probe's claim, checkable: flat retry livelocked (every transaction
+    /// starved), and the aged configuration recovered (no violations, some
+    /// promotions).
+    #[must_use]
+    pub fn demonstrates_recovery(&self) -> bool {
+        let flat = self.outcomes.iter().find(|o| o.label == "flat-retry");
+        let aged = self.outcomes.iter().find(|o| o.label == "capped+aging");
+        match (flat, aged) {
+            (Some(flat), Some(aged)) => {
+                flat.liveness_violations > 0
+                    && flat.committed == 0
+                    && aged.liveness_violations == 0
+                    && aged.failed == 0
+                    && aged.aging_promotions > 0
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for LivenessProbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "liveness probe: phantom-BS storm of 32 rounds vs a 16-retry budget"
+        )?;
+        for o in &self.outcomes {
+            writeln!(
+                f,
+                "  {:>14}: {} committed, {} failed, {} starvations, max {} aborts/txn, \
+                 {} promotions, {} ns backing off",
+                o.label,
+                o.committed,
+                o.failed,
+                o.liveness_violations,
+                o.max_txn_aborts,
+                o.aging_promotions,
+                o.backoff_ns
+            )?;
+        }
+        write!(
+            f,
+            "verdict: {}",
+            if self.demonstrates_recovery() {
+                "flat retry livelocks; capped backoff + priority aging recovers"
+            } else {
+                "UNEXPECTED — adversarial scenario did not behave as claimed"
+            }
+        )
+    }
+}
+
+/// Runs the adversarial liveness scenario three times — naive flat retry,
+/// capped exponential backoff, and capped backoff with §2.1 priority aging —
+/// on identical seeded workloads and storm plans, and reports the per-policy
+/// ledgers. The storm outlasts the retry budget (32 rounds vs 16 retries), so
+/// it defeats any policy that cannot break the phase lock; only aging
+/// commits every transaction.
+///
+/// # Errors
+///
+/// Returns a message when `steps` is zero.
+pub fn run_liveness_probe(seed: u64, steps: u64) -> Result<LivenessProbe, String> {
+    if steps == 0 {
+        return Err("steps must be non-zero".into());
+    }
+    let configs: [(&str, RetryPolicy); 3] = [
+        (
+            "flat-retry",
+            RetryPolicy {
+                flat_retry: true,
+                ..RetryPolicy::default()
+            },
+        ),
+        ("capped-backoff", RetryPolicy::default()),
+        (
+            "capped+aging",
+            RetryPolicy {
+                aging_rounds: 8,
+                ..RetryPolicy::default()
+            },
+        ),
+    ];
+    let mut outcomes = Vec::new();
+    for (label, policy) in configs {
+        let controllers: Vec<CacheController> = (0..2)
+            .map(|id| {
+                let protocol = by_name("moesi", seed.wrapping_add(id as u64))
+                    .expect("moesi is a shipped protocol");
+                CacheController::new(
+                    id,
+                    protocol,
+                    Some(CacheConfig::new(1024, 16, 2, ReplacementKind::Lru)),
+                    seed.wrapping_add(id as u64),
+                )
+            })
+            .collect();
+        let mut fabric = Fabric::new(16, TimingConfig::default(), controllers);
+        fabric.tolerate_bus_errors(true);
+        fabric.bus_mut().set_retry_policy(policy);
+        fabric.bus_mut().enable_liveness(2);
+        // Every transaction storms for longer than the retry budget.
+        fabric.bus_mut().inject_faults(FaultPlan::new(FaultConfig {
+            seed: seed ^ 0x57_0B,
+            storm_rate: 1.0,
+            max_storm_rounds: 32,
+            ..FaultConfig::default()
+        }));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for step in 0..steps {
+            // Ping-pong writes to a small shared set so every access needs
+            // the bus (invalidate or broadcast traffic), keeping the storm
+            // in the arbitration path of both masters.
+            let cpu = (step % 2) as usize;
+            let addr = (step % 4) * 16;
+            let bytes = vec![rng.gen_range(0u16..256) as u8; 4];
+            fabric.write_with(cpu, addr, &bytes, |_, _| {});
+        }
+        let failed = fabric.drain_bus_errors().len() as u64;
+        let stats = fabric.bus().stats();
+        let monitor = fabric.bus().liveness().expect("liveness enabled above");
+        let committed = (0..2).map(|m| monitor.progress(m).commits).sum();
+        outcomes.push(LivenessOutcome {
+            label: label.to_string(),
+            committed,
+            failed,
+            liveness_violations: stats.liveness_violations,
+            max_txn_aborts: stats.max_txn_aborts,
+            aging_promotions: stats.aging_promotions,
+            backoff_ns: stats.backoff_ns,
+        });
+    }
+    Ok(LivenessProbe { outcomes })
+}
+
+// ---------------------------------------------------------------------------
+// JSON reports (house style, `moesi::json`): machine-readable campaign
+// output for CI gates and trend dashboards.
+// ---------------------------------------------------------------------------
+
+/// Renders a flat campaign report as a JSON object, including the
+/// lost/salvaged-line and retry/backoff counters.
+#[must_use]
+pub fn campaign_report_json(report: &CampaignReport) -> String {
+    let runs: Vec<String> = report
+        .runs
+        .iter()
+        .map(|run| {
+            let retired: Vec<u64> = run.retired.iter().map(|&m| m as u64).collect();
+            JsonObject::new()
+                .string("protocol", &run.protocol)
+                .number("accesses", run.accesses)
+                .number("faults", run.verdicts.len())
+                .number("masked", run.count_class(FaultClass::Masked))
+                .number("detected", run.count_class(FaultClass::Detected))
+                .number("silent", run.count_class(FaultClass::Silent))
+                .raw("retired", &array_u64(&retired))
+                .number("bus_errors", run.bus_errors.len())
+                .number("salvaged_lines", run.bus_stats.salvaged_lines)
+                .number("lost_lines", run.bus_stats.lost_lines)
+                .number("retries", run.bus_stats.retries)
+                .number("backoff_ns", run.bus_stats.backoff_ns)
+                .number("max_txn_aborts", run.bus_stats.max_txn_aborts)
+                .number("liveness_violations", run.bus_stats.liveness_violations)
+                .number("aging_promotions", run.bus_stats.aging_promotions)
+                .finish()
+        })
+        .collect();
+    JsonObject::new()
+        .string("campaign", "flat")
+        .number("protocols", report.runs.len())
+        .number("injected", report.injected())
+        .number("silent", report.silent())
+        .number("retirements", report.retirements())
+        .raw("runs", &format!("[{}]", runs.join(", ")))
+        .finish()
+}
+
+/// Renders a hierarchy campaign report as a JSON object.
+#[must_use]
+pub fn hierarchy_report_json(report: &HierarchyReport) -> String {
+    let runs: Vec<String> = report
+        .runs
+        .iter()
+        .map(|run| {
+            let retired: Vec<u64> = run.retired_bridges.iter().map(|&m| m as u64).collect();
+            let degraded: Vec<u64> = run.degraded_clusters.iter().map(|&m| m as u64).collect();
+            JsonObject::new()
+                .string("protocol", &run.protocol)
+                .number("accesses", run.accesses)
+                .number("faults", run.verdicts.len())
+                .number("masked", run.count_class(FaultClass::Masked))
+                .number("detected", run.count_class(FaultClass::Detected))
+                .number("silent", run.count_class(FaultClass::Silent))
+                .raw("retired_bridges", &array_u64(&retired))
+                .raw("degraded_clusters", &array_u64(&degraded))
+                .number("dirty_at_retire", run.dirty_at_retire)
+                .number("salvaged_lines", run.salvaged_lines)
+                .number("lost_lines", run.lost_lines)
+                .number("parent_errors", run.parent_errors.len())
+                .number("cluster_bus_errors", run.cluster_bus_errors.len())
+                .number("retries", run.parent_stats.retries)
+                .number("backoff_ns", run.parent_stats.backoff_ns)
+                .number("max_txn_aborts", run.parent_stats.max_txn_aborts)
+                .number("liveness_violations", run.parent_stats.liveness_violations)
+                .number("aging_promotions", run.parent_stats.aging_promotions)
+                .finish()
+        })
+        .collect();
+    JsonObject::new()
+        .string("campaign", "hierarchy")
+        .number("protocols", report.runs.len())
+        .number("injected", report.injected())
+        .number("silent", report.silent())
+        .number("retirements", report.retirements())
+        .number("liveness_violations", report.liveness_violations())
+        .raw("runs", &format!("[{}]", runs.join(", ")))
+        .finish()
+}
+
+/// Renders a liveness probe as a JSON object.
+#[must_use]
+pub fn liveness_probe_json(probe: &LivenessProbe) -> String {
+    let outcomes: Vec<String> = probe
+        .outcomes
+        .iter()
+        .map(|o| {
+            JsonObject::new()
+                .string("policy", &o.label)
+                .number("committed", o.committed)
+                .number("failed", o.failed)
+                .number("liveness_violations", o.liveness_violations)
+                .number("max_txn_aborts", o.max_txn_aborts)
+                .number("aging_promotions", o.aging_promotions)
+                .number("backoff_ns", o.backoff_ns)
+                .finish()
+        })
+        .collect();
+    JsonObject::new()
+        .string("probe", "liveness")
+        .number("recovery_demonstrated", probe.demonstrates_recovery())
+        .raw("outcomes", &format!("[{}]", outcomes.join(", ")))
+        .finish()
 }
 
 #[cfg(test)]
@@ -690,5 +1539,134 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("fault campaign"), "{text}");
         assert!(text.contains("graceful degradation"), "{text}");
+    }
+
+    fn quick_hierarchy_cfg() -> HierarchyCampaignConfig {
+        HierarchyCampaignConfig {
+            protocols: vec!["moesi".into()],
+            steps: 400,
+            ..HierarchyCampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn hierarchy_campaign_keeps_every_fault_loud() {
+        let report = run_hierarchy_campaign(&quick_hierarchy_cfg()).unwrap();
+        let run = &report.runs[0];
+        assert!(report.injected() > 0, "faults must actually land");
+        assert_eq!(report.silent(), 0, "{report}");
+        assert_eq!(
+            run.salvaged_lines + run.lost_lines,
+            run.dirty_at_retire,
+            "every dirty line owned at retirement is salvaged or reported lost"
+        );
+    }
+
+    #[test]
+    fn default_hierarchy_campaign_meets_the_acceptance_bar() {
+        // The bar the CI smoke enforces: >= 1000 injected faults across
+        // >= 4 protocols x 2 clusters, zero silent, and — because storms
+        // stay within the retry budget — zero liveness violations on a
+        // clean (non-adversarial) run.
+        let cfg = HierarchyCampaignConfig::default();
+        let report = run_hierarchy_campaign(&cfg).unwrap();
+        assert!(cfg.protocols.len() >= 4);
+        assert_eq!(cfg.clusters, 2);
+        assert!(
+            report.injected() >= 1000,
+            "only {} faults injected",
+            report.injected()
+        );
+        assert_eq!(report.silent(), 0, "{report}");
+        assert_eq!(
+            report.liveness_violations(),
+            0,
+            "in-budget storms must never starve a master: {report}"
+        );
+        for run in &report.runs {
+            assert_eq!(
+                run.salvaged_lines + run.lost_lines,
+                run.dirty_at_retire,
+                "{}: dirty-line ledger must balance",
+                run.protocol
+            );
+            assert_eq!(run.retired_bridges, run.degraded_clusters);
+            assert!(
+                run.parent_stats.max_txn_aborts <= u64::from(RetryPolicy::default().abort_bound()),
+                "{}: retry budget exceeded",
+                run.protocol
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_hierarchy_campaigns_match_sequential_ones() {
+        let base = quick_hierarchy_cfg();
+        let seq = run_hierarchy_campaign(&HierarchyCampaignConfig {
+            jobs: 1,
+            protocols: vec!["moesi".into(), "dragon".into()],
+            ..base.clone()
+        })
+        .unwrap();
+        let par = run_hierarchy_campaign(&HierarchyCampaignConfig {
+            jobs: 4,
+            protocols: vec!["moesi".into(), "dragon".into()],
+            ..base
+        })
+        .unwrap();
+        assert_eq!(hierarchy_report_json(&seq), hierarchy_report_json(&par));
+    }
+
+    #[test]
+    fn liveness_probe_shows_livelock_then_recovery() {
+        let probe = run_liveness_probe(7, 24).unwrap();
+        assert!(probe.demonstrates_recovery(), "{probe}");
+        let flat = &probe.outcomes[0];
+        assert_eq!(flat.label, "flat-retry");
+        assert_eq!(flat.committed, 0, "flat retry must livelock: {probe}");
+        assert!(flat.liveness_violations > 0, "{probe}");
+        let capped = &probe.outcomes[1];
+        assert_eq!(capped.label, "capped-backoff");
+        assert!(
+            capped.max_txn_aborts <= u64::from(RetryPolicy::default().abort_bound()),
+            "capped backoff bounds the waste per transaction: {probe}"
+        );
+        let aged = &probe.outcomes[2];
+        assert_eq!(aged.label, "capped+aging");
+        assert_eq!(aged.failed, 0, "aging must recover every master: {probe}");
+        assert_eq!(aged.liveness_violations, 0, "{probe}");
+        assert!(aged.aging_promotions > 0, "{probe}");
+    }
+
+    #[test]
+    fn json_reports_render_house_style() {
+        let flat = run_campaign(&quick_cfg()).unwrap();
+        let flat_json = campaign_report_json(&flat);
+        assert!(flat_json.starts_with('{') && flat_json.ends_with('}'));
+        assert!(flat_json.contains("\"campaign\": \"flat\""), "{flat_json}");
+        assert!(flat_json.contains("\"retries\": "), "{flat_json}");
+        assert!(flat_json.contains("\"salvaged_lines\": "), "{flat_json}");
+
+        let hier = run_hierarchy_campaign(&quick_hierarchy_cfg()).unwrap();
+        let hier_json = hierarchy_report_json(&hier);
+        assert!(
+            hier_json.contains("\"campaign\": \"hierarchy\""),
+            "{hier_json}"
+        );
+        assert!(
+            hier_json.contains("\"degraded_clusters\": ["),
+            "{hier_json}"
+        );
+
+        let probe = run_liveness_probe(7, 24).unwrap();
+        let probe_json = liveness_probe_json(&probe);
+        assert!(
+            probe_json.contains("\"recovery_demonstrated\": true"),
+            "{probe_json}"
+        );
+        assert!(
+            probe_json.contains("\"policy\": \"flat-retry\""),
+            "{probe_json}"
+        );
     }
 }

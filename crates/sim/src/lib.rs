@@ -44,7 +44,10 @@ pub use checker::{Checker, Violation};
 pub use controller::CacheController;
 pub use fabric::Fabric;
 pub use faults::{
-    run_campaign, CampaignConfig, CampaignReport, FaultClass, FaultVerdict, ProtocolRun,
+    campaign_report_json, hierarchy_report_json, liveness_probe_json, run_campaign,
+    run_hierarchy_campaign, run_liveness_probe, CampaignConfig, CampaignReport, FaultClass,
+    FaultVerdict, HierarchyCampaignConfig, HierarchyReport, HierarchyRun, LivenessOutcome,
+    LivenessProbe, ProtocolRun,
 };
 pub use metrics::{CpuStats, StateCensus, TimedReport};
 pub use profile::{chrome_trace, trace_run, TraceRunConfig};

@@ -21,7 +21,10 @@ use moesi_futurebus::cli::CommonOpts;
 use mpsim::workload::{
     DuboisBriggs, FalseSharing, Migratory, PingPong, ProducerConsumer, ReadMostly, SharingModel,
 };
-use mpsim::{run_campaign, CampaignConfig, RefStream, System, SystemBuilder, TraceReplay};
+use mpsim::{
+    run_campaign, CampaignConfig, HierarchyCampaignConfig, RefStream, System, SystemBuilder,
+    TraceReplay,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -673,6 +676,15 @@ errors, then audits every fault against the consistency oracle and
 classifies it masked / detected / SILENT. Exits nonzero if any fault is
 silent — the graceful-degradation claim made executable.
 
+With --hierarchy the campaign targets a two-level machine instead: the
+parent bus injects bridge stalls and kills (the watchdog retires the
+bridge, salvages or reports every dirty line, and the cluster degrades to
+memory-direct), inclusion-tag soft errors (scrubbed from cluster
+evidence), plus glitches, storms and memory corruption, while each cluster
+bus glitches and storms independently. The run ends with the seeded
+liveness probe: a phantom-BS storm that livelocks naive flat retry and is
+recovered by capped backoff with arbitration priority aging.
+
 USAGE:
     moesi-sim faults [OPTIONS]
 
@@ -680,7 +692,10 @@ OPTIONS:
     --protocol LIST   comma-separated protocols, one homogeneous machine per
                       entry [default: moesi,dragon,write-through,berkeley,
                       hybrid]
-    --cpus N          processors per machine [default: 4]
+    --hierarchy       run the two-level bridge campaign described above
+    --clusters N      clusters per hierarchy (with --hierarchy) [default: 2]
+    --cpus N          processors per machine, or per cluster with
+                      --hierarchy [default: 4]
     --steps N         processor accesses per machine [default: 2500]
     --lines N         distinct lines in the working set [default: 96]
     --line-size N     bytes per line [default: 16]
@@ -688,23 +703,33 @@ OPTIONS:
     --seed N          campaign seed, covering workload and faults
                       [default: 51966]
     --rate R          base per-transaction injection rate in [0, 1]. Enabled
-                      kinds scale from it: glitch and corrupt land at R,
-                      storms at R/2, stalls and kills at R/100 (retirements
-                      are permanent, so they stay rare) [default: 0.1]
+                      kinds scale from it: glitch, corrupt and stale-tag
+                      land at R, storms at R/2, stalls and kills — bridge
+                      stalls and kills under --hierarchy — at R/100
+                      (retirements are permanent, so they stay rare)
+                      [default: 0.1]
     --kind LIST       fault kinds to enable: glitch, stall, kill, storm,
-                      corrupt, or all [default: all]
+                      corrupt, bridge-stall, bridge-kill, stale-tag, or all
+                      (the bridge kinds only fire with --hierarchy)
+                      [default: all]
     --jobs N          worker threads, one protocol machine per job; the
                       report is identical for any N [default: available
                       cores]
+    --json            also write the report (with the lost/salvaged-line and
+                      retry/backoff ledgers) as JSON to --out
+    --out PATH        JSON output path [default: FAULTS_report.json]
     --trace-out FILE  also write a Chrome trace (chrome://tracing JSON) of
-                      one exemplar faulted run of the first protocol; the
-                      file is identical for any --jobs value
+                      one exemplar faulted run of the first protocol; flat
+                      campaigns only; the file is identical for any --jobs
+                      value
     --help            print this help
 ";
 
 #[derive(Clone, Debug, PartialEq)]
 struct FaultsConfig {
     protocols: Vec<String>,
+    hierarchy: bool,
+    clusters: usize,
     cpus: usize,
     steps: u64,
     lines: u64,
@@ -714,6 +739,8 @@ struct FaultsConfig {
     rate: f64,
     kinds: Vec<FaultKind>,
     jobs: usize,
+    json: bool,
+    out: String,
     trace_out: Option<String>,
 }
 
@@ -722,6 +749,8 @@ impl Default for FaultsConfig {
         let base = CampaignConfig::default();
         FaultsConfig {
             protocols: base.protocols,
+            hierarchy: false,
+            clusters: HierarchyCampaignConfig::default().clusters,
             cpus: base.cpus,
             steps: base.steps,
             lines: base.lines,
@@ -731,6 +760,8 @@ impl Default for FaultsConfig {
             rate: 0.1,
             kinds: FaultKind::ALL.to_vec(),
             jobs: base.jobs,
+            json: false,
+            out: "FAULTS_report.json".to_string(),
             trace_out: None,
         }
     }
@@ -745,6 +776,9 @@ fn parse_fault_kinds(list: &str) -> Result<Vec<FaultKind>, String> {
             "kill" => kinds.push(FaultKind::Kill),
             "storm" | "abort-storm" => kinds.push(FaultKind::AbortStorm),
             "corrupt" | "corrupt-memory" => kinds.push(FaultKind::CorruptMemory),
+            "bridge-stall" => kinds.push(FaultKind::BridgeStall),
+            "bridge-kill" => kinds.push(FaultKind::BridgeKill),
+            "stale-tag" => kinds.push(FaultKind::StaleTag),
             "all" => kinds.extend(FaultKind::ALL),
             other => return Err(format!("unknown fault kind `{other}`")),
         }
@@ -806,6 +840,10 @@ fn parse_faults_args(args: &[String]) -> Result<FaultsConfig, String> {
                 }
             }
             "--kind" => cfg.kinds = parse_fault_kinds(value("--kind")?)?,
+            "--hierarchy" => cfg.hierarchy = true,
+            "--clusters" => cfg.clusters = number("--clusters", value("--clusters")?)? as usize,
+            "--json" => cfg.json = true,
+            "--out" => cfg.out = value("--out")?.clone(),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -817,10 +855,13 @@ fn parse_faults_args(args: &[String]) -> Result<FaultsConfig, String> {
         cfg.jobs = jobs;
     }
     cfg.trace_out = common.trace_out;
+    if cfg.hierarchy && cfg.trace_out.is_some() {
+        return Err("--trace-out traces a flat run; drop it or drop --hierarchy".to_string());
+    }
     Ok(cfg)
 }
 
-fn campaign_config(cfg: &FaultsConfig) -> CampaignConfig {
+fn fault_rates(cfg: &FaultsConfig) -> FaultConfig {
     let mut faults = FaultConfig {
         // Decorrelate the fault stream from the workload stream while keeping
         // both under the single --seed knob.
@@ -831,12 +872,20 @@ fn campaign_config(cfg: &FaultsConfig) -> CampaignConfig {
     for kind in &cfg.kinds {
         match kind {
             FaultKind::Glitch => faults.glitch_rate = cfg.rate,
-            FaultKind::Stall => faults.stall_rate = cfg.rate / 100.0,
-            FaultKind::Kill => faults.kill_rate = cfg.rate / 100.0,
+            // Stall/kill double as bridge-stall/bridge-kill: the plan's
+            // `bridges` flag (set only on a hierarchy's parent bus) decides
+            // which the victim is, so either spelling enables the rate.
+            FaultKind::Stall | FaultKind::BridgeStall => faults.stall_rate = cfg.rate / 100.0,
+            FaultKind::Kill | FaultKind::BridgeKill => faults.kill_rate = cfg.rate / 100.0,
             FaultKind::AbortStorm => faults.storm_rate = cfg.rate / 2.0,
             FaultKind::CorruptMemory => faults.corrupt_rate = cfg.rate,
+            FaultKind::StaleTag => faults.stale_tag_rate = cfg.rate,
         }
     }
+    faults
+}
+
+fn campaign_config(cfg: &FaultsConfig) -> CampaignConfig {
     CampaignConfig {
         protocols: cfg.protocols.clone(),
         cpus: cfg.cpus,
@@ -846,8 +895,24 @@ fn campaign_config(cfg: &FaultsConfig) -> CampaignConfig {
         lines: cfg.lines,
         seed: cfg.seed,
         tables: Vec::new(),
-        faults,
+        faults: fault_rates(cfg),
         jobs: cfg.jobs,
+    }
+}
+
+fn hierarchy_campaign_config(cfg: &FaultsConfig) -> HierarchyCampaignConfig {
+    HierarchyCampaignConfig {
+        protocols: cfg.protocols.clone(),
+        clusters: cfg.clusters,
+        cpus: cfg.cpus,
+        line_size: cfg.line_size,
+        cache_bytes: cfg.cache_bytes,
+        steps: cfg.steps,
+        lines: cfg.lines,
+        seed: cfg.seed,
+        faults: fault_rates(cfg),
+        jobs: cfg.jobs,
+        ..HierarchyCampaignConfig::default()
     }
 }
 
@@ -1208,9 +1273,17 @@ fn run_synth(cfg: &SynthCliConfig) -> Result<(), String> {
 }
 
 fn run_faults(cfg: &FaultsConfig) -> Result<(), String> {
+    if cfg.hierarchy {
+        return run_hierarchy_faults(cfg);
+    }
     let campaign = campaign_config(cfg);
     let report = run_campaign(&campaign)?;
     println!("{report}");
+    if cfg.json {
+        std::fs::write(&cfg.out, mpsim::campaign_report_json(&report))
+            .map_err(|e| format!("cannot write `{}`: {e}", cfg.out))?;
+        println!("JSON report written to {}", cfg.out);
+    }
     if let Some(path) = &cfg.trace_out {
         write_chrome_trace(
             path,
@@ -1231,6 +1304,34 @@ fn run_faults(cfg: &FaultsConfig) -> Result<(), String> {
             "{} fault(s) caused silent corruption",
             report.silent()
         ));
+    }
+    Ok(())
+}
+
+fn run_hierarchy_faults(cfg: &FaultsConfig) -> Result<(), String> {
+    let campaign = hierarchy_campaign_config(cfg);
+    let report = mpsim::run_hierarchy_campaign(&campaign)?;
+    println!("{report}");
+    println!();
+    let probe = mpsim::run_liveness_probe(cfg.seed, 24)?;
+    println!("{probe}");
+    if cfg.json {
+        let json = format!(
+            "{{\"report\": {}, \"liveness\": {}}}",
+            mpsim::hierarchy_report_json(&report),
+            mpsim::liveness_probe_json(&probe)
+        );
+        std::fs::write(&cfg.out, json).map_err(|e| format!("cannot write `{}`: {e}", cfg.out))?;
+        println!("JSON report written to {}", cfg.out);
+    }
+    if report.silent() > 0 {
+        return Err(format!(
+            "{} fault(s) caused silent corruption",
+            report.silent()
+        ));
+    }
+    if !probe.demonstrates_recovery() {
+        return Err("liveness probe failed to demonstrate livelock recovery".to_string());
     }
     Ok(())
 }
@@ -1913,5 +2014,56 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("unknown protocol"), "{err}");
+    }
+
+    #[test]
+    fn faults_hierarchy_options_parse() {
+        let cfg = parse_faults_args(&args(
+            "--hierarchy --clusters 3 --cpus 2 --steps 300 --json --out /tmp/h.json \
+             --kind glitch,bridge-kill,stale-tag",
+        ))
+        .expect("valid");
+        assert!(cfg.hierarchy && cfg.json);
+        assert_eq!((cfg.clusters, cfg.cpus, cfg.steps), (3, 2, 300));
+        assert_eq!(cfg.out, "/tmp/h.json");
+        assert_eq!(
+            cfg.kinds,
+            vec![
+                FaultKind::Glitch,
+                FaultKind::BridgeKill,
+                FaultKind::StaleTag
+            ]
+        );
+        // The bridge spellings enable the same underlying rates.
+        let faults = fault_rates(&cfg);
+        assert!(faults.kill_rate > 0.0 && faults.stale_tag_rate > 0.0);
+        assert_eq!(faults.stall_rate, 0.0);
+        assert!(
+            parse_faults_args(&args("--hierarchy --trace-out /tmp/t.json"))
+                .unwrap_err()
+                .contains("flat run")
+        );
+    }
+
+    #[test]
+    fn faults_hierarchy_smoke_writes_json_and_passes_the_probe() {
+        let out = std::env::temp_dir().join("moesi_sim_faults_hier_smoke.json");
+        run_faults(&FaultsConfig {
+            protocols: vec!["moesi".to_string()],
+            hierarchy: true,
+            cpus: 2,
+            steps: 250,
+            lines: 48,
+            rate: 0.3,
+            json: true,
+            out: out.to_string_lossy().into_owned(),
+            ..FaultsConfig::default()
+        })
+        .expect("hierarchy campaign degrades gracefully");
+        let json = std::fs::read_to_string(&out).expect("json written");
+        assert!(json.contains("\"campaign\": \"hierarchy\""), "{json}");
+        assert!(json.contains("\"recovery_demonstrated\": true"), "{json}");
+        assert!(json.contains("\"salvaged_lines\": "), "{json}");
+        let _ = std::fs::remove_file(&out);
     }
 }

@@ -8,7 +8,11 @@
 //! Zero faults may be silent.
 
 use futurebus::fault::{FaultConfig, FaultKind};
-use mpsim::{run_campaign, CampaignConfig, FaultClass};
+use futurebus::RetryPolicy;
+use mpsim::{
+    run_campaign, run_hierarchy_campaign, run_liveness_probe, CampaignConfig, FaultClass,
+    HierarchyCampaignConfig,
+};
 
 fn campaign() -> CampaignConfig {
     // The default config: moesi, dragon, write-through and berkeley machines
@@ -113,4 +117,109 @@ fn campaigns_reproduce_exactly_from_their_seed() {
         assert_eq!(ra.retired, rb.retired);
         assert_eq!(ra.verdicts.len(), rb.verdicts.len());
     }
+}
+
+#[test]
+fn abort_storms_stay_within_the_retry_budget_for_every_protocol() {
+    // The bounded-retry pin: a BS abort storm shorter than the retry budget
+    // must drain for *every* shipped protocol — no transaction may abort
+    // more than the policy's bound, and none may fail. A regression here
+    // means the backoff ladder or the storm accounting broke.
+    let protocols = [
+        "moesi",
+        "moesi-invalidating",
+        "puzak",
+        "hybrid",
+        "write-through",
+        "non-caching",
+        "berkeley",
+        "dragon",
+        "write-once",
+        "illinois",
+        "firefly",
+        "synapse",
+        "random",
+    ];
+    let cfg = CampaignConfig {
+        protocols: protocols.iter().map(|s| s.to_string()).collect(),
+        steps: 400,
+        faults: FaultConfig {
+            storm_rate: 0.3,
+            max_storm_rounds: 4,
+            ..FaultConfig::default()
+        },
+        ..campaign()
+    };
+    let report = run_campaign(&cfg).expect("campaign runs");
+    assert!(
+        report.count(FaultKind::AbortStorm, FaultClass::Detected) > protocols.len() as u64,
+        "storms must land in volume on every machine"
+    );
+    assert_eq!(report.silent(), 0, "{report}");
+    let bound = u64::from(RetryPolicy::default().abort_bound());
+    for run in &report.runs {
+        assert!(
+            run.bus_stats.max_txn_aborts <= bound,
+            "{}: a transaction aborted {} times, budget is {bound}",
+            run.protocol,
+            run.bus_stats.max_txn_aborts
+        );
+        assert!(
+            run.bus_errors.is_empty(),
+            "{}: an in-budget storm must drain, not fail: {:?}",
+            run.protocol,
+            run.bus_errors
+        );
+        assert!(
+            run.bus_stats.retries > 0,
+            "{}: storms must actually force retries",
+            run.protocol
+        );
+    }
+}
+
+#[test]
+fn hierarchy_campaign_degrades_gracefully_and_balances_the_ledger() {
+    // The two-level acceptance bar: >= 1000 bridge-targeted faults across
+    // >= 4 protocols x 2 clusters with zero silent corruption, every dirty
+    // line at a bridge kill either salvaged or reported lost, and zero
+    // liveness violations on in-budget (non-adversarial) storms.
+    let cfg = HierarchyCampaignConfig::default();
+    let report = run_hierarchy_campaign(&cfg).expect("campaign runs");
+    assert!(cfg.protocols.len() >= 4 && cfg.clusters >= 2);
+    assert!(
+        report.injected() >= 1000,
+        "only {} faults injected",
+        report.injected()
+    );
+    assert_eq!(report.silent(), 0, "silent corruption observed:\n{report}");
+    assert!(
+        report.retirements() > 0,
+        "bridge retirements must actually occur"
+    );
+    assert_eq!(report.liveness_violations(), 0, "{report}");
+    for run in &report.runs {
+        assert_eq!(
+            run.salvaged_lines + run.lost_lines,
+            run.dirty_at_retire,
+            "{}: salvaged + lost must equal the dirty lines owned at kill time",
+            run.protocol
+        );
+    }
+}
+
+#[test]
+fn the_liveness_probe_separates_the_three_retry_policies() {
+    // The seeded adversarial scenario: a 32-round phantom-BS storm against a
+    // 16-retry budget. Naive flat retry provably livelocks (zero commits,
+    // watchdog violations); capped backoff bounds the waste per transaction;
+    // priority aging recovers every master with zero violations.
+    let probe = run_liveness_probe(7, 24).expect("probe runs");
+    assert!(probe.demonstrates_recovery(), "{probe}");
+    let flat = &probe.outcomes[0];
+    assert_eq!(flat.committed, 0, "{probe}");
+    assert!(flat.liveness_violations > 0, "{probe}");
+    let aged = &probe.outcomes[2];
+    assert_eq!(aged.liveness_violations, 0, "{probe}");
+    assert!(aged.aging_promotions > 0, "{probe}");
 }

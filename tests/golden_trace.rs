@@ -153,6 +153,7 @@ fn golden_trace_under_faults_is_stable() {
             storm_rate: 0.08,
             corrupt_rate: 0.10,
             max_storm_rounds: 3,
+            ..FaultConfig::default()
         }));
     let mut streams = streams();
     sys.run(&mut streams, STEPS);
