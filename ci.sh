@@ -48,13 +48,20 @@ cmp "$tables_out" tests/fixtures/tables/paper_tables.txt \
   || { echo "rendered policy tables diverged from tests/fixtures/tables/paper_tables.txt" >&2; exit 1; }
 rm -f "$tables_out"
 
+# The bench JSON rows carry two host-side measurements (host wall time and
+# host throughput) that legitimately differ run to run; every determinism
+# comparison strips them first. Simulated results must survive unchanged.
+strip_host_fields() {
+  sed -E 's/"host_wall_ns": [0-9]+, //g; s/"engine_accesses_per_sec": [0-9]+\.[0-9]+, //g' "$1"
+}
+
 echo "==> hybrid bench smoke (fixed seed; sharded run must match the sequential one)"
 hyb_j2="$(mktemp)" hyb_j1="$(mktemp)"
 ./target/release/moesi-sim bench --protocol hybrid --seed 7 --steps 500 --jobs 2 \
     --json --out "$hyb_j2" >/dev/null
 ./target/release/moesi-sim bench --protocol hybrid --seed 7 --steps 500 --jobs 1 \
     --json --out "$hyb_j1" >/dev/null
-cmp "$hyb_j2" "$hyb_j1" \
+cmp <(strip_host_fields "$hyb_j2") <(strip_host_fields "$hyb_j1") \
   || { echo "hybrid bench --jobs 2 diverged from --jobs 1" >&2; exit 1; }
 rm -f "$hyb_j2" "$hyb_j1"
 
@@ -66,10 +73,39 @@ bench_j2="$(mktemp)" bench_j1="$(mktemp)" trace_j2="$(mktemp)" trace_j1="$(mktem
   || { echo "bench smoke reported zero throughput" >&2; exit 1; }
 ./target/release/moesi-sim bench --seed 7 --steps 500 --jobs 1 --json --out "$bench_j1" \
     --trace-out "$trace_j1" >/dev/null
-cmp "$bench_j2" "$bench_j1" \
+cmp <(strip_host_fields "$bench_j2") <(strip_host_fields "$bench_j1") \
   || { echo "bench --jobs 2 diverged from --jobs 1" >&2; exit 1; }
 grep -q '"phase_p50_ns"' "$bench_j1" \
   || { echo "bench JSON is missing the per-phase percentiles" >&2; exit 1; }
+grep -q '"host_wall_ns"' "$bench_j1" \
+  || { echo "bench JSON is missing the host-side measurements" >&2; exit 1; }
+
+echo "==> engine equivalence smoke (legacy and event cores must report identical sweeps)"
+eng_legacy="$(mktemp)" eng_event="$(mktemp)"
+./target/release/moesi-sim bench --engine legacy --seed 7 --steps 500 --json \
+    --out "$eng_legacy" >/dev/null
+./target/release/moesi-sim bench --engine event --seed 7 --steps 500 --json \
+    --out "$eng_event" >/dev/null
+cmp <(strip_host_fields "$eng_legacy") <(strip_host_fields "$eng_event") \
+  || { echo "bench --engine legacy diverged from --engine event" >&2; exit 1; }
+rm -f "$eng_legacy" "$eng_event"
+
+echo "==> shard smoke (--shards 2 must match --shards 1 byte for byte)"
+shard_2="$(mktemp)" shard_1="$(mktemp)"
+./target/release/moesi-sim bench --shards 2 --seed 7 --steps 500 --json \
+    --out "$shard_2" >/dev/null
+./target/release/moesi-sim bench --shards 1 --seed 7 --steps 500 --json \
+    --out "$shard_1" >/dev/null
+cmp <(strip_host_fields "$shard_2") <(strip_host_fields "$shard_1") \
+  || { echo "bench --shards 2 diverged from --shards 1" >&2; exit 1; }
+rm -f "$shard_2" "$shard_1"
+
+echo "==> committed bench artifact matches a fresh default sweep (host fields ignored)"
+bench_fresh="$(mktemp)"
+./target/release/moesi-sim bench --json --out "$bench_fresh" >/dev/null
+cmp <(strip_host_fields "$bench_fresh") <(strip_host_fields BENCH_protocols.json) \
+  || { echo "BENCH_protocols.json diverged from a fresh default sweep; regenerate it" >&2; exit 1; }
+rm -f "$bench_fresh"
 
 echo "==> chrome-trace smoke (fixed seed; --jobs must not perturb the trace)"
 cmp "$trace_j2" "$trace_j1" \

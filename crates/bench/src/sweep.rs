@@ -9,15 +9,25 @@
 //! rendered JSON is byte-identical for `--jobs 1` and `--jobs N`.
 
 use crate::{
-    homogeneous_system, homogeneous_table_system, workload_streams, COMPARED_PROTOCOLS, LINE,
+    homogeneous_system_on, homogeneous_table_system, workload_streams, COMPARED_PROTOCOLS, LINE,
     WORKLOADS,
 };
-use futurebus::{Nanos, Phase, TimingConfig};
+use cache_array::split_line_crossers;
+use futurebus::{Nanos, Phase, PhaseHistograms, TimingConfig};
 use moesi::json::{array_u64, JsonObject};
 use moesi::PolicyTable;
+use mpsim::campaign::run_jobs;
+use mpsim::workload::Access;
+use mpsim::EngineKind;
+use std::time::Instant;
 
 /// Nanoseconds of local (non-bus) work modelled per processor reference.
 pub const CPU_WORK_NS: u64 = 50;
+
+/// Address-interleaved regions a sharded cell splits one run into. Fixed —
+/// `--shards N` chooses only the worker count, never the partition — so the
+/// merged result is byte-identical for every `N ≥ 1`.
+pub const SHARD_REGIONS: usize = 4;
 
 /// Shape of a benchmark sweep.
 #[derive(Clone, Debug)]
@@ -39,6 +49,16 @@ pub struct SweepConfig {
     /// Bus/memory/cache cost model every cell runs under. The §5.2
     /// sensitivity study re-scores candidates across a grid of these.
     pub timing: TimingConfig,
+    /// Which simulation core runs each cell. The legacy loop is kept one PR
+    /// as a differential-benchmarking baseline.
+    pub engine: EngineKind,
+    /// `0` (the default) runs each cell as one classic whole-machine
+    /// simulation. `N ≥ 1` splits each cell's reference scripts into
+    /// [`SHARD_REGIONS`] interleaved line-address regions, simulates each
+    /// region as an independent machine on `N` worker threads, and merges in
+    /// region order — deterministic, and byte-identical for every `N ≥ 1`.
+    /// Requires the event engine.
+    pub shards: usize,
 }
 
 impl Default for SweepConfig {
@@ -55,12 +75,18 @@ impl Default for SweepConfig {
             seed: 7,
             jobs: mpsim::campaign::default_jobs(),
             timing: TimingConfig::default(),
+            engine: EngineKind::default(),
+            shards: 0,
         }
     }
 }
 
 /// One cell of the sweep: a protocol under a workload.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Equality ignores the host-side measurements (`host_wall_ns`,
+/// `engine_accesses_per_sec`): two rows are "the same result" when the
+/// *simulated* outcome matches, however fast the host happened to run.
+#[derive(Clone, Debug)]
 pub struct SweepRow {
     /// Protocol name.
     pub protocol: String,
@@ -76,6 +102,14 @@ pub struct SweepRow {
     pub wait_ns: u64,
     /// Accesses per simulated second.
     pub accesses_per_sec: f64,
+    /// Host wall-clock nanoseconds the cell's timed run took (sharded cells
+    /// sum their region runs). A measurement of the simulator, not the
+    /// simulated machine — excluded from equality and from committed-fixture
+    /// comparisons (see [`strip_host_fields`]).
+    pub host_wall_ns: u64,
+    /// Engine throughput: processor accesses simulated per host second.
+    /// Excluded from equality, like `host_wall_ns`.
+    pub engine_accesses_per_sec: f64,
     /// Cache miss ratio over all nodes.
     pub miss_ratio: f64,
     /// Median latency charged per pipeline phase, in [`Phase::PIPELINE`]
@@ -83,6 +117,22 @@ pub struct SweepRow {
     pub phase_p50: [Nanos; Phase::PIPELINE.len()],
     /// 99th-percentile latency charged per pipeline phase.
     pub phase_p99: [Nanos; Phase::PIPELINE.len()],
+}
+
+impl PartialEq for SweepRow {
+    fn eq(&self, other: &Self) -> bool {
+        // host_wall_ns and engine_accesses_per_sec deliberately excluded.
+        self.protocol == other.protocol
+            && self.workload == other.workload
+            && self.accesses == other.accesses
+            && self.wall_ns == other.wall_ns
+            && self.busy_ns == other.busy_ns
+            && self.wait_ns == other.wait_ns
+            && self.accesses_per_sec == other.accesses_per_sec
+            && self.miss_ratio == other.miss_ratio
+            && self.phase_p50 == other.phase_p50
+            && self.phase_p99 == other.phase_p99
+    }
 }
 
 /// Runs one cell.
@@ -97,7 +147,18 @@ pub fn sweep_one(cfg: &SweepConfig, protocol: &str, workload: &str) -> Result<Sw
     if !WORKLOADS.contains(&workload) {
         return Err(format!("unknown workload `{workload}`"));
     }
-    let sys = homogeneous_system(protocol, cfg.cpus, cfg.cache_bytes, LINE, cfg.timing, false);
+    if cfg.shards > 0 {
+        return Ok(measure_sharded(cfg, protocol, workload));
+    }
+    let sys = homogeneous_system_on(
+        cfg.engine,
+        protocol,
+        cfg.cpus,
+        cfg.cache_bytes,
+        LINE,
+        cfg.timing,
+        false,
+    );
     Ok(measure(cfg, sys, protocol, workload))
 }
 
@@ -124,8 +185,27 @@ pub fn table_fitness(
 
 fn measure(cfg: &SweepConfig, mut sys: mpsim::System, protocol: &str, workload: &str) -> SweepRow {
     let mut streams = workload_streams(workload, cfg.cpus, LINE, cfg.seed);
+    let host = Instant::now();
     let timed = sys.run_timed(&mut streams, cfg.steps, CPU_WORK_NS);
+    let host_wall_ns = host.elapsed().as_nanos() as u64;
     let total = sys.total_stats();
+    finish_row(
+        protocol,
+        workload,
+        &timed,
+        host_wall_ns,
+        1.0 - total.hit_ratio(),
+    )
+}
+
+/// Shared row assembly for the classic and sharded measurements.
+fn finish_row(
+    protocol: &str,
+    workload: &str,
+    timed: &mpsim::TimedReport,
+    host_wall_ns: u64,
+    miss_ratio: f64,
+) -> SweepRow {
     SweepRow {
         protocol: protocol.to_string(),
         workload: workload.to_string(),
@@ -138,10 +218,107 @@ fn measure(cfg: &SweepConfig, mut sys: mpsim::System, protocol: &str, workload: 
         } else {
             timed.total_refs as f64 * 1e9 / timed.wall_ns as f64
         },
-        miss_ratio: 1.0 - total.hit_ratio(),
+        host_wall_ns,
+        engine_accesses_per_sec: if host_wall_ns == 0 {
+            0.0
+        } else {
+            timed.total_refs as f64 * 1e9 / host_wall_ns as f64
+        },
+        miss_ratio,
         phase_p50: timed.phase_hist.p50s(),
         phase_p99: timed.phase_hist.p99s(),
     }
+}
+
+/// Runs one cell sharded: the per-cpu reference scripts are materialised up
+/// front, split at line boundaries, partitioned into [`SHARD_REGIONS`]
+/// interleaved line-address regions, and each region is simulated as an
+/// *independent* machine (same protocol, processors and caches, touching
+/// only its own lines) on `cfg.shards` worker threads. The merge is in
+/// region order: simulated wall is the max over regions (the regions model
+/// independent buses running concurrently), traffic and occupancy sum, and
+/// the phase histograms merge bucket-wise.
+///
+/// The partition count is fixed, so the merged row is byte-identical for
+/// every `cfg.shards ≥ 1`; the shard count only decides how many host
+/// threads run the regions. A sharded row is *not* comparable to an
+/// unsharded one — splitting the address space removes cross-region bus
+/// contention by construction (see DESIGN.md).
+fn measure_sharded(cfg: &SweepConfig, protocol: &str, workload: &str) -> SweepRow {
+    let mut streams = workload_streams(workload, cfg.cpus, LINE, cfg.seed);
+    // Materialise each cpu's script, split at line boundaries so every
+    // piece lands wholly in one region.
+    let scripts: Vec<Vec<Access>> = streams
+        .iter_mut()
+        .map(|s| {
+            let mut script = Vec::with_capacity(cfg.steps as usize);
+            for _ in 0..cfg.steps {
+                let a = s.next_access();
+                for (addr, size) in split_line_crossers(a.addr, a.size, LINE) {
+                    script.push(Access {
+                        addr,
+                        size,
+                        is_write: a.is_write,
+                    });
+                }
+            }
+            script
+        })
+        .collect();
+    let region_of = |addr: u64| ((addr / LINE as u64) % SHARD_REGIONS as u64) as usize;
+    let regions: Vec<Vec<Vec<Access>>> = (0..SHARD_REGIONS)
+        .map(|r| {
+            scripts
+                .iter()
+                .map(|script| {
+                    script
+                        .iter()
+                        .copied()
+                        .filter(|a| region_of(a.addr) == r)
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let lane_results = run_jobs(regions, cfg.shards, |lane: Vec<Vec<Access>>| {
+        let mut sys = homogeneous_system_on(
+            cfg.engine,
+            protocol,
+            cfg.cpus,
+            cfg.cache_bytes,
+            LINE,
+            cfg.timing,
+            false,
+        );
+        let host = Instant::now();
+        let timed = sys.run_timed_script(&lane, CPU_WORK_NS);
+        let host_ns = host.elapsed().as_nanos() as u64;
+        (timed, sys.total_stats(), host_ns)
+    });
+    let mut merged = mpsim::TimedReport {
+        wall_ns: 0,
+        bus_busy_ns: 0,
+        bus_wait_ns: 0,
+        total_refs: 0,
+        phase_hist: PhaseHistograms::new(),
+    };
+    let (mut host_wall_ns, mut hits, mut refs) = (0u64, 0u64, 0u64);
+    for (timed, stats, host_ns) in &lane_results {
+        merged.wall_ns = merged.wall_ns.max(timed.wall_ns);
+        merged.bus_busy_ns += timed.bus_busy_ns;
+        merged.bus_wait_ns += timed.bus_wait_ns;
+        merged.total_refs += timed.total_refs;
+        merged.phase_hist.merge(&timed.phase_hist);
+        host_wall_ns += host_ns;
+        hits += stats.read_hits + stats.write_hits;
+        refs += stats.reads + stats.writes;
+    }
+    let miss_ratio = if refs == 0 {
+        0.0
+    } else {
+        1.0 - hits as f64 / refs as f64
+    };
+    finish_row(protocol, workload, &merged, host_wall_ns, miss_ratio)
 }
 
 /// Runs the whole sweep, sharded over `cfg.jobs` workers. Rows come back in
@@ -156,6 +333,9 @@ pub fn sweep(cfg: &SweepConfig) -> Result<Vec<SweepRow>, String> {
     }
     if cfg.cpus == 0 || cfg.steps == 0 {
         return Err("cpus and steps must be non-zero".into());
+    }
+    if cfg.shards > 0 && cfg.engine == EngineKind::Legacy {
+        return Err("--shards requires the event engine (script-driven lanes)".into());
     }
     let mut cells = Vec::with_capacity(cfg.protocols.len() * cfg.workloads.len());
     for p in &cfg.protocols {
@@ -189,6 +369,8 @@ pub fn sweep_json(cfg: &SweepConfig, rows: &[SweepRow]) -> String {
             .number("busy_ns", r.busy_ns)
             .number("wait_ns", r.wait_ns)
             .fixed("accesses_per_sec", r.accesses_per_sec, 3)
+            .number("host_wall_ns", r.host_wall_ns)
+            .fixed("engine_accesses_per_sec", r.engine_accesses_per_sec, 3)
             .fixed("miss_ratio", r.miss_ratio, 6)
             .raw("phase_p50_ns", &array_u64(&r.phase_p50))
             .raw("phase_p99_ns", &array_u64(&r.phase_p99))
@@ -199,6 +381,28 @@ pub fn sweep_json(cfg: &SweepConfig, rows: &[SweepRow]) -> String {
         ));
     }
     out.push_str("  ]\n}\n");
+    out
+}
+
+/// Strips the host-side measurement fields (`host_wall_ns`,
+/// `engine_accesses_per_sec`) from a [`sweep_json`] document, leaving only
+/// the simulated results. This is the normalisation fixture comparisons and
+/// the engine-equivalence CI stage run through: host timings differ run to
+/// run by construction, simulated results must not.
+#[must_use]
+pub fn strip_host_fields(json: &str) -> String {
+    let mut out = json.to_string();
+    for key in ["\"host_wall_ns\": ", "\"engine_accesses_per_sec\": "] {
+        while let Some(start) = out.find(key) {
+            // Both fields sit mid-row, so the value is always followed by
+            // `, ` — consume through it.
+            let end = match out[start..].find(", ") {
+                Some(comma) => start + comma + 2,
+                None => break,
+            };
+            out.replace_range(start..end, "");
+        }
+    }
     out
 }
 
@@ -277,7 +481,75 @@ mod tests {
         })
         .unwrap();
         assert_eq!(seq, par);
-        assert_eq!(sweep_json(&cfg, &seq), sweep_json(&cfg, &par));
+        assert_eq!(
+            strip_host_fields(&sweep_json(&cfg, &seq)),
+            strip_host_fields(&sweep_json(&cfg, &par))
+        );
+    }
+
+    #[test]
+    fn strip_host_fields_removes_exactly_the_host_measurements() {
+        let cfg = tiny();
+        let rows = sweep(&cfg).unwrap();
+        let json = sweep_json(&cfg, &rows);
+        assert_eq!(json.matches("\"host_wall_ns\"").count(), rows.len());
+        let stripped = strip_host_fields(&json);
+        assert!(!stripped.contains("host_wall_ns"));
+        assert!(!stripped.contains("engine_accesses_per_sec"));
+        // Everything else survives untouched.
+        assert_eq!(stripped.matches("\"accesses_per_sec\"").count(), rows.len());
+        assert_eq!(stripped.matches("\"miss_ratio\"").count(), rows.len());
+        assert!(stripped.ends_with("}\n"));
+    }
+
+    #[test]
+    fn legacy_and_event_engines_sweep_identically() {
+        let event = sweep(&tiny()).unwrap();
+        let legacy = sweep(&SweepConfig {
+            engine: EngineKind::Legacy,
+            ..tiny()
+        })
+        .unwrap();
+        assert_eq!(event, legacy);
+    }
+
+    #[test]
+    fn shard_worker_count_never_changes_the_merged_rows() {
+        let one = sweep(&SweepConfig {
+            shards: 1,
+            ..tiny()
+        })
+        .unwrap();
+        let two = sweep(&SweepConfig {
+            shards: 2,
+            ..tiny()
+        })
+        .unwrap();
+        assert_eq!(one, two);
+        let cfg = tiny();
+        assert_eq!(
+            strip_host_fields(&sweep_json(&cfg, &one)),
+            strip_host_fields(&sweep_json(&cfg, &two))
+        );
+        // Sharding preserves the reference count (line-crosser pieces and
+        // all) even though the partition changes the contention picture.
+        let whole = sweep(&cfg).unwrap();
+        for (s, w) in one.iter().zip(&whole) {
+            assert_eq!(s.protocol, w.protocol);
+            assert_eq!(s.workload, w.workload);
+            assert_eq!(s.accesses, w.accesses, "{}/{}", s.protocol, s.workload);
+        }
+    }
+
+    #[test]
+    fn sharding_requires_the_event_engine() {
+        let err = sweep(&SweepConfig {
+            shards: 2,
+            engine: EngineKind::Legacy,
+            ..tiny()
+        })
+        .unwrap_err();
+        assert!(err.contains("event engine"), "{err}");
     }
 
     #[test]

@@ -138,11 +138,20 @@ impl<S> CacheArray<S> {
         let (tag, set_idx, _) = self.map.split(addr);
         let set = &mut self.sets[set_idx];
         if let Some(way) = set.way_of(tag) {
-            if let Some(pos) = set.order.iter().position(|&w| w == way) {
-                set.order.remove(pos);
-            }
-            set.order.insert(0, way);
+            Self::make_mru(set, way);
         }
+    }
+
+    /// Moves `way` to the front of the set's recency order unless it is
+    /// already there (the common case in access streaks).
+    fn make_mru(set: &mut CacheSet<S>, way: usize) {
+        if set.order.first() == Some(&way) {
+            return;
+        }
+        if let Some(pos) = set.order.iter().position(|&w| w == way) {
+            set.order.remove(pos);
+        }
+        set.order.insert(0, way);
     }
 
     /// The line's recency rank in its set: 0 = most recent, `ways-1` =
@@ -227,11 +236,7 @@ impl<S> CacheArray<S> {
         if self.config.replacement != ReplacementKind::Lru {
             return;
         }
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.order.iter().position(|&w| w == way) {
-            set.order.remove(pos);
-        }
-        set.order.insert(0, way);
+        Self::make_mru(&mut self.sets[set_idx], way);
     }
 
     fn pick_victim(&mut self, set_idx: usize) -> usize {
@@ -268,6 +273,33 @@ impl<S: Copy> CacheArray<S> {
             }
             None => false,
         }
+    }
+
+    /// Single-pass hit probe: if the line containing `addr` is resident,
+    /// marks it most-recently-used and returns its state. Equivalent to
+    /// `state_of` followed by `touch`, in one tag scan — the engine's
+    /// dataless read-hit path.
+    pub fn touch_state(&mut self, addr: u64) -> Option<S> {
+        let (tag, set_idx, _) = self.map.split(addr);
+        let set = &mut self.sets[set_idx];
+        let way = set.way_of(tag)?;
+        let state = set.ways[way].as_ref()?.state;
+        if self.config.replacement == ReplacementKind::Lru {
+            Self::make_mru(set, way);
+        }
+        Some(state)
+    }
+
+    /// Single-pass `state_of` + `recency_rank`: one tag scan for the
+    /// protocol-consultation paths that need both.
+    #[must_use]
+    pub fn state_and_rank(&self, addr: u64) -> Option<(S, u32)> {
+        let (tag, set_idx, _) = self.map.split(addr);
+        let set = &self.sets[set_idx];
+        let way = set.way_of(tag)?;
+        let state = set.ways[way].as_ref()?.state;
+        let rank = set.order.iter().position(|&w| w == way)? as u32;
+        Some((state, rank))
     }
 }
 
@@ -307,6 +339,32 @@ impl<S> CacheArray<S> {
             }
             None => false,
         }
+    }
+
+    /// [`CacheArray::write`] followed by [`CacheArray::touch`], in one tag
+    /// scan — the write-hit path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses the end of the line.
+    pub fn write_touch(&mut self, addr: u64, bytes: &[u8]) -> bool {
+        let (tag, set_idx, offset) = self.map.split(addr);
+        assert!(
+            offset + bytes.len() <= self.config.line_size,
+            "write crosses line boundary; split it first"
+        );
+        let set = &mut self.sets[set_idx];
+        let Some(way) = set.way_of(tag) else {
+            return false;
+        };
+        let entry = set.ways[way]
+            .as_mut()
+            .expect("way_of returns occupied ways");
+        entry.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+        if self.config.replacement == ReplacementKind::Lru {
+            Self::make_mru(set, way);
+        }
+        true
     }
 }
 

@@ -39,6 +39,7 @@ use crate::stats::BusStats;
 use crate::timing::{Nanos, TimingConfig};
 use crate::trace::{BusTrace, TraceKind};
 use crate::transaction::{BusError, TransactionKind, TransactionOutcome, TransactionRequest};
+use moesi::ResponseSignals;
 use std::collections::BTreeSet;
 
 /// Capped exponential backoff for BS abort retries.
@@ -142,6 +143,10 @@ pub struct Futurebus {
     retry_hist: LatencyHistogram,
     liveness: Option<LivenessMonitor>,
     phase_events: Option<Vec<TxnPhases>>,
+    /// The reply buffer lent to each transaction's [`TxnContext`] and
+    /// reclaimed afterwards, so the address-broadcast phase never allocates
+    /// on the steady state.
+    reply_scratch: Vec<(usize, ResponseSignals)>,
 }
 
 impl Futurebus {
@@ -165,6 +170,7 @@ impl Futurebus {
             retry_hist: LatencyHistogram::new(),
             liveness: None,
             phase_events: None,
+            reply_scratch: Vec::new(),
         }
     }
 
@@ -367,10 +373,33 @@ impl Futurebus {
         req: &TransactionRequest,
         modules: &mut [&mut dyn BusModule],
     ) -> Result<TransactionOutcome, BusError> {
+        self.execute_components(req, modules)
+    }
+
+    /// [`Futurebus::execute`], generic over the module type. Callers that own
+    /// a homogeneous component array (e.g. the simulator's
+    /// `Vec<CacheController>`) pass it directly and get a statically
+    /// dispatched pipeline — no per-transaction `Vec<&mut dyn BusModule>`
+    /// and no virtual calls in the inner loop. The dyn-slice `execute` is
+    /// this function instantiated with `M = &mut dyn BusModule`, so both
+    /// entry points run the identical pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Futurebus::execute`].
+    pub fn execute_components<M: BusModule>(
+        &mut self,
+        req: &TransactionRequest,
+        modules: &mut [M],
+    ) -> Result<TransactionOutcome, BusError> {
         self.validate(req, modules.len())?;
         let faults = self.decide_faults(req, modules.len());
         let mut ctx = TxnContext::new(req, self.memory.line_size(), faults);
-        match self.run_pipeline(&mut ctx, modules) {
+        ctx.replies = std::mem::take(&mut self.reply_scratch);
+        let run = self.run_pipeline(&mut ctx, modules);
+        self.reply_scratch = std::mem::take(&mut ctx.replies);
+        self.reply_scratch.clear();
+        match run {
             Ok(()) => {
                 if let Some(mon) = self.liveness.as_mut() {
                     mon.record_commit(req.master);

@@ -9,6 +9,36 @@
 
 use crate::transaction::LineAddr;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A multiplicative hasher for line addresses. Line lookups sit on the bus
+/// engine's per-transaction path, where the default SipHash costs more than
+/// the table probe itself; a Fibonacci multiply with an avalanche shift is
+/// plenty for keys that differ only in their upper (line-number) bits.
+/// Iteration order is never observable — deterministic consumers go through
+/// [`SparseMemory::line_addrs`], which sorts.
+#[derive(Clone, Copy, Debug, Default)]
+struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 keys (unused by the line map): FNV-1a.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        let mixed = (self.0 ^ value).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = mixed ^ (mixed >> 29);
+    }
+}
+
+type LineMap = HashMap<LineAddr, Box<[u8]>, BuildHasherDefault<LineHasher>>;
 
 /// A sparse, line-granular main memory. Untouched lines read as zero.
 ///
@@ -25,7 +55,7 @@ use std::collections::HashMap;
 #[derive(Clone, Debug)]
 pub struct SparseMemory {
     line_size: usize,
-    lines: HashMap<LineAddr, Box<[u8]>>,
+    lines: LineMap,
     reads: u64,
     writes: u64,
 }
@@ -45,7 +75,7 @@ impl SparseMemory {
         );
         SparseMemory {
             line_size,
-            lines: HashMap::new(),
+            lines: LineMap::default(),
             reads: 0,
             writes: 0,
         }

@@ -112,6 +112,34 @@ pub trait BusModule {
     fn complete(&mut self, req: &TransactionRequest, obs: &BusObservation<'_>);
 }
 
+// A mutable reference to a module is itself a module. This is what lets the
+// bus pipeline be generic over `M: BusModule` while the historical
+// `&mut [&mut dyn BusModule]` entry point keeps working: the dyn path simply
+// instantiates the generic pipeline with `M = &mut dyn BusModule`, and owners
+// of concrete component arrays (`&mut [CacheController]`) get a statically
+// dispatched instantiation with no per-transaction reference vector.
+impl<T: BusModule + ?Sized> BusModule for &mut T {
+    fn snoop(&mut self, req: &TransactionRequest) -> ResponseSignals {
+        (**self).snoop(req)
+    }
+
+    fn supply_line(&mut self, addr: LineAddr) -> Option<Box<[u8]>> {
+        (**self).supply_line(addr)
+    }
+
+    fn prepare_push(&mut self, addr: LineAddr) -> Option<PushWrite> {
+        (**self).prepare_push(addr)
+    }
+
+    fn retire(&mut self, salvage: bool) -> RetireReport {
+        (**self).retire(salvage)
+    }
+
+    fn complete(&mut self, req: &TransactionRequest, obs: &BusObservation<'_>) {
+        (**self).complete(req, obs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

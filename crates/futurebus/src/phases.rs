@@ -188,10 +188,16 @@ impl<'r> TxnContext<'r> {
 impl Futurebus {
     /// Drives `ctx` through the pipeline until [`Phase::Commit`] completes.
     /// The caller accounts `ctx.duration` into the stats on error.
-    pub(crate) fn run_pipeline(
+    ///
+    /// Generic over the module type: callers holding a concrete component
+    /// array (`&mut [CacheController]`) get a statically dispatched pipeline
+    /// with no per-transaction reference vector, while the historical dyn
+    /// entry point instantiates `M = &mut dyn BusModule` — one code path,
+    /// byte-identical behaviour.
+    pub(crate) fn run_pipeline<M: BusModule>(
         &mut self,
         ctx: &mut TxnContext<'_>,
-        modules: &mut [&mut dyn BusModule],
+        modules: &mut [M],
     ) -> Result<(), BusError> {
         let mut phase = Phase::Arbitrate;
         loop {
@@ -205,11 +211,11 @@ impl Futurebus {
         }
     }
 
-    fn run_phase(
+    fn run_phase<M: BusModule>(
         &mut self,
         phase: Phase,
         ctx: &mut TxnContext<'_>,
-        modules: &mut [&mut dyn BusModule],
+        modules: &mut [M],
     ) -> Result<Step, BusError> {
         match phase {
             Phase::Arbitrate => Ok(self.arbitrate(ctx, modules)),
@@ -224,7 +230,7 @@ impl Futurebus {
     /// Bus acquisition. A stalled snooper never completes the connection
     /// handshake, so the watchdog times it out *here*, retires it from the
     /// snoop set, and the master re-arbitrates.
-    fn arbitrate(&mut self, ctx: &mut TxnContext<'_>, modules: &mut [&mut dyn BusModule]) -> Step {
+    fn arbitrate<M: BusModule>(&mut self, ctx: &mut TxnContext<'_>, modules: &mut [M]) -> Step {
         if let Some((victim, salvage)) = ctx.faults.stall.take() {
             let cost = self.retire_module(victim, salvage, ctx, modules);
             ctx.charge(Phase::Arbitrate, cost);
@@ -235,10 +241,10 @@ impl Futurebus {
 
     /// Broadcast address cycle: every other live module snoops the request
     /// and drives its response lines.
-    fn address_broadcast(
+    fn address_broadcast<M: BusModule>(
         &mut self,
         ctx: &mut TxnContext<'_>,
-        modules: &mut [&mut dyn BusModule],
+        modules: &mut [M],
     ) -> Step {
         ctx.replies.clear();
         ctx.combined = ResponseSignals::NONE;
@@ -287,10 +293,10 @@ impl Futurebus {
     /// phantom BS rounds with nobody pushing. Both drain under the capped
     /// exponential retry policy; the aborted address cycle and the backoff
     /// wait are charged to the transaction.
-    fn abort_backoff(
+    fn abort_backoff<M: BusModule>(
         &mut self,
         ctx: &mut TxnContext<'_>,
-        modules: &mut [&mut dyn BusModule],
+        modules: &mut [M],
     ) -> Result<Step, BusError> {
         let genuine_bs = ctx.combined.bs;
         if !genuine_bs && ctx.storm_left == 0 {
@@ -348,19 +354,17 @@ impl Futurebus {
     /// Runs the push write-back of every BS-asserting snooper: the pusher
     /// held the only owned copy, so its line goes to memory as a write
     /// transaction of its own before the master's retry.
-    fn execute_pushes(
+    fn execute_pushes<M: BusModule>(
         &mut self,
         ctx: &mut TxnContext<'_>,
-        modules: &mut [&mut dyn BusModule],
+        modules: &mut [M],
     ) -> Result<(), BusError> {
         let line_size = ctx.line_size;
-        let pushers: Vec<usize> = ctx
-            .replies
-            .iter()
-            .filter(|(_, r)| r.bs)
-            .map(|(idx, _)| *idx)
-            .collect();
-        for idx in pushers {
+        for reply in 0..ctx.replies.len() {
+            let (idx, r) = ctx.replies[reply];
+            if !r.bs {
+                continue;
+            }
             let Some(push) = modules[idx].prepare_push(ctx.req.addr) else {
                 return Err(BusError::ProtocolError {
                     module: idx,
@@ -406,21 +410,30 @@ impl Futurebus {
     /// the Futurebus limitation of §4.3–4.5); a non-broadcast write is
     /// captured by the owner or absorbed by memory; a broadcast write
     /// updates memory *and* every SL snooper (§4.2, fanned out at commit).
-    fn data_transfer(
+    fn data_transfer<M: BusModule>(
         &mut self,
         ctx: &mut TxnContext<'_>,
-        modules: &mut [&mut dyn BusModule],
+        modules: &mut [M],
     ) -> Result<Step, BusError> {
-        let interveners: Vec<usize> = ctx
-            .replies
-            .iter()
-            .filter(|(_, r)| r.di)
-            .map(|(idx, _)| *idx)
-            .collect();
-        if interveners.len() > 1 {
+        let mut di_count = 0usize;
+        let mut first_di = None;
+        for (idx, r) in &ctx.replies {
+            if r.di {
+                di_count += 1;
+                first_di.get_or_insert(*idx);
+            }
+        }
+        if di_count > 1 {
+            // Only the error path pays for materialising the offender list.
+            let interveners: Vec<usize> = ctx
+                .replies
+                .iter()
+                .filter(|(_, r)| r.di)
+                .map(|(idx, _)| *idx)
+                .collect();
             return Err(BusError::MultipleInterveners(interveners));
         }
-        ctx.intervener = interveners.first().copied();
+        ctx.intervener = first_di;
 
         let line_size = ctx.line_size;
         let broadcast = ctx.req.signals.bc;
@@ -506,17 +519,18 @@ impl Futurebus {
     /// the resolved CH observation (and the write payload, when SL- or
     /// DI-connected). Post-transaction soft errors land here, then the stats
     /// and trace are sealed.
-    fn commit(&mut self, ctx: &mut TxnContext<'_>, modules: &mut [&mut dyn BusModule]) -> Step {
+    fn commit<M: BusModule>(&mut self, ctx: &mut TxnContext<'_>, modules: &mut [M]) -> Step {
         let payload: Option<(usize, &[u8])> = match &ctx.req.kind {
             TransactionKind::Write { offset, bytes } => Some((*offset, bytes.as_slice())),
             _ => None,
         };
         let broadcast = ctx.req.signals.bc;
+        // "CH asserted by someone else" per snooper, without rescanning the
+        // reply list for each: others hold CH iff the total count exceeds
+        // this snooper's own contribution.
+        let ch_count = ctx.replies.iter().filter(|(_, r)| r.ch).count();
         for (idx, r) in &ctx.replies {
-            let ch_others = ctx
-                .replies
-                .iter()
-                .any(|(other, reply)| other != idx && reply.ch);
+            let ch_others = ch_count > usize::from(r.ch);
             let delivers = payload.is_some() && (r.sl || (r.di && !broadcast));
             if r.sl && payload.is_some() {
                 self.stats.sl_updates += 1;
@@ -580,12 +594,12 @@ impl Futurebus {
     /// board is dead — invalidates every surviving copy of the lines whose
     /// only up-to-date data died with it, so no stale data outlives the
     /// owner. Returns the bus time consumed.
-    fn retire_module(
+    fn retire_module<M: BusModule>(
         &mut self,
         victim: usize,
         salvage: bool,
         ctx: &TxnContext<'_>,
-        modules: &mut [&mut dyn BusModule],
+        modules: &mut [M],
     ) -> Nanos {
         let line_size = ctx.line_size;
         let mut cost = self.timing.watchdog_timeout_ns;

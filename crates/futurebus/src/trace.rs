@@ -147,6 +147,13 @@ impl BusTrace {
         self.records.push_back(record);
     }
 
+    /// True when the log retains records (non-zero capacity). Hot paths use
+    /// this to skip building records that [`BusTrace::push`] would drop.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
     /// The retained records, oldest first.
     pub fn records(&self) -> impl Iterator<Item = &TraceRecord> + '_ {
         self.records.iter()

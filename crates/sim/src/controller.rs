@@ -144,9 +144,12 @@ impl CacheController {
         addr: u64,
         event: LocalEvent,
     ) -> Result<LocalAction, IllegalCell> {
-        let state = self.state_of(addr);
+        let (state, recency_rank) = match self.cache.as_ref().and_then(|c| c.state_and_rank(addr)) {
+            Some((state, rank)) => (state, Some(rank)),
+            None => (LineState::Invalid, None),
+        };
         let ctx = LocalCtx {
-            recency_rank: self.cache.as_ref().and_then(|c| c.recency_rank(addr)),
+            recency_rank,
             ways: self
                 .cache
                 .as_ref()
@@ -188,16 +191,29 @@ impl CacheController {
         Some(data)
     }
 
+    /// The dataless hit probe: if the line containing `addr` is resident,
+    /// marks it most-recently-used (same recency effect as
+    /// [`CacheController::read_cached`], no copy) and reports the hit in a
+    /// single tag scan. Resident lines are always in a valid state — the
+    /// fabric removes a line whenever its state becomes Invalid — so
+    /// residency alone decides the hit.
+    pub fn probe_touch(&mut self, addr: u64) -> bool {
+        match self.cache.as_mut() {
+            Some(cache) => match cache.touch_state(addr) {
+                Some(state) => {
+                    debug_assert!(state.is_valid(), "resident lines are valid");
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+
     /// Writes bytes into the resident line (hit path); false on a miss.
     pub fn write_cached(&mut self, addr: u64, bytes: &[u8]) -> bool {
         match self.cache.as_mut() {
-            Some(cache) => {
-                let ok = cache.write(addr, bytes);
-                if ok {
-                    cache.touch(addr);
-                }
-                ok
-            }
+            Some(cache) => cache.write_touch(addr, bytes),
             None => false,
         }
     }
@@ -231,17 +247,6 @@ impl CacheController {
         }
     }
 
-    fn snoop_ctx(&self, addr: u64) -> SnoopCtx {
-        SnoopCtx {
-            recency_rank: self.cache.as_ref().and_then(|c| c.recency_rank(addr)),
-            ways: self
-                .cache
-                .as_ref()
-                .map_or(0, |c| c.config().associativity as u32),
-            line_addr: Some(self.line_addr(addr)),
-        }
-    }
-
     fn line_addr(&self, addr: u64) -> u64 {
         self.cache
             .as_ref()
@@ -256,14 +261,18 @@ impl BusModule for CacheController {
             // "A non-caching unit never responds to bus events."
             return ResponseSignals::NONE;
         };
-        let state = cache.state_of(req.addr).unwrap_or(LineState::Invalid);
-        if state == LineState::Invalid {
+        let Some((state, rank)) = cache.state_and_rank(req.addr) else {
             return ResponseSignals::NONE;
-        }
+        };
+        debug_assert!(state.is_valid(), "resident lines are valid");
         let Some(event) = BusEvent::from_signals(req.signals) else {
             return ResponseSignals::NONE;
         };
-        let ctx = self.snoop_ctx(req.addr);
+        let ctx = SnoopCtx {
+            recency_rank: Some(rank),
+            ways: cache.config().associativity as u32,
+            line_addr: Some(cache.map().line_addr(req.addr)),
+        };
         let reaction = match self.protocol.try_on_bus(state, event, &ctx) {
             Ok(r) => r,
             Err(_) => {

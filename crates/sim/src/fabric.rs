@@ -9,7 +9,7 @@
 //! directory.
 
 use cache_array::{split_line_crossers, Victim};
-use futurebus::{BusModule, Futurebus, TimingConfig, TransactionOutcome, TransactionRequest};
+use futurebus::{Futurebus, TimingConfig, TransactionOutcome, TransactionRequest};
 use moesi::{BusOp, LineState, LocalAction, LocalEvent, MasterSignals};
 
 use crate::controller::CacheController;
@@ -115,12 +115,11 @@ impl Fabric {
     /// which case the error is logged and the access degrades to a
     /// memory-direct fallback.
     pub fn run_txn(&mut self, req: &TransactionRequest) -> TransactionOutcome {
-        let mut refs: Vec<&mut dyn BusModule> = self
-            .controllers
-            .iter_mut()
-            .map(|c| c as &mut dyn BusModule)
-            .collect();
-        let out = match self.bus.execute(req, &mut refs) {
+        // The controllers are passed as a flat component array: the bus
+        // pipeline monomorphises over `CacheController`, so there is no
+        // per-transaction `Vec<&mut dyn BusModule>` and no virtual dispatch
+        // in the snoop fan-out.
+        let out = match self.bus.execute_components(req, &mut self.controllers) {
             Ok(out) => out,
             Err(e) if self.tolerate => {
                 self.errors.push(format!("{req}: {e}"));
@@ -290,6 +289,55 @@ impl Fabric {
         self.run_txn(&req)
     }
 
+    /// [`Fabric::read`] without materialising the bytes: the event engine's
+    /// hot path for workload driving, where the caller discards the data
+    /// anyway. Stats, LRU recency, cache state, memory image and bus traffic
+    /// are byte-identical to [`Fabric::read`] — the only difference is that
+    /// no `Vec` is built for the result and a hit copies nothing.
+    pub fn read_dataless(&mut self, cpu: usize, addr: u64, len: usize) {
+        let line = self.line_addr(addr);
+        // Single-line accesses (the overwhelmingly common case) skip the
+        // crosser split entirely.
+        if addr - line + len as u64 <= self.line_size as u64 {
+            self.read_piece_dataless(cpu, addr, len);
+            return;
+        }
+        for (piece_addr, piece_len) in split_line_crossers(addr, len, self.line_size) {
+            self.read_piece_dataless(cpu, piece_addr, piece_len);
+        }
+    }
+
+    /// [`Fabric::write_with`] without the serialisation hook, with the
+    /// single-line case short-circuited: the event engine's hot path when no
+    /// checker is recording writes. Byte-identical side effects.
+    pub fn write_fast(&mut self, cpu: usize, addr: u64, bytes: &[u8]) {
+        let line = self.line_addr(addr);
+        if addr - line + bytes.len() as u64 <= self.line_size as u64 {
+            self.write_piece(cpu, addr, bytes);
+            return;
+        }
+        self.write_with(cpu, addr, bytes, |_, _| {});
+    }
+
+    fn read_piece_dataless(&mut self, cpu: usize, addr: u64, len: usize) {
+        let _ = len;
+        let ctrl = &mut self.controllers[cpu];
+        ctrl.stats_mut().reads += 1;
+        // Single-pass hit probe: same residency check and LRU effect as the
+        // copying hit path, minus the copy and the second tag scan.
+        if ctrl.probe_touch(addr) {
+            ctrl.stats_mut().read_hits += 1;
+            return;
+        }
+        let line = self.line_addr(addr);
+        let Some(action) = self.try_decide(cpu, line, LocalEvent::Read) else {
+            // Degraded: the copying path serves from memory without caching;
+            // with nobody consuming the bytes there is nothing to do.
+            return;
+        };
+        self.execute_read_action_dataless(cpu, line, &action);
+    }
+
     fn read_piece(&mut self, cpu: usize, addr: u64, len: usize) -> Vec<u8> {
         self.controllers[cpu].stats_mut().reads += 1;
         let line = self.line_addr(addr);
@@ -326,6 +374,22 @@ impl Fabric {
         data
     }
 
+    /// [`Fabric::execute_read_action`] for callers that discard the line:
+    /// the fill takes the bus data by move instead of cloning it.
+    fn execute_read_action_dataless(&mut self, cpu: usize, line: u64, action: &LocalAction) {
+        debug_assert_eq!(action.bus_op, BusOp::Read, "read path expects an R action");
+        let req = TransactionRequest::read(cpu, line, action.signals);
+        let out = self.run_txn(&req);
+        let data = out.data.expect("reads return data");
+        let result = action.result.resolve(out.ch_seen);
+        if result.is_valid() {
+            let victim = self.controllers[cpu].fill(line, result, data);
+            if let Some(v) = victim {
+                self.write_back_victim(cpu, v);
+            }
+        }
+    }
+
     fn write_back_victim(&mut self, cpu: usize, victim: Victim<LineState>) {
         if !victim.state.is_owned() {
             return; // clean victims are dropped silently
@@ -344,7 +408,7 @@ impl Fabric {
         };
         debug_assert_eq!(action.bus_op, BusOp::Write, "dirty victims must write back");
         let req =
-            TransactionRequest::write(cpu, victim.addr, action.signals, 0, victim.data.to_vec());
+            TransactionRequest::write(cpu, victim.addr, action.signals, 0, victim.data.into_vec());
         self.run_txn(&req);
         self.controllers[cpu].stats_mut().write_backs += 1;
     }

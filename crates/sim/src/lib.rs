@@ -30,6 +30,7 @@
 pub mod campaign;
 mod checker;
 mod controller;
+pub mod engine;
 mod fabric;
 pub mod faults;
 pub mod hierarchy;
@@ -42,6 +43,7 @@ pub mod workload;
 pub use campaign::{default_jobs, merge_phase_histograms, run_jobs};
 pub use checker::{Checker, Violation};
 pub use controller::CacheController;
+pub use engine::EngineKind;
 pub use fabric::Fabric;
 pub use faults::{
     campaign_report_json, hierarchy_report_json, liveness_probe_json, run_campaign,
@@ -49,7 +51,7 @@ pub use faults::{
     FaultVerdict, HierarchyCampaignConfig, HierarchyReport, HierarchyRun, LivenessOutcome,
     LivenessProbe, ProtocolRun,
 };
-pub use metrics::{CpuStats, StateCensus, TimedReport};
+pub use metrics::{CpuStats, MachineReport, StateCensus, TimedReport};
 pub use profile::{chrome_trace, trace_run, TraceRunConfig};
 pub use replay::{replay, ReplayFault, ReplayOp, ReplayOutcome, Trace, TraceStep};
 pub use system::{System, SystemBuilder};

@@ -14,9 +14,10 @@ use moesi::{CacheKind, LineState, Protocol};
 
 use crate::checker::{Checker, Violation};
 use crate::controller::CacheController;
+use crate::engine::{EngineKind, EventQueue};
 use crate::fabric::Fabric;
-use crate::metrics::CpuStats;
-use crate::workload::RefStream;
+use crate::metrics::{CpuStats, MachineReport};
+use crate::workload::{Access, RefStream};
 
 /// Builds a [`System`].
 ///
@@ -43,6 +44,7 @@ pub struct SystemBuilder {
     nodes: Vec<(Box<dyn Protocol + Send>, Option<CacheConfig>)>,
     checking: bool,
     seed: u64,
+    engine: EngineKind,
 }
 
 impl SystemBuilder {
@@ -56,7 +58,17 @@ impl SystemBuilder {
             nodes: Vec::new(),
             checking: false,
             seed: 0x5EED,
+            engine: EngineKind::default(),
         }
+    }
+
+    /// Selects the run-loop engine (default: [`EngineKind::Event`]). The two
+    /// engines produce byte-identical results; `Legacy` exists as the
+    /// differential-testing baseline and will be removed next PR.
+    #[must_use]
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Sets the bus timing model.
@@ -142,6 +154,7 @@ impl SystemBuilder {
                 None
             },
             write_seq: 0,
+            engine: self.engine,
         }
     }
 }
@@ -152,6 +165,7 @@ pub struct System {
     fabric: Fabric,
     checker: Option<Checker>,
     write_seq: u32,
+    engine: EngineKind,
 }
 
 impl System {
@@ -443,6 +457,59 @@ impl System {
         pushed
     }
 
+    /// The engine driving [`run`](System::run) and
+    /// [`run_timed`](System::run_timed).
+    #[must_use]
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// A [`MachineReport`] snapshot of the run so far: the unit of
+    /// differential comparison between engines.
+    #[must_use]
+    pub fn machine_report(&self) -> MachineReport {
+        MachineReport {
+            bus: *self.bus_stats(),
+            cpus: (0..self.nodes()).map(|cpu| *self.stats(cpu)).collect(),
+            trace: self.trace().render(),
+        }
+    }
+
+    /// Issues one workload access: the engines' shared dispatch. Writes carry
+    /// the deterministic sequence-number payload; when no oracle is attached
+    /// the access takes the dataless/allocation-free fabric fast paths, which
+    /// have byte-identical observable effects.
+    fn dispatch_access(&mut self, cpu: usize, access: &Access) {
+        if access.is_write {
+            self.write_seq = self.write_seq.wrapping_add(1);
+            let pattern = self.write_seq.to_le_bytes();
+            if self.checker.is_none() {
+                let mut buf = [0u8; 64];
+                if access.size <= buf.len() {
+                    for (i, b) in buf[..access.size].iter_mut().enumerate() {
+                        *b = pattern[i % pattern.len()];
+                    }
+                    self.fabric
+                        .write_fast(cpu, access.addr, &buf[..access.size]);
+                } else {
+                    let bytes: Vec<u8> = (0..access.size)
+                        .map(|i| pattern[i % pattern.len()])
+                        .collect();
+                    self.fabric.write_fast(cpu, access.addr, &bytes);
+                }
+            } else {
+                let bytes: Vec<u8> = (0..access.size)
+                    .map(|i| pattern[i % pattern.len()])
+                    .collect();
+                self.write(cpu, access.addr, &bytes);
+            }
+        } else if self.checker.is_none() {
+            self.fabric.read_dataless(cpu, access.addr, access.size);
+        } else {
+            let _ = self.read(cpu, access.addr, access.size);
+        }
+    }
+
     /// Drives one access from each stream per step, round-robin, for `steps`
     /// rounds. Writes carry a deterministic sequence-number payload so the
     /// oracle can detect lost or reordered updates.
@@ -453,6 +520,13 @@ impl System {
     /// consistency violation.
     pub fn run(&mut self, streams: &mut [Box<dyn RefStream + Send>], steps: u64) {
         assert_eq!(streams.len(), self.nodes(), "one reference stream per node");
+        match self.engine {
+            EngineKind::Legacy => self.run_legacy(streams, steps),
+            EngineKind::Event => self.run_event(streams, steps),
+        }
+    }
+
+    fn run_legacy(&mut self, streams: &mut [Box<dyn RefStream + Send>], steps: u64) {
         #[allow(clippy::needless_range_loop)] // body needs `&mut self`
         for _ in 0..steps {
             for cpu in 0..self.nodes() {
@@ -468,6 +542,24 @@ impl System {
                     let _ = self.read(cpu, access.addr, access.size);
                 }
             }
+        }
+    }
+
+    /// The event engine's untimed driver: every access costs one cycle, so
+    /// the `(cycle, seq)` queue order reduces to exactly the legacy
+    /// round-robin.
+    fn run_event(&mut self, streams: &mut [Box<dyn RefStream + Send>], steps: u64) {
+        let n = self.nodes();
+        let mut queue = EventQueue::new(n);
+        let mut done = vec![0u64; n];
+        while let Some((cycle, cpu)) = queue.pop() {
+            if done[cpu] >= steps {
+                continue;
+            }
+            let access = streams[cpu].next_access();
+            self.dispatch_access(cpu, &access);
+            done[cpu] += 1;
+            queue.schedule(cpu, cycle + 1);
         }
     }
 
@@ -492,6 +584,61 @@ impl System {
         cpu_work_ns: u64,
     ) -> crate::TimedReport {
         assert_eq!(streams.len(), self.nodes(), "one stream per node");
+        match self.engine {
+            EngineKind::Legacy => self.run_timed_legacy(streams, refs_per_cpu, cpu_work_ns),
+            EngineKind::Event => {
+                let n = self.nodes();
+                let mut done = vec![0u64; n];
+                self.run_timed_event(
+                    n,
+                    |cpu| {
+                        if done[cpu] >= refs_per_cpu {
+                            None
+                        } else {
+                            done[cpu] += 1;
+                            Some(streams[cpu].next_access())
+                        }
+                    },
+                    cpu_work_ns,
+                )
+            }
+        }
+    }
+
+    /// A timed run over pre-materialised per-node access scripts instead of
+    /// live streams — the shard workers' entry point, where the workload has
+    /// already been partitioned by address region. Always runs on the event
+    /// engine (scripts only exist on the sharded path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the script count differs from the node count, or on a
+    /// consistency violation when the oracle is enabled.
+    pub fn run_timed_script(
+        &mut self,
+        scripts: &[Vec<Access>],
+        cpu_work_ns: u64,
+    ) -> crate::TimedReport {
+        assert_eq!(scripts.len(), self.nodes(), "one script per node");
+        let n = self.nodes();
+        let mut done = vec![0usize; n];
+        self.run_timed_event(
+            n,
+            |cpu| {
+                let access = scripts[cpu].get(done[cpu]).copied();
+                done[cpu] += access.is_some() as usize;
+                access
+            },
+            cpu_work_ns,
+        )
+    }
+
+    fn run_timed_legacy(
+        &mut self,
+        streams: &mut [Box<dyn RefStream + Send>],
+        refs_per_cpu: u64,
+        cpu_work_ns: u64,
+    ) -> crate::TimedReport {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
 
@@ -541,6 +688,65 @@ impl System {
             bus_busy_ns: bus_busy,
             bus_wait_ns: bus_wait,
             total_refs: refs_per_cpu * n as u64,
+            phase_hist: *self.fabric.bus().phase_histograms(),
+        }
+    }
+
+    /// The event engine's timed driver. `next_access(cpu)` returns `None`
+    /// when that lane's workload is exhausted. The event order is identical
+    /// to the legacy heap's `(clock, cpu)` order (see [`crate::engine`]);
+    /// on top of it the engine *runs ahead* — after an access, if the lane's
+    /// new cycle still precedes every queued event it keeps executing the
+    /// same lane, skipping the pop/push round-trip the legacy loop pays per
+    /// access.
+    fn run_timed_event<F>(
+        &mut self,
+        lanes: usize,
+        mut next_access: F,
+        cpu_work_ns: u64,
+    ) -> crate::TimedReport
+    where
+        F: FnMut(usize) -> Option<Access>,
+    {
+        let mut queue = EventQueue::new(lanes);
+        let mut bus_free: u64 = 0;
+        let mut bus_busy: u64 = 0;
+        let mut bus_wait: u64 = 0;
+        let mut wall: u64 = 0;
+        let mut total_refs: u64 = 0;
+
+        while let Some((mut clock, cpu)) = queue.pop() {
+            loop {
+                let Some(access) = next_access(cpu) else {
+                    wall = wall.max(clock);
+                    break;
+                };
+                let bus_before = self.stats(cpu).bus_ns;
+                self.dispatch_access(cpu, &access);
+                let bus_used = self.stats(cpu).bus_ns - bus_before;
+
+                clock += cpu_work_ns;
+                if bus_used > 0 {
+                    let start = clock.max(bus_free);
+                    bus_wait += start - clock;
+                    bus_free = start + bus_used;
+                    bus_busy += bus_used;
+                    clock = bus_free;
+                }
+                total_refs += 1;
+                wall = wall.max(clock);
+                if !queue.lane_still_first(cpu, clock) {
+                    queue.schedule(cpu, clock);
+                    break;
+                }
+            }
+        }
+
+        crate::TimedReport {
+            wall_ns: wall,
+            bus_busy_ns: bus_busy,
+            bus_wait_ns: bus_wait,
+            total_refs,
             phase_hist: *self.fabric.bus().phase_histograms(),
         }
     }
