@@ -48,11 +48,13 @@ cmp "$tables_out" tests/fixtures/tables/paper_tables.txt \
   || { echo "rendered policy tables diverged from tests/fixtures/tables/paper_tables.txt" >&2; exit 1; }
 rm -f "$tables_out"
 
-# The bench JSON rows carry two host-side measurements (host wall time and
-# host throughput) that legitimately differ run to run; every determinism
-# comparison strips them first. Simulated results must survive unchanged.
+# The bench JSON rows carry host-side measurements (host wall/cpu/critical
+# time, host throughput, speedup) that legitimately differ run to run; every
+# determinism comparison strips them first. Simulated results must survive
+# unchanged. Mirrors bench::sweep::strip_host_fields.
 strip_host_fields() {
-  sed -E 's/"host_wall_ns": [0-9]+, //g; s/"engine_accesses_per_sec": [0-9]+\.[0-9]+, //g' "$1"
+  sed -E 's/"(host_wall_ns|host_cpu_ns|host_critical_ns|host_elapsed_ns)": [0-9]+, //g;
+          s/"(engine_accesses_per_sec|speedup)": [0-9]+\.[0-9]+, //g' "$1"
 }
 
 echo "==> hybrid bench smoke (fixed seed; sharded run must match the sequential one)"
@@ -80,16 +82,6 @@ grep -q '"phase_p50_ns"' "$bench_j1" \
 grep -q '"host_wall_ns"' "$bench_j1" \
   || { echo "bench JSON is missing the host-side measurements" >&2; exit 1; }
 
-echo "==> engine equivalence smoke (legacy and event cores must report identical sweeps)"
-eng_legacy="$(mktemp)" eng_event="$(mktemp)"
-./target/release/moesi-sim bench --engine legacy --seed 7 --steps 500 --json \
-    --out "$eng_legacy" >/dev/null
-./target/release/moesi-sim bench --engine event --seed 7 --steps 500 --json \
-    --out "$eng_event" >/dev/null
-cmp <(strip_host_fields "$eng_legacy") <(strip_host_fields "$eng_event") \
-  || { echo "bench --engine legacy diverged from --engine event" >&2; exit 1; }
-rm -f "$eng_legacy" "$eng_event"
-
 echo "==> shard smoke (--shards 2 must match --shards 1 byte for byte)"
 shard_2="$(mktemp)" shard_1="$(mktemp)"
 ./target/release/moesi-sim bench --shards 2 --seed 7 --steps 500 --json \
@@ -106,6 +98,20 @@ bench_fresh="$(mktemp)"
 cmp <(strip_host_fields "$bench_fresh") <(strip_host_fields BENCH_protocols.json) \
   || { echo "BENCH_protocols.json diverged from a fresh default sweep; regenerate it" >&2; exit 1; }
 rm -f "$bench_fresh"
+
+echo "==> sharded baseline smoke (scaling sweep vs committed BENCH_shards.json; host fields ignored)"
+shards_committed="$(grep -o '"shards": [0-9]*' BENCH_shards.json | grep -o '[0-9]*$' | paste -sd, -)"
+[ -n "$shards_committed" ] \
+  || { echo "BENCH_shards.json has no shard rows" >&2; exit 1; }
+scale_fresh="$(mktemp)"
+./target/release/moesi-sim bench --shards "$shards_committed" --json --out "$scale_fresh" >/dev/null
+cmp <(strip_host_fields "$scale_fresh") <(strip_host_fields BENCH_shards.json) \
+  || { echo "BENCH_shards.json diverged from a fresh scaling sweep; regenerate it" >&2; exit 1; }
+speedups="$(grep -oc '"speedup": [0-9]*\.[0-9]*' "$scale_fresh")"
+zero_speedups="$(grep -c '"speedup": 0\.000' "$scale_fresh" || true)"
+[ "${speedups:-0}" -ge 2 ] && [ "${zero_speedups:-0}" -eq 0 ] \
+  || { echo "scaling sweep speedup column is empty or zero" >&2; exit 1; }
+rm -f "$scale_fresh"
 
 echo "==> chrome-trace smoke (fixed seed; --jobs must not perturb the trace)"
 cmp "$trace_j2" "$trace_j1" \

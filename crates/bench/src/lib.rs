@@ -16,7 +16,7 @@ use moesi::{PolicyTable, TablePolicy};
 use mpsim::workload::{
     DuboisBriggs, FalseSharing, Migratory, PingPong, ProducerConsumer, ReadMostly, SharingModel,
 };
-use mpsim::{EngineKind, RefStream, System, SystemBuilder};
+use mpsim::{RefStream, System, SystemBuilder};
 
 /// The standard line size used across the experiments (bytes).
 pub const LINE: usize = 32;
@@ -60,39 +60,8 @@ pub fn homogeneous_system(
     timing: TimingConfig,
     checking: bool,
 ) -> System {
-    homogeneous_system_on(
-        EngineKind::default(),
-        protocol,
-        cpus,
-        cache_bytes,
-        line,
-        timing,
-        checking,
-    )
-}
-
-/// [`homogeneous_system`] with an explicit engine core — the sweep's
-/// `--engine` escape hatch for differential benchmarking against the legacy
-/// accounting loop.
-///
-/// # Panics
-///
-/// Panics on an unknown protocol name.
-#[must_use]
-pub fn homogeneous_system_on(
-    engine: EngineKind,
-    protocol: &str,
-    cpus: usize,
-    cache_bytes: usize,
-    line: usize,
-    timing: TimingConfig,
-    checking: bool,
-) -> System {
     let cfg = CacheConfig::new(cache_bytes, line, 2, ReplacementKind::Lru);
-    let mut b = SystemBuilder::new(line)
-        .timing(timing)
-        .checking(checking)
-        .engine(engine);
+    let mut b = SystemBuilder::new(line).timing(timing).checking(checking);
     for i in 0..cpus {
         b = b.cache(
             by_name(protocol, 1000 + i as u64)

@@ -7,9 +7,16 @@
 //! independent, so the sweep shards across the [`mpsim::campaign`] pool;
 //! rows come back in protocol-major order for any worker count, and the
 //! rendered JSON is byte-identical for `--jobs 1` and `--jobs N`.
+//!
+//! The *sharded* sweep (`--shards N`) is the benchmark mode of record for
+//! multi-threaded throughput: every cell's workload is partitioned into
+//! [`SHARD_REGIONS`] fixed address-interleaved regions, each region runs as
+//! an independent machine, and all cell × region tasks feed one flat worker
+//! pool. [`shard_scaling`] runs that sweep once per worker count and reports
+//! the speedup column committed in `BENCH_shards.json`.
 
 use crate::{
-    homogeneous_system_on, homogeneous_table_system, workload_streams, COMPARED_PROTOCOLS, LINE,
+    homogeneous_system, homogeneous_table_system, workload_streams, COMPARED_PROTOCOLS, LINE,
     WORKLOADS,
 };
 use cache_array::split_line_crossers;
@@ -18,16 +25,12 @@ use moesi::json::{array_u64, JsonObject};
 use moesi::PolicyTable;
 use mpsim::campaign::run_jobs;
 use mpsim::workload::Access;
-use mpsim::EngineKind;
 use std::time::Instant;
+
+pub use mpsim::campaign::SHARD_REGIONS;
 
 /// Nanoseconds of local (non-bus) work modelled per processor reference.
 pub const CPU_WORK_NS: u64 = 50;
-
-/// Address-interleaved regions a sharded cell splits one run into. Fixed —
-/// `--shards N` chooses only the worker count, never the partition — so the
-/// merged result is byte-identical for every `N ≥ 1`.
-pub const SHARD_REGIONS: usize = 4;
 
 /// Shape of a benchmark sweep.
 #[derive(Clone, Debug)]
@@ -44,20 +47,18 @@ pub struct SweepConfig {
     pub cache_bytes: usize,
     /// Workload seed.
     pub seed: u64,
-    /// Worker threads sharding the cells (1 = sequential).
+    /// Worker threads sharding the cells of an *unsharded* sweep
+    /// (1 = sequential). A sharded sweep runs on `shards` workers instead.
     pub jobs: usize,
     /// Bus/memory/cache cost model every cell runs under. The §5.2
     /// sensitivity study re-scores candidates across a grid of these.
     pub timing: TimingConfig,
-    /// Which simulation core runs each cell. The legacy loop is kept one PR
-    /// as a differential-benchmarking baseline.
-    pub engine: EngineKind,
     /// `0` (the default) runs each cell as one classic whole-machine
     /// simulation. `N ≥ 1` splits each cell's reference scripts into
     /// [`SHARD_REGIONS`] interleaved line-address regions, simulates each
-    /// region as an independent machine on `N` worker threads, and merges in
-    /// region order — deterministic, and byte-identical for every `N ≥ 1`.
-    /// Requires the event engine.
+    /// region as an independent machine, and feeds every cell × region task
+    /// to one flat pool of `N` worker threads, merging in region order —
+    /// deterministic, and byte-identical for every `N ≥ 1`.
     pub shards: usize,
 }
 
@@ -75,7 +76,6 @@ impl Default for SweepConfig {
             seed: 7,
             jobs: mpsim::campaign::default_jobs(),
             timing: TimingConfig::default(),
-            engine: EngineKind::default(),
             shards: 0,
         }
     }
@@ -100,7 +100,8 @@ pub struct SweepRow {
     pub busy_ns: u64,
     /// Time spent queued for the bus (ns).
     pub wait_ns: u64,
-    /// Accesses per simulated second.
+    /// Accesses per simulated second. Derived from `accesses` and `wall_ns`,
+    /// so it carries no information equality doesn't already cover.
     pub accesses_per_sec: f64,
     /// Host wall-clock nanoseconds the cell's timed run took (sharded cells
     /// sum their region runs). A measurement of the simulator, not the
@@ -121,14 +122,15 @@ pub struct SweepRow {
 
 impl PartialEq for SweepRow {
     fn eq(&self, other: &Self) -> bool {
-        // host_wall_ns and engine_accesses_per_sec deliberately excluded.
+        // host_wall_ns and engine_accesses_per_sec deliberately excluded;
+        // accesses_per_sec is a pure function of (accesses, wall_ns), which
+        // are compared exactly, so it adds nothing but FP wobble.
         self.protocol == other.protocol
             && self.workload == other.workload
             && self.accesses == other.accesses
             && self.wall_ns == other.wall_ns
             && self.busy_ns == other.busy_ns
             && self.wait_ns == other.wait_ns
-            && self.accesses_per_sec == other.accesses_per_sec
             && self.miss_ratio == other.miss_ratio
             && self.phase_p50 == other.phase_p50
             && self.phase_p99 == other.phase_p99
@@ -148,25 +150,22 @@ pub fn sweep_one(cfg: &SweepConfig, protocol: &str, workload: &str) -> Result<Sw
         return Err(format!("unknown workload `{workload}`"));
     }
     if cfg.shards > 0 {
-        return Ok(measure_sharded(cfg, protocol, workload));
+        return Ok(measure_sharded(
+            cfg,
+            &|| homogeneous_system(protocol, cfg.cpus, cfg.cache_bytes, LINE, cfg.timing, false),
+            protocol,
+            workload,
+        ));
     }
-    let sys = homogeneous_system_on(
-        cfg.engine,
-        protocol,
-        cfg.cpus,
-        cfg.cache_bytes,
-        LINE,
-        cfg.timing,
-        false,
-    );
+    let sys = homogeneous_system(protocol, cfg.cpus, cfg.cache_bytes, LINE, cfg.timing, false);
     Ok(measure(cfg, sys, protocol, workload))
 }
 
 /// Scores one candidate [`PolicyTable`] under a workload — the synth
 /// subsystem's fitness function. Identical machinery to [`sweep_one`]
-/// (same machine shape, timed model and cost knobs), but the protocol is
-/// the given table interpreted by the generic `TablePolicy` engine rather
-/// than a shipped protocol looked up by name.
+/// (same machine shape, timed model, cost knobs and optional sharding), but
+/// the protocol is the given table interpreted by the generic `TablePolicy`
+/// engine rather than a shipped protocol looked up by name.
 ///
 /// # Errors
 ///
@@ -178,6 +177,14 @@ pub fn table_fitness(
 ) -> Result<SweepRow, String> {
     if !WORKLOADS.contains(&workload) {
         return Err(format!("unknown workload `{workload}`"));
+    }
+    if cfg.shards > 0 {
+        return Ok(measure_sharded(
+            cfg,
+            &|| homogeneous_table_system(table, cfg.cpus, cfg.cache_bytes, LINE, cfg.timing, false),
+            table.name(),
+            workload,
+        ));
     }
     let sys = homogeneous_table_system(table, cfg.cpus, cfg.cache_bytes, LINE, cfg.timing, false);
     Ok(measure(cfg, sys, table.name(), workload))
@@ -230,24 +237,17 @@ fn finish_row(
     }
 }
 
-/// Runs one cell sharded: the per-cpu reference scripts are materialised up
-/// front, split at line boundaries, partitioned into [`SHARD_REGIONS`]
-/// interleaved line-address regions, and each region is simulated as an
-/// *independent* machine (same protocol, processors and caches, touching
-/// only its own lines) on `cfg.shards` worker threads. The merge is in
-/// region order: simulated wall is the max over regions (the regions model
-/// independent buses running concurrently), traffic and occupancy sum, and
-/// the phase histograms merge bucket-wise.
-///
-/// The partition count is fixed, so the merged row is byte-identical for
-/// every `cfg.shards ≥ 1`; the shard count only decides how many host
-/// threads run the regions. A sharded row is *not* comparable to an
-/// unsharded one — splitting the address space removes cross-region bus
-/// contention by construction (see DESIGN.md).
-fn measure_sharded(cfg: &SweepConfig, protocol: &str, workload: &str) -> SweepRow {
+/// What one region run of a sharded cell produces: the timed result, the
+/// summed node counters, and the host nanoseconds the region cost.
+type RegionResult = (mpsim::TimedReport, mpsim::CpuStats, u64);
+
+/// Materialises one cell's per-cpu reference scripts — split at line
+/// boundaries so every piece lands wholly in one region — and partitions
+/// them into [`SHARD_REGIONS`] interleaved line-address regions
+/// (region → cpu → script). The partition is a pure function of the
+/// workload and seed, never of the worker count.
+fn region_scripts(cfg: &SweepConfig, workload: &str) -> Vec<Vec<Vec<Access>>> {
     let mut streams = workload_streams(workload, cfg.cpus, LINE, cfg.seed);
-    // Materialise each cpu's script, split at line boundaries so every
-    // piece lands wholly in one region.
     let scripts: Vec<Vec<Access>> = streams
         .iter_mut()
         .map(|s| {
@@ -266,7 +266,7 @@ fn measure_sharded(cfg: &SweepConfig, protocol: &str, workload: &str) -> SweepRo
         })
         .collect();
     let region_of = |addr: u64| ((addr / LINE as u64) % SHARD_REGIONS as u64) as usize;
-    let regions: Vec<Vec<Vec<Access>>> = (0..SHARD_REGIONS)
+    (0..SHARD_REGIONS)
         .map(|r| {
             scripts
                 .iter()
@@ -279,22 +279,26 @@ fn measure_sharded(cfg: &SweepConfig, protocol: &str, workload: &str) -> SweepRo
                 })
                 .collect()
         })
-        .collect();
-    let lane_results = run_jobs(regions, cfg.shards, |lane: Vec<Vec<Access>>| {
-        let mut sys = homogeneous_system_on(
-            cfg.engine,
-            protocol,
-            cfg.cpus,
-            cfg.cache_bytes,
-            LINE,
-            cfg.timing,
-            false,
-        );
-        let host = Instant::now();
-        let timed = sys.run_timed_script(&lane, CPU_WORK_NS);
-        let host_ns = host.elapsed().as_nanos() as u64;
-        (timed, sys.total_stats(), host_ns)
-    });
+        .collect()
+}
+
+/// Simulates one region of a cell as an independent machine (same protocol,
+/// processors and caches, touching only its own lines) and times the host.
+fn run_region(build: &(dyn Fn() -> mpsim::System + Sync), lane: &[Vec<Access>]) -> RegionResult {
+    let mut sys = build();
+    let host = Instant::now();
+    let timed = sys.run_timed_script(lane, CPU_WORK_NS);
+    let host_ns = host.elapsed().as_nanos() as u64;
+    (timed, sys.total_stats(), host_ns)
+}
+
+/// Merges one cell's region results, in region order: simulated wall is the
+/// max over regions (the regions model independent buses running
+/// concurrently), traffic and occupancy sum, the phase histograms merge
+/// bucket-wise, and host time sums. A sharded row is *not* comparable to an
+/// unsharded one — splitting the address space removes cross-region bus
+/// contention by construction (see DESIGN.md).
+fn merge_regions(protocol: &str, workload: &str, results: &[RegionResult]) -> SweepRow {
     let mut merged = mpsim::TimedReport {
         wall_ns: 0,
         bus_busy_ns: 0,
@@ -303,7 +307,7 @@ fn measure_sharded(cfg: &SweepConfig, protocol: &str, workload: &str) -> SweepRo
         phase_hist: PhaseHistograms::new(),
     };
     let (mut host_wall_ns, mut hits, mut refs) = (0u64, 0u64, 0u64);
-    for (timed, stats, host_ns) in &lane_results {
+    for (timed, stats, host_ns) in results {
         merged.wall_ns = merged.wall_ns.max(timed.wall_ns);
         merged.bus_busy_ns += timed.bus_busy_ns;
         merged.bus_wait_ns += timed.bus_wait_ns;
@@ -321,8 +325,97 @@ fn measure_sharded(cfg: &SweepConfig, protocol: &str, workload: &str) -> SweepRo
     finish_row(protocol, workload, &merged, host_wall_ns, miss_ratio)
 }
 
-/// Runs the whole sweep, sharded over `cfg.jobs` workers. Rows come back in
-/// protocol-major, workload-minor order regardless of worker count.
+/// Runs one cell sharded on its own `cfg.shards`-worker pool — the
+/// single-cell entry point ([`sweep_one`], [`table_fitness`]). The merged
+/// row is identical to what the whole-sweep flat pool produces for the same
+/// cell: the partition is fixed and the merge is region-ordered, so pool
+/// shape can never show through.
+fn measure_sharded(
+    cfg: &SweepConfig,
+    build: &(dyn Fn() -> mpsim::System + Sync),
+    protocol: &str,
+    workload: &str,
+) -> SweepRow {
+    let regions = region_scripts(cfg, workload);
+    let results = run_jobs(regions, cfg.shards, |lane: Vec<Vec<Access>>| {
+        run_region(build, &lane)
+    });
+    merge_regions(protocol, workload, &results)
+}
+
+/// A sharded run of the whole sweep, plus the host-cost profile the scaling
+/// model consumes.
+#[derive(Clone, Debug)]
+pub struct ShardedSweep {
+    /// Per-cell rows, protocol-major — byte-identical for every worker
+    /// count at the fixed [`SHARD_REGIONS`] partition.
+    pub rows: Vec<SweepRow>,
+    /// Host nanoseconds each cell × region task cost, in task order (cell-
+    /// major, region-minor) — the input to [`critical_path_ns`].
+    pub task_host_ns: Vec<u64>,
+}
+
+/// Runs the whole sweep sharded: every cell's [`SHARD_REGIONS`] region
+/// machines become one flat task list driven by a single `cfg.shards`-worker
+/// pool, so workers stay busy across cell boundaries instead of draining
+/// each cell's four regions before starting the next.
+///
+/// # Errors
+///
+/// Returns the first unknown protocol or workload name.
+pub fn sweep_sharded(cfg: &SweepConfig) -> Result<ShardedSweep, String> {
+    for p in &cfg.protocols {
+        if moesi::protocols::by_name(p, 0).is_none() {
+            return Err(format!("unknown protocol `{p}`"));
+        }
+    }
+    for w in &cfg.workloads {
+        if !WORKLOADS.contains(&w.as_str()) {
+            return Err(format!("unknown workload `{w}`"));
+        }
+    }
+    let mut cells = Vec::with_capacity(cfg.protocols.len() * cfg.workloads.len());
+    for p in &cfg.protocols {
+        for w in &cfg.workloads {
+            cells.push((p.clone(), w.clone()));
+        }
+    }
+    let mut tasks = Vec::with_capacity(cells.len() * SHARD_REGIONS);
+    for (cell, (_, w)) in cells.iter().enumerate() {
+        for lane in region_scripts(cfg, w) {
+            tasks.push((cell, lane));
+        }
+    }
+    let results = run_jobs(
+        tasks,
+        cfg.shards,
+        |(cell, lane): (usize, Vec<Vec<Access>>)| {
+            let (p, _) = &cells[cell];
+            run_region(
+                &|| homogeneous_system(p, cfg.cpus, cfg.cache_bytes, LINE, cfg.timing, false),
+                &lane,
+            )
+        },
+    );
+    let task_host_ns = results.iter().map(|(_, _, host_ns)| *host_ns).collect();
+    let rows = cells
+        .iter()
+        .enumerate()
+        .map(|(cell, (p, w))| {
+            merge_regions(
+                p,
+                w,
+                &results[cell * SHARD_REGIONS..(cell + 1) * SHARD_REGIONS],
+            )
+        })
+        .collect();
+    Ok(ShardedSweep { rows, task_host_ns })
+}
+
+/// Runs the whole sweep. Unsharded, cells run on `cfg.jobs` workers; with
+/// `cfg.shards ≥ 1` the flat cell × region pool runs on `cfg.shards`
+/// workers. Rows come back in protocol-major, workload-minor order
+/// regardless of worker count.
 ///
 /// # Errors
 ///
@@ -334,8 +427,8 @@ pub fn sweep(cfg: &SweepConfig) -> Result<Vec<SweepRow>, String> {
     if cfg.cpus == 0 || cfg.steps == 0 {
         return Err("cpus and steps must be non-zero".into());
     }
-    if cfg.shards > 0 && cfg.engine == EngineKind::Legacy {
-        return Err("--shards requires the event engine (script-driven lanes)".into());
+    if cfg.shards > 0 {
+        return Ok(sweep_sharded(cfg)?.rows);
     }
     let mut cells = Vec::with_capacity(cfg.protocols.len() * cfg.workloads.len());
     for p in &cfg.protocols {
@@ -346,6 +439,155 @@ pub fn sweep(cfg: &SweepConfig) -> Result<Vec<SweepRow>, String> {
     mpsim::campaign::run_jobs(cells, cfg.jobs, |(p, w)| sweep_one(cfg, &p, &w))
         .into_iter()
         .collect()
+}
+
+/// The critical path of the `run_jobs` claim schedule: replays the measured
+/// per-task host costs through the pool's own discipline — each worker
+/// claims the next task in order the moment it frees — and returns the
+/// busiest worker's finish time.
+///
+/// This is how long the task list takes on a host with `workers` real
+/// cores, computed from *measured* per-task times, so the speedup column it
+/// feeds is robust on CI boxes with fewer cores than workers (where
+/// elapsed wall-clock would only measure oversubscription).
+#[must_use]
+pub fn critical_path_ns(task_ns: &[u64], workers: usize) -> u64 {
+    let workers = workers.clamp(1, task_ns.len().max(1));
+    let mut free_at = vec![0u64; workers];
+    for &cost in task_ns {
+        // The earliest-free worker is the one that claims the next task.
+        let next = (0..workers)
+            .min_by_key(|&w| free_at[w])
+            .expect("at least one worker");
+        free_at[next] += cost;
+    }
+    free_at.into_iter().max().unwrap_or(0)
+}
+
+/// One per-shard-count row of the scaling sweep: the whole sharded sweep's
+/// simulated totals plus its host-cost schedule at that worker count.
+///
+/// Equality (like [`SweepRow`]'s) ignores every host-side measurement —
+/// `host_cpu_ns`, `host_critical_ns`, `host_elapsed_ns`,
+/// `engine_accesses_per_sec` and `speedup` vary run to run by construction.
+#[derive(Clone, Debug)]
+pub struct ScalingRow {
+    /// Worker count this row ran the sharded sweep on.
+    pub shards: usize,
+    /// Processor accesses executed across every cell.
+    pub accesses: u64,
+    /// Summed simulated wall time over cells (ns).
+    pub wall_ns: u64,
+    /// Summed bus occupancy over cells (ns).
+    pub busy_ns: u64,
+    /// Summed bus queueing over cells (ns).
+    pub wait_ns: u64,
+    /// Host nanoseconds of simulation work: the sum of every cell × region
+    /// task's measured cost.
+    pub host_cpu_ns: u64,
+    /// The claim schedule's critical path at this worker count
+    /// (see [`critical_path_ns`]).
+    pub host_critical_ns: u64,
+    /// Measured host wall-clock for the whole sharded sweep, scheduling
+    /// overhead and oversubscription included.
+    pub host_elapsed_ns: u64,
+    /// Engine throughput of the parallel schedule: accesses per host second
+    /// at this worker count (`accesses / host_critical_ns`).
+    pub engine_accesses_per_sec: f64,
+    /// Host-throughput speedup of this worker count's schedule over running
+    /// the same measured tasks serially (`host_cpu_ns / host_critical_ns`).
+    /// Exactly 1.0 at one worker.
+    pub speedup: f64,
+    /// Accesses per simulated second (`accesses / wall_ns`).
+    pub accesses_per_sec: f64,
+}
+
+impl PartialEq for ScalingRow {
+    fn eq(&self, other: &Self) -> bool {
+        // Host-side measurements deliberately excluded, as in SweepRow.
+        self.shards == other.shards
+            && self.accesses == other.accesses
+            && self.wall_ns == other.wall_ns
+            && self.busy_ns == other.busy_ns
+            && self.wait_ns == other.wait_ns
+    }
+}
+
+/// Runs the sharded sweep once per worker count and aggregates each run
+/// into a [`ScalingRow`]. The simulated rows are demanded identical across
+/// counts — the fixed-partition determinism contract — so the returned
+/// per-cell rows (from the first count) describe every run.
+///
+/// # Errors
+///
+/// Returns validation errors from the sweep, an empty/zero `counts` list,
+/// or a determinism violation between worker counts.
+pub fn shard_scaling(
+    cfg: &SweepConfig,
+    counts: &[usize],
+) -> Result<(Vec<SweepRow>, Vec<ScalingRow>), String> {
+    if counts.is_empty() {
+        return Err("no shard counts to scale over".into());
+    }
+    if counts.contains(&0) {
+        return Err("shard counts must be ≥ 1".into());
+    }
+    let mut baseline: Option<Vec<SweepRow>> = None;
+    let mut scaling = Vec::with_capacity(counts.len());
+    for &workers in counts {
+        let elapsed = Instant::now();
+        let run = sweep_sharded(&SweepConfig {
+            shards: workers,
+            ..cfg.clone()
+        })?;
+        let host_elapsed_ns = elapsed.elapsed().as_nanos() as u64;
+        match &baseline {
+            Some(rows) if *rows != run.rows => {
+                return Err(format!(
+                    "sharded sweep diverged between worker counts {} and {workers} \
+                     (fixed partition must be byte-identical)",
+                    counts[0]
+                ));
+            }
+            Some(_) => {}
+            None => baseline = Some(run.rows.clone()),
+        }
+        let (mut accesses, mut wall_ns, mut busy_ns, mut wait_ns) = (0u64, 0u64, 0u64, 0u64);
+        for row in &run.rows {
+            accesses += row.accesses;
+            wall_ns += row.wall_ns;
+            busy_ns += row.busy_ns;
+            wait_ns += row.wait_ns;
+        }
+        let host_cpu_ns: u64 = run.task_host_ns.iter().sum();
+        let host_critical_ns = critical_path_ns(&run.task_host_ns, workers);
+        scaling.push(ScalingRow {
+            shards: workers,
+            accesses,
+            wall_ns,
+            busy_ns,
+            wait_ns,
+            host_cpu_ns,
+            host_critical_ns,
+            host_elapsed_ns,
+            engine_accesses_per_sec: if host_critical_ns == 0 {
+                0.0
+            } else {
+                accesses as f64 * 1e9 / host_critical_ns as f64
+            },
+            speedup: if host_critical_ns == 0 {
+                0.0
+            } else {
+                host_cpu_ns as f64 / host_critical_ns as f64
+            },
+            accesses_per_sec: if wall_ns == 0 {
+                0.0
+            } else {
+                accesses as f64 * 1e9 / wall_ns as f64
+            },
+        });
+    }
+    Ok((baseline.expect("at least one count ran"), scaling))
 }
 
 /// Renders the rows as a JSON document via the shared hand-rolled writer
@@ -384,18 +626,63 @@ pub fn sweep_json(cfg: &SweepConfig, rows: &[SweepRow]) -> String {
     out
 }
 
+/// Renders the scaling rows as the `BENCH_shards.json` document. The host
+/// fields sit mid-row (before the final simulated `accesses_per_sec`) so
+/// [`strip_host_fields`] can consume each of them through its trailing
+/// `", "`.
+#[must_use]
+pub fn scaling_json(cfg: &SweepConfig, rows: &[ScalingRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"seed\": {},\n  \"cpus\": {},\n  \"steps_per_cpu\": {},\n  \"cpu_work_ns\": {},\n  \
+         \"shard_regions\": {},\n",
+        cfg.seed, cfg.cpus, cfg.steps, CPU_WORK_NS, SHARD_REGIONS
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let row = JsonObject::new()
+            .number("shards", r.shards as u64)
+            .number("accesses", r.accesses)
+            .number("wall_ns", r.wall_ns)
+            .number("busy_ns", r.busy_ns)
+            .number("wait_ns", r.wait_ns)
+            .number("host_cpu_ns", r.host_cpu_ns)
+            .number("host_critical_ns", r.host_critical_ns)
+            .number("host_elapsed_ns", r.host_elapsed_ns)
+            .fixed("engine_accesses_per_sec", r.engine_accesses_per_sec, 3)
+            .fixed("speedup", r.speedup, 3)
+            .fixed("accesses_per_sec", r.accesses_per_sec, 3)
+            .finish();
+        out.push_str(&format!(
+            "    {row}{}\n",
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Strips the host-side measurement fields (`host_wall_ns`,
-/// `engine_accesses_per_sec`) from a [`sweep_json`] document, leaving only
-/// the simulated results. This is the normalisation fixture comparisons and
-/// the engine-equivalence CI stage run through: host timings differ run to
-/// run by construction, simulated results must not.
+/// `engine_accesses_per_sec` in [`sweep_json`]; additionally `host_cpu_ns`,
+/// `host_critical_ns`, `host_elapsed_ns` and `speedup` in
+/// [`scaling_json`]) from a document, leaving only the simulated results.
+/// This is the normalisation fixture comparisons and the sharded-baseline
+/// CI stage run through: host timings differ run to run by construction,
+/// simulated results must not.
 #[must_use]
 pub fn strip_host_fields(json: &str) -> String {
     let mut out = json.to_string();
-    for key in ["\"host_wall_ns\": ", "\"engine_accesses_per_sec\": "] {
+    for key in [
+        "\"host_wall_ns\": ",
+        "\"host_cpu_ns\": ",
+        "\"host_critical_ns\": ",
+        "\"host_elapsed_ns\": ",
+        "\"engine_accesses_per_sec\": ",
+        "\"speedup\": ",
+    ] {
         while let Some(start) = out.find(key) {
-            // Both fields sit mid-row, so the value is always followed by
-            // `, ` — consume through it.
+            // Every host field sits mid-row, so the value is always followed
+            // by `, ` — consume through it.
             let end = match out[start..].find(", ") {
                 Some(comma) => start + comma + 2,
                 None => break,
@@ -423,6 +710,29 @@ pub fn render_sweep(rows: &[SweepRow]) -> String {
             r.busy_ns as f64 / 1000.0,
             r.accesses_per_sec,
             r.miss_ratio * 100.0,
+        ));
+    }
+    out
+}
+
+/// Renders the scaling rows as an aligned text table with the speedup
+/// column.
+#[must_use]
+pub fn render_scaling(rows: &[ScalingRow]) -> String {
+    let mut out = format!(
+        "{:>6} {:>10} {:>13} {:>13} {:>13} {:>14} {:>8}\n",
+        "shards", "accesses", "host cpu ms", "critical ms", "elapsed ms", "acc/host-sec", "speedup"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6} {:>10} {:>13.1} {:>13.1} {:>13.1} {:>14.0} {:>7.2}x\n",
+            r.shards,
+            r.accesses,
+            r.host_cpu_ns as f64 / 1e6,
+            r.host_critical_ns as f64 / 1e6,
+            r.host_elapsed_ns as f64 / 1e6,
+            r.engine_accesses_per_sec,
+            r.speedup,
         ));
     }
     out
@@ -503,17 +813,6 @@ mod tests {
     }
 
     #[test]
-    fn legacy_and_event_engines_sweep_identically() {
-        let event = sweep(&tiny()).unwrap();
-        let legacy = sweep(&SweepConfig {
-            engine: EngineKind::Legacy,
-            ..tiny()
-        })
-        .unwrap();
-        assert_eq!(event, legacy);
-    }
-
-    #[test]
     fn shard_worker_count_never_changes_the_merged_rows() {
         let one = sweep(&SweepConfig {
             shards: 1,
@@ -542,14 +841,113 @@ mod tests {
     }
 
     #[test]
-    fn sharding_requires_the_event_engine() {
-        let err = sweep(&SweepConfig {
+    fn single_cell_pool_and_flat_pool_agree() {
+        // sweep_one's per-cell pool and sweep_sharded's flat cell × region
+        // pool must merge to the same rows: pool shape is a host detail.
+        let cfg = SweepConfig {
             shards: 2,
-            engine: EngineKind::Legacy,
             ..tiny()
-        })
-        .unwrap_err();
-        assert!(err.contains("event engine"), "{err}");
+        };
+        let flat = sweep_sharded(&cfg).unwrap();
+        assert_eq!(
+            flat.task_host_ns.len(),
+            flat.rows.len() * SHARD_REGIONS,
+            "one timed task per cell × region"
+        );
+        for row in &flat.rows {
+            let single = sweep_one(&cfg, &row.protocol, &row.workload).unwrap();
+            assert_eq!(&single, row, "{}/{}", row.protocol, row.workload);
+        }
+    }
+
+    #[test]
+    fn critical_path_replays_the_claim_schedule() {
+        // Four equal tasks on two workers: two each.
+        assert_eq!(critical_path_ns(&[3, 3, 3, 3], 2), 6);
+        // One long task dominates; the other worker absorbs the rest.
+        assert_eq!(critical_path_ns(&[5, 1, 1, 1], 2), 5);
+        // One worker is exactly the serial sum.
+        assert_eq!(critical_path_ns(&[5, 1, 1, 1], 1), 8);
+        // More workers than tasks clamps harmlessly.
+        assert_eq!(critical_path_ns(&[4, 2], 8), 4);
+        assert_eq!(critical_path_ns(&[], 3), 0);
+    }
+
+    #[test]
+    fn shard_scaling_reports_consistent_speedups() {
+        let (rows, scaling) = shard_scaling(&tiny(), &[1, 2]).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(scaling.len(), 2);
+        assert_eq!(scaling[0].shards, 1);
+        assert_eq!(scaling[1].shards, 2);
+        // The simulated totals are identical across worker counts...
+        assert_eq!(scaling[0], scaling[1].clone_with_shards(1));
+        // ...and the schedule model is internally consistent.
+        for s in &scaling {
+            assert_eq!(
+                s.accesses,
+                rows.iter().map(|r| r.accesses).sum::<u64>(),
+                "aggregate covers every cell"
+            );
+            assert!(s.host_cpu_ns > 0);
+            assert!(s.host_critical_ns > 0);
+            assert!(s.host_critical_ns <= s.host_cpu_ns);
+            assert!(
+                s.speedup >= 1.0 - 1e-9,
+                "shards={}: {}",
+                s.shards,
+                s.speedup
+            );
+        }
+        // One worker's schedule is exactly serial.
+        assert_eq!(scaling[0].host_cpu_ns, scaling[0].host_critical_ns);
+        assert!((scaling[0].speedup - 1.0).abs() < 1e-9);
+    }
+
+    impl ScalingRow {
+        /// Test helper: the same row relabelled with another worker count,
+        /// so the host-blind equality can compare across counts.
+        fn clone_with_shards(&self, shards: usize) -> ScalingRow {
+            ScalingRow {
+                shards,
+                ..self.clone()
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_json_strips_to_stable_simulated_columns() {
+        let cfg = tiny();
+        let (_, scaling) = shard_scaling(&cfg, &[1, 2]).unwrap();
+        let json = scaling_json(&cfg, &scaling);
+        assert!(json.contains("\"shard_regions\": 4"));
+        assert_eq!(json.matches("\"speedup\"").count(), scaling.len());
+        let stripped = strip_host_fields(&json);
+        for host_key in [
+            "host_cpu_ns",
+            "host_critical_ns",
+            "host_elapsed_ns",
+            "engine_accesses_per_sec",
+            "speedup",
+        ] {
+            assert!(!stripped.contains(host_key), "{host_key} survived");
+        }
+        assert_eq!(
+            stripped.matches("\"accesses_per_sec\"").count(),
+            scaling.len()
+        );
+        assert!(stripped.ends_with("}\n"));
+        // Two runs' stripped documents are byte-identical.
+        let (_, again) = shard_scaling(&cfg, &[1, 2]).unwrap();
+        assert_eq!(stripped, strip_host_fields(&scaling_json(&cfg, &again)));
+    }
+
+    #[test]
+    fn shard_scaling_rejects_bad_counts() {
+        assert!(shard_scaling(&tiny(), &[])
+            .unwrap_err()
+            .contains("no shard counts"));
+        assert!(shard_scaling(&tiny(), &[1, 0]).unwrap_err().contains("≥ 1"));
     }
 
     #[test]
@@ -574,6 +972,11 @@ mod tests {
         let mut cfg = tiny();
         cfg.workloads = vec!["zipfian".into()];
         assert!(sweep(&cfg).unwrap_err().contains("zipfian"));
+        // The sharded path reports the same errors.
+        let mut cfg = tiny();
+        cfg.shards = 2;
+        cfg.protocols = vec!["mesif".into()];
+        assert!(sweep(&cfg).unwrap_err().contains("mesif"));
     }
 
     #[test]
@@ -583,5 +986,14 @@ mod tests {
         let text = render_sweep(&rows);
         assert_eq!(text.lines().count(), rows.len() + 1);
         assert!(text.contains("acc/sec"));
+    }
+
+    #[test]
+    fn render_scaling_lists_every_count_with_speedup() {
+        let (_, scaling) = shard_scaling(&tiny(), &[1, 2]).unwrap();
+        let text = render_scaling(&scaling);
+        assert_eq!(text.lines().count(), scaling.len() + 1);
+        assert!(text.contains("speedup"));
+        assert!(text.contains('x'));
     }
 }

@@ -28,6 +28,13 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// The fixed count of address-interleaved regions a sharded run splits one
+/// machine's workload into (`region = (addr / line) % SHARD_REGIONS`). A
+/// shard worker count only decides how many threads run the regions, never
+/// the partition itself, so a sharded result is byte-identical for every
+/// worker count ≥ 1.
+pub const SHARD_REGIONS: usize = 4;
+
 /// The default worker count: the machine's available parallelism, or 1 when
 /// the OS will not say.
 #[must_use]

@@ -2,60 +2,23 @@
 //! run loops.
 //!
 //! The engine models the machine as a set of *lanes* (one per processor),
-//! each with a private cycle clock, coupled only through the shared bus. A
-//! binary-heap event queue orders lane wake-ups by `(cycle, seq)`; `seq`
-//! encodes the lane id in its high bits and a per-lane monotonic counter in
-//! its low bits, so ties on the same cycle resolve deterministically by lane
-//! id (FIFO within a lane is guaranteed by the counter). That makes the
-//! event order — and therefore every coherence interleaving — a pure
-//! function of the workload, independent of host scheduling.
+//! each with a private cycle clock, coupled only through the shared bus. An
+//! event queue orders lane wake-ups by `(cycle, seq)`; `seq` encodes the
+//! lane id in its high bits and a per-lane monotonic counter in its low
+//! bits, so ties on the same cycle resolve deterministically by lane id
+//! (FIFO within a lane is guaranteed by the counter). That makes the event
+//! order — and therefore every coherence interleaving — a pure function of
+//! the workload, independent of host scheduling.
 //!
-//! The pre-event accounting loop is retained for one PR as
-//! [`EngineKind::Legacy`], so differential tests can pin the event engine
-//! against it byte for byte (see `tests/engine_equivalence.rs`). The legacy
-//! loop orders processors by `(clock, cpu)`; the event queue's `(cycle,
-//! seq)` order coincides with it exactly, because a lane never has two
-//! events in flight and the lane id occupies the most significant bits of
-//! `seq`.
+//! The queue's total order coincides with a `(clock, cpu)` virtual-time
+//! scan, because a lane never has two events in flight and the lane id
+//! occupies the most significant bits of `seq`. The pre-event accounting
+//! loop this engine replaced was kept for one PR as a differential
+//! baseline and has since been deleted; the 7 golden-trace fixtures and
+//! the phase-accounting suite remain the semantic gate.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-
-/// Which core drives a run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum EngineKind {
-    /// The pre-event per-access accounting loop. Kept for one PR as the
-    /// differential-testing baseline; it materialises every read's bytes
-    /// and dispatches bus modules through trait objects.
-    Legacy,
-    /// The cycle-stamped event-queue engine (the default): flat
-    /// index-addressed component state, statically dispatched snooping, and
-    /// dataless fast paths for checked-off runs. Byte-identical observable
-    /// behaviour to [`EngineKind::Legacy`].
-    #[default]
-    Event,
-}
-
-impl EngineKind {
-    /// Parses a CLI engine name.
-    #[must_use]
-    pub fn parse(name: &str) -> Option<EngineKind> {
-        match name {
-            "legacy" => Some(EngineKind::Legacy),
-            "event" => Some(EngineKind::Event),
-            _ => None,
-        }
-    }
-
-    /// The CLI-facing name.
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            EngineKind::Legacy => "legacy",
-            EngineKind::Event => "event",
-        }
-    }
-}
 
 /// One scheduled lane wake-up. Ordering is lexicographic on
 /// `(cycle, seq)` via the derived `Ord` (field declaration order), which the
@@ -82,6 +45,25 @@ fn key(cycle: u64, lane: usize) -> u128 {
     (u128::from(cycle) << 64) | lane as u128
 }
 
+/// The structured outcome of [`EventQueue::pop`]: either the earliest
+/// pending event, or a definitive signal that the queue is drained — every
+/// lane's stream has ended and nothing was rescheduled. Run loops match on
+/// this instead of unwrapping an option, so a lane whose stream ends
+/// mid-cycle can never panic the engine: the queue simply reports
+/// [`Popped::Drained`] and the loop terminates cleanly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Popped {
+    /// The earliest queued event: `lane` wakes at `cycle`.
+    Next {
+        /// The event's cycle stamp.
+        cycle: u64,
+        /// The lane (processor index) the event belongs to.
+        lane: usize,
+    },
+    /// No events remain; the run is over.
+    Drained,
+}
+
 /// The deterministic event queue, ordered by `(cycle, seq)`.
 ///
 /// Two layouts with identical observable order:
@@ -94,6 +76,17 @@ fn key(cycle: u64, lane: usize) -> u128 {
 #[derive(Debug)]
 pub(crate) struct EventQueue {
     imp: Imp,
+}
+
+/// Which queue layout an [`EventQueue`] uses. `new` picks by lane count;
+/// tests force one explicitly to pin the two layouts against each other at
+/// the `FLAT_MAX_LANES` boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum QueueLayout {
+    /// Dense slot array (the ≤ [`FLAT_MAX_LANES`] fast path).
+    Flat,
+    /// Binary min-heap (the wide-machine fallback).
+    Heap,
 }
 
 #[derive(Debug)]
@@ -112,19 +105,32 @@ enum Imp {
 }
 
 impl EventQueue {
-    /// A queue with every lane scheduled at cycle 0, in lane order.
+    /// A queue with every lane scheduled at cycle 0, in lane order, on the
+    /// layout the lane count selects.
     pub(crate) fn new(lanes: usize) -> Self {
+        let layout = if lanes <= FLAT_MAX_LANES {
+            QueueLayout::Flat
+        } else {
+            QueueLayout::Heap
+        };
+        Self::with_layout(lanes, layout)
+    }
+
+    /// A queue on an explicit layout, regardless of lane count. Both
+    /// layouts implement the same `(cycle, lane)` total order — this
+    /// constructor exists so tests can run the *same* machine on both and
+    /// compare byte for byte (see `system.rs`'s boundary tests).
+    pub(crate) fn with_layout(lanes: usize, layout: QueueLayout) -> Self {
         let mut q = EventQueue {
-            imp: if lanes <= FLAT_MAX_LANES {
-                Imp::Flat {
+            imp: match layout {
+                QueueLayout::Flat => Imp::Flat {
                     slots: vec![EMPTY; lanes],
                     live: 0,
-                }
-            } else {
-                Imp::Heap {
+                },
+                QueueLayout::Heap => Imp::Heap {
                     heap: BinaryHeap::with_capacity(lanes + 1),
                     counters: vec![0; lanes],
-                }
+                },
             },
         };
         for lane in 0..lanes {
@@ -152,12 +158,12 @@ impl EventQueue {
         }
     }
 
-    /// Pops the earliest event: `(cycle, lane)`.
-    pub(crate) fn pop(&mut self) -> Option<(u64, usize)> {
+    /// Pops the earliest event, or reports the queue drained.
+    pub(crate) fn pop(&mut self) -> Popped {
         match &mut self.imp {
             Imp::Flat { slots, live } => {
                 if *live == 0 {
-                    return None;
+                    return Popped::Drained;
                 }
                 let mut best = EMPTY;
                 let mut at = 0;
@@ -169,11 +175,18 @@ impl EventQueue {
                 }
                 slots[at] = EMPTY;
                 *live -= 1;
-                Some(((best >> 64) as u64, at))
+                Popped::Next {
+                    cycle: (best >> 64) as u64,
+                    lane: at,
+                }
             }
-            Imp::Heap { heap, .. } => heap
-                .pop()
-                .map(|Reverse(e)| (e.cycle, (e.seq >> 32) as usize)),
+            Imp::Heap { heap, .. } => match heap.pop() {
+                Some(Reverse(e)) => Popped::Next {
+                    cycle: e.cycle,
+                    lane: (e.seq >> 32) as usize,
+                },
+                None => Popped::Drained,
+            },
         }
     }
 
@@ -198,20 +211,19 @@ impl EventQueue {
 mod tests {
     use super::*;
 
-    #[test]
-    fn engine_kind_parses_cli_names() {
-        assert_eq!(EngineKind::parse("legacy"), Some(EngineKind::Legacy));
-        assert_eq!(EngineKind::parse("event"), Some(EngineKind::Event));
-        assert_eq!(EngineKind::parse("warp"), None);
-        assert_eq!(EngineKind::Event.name(), "event");
-        assert_eq!(EngineKind::Legacy.name(), "legacy");
-        assert_eq!(EngineKind::default(), EngineKind::Event);
+    /// Unwrap-free pop helper for the ordering tests: `Drained` maps to
+    /// `None` so assertions stay literal.
+    fn next(q: &mut EventQueue) -> Option<(u64, usize)> {
+        match q.pop() {
+            Popped::Next { cycle, lane } => Some((cycle, lane)),
+            Popped::Drained => None,
+        }
     }
 
     #[test]
     fn same_cycle_ties_break_by_lane_id() {
         let mut q = EventQueue::new(4);
-        let order: Vec<usize> = (0..4).map(|_| q.pop().unwrap().1).collect();
+        let order: Vec<usize> = (0..4).map(|_| next(&mut q).expect("4 queued").1).collect();
         assert_eq!(order, vec![0, 1, 2, 3]);
     }
 
@@ -224,14 +236,28 @@ mod tests {
         q.schedule(2, 10);
         q.schedule(0, 20);
         q.schedule(1, 10);
-        assert_eq!(q.pop(), Some((10, 1)));
-        assert_eq!(q.pop(), Some((10, 2)));
-        assert_eq!(q.pop(), Some((20, 0)));
-        assert_eq!(q.pop(), None);
+        assert_eq!(next(&mut q), Some((10, 1)));
+        assert_eq!(next(&mut q), Some((10, 2)));
+        assert_eq!(next(&mut q), Some((20, 0)));
+        assert_eq!(q.pop(), Popped::Drained);
     }
 
     #[test]
-    fn run_ahead_matches_the_heap_order() {
+    fn drained_queue_keeps_reporting_drained() {
+        // The structured empty signal is stable: popping a drained queue any
+        // number of times stays `Drained` and never panics, on both layouts.
+        for layout in [QueueLayout::Flat, QueueLayout::Heap] {
+            let mut q = EventQueue::with_layout(2, layout);
+            assert!(matches!(q.pop(), Popped::Next { .. }));
+            assert!(matches!(q.pop(), Popped::Next { .. }));
+            for _ in 0..3 {
+                assert_eq!(q.pop(), Popped::Drained, "{layout:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_ahead_matches_the_queue_order() {
         let mut q = EventQueue::new(2);
         q.pop();
         q.pop();
@@ -251,30 +277,42 @@ mod tests {
         assert!(q.lane_still_first(0, u64::MAX - 1));
     }
 
-    #[test]
-    fn heap_and_flat_layouts_pop_in_the_same_order() {
-        // 100 lanes exercises the heap; 50 the flat array. Drive both with
-        // the same deterministic reschedule rule and compare the prefix.
-        let mut flat = EventQueue::new(50);
-        let mut heap = EventQueue::new(100);
-        let mut flat_order = Vec::new();
-        let mut heap_order = Vec::new();
-        for step in 0..500u64 {
-            let (cycle, lane) = flat.pop().unwrap();
-            flat_order.push((cycle, lane));
-            flat.schedule(lane, cycle + 1 + (lane as u64 * step) % 7);
-            let (cycle, lane) = heap.pop().unwrap();
-            if lane < 50 {
-                heap_order.push((cycle, lane));
-            }
-            heap.schedule(lane, cycle + 1 + (lane as u64 * step) % 7);
+    /// Drives two queues with the same deterministic reschedule rule and
+    /// asserts every pop agrees — the layouts must be observably identical.
+    fn assert_layouts_agree(lanes: usize, steps: u64) {
+        let mut flat = EventQueue::with_layout(lanes, QueueLayout::Flat);
+        let mut heap = EventQueue::with_layout(lanes, QueueLayout::Heap);
+        for step in 0..steps {
+            let f = next(&mut flat).expect("flat never drains here");
+            let h = next(&mut heap).expect("heap never drains here");
+            assert_eq!(f, h, "lanes={lanes} step={step}");
+            let (cycle, lane) = f;
+            let bump = 1 + (lane as u64 * step) % 7;
+            flat.schedule(lane, cycle + bump);
+            heap.schedule(lane, cycle + bump);
         }
-        // Same (cycle, lane) ordering contract on both layouts.
-        let mut sorted = flat_order.clone();
-        sorted.sort_unstable();
-        assert_eq!(flat_order, sorted);
-        let mut sorted = heap_order.clone();
-        sorted.sort_unstable();
-        assert_eq!(heap_order, sorted);
+    }
+
+    #[test]
+    fn flat_and_heap_layouts_pop_identically_at_the_boundary() {
+        // Exactly at the dense-array cutover (64 lanes) and just past it
+        // (65 lanes, where `new` switches to the heap), the two layouts must
+        // produce the same event sequence — the boundary is a layout choice,
+        // never a semantics choice.
+        assert_layouts_agree(FLAT_MAX_LANES, 2000);
+        assert_layouts_agree(FLAT_MAX_LANES + 1, 2000);
+        assert_layouts_agree(3, 500);
+    }
+
+    #[test]
+    fn new_selects_flat_up_to_64_lanes_and_heap_past_it() {
+        assert!(matches!(
+            EventQueue::new(FLAT_MAX_LANES).imp,
+            Imp::Flat { .. }
+        ));
+        assert!(matches!(
+            EventQueue::new(FLAT_MAX_LANES + 1).imp,
+            Imp::Heap { .. }
+        ));
     }
 }

@@ -103,6 +103,14 @@ pub struct CampaignConfig {
     /// machine is fully independent and seeded, so the merged report is
     /// byte-identical for any value; `1` runs sequentially on the caller.
     pub jobs: usize,
+    /// `0` (the default) runs each protocol as one whole-machine campaign.
+    /// `N ≥ 1` partitions each protocol's pre-drawn access schedule into
+    /// [`crate::SHARD_REGIONS`] interleaved line-address regions, runs each
+    /// region as an independent faulty machine (its own derived fault seed),
+    /// and merges in region order on a flat protocol × region pool of `N`
+    /// workers — byte-identical for every `N ≥ 1`, but *not* comparable to
+    /// an unsharded campaign (the partition changes where faults land).
+    pub shards: usize,
 }
 
 impl Default for CampaignConfig {
@@ -132,6 +140,7 @@ impl Default for CampaignConfig {
                 ..FaultConfig::default()
             },
             jobs: crate::campaign::default_jobs(),
+            shards: 0,
         }
     }
 }
@@ -145,7 +154,8 @@ pub struct ProtocolRun {
     pub accesses: u64,
     /// Every injected fault with its verdict, in injection order.
     pub verdicts: Vec<FaultVerdict>,
-    /// Modules the watchdog retired, ascending.
+    /// Modules the watchdog retired — ascending for a whole-machine run; a
+    /// sharded run concatenates its region machines' lists in region order.
     pub retired: Vec<usize>,
     /// Invariant/read violations observed after recovery (silent corruption;
     /// the run stops at the first one).
@@ -294,6 +304,9 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, String> {
     if cfg.cpus == 0 || cfg.steps == 0 || cfg.lines == 0 {
         return Err("cpus, steps and lines must all be non-zero".into());
     }
+    if cfg.shards > 0 {
+        return run_campaign_sharded(cfg);
+    }
     // Every protocol's machine is independent, so shard them across the
     // pool; `run_jobs` hands results back in protocol order, keeping the
     // report identical for any worker count.
@@ -304,14 +317,113 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, String> {
         .map(|(run_idx, name)| (run_idx as u64, name.clone()))
         .collect();
     let runs = crate::campaign::run_jobs(jobs, cfg.jobs, |(run_idx, name)| {
-        run_one(cfg, &name, run_idx)
+        let schedule = plan_schedule(cfg, run_idx);
+        execute_schedule(cfg, &name, cfg.faults.seed.wrapping_add(run_idx), &schedule)
     })
     .into_iter()
     .collect::<Result<Vec<_>, String>>()?;
     Ok(CampaignReport { runs })
 }
 
-fn run_one(cfg: &CampaignConfig, name: &str, run_idx: u64) -> Result<ProtocolRun, String> {
+/// The sharded campaign: one flat protocol × region task pool on
+/// `cfg.shards` workers, merged per protocol in region order. The region a
+/// step belongs to is a pure function of its line address, and each region
+/// machine's fault seed is derived from `(run_idx, region)`, so the merged
+/// report is byte-identical for every worker count.
+fn run_campaign_sharded(cfg: &CampaignConfig) -> Result<CampaignReport, String> {
+    let regions = crate::SHARD_REGIONS;
+    let mut tasks = Vec::with_capacity(cfg.protocols.len() * regions);
+    for (run_idx, name) in cfg.protocols.iter().enumerate() {
+        for region in 0..regions {
+            tasks.push((run_idx as u64, name.clone(), region as u64));
+        }
+    }
+    let results = crate::campaign::run_jobs(tasks, cfg.shards, |(run_idx, name, region)| {
+        let schedule: Vec<CampaignStep> = plan_schedule(cfg, run_idx)
+            .into_iter()
+            .filter(|s| (s.addr / cfg.line_size as u64) % regions as u64 == region)
+            .collect();
+        let fault_seed = cfg
+            .faults
+            .seed
+            .wrapping_add(run_idx * regions as u64 + region);
+        execute_schedule(cfg, &name, fault_seed, &schedule)
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, String>>()?;
+    let runs = results.chunks(regions).map(merge_protocol_runs).collect();
+    Ok(CampaignReport { runs })
+}
+
+/// Folds one protocol's region runs into a single [`ProtocolRun`], in
+/// region order: counters and bus statistics sum, verdict/retirement/error
+/// lists concatenate, histograms merge bucket-wise.
+fn merge_protocol_runs(region_runs: &[ProtocolRun]) -> ProtocolRun {
+    let mut merged = ProtocolRun {
+        protocol: region_runs[0].protocol.clone(),
+        accesses: 0,
+        verdicts: Vec::new(),
+        retired: Vec::new(),
+        violations: Vec::new(),
+        bus_errors: Vec::new(),
+        bus_stats: BusStats::new(),
+        phase_hist: PhaseHistograms::new(),
+    };
+    for run in region_runs {
+        merged.accesses += run.accesses;
+        merged.verdicts.extend(run.verdicts.iter().cloned());
+        merged.retired.extend(run.retired.iter().copied());
+        merged.violations.extend(run.violations.iter().cloned());
+        merged.bus_errors.extend(run.bus_errors.iter().cloned());
+        merged.bus_stats += run.bus_stats;
+        merged.phase_hist.merge(&run.phase_hist);
+    }
+    merged
+}
+
+/// One pre-drawn access of the campaign workload.
+#[derive(Clone, Copy, Debug)]
+struct CampaignStep {
+    /// The original step index (kept so violation messages name the same
+    /// step sharded or not).
+    step: u64,
+    cpu: usize,
+    addr: u64,
+    /// `Some(byte)` writes `[byte; 4]`; `None` reads 4 bytes.
+    write_byte: Option<u8>,
+}
+
+/// Pre-draws the whole access schedule for one protocol run. The draw order
+/// per step — line, word, read/write coin, then the write byte only on a
+/// write — exactly matches the order the execution loop used before the
+/// schedule was materialised, so the unsharded campaign is byte-identical
+/// to its pre-schedule ancestor; sharding then only *partitions* this list,
+/// never re-draws it.
+fn plan_schedule(cfg: &CampaignConfig, run_idx: u64) -> Vec<CampaignStep> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(run_idx));
+    (0..cfg.steps)
+        .map(|step| {
+            let cpu = (step as usize) % cfg.cpus;
+            let line = rng.gen_range(0..cfg.lines);
+            let word = rng.gen_range(0..(cfg.line_size / 4) as u64);
+            let addr = line * cfg.line_size as u64 + word * 4;
+            let write_byte = rng.gen_bool(0.5).then(|| rng.gen_range(0u16..256) as u8);
+            CampaignStep {
+                step,
+                cpu,
+                addr,
+                write_byte,
+            }
+        })
+        .collect()
+}
+
+fn execute_schedule(
+    cfg: &CampaignConfig,
+    name: &str,
+    fault_seed: u64,
+    schedule: &[CampaignStep],
+) -> Result<ProtocolRun, String> {
     let controllers: Vec<CacheController> = (0..cfg.cpus)
         .map(|id| {
             let protocol: Box<dyn Protocol + Send> =
@@ -336,11 +448,10 @@ fn run_one(cfg: &CampaignConfig, name: &str, run_idx: u64) -> Result<ProtocolRun
     // staleness they cause is the checker's to flag.
     fabric.tolerate_bus_errors(true);
     fabric.bus_mut().inject_faults(FaultPlan::new(FaultConfig {
-        seed: cfg.faults.seed.wrapping_add(run_idx),
+        seed: fault_seed,
         ..cfg.faults
     }));
     let mut checker = Checker::new(cfg.line_size);
-    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(run_idx));
 
     let mut run = ProtocolRun {
         protocol: name.to_string(),
@@ -355,14 +466,16 @@ fn run_one(cfg: &CampaignConfig, name: &str, run_idx: u64) -> Result<ProtocolRun
     let mut cursor = 0usize;
     let mut write_pieces: Vec<(u64, Vec<u8>)> = Vec::new();
 
-    for step in 0..cfg.steps {
-        let cpu = (step as usize) % cfg.cpus;
-        let line = rng.gen_range(0..cfg.lines);
-        let word = rng.gen_range(0..(cfg.line_size / 4) as u64);
-        let addr = line * cfg.line_size as u64 + word * 4;
+    for &CampaignStep {
+        step,
+        cpu,
+        addr,
+        write_byte,
+    } in schedule
+    {
         write_pieces.clear();
-        let read_back = if rng.gen_bool(0.5) {
-            let bytes = vec![rng.gen_range(0u16..256) as u8; 4];
+        let read_back = if let Some(byte) = write_byte {
+            let bytes = [byte; 4];
             let ck = &mut checker;
             let pieces = &mut write_pieces;
             fabric.write_with(cpu, addr, &bytes, |piece_addr, piece| {
@@ -1406,6 +1519,33 @@ mod tests {
             assert_eq!(a.retired, b.retired);
             assert_eq!(a.bus_stats, b.bus_stats);
             assert_eq!(a.phase_hist, b.phase_hist);
+        }
+    }
+
+    #[test]
+    fn sharded_campaign_is_byte_identical_for_any_worker_count() {
+        let base = CampaignConfig {
+            protocols: vec!["moesi".into(), "dragon".into()],
+            steps: 400,
+            ..CampaignConfig::default()
+        };
+        let one = run_campaign(&CampaignConfig {
+            shards: 1,
+            ..base.clone()
+        })
+        .unwrap();
+        let four = run_campaign(&CampaignConfig { shards: 4, ..base }).unwrap();
+        assert_eq!(
+            campaign_report_json(&one),
+            campaign_report_json(&four),
+            "fixed partition, merged in region order"
+        );
+        assert!(one.injected() > 0, "faults must land on the sharded path");
+        assert_eq!(one.silent(), 0);
+        // Each protocol's accesses cover the full schedule: partitioning
+        // never drops a step.
+        for run in &one.runs {
+            assert_eq!(run.accesses, 400, "{}", run.protocol);
         }
     }
 

@@ -40,10 +40,9 @@ pub mod replay;
 mod system;
 pub mod workload;
 
-pub use campaign::{default_jobs, merge_phase_histograms, run_jobs};
+pub use campaign::{default_jobs, merge_phase_histograms, run_jobs, SHARD_REGIONS};
 pub use checker::{Checker, Violation};
 pub use controller::CacheController;
-pub use engine::EngineKind;
 pub use fabric::Fabric;
 pub use faults::{
     campaign_report_json, hierarchy_report_json, liveness_probe_json, run_campaign,

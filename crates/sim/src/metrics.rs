@@ -132,9 +132,9 @@ impl fmt::Display for TimedReport {
 /// A complete, comparable snapshot of everything a run observably produced:
 /// the bus counters, every node's counters, and the rendered bus trace.
 ///
-/// This is the unit of differential testing between
-/// [`EngineKind`](crate::EngineKind)s — two engines are equivalent exactly
-/// when their `MachineReport`s compare equal after the same workload.
+/// This is the unit of byte-exact comparison across queue layouts, shard
+/// worker counts and golden traces — two runs are equivalent exactly when
+/// their `MachineReport`s compare equal after the same workload.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MachineReport {
     /// Final bus counters.

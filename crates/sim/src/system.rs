@@ -14,7 +14,7 @@ use moesi::{CacheKind, LineState, Protocol};
 
 use crate::checker::{Checker, Violation};
 use crate::controller::CacheController;
-use crate::engine::{EngineKind, EventQueue};
+use crate::engine::{EventQueue, Popped};
 use crate::fabric::Fabric;
 use crate::metrics::{CpuStats, MachineReport};
 use crate::workload::{Access, RefStream};
@@ -44,7 +44,6 @@ pub struct SystemBuilder {
     nodes: Vec<(Box<dyn Protocol + Send>, Option<CacheConfig>)>,
     checking: bool,
     seed: u64,
-    engine: EngineKind,
 }
 
 impl SystemBuilder {
@@ -58,17 +57,7 @@ impl SystemBuilder {
             nodes: Vec::new(),
             checking: false,
             seed: 0x5EED,
-            engine: EngineKind::default(),
         }
-    }
-
-    /// Selects the run-loop engine (default: [`EngineKind::Event`]). The two
-    /// engines produce byte-identical results; `Legacy` exists as the
-    /// differential-testing baseline and will be removed next PR.
-    #[must_use]
-    pub fn engine(mut self, engine: EngineKind) -> Self {
-        self.engine = engine;
-        self
     }
 
     /// Sets the bus timing model.
@@ -154,7 +143,6 @@ impl SystemBuilder {
                 None
             },
             write_seq: 0,
-            engine: self.engine,
         }
     }
 }
@@ -165,7 +153,6 @@ pub struct System {
     fabric: Fabric,
     checker: Option<Checker>,
     write_seq: u32,
-    engine: EngineKind,
 }
 
 impl System {
@@ -457,15 +444,8 @@ impl System {
         pushed
     }
 
-    /// The engine driving [`run`](System::run) and
-    /// [`run_timed`](System::run_timed).
-    #[must_use]
-    pub fn engine(&self) -> EngineKind {
-        self.engine
-    }
-
     /// A [`MachineReport`] snapshot of the run so far: the unit of
-    /// differential comparison between engines.
+    /// byte-exact comparison across shard worker counts and golden traces.
     #[must_use]
     pub fn machine_report(&self) -> MachineReport {
         MachineReport {
@@ -520,39 +500,18 @@ impl System {
     /// consistency violation.
     pub fn run(&mut self, streams: &mut [Box<dyn RefStream + Send>], steps: u64) {
         assert_eq!(streams.len(), self.nodes(), "one reference stream per node");
-        match self.engine {
-            EngineKind::Legacy => self.run_legacy(streams, steps),
-            EngineKind::Event => self.run_event(streams, steps),
-        }
+        self.run_event(streams, steps);
     }
 
-    fn run_legacy(&mut self, streams: &mut [Box<dyn RefStream + Send>], steps: u64) {
-        #[allow(clippy::needless_range_loop)] // body needs `&mut self`
-        for _ in 0..steps {
-            for cpu in 0..self.nodes() {
-                let access = streams[cpu].next_access();
-                if access.is_write {
-                    self.write_seq = self.write_seq.wrapping_add(1);
-                    let pattern = self.write_seq.to_le_bytes();
-                    let bytes: Vec<u8> = (0..access.size)
-                        .map(|i| pattern[i % pattern.len()])
-                        .collect();
-                    self.write(cpu, access.addr, &bytes);
-                } else {
-                    let _ = self.read(cpu, access.addr, access.size);
-                }
-            }
-        }
-    }
-
-    /// The event engine's untimed driver: every access costs one cycle, so
-    /// the `(cycle, seq)` queue order reduces to exactly the legacy
-    /// round-robin.
+    /// The untimed driver: every access costs one cycle, so the
+    /// `(cycle, seq)` queue order reduces to a strict round-robin. The run
+    /// ends when the queue reports itself drained — a lane whose budget is
+    /// spent simply stops rescheduling.
     fn run_event(&mut self, streams: &mut [Box<dyn RefStream + Send>], steps: u64) {
         let n = self.nodes();
         let mut queue = EventQueue::new(n);
         let mut done = vec![0u64; n];
-        while let Some((cycle, cpu)) = queue.pop() {
+        while let Popped::Next { cycle, lane: cpu } = queue.pop() {
             if done[cpu] >= steps {
                 continue;
             }
@@ -584,31 +543,25 @@ impl System {
         cpu_work_ns: u64,
     ) -> crate::TimedReport {
         assert_eq!(streams.len(), self.nodes(), "one stream per node");
-        match self.engine {
-            EngineKind::Legacy => self.run_timed_legacy(streams, refs_per_cpu, cpu_work_ns),
-            EngineKind::Event => {
-                let n = self.nodes();
-                let mut done = vec![0u64; n];
-                self.run_timed_event(
-                    n,
-                    |cpu| {
-                        if done[cpu] >= refs_per_cpu {
-                            None
-                        } else {
-                            done[cpu] += 1;
-                            Some(streams[cpu].next_access())
-                        }
-                    },
-                    cpu_work_ns,
-                )
-            }
-        }
+        let n = self.nodes();
+        let mut done = vec![0u64; n];
+        self.run_timed_event(
+            EventQueue::new(n),
+            |cpu| {
+                if done[cpu] >= refs_per_cpu {
+                    None
+                } else {
+                    done[cpu] += 1;
+                    Some(streams[cpu].next_access())
+                }
+            },
+            cpu_work_ns,
+        )
     }
 
     /// A timed run over pre-materialised per-node access scripts instead of
     /// live streams — the shard workers' entry point, where the workload has
-    /// already been partitioned by address region. Always runs on the event
-    /// engine (scripts only exist on the sharded path).
+    /// already been partitioned by address region.
     ///
     /// # Panics
     ///
@@ -623,7 +576,7 @@ impl System {
         let n = self.nodes();
         let mut done = vec![0usize; n];
         self.run_timed_event(
-            n,
+            EventQueue::new(n),
             |cpu| {
                 let access = scripts[cpu].get(done[cpu]).copied();
                 done[cpu] += access.is_some() as usize;
@@ -633,89 +586,63 @@ impl System {
         )
     }
 
-    fn run_timed_legacy(
+    /// [`run_timed`](System::run_timed) on an explicitly chosen queue
+    /// layout, lane count notwithstanding — the boundary tests' hook for
+    /// pinning the dense queue and the heap fallback against each other on a
+    /// real machine run.
+    #[cfg(test)]
+    fn run_timed_with_layout(
         &mut self,
         streams: &mut [Box<dyn RefStream + Send>],
         refs_per_cpu: u64,
         cpu_work_ns: u64,
+        layout: crate::engine::QueueLayout,
     ) -> crate::TimedReport {
-        use std::cmp::Reverse;
-        use std::collections::BinaryHeap;
-
+        assert_eq!(streams.len(), self.nodes(), "one stream per node");
         let n = self.nodes();
         let mut done = vec![0u64; n];
-        let mut bus_free: u64 = 0;
-        let mut bus_busy: u64 = 0;
-        let mut bus_wait: u64 = 0;
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
-            (0..n).map(|cpu| Reverse((0u64, cpu))).collect();
-        let mut wall: u64 = 0;
-
-        while let Some(Reverse((mut clock, cpu))) = heap.pop() {
-            if done[cpu] >= refs_per_cpu {
-                wall = wall.max(clock);
-                continue;
-            }
-            let access = streams[cpu].next_access();
-            let bus_before = self.stats(cpu).bus_ns;
-            if access.is_write {
-                self.write_seq = self.write_seq.wrapping_add(1);
-                let pattern = self.write_seq.to_le_bytes();
-                let bytes: Vec<u8> = (0..access.size)
-                    .map(|i| pattern[i % pattern.len()])
-                    .collect();
-                self.write(cpu, access.addr, &bytes);
-            } else {
-                let _ = self.read(cpu, access.addr, access.size);
-            }
-            let bus_used = self.stats(cpu).bus_ns - bus_before;
-
-            clock += cpu_work_ns;
-            if bus_used > 0 {
-                let start = clock.max(bus_free);
-                bus_wait += start - clock;
-                bus_free = start + bus_used;
-                bus_busy += bus_used;
-                clock = bus_free;
-            }
-            done[cpu] += 1;
-            wall = wall.max(clock);
-            heap.push(Reverse((clock, cpu)));
-        }
-
-        crate::TimedReport {
-            wall_ns: wall,
-            bus_busy_ns: bus_busy,
-            bus_wait_ns: bus_wait,
-            total_refs: refs_per_cpu * n as u64,
-            phase_hist: *self.fabric.bus().phase_histograms(),
-        }
+        self.run_timed_event(
+            EventQueue::with_layout(n, layout),
+            |cpu| {
+                if done[cpu] >= refs_per_cpu {
+                    None
+                } else {
+                    done[cpu] += 1;
+                    Some(streams[cpu].next_access())
+                }
+            },
+            cpu_work_ns,
+        )
     }
 
-    /// The event engine's timed driver. `next_access(cpu)` returns `None`
-    /// when that lane's workload is exhausted. The event order is identical
-    /// to the legacy heap's `(clock, cpu)` order (see [`crate::engine`]);
-    /// on top of it the engine *runs ahead* — after an access, if the lane's
-    /// new cycle still precedes every queued event it keeps executing the
-    /// same lane, skipping the pop/push round-trip the legacy loop pays per
-    /// access.
+    /// The timed driver. `next_access(cpu)` returns `None` when that lane's
+    /// workload is exhausted. Events execute in `(clock, cpu)` virtual-time
+    /// order (see [`crate::engine`]); on top of it the engine *runs ahead* —
+    /// after an access, if the lane's new cycle still precedes every queued
+    /// event it keeps executing the same lane, skipping the schedule/pop
+    /// round-trip. The loop ends when the queue reports [`Popped::Drained`]:
+    /// exhausted lanes stop rescheduling, so a stream ending mid-cycle just
+    /// drains the queue — it can never panic the engine.
     fn run_timed_event<F>(
         &mut self,
-        lanes: usize,
+        mut queue: EventQueue,
         mut next_access: F,
         cpu_work_ns: u64,
     ) -> crate::TimedReport
     where
         F: FnMut(usize) -> Option<Access>,
     {
-        let mut queue = EventQueue::new(lanes);
         let mut bus_free: u64 = 0;
         let mut bus_busy: u64 = 0;
         let mut bus_wait: u64 = 0;
         let mut wall: u64 = 0;
         let mut total_refs: u64 = 0;
 
-        while let Some((mut clock, cpu)) = queue.pop() {
+        while let Popped::Next {
+            cycle: mut clock,
+            lane: cpu,
+        } = queue.pop()
+        {
             loop {
                 let Some(access) = next_access(cpu) else {
                     wall = wall.max(clock);
@@ -1041,5 +968,58 @@ mod tests {
             Box::new(MoesiPreferred::new()),
             CacheConfig::new(1024, 16, 2, ReplacementKind::Lru),
         );
+    }
+
+    /// A homogeneous MOESI machine with `n` nodes plus its per-node
+    /// Dubois–Briggs streams, for the queue-layout boundary tests.
+    fn wide_machine(n: usize, seed: u64) -> (System, Vec<Box<dyn RefStream + Send>>) {
+        use crate::workload::{DuboisBriggs, SharingModel};
+        let mut b = SystemBuilder::new(32);
+        for _ in 0..n {
+            b = b.cache(Box::new(MoesiPreferred::new()), cfg());
+        }
+        let model = SharingModel {
+            line_size: 32,
+            ..SharingModel::default()
+        };
+        let streams: Vec<Box<dyn RefStream + Send>> = (0..n)
+            .map(|cpu| {
+                Box::new(DuboisBriggs::new(cpu, model, seed.wrapping_add(cpu as u64)))
+                    as Box<dyn RefStream + Send>
+            })
+            .collect();
+        (b.seed(seed).build(), streams)
+    }
+
+    /// Runs the same `n`-lane machine once per queue layout and demands
+    /// byte-identical timed results — the flat/heap boundary is a layout
+    /// choice, never a semantics choice.
+    fn assert_layouts_run_identically(n: usize, seed: u64) {
+        use crate::engine::QueueLayout;
+        let mut reports = Vec::new();
+        let mut machines = Vec::new();
+        for layout in [QueueLayout::Flat, QueueLayout::Heap] {
+            let (mut sys, mut streams) = wide_machine(n, seed);
+            reports.push(sys.run_timed_with_layout(&mut streams, 60, 50, layout));
+            machines.push(sys.machine_report());
+        }
+        assert_eq!(reports[0], reports[1], "TimedReport diverged at {n} lanes");
+        assert_eq!(
+            machines[0], machines[1],
+            "MachineReport diverged at {n} lanes"
+        );
+    }
+
+    #[test]
+    fn dense_and_heap_queues_agree_at_exactly_64_lanes() {
+        // 64 lanes is the last machine the dense queue serves by default.
+        assert_layouts_run_identically(64, 0xB0B);
+    }
+
+    #[test]
+    fn dense_and_heap_queues_agree_at_65_lanes() {
+        // 65 lanes is the first machine that falls back to the heap; forcing
+        // the dense layout onto it must not change a single byte.
+        assert_layouts_run_identically(65, 0xB0B);
     }
 }

@@ -69,6 +69,12 @@ pub struct SynthConfig {
     /// Worker threads sharding candidate evaluations (1 = sequential; the
     /// output is byte-identical for any value).
     pub jobs: usize,
+    /// When > 0, every fitness evaluation itself runs as a sharded sweep
+    /// (address-interleaved regions, `shards` workers). The scores differ
+    /// from the unsharded path — the regions are separate machines — but are
+    /// byte-identical for any worker count, so a synthesis run is
+    /// reproducible at every `shards` value independently.
+    pub shards: usize,
     /// Cost model every fitness evaluation runs under; the sensitivity
     /// study scales a copy of this per grid point.
     pub timing: TimingConfig,
@@ -86,6 +92,7 @@ impl Default for SynthConfig {
             rounds: 4,
             seed: 7,
             jobs: mpsim::campaign::default_jobs(),
+            shards: 0,
             timing: TimingConfig::default(),
             campaign_steps: 2500,
         }
@@ -189,6 +196,7 @@ fn fitness_config(cfg: &SynthConfig, timing: TimingConfig) -> SweepConfig {
         cache_bytes: cfg.cache_bytes,
         seed: cfg.seed,
         jobs: 1,
+        shards: cfg.shards,
         timing,
         ..SweepConfig::default()
     }
@@ -627,6 +635,25 @@ mod tests {
         let sens_seq = sensitivity(&seq_cfg, &seq).unwrap();
         let sens_par = sensitivity(&par_cfg, &par).unwrap();
         assert_eq!(sens_seq, sens_par);
+    }
+
+    #[test]
+    fn sharded_fitness_is_byte_identical_for_any_worker_count() {
+        // `shards > 0` switches every fitness evaluation to the sharded
+        // sweep; the worker count must never change the search outcome.
+        let one = SynthConfig {
+            shards: 1,
+            ..tiny()
+        };
+        let four = SynthConfig {
+            shards: 4,
+            ..tiny()
+        };
+        let a = synthesize(&one).unwrap();
+        let b = synthesize(&four).unwrap();
+        assert_eq!(tables_document(&a), tables_document(&b));
+        assert_eq!(a.outcomes[0].winner_score, b.outcomes[0].winner_score);
+        assert_eq!(a.outcomes[0].evaluated, b.outcomes[0].evaluated);
     }
 
     #[test]

@@ -2,7 +2,6 @@
 
 use crate::chrome::write_chrome_trace;
 use moesi_futurebus::cli::CommonOpts;
-use mpsim::EngineKind;
 
 pub(crate) const BENCH_USAGE: &str = "\
 moesi-sim bench: run the protocol x workload benchmark sweep
@@ -23,18 +22,18 @@ OPTIONS:
     --steps N         references per processor [default: 2000]
     --cache-bytes N   per-node cache capacity [default: 4096]
     --seed N          workload seed [default: 7]
-    --engine NAME     simulator core: `event` (the cycle-stamped event-queue
-                      engine, the default) or `legacy` (the pre-event
-                      accounting loop, kept one PR as the differential
-                      baseline) [default: event]
-    --shards N        split every cell's reference stream over fixed address
-                      regions and run the regions on N workers (event engine
-                      only); the merged rows are byte-identical for any N
-                      [default: off]
-    --jobs N          worker threads sharding the cells [default: available
-                      cores]
+    --shards LIST     split every cell's reference stream over fixed address
+                      regions and run the regions on a worker pool. A single
+                      count (`--shards 4`) runs the sharded sweep on that
+                      many workers; a comma list (`--shards 1,2,4,8`) runs a
+                      scaling sweep, one row per count, with a host-speedup
+                      column. The partition is fixed, so the simulated rows
+                      are byte-identical for every count [default: off]
+    --jobs N          worker threads sharding the cells of an unsharded
+                      sweep [default: available cores]
     --json            also write the rows as JSON to --out
-    --out PATH        JSON output path [default: BENCH_protocols.json]
+    --out PATH        JSON output path [default: BENCH_protocols.json, or
+                      BENCH_shards.json for a scaling sweep]
     --trace-out FILE  also write a Chrome trace (chrome://tracing JSON) of
                       one exemplar run of the first benched protocol; the
                       file is identical for any --jobs value
@@ -49,11 +48,12 @@ pub(crate) struct BenchCliConfig {
     pub(crate) steps: u64,
     pub(crate) cache_bytes: usize,
     pub(crate) seed: u64,
-    pub(crate) engine: EngineKind,
-    pub(crate) shards: usize,
+    /// Shard worker counts: empty = unsharded, one entry = sharded sweep,
+    /// several = scaling sweep over the counts.
+    pub(crate) shards: Vec<usize>,
     pub(crate) jobs: usize,
     pub(crate) json: bool,
-    pub(crate) out: String,
+    pub(crate) out: Option<String>,
     pub(crate) trace_out: Option<String>,
 }
 
@@ -67,13 +67,28 @@ impl Default for BenchCliConfig {
             steps: base.steps,
             cache_bytes: base.cache_bytes,
             seed: base.seed,
-            engine: base.engine,
-            shards: base.shards,
+            shards: Vec::new(),
             jobs: base.jobs,
             json: false,
-            out: "BENCH_protocols.json".to_string(),
+            out: None,
             trace_out: None,
         }
+    }
+}
+
+impl BenchCliConfig {
+    /// True when `--shards` named more than one worker count.
+    pub(crate) fn is_scaling(&self) -> bool {
+        self.shards.len() > 1
+    }
+
+    /// The JSON output path, defaulting per mode.
+    pub(crate) fn out_path(&self) -> &str {
+        self.out.as_deref().unwrap_or(if self.is_scaling() {
+            "BENCH_shards.json"
+        } else {
+            "BENCH_protocols.json"
+        })
     }
 }
 
@@ -114,14 +129,14 @@ pub(crate) fn parse_bench_args(args: &[String]) -> Result<BenchCliConfig, String
             "--cache-bytes" => {
                 cfg.cache_bytes = number("--cache-bytes", value("--cache-bytes")?)? as usize;
             }
-            "--engine" => {
-                let name = value("--engine")?;
-                cfg.engine = EngineKind::parse(name)
-                    .ok_or_else(|| format!("unknown engine `{name}` (legacy or event)"))?;
+            "--shards" => {
+                cfg.shards = list("--shards", value("--shards")?)?
+                    .iter()
+                    .map(|v| number("--shards", v).map(|n| n as usize))
+                    .collect::<Result<_, _>>()?;
             }
-            "--shards" => cfg.shards = number("--shards", value("--shards")?)? as usize,
             "--json" => cfg.json = true,
-            "--out" => cfg.out = value("--out")?.clone(),
+            "--out" => cfg.out = Some(value("--out")?.clone()),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -145,8 +160,7 @@ fn sweep_config(cfg: &BenchCliConfig) -> bench::sweep::SweepConfig {
         steps: cfg.steps,
         cache_bytes: cfg.cache_bytes,
         seed: cfg.seed,
-        engine: cfg.engine,
-        shards: cfg.shards,
+        shards: cfg.shards.first().copied().unwrap_or(0),
         jobs: cfg.jobs,
         timing: base.timing,
     }
@@ -154,20 +168,34 @@ fn sweep_config(cfg: &BenchCliConfig) -> bench::sweep::SweepConfig {
 
 pub(crate) fn run_bench(cfg: &BenchCliConfig) -> Result<(), String> {
     let sweep_cfg = sweep_config(cfg);
-    let rows = bench::sweep::sweep(&sweep_cfg)?;
-    print!("{}", bench::sweep::render_sweep(&rows));
-    let total: u64 = rows.iter().map(|r| r.accesses).sum();
-    println!(
-        "\ntotal {total} accesses across {} cells ({} protocols x {} workloads, jobs={})",
-        rows.len(),
-        sweep_cfg.protocols.len(),
-        sweep_cfg.workloads.len(),
-        sweep_cfg.jobs,
-    );
-    if cfg.json {
-        let json = bench::sweep::sweep_json(&sweep_cfg, &rows);
-        std::fs::write(&cfg.out, json).map_err(|e| format!("cannot write `{}`: {e}", cfg.out))?;
-        println!("wrote {}", cfg.out);
+    if cfg.is_scaling() {
+        let (rows, scaling) = bench::sweep::shard_scaling(&sweep_cfg, &cfg.shards)?;
+        print!("{}", bench::sweep::render_sweep(&rows));
+        println!();
+        print!("{}", bench::sweep::render_scaling(&scaling));
+        if cfg.json {
+            let json = bench::sweep::scaling_json(&sweep_cfg, &scaling);
+            let out = cfg.out_path();
+            std::fs::write(out, json).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+            println!("wrote {out}");
+        }
+    } else {
+        let rows = bench::sweep::sweep(&sweep_cfg)?;
+        print!("{}", bench::sweep::render_sweep(&rows));
+        let total: u64 = rows.iter().map(|r| r.accesses).sum();
+        println!(
+            "\ntotal {total} accesses across {} cells ({} protocols x {} workloads, jobs={})",
+            rows.len(),
+            sweep_cfg.protocols.len(),
+            sweep_cfg.workloads.len(),
+            sweep_cfg.jobs,
+        );
+        if cfg.json {
+            let json = bench::sweep::sweep_json(&sweep_cfg, &rows);
+            let out = cfg.out_path();
+            std::fs::write(out, json).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+            println!("wrote {out}");
+        }
     }
     if let Some(path) = &cfg.trace_out {
         write_chrome_trace(
@@ -211,7 +239,7 @@ mod tests {
         assert_eq!((cfg.cpus, cfg.steps, cfg.cache_bytes), (2, 100, 2048));
         assert_eq!((cfg.seed, cfg.jobs), (3, 2));
         assert!(cfg.json);
-        assert_eq!(cfg.out, "/tmp/b.json");
+        assert_eq!(cfg.out_path(), "/tmp/b.json");
         assert_eq!(cfg.trace_out.as_deref(), Some("/tmp/b-trace.json"));
         assert!(parse_bench_args(&args("--help")).unwrap_err().is_empty());
         assert!(parse_bench_args(&args("--bogus"))
@@ -223,23 +251,30 @@ mod tests {
     }
 
     #[test]
-    fn engine_and_shard_flags_parse_and_validate() {
-        let cfg = parse_bench_args(&args("--engine legacy")).expect("valid");
-        assert_eq!(cfg.engine, EngineKind::Legacy);
-        assert_eq!(cfg.shards, 0, "sharding stays off unless asked for");
-        let cfg = parse_bench_args(&args("--engine event --shards 3")).expect("valid");
-        assert_eq!(cfg.engine, EngineKind::Event);
-        assert_eq!(cfg.shards, 3);
-        assert!(parse_bench_args(&args("--engine turbo"))
-            .unwrap_err()
-            .contains("unknown engine"));
+    fn shard_flags_parse_and_pick_the_mode() {
+        let cfg = parse_bench_args(&[]).expect("empty");
+        assert!(cfg.shards.is_empty(), "sharding stays off unless asked for");
+        assert!(!cfg.is_scaling());
+        assert_eq!(cfg.out_path(), "BENCH_protocols.json");
+
+        let cfg = parse_bench_args(&args("--shards 3")).expect("valid");
+        assert_eq!(cfg.shards, vec![3]);
+        assert!(!cfg.is_scaling());
+
+        let cfg = parse_bench_args(&args("--shards 1,2,4,8")).expect("valid");
+        assert_eq!(cfg.shards, vec![1, 2, 4, 8]);
+        assert!(cfg.is_scaling());
+        assert_eq!(cfg.out_path(), "BENCH_shards.json");
+
         assert!(parse_bench_args(&args("--shards 0"))
             .unwrap_err()
             .contains("at least 1"));
-        // Legacy + shards parses; the sweep itself rejects the combination.
-        let cfg = parse_bench_args(&args("--engine legacy --shards 2")).expect("parses");
-        let err = run_bench(&cfg).unwrap_err();
-        assert!(err.contains("event engine"), "{err}");
+        assert!(parse_bench_args(&args("--shards 1,0"))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_bench_args(&args("--shards four"))
+            .unwrap_err()
+            .contains("expects a number"));
     }
 
     #[test]
@@ -252,7 +287,7 @@ mod tests {
             cpus: 2,
             steps: 50,
             json: true,
-            out: out.to_string_lossy().into_owned(),
+            out: Some(out.to_string_lossy().into_owned()),
             trace_out: Some(trace_out.to_string_lossy().into_owned()),
             ..BenchCliConfig::default()
         };
@@ -274,5 +309,27 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("unknown protocol"), "{err}");
+    }
+
+    #[test]
+    fn scaling_smoke_run_writes_speedup_json() {
+        let out = std::env::temp_dir().join("moesi_sim_bench_scaling_smoke.json");
+        let cfg = BenchCliConfig {
+            protocols: Some(vec!["moesi".into()]),
+            workloads: Some(vec!["ping-pong".into()]),
+            cpus: 2,
+            steps: 50,
+            shards: vec![1, 2],
+            json: true,
+            out: Some(out.to_string_lossy().into_owned()),
+            ..BenchCliConfig::default()
+        };
+        run_bench(&cfg).expect("scaling smoke succeeds");
+        let json = std::fs::read_to_string(&out).expect("json written");
+        assert!(json.contains("\"shard_regions\": 4"), "{json}");
+        assert!(json.contains("\"shards\": 1"), "{json}");
+        assert!(json.contains("\"shards\": 2"), "{json}");
+        assert!(json.contains("\"speedup\": "), "{json}");
+        let _ = std::fs::remove_file(&out);
     }
 }

@@ -54,6 +54,11 @@ OPTIONS:
     --jobs N          worker threads, one protocol machine per job; the
                       report is identical for any N [default: available
                       cores]
+    --shards N        run each protocol's campaign sharded: the planned
+                      access schedule splits over fixed address regions,
+                      one region machine each, merged on N workers. The
+                      report is byte-identical for any N (flat campaigns
+                      only) [default: off]
     --json            also write the report (with the lost/salvaged-line and
                       retry/backoff ledgers) as JSON to --out
     --out PATH        JSON output path [default: FAULTS_report.json]
@@ -78,6 +83,7 @@ pub(crate) struct FaultsConfig {
     pub(crate) rate: f64,
     pub(crate) kinds: Vec<FaultKind>,
     pub(crate) jobs: usize,
+    pub(crate) shards: usize,
     pub(crate) json: bool,
     pub(crate) out: String,
     pub(crate) trace_out: Option<String>,
@@ -99,6 +105,7 @@ impl Default for FaultsConfig {
             rate: 0.1,
             kinds: FaultKind::ALL.to_vec(),
             jobs: base.jobs,
+            shards: base.shards,
             json: false,
             out: "FAULTS_report.json".to_string(),
             trace_out: None,
@@ -179,6 +186,7 @@ pub(crate) fn parse_faults_args(args: &[String]) -> Result<FaultsConfig, String>
                 }
             }
             "--kind" => cfg.kinds = parse_fault_kinds(value("--kind")?)?,
+            "--shards" => cfg.shards = number("--shards", value("--shards")?)? as usize,
             "--hierarchy" => cfg.hierarchy = true,
             "--clusters" => cfg.clusters = number("--clusters", value("--clusters")?)? as usize,
             "--json" => cfg.json = true,
@@ -196,6 +204,9 @@ pub(crate) fn parse_faults_args(args: &[String]) -> Result<FaultsConfig, String>
     cfg.trace_out = common.trace_out;
     if cfg.hierarchy && cfg.trace_out.is_some() {
         return Err("--trace-out traces a flat run; drop it or drop --hierarchy".to_string());
+    }
+    if cfg.hierarchy && cfg.shards > 0 {
+        return Err("--shards shards a flat campaign; drop it or drop --hierarchy".to_string());
     }
     Ok(cfg)
 }
@@ -236,6 +247,7 @@ fn campaign_config(cfg: &FaultsConfig) -> CampaignConfig {
         tables: Vec::new(),
         faults: fault_rates(cfg),
         jobs: cfg.jobs,
+        shards: cfg.shards,
     }
 }
 
@@ -356,6 +368,24 @@ mod tests {
         assert!(parse_faults_args(&args("--steps 0"))
             .unwrap_err()
             .contains("at least 1"));
+    }
+
+    #[test]
+    fn faults_shard_flag_parses_and_rejects_hierarchy() {
+        let cfg = parse_faults_args(&args("--shards 4")).expect("valid");
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(campaign_config(&cfg).shards, 4);
+        assert_eq!(
+            parse_faults_args(&[]).expect("empty").shards,
+            0,
+            "sharding stays off unless asked for"
+        );
+        assert!(parse_faults_args(&args("--shards 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_faults_args(&args("--hierarchy --shards 2"))
+            .unwrap_err()
+            .contains("flat campaign"));
     }
 
     #[test]

@@ -36,6 +36,9 @@ OPTIONS:
     --seed N          workload seed for every evaluation [default: 7]
     --jobs N          worker threads sharding evaluations [default:
                       available cores]
+    --shards N        run every fitness evaluation as a sharded sweep
+                      (fixed address regions on N workers); the search is
+                      byte-identical for any N [default: off]
     --out PATH        write the winners as a parseable policy-table document
     --json-out PATH   write the full report as JSON
     --help            print this help
@@ -52,6 +55,7 @@ pub(crate) struct SynthCliConfig {
     pub(crate) sensitivity: bool,
     pub(crate) seed: u64,
     pub(crate) jobs: usize,
+    pub(crate) shards: usize,
     pub(crate) out: Option<String>,
     pub(crate) json_out: Option<String>,
 }
@@ -69,6 +73,7 @@ impl Default for SynthCliConfig {
             sensitivity: false,
             seed: base.seed,
             jobs: base.jobs,
+            shards: base.shards,
             out: None,
             json_out: None,
         }
@@ -119,6 +124,7 @@ pub(crate) fn parse_synth_args(args: &[String]) -> Result<SynthCliConfig, String
             "--campaign-steps" => {
                 cfg.campaign_steps = number("--campaign-steps", value("--campaign-steps")?)?;
             }
+            "--shards" => cfg.shards = number("--shards", value("--shards")?)? as usize,
             "--sensitivity" => cfg.sensitivity = true,
             "--out" => cfg.out = Some(value("--out")?.clone()),
             "--json-out" => cfg.json_out = Some(value("--json-out")?.clone()),
@@ -148,6 +154,7 @@ fn synth_config(cfg: &SynthCliConfig) -> synth::SynthConfig {
         rounds: cfg.rounds,
         seed: cfg.seed,
         jobs: cfg.jobs,
+        shards: cfg.shards,
         timing: base.timing,
         campaign_steps: cfg.campaign_steps,
     }
@@ -227,6 +234,17 @@ mod tests {
         assert!(parse_synth_args(&args("--trace-out /tmp/t.json"))
             .unwrap_err()
             .contains("not supported"));
+        let cfg = parse_synth_args(&args("--shards 2")).expect("valid");
+        assert_eq!(cfg.shards, 2);
+        assert_eq!(synth_config(&cfg).shards, 2);
+        assert_eq!(
+            parse_synth_args(&[]).expect("empty").shards,
+            0,
+            "sharding stays off unless asked for"
+        );
+        assert!(parse_synth_args(&args("--shards 0"))
+            .unwrap_err()
+            .contains("at least 1"));
     }
 
     #[test]

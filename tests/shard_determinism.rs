@@ -1,0 +1,122 @@
+//! Sharded runs are the benchmark of record, so their determinism contract
+//! is load-bearing: a fixed address-region partition means the worker count
+//! can never change a simulated result. These tests pin `--shards K` ≡
+//! `--shards 1` byte for byte across every sharded surface — the benchmark
+//! sweep, the scaling sweep, the fault campaign and the synth fitness
+//! function — over several seeds.
+
+use bench::sweep::{
+    shard_scaling, strip_host_fields, sweep, sweep_json, table_fitness, SweepConfig,
+};
+use moesi::Protocol;
+use mpsim::{campaign_report_json, run_campaign, CampaignConfig};
+
+const SEEDS: [u64; 3] = [1, 7, 42];
+
+fn sharded_config(seed: u64, shards: usize) -> SweepConfig {
+    SweepConfig {
+        protocols: vec!["moesi".into(), "dragon".into(), "write-through".into()],
+        workloads: vec!["general".into(), "ping-pong".into()],
+        cpus: 2,
+        steps: 200,
+        seed,
+        shards,
+        jobs: 1,
+        ..SweepConfig::default()
+    }
+}
+
+#[test]
+fn sharded_sweep_is_byte_identical_across_worker_counts() {
+    for seed in SEEDS {
+        let one = sweep(&sharded_config(seed, 1)).unwrap();
+        let four = sweep(&sharded_config(seed, 4)).unwrap();
+        assert_eq!(one, four, "seed {seed}: rows diverged");
+        // The full JSON document, host-side measurements stripped, must
+        // match to the byte — the same check ci.sh runs on the committed
+        // baseline.
+        let json_one = strip_host_fields(&sweep_json(&sharded_config(seed, 1), &one));
+        let json_four = strip_host_fields(&sweep_json(&sharded_config(seed, 4), &four));
+        assert_eq!(json_one, json_four, "seed {seed}: JSON diverged");
+    }
+}
+
+#[test]
+fn stripping_host_fields_removes_every_volatile_key() {
+    let cfg = sharded_config(7, 2);
+    let rows = sweep(&cfg).unwrap();
+    let stripped = strip_host_fields(&sweep_json(&cfg, &rows));
+    for key in [
+        "host_wall_ns",
+        "host_cpu_ns",
+        "host_critical_ns",
+        "host_elapsed_ns",
+        "engine_accesses_per_sec",
+        "\"speedup\"",
+    ] {
+        assert!(!stripped.contains(key), "{key} survived stripping");
+    }
+    assert!(stripped.contains("\"protocol\""), "rows were destroyed");
+}
+
+#[test]
+fn scaling_sweep_agrees_with_the_plain_sharded_sweep() {
+    for seed in SEEDS {
+        let cfg = sharded_config(seed, 1);
+        let (rows, scaling) = shard_scaling(&cfg, &[1, 2, 4]).unwrap();
+        let direct = sweep(&cfg).unwrap();
+        assert_eq!(rows, direct, "seed {seed}: baseline rows diverged");
+        assert_eq!(scaling.len(), 3);
+        // Simulated totals are identical at every worker count; only the
+        // host-side schedule varies.
+        for row in &scaling {
+            assert_eq!(row.accesses, scaling[0].accesses, "seed {seed}");
+            assert_eq!(row.wall_ns, scaling[0].wall_ns, "seed {seed}");
+            assert_eq!(row.busy_ns, scaling[0].busy_ns, "seed {seed}");
+            assert_eq!(row.wait_ns, scaling[0].wait_ns, "seed {seed}");
+            assert!(row.speedup > 0.0, "seed {seed}: empty speedup column");
+        }
+        // One worker cannot beat its own serial schedule.
+        assert!((scaling[0].speedup - 1.0).abs() < 1e-9, "seed {seed}");
+    }
+}
+
+#[test]
+fn sharded_fault_campaign_is_byte_identical_across_worker_counts() {
+    for seed in SEEDS {
+        let base = CampaignConfig {
+            protocols: vec!["moesi".into(), "berkeley".into()],
+            steps: 300,
+            seed,
+            jobs: 1,
+            ..CampaignConfig::default()
+        };
+        let one = run_campaign(&CampaignConfig {
+            shards: 1,
+            ..base.clone()
+        })
+        .unwrap();
+        let four = run_campaign(&CampaignConfig { shards: 4, ..base }).unwrap();
+        assert_eq!(
+            campaign_report_json(&one),
+            campaign_report_json(&four),
+            "seed {seed}: campaign diverged"
+        );
+    }
+}
+
+#[test]
+fn sharded_fitness_is_byte_identical_across_worker_counts() {
+    let table = *moesi::protocols::MoesiPreferred::new()
+        .policy_table()
+        .expect("moesi ships a policy table");
+    for seed in SEEDS {
+        let one = table_fitness(&sharded_config(seed, 1), table, "ping-pong").unwrap();
+        let four = table_fitness(&sharded_config(seed, 4), table, "ping-pong").unwrap();
+        assert_eq!(one, four, "seed {seed}: fitness row diverged");
+        assert_eq!(
+            one.accesses, four.accesses,
+            "seed {seed}: simulated work diverged"
+        );
+    }
+}
