@@ -41,6 +41,24 @@ if command -v python3 >/dev/null 2>&1; then
 fi
 rm -f "$hier_j2" "$hier_j1"
 
+echo "==> deep-hierarchy fault smoke (depth 3, 32 caches; --jobs 2 must match --jobs 1)"
+deep_j2="$(mktemp)" deep_j1="$(mktemp)"
+./target/release/moesi-sim faults --hierarchy --depth 3 --fanout 4 --clusters 4 \
+    --cpus 2 --steps 500 --seed 7 --jobs 2 --json --out "$deep_j2" >/dev/null
+./target/release/moesi-sim faults --hierarchy --depth 3 --fanout 4 --clusters 4 \
+    --cpus 2 --steps 500 --seed 7 --jobs 1 --json --out "$deep_j1" >/dev/null
+cmp "$deep_j2" "$deep_j1" \
+  || { echo "deep hierarchy faults --jobs 2 diverged from --jobs 1" >&2; exit 1; }
+grep -q '"depth": 3' "$deep_j1" && grep -q '"leaves": 16' "$deep_j1" \
+  || { echo "deep hierarchy smoke did not run the depth-3, 16-leaf tree" >&2; exit 1; }
+grep -q '"silent": 0' "$deep_j1" \
+  || { echo "deep hierarchy smoke saw silent corruption" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "$deep_j1" \
+    || { echo "deep hierarchy faults output is not valid JSON" >&2; exit 1; }
+fi
+rm -f "$deep_j2" "$deep_j1"
+
 echo "==> policy tables match the committed fixture (paper Tables 3-7)"
 tables_out="$(mktemp)"
 ./target/release/moesi-sim table > "$tables_out"
@@ -112,6 +130,31 @@ zero_speedups="$(grep -c '"speedup": 0\.000' "$scale_fresh" || true)"
 [ "${speedups:-0}" -ge 2 ] && [ "${zero_speedups:-0}" -eq 0 ] \
   || { echo "scaling sweep speedup column is empty or zero" >&2; exit 1; }
 rm -f "$scale_fresh"
+
+echo "==> hierarchy saturation smoke (--jobs 2 must match --jobs 1; filters must suppress)"
+hsat_j2="$(mktemp)" hsat_j1="$(mktemp)"
+./target/release/moesi-sim bench --hierarchy --protocol moesi --clusters 2 --depth 3 \
+    --fanout 2 --cpus 2 --steps 80 --seed 7 --jobs 2 --json --out "$hsat_j2" >/dev/null
+./target/release/moesi-sim bench --hierarchy --protocol moesi --clusters 2 --depth 3 \
+    --fanout 2 --cpus 2 --steps 80 --seed 7 --jobs 1 --json --out "$hsat_j1" >/dev/null
+cmp <(strip_host_fields "$hsat_j2") <(strip_host_fields "$hsat_j1") \
+  || { echo "bench --hierarchy --jobs 2 diverged from --jobs 1" >&2; exit 1; }
+grep -q '"suppressed": [1-9]' "$hsat_j1" \
+  || { echo "saturation smoke saw no snoop-filter suppression" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "$hsat_j1" \
+    || { echo "hierarchy bench output is not valid JSON" >&2; exit 1; }
+fi
+rm -f "$hsat_j2" "$hsat_j1"
+
+echo "==> committed hierarchy artifact matches a fresh default study (host fields ignored)"
+hier_fresh="$(mktemp)"
+./target/release/moesi-sim bench --hierarchy --json --out "$hier_fresh" >/dev/null
+cmp <(strip_host_fields "$hier_fresh") <(strip_host_fields BENCH_hierarchy.json) \
+  || { echo "BENCH_hierarchy.json diverged from a fresh default study; regenerate it" >&2; exit 1; }
+grep -q '"caches": 64' BENCH_hierarchy.json \
+  || { echo "BENCH_hierarchy.json is missing the 64-cache depth-3 rows" >&2; exit 1; }
+rm -f "$hier_fresh"
 
 echo "==> chrome-trace smoke (fixed seed; --jobs must not perturb the trace)"
 cmp "$trace_j2" "$trace_j1" \

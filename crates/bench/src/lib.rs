@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod hierarchy;
 pub mod sweep;
 
 use cache_array::{CacheConfig, ReplacementKind};

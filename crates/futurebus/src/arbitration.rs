@@ -1,17 +1,45 @@
-//! Bus arbitration: which requesting master gets the next transaction.
+//! Bus arbitration: which requesting master gets the next transaction, and
+//! how long it queues for the grant.
+//!
+//! §2.1 of the paper describes distributed priority arbitration with an
+//! optional fairness overlay; the Nikolov & Lerato comparison (PAPERS.md)
+//! measures FCFS against priority and round-robin service disciplines on a
+//! shared bus. The simulator models both halves:
+//!
+//! * [`Arbiter::grant`] — the *choice* among simultaneous requesters (used by
+//!   the fairness tests and the watchdog's retirement bookkeeping);
+//! * [`Arbiter::slots_to_grant`] — the *queueing delay* a master pays before
+//!   its grant, in arbitration slots. The pipeline charges
+//!   `(slots - 1) * arbitration_ns` to [`Phase::Arbitrate`]
+//!   (the first slot is already in the base transaction cost), so the
+//!   default single-slot disciplines are byte-identical to the historical
+//!   fixed-cost model.
+//!
+//! [`Phase::Arbitrate`]: crate::Phase::Arbitrate
 
+use std::collections::VecDeque;
 use std::fmt;
+use std::str::FromStr;
 
 /// An arbitration policy over module indices.
 ///
 /// The Futurebus arbitrates in parallel with the previous transfer; the
-/// simulator models only the *choice*, charging the fixed
-/// [`arbitration_ns`](crate::TimingConfig::arbitration_ns) cost per
-/// transaction.
+/// simulator models the *choice* via [`Arbiter::grant`] and the queueing
+/// delay via [`Arbiter::slots_to_grant`], each slot costing the fixed
+/// [`arbitration_ns`](crate::TimingConfig::arbitration_ns).
 pub trait Arbiter {
     /// Picks the winner among `requesters` (module indices). Returns `None`
     /// when no one is requesting.
     fn grant(&mut self, requesters: &[usize]) -> Option<usize>;
+
+    /// How many arbitration slots `master` waits before winning the bus when
+    /// every index in `live` is contending. The default models a purely
+    /// combinational arbiter: one slot, regardless of the winner — exactly
+    /// the historical fixed-cost behaviour.
+    fn slots_to_grant(&mut self, master: usize, live: &[usize]) -> u32 {
+        let _ = (master, live);
+        1
+    }
 }
 
 impl fmt::Debug for dyn Arbiter + Send {
@@ -23,7 +51,9 @@ impl fmt::Debug for dyn Arbiter + Send {
 /// Fixed-priority arbitration: the lowest module index always wins.
 ///
 /// Simple and unfair — a greedy low-numbered master can starve the others,
-/// which the fairness integration tests demonstrate.
+/// which the fairness integration tests demonstrate. The grant itself is
+/// combinational (one slot for everyone): the unfairness lives in *who*
+/// wins, not in how long the resolution takes.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PriorityArbiter;
 
@@ -43,6 +73,11 @@ impl Arbiter for PriorityArbiter {
 
 /// Round-robin arbitration: after a grant, that module becomes the lowest
 /// priority, guaranteeing every requester is served eventually.
+///
+/// The queueing model is the rotating token: the master waits one slot for
+/// every contender the token passes over on its way round, so a master that
+/// just transacted pays a full rotation while a master next in turn pays one
+/// slot.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RoundRobinArbiter {
     last: usize,
@@ -72,6 +107,146 @@ impl Arbiter for RoundRobinArbiter {
         self.last = winner;
         Some(winner)
     }
+
+    fn slots_to_grant(&mut self, master: usize, live: &[usize]) -> u32 {
+        if !live.contains(&master) {
+            return 1;
+        }
+        // Spin the token until it lands on the master, one slot per grant.
+        let mut slots = 0u32;
+        for _ in 0..live.len() {
+            slots += 1;
+            if self.grant(live) == Some(master) {
+                break;
+            }
+        }
+        slots.max(1)
+    }
+}
+
+/// First-come-first-served arbitration: requesters queue in arrival order
+/// and the head of the queue is served next, regardless of index.
+///
+/// Arrival is modelled at the granularity the simulator sees: every live
+/// module not already queued joins the tail (in index order) when a new
+/// transaction arbitrates, and serving the master also serves everyone ahead
+/// of it — one slot each — so the master's delay is its queue depth.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FcfsArbiter {
+    queue: VecDeque<usize>,
+}
+
+impl FcfsArbiter {
+    /// Creates the arbiter with an empty request queue.
+    #[must_use]
+    pub fn new() -> Self {
+        FcfsArbiter {
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn admit(&mut self, candidates: &[usize]) {
+        // Simultaneous arrivals tie-break by index, whatever order the
+        // caller listed them in.
+        let mut sorted: Vec<usize> = candidates.to_vec();
+        sorted.sort_unstable();
+        for m in sorted {
+            if !self.queue.contains(&m) {
+                self.queue.push_back(m);
+            }
+        }
+    }
+}
+
+impl Arbiter for FcfsArbiter {
+    fn grant(&mut self, requesters: &[usize]) -> Option<usize> {
+        if requesters.is_empty() {
+            return None;
+        }
+        self.admit(requesters);
+        // The queued requester closest to the head wins.
+        let winner = self
+            .queue
+            .iter()
+            .copied()
+            .find(|m| requesters.contains(m))?;
+        self.queue.retain(|&m| m != winner);
+        Some(winner)
+    }
+
+    fn slots_to_grant(&mut self, master: usize, live: &[usize]) -> u32 {
+        self.admit(live);
+        if !self.queue.contains(&master) {
+            self.queue.push_back(master);
+        }
+        let pos = self
+            .queue
+            .iter()
+            .position(|&m| m == master)
+            .expect("master enqueued above");
+        // Everyone ahead of the master is served first, one slot each; then
+        // the master's own grant slot.
+        self.queue.drain(..=pos);
+        pos as u32 + 1
+    }
+}
+
+/// The bus service disciplines a segment can run, named after the policies
+/// Nikolov & Lerato compare for a shared-bus multiprocessor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Discipline {
+    /// Fixed priority by module index ([`PriorityArbiter`]); the historical
+    /// default, byte-identical to the fixed-cost arbitration model.
+    #[default]
+    Priority,
+    /// Rotating priority ([`RoundRobinArbiter`]).
+    RoundRobin,
+    /// Arrival-order queueing ([`FcfsArbiter`]).
+    Fcfs,
+}
+
+impl Discipline {
+    /// Every discipline, in presentation order.
+    pub const ALL: [Discipline; 3] = [
+        Discipline::Priority,
+        Discipline::RoundRobin,
+        Discipline::Fcfs,
+    ];
+
+    /// A fresh arbiter implementing this discipline.
+    #[must_use]
+    pub fn arbiter(self) -> Box<dyn Arbiter + Send> {
+        match self {
+            Discipline::Priority => Box::new(PriorityArbiter::new()),
+            Discipline::RoundRobin => Box::new(RoundRobinArbiter::new()),
+            Discipline::Fcfs => Box::new(FcfsArbiter::new()),
+        }
+    }
+}
+
+impl fmt::Display for Discipline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Discipline::Priority => "priority",
+            Discipline::RoundRobin => "round-robin",
+            Discipline::Fcfs => "fcfs",
+        })
+    }
+}
+
+impl FromStr for Discipline {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "priority" => Ok(Discipline::Priority),
+            "round-robin" | "rr" => Ok(Discipline::RoundRobin),
+            "fcfs" => Ok(Discipline::Fcfs),
+            other => Err(format!(
+                "unknown discipline `{other}` (expected priority, round-robin or fcfs)"
+            )),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +259,14 @@ mod tests {
         assert_eq!(a.grant(&[3, 1, 2]), Some(1));
         assert_eq!(a.grant(&[3, 1, 2]), Some(1), "no memory, no fairness");
         assert_eq!(a.grant(&[]), None);
+    }
+
+    #[test]
+    fn priority_grants_in_one_slot_for_everyone() {
+        let mut a = PriorityArbiter::new();
+        for master in 0..4 {
+            assert_eq!(a.slots_to_grant(master, &[0, 1, 2, 3]), 1);
+        }
     }
 
     #[test]
@@ -113,5 +296,57 @@ mod tests {
             served.insert(a.grant(&requesters).unwrap());
         }
         assert_eq!(served.len(), 8);
+    }
+
+    #[test]
+    fn round_robin_charges_the_token_distance() {
+        let mut a = RoundRobinArbiter::new();
+        // Token starts before module 0: master 2 waits for 0 and 1.
+        assert_eq!(a.slots_to_grant(2, &[0, 1, 2, 3]), 3);
+        // Token now at 2; master 3 is next in turn.
+        assert_eq!(a.slots_to_grant(3, &[0, 1, 2, 3]), 1);
+        // Wrapping: master 3 again pays a full rotation.
+        assert_eq!(a.slots_to_grant(3, &[0, 1, 2, 3]), 4);
+    }
+
+    #[test]
+    fn fcfs_serves_in_arrival_order() {
+        let mut a = FcfsArbiter::new();
+        // All four arrive together (index order breaks the tie); master 1 is
+        // second in line.
+        assert_eq!(a.slots_to_grant(1, &[0, 1, 2, 3]), 2);
+        // 2 and 3 are still queued from the first round; master 0 re-arrives
+        // behind them.
+        assert_eq!(a.slots_to_grant(0, &[0, 1, 2, 3]), 3);
+        // Only 1 left queued; 0, 2 and 3 re-arrive behind it in index order,
+        // so master 3 sits at the tail of a four-deep queue.
+        assert_eq!(a.slots_to_grant(3, &[0, 1, 2, 3]), 4);
+    }
+
+    #[test]
+    fn fcfs_grant_prefers_the_longest_waiter() {
+        let mut a = FcfsArbiter::new();
+        assert_eq!(a.grant(&[2, 1]), Some(1), "index order on simultaneous");
+        assert_eq!(a.grant(&[2, 0]), Some(2), "2 queued before 0 arrived");
+        assert_eq!(a.grant(&[]), None);
+    }
+
+    #[test]
+    fn disciplines_parse_and_render_round_trip() {
+        for d in Discipline::ALL {
+            assert_eq!(d.to_string().parse::<Discipline>(), Ok(d));
+        }
+        assert_eq!("rr".parse::<Discipline>(), Ok(Discipline::RoundRobin));
+        assert!("lifo".parse::<Discipline>().is_err());
+        assert_eq!(Discipline::default(), Discipline::Priority);
+    }
+
+    #[test]
+    fn every_discipline_builds_a_working_arbiter() {
+        for d in Discipline::ALL {
+            let mut a = d.arbiter();
+            assert_eq!(a.grant(&[0]), Some(0), "{d}");
+            assert!(a.slots_to_grant(0, &[0, 1]) >= 1, "{d}");
+        }
     }
 }

@@ -30,6 +30,7 @@
 //! and retires it from the snoop set — it is treated thereafter as a
 //! non-caching processor, which the class explicitly supports (§3.3).
 
+use crate::arbitration::{Arbiter, Discipline};
 use crate::fault::{FaultPlan, TxnFaults};
 use crate::memory::SparseMemory;
 use crate::module::BusModule;
@@ -138,6 +139,8 @@ pub struct Futurebus {
     pub(crate) trace: BusTrace,
     pub(crate) faults: Option<FaultPlan>,
     pub(crate) retired: BTreeSet<usize>,
+    discipline: Discipline,
+    arbiter: Box<dyn Arbiter + Send>,
     pending_stall: Option<(usize, bool)>,
     histograms: PhaseHistograms,
     retry_hist: LatencyHistogram,
@@ -165,6 +168,8 @@ impl Futurebus {
             trace: BusTrace::new(0),
             faults: None,
             retired: BTreeSet::new(),
+            discipline: Discipline::default(),
+            arbiter: Discipline::default().arbiter(),
             pending_stall: None,
             histograms: PhaseHistograms::new(),
             retry_hist: LatencyHistogram::new(),
@@ -198,6 +203,38 @@ impl Futurebus {
     #[must_use]
     pub fn timing(&self) -> &TimingConfig {
         &self.timing
+    }
+
+    /// The arbitration service discipline in force on this segment.
+    #[must_use]
+    pub fn discipline(&self) -> Discipline {
+        self.discipline
+    }
+
+    /// Swaps the arbitration service discipline, resetting the arbiter's
+    /// queue/rotation state. The default [`Discipline::Priority`] is
+    /// combinational (one slot) and byte-identical to the historical
+    /// fixed-cost arbitration model.
+    pub fn set_discipline(&mut self, discipline: Discipline) {
+        self.discipline = discipline;
+        self.arbiter = discipline.arbiter();
+    }
+
+    /// Queueing delay (in arbitration slots) `master` pays for the bus under
+    /// the current discipline, with every live module contending. The first
+    /// slot is part of the base transaction cost; disciplines beyond the
+    /// combinational default pay the rest in [`Phase::Arbitrate`].
+    ///
+    /// [`Phase::Arbitrate`]: crate::Phase::Arbitrate
+    pub(crate) fn queue_slots(&mut self, master: usize, modules: usize) -> u32 {
+        if self.discipline == Discipline::Priority {
+            return 1;
+        }
+        let mut live: Vec<usize> = (0..modules).filter(|i| !self.retired.contains(i)).collect();
+        if !live.contains(&master) {
+            live.push(master);
+        }
+        self.arbiter.slots_to_grant(master, &live)
     }
 
     /// Main memory, for initialisation and checking.
@@ -478,6 +515,7 @@ mod tests {
     use super::*;
     use crate::fault::{FaultConfig, FaultKind, InjectedFault};
     use crate::module::{BusObservation, PushWrite, RetireReport};
+    use crate::phases::Phase;
     use crate::transaction::{DataSource, LineAddr};
     use moesi::{MasterSignals, ResponseSignals};
 
@@ -1237,6 +1275,51 @@ mod tests {
         assert_eq!(out.duration, t.arbitration_ns + t.address_cycle_ns);
         assert_eq!(bus.stats().address_only, 1);
         assert_eq!(bus.stats().bytes_moved, 0);
+    }
+
+    #[test]
+    fn disciplines_charge_queueing_into_the_arbitrate_phase() {
+        let t = TimingConfig::default();
+        let run = |discipline| {
+            let mut bus = bus();
+            bus.set_discipline(discipline);
+            let mut a = Mock::quiet();
+            let mut b = Mock::quiet();
+            let mut mods: Vec<&mut dyn BusModule> = vec![&mut a, &mut b];
+            // Master 1 arbitrates against live module 0.
+            bus.execute(
+                &TransactionRequest::address_only(1, 0, MasterSignals::CA_IM),
+                &mut mods,
+            )
+            .unwrap()
+            .duration
+        };
+        let base = t.arbitration_ns + t.address_cycle_ns;
+        assert_eq!(
+            run(Discipline::Priority),
+            base,
+            "combinational default stays byte-identical"
+        );
+        // Round-robin: the token starts before module 0, so master 1 waits
+        // one extra slot; FCFS: both queue on first contact, master 1 behind
+        // module 0.
+        assert_eq!(run(Discipline::RoundRobin), base + t.arbitration_ns);
+        assert_eq!(run(Discipline::Fcfs), base + t.arbitration_ns);
+        // The extra wait lands in the Arbitrate bucket of the phase ledger.
+        let mut bus = bus();
+        bus.set_discipline(Discipline::Fcfs);
+        let mut a = Mock::quiet();
+        let mut mods: Vec<&mut dyn BusModule> = vec![&mut a];
+        bus.execute(
+            &TransactionRequest::address_only(1, 0, MasterSignals::CA_IM),
+            &mut mods,
+        )
+        .unwrap();
+        assert_eq!(
+            bus.stats().phase_ns[Phase::Arbitrate as usize],
+            t.arbitration_ns
+        );
+        assert_eq!(bus.discipline(), Discipline::Fcfs);
     }
 
     #[test]

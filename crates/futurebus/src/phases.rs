@@ -236,6 +236,17 @@ impl Futurebus {
             ctx.charge(Phase::Arbitrate, cost);
             return Step::Restart;
         }
+        // Queueing under the segment's service discipline: the master pays
+        // one arbitration slot per contender served ahead of it. The first
+        // slot is already in the base transaction cost, so the combinational
+        // default charges nothing here and stays byte-identical.
+        let slots = self.queue_slots(ctx.req.master, modules.len());
+        if slots > 1 {
+            ctx.charge(
+                Phase::Arbitrate,
+                Nanos::from(slots - 1) * self.timing.arbitration_ns,
+            );
+        }
         Step::Advance
     }
 

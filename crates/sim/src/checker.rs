@@ -65,6 +65,14 @@ pub enum Violation {
         /// The node holding the E copy.
         holder: String,
     },
+    /// A bridge's inclusion tag is Invalid while its subtree still caches
+    /// the line — the snoop filter would wrongly suppress forwards.
+    InclusionHole {
+        /// The line address.
+        addr: u64,
+        /// The bridge whose directory lost the line.
+        bridge: String,
+    },
     /// A processor read returned the wrong bytes.
     ReadMismatch {
         /// The processor that read.
@@ -97,6 +105,10 @@ impl fmt::Display for Violation {
             Violation::ExclusiveUnmodifiedDiffers { addr, holder } => {
                 write!(f, "line {addr:#x}: E copy at {holder} differs from memory")
             }
+            Violation::InclusionHole { addr, bridge } => write!(
+                f,
+                "line {addr:#x}: cached below {bridge} but its inclusion tag is invalid"
+            ),
             Violation::ReadMismatch { cpu, addr, got, expected } => write!(
                 f,
                 "cpu{cpu} read {addr:#x}: got {got:?}, expected {expected:?}"

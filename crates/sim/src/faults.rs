@@ -32,7 +32,7 @@ use std::fmt;
 use crate::checker::Checker;
 use crate::controller::CacheController;
 use crate::fabric::Fabric;
-use crate::hierarchy::{HierarchicalSystem, HierarchyBuilder, ParentError};
+use crate::hierarchy::{HierarchicalSystem, HierarchyBuilder, ParentError, TreeBuilder};
 
 /// How a campaign classified one injected fault.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -626,9 +626,15 @@ fn audit(
 pub struct HierarchyCampaignConfig {
     /// Protocol names, one homogeneous hierarchy per entry.
     pub protocols: Vec<String>,
-    /// Clusters per hierarchy.
+    /// Clusters per hierarchy (root-bus children).
     pub clusters: usize,
-    /// Caching processors per cluster.
+    /// Bus levels in the fabric tree: 2 is the classic two-level machine;
+    /// deeper values interpose interior segments built by
+    /// [`TreeBuilder::uniform`](crate::hierarchy::TreeBuilder::uniform).
+    pub depth: usize,
+    /// Children per interior segment when `depth > 2` (ignored at depth 2).
+    pub fanout: usize,
+    /// Caching processors per leaf cluster.
     pub cpus: usize,
     /// Bytes per line.
     pub line_size: usize,
@@ -662,6 +668,8 @@ impl Default for HierarchyCampaignConfig {
                 "berkeley".into(),
             ],
             clusters: 2,
+            depth: 2,
+            fanout: 2,
             cpus: 2,
             line_size: 16,
             cache_bytes: 1024,
@@ -789,6 +797,14 @@ impl fmt::Display for HierarchyRun {
 /// A whole hierarchy campaign's outcome.
 #[derive(Clone, Debug)]
 pub struct HierarchyReport {
+    /// Bus levels in each machine's fabric tree.
+    pub depth: usize,
+    /// Interior fan-out (meaningful when `depth > 2`).
+    pub fanout: usize,
+    /// Root-bus clusters per machine.
+    pub clusters: usize,
+    /// Leaf clusters per machine (== `clusters` at depth 2).
+    pub leaves: usize,
     /// Per-protocol results, in configuration order.
     pub runs: Vec<HierarchyRun>,
 }
@@ -872,6 +888,12 @@ pub fn run_hierarchy_campaign(cfg: &HierarchyCampaignConfig) -> Result<Hierarchy
     if cfg.clusters == 0 || cfg.cpus == 0 || cfg.steps == 0 || cfg.lines == 0 {
         return Err("clusters, cpus, steps and lines must all be non-zero".into());
     }
+    if cfg.depth < 2 {
+        return Err("depth must be at least 2 (the two-level machine)".into());
+    }
+    if cfg.depth > 2 && cfg.fanout == 0 {
+        return Err("fanout must be non-zero for trees deeper than two levels".into());
+    }
     let jobs: Vec<(u64, String)> = cfg
         .protocols
         .iter()
@@ -883,7 +905,15 @@ pub fn run_hierarchy_campaign(cfg: &HierarchyCampaignConfig) -> Result<Hierarchy
     })
     .into_iter()
     .collect::<Result<Vec<_>, String>>()?;
-    Ok(HierarchyReport { runs })
+    let per_interior = if cfg.depth > 2 { cfg.fanout } else { 1 };
+    let leaves = cfg.clusters * per_interior.pow(cfg.depth.saturating_sub(2) as u32);
+    Ok(HierarchyReport {
+        depth: cfg.depth,
+        fanout: cfg.fanout,
+        clusters: cfg.clusters,
+        leaves,
+        runs,
+    })
 }
 
 fn run_hierarchy_one(
@@ -891,25 +921,61 @@ fn run_hierarchy_one(
     name: &str,
     run_idx: u64,
 ) -> Result<HierarchyRun, String> {
-    let mut builder = HierarchyBuilder::new(cfg.line_size)
-        .checking(true)
-        .seed(cfg.seed.wrapping_add(run_idx));
-    for _ in 0..cfg.clusters {
-        builder = builder.cluster();
-        for cpu in 0..cfg.cpus {
-            let protocol = by_name(name, cfg.seed.wrapping_add(cpu as u64))
-                .ok_or_else(|| format!("unknown protocol `{name}`"))?;
-            if protocol.kind() == CacheKind::NonCaching {
-                builder = builder.uncached(protocol);
-            } else {
-                builder = builder.cache(
-                    protocol,
-                    CacheConfig::new(cfg.cache_bytes, cfg.line_size, 2, ReplacementKind::Lru),
-                );
+    // Validate the protocol name once, outside the builder closures.
+    by_name(name, 0).ok_or_else(|| format!("unknown protocol `{name}`"))?;
+    let mut sys = if cfg.depth == 2 {
+        let mut builder = HierarchyBuilder::new(cfg.line_size)
+            .checking(true)
+            .seed(cfg.seed.wrapping_add(run_idx));
+        for _ in 0..cfg.clusters {
+            builder = builder.cluster();
+            for cpu in 0..cfg.cpus {
+                let protocol =
+                    by_name(name, cfg.seed.wrapping_add(cpu as u64)).expect("validated above");
+                if protocol.kind() == CacheKind::NonCaching {
+                    builder = builder.uncached(protocol);
+                } else {
+                    builder = builder.cache(
+                        protocol,
+                        CacheConfig::new(cfg.cache_bytes, cfg.line_size, 2, ReplacementKind::Lru),
+                    );
+                }
             }
         }
-    }
-    let mut sys = builder.build();
+        builder.build()
+    } else {
+        TreeBuilder::uniform(
+            cfg.line_size,
+            cfg.clusters,
+            cfg.depth,
+            cfg.fanout,
+            cfg.cpus,
+            {
+                |_, cpu| {
+                    let protocol =
+                        by_name(name, cfg.seed.wrapping_add(cpu as u64)).expect("validated above");
+                    if protocol.kind() == CacheKind::NonCaching {
+                        (protocol, None)
+                    } else {
+                        (
+                            protocol,
+                            Some(CacheConfig::new(
+                                cfg.cache_bytes,
+                                cfg.line_size,
+                                2,
+                                ReplacementKind::Lru,
+                            )),
+                        )
+                    }
+                }
+            },
+        )
+        .checking(true)
+        .seed(cfg.seed.wrapping_add(run_idx))
+        .build()
+    };
+    let leaves = sys.leaves();
+    let leaf_paths = sys.leaf_paths();
     // The campaign owns verification: reported damage is reconciled first,
     // then the oracle runs — only unreported divergence counts as silent.
     sys.tolerate_faults(true);
@@ -920,16 +986,15 @@ fn run_hierarchy_one(
             ..cfg.faults
         }));
     sys.parent_bus_mut().enable_liveness(cfg.liveness_deadline);
-    for cluster in 0..cfg.clusters {
-        sys.bridge_mut(cluster)
-            .fabric_mut()
+    for leaf in 0..leaves {
+        sys.leaf_fabric_mut(leaf)
             .bus_mut()
             .inject_faults(FaultPlan::new(FaultConfig {
                 seed: cfg
                     .faults
                     .seed
                     .wrapping_add(run_idx)
-                    .wrapping_add((cluster as u64 + 1) << 32),
+                    .wrapping_add((leaf as u64 + 1) << 32),
                 glitch_rate: cfg.faults.glitch_rate,
                 storm_rate: cfg.faults.storm_rate,
                 max_storm_rounds: cfg.faults.max_storm_rounds,
@@ -953,7 +1018,7 @@ fn run_hierarchy_one(
         lost_lines: 0,
     };
     let mut parent_cursor = 0usize;
-    let mut cluster_cursors = vec![0usize; cfg.clusters];
+    let mut cluster_cursors = vec![0usize; leaves];
 
     for step in 0..cfg.steps {
         // Inclusion-tag soft errors are injected by the campaign itself (the
@@ -965,7 +1030,10 @@ fn run_hierarchy_one(
             let _ = sys.scrub_inclusion_tag(cluster, line);
         }
 
-        let cluster = rng.gen_range(0..cfg.clusters as u64) as usize;
+        // Accesses address leaf clusters (== root clusters at depth 2, so
+        // the draws and the access path are unchanged for the classic
+        // two-level machine).
+        let leaf = rng.gen_range(0..leaves as u64) as usize;
         let cpu = rng.gen_range(0..cfg.cpus as u64) as usize;
         let line = rng.gen_range(0..cfg.lines);
         let word = rng.gen_range(0..(cfg.line_size / 4) as u64);
@@ -973,11 +1041,11 @@ fn run_hierarchy_one(
         let mut write_piece: Option<(u64, Vec<u8>)> = None;
         let read_back = if rng.gen_bool(0.5) {
             let bytes = vec![rng.gen_range(0u16..256) as u8; 4];
-            sys.write(cluster, cpu, addr, &bytes);
+            sys.write_at(&leaf_paths[leaf], cpu, addr, &bytes);
             write_piece = Some((addr, bytes));
             None
         } else {
-            Some(sys.read(cluster, cpu, addr, 4))
+            Some(sys.read_at(&leaf_paths[leaf], cpu, addr, 4))
         };
         run.accesses += 1;
         run.cluster_bus_errors
@@ -1004,8 +1072,7 @@ fn run_hierarchy_one(
         for (c, cursor) in cluster_cursors.iter_mut().enumerate() {
             let new: Vec<FaultRecord> = {
                 let plan = sys
-                    .bridge(c)
-                    .fabric()
+                    .leaf_fabric(c)
                     .bus()
                     .fault_plan()
                     .expect("plan installed above");
@@ -1049,7 +1116,7 @@ fn run_hierarchy_one(
         // anything still wrong is silent corruption.
         let mut broken = None;
         if let Some(got) = read_back {
-            let global_cpu = cluster * cfg.cpus + cpu;
+            let global_cpu = leaf * cfg.cpus + cpu;
             if let Err(v) = sys
                 .checker()
                 .expect("campaign hierarchies run checked")
@@ -1077,8 +1144,8 @@ fn run_hierarchy_one(
     run.degraded_clusters = sys.degraded_clusters();
     run.parent_errors = sys.parent_errors().to_vec();
     run.parent_stats = *sys.parent_bus().stats();
-    for c in 0..cfg.clusters {
-        let stats = sys.bridge(c).stats();
+    for bridge in sys.bridges_preorder() {
+        let stats = bridge.stats();
         run.dirty_at_retire += stats.dirty_at_retire;
         run.salvaged_lines += stats.salvaged_lines;
         run.lost_lines += stats.lost_lines;
@@ -1416,6 +1483,10 @@ pub fn hierarchy_report_json(report: &HierarchyReport) -> String {
         .collect();
     JsonObject::new()
         .string("campaign", "hierarchy")
+        .number("depth", report.depth as u64)
+        .number("fanout", report.fanout as u64)
+        .number("clusters", report.clusters as u64)
+        .number("leaves", report.leaves as u64)
         .number("protocols", report.runs.len())
         .number("injected", report.injected())
         .number("silent", report.silent())
@@ -1755,6 +1826,52 @@ mod tests {
         })
         .unwrap();
         assert_eq!(hierarchy_report_json(&seq), hierarchy_report_json(&par));
+    }
+
+    #[test]
+    fn deep_hierarchy_campaign_keeps_every_fault_loud() {
+        let cfg = HierarchyCampaignConfig {
+            depth: 3,
+            fanout: 2,
+            steps: 700,
+            ..quick_hierarchy_cfg()
+        };
+        let report = run_hierarchy_campaign(&cfg).unwrap();
+        assert_eq!((report.depth, report.fanout), (3, 2));
+        assert_eq!(report.leaves, 4, "2 clusters x fanout 2 at depth 3");
+        assert!(report.injected() > 0, "faults must land on the deep tree");
+        assert_eq!(report.silent(), 0, "{report}");
+        for run in &report.runs {
+            assert_eq!(
+                run.salvaged_lines + run.lost_lines,
+                run.dirty_at_retire,
+                "{}: dirty-line ledger must balance on the deep tree",
+                run.protocol
+            );
+        }
+        let json = hierarchy_report_json(&report);
+        assert!(json.contains("\"depth\": 3"), "{json}");
+        assert!(json.contains("\"leaves\": 4"), "{json}");
+        // Sharding invariance holds for the deep tree too.
+        let par = run_hierarchy_campaign(&HierarchyCampaignConfig { jobs: 4, ..cfg }).unwrap();
+        assert_eq!(json, hierarchy_report_json(&par));
+    }
+
+    #[test]
+    fn hierarchy_campaign_rejects_bad_geometry() {
+        let err = run_hierarchy_campaign(&HierarchyCampaignConfig {
+            depth: 1,
+            ..quick_hierarchy_cfg()
+        })
+        .unwrap_err();
+        assert!(err.contains("at least 2"), "{err}");
+        let err = run_hierarchy_campaign(&HierarchyCampaignConfig {
+            depth: 3,
+            fanout: 0,
+            ..quick_hierarchy_cfg()
+        })
+        .unwrap_err();
+        assert!(err.contains("fanout"), "{err}");
     }
 
     #[test]

@@ -31,8 +31,14 @@ OPTIONS:
     --protocol LIST   comma-separated protocols, one homogeneous machine per
                       entry [default: moesi,dragon,write-through,berkeley,
                       hybrid]
-    --hierarchy       run the two-level bridge campaign described above
-    --clusters N      clusters per hierarchy (with --hierarchy) [default: 2]
+    --hierarchy       run the bridge campaign described above
+    --clusters N      clusters on the root bus (with --hierarchy) [default: 2]
+    --depth N         bus levels in the fabric tree (with --hierarchy): 2 is
+                      the classic two-level machine; deeper values interpose
+                      interior segments whose modules are child bridges
+                      [default: 2]
+    --fanout N        children per interior segment when --depth > 2 (with
+                      --hierarchy) [default: 2]
     --cpus N          processors per machine, or per cluster with
                       --hierarchy [default: 4]
     --steps N         processor accesses per machine [default: 2500]
@@ -74,6 +80,8 @@ pub(crate) struct FaultsConfig {
     pub(crate) protocols: Vec<String>,
     pub(crate) hierarchy: bool,
     pub(crate) clusters: usize,
+    pub(crate) depth: usize,
+    pub(crate) fanout: usize,
     pub(crate) cpus: usize,
     pub(crate) steps: u64,
     pub(crate) lines: u64,
@@ -96,6 +104,8 @@ impl Default for FaultsConfig {
             protocols: base.protocols,
             hierarchy: false,
             clusters: HierarchyCampaignConfig::default().clusters,
+            depth: HierarchyCampaignConfig::default().depth,
+            fanout: HierarchyCampaignConfig::default().fanout,
             cpus: base.cpus,
             steps: base.steps,
             lines: base.lines,
@@ -139,6 +149,8 @@ fn parse_fault_kinds(list: &str) -> Result<Vec<FaultKind>, String> {
 pub(crate) fn parse_faults_args(args: &[String]) -> Result<FaultsConfig, String> {
     let mut cfg = FaultsConfig::default();
     let mut common = CommonOpts::default();
+    let mut depth: Option<usize> = None;
+    let mut fanout: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if common.try_consume(arg, &mut it)? {
@@ -189,6 +201,14 @@ pub(crate) fn parse_faults_args(args: &[String]) -> Result<FaultsConfig, String>
             "--shards" => cfg.shards = number("--shards", value("--shards")?)? as usize,
             "--hierarchy" => cfg.hierarchy = true,
             "--clusters" => cfg.clusters = number("--clusters", value("--clusters")?)? as usize,
+            "--depth" => {
+                let d = number("--depth", value("--depth")?)? as usize;
+                if d < 2 {
+                    return Err("--depth must be at least 2 (the two-level machine)".to_string());
+                }
+                depth = Some(d);
+            }
+            "--fanout" => fanout = Some(number("--fanout", value("--fanout")?)? as usize),
             "--json" => cfg.json = true,
             "--out" => cfg.out = value("--out")?.clone(),
             "--help" | "-h" => return Err(String::new()),
@@ -207,6 +227,15 @@ pub(crate) fn parse_faults_args(args: &[String]) -> Result<FaultsConfig, String>
     }
     if cfg.hierarchy && cfg.shards > 0 {
         return Err("--shards shards a flat campaign; drop it or drop --hierarchy".to_string());
+    }
+    if !cfg.hierarchy && (depth.is_some() || fanout.is_some()) {
+        return Err("--depth/--fanout shape the fabric tree; add --hierarchy".to_string());
+    }
+    if let Some(d) = depth {
+        cfg.depth = d;
+    }
+    if let Some(f) = fanout {
+        cfg.fanout = f;
     }
     Ok(cfg)
 }
@@ -255,6 +284,8 @@ fn hierarchy_campaign_config(cfg: &FaultsConfig) -> HierarchyCampaignConfig {
     HierarchyCampaignConfig {
         protocols: cfg.protocols.clone(),
         clusters: cfg.clusters,
+        depth: cfg.depth,
+        fanout: cfg.fanout,
         cpus: cfg.cpus,
         line_size: cfg.line_size,
         cache_bytes: cfg.cache_bytes,
@@ -446,6 +477,44 @@ mod tests {
                 .unwrap_err()
                 .contains("flat run")
         );
+    }
+
+    #[test]
+    fn faults_depth_and_fanout_parse_and_require_hierarchy() {
+        let cfg = parse_faults_args(&args("--hierarchy --depth 3 --fanout 4")).expect("valid");
+        assert_eq!((cfg.depth, cfg.fanout), (3, 4));
+        let campaign = hierarchy_campaign_config(&cfg);
+        assert_eq!((campaign.depth, campaign.fanout), (3, 4));
+        let defaults = parse_faults_args(&args("--hierarchy")).expect("valid");
+        assert_eq!((defaults.depth, defaults.fanout), (2, 2));
+        assert!(parse_faults_args(&args("--depth 3"))
+            .unwrap_err()
+            .contains("add --hierarchy"));
+        assert!(parse_faults_args(&args("--fanout 2"))
+            .unwrap_err()
+            .contains("add --hierarchy"));
+        assert!(parse_faults_args(&args("--hierarchy --depth 1"))
+            .unwrap_err()
+            .contains("at least 2"));
+        assert!(parse_faults_args(&args("--hierarchy --fanout 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+    }
+
+    #[test]
+    fn faults_deep_hierarchy_smoke_runs_clean() {
+        run_faults(&FaultsConfig {
+            protocols: vec!["moesi".to_string()],
+            hierarchy: true,
+            depth: 3,
+            fanout: 2,
+            cpus: 2,
+            steps: 250,
+            lines: 48,
+            rate: 0.3,
+            ..FaultsConfig::default()
+        })
+        .expect("deep-tree campaign degrades gracefully");
     }
 
     #[test]

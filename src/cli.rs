@@ -6,6 +6,36 @@
 //! place; each subcommand keeps its own loop for the flags only it
 //! understands.
 
+/// Parses a comma-separated list of positive counts (the `--shards`,
+/// `--clusters`, `--depth` and `--fanout` flags). Rejects — with a named,
+/// structured error rather than silently repairing — empty lists, empty
+/// entries (stray commas), zeroes, non-numbers, and duplicates; a duplicate
+/// count would silently run the same cell twice and skew any sweep built on
+/// the list.
+pub fn parse_count_list(name: &str, v: &str) -> Result<Vec<usize>, String> {
+    if v.trim().is_empty() {
+        return Err(format!("{name} list is empty"));
+    }
+    let mut out = Vec::new();
+    for item in v.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            return Err(format!("{name} has an empty entry (stray comma?)"));
+        }
+        let n: usize = item
+            .parse()
+            .map_err(|_| format!("{name} expects a number, got `{item}`"))?;
+        if n == 0 {
+            return Err(format!("{name} must be at least 1"));
+        }
+        if out.contains(&n) {
+            return Err(format!("{name} repeats `{n}`"));
+        }
+        out.push(n);
+    }
+    Ok(out)
+}
+
 /// The flags shared across `moesi-sim` subcommands, each `None` until seen.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CommonOpts {
@@ -79,6 +109,23 @@ mod tests {
     #[test]
     fn unshared_flags_are_left_to_the_caller() {
         assert!(parse(&["--protocol"]).unwrap_err().contains("unknown"));
+    }
+
+    #[test]
+    fn count_lists_parse_and_reject_malformed_input() {
+        assert_eq!(parse_count_list("--shards", "1,2,4"), Ok(vec![1, 2, 4]));
+        assert_eq!(parse_count_list("--depth", " 3 , 2 "), Ok(vec![3, 2]));
+        assert_eq!(parse_count_list("--fanout", "8"), Ok(vec![8]));
+
+        let err = |v: &str| parse_count_list("--clusters", v).unwrap_err();
+        assert!(err("").contains("list is empty"));
+        assert!(err("   ").contains("list is empty"));
+        assert!(err("1,,2").contains("empty entry"));
+        assert!(err("1,2,").contains("empty entry"));
+        assert!(err("1,0").contains("at least 1"));
+        assert!(err("two").contains("expects a number, got `two`"));
+        assert!(err("4,2,4").contains("repeats `4`"));
+        assert!(err("x").starts_with("--clusters"), "errors name the flag");
     }
 
     #[test]

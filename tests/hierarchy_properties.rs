@@ -1,12 +1,13 @@
-//! Property-based testing of the §6 two-level hierarchy: random operation
-//! sequences across random cluster shapes must preserve the global shared
-//! memory image, and the hierarchy must be observationally identical to a
-//! flat machine.
+//! Property-based testing of the §6 hierarchy: random operation sequences
+//! across random cluster shapes must preserve the global shared memory
+//! image, the hierarchy must be observationally identical to a flat machine,
+//! and on deeper fabric trees the bridges' inclusion snoop filters must be
+//! invisible to programs while their ledgers conserve every snoop.
 
 use cache_array::{CacheConfig, ReplacementKind};
 use moesi::protocols::{Dragon, MoesiInvalidating, MoesiPreferred, WriteThrough};
 use moesi::Protocol;
-use mpsim::hierarchy::{HierarchicalSystem, HierarchyBuilder};
+use mpsim::hierarchy::{HierarchicalSystem, HierarchyBuilder, TreeBuilder};
 use mpsim::{System, SystemBuilder};
 use proptest::prelude::*;
 
@@ -37,6 +38,20 @@ fn hierarchy(shape: &[usize]) -> HierarchicalSystem {
         }
     }
     b.build()
+}
+
+/// A depth-3 fabric tree: 2 root subtrees x 2 leaf clusters x 2 caches,
+/// protocols cycling, snoop filters on or off.
+fn deep(filter: bool) -> HierarchicalSystem {
+    let mut k = 0;
+    TreeBuilder::uniform(LINE, 2, 3, 2, 2, |_, _| {
+        let p = protocol(k);
+        k += 1;
+        (p, Some(cfg()))
+    })
+    .snoop_filter(filter)
+    .checking(true)
+    .build()
 }
 
 /// A flat machine with the same nodes in the same order.
@@ -119,6 +134,68 @@ proptest! {
         }
         prop_assert!(hier.verify().is_ok());
         prop_assert!(plain.verify().is_ok());
+    }
+
+    #[test]
+    fn deep_tree_snoop_filter_is_invisible_and_inclusion_holds(
+        ops in ops_strategy(8),
+    ) {
+        // Run the same random program on two depth-3 trees that differ only
+        // in the snoop filter. The filter may only suppress snoops whose
+        // subtree provably holds no copy, so every read must observe the
+        // same bytes, and both trees must pass the full inclusion audit
+        // (`verify` rejects any copy cached below an Invalid bridge tag).
+        let mut filtered = deep(true);
+        let mut flooded = deep(false);
+        let paths = filtered.leaf_paths();
+        for op in &ops {
+            let addr = 0x1000 + op.line * LINE as u64 + op.offset;
+            let (leaf, cpu) = (op.node / 2, op.node % 2);
+            match op.write {
+                Some(v) => {
+                    filtered.write_at(&paths[leaf], cpu, addr, &[v; 4]);
+                    flooded.write_at(&paths[leaf], cpu, addr, &[v; 4]);
+                }
+                None => {
+                    let a = filtered.read_at(&paths[leaf], cpu, addr, 4);
+                    let b = flooded.read_at(&paths[leaf], cpu, addr, 4);
+                    prop_assert_eq!(a, b, "snoop filter changed a read at {:#x}", addr);
+                }
+            }
+        }
+        prop_assert!(filtered.verify().is_ok(), "inclusion violated with filter on");
+        prop_assert!(flooded.verify().is_ok(), "inclusion violated with filter off");
+    }
+
+    #[test]
+    fn deep_tree_filter_ledgers_conserve_every_snoop(
+        ops in ops_strategy(8),
+        filter in any::<bool>(),
+    ) {
+        let mut sys = deep(filter);
+        let paths = sys.leaf_paths();
+        for op in &ops {
+            let addr = 0x1000 + op.line * LINE as u64 + op.offset;
+            let (leaf, cpu) = (op.node / 2, op.node % 2);
+            match op.write {
+                Some(v) => sys.write_at(&paths[leaf], cpu, addr, &[v; 4]),
+                None => {
+                    let _ = sys.read_at(&paths[leaf], cpu, addr, 4);
+                }
+            }
+        }
+        for bridge in sys.bridges_preorder() {
+            let s = bridge.stats();
+            prop_assert_eq!(
+                s.forwarded + s.suppressed,
+                s.snooped,
+                "bridge ledger leaked a snoop"
+            );
+            prop_assert!(s.filter_hits <= s.forwarded);
+            if !filter {
+                prop_assert_eq!(s.suppressed, 0, "disabled filter must forward everything");
+            }
+        }
     }
 
     #[test]

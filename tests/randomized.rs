@@ -242,3 +242,75 @@ fn sector_cache_valid_subsectors_never_exceed_capacity() {
         }
     }
 }
+
+/// A depth-3 fabric tree (2 root subtrees x 2 leaf clusters x 2 caches),
+/// protocols cycling, with the bridges' inclusion snoop filters on or off —
+/// the plain-harness port of the deep-tree hierarchy properties.
+fn deep_tree(filter: bool) -> mpsim::hierarchy::HierarchicalSystem {
+    let mut k = 0usize;
+    mpsim::hierarchy::TreeBuilder::uniform(LINE, 2, 3, 2, 2, |_, _| {
+        let p: Box<dyn moesi::Protocol + Send> = match k % 4 {
+            0 => Box::new(MoesiPreferred::new()),
+            1 => Box::new(MoesiInvalidating::new()),
+            2 => Box::new(Dragon::new()),
+            _ => Box::new(WriteThrough::new()),
+        };
+        k += 1;
+        (p, Some(cfg()))
+    })
+    .snoop_filter(filter)
+    .checking(true)
+    .build()
+}
+
+#[test]
+fn deep_tree_snoop_filter_is_invisible_and_inclusion_holds() {
+    // The same random program runs on two depth-3 trees differing only in
+    // the snoop filter: every read must observe identical bytes, and both
+    // trees must pass the inclusion audit (`verify` rejects any copy cached
+    // below an Invalid bridge tag).
+    for case in 0..12u64 {
+        let mut rng = SmallRng::seed_from_u64(case.wrapping_mul(0xD1FF));
+        let mut filtered = deep_tree(true);
+        let mut flooded = deep_tree(false);
+        let paths = filtered.leaf_paths();
+        for _ in 0..rng.gen_range(1usize..80) {
+            let node = rng.gen_range(0usize..8);
+            let (leaf, cpu) = (node / 2, node % 2);
+            let addr = 0x1000 + rng.gen_range(0u64..6) * LINE as u64 + rng.gen_range(0u64..7) * 4;
+            if rng.gen_range(0u32..2) == 0 {
+                let v = rng.gen_range(0u32..256) as u8;
+                filtered.write_at(&paths[leaf], cpu, addr, &[v; 4]);
+                flooded.write_at(&paths[leaf], cpu, addr, &[v; 4]);
+            } else {
+                let a = filtered.read_at(&paths[leaf], cpu, addr, 4);
+                let b = flooded.read_at(&paths[leaf], cpu, addr, 4);
+                assert_eq!(a, b, "snoop filter changed a read at {addr:#x}");
+            }
+        }
+        assert!(
+            filtered.verify().is_ok(),
+            "inclusion violated with filter on"
+        );
+        assert!(
+            flooded.verify().is_ok(),
+            "inclusion violated with filter off"
+        );
+        // Every bridge's ledger conserves: a snoop is forwarded or
+        // suppressed, never both, never dropped.
+        for (sys, filter) in [(&filtered, true), (&flooded, false)] {
+            for bridge in sys.bridges_preorder() {
+                let s = bridge.stats();
+                assert_eq!(
+                    s.forwarded + s.suppressed,
+                    s.snooped,
+                    "ledger leaked a snoop"
+                );
+                assert!(s.filter_hits <= s.forwarded);
+                if !filter {
+                    assert_eq!(s.suppressed, 0, "disabled filter must forward everything");
+                }
+            }
+        }
+    }
+}
